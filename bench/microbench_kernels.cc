@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the performance-critical
+ * kernels: the GEMM primitive under every model, Circuitformer
+ * inference per path, complete-circuit-path sampling throughput, and
+ * reference-synthesis throughput per gate.
+ *
+ * These track the constants behind the Fig.-7 runtime story: SNS
+ * inference cost per path and synthesis cost per gate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/circuitformer.hh"
+#include "designs/designs.hh"
+#include "sampler/path_sampler.hh"
+#include "synth/synthesizer.hh"
+#include "tensor/gemm.hh"
+
+namespace {
+
+using namespace sns;
+
+void
+BM_GemmSquare(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(1);
+    const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+    const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+    tensor::Tensor c({n, n});
+    for (auto _ : state) {
+        c.fill(0.0f);
+        tensor::gemmAcc(a.data(), b.data(), c.data(), n, n, n, false,
+                        false);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+}
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_CircuitformerInference(benchmark::State &state)
+{
+    const int path_len = static_cast<int>(state.range(0));
+    core::Circuitformer model(core::CircuitformerConfig{});
+    // Normalization is required before predict(); fit on dummy records.
+    const auto &vocab = graphir::Vocabulary::instance();
+    std::vector<core::PathRecord> dummy;
+    std::vector<graphir::TokenId> tokens;
+    tokens.push_back(*vocab.parse("dff16"));
+    for (int i = 0; i < path_len - 2; ++i)
+        tokens.push_back(*vocab.parse("add16"));
+    tokens.push_back(*vocab.parse("dff16"));
+    dummy.push_back({tokens, 100.0, 10.0, 0.1});
+    dummy.push_back({tokens, 200.0, 20.0, 0.2});
+    model.fitNormalization(dummy);
+
+    std::vector<std::vector<graphir::TokenId>> batch(64, tokens);
+    for (auto _ : state) {
+        const auto preds = model.predict(batch);
+        benchmark::DoNotOptimize(preds.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+    state.SetLabel("paths/iter=64, Table-2 model");
+}
+BENCHMARK(BM_CircuitformerInference)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_PathSampling(benchmark::State &state)
+{
+    const auto graph = designs::buildSystolicArray(8, 8, 16);
+    sampler::SamplerOptions opts;
+    opts.max_paths_per_source = 8;
+    opts.max_total_paths = 768;
+    size_t paths = 0;
+    for (auto _ : state) {
+        const auto sampled = sampler::PathSampler(opts).sample(graph);
+        paths = sampled.size();
+        benchmark::DoNotOptimize(paths);
+    }
+    state.SetItemsProcessed(state.iterations() * paths);
+    state.SetLabel("systolic 8x8");
+}
+BENCHMARK(BM_PathSampling);
+
+void
+BM_ReferenceSynthesis(benchmark::State &state)
+{
+    // Gate-level sizing dominates: items processed = gate count.
+    const auto graph = state.range(0) == 0
+                           ? designs::buildLookupTable(128, 8)
+                           : designs::buildSystolicArray(8, 8, 16);
+    const synth::Synthesizer synth{synth::SynthesisOptions{}};
+    const int64_t gates =
+        static_cast<int64_t>(synth.run(graph).gate_count);
+    for (auto _ : state) {
+        const auto result = synth.run(graph);
+        benchmark::DoNotOptimize(result.timing_ps);
+    }
+    state.SetItemsProcessed(state.iterations() * gates);
+    state.SetLabel(graph.name() + " (items = gates)");
+}
+BENCHMARK(BM_ReferenceSynthesis)->Arg(0)->Arg(1);
+
+void
+BM_PathLabelling(benchmark::State &state)
+{
+    // Circuit Path Dataset labelling cost: one chain synthesis.
+    const auto &vocab = graphir::Vocabulary::instance();
+    std::vector<graphir::TokenId> tokens;
+    tokens.push_back(*vocab.parse("dff32"));
+    for (int i = 0; i < 10; ++i) {
+        tokens.push_back(*vocab.parse(i % 2 ? "mul32" : "add32"));
+    }
+    tokens.push_back(*vocab.parse("dff32"));
+    const synth::Synthesizer synth{synth::SynthesisOptions{}};
+    for (auto _ : state) {
+        const auto result = synth.runPath(tokens);
+        benchmark::DoNotOptimize(result.area_um2);
+    }
+}
+BENCHMARK(BM_PathLabelling);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Power-gating example (§3.4.4): feeding register activity
+ * coefficients into SNS for higher-quality power predictions.
+ *
+ * Builds the DianNao accelerator, runs the cycle-level performance
+ * model over an AlexNet-like layer stack to derive per-register-group
+ * activity coefficients, and shows how the predicted (and reference)
+ * power drop once the clock-gating information is applied.
+ */
+
+#include <iostream>
+
+#include "core/trainer.hh"
+#include "designs/designs.hh"
+#include "diannao/diannao.hh"
+#include "util/string_utils.hh"
+
+int
+main()
+{
+    using namespace sns;
+
+    std::cout << "training SNS (fast configuration)..." << std::endl;
+    synth::Synthesizer oracle{synth::SynthesisOptions{}};
+    const auto dataset = core::HardwareDesignDataset::build(
+        designs::DesignLibrary::smokeSet(), oracle);
+    std::vector<size_t> all_indices;
+    for (size_t i = 0; i < dataset.size(); ++i)
+        all_indices.push_back(i);
+    core::SnsTrainer trainer(core::TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, all_indices, oracle);
+
+    // Build DianNao and compute workload-driven activities.
+    diannao::DianNaoParams params = diannao::DianNaoParams::original();
+    auto design = diannao::buildDianNao(params);
+    const auto hot_pred = predictor.predict(design.graph);
+    const auto hot_truth = oracle.run(design.graph);
+
+    const auto perf = diannao::DianNaoPerfModel::run(
+        params, diannao::alexNetLikeLayers());
+    std::cout << "\nperformance model on the AlexNet-like stack:\n"
+              << "  total cycles      " << perf.total_cycles << "\n"
+              << "  MAC utilization   "
+              << formatDouble(perf.mac_utilization, 3) << "\n"
+              << "  activities        input "
+              << formatDouble(perf.input_activity, 2) << ", weight "
+              << formatDouble(perf.weight_activity, 2) << ", accum "
+              << formatDouble(perf.accum_activity, 2) << ", output "
+              << formatDouble(perf.output_activity, 2) << "\n";
+
+    diannao::DianNaoPerfModel::applyActivities(design, perf);
+    const auto gated_pred = predictor.predict(design.graph);
+    const auto gated_truth = oracle.run(design.graph);
+
+    std::cout << "\npower with vs without clock-gating information:\n";
+    std::cout << "  SNS prediction : "
+              << formatDouble(hot_pred.power_mw, 3) << " mW -> "
+              << formatDouble(gated_pred.power_mw, 3) << " mW\n";
+    std::cout << "  reference      : "
+              << formatDouble(hot_truth.power_mw, 3) << " mW -> "
+              << formatDouble(gated_truth.power_mw, 3) << " mW\n";
+    std::cout << "\narea and timing are unaffected by gating, as "
+                 "expected:\n  area "
+              << formatDouble(gated_pred.area_um2, 1) << " um2, timing "
+              << formatDouble(gated_pred.timing_ps, 1) << " ps\n";
+    return 0;
+}

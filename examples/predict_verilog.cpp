@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Verilog front-end example: the paper's primary usage model (§5.5) —
+ * hand SNS a synthesizable Verilog module and get area / power /
+ * timing without synthesis.
+ *
+ * Usage:
+ *   predict_verilog [design.v]
+ *
+ * Without an argument, a built-in pipelined dot-product module is
+ * used.
+ */
+
+#include <iostream>
+
+#include "core/trainer.hh"
+#include "designs/designs.hh"
+#include "netlist/verilog_parser.hh"
+#include "util/string_utils.hh"
+
+namespace {
+
+constexpr const char *kDotProduct = R"(
+// A 4-lane pipelined dot-product unit with saturation.
+module dot4(input clk,
+            input [15:0] a0, input [15:0] a1,
+            input [15:0] a2, input [15:0] a3,
+            input [15:0] b0, input [15:0] b1,
+            input [15:0] b2, input [15:0] b3,
+            output [31:0] q);
+  wire [31:0] p0;
+  wire [31:0] p1;
+  wire [31:0] p2;
+  wire [31:0] p3;
+  reg  [31:0] s01;
+  reg  [31:0] s23;
+  reg  [31:0] acc;
+  wire [31:0] total;
+  wire [31:0] limit;
+
+  assign p0 = a0 * b0;
+  assign p1 = a1 * b1;
+  assign p2 = a2 * b2;
+  assign p3 = a3 * b3;
+  always @(posedge clk) begin
+    s01 <= p0 + p1;
+    s23 <= p2 + p3;
+  end
+  assign total = s01 + s23;
+  assign limit = total > 32'h7ffffff0 ? s01 : total;
+  always @(posedge clk) acc <= acc + limit;
+  assign q = acc;
+endmodule
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace sns;
+
+    graphir::Graph design = argc > 1
+                                ? netlist::loadVerilogFile(argv[1])
+                                : netlist::parseVerilog(kDotProduct);
+    std::cout << "elaborated Verilog module '" << design.name()
+              << "': " << design.numNodes() << " functional units, "
+              << design.numEdges() << " wires\n";
+
+    std::cout << "training SNS (fast configuration)..." << std::endl;
+    synth::Synthesizer oracle{synth::SynthesisOptions{}};
+    const auto dataset = core::HardwareDesignDataset::build(
+        designs::DesignLibrary::smokeSet(), oracle);
+    std::vector<size_t> all_indices;
+    for (size_t i = 0; i < dataset.size(); ++i)
+        all_indices.push_back(i);
+    core::SnsTrainer trainer(core::TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, all_indices, oracle);
+
+    const auto pred = predictor.predict(design);
+    const auto truth = oracle.run(design);
+    std::cout << "\nSNS prediction:      area "
+              << formatDouble(pred.area_um2, 1) << " um2, power "
+              << formatDouble(pred.power_mw, 4) << " mW, timing "
+              << formatDouble(pred.timing_ps, 1) << " ps\n";
+    std::cout << "reference synthesis: area "
+              << formatDouble(truth.area_um2, 1) << " um2, power "
+              << formatDouble(truth.power_mw, 4) << " mW, timing "
+              << formatDouble(truth.timing_ps, 1) << " ps\n";
+
+    const auto &vocab = graphir::Vocabulary::instance();
+    std::cout << "\npredicted critical path: ";
+    for (size_t i = 0; i < pred.critical_path.size(); ++i) {
+        std::cout << (i ? " -> " : "")
+                  << vocab.tokenString(
+                         design.token(pred.critical_path[i]));
+    }
+    std::cout << "\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: the complete SNS flow on a small design, end to end.
+ *
+ *   1. describe a circuit with CircuitBuilder (a multiply-accumulate
+ *      unit — the paper's Figure-2 example),
+ *   2. sample its complete circuit paths (Algorithm 1),
+ *   3. train an SNS predictor on a small design dataset,
+ *   4. predict area / power / timing and locate the critical path,
+ *   5. compare against the reference synthesizer's ground truth.
+ *
+ * Runs in well under a minute; see the bench/ harnesses for the
+ * paper-scale experiments.
+ */
+
+#include <iostream>
+
+#include "core/evaluation.hh"
+#include "designs/designs.hh"
+#include "netlist/circuit_builder.hh"
+#include "sampler/path_sampler.hh"
+#include "synth/synthesizer.hh"
+#include "util/string_utils.hh"
+
+int
+main()
+{
+    using namespace sns;
+    using netlist::CircuitBuilder;
+
+    // --- 1. Describe a circuit. ---------------------------------------
+    CircuitBuilder cb("mac8");
+    const auto a = cb.input(8);
+    const auto b = cb.input(8);
+    const auto product = cb.mul(16, a, b);
+    const auto acc = cb.dff(16);
+    const auto sum = cb.add(16, product, acc);
+    cb.connect(sum, acc); // accumulator feedback
+    cb.output(16, {acc});
+    const auto mac = cb.build();
+    std::cout << "built '" << mac.name() << "': " << mac.numNodes()
+              << " functional units, " << mac.numEdges() << " wires\n";
+
+    // --- 2. Sample its complete circuit paths. --------------------------
+    sampler::SamplerOptions sopts;
+    sopts.k = 1.0; // exhaustive on a design this small
+    const auto paths = sampler::PathSampler(sopts).sample(mac);
+    std::cout << "\ncomplete circuit paths (\"one-cycle behaviour\"):\n";
+    const auto &vocab = graphir::Vocabulary::instance();
+    for (const auto &path : paths) {
+        std::cout << "  [";
+        for (size_t i = 0; i < path.tokens.size(); ++i) {
+            std::cout << (i ? ", " : "")
+                      << vocab.tokenString(path.tokens[i]);
+        }
+        std::cout << "]\n";
+    }
+
+    // --- 3. Train SNS on a small dataset (10 designs, fast config). ----
+    std::cout << "\ntraining SNS on the 10-design smoke dataset..."
+              << std::endl;
+    synth::Synthesizer oracle{synth::SynthesisOptions{}};
+    const auto dataset = core::HardwareDesignDataset::build(
+        designs::DesignLibrary::smokeSet(), oracle);
+    std::vector<size_t> all_indices;
+    for (size_t i = 0; i < dataset.size(); ++i)
+        all_indices.push_back(i);
+    core::SnsTrainer trainer(core::TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, all_indices, oracle);
+
+    // --- 4. Predict, and 5. compare with ground truth. -------------------
+    const auto prediction = predictor.predict(mac);
+    const auto truth = oracle.run(mac);
+
+    std::cout << "\n              SNS prediction   reference synthesis\n";
+    std::cout << "  area    : " << formatDouble(prediction.area_um2, 1)
+              << " um2        " << formatDouble(truth.area_um2, 1)
+              << " um2\n";
+    std::cout << "  power   : " << formatDouble(prediction.power_mw, 4)
+              << " mW        " << formatDouble(truth.power_mw, 4)
+              << " mW\n";
+    std::cout << "  timing  : " << formatDouble(prediction.timing_ps, 1)
+              << " ps         " << formatDouble(truth.timing_ps, 1)
+              << " ps\n";
+
+    std::cout << "\npredicted critical path (located, not just timed): ";
+    for (size_t i = 0; i < prediction.critical_path.size(); ++i) {
+        std::cout << (i ? " -> " : "")
+                  << vocab.tokenString(
+                         mac.token(prediction.critical_path[i]));
+    }
+    std::cout << "\n(" << prediction.paths_sampled
+              << " paths sampled for this prediction)\n";
+    return 0;
+}

@@ -1,0 +1,149 @@
+#include "baselines/dsage.hh"
+
+#include <cmath>
+
+#include "nn/optim.hh"
+#include "util/logging.hh"
+
+namespace sns::baselines {
+
+using namespace sns::tensor;
+using graphir::Graph;
+using graphir::NodeId;
+
+namespace {
+
+int
+inputDim()
+{
+    return graphir::kNumNodeTypes + 1;
+}
+
+} // namespace
+
+Dsage::Dsage(DsageConfig config)
+    : config_(config), init_rng_(config.seed)
+{
+    // Layer 0 consumes the raw node features; deeper layers consume
+    // hidden states.
+    for (int layer = 0; layer < config_.layers; ++layer) {
+        const int in = layer == 0 ? inputDim() : config_.hidden_dim;
+        self_layers_.emplace_back(in, config_.hidden_dim, init_rng_);
+        neigh_layers_.emplace_back(in, config_.hidden_dim, init_rng_);
+    }
+    head_ = std::make_unique<nn::Linear>(config_.hidden_dim, 1,
+                                         init_rng_);
+}
+
+Tensor
+Dsage::nodeFeatures(const Graph &graph) const
+{
+    const int n = static_cast<int>(graph.numNodes());
+    Tensor x({n, inputDim()});
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        x.at2(static_cast<int>(id),
+              static_cast<int>(graph.type(id))) = 1.0f;
+        x.at2(static_cast<int>(id), graphir::kNumNodeTypes) =
+            static_cast<float>(std::log2(graph.width(id)));
+    }
+    return x;
+}
+
+std::vector<std::vector<int>>
+Dsage::neighborhoods(const Graph &graph) const
+{
+    std::vector<std::vector<int>> groups(graph.numNodes());
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        for (NodeId next : graph.successors(id)) {
+            groups[id].push_back(static_cast<int>(next));
+            groups[next].push_back(static_cast<int>(id));
+        }
+    }
+    return groups;
+}
+
+Variable
+Dsage::forward(const Graph &graph) const
+{
+    Variable h = constant(nodeFeatures(graph));
+    const auto groups = neighborhoods(graph);
+    for (int layer = 0; layer < config_.layers; ++layer) {
+        const Variable neigh = gatherMeanRows(h, groups);
+        h = relu(add(self_layers_[layer].forward(h),
+                     neigh_layers_[layer].forward(neigh)));
+    }
+    // Global mean pooling over all nodes.
+    std::vector<std::vector<int>> all(1);
+    all[0].reserve(graph.numNodes());
+    for (NodeId id = 0; id < graph.numNodes(); ++id)
+        all[0].push_back(static_cast<int>(id));
+    const Variable pooled = gatherMeanRows(h, all); // [1, hidden]
+    return head_->forward(pooled);                  // [1, 1]
+}
+
+void
+Dsage::fit(const std::vector<const Graph *> &graphs,
+           const std::vector<double> &timing_ps)
+{
+    SNS_ASSERT(graphs.size() == timing_ps.size() && !graphs.empty(),
+               "Dsage::fit needs matching, non-empty data");
+
+    // Log-space target standardization.
+    double sum = 0.0;
+    double sq = 0.0;
+    for (double t : timing_ps) {
+        const double lt = std::log(std::max(t, 1e-9));
+        sum += lt;
+        sq += lt * lt;
+    }
+    const double n = static_cast<double>(timing_ps.size());
+    target_mean_ = sum / n;
+    const double var = sq / n - target_mean_ * target_mean_;
+    target_std_ = var > 1e-8 ? std::sqrt(var) : 1.0;
+
+    std::vector<Variable> params;
+    for (int layer = 0; layer < config_.layers; ++layer) {
+        for (const auto &p : self_layers_[layer].parameters())
+            params.push_back(p);
+        for (const auto &p : neigh_layers_[layer].parameters())
+            params.push_back(p);
+    }
+    for (const auto &p : head_->parameters())
+        params.push_back(p);
+    nn::Adam optimizer(params, config_.learning_rate);
+
+    Rng rng(config_.seed + 1);
+    std::vector<size_t> order(graphs.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (size_t idx : order) {
+            optimizer.zeroGrad();
+            const Variable pred = forward(*graphs[idx]);
+            Tensor target({1, 1});
+            target.at2(0, 0) = static_cast<float>(
+                (std::log(std::max(timing_ps[idx], 1e-9)) -
+                 target_mean_) /
+                target_std_);
+            Variable loss = mseLoss(pred, target);
+            loss.backward();
+            optimizer.step();
+        }
+    }
+    fitted_ = true;
+}
+
+double
+Dsage::predictTiming(const Graph &graph) const
+{
+    SNS_ASSERT(fitted_, "predictTiming() before fit()");
+    NoGradGuard no_grad;
+    const Variable pred = forward(graph);
+    return std::exp(static_cast<double>(pred.value().at2(0, 0)) *
+                        target_std_ +
+                    target_mean_);
+}
+
+} // namespace sns::baselines

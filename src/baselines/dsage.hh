@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A D-SAGE-style baseline (Ustun et al. 2020): a GraphSAGE graph neural
+ * network with mean aggregation over the circuit graph, pooled into a
+ * design-level timing prediction.
+ *
+ * This reproduces the comparison row of Table 7: a GNN that sees the
+ * whole graph at once, against which SNS's path-based approach is
+ * evaluated. Node features are the one-hot unit type plus log width;
+ * K mean-aggregator layers propagate neighbourhood state; mean pooling
+ * plus a linear head regress log cycle time.
+ */
+
+#ifndef SNS_BASELINES_DSAGE_HH
+#define SNS_BASELINES_DSAGE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/datasets.hh"
+#include "nn/layers.hh"
+
+namespace sns::baselines {
+
+/** GraphSAGE baseline hyper-parameters. */
+struct DsageConfig
+{
+    int hidden_dim = 32;
+    int layers = 2;       ///< K-hop neighbourhood depth
+    int epochs = 120;
+    double learning_rate = 3e-3;
+    uint64_t seed = 0xd5a6e;
+};
+
+/** Design-level GNN timing predictor. */
+class Dsage
+{
+  public:
+    explicit Dsage(DsageConfig config = DsageConfig());
+
+    /** Train on design graphs with ground-truth cycle times. */
+    void fit(const std::vector<const graphir::Graph *> &graphs,
+             const std::vector<double> &timing_ps);
+
+    /** Predict one design's cycle time. */
+    double predictTiming(const graphir::Graph &graph) const;
+
+    bool fitted() const { return fitted_; }
+
+    const DsageConfig &config() const { return config_; }
+
+  private:
+    /** Per-node input feature matrix (one-hot type + log width). */
+    tensor::Tensor nodeFeatures(const graphir::Graph &graph) const;
+
+    /** Undirected neighbour lists for mean aggregation. */
+    std::vector<std::vector<int>> neighborhoods(
+        const graphir::Graph &graph) const;
+
+    /** Forward pass to the scalar normalized log-timing prediction. */
+    tensor::Variable forward(const graphir::Graph &graph) const;
+
+    DsageConfig config_;
+    Rng init_rng_;
+    /** Per layer: self transform and neighbour transform. */
+    std::vector<nn::Linear> self_layers_;
+    std::vector<nn::Linear> neigh_layers_;
+    std::unique_ptr<nn::Linear> head_;
+    bool fitted_ = false;
+    double target_mean_ = 0.0;
+    double target_std_ = 1.0;
+};
+
+} // namespace sns::baselines
+
+#endif // SNS_BASELINES_DSAGE_HH

@@ -1,0 +1,132 @@
+#include "baselines/linear_regression.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sns::baselines {
+
+using core::PathPrediction;
+using core::PathRecord;
+using graphir::TokenId;
+using graphir::Vocabulary;
+
+std::vector<double>
+solveLinearSystem(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const size_t n = b.size();
+    SNS_ASSERT(a.size() == n, "system dimensions mismatch");
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        size_t pivot = col;
+        for (size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        SNS_ASSERT(std::fabs(a[col][col]) > 1e-12,
+                   "singular system (increase ridge)");
+
+        for (size_t row = col + 1; row < n; ++row) {
+            const double factor = a[row][col] / a[col][col];
+            if (factor == 0.0)
+                continue;
+            for (size_t k = col; k < n; ++k)
+                a[row][k] -= factor * a[col][k];
+            b[row] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (size_t row = n; row-- > 0;) {
+        double acc = b[row];
+        for (size_t k = row + 1; k < n; ++k)
+            acc -= a[row][k] * x[k];
+        x[row] = acc / a[row][row];
+    }
+    return x;
+}
+
+LinearPathRegression::LinearPathRegression(double ridge) : ridge_(ridge)
+{
+}
+
+std::vector<double>
+LinearPathRegression::features(const std::vector<TokenId> &tokens) const
+{
+    const auto &vocab = Vocabulary::instance();
+    std::vector<double> f(vocab.circuitSize() + 2, 0.0);
+    for (TokenId token : tokens) {
+        SNS_ASSERT(token >= 0 && token < vocab.circuitSize(),
+                   "non-circuit token in path");
+        f[token] += 1.0;
+    }
+    f[vocab.circuitSize()] = static_cast<double>(tokens.size());
+    f[vocab.circuitSize() + 1] = 1.0; // bias
+    return f;
+}
+
+void
+LinearPathRegression::fit(const std::vector<PathRecord> &records)
+{
+    SNS_ASSERT(!records.empty(), "fit() needs records");
+    const size_t dim = features(records.front().tokens).size();
+
+    // Normal equations with ridge: (X^T X + rI) w = X^T y.
+    std::vector<std::vector<double>> xtx(
+        dim, std::vector<double>(dim, 0.0));
+    std::vector<std::vector<double>> xty(3, std::vector<double>(dim, 0.0));
+
+    for (const auto &record : records) {
+        const auto f = features(record.tokens);
+        const double y[3] = {std::log(std::max(record.timing_ps, 1e-9)),
+                             std::log(std::max(record.area_um2, 1e-9)),
+                             std::log(std::max(record.power_mw, 1e-9))};
+        for (size_t i = 0; i < dim; ++i) {
+            if (f[i] == 0.0)
+                continue;
+            for (size_t j = 0; j < dim; ++j)
+                xtx[i][j] += f[i] * f[j];
+            for (int t = 0; t < 3; ++t)
+                xty[t][i] += f[i] * y[t];
+        }
+    }
+    for (size_t i = 0; i < dim; ++i)
+        xtx[i][i] += ridge_;
+
+    weights_.clear();
+    for (int t = 0; t < 3; ++t)
+        weights_.push_back(solveLinearSystem(xtx, xty[t]));
+    fitted_ = true;
+}
+
+PathPrediction
+LinearPathRegression::predict(const std::vector<TokenId> &tokens) const
+{
+    SNS_ASSERT(fitted_, "predict() before fit()");
+    const auto f = features(tokens);
+    double logs[3] = {0.0, 0.0, 0.0};
+    for (int t = 0; t < 3; ++t) {
+        for (size_t i = 0; i < f.size(); ++i)
+            logs[t] += weights_[t][i] * f[i];
+    }
+    PathPrediction p;
+    p.timing_ps = std::exp(logs[0]);
+    p.area_um2 = std::exp(logs[1]);
+    p.power_mw = std::exp(logs[2]);
+    return p;
+}
+
+std::vector<PathPrediction>
+LinearPathRegression::predictAll(
+    const std::vector<std::vector<TokenId>> &paths) const
+{
+    std::vector<PathPrediction> out;
+    out.reserve(paths.size());
+    for (const auto &path : paths)
+        out.push_back(predict(path));
+    return out;
+}
+
+} // namespace sns::baselines

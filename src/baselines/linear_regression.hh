@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The §3.3 strawman baseline: a linear (ridge) regression that predicts
+ * a circuit path's physical characteristics from its token counts
+ * alone. By construction it cannot distinguish [mul, add] from
+ * [add, mul] — the ordering blindness that motivates the
+ * Circuitformer — and the ablation bench quantifies exactly that gap.
+ */
+
+#ifndef SNS_BASELINES_LINEAR_REGRESSION_HH
+#define SNS_BASELINES_LINEAR_REGRESSION_HH
+
+#include <vector>
+
+#include "core/datasets.hh"
+#include "core/circuitformer.hh"
+
+namespace sns::baselines {
+
+/** Closed-form ridge regression over path token-count features. */
+class LinearPathRegression
+{
+  public:
+    /** @param ridge L2 regularization strength */
+    explicit LinearPathRegression(double ridge = 1e-3);
+
+    /** Fit on labelled circuit paths (targets learned in log space). */
+    void fit(const std::vector<core::PathRecord> &records);
+
+    /** Predict one path. */
+    core::PathPrediction predict(
+        const std::vector<graphir::TokenId> &tokens) const;
+
+    /** Predict many paths. */
+    std::vector<core::PathPrediction> predictAll(
+        const std::vector<std::vector<graphir::TokenId>> &paths) const;
+
+    bool fitted() const { return fitted_; }
+
+  private:
+    /** Token-count feature vector (+1 bias and +1 length feature). */
+    std::vector<double> features(
+        const std::vector<graphir::TokenId> &tokens) const;
+
+    double ridge_;
+    bool fitted_ = false;
+    /** weights_[target][feature], targets = timing/area/power logs. */
+    std::vector<std::vector<double>> weights_;
+};
+
+/**
+ * Solve the symmetric positive-definite system A x = b in place via
+ * Gaussian elimination with partial pivoting. Exposed for testing.
+ */
+std::vector<double> solveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b);
+
+} // namespace sns::baselines
+
+#endif // SNS_BASELINES_LINEAR_REGRESSION_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The BOOM case study (§5.6): a parametric out-of-order RISC-V-style
+ * core generator over the Table-10 design space (2592 configurations)
+ * plus an analytic CoreMark performance model standing in for the
+ * Chipyard cycle-accurate simulation.
+ *
+ * The generator scales real microarchitectural structures with the
+ * parameters — fetch buffer, branch predictor tables, rename map and
+ * free list, ROB entries, issue-queue wakeup CAMs, physical register
+ * file with per-lane read ports, ALUs/MUL/DIV, load-store unit ports,
+ * and L1-D tag ways — so the predicted area/power/timing respond to
+ * the parameters the way the paper's DSE expects.
+ */
+
+#ifndef SNS_BOOM_BOOM_HH
+#define SNS_BOOM_BOOM_HH
+
+#include <string>
+#include <vector>
+
+#include "graphir/graph.hh"
+
+namespace sns::boom {
+
+/** Branch predictor organizations of Table 10. */
+enum class BranchPredictor
+{
+    TageL,
+    Boom2,
+    Alpha21264,
+};
+
+/** Printable predictor name. */
+const char *branchPredictorName(BranchPredictor bpred);
+
+/** One point of the Table-10 design space. */
+struct BoomParams
+{
+    BranchPredictor bpred = BranchPredictor::TageL;
+    int core_width = 2;   ///< 1, 2, 3, 4
+    int mem_ports = 1;    ///< 1, 2
+    int fetch_width = 4;  ///< 4, 8
+    int rob_size = 64;    ///< 32, 64, 96
+    int int_regs = 80;    ///< 52, 80, 100
+    int issue_slots = 16; ///< 8, 16, 32
+    int l1d_ways = 4;     ///< 4, 8
+
+    /** Unique configuration name, e.g. "boom_tage_w4_m1_f8_r64_...". */
+    std::string name() const;
+};
+
+/** Build the GraphIR circuit for one configuration. */
+graphir::Graph buildBoomCore(const BoomParams &params);
+
+/** Enumerate the full 2592-point Table-10 design space. */
+std::vector<BoomParams> boomDesignSpace();
+
+/**
+ * Analytic CoreMark performance model (the paper's Chipyard+CoreMark
+ * substitute).
+ *
+ * Encodes the first-order out-of-order effects the paper's DSE
+ * discussion relies on: IPC saturates at the decode width, window ILP
+ * follows a square-root law in min(ROB, registers, issue capacity),
+ * extra issue slots beyond what the width can drain are wasted, branch
+ * mispredictions charge a pipeline refill, and CoreMark is compute
+ * bound so a second memory port buys nothing.
+ */
+class CoreMarkModel
+{
+  public:
+    /** Sustained instructions per cycle for a configuration. */
+    static double ipc(const BoomParams &params);
+
+    /** Branch predictor accuracy on CoreMark's branch mix. */
+    static double predictorAccuracy(BranchPredictor bpred);
+
+    /**
+     * CoreMark-like score: IPC x frequency, in arbitrary units
+     * proportional to iterations/second.
+     * @param freq_ghz clock from synthesis (or SNS prediction)
+     */
+    static double score(const BoomParams &params, double freq_ghz);
+};
+
+} // namespace sns::boom
+
+#endif // SNS_BOOM_BOOM_HH

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * GraphIR construction for the parametric BOOM-like core.
+ */
+
+#include "boom/boom.hh"
+
+#include "netlist/circuit_builder.hh"
+#include "util/logging.hh"
+
+namespace sns::boom {
+
+using graphir::NodeId;
+using graphir::NodeType;
+using netlist::CircuitBuilder;
+
+const char *
+branchPredictorName(BranchPredictor bpred)
+{
+    switch (bpred) {
+      case BranchPredictor::TageL:
+        return "tage";
+      case BranchPredictor::Boom2:
+        return "boom2";
+      case BranchPredictor::Alpha21264:
+        return "alpha";
+    }
+    panic("unhandled BranchPredictor");
+}
+
+std::string
+BoomParams::name() const
+{
+    return std::string("boom_") + branchPredictorName(bpred) + "_w" +
+           std::to_string(core_width) + "_m" + std::to_string(mem_ports) +
+           "_f" + std::to_string(fetch_width) + "_r" +
+           std::to_string(rob_size) + "_p" + std::to_string(int_regs) +
+           "_i" + std::to_string(issue_slots) + "_c" +
+           std::to_string(l1d_ways);
+}
+
+namespace {
+
+/** A register bank read through a mux tree by `ports` select inputs. */
+std::vector<NodeId>
+bankedStorage(CircuitBuilder &cb, int entries, int width, int ports)
+{
+    std::vector<NodeId> storage;
+    storage.reserve(entries);
+    for (int i = 0; i < entries; ++i)
+        storage.push_back(cb.dff(width));
+    std::vector<NodeId> reads;
+    for (int p = 0; p < ports; ++p) {
+        const NodeId sel = cb.input(8);
+        reads.push_back(cb.muxTree(width, sel, storage));
+    }
+    return reads;
+}
+
+/** Branch predictor structures; returns the taken/not-taken signal. */
+NodeId
+buildPredictor(CircuitBuilder &cb, BranchPredictor bpred, NodeId pc)
+{
+    switch (bpred) {
+      case BranchPredictor::TageL: {
+        // Four tagged geometric-history tables, each with a banked
+        // counter store, tag compare, and a priority mux chain picking
+        // the longest-history hit. TAGE is the largest of the three
+        // organizations, as in real frontends.
+        NodeId provider = cb.dff(4);
+        for (int table = 0; table < 4; ++table) {
+            const NodeId history = cb.dff(16);
+            const NodeId index = cb.bxor(16, pc, history);
+            const NodeId tag = cb.dff(16);
+            const NodeId hit = cb.eq(16, index, tag);
+            auto counters = bankedStorage(cb, 8, 4, 1);
+            const NodeId useful = cb.dff(4);
+            const NodeId entry = cb.band(4, counters[0], useful);
+            provider = cb.mux(4, hit, entry, provider);
+        }
+        return cb.reduceOr(provider);
+      }
+      case BranchPredictor::Boom2: {
+        // gshare: global history xor pc indexes a counter bank.
+        const NodeId history = cb.dff(16);
+        const NodeId index = cb.bxor(16, pc, history);
+        auto counters = bankedStorage(cb, 16, 4, 1);
+        const NodeId chosen = cb.mux(4, cb.reduceOr(index),
+                                     counters[0], counters[0]);
+        return cb.reduceOr(chosen);
+      }
+      case BranchPredictor::Alpha21264: {
+        // Tournament: local history table, global counters, chooser.
+        auto local = bankedStorage(cb, 8, 16, 1);
+        const NodeId local_counter = cb.dff(4);
+        const NodeId local_pred = cb.lgt(16, local[0], local[0]);
+        const NodeId global_counter = cb.dff(4);
+        const NodeId global_pred = cb.reduceOr(global_counter);
+        const NodeId choice = cb.dff(4);
+        const NodeId pick =
+            cb.mux(4, choice, global_pred, local_pred);
+        return cb.reduceOr(cb.band(4, pick, local_counter));
+      }
+    }
+    panic("unhandled BranchPredictor");
+}
+
+/** One single-cycle ALU lane. */
+NodeId
+buildAlu(CircuitBuilder &cb, int width, NodeId a, NodeId b, NodeId op)
+{
+    const NodeId sum = cb.add(width, a, b);
+    const NodeId diff = cb.add(width, a, cb.bnot(width, b));
+    const NodeId logic_and = cb.band(width, a, b);
+    const NodeId logic_xor = cb.bxor(width, a, b);
+    const NodeId shift = cb.shifter(width, a, b);
+    const NodeId cmp = cb.lgt(width, a, b);
+    return cb.muxTree(width, op,
+                      {sum, diff, logic_and, logic_xor, shift, cmp});
+}
+
+} // namespace
+
+graphir::Graph
+buildBoomCore(const BoomParams &params)
+{
+    constexpr int kXlen = 64;
+    CircuitBuilder cb(params.name());
+
+    // --- Frontend: fetch buffer + next-PC + branch predictor. --------
+    const NodeId pc = cb.dff(kXlen);
+    const NodeId fetch_in = cb.input(32);
+    std::vector<NodeId> fetch_buffer;
+    NodeId stage = fetch_in;
+    for (int i = 0; i < params.fetch_width; ++i) {
+        stage = cb.reg(32, stage);
+        fetch_buffer.push_back(stage);
+    }
+    // The prediction is registered before steering the PC — real
+    // frontends pipeline the predictor, so its table depth must not
+    // stretch the next-PC critical path.
+    const NodeId taken =
+        cb.reg(4, buildPredictor(cb, params.bpred, pc));
+    const NodeId step = cb.dff(kXlen);
+    const NodeId target = cb.add(kXlen, pc, step);
+    const NodeId redirect = cb.add(kXlen, pc, pc);
+    cb.connect(cb.mux(kXlen, taken, redirect, target), pc);
+
+    // --- Decode + rename: per-lane decoders, map table, free list. ---
+    const NodeId fetch_pick = cb.input(8);
+    std::vector<NodeId> decoded;
+    for (int lane = 0; lane < params.core_width; ++lane) {
+        const NodeId slot = cb.muxTree(32, fetch_pick, fetch_buffer);
+        const NodeId opcode = cb.band(32, slot, slot);
+        decoded.push_back(cb.shifter(32, opcode, slot));
+    }
+    // Rename map table: 32 architectural tags.
+    auto map_reads = bankedStorage(cb, 32, 8, 2 * params.core_width);
+    // Free list sized with the physical register count.
+    std::vector<NodeId> free_bits;
+    for (int i = 0; i < params.int_regs / 4; ++i)
+        free_bits.push_back(cb.dff(4));
+    const NodeId free_any = cb.reduceOr(
+        cb.reduceTree(NodeType::Or, 4, free_bits));
+
+    // --- ROB: entries with completion compare + head/tail control. ---
+    const NodeId complete_tag = cb.input(8);
+    std::vector<NodeId> rob_done;
+    for (int entry = 0; entry < params.rob_size; ++entry) {
+        const NodeId tag = cb.dff(8);
+        const NodeId done = cb.dff(4);
+        const NodeId hit = cb.eq(8, tag, complete_tag);
+        cb.connect(cb.mux(4, hit, done, done), done);
+        if (entry % 8 == 0)
+            rob_done.push_back(cb.band(4, hit, done));
+    }
+    const NodeId can_commit = cb.reduceOr(
+        cb.reduceTree(NodeType::Or, 4, rob_done));
+
+    // --- Issue queue: wakeup CAM per slot per lane. -------------------
+    std::vector<NodeId> grants;
+    for (int slot = 0; slot < params.issue_slots; ++slot) {
+        const NodeId src1 = cb.dff(8);
+        const NodeId src2 = cb.dff(8);
+        const NodeId ready1 = cb.eq(8, src1, complete_tag);
+        const NodeId ready2 = cb.eq(8, src2, complete_tag);
+        grants.push_back(cb.band(8, ready1, ready2));
+    }
+    const NodeId grant_any =
+        cb.reduceOr(cb.reduceTree(NodeType::Or, 8, grants));
+
+    // --- Physical register file: 2 read ports per lane. ---------------
+    auto rf_reads = bankedStorage(cb, params.int_regs, kXlen,
+                                  2 * params.core_width);
+
+    // --- Execute: one ALU per lane + shared MUL/DIV. -------------------
+    const NodeId op_sel = cb.input(8);
+    std::vector<NodeId> results;
+    for (int lane = 0; lane < params.core_width; ++lane) {
+        const NodeId a = rf_reads[2 * lane];
+        const NodeId b = rf_reads[2 * lane + 1];
+        const NodeId gated =
+            cb.mux(kXlen, grant_any, b, decoded[lane % decoded.size()]);
+        results.push_back(cb.reg(buildAlu(cb, kXlen, a, gated, op_sel)));
+    }
+    const NodeId mul = cb.reg(cb.mul(kXlen, rf_reads[0], rf_reads[1]));
+    const NodeId div = cb.reg(cb.div(kXlen, rf_reads[0], rf_reads[1]));
+
+    // --- LSU: per-port AGU + store-queue CAM. --------------------------
+    std::vector<NodeId> mem_results;
+    for (int port = 0; port < params.mem_ports; ++port) {
+        const NodeId base = rf_reads[port % rf_reads.size()];
+        const NodeId addr = cb.add(kXlen, base, step);
+        std::vector<NodeId> stq_hits;
+        for (int entry = 0; entry < 8; ++entry) {
+            const NodeId stq_addr = cb.dff(kXlen);
+            stq_hits.push_back(cb.eq(kXlen, addr, stq_addr));
+        }
+        const NodeId fwd =
+            cb.reduceTree(NodeType::Or, kXlen, stq_hits);
+        const NodeId mem_data = cb.input(kXlen);
+        mem_results.push_back(
+            cb.reg(cb.mux(kXlen, cb.reduceOr(fwd), mem_data, addr)));
+    }
+
+    // --- L1-D tags: one tag compare per way + way select. --------------
+    std::vector<NodeId> way_hits;
+    const NodeId line_addr = cb.band(kXlen, mem_results[0],
+                                     mem_results[0]);
+    for (int way = 0; way < params.l1d_ways; ++way) {
+        const NodeId tag = cb.dff(32);
+        way_hits.push_back(cb.eq(32, tag, line_addr));
+    }
+    const NodeId way_sel =
+        cb.reduceTree(NodeType::Or, 32, way_hits);
+    const NodeId hit = cb.reduceOr(way_sel);
+
+    // --- Writeback / commit. -------------------------------------------
+    const NodeId wb_sel = cb.input(8);
+    std::vector<NodeId> wb_candidates = results;
+    wb_candidates.push_back(mul);
+    wb_candidates.push_back(div);
+    for (NodeId m : mem_results)
+        wb_candidates.push_back(m);
+    const NodeId wb = cb.muxTree(kXlen, wb_sel, wb_candidates);
+    const NodeId committed =
+        cb.mux(kXlen, cb.band(4, can_commit, cb.band(4, free_any, hit)),
+               wb, map_reads[0]);
+    cb.output(kXlen, {cb.reg(committed)});
+    return cb.build();
+}
+
+std::vector<BoomParams>
+boomDesignSpace()
+{
+    std::vector<BoomParams> space;
+    for (BranchPredictor bpred :
+         {BranchPredictor::TageL, BranchPredictor::Boom2,
+          BranchPredictor::Alpha21264}) {
+        for (int width : {1, 2, 3, 4}) {
+            for (int ports : {1, 2}) {
+                for (int fetch : {4, 8}) {
+                    for (int rob : {32, 64, 96}) {
+                        for (int regs : {52, 80, 100}) {
+                            for (int issue : {8, 16, 32}) {
+                                for (int ways : {4, 8}) {
+                                    BoomParams params;
+                                    params.bpred = bpred;
+                                    params.core_width = width;
+                                    params.mem_ports = ports;
+                                    params.fetch_width = fetch;
+                                    params.rob_size = rob;
+                                    params.int_regs = regs;
+                                    params.issue_slots = issue;
+                                    params.l1d_ways = ways;
+                                    space.push_back(params);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    SNS_ASSERT(space.size() == 2592, "Table 10 expects 2592 points");
+    return space;
+}
+
+} // namespace sns::boom

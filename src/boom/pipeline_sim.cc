@@ -1,0 +1,241 @@
+#include "boom/pipeline_sim.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace sns::boom {
+
+std::vector<TraceInstr>
+SyntheticTrace::coreMark(size_t length, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TraceInstr> trace;
+    trace.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+        TraceInstr instr;
+        const double roll = rng.uniform();
+        if (roll < 0.20) {
+            instr.kind = TraceInstr::Kind::Branch;
+        } else if (roll < 0.40) {
+            instr.kind = TraceInstr::Kind::Load;
+        } else if (roll < 0.45) {
+            instr.kind = TraceInstr::Kind::Store;
+        } else if (roll < 0.49) {
+            instr.kind = TraceInstr::Kind::Mul;
+        } else if (roll < 0.50) {
+            instr.kind = TraceInstr::Kind::Div;
+        } else {
+            instr.kind = TraceInstr::Kind::Alu;
+        }
+        // CoreMark is dependency-dense: linked-list walks and CRC
+        // folding produce short producer-consumer distances.
+        auto draw_dist = [&rng, i]() -> int {
+            if (rng.bernoulli(0.35))
+                return 0; // immediate / no register source
+            const int dist =
+                1 + static_cast<int>(rng.uniformInt(uint64_t{7}));
+            return static_cast<int>(std::min<size_t>(dist, i));
+        };
+        instr.src1_dist = draw_dist();
+        instr.src2_dist = draw_dist();
+        trace.push_back(instr);
+    }
+    return trace;
+}
+
+namespace {
+
+int
+latencyOf(TraceInstr::Kind kind)
+{
+    switch (kind) {
+      case TraceInstr::Kind::Alu:
+      case TraceInstr::Kind::Store:
+      case TraceInstr::Kind::Branch:
+        return 1;
+      case TraceInstr::Kind::Load:
+        return 2;
+      case TraceInstr::Kind::Mul:
+        return 3;
+      case TraceInstr::Kind::Div:
+        return 12;
+    }
+    return 1;
+}
+
+constexpr int kMispredictPenalty = 10;
+constexpr int kMissPenalty = 18;
+
+double
+l1HitRate(int ways)
+{
+    return ways >= 8 ? 0.995 : 0.988;
+}
+
+/** An instruction in flight. */
+struct RobEntry
+{
+    size_t trace_index = 0;
+    bool issued = false;
+    bool completed = false;
+    uint64_t complete_cycle = 0;
+};
+
+} // namespace
+
+PipelineSimulator::PipelineSimulator(const BoomParams &params,
+                                     uint64_t seed)
+    : params_(params), seed_(seed)
+{
+}
+
+SimResult
+PipelineSimulator::run(const std::vector<TraceInstr> &trace)
+{
+    SNS_ASSERT(!trace.empty(), "empty trace");
+    Rng rng(seed_);
+    SimResult result;
+
+    // Completion cycle per trace index (for dependency wakeup).
+    std::vector<uint64_t> completion(trace.size(), 0);
+    std::vector<bool> done(trace.size(), false);
+
+    std::deque<RobEntry> rob;
+    const double accuracy =
+        CoreMarkModel::predictorAccuracy(params_.bpred);
+    const double hit_rate = l1HitRate(params_.l1d_ways);
+    // In-flight destination registers are bounded by the physical
+    // registers beyond the 32 architectural ones.
+    const size_t max_inflight = std::min<size_t>(
+        params_.rob_size,
+        static_cast<size_t>(std::max(1, params_.int_regs - 32)));
+
+    size_t next_fetch = 0;        // next trace index to fetch
+    uint64_t fetch_stall_until = 0; // frontend redirect penalty
+    size_t fetched_not_dispatched = 0; // fetch-buffer occupancy
+    size_t waiting_in_iq = 0;     // dispatched but not yet issued
+    size_t retired = 0;
+    uint64_t cycle = 0;
+
+    const size_t fetch_buffer_capacity = params_.fetch_width;
+
+    while (retired < trace.size()) {
+        ++cycle;
+        SNS_ASSERT(cycle < 200ull * trace.size() + 100000ull,
+                   "pipeline simulator livelock");
+
+        // --- Commit: oldest completed instructions, in order. --------
+        int commits = 0;
+        while (!rob.empty() && commits < params_.core_width) {
+            RobEntry &head = rob.front();
+            if (!head.completed || head.complete_cycle > cycle)
+                break;
+            done[head.trace_index] = true;
+            rob.pop_front();
+            ++retired;
+            ++commits;
+        }
+
+        // --- Issue/execute: wake up ready instructions. --------------
+        int issued_this_cycle = 0;
+        int mem_issued = 0;
+        for (auto &entry : rob) {
+            if (issued_this_cycle >= params_.core_width)
+                break;
+            if (entry.issued)
+                continue;
+            const TraceInstr &instr = trace[entry.trace_index];
+            const bool is_mem = instr.kind == TraceInstr::Kind::Load ||
+                                instr.kind == TraceInstr::Kind::Store;
+            if (is_mem && mem_issued >= params_.mem_ports)
+                continue;
+
+            // Operand readiness: producers completed by this cycle.
+            auto ready = [&](int dist) {
+                if (dist == 0)
+                    return true;
+                const size_t producer = entry.trace_index - dist;
+                return done[producer] ||
+                       (completion[producer] != 0 &&
+                        completion[producer] <= cycle);
+            };
+            if (static_cast<int>(entry.trace_index) - instr.src1_dist <
+                    0 ||
+                !ready(instr.src1_dist) || !ready(instr.src2_dist)) {
+                continue;
+            }
+
+            int latency = latencyOf(instr.kind);
+            if (instr.kind == TraceInstr::Kind::Load &&
+                !rng.bernoulli(hit_rate)) {
+                latency += kMissPenalty;
+                ++result.l1_misses;
+            }
+            entry.issued = true;
+            entry.completed = true;
+            entry.complete_cycle = cycle + latency;
+            completion[entry.trace_index] = cycle + latency;
+            ++issued_this_cycle;
+            --waiting_in_iq;
+            mem_issued += is_mem;
+
+            if (instr.kind == TraceInstr::Kind::Branch &&
+                !rng.bernoulli(accuracy)) {
+                // Mispredict: flush the frontend; fetch resumes after
+                // resolution plus the refill penalty.
+                ++result.branch_mispredicts;
+                fetch_stall_until = std::max(
+                    fetch_stall_until,
+                    entry.complete_cycle + kMispredictPenalty);
+                // Squash the (wrong-path) fetch buffer; those trace
+                // slots must be re-fetched after the redirect.
+                next_fetch -= fetched_not_dispatched;
+                fetched_not_dispatched = 0;
+            }
+        }
+
+        // --- Dispatch: fetch buffer -> ROB. ----------------------------
+        int dispatched = 0;
+        while (dispatched < params_.core_width &&
+               fetched_not_dispatched > 0 &&
+               rob.size() < static_cast<size_t>(params_.rob_size) &&
+               rob.size() < max_inflight &&
+               waiting_in_iq <
+                   static_cast<size_t>(params_.issue_slots)) {
+            RobEntry entry;
+            entry.trace_index = next_fetch - fetched_not_dispatched;
+            rob.push_back(entry);
+            --fetched_not_dispatched;
+            ++waiting_in_iq;
+            ++dispatched;
+        }
+
+        // --- Fetch: refill the buffer unless redirecting. --------------
+        if (cycle >= fetch_stall_until) {
+            size_t supplied = 0;
+            while (supplied < static_cast<size_t>(params_.fetch_width) /
+                                  2 &&
+                   fetched_not_dispatched < fetch_buffer_capacity &&
+                   next_fetch < trace.size()) {
+                ++next_fetch;
+                ++fetched_not_dispatched;
+                ++supplied;
+                // A taken branch ends the fetch group.
+                if (trace[next_fetch - 1].kind ==
+                        TraceInstr::Kind::Branch &&
+                    rng.bernoulli(0.5)) {
+                    break;
+                }
+            }
+        }
+    }
+
+    result.cycles = cycle;
+    result.instructions = trace.size();
+    return result;
+}
+
+} // namespace sns::boom

@@ -1,0 +1,279 @@
+#include "core/circuitformer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/serialize.hh"
+#include "util/logging.hh"
+
+namespace sns::core {
+
+using namespace sns::tensor;
+using graphir::TokenId;
+using graphir::Vocabulary;
+
+namespace {
+
+constexpr double kLogFloor = 1e-9;
+
+double
+safeLog(double value)
+{
+    return std::log(std::max(value, kLogFloor));
+}
+
+} // namespace
+
+CircuitformerConfig::CircuitformerConfig()
+{
+    encoder.vocab_size = Vocabulary::instance().totalSize();
+    encoder.max_positions = 512;
+    encoder.d_model = 128;
+    encoder.heads = 2;
+    encoder.layers = 2;
+    encoder.d_ff = 512;
+}
+
+CircuitformerConfig
+CircuitformerConfig::small()
+{
+    CircuitformerConfig config;
+    config.encoder.max_positions = 96;
+    config.encoder.d_model = 32;
+    config.encoder.heads = 2;
+    config.encoder.layers = 2;
+    config.encoder.d_ff = 64;
+    config.head_hidden = 32;
+    return config;
+}
+
+Circuitformer::Circuitformer(CircuitformerConfig config)
+    : config_(config),
+      init_rng_(config.seed),
+      encoder_(config_.encoder, init_rng_),
+      head_({config_.encoder.d_model, config_.head_hidden, 3}, init_rng_)
+{
+}
+
+void
+Circuitformer::fitNormalization(const std::vector<PathRecord> &records)
+{
+    SNS_ASSERT(!records.empty(), "fitNormalization needs records");
+    std::array<double, 3> sum{};
+    std::array<double, 3> sq{};
+    for (const auto &record : records) {
+        const std::array<double, 3> logs = {safeLog(record.timing_ps),
+                                            safeLog(record.area_um2),
+                                            safeLog(record.power_mw)};
+        for (int t = 0; t < 3; ++t) {
+            sum[t] += logs[t];
+            sq[t] += logs[t] * logs[t];
+        }
+    }
+    const double n = static_cast<double>(records.size());
+    for (int t = 0; t < 3; ++t) {
+        target_mean_[t] = sum[t] / n;
+        const double var = sq[t] / n - target_mean_[t] * target_mean_[t];
+        target_std_[t] = var > 1e-8 ? std::sqrt(var) : 1.0;
+    }
+    normalized_ = true;
+}
+
+std::array<float, 3>
+Circuitformer::normalizedTargets(const PathRecord &record) const
+{
+    SNS_ASSERT(normalized_, "fitNormalization() must run first");
+    const std::array<double, 3> logs = {safeLog(record.timing_ps),
+                                        safeLog(record.area_um2),
+                                        safeLog(record.power_mw)};
+    std::array<float, 3> out;
+    for (int t = 0; t < 3; ++t) {
+        out[t] = static_cast<float>((logs[t] - target_mean_[t]) /
+                                    target_std_[t]);
+    }
+    return out;
+}
+
+void
+Circuitformer::pack(
+    const std::vector<const std::vector<TokenId> *> &paths,
+    std::vector<int> &ids, int &time, std::vector<int> &lengths) const
+{
+    const int batch = static_cast<int>(paths.size());
+    const int cap = config_.encoder.max_positions;
+    time = 1;
+    lengths.assign(batch, 0);
+    for (int b = 0; b < batch; ++b) {
+        lengths[b] = std::min<int>(cap, paths[b]->size());
+        time = std::max(time, lengths[b]);
+    }
+    ids.assign(static_cast<size_t>(batch) * time,
+               Vocabulary::instance().padId());
+    for (int b = 0; b < batch; ++b) {
+        for (int t = 0; t < lengths[b]; ++t)
+            ids[static_cast<size_t>(b) * time + t] = (*paths[b])[t];
+    }
+}
+
+Variable
+Circuitformer::forwardBatch(const std::vector<int> &ids, int batch,
+                            int time,
+                            const std::vector<int> &lengths) const
+{
+    const Variable pooled = encoder_.encode(ids, batch, time, lengths);
+    return head_.forward(pooled); // [B, 3] normalized log targets
+}
+
+double
+Circuitformer::trainEpoch(const std::vector<PathRecord> &records,
+                          nn::Adam &optimizer, Rng &rng, int batch_size)
+{
+    SNS_ASSERT(normalized_, "fitNormalization() before trainEpoch()");
+    std::vector<size_t> order(records.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    double total = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size(); start += batch_size) {
+        const size_t end =
+            std::min(order.size(), start + static_cast<size_t>(batch_size));
+        std::vector<const std::vector<TokenId> *> batch_paths;
+        Tensor targets({static_cast<int>(end - start), 3});
+        for (size_t i = start; i < end; ++i) {
+            const auto &record = records[order[i]];
+            batch_paths.push_back(&record.tokens);
+            const auto y = normalizedTargets(record);
+            for (int t = 0; t < 3; ++t)
+                targets.at2(static_cast<int>(i - start), t) = y[t];
+        }
+
+        std::vector<int> ids;
+        std::vector<int> lengths;
+        int time = 0;
+        pack(batch_paths, ids, time, lengths);
+
+        optimizer.zeroGrad();
+        Variable loss = mseLoss(
+            forwardBatch(ids, static_cast<int>(batch_paths.size()), time,
+                         lengths),
+            targets);
+        loss.backward();
+        nn::clipGradNorm(parameters(), 5.0);
+        optimizer.step();
+        total += loss.value()[0];
+        ++batches;
+    }
+    return batches == 0 ? 0.0 : total / batches;
+}
+
+double
+Circuitformer::evaluateLoss(const std::vector<PathRecord> &records,
+                            int batch_size)
+{
+    SNS_ASSERT(normalized_, "fitNormalization() before evaluateLoss()");
+    NoGradGuard no_grad;
+    double total = 0.0;
+    double weight = 0.0;
+    for (size_t start = 0; start < records.size(); start += batch_size) {
+        const size_t end = std::min(records.size(),
+                                    start + static_cast<size_t>(batch_size));
+        std::vector<const std::vector<TokenId> *> batch_paths;
+        Tensor targets({static_cast<int>(end - start), 3});
+        for (size_t i = start; i < end; ++i) {
+            batch_paths.push_back(&records[i].tokens);
+            const auto y = normalizedTargets(records[i]);
+            for (int t = 0; t < 3; ++t)
+                targets.at2(static_cast<int>(i - start), t) = y[t];
+        }
+        std::vector<int> ids;
+        std::vector<int> lengths;
+        int time = 0;
+        pack(batch_paths, ids, time, lengths);
+        const Variable loss = mseLoss(
+            forwardBatch(ids, static_cast<int>(batch_paths.size()), time,
+                         lengths),
+            targets);
+        total += loss.value()[0] * static_cast<double>(end - start);
+        weight += static_cast<double>(end - start);
+    }
+    return weight == 0.0 ? 0.0 : total / weight;
+}
+
+std::vector<PathPrediction>
+Circuitformer::predict(const std::vector<std::vector<TokenId>> &paths,
+                       int batch_size) const
+{
+    SNS_ASSERT(normalized_, "fitNormalization() before predict()");
+    NoGradGuard no_grad;
+    std::vector<PathPrediction> out;
+    out.reserve(paths.size());
+    for (size_t start = 0; start < paths.size(); start += batch_size) {
+        const size_t end = std::min(paths.size(),
+                                    start + static_cast<size_t>(batch_size));
+        std::vector<const std::vector<TokenId> *> batch_paths;
+        for (size_t i = start; i < end; ++i)
+            batch_paths.push_back(&paths[i]);
+        std::vector<int> ids;
+        std::vector<int> lengths;
+        int time = 0;
+        pack(batch_paths, ids, time, lengths);
+        const Variable pred = forwardBatch(
+            ids, static_cast<int>(batch_paths.size()), time, lengths);
+        for (size_t i = 0; i < batch_paths.size(); ++i) {
+            PathPrediction p;
+            const int row_idx = static_cast<int>(i);
+            p.timing_ps = std::exp(
+                pred.value().at2(row_idx, 0) * target_std_[0] +
+                target_mean_[0]);
+            p.area_um2 = std::exp(
+                pred.value().at2(row_idx, 1) * target_std_[1] +
+                target_mean_[1]);
+            p.power_mw = std::exp(
+                pred.value().at2(row_idx, 2) * target_std_[2] +
+                target_mean_[2]);
+            out.push_back(p);
+        }
+    }
+    return out;
+}
+
+std::vector<Variable>
+Circuitformer::parameters() const
+{
+    std::vector<Variable> params = encoder_.parameters();
+    for (const auto &param : head_.parameters())
+        params.push_back(param);
+    return params;
+}
+
+void
+Circuitformer::save(const std::string &path) const
+{
+    SNS_ASSERT(normalized_, "save() before fitNormalization()");
+    std::vector<Variable> all = parameters();
+    Tensor norm({6});
+    for (int t = 0; t < 3; ++t) {
+        norm[t] = static_cast<float>(target_mean_[t]);
+        norm[3 + t] = static_cast<float>(target_std_[t]);
+    }
+    all.push_back(Variable(norm));
+    nn::saveParameters(path, all);
+}
+
+void
+Circuitformer::load(const std::string &path)
+{
+    std::vector<Variable> all = parameters();
+    all.push_back(Variable(Tensor({6})));
+    nn::loadParameters(path, all);
+    const Tensor &norm = all.back().value();
+    for (int t = 0; t < 3; ++t) {
+        target_mean_[t] = norm[t];
+        target_std_[t] = norm[3 + t];
+    }
+    normalized_ = true;
+}
+
+} // namespace sns::core

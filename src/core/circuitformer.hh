@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The Circuitformer (§3.3, Table 2): a light-weight Transformer
+ * regressor that predicts the physical characteristics (timing, area,
+ * power) of one complete circuit path.
+ *
+ * Targets are learned in standardized log space (area and power span
+ * several decades across the path population); the normalization
+ * statistics are fitted on the training paths and stored with the
+ * model.
+ */
+
+#ifndef SNS_CORE_CIRCUITFORMER_HH
+#define SNS_CORE_CIRCUITFORMER_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/datasets.hh"
+#include "nn/optim.hh"
+#include "nn/transformer.hh"
+
+namespace sns::core {
+
+/** Predicted physical characteristics of one circuit path. */
+struct PathPrediction
+{
+    double timing_ps = 0.0;
+    double area_um2 = 0.0;
+    double power_mw = 0.0;
+};
+
+/** Circuitformer hyper-parameters (defaults follow Table 2). */
+struct CircuitformerConfig
+{
+    nn::TransformerConfig encoder;
+    int head_hidden = 64;    ///< regression-head hidden width
+    uint64_t seed = 0xc1;
+
+    CircuitformerConfig();
+
+    /** A scaled-down configuration for fast tests/CI runs. */
+    static CircuitformerConfig small();
+};
+
+/** The path-level synthesis predictor. */
+class Circuitformer : public nn::Module
+{
+  public:
+    explicit Circuitformer(CircuitformerConfig config =
+                               CircuitformerConfig());
+
+    /**
+     * Fit the target-normalization statistics (per-target mean/std of
+     * the log labels) on the training paths. Must run before training.
+     */
+    void fitNormalization(const std::vector<PathRecord> &records);
+
+    /**
+     * One training epoch of Adam + MSE on normalized log targets.
+     * @return mean batch loss
+     */
+    double trainEpoch(const std::vector<PathRecord> &records,
+                      nn::Adam &optimizer, Rng &rng, int batch_size);
+
+    /** Mean loss without updating weights (validation). */
+    double evaluateLoss(const std::vector<PathRecord> &records,
+                        int batch_size = 64);
+
+    /** Predict a batch of paths (no gradients, de-normalized). */
+    std::vector<PathPrediction> predict(
+        const std::vector<std::vector<graphir::TokenId>> &paths,
+        int batch_size = 64) const;
+
+    std::vector<tensor::Variable> parameters() const override;
+
+    /** Persist weights + normalization to a file. */
+    void save(const std::string &path) const;
+
+    /** Restore weights + normalization from a file. */
+    void load(const std::string &path);
+
+    const CircuitformerConfig &config() const { return config_; }
+
+  private:
+    /** Forward a padded batch to normalized [B, 3] predictions. */
+    tensor::Variable forwardBatch(const std::vector<int> &ids, int batch,
+                                  int time,
+                                  const std::vector<int> &lengths) const;
+
+    /** Pack a list of token paths into padded ids + lengths. */
+    void pack(const std::vector<const std::vector<graphir::TokenId> *>
+                  &paths,
+              std::vector<int> &ids, int &time,
+              std::vector<int> &lengths) const;
+
+    /** Normalized log-target triple for a record. */
+    std::array<float, 3> normalizedTargets(const PathRecord &record) const;
+
+    CircuitformerConfig config_;
+    Rng init_rng_; ///< consumed during member construction only
+    nn::TransformerEncoder encoder_;
+    nn::Mlp head_;
+    std::array<double, 3> target_mean_{};
+    std::array<double, 3> target_std_{};
+    bool normalized_ = false;
+};
+
+} // namespace sns::core
+
+#endif // SNS_CORE_CIRCUITFORMER_HH

@@ -1,0 +1,197 @@
+#include "core/datasets.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "gen/markov.hh"
+#include "gen/path_check.hh"
+#include "gen/seqgan.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace sns::core {
+
+using graphir::TokenId;
+
+HardwareDesignDataset
+HardwareDesignDataset::build(const std::vector<designs::DesignSpec> &specs,
+                             const synth::Synthesizer &synthesizer)
+{
+    HardwareDesignDataset dataset;
+    dataset.records_.reserve(specs.size());
+    for (const auto &spec : specs) {
+        DesignRecord record;
+        record.name = spec.name;
+        record.base = spec.base;
+        record.category = spec.category;
+        record.graph = spec.build();
+        record.truth = synthesizer.run(record.graph);
+        dataset.records_.push_back(std::move(record));
+    }
+    return dataset;
+}
+
+std::pair<std::vector<size_t>, std::vector<size_t>>
+HardwareDesignDataset::splitByBase(double train_fraction,
+                                   uint64_t seed) const
+{
+    SNS_ASSERT(train_fraction > 0.0 && train_fraction < 1.0,
+               "train_fraction must be in (0, 1)");
+
+    // Group record indices by base family, shuffle the families, then
+    // assign whole families to the training side until the quota is
+    // met (§4.1: same-base variants never straddle the split).
+    std::map<std::string, std::vector<size_t>> by_base;
+    for (size_t i = 0; i < records_.size(); ++i)
+        by_base[records_[i].base].push_back(i);
+
+    std::vector<std::string> bases;
+    for (const auto &[base, indices] : by_base)
+        bases.push_back(base);
+    Rng rng(seed);
+    rng.shuffle(bases);
+
+    const size_t train_quota = static_cast<size_t>(
+        train_fraction * static_cast<double>(records_.size()) + 0.5);
+    std::vector<size_t> train;
+    std::vector<size_t> test;
+    for (const auto &base : bases) {
+        auto &dst = train.size() < train_quota ? train : test;
+        for (size_t idx : by_base[base])
+            dst.push_back(idx);
+    }
+    SNS_ASSERT(!train.empty() && !test.empty(),
+               "degenerate split: adjust train_fraction");
+    std::sort(train.begin(), train.end());
+    std::sort(test.begin(), test.end());
+    return {std::move(train), std::move(test)};
+}
+
+size_t
+CircuitPathDataset::countByOrigin(PathOrigin origin) const
+{
+    size_t count = 0;
+    for (PathOrigin o : origins_)
+        count += o == origin;
+    return count;
+}
+
+void
+CircuitPathDataset::add(PathRecord record, PathOrigin origin)
+{
+    records_.push_back(std::move(record));
+    origins_.push_back(origin);
+}
+
+namespace {
+
+PathRecord
+labelPath(std::vector<TokenId> tokens,
+          const synth::Synthesizer &synthesizer)
+{
+    PathRecord record;
+    const auto result = synthesizer.runPath(tokens);
+    record.tokens = std::move(tokens);
+    record.timing_ps = result.timing_ps;
+    record.area_um2 = result.area_um2;
+    record.power_mw = result.power_mw;
+    return record;
+}
+
+} // namespace
+
+CircuitPathDataset
+buildCircuitPathDataset(const HardwareDesignDataset &designs,
+                        const std::vector<size_t> &train_indices,
+                        const synth::Synthesizer &synthesizer,
+                        const PathDatasetOptions &options,
+                        bool seqgan_config_small)
+{
+    SNS_ASSERT(!train_indices.empty(),
+               "path dataset needs at least one training design");
+    CircuitPathDataset dataset;
+
+    // --- 1. Direct sampling from the training designs. ---------------
+    std::set<std::vector<TokenId>> unique_paths;
+    std::vector<std::vector<TokenId>> sampled;
+    Rng rng(options.seed);
+    for (size_t idx : train_indices) {
+        sampler::SamplerOptions sopts = options.sampler;
+        sopts.seed = rng.next();
+        const auto paths = sampler::PathSampler(sopts).sample(
+            designs.records()[idx].graph);
+        size_t taken = 0;
+        for (const auto &path : paths) {
+            if (taken >= options.max_paths_per_design)
+                break;
+            if (path.tokens.size() > options.sampler.max_path_length)
+                continue;
+            if (unique_paths.insert(path.tokens).second) {
+                sampled.push_back(path.tokens);
+                ++taken;
+            }
+        }
+    }
+    SNS_ASSERT(!sampled.empty(), "no circuit paths sampled");
+    for (const auto &tokens : sampled)
+        dataset.add(labelPath(tokens, synthesizer), PathOrigin::Sampled);
+
+    // --- 2. Markov-chain augmentation (§4.2.1). ----------------------
+    std::vector<std::vector<TokenId>> exclude(unique_paths.begin(),
+                                              unique_paths.end());
+    if (options.enable_markov && options.markov_paths > 0) {
+        gen::MarkovChainGenerator markov(rng.next());
+        markov.fit(sampled);
+        // Half of the Markov budget follows the chain's natural length
+        // distribution; the other half is length-stratified so the
+        // Circuitformer sees the full path-length range (real designs
+        // contain paths far longer than the typical sample).
+        size_t longest = 8;
+        for (const auto &tokens : sampled)
+            longest = std::max(longest, tokens.size());
+        const size_t strat_cap =
+            std::min<size_t>(options.sampler.max_path_length,
+                             std::max<size_t>(2 * longest, 48));
+        auto generated = markov.generateUnique(
+            options.markov_paths / 2, exclude,
+            options.sampler.max_path_length);
+        for (const auto &tokens : markov.generateStratified(
+                 options.markov_paths - generated.size(), exclude,
+                 strat_cap)) {
+            generated.push_back(tokens);
+        }
+        for (const auto &tokens : generated) {
+            if (!unique_paths.insert(tokens).second)
+                continue;
+            dataset.add(labelPath(tokens, synthesizer),
+                        PathOrigin::Markov);
+        }
+        exclude.assign(unique_paths.begin(), unique_paths.end());
+    }
+
+    // --- 3. SeqGAN augmentation (§4.2.2). ----------------------------
+    if (options.enable_seqgan && options.seqgan_paths > 0) {
+        gen::SeqGanConfig config;
+        config.seed = rng.next();
+        if (!seqgan_config_small) {
+            // Paper-scale schedule (Table 6: batch 2048, 130 epochs).
+            config.pretrain_epochs = 60;
+            config.adversarial_rounds = 70;
+            config.batch_size = 128;
+            config.rollouts = 4;
+        }
+        gen::SeqGan gan(config);
+        gan.fit(sampled);
+        const auto generated =
+            gan.generateUnique(options.seqgan_paths, exclude);
+        for (const auto &tokens : generated) {
+            dataset.add(labelPath(tokens, synthesizer),
+                        PathOrigin::SeqGan);
+        }
+    }
+
+    return dataset;
+}
+
+} // namespace sns::core

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The two datasets of the SNS training flow (Fig. 4):
+ *
+ *   - the Hardware Design Dataset (Table 4): designs with design-level
+ *     synthesis ground truth, split by base family (§4.1's fairness
+ *     rule: variants of one parameterizable base never straddle the
+ *     train/test boundary);
+ *   - the Circuit Path Dataset (Table 5): complete circuit paths with
+ *     per-path synthesis ground truth, assembled from direct sampling
+ *     plus Markov-chain and SeqGAN augmentation (§4.2).
+ */
+
+#ifndef SNS_CORE_DATASETS_HH
+#define SNS_CORE_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "designs/designs.hh"
+#include "graphir/graph.hh"
+#include "sampler/path_sampler.hh"
+#include "synth/synthesizer.hh"
+
+namespace sns::core {
+
+/** One row of the Hardware Design Dataset. */
+struct DesignRecord
+{
+    std::string name;
+    std::string base;
+    std::string category;
+    graphir::Graph graph;
+    synth::SynthesisResult truth;
+};
+
+/** One row of the Circuit Path Dataset. */
+struct PathRecord
+{
+    std::vector<graphir::TokenId> tokens;
+    double timing_ps = 0.0;
+    double area_um2 = 0.0;
+    double power_mw = 0.0;
+};
+
+/** Where a circuit path came from (for the augmentation ablation). */
+enum class PathOrigin
+{
+    Sampled,  ///< directly sampled from a training design
+    Markov,   ///< Markov-chain generated (§4.2.1)
+    SeqGan,   ///< SeqGAN generated (§4.2.2)
+};
+
+/** The Hardware Design Dataset. */
+class HardwareDesignDataset
+{
+  public:
+    /** Build by synthesizing every spec with the given oracle. */
+    static HardwareDesignDataset build(
+        const std::vector<designs::DesignSpec> &specs,
+        const synth::Synthesizer &synthesizer);
+
+    const std::vector<DesignRecord> &records() const { return records_; }
+
+    size_t size() const { return records_.size(); }
+
+    /**
+     * Deterministic train/test split keeping all variants of one base
+     * family on the same side.
+     *
+     * @param train_fraction approximate fraction of designs to train on
+     * @param seed shuffle seed (different seeds give different folds)
+     * @return (train indices, test indices)
+     */
+    std::pair<std::vector<size_t>, std::vector<size_t>> splitByBase(
+        double train_fraction, uint64_t seed) const;
+
+  private:
+    std::vector<DesignRecord> records_;
+};
+
+/** Options controlling Circuit Path Dataset assembly (§4.2). */
+struct PathDatasetOptions
+{
+    sampler::SamplerOptions sampler;    ///< k = 5 by default
+    size_t max_paths_per_design = 128;  ///< direct-sample cap per design
+    size_t markov_paths = 256;          ///< Markov-chain augmentation
+    size_t seqgan_paths = 512;          ///< SeqGAN augmentation
+    bool enable_markov = true;
+    bool enable_seqgan = true;
+    uint64_t seed = 17;
+};
+
+/** The Circuit Path Dataset with per-origin bookkeeping. */
+class CircuitPathDataset
+{
+  public:
+    const std::vector<PathRecord> &records() const { return records_; }
+    const std::vector<PathOrigin> &origins() const { return origins_; }
+
+    size_t size() const { return records_.size(); }
+
+    /** Number of records from one origin. */
+    size_t countByOrigin(PathOrigin origin) const;
+
+    /** Append a labelled record. */
+    void add(PathRecord record, PathOrigin origin);
+
+  private:
+    std::vector<PathRecord> records_;
+    std::vector<PathOrigin> origins_;
+};
+
+/**
+ * Assemble the Circuit Path Dataset from the training designs: direct
+ * sampling, then Markov and SeqGAN augmentation (trained on the
+ * directly sampled paths), all labelled by synthesizing each path as a
+ * standalone chain.
+ *
+ * @param seqgan_config_small if true, use scaled-down SeqGAN training
+ *        (fast enough for tests); otherwise paper-scale settings
+ */
+CircuitPathDataset buildCircuitPathDataset(
+    const HardwareDesignDataset &designs,
+    const std::vector<size_t> &train_indices,
+    const synth::Synthesizer &synthesizer,
+    const PathDatasetOptions &options, bool seqgan_config_small = true);
+
+} // namespace sns::core
+
+#endif // SNS_CORE_DATASETS_HH

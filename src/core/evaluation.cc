@@ -1,0 +1,79 @@
+#include "core/evaluation.hh"
+
+#include "util/stats.hh"
+
+namespace sns::core {
+
+EvaluationResult
+summarizeEvals(std::vector<DesignEval> evals)
+{
+    EvaluationResult result;
+    std::vector<double> tt;
+    std::vector<double> tp;
+    std::vector<double> at;
+    std::vector<double> ap;
+    std::vector<double> pt;
+    std::vector<double> pp;
+    for (const auto &eval : evals) {
+        tt.push_back(eval.true_timing_ps);
+        tp.push_back(eval.pred_timing_ps);
+        at.push_back(eval.true_area_um2);
+        ap.push_back(eval.pred_area_um2);
+        pt.push_back(eval.true_power_mw);
+        pp.push_back(eval.pred_power_mw);
+    }
+    result.timing = {rrse(tp, tt), maep(tp, tt)};
+    result.area = {rrse(ap, at), maep(ap, at)};
+    result.power = {rrse(pp, pt), maep(pp, pt)};
+    result.designs = std::move(evals);
+    return result;
+}
+
+EvaluationResult
+evaluatePredictor(const SnsPredictor &predictor,
+                  const HardwareDesignDataset &designs,
+                  const std::vector<size_t> &test_indices)
+{
+    std::vector<DesignEval> evals;
+    for (size_t idx : test_indices) {
+        const auto &record = designs.records()[idx];
+        const auto pred = predictor.predict(record.graph);
+        DesignEval eval;
+        eval.name = record.name;
+        eval.true_timing_ps = record.truth.timing_ps;
+        eval.true_area_um2 = record.truth.area_um2;
+        eval.true_power_mw = record.truth.power_mw;
+        eval.pred_timing_ps = pred.timing_ps;
+        eval.pred_area_um2 = pred.area_um2;
+        eval.pred_power_mw = pred.power_mw;
+        evals.push_back(std::move(eval));
+    }
+    return summarizeEvals(std::move(evals));
+}
+
+EvaluationResult
+crossValidate2Fold(const HardwareDesignDataset &designs,
+                   const TrainerConfig &config,
+                   const synth::Synthesizer &oracle, uint64_t split_seed)
+{
+    const auto [fold_a, fold_b] = designs.splitByBase(0.5, split_seed);
+
+    std::vector<DesignEval> evals;
+    auto run_fold = [&](const std::vector<size_t> &train_idx,
+                        const std::vector<size_t> &test_idx,
+                        uint64_t seed_offset) {
+        TrainerConfig fold_config = config;
+        fold_config.seed = config.seed + seed_offset;
+        SnsTrainer trainer(fold_config);
+        const auto predictor = trainer.train(designs, train_idx, oracle);
+        auto fold_result =
+            evaluatePredictor(predictor, designs, test_idx);
+        for (auto &eval : fold_result.designs)
+            evals.push_back(std::move(eval));
+    };
+    run_fold(fold_a, fold_b, 0);
+    run_fold(fold_b, fold_a, 1);
+    return summarizeEvals(std::move(evals));
+}
+
+} // namespace sns::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Evaluation harness: RRSE/MAEP metrics (§5.1) over held-out designs,
+ * including the 2-fold cross-validation protocol of §5.2 (each half of
+ * the dataset predicted by a model trained on the other half).
+ */
+
+#ifndef SNS_CORE_EVALUATION_HH
+#define SNS_CORE_EVALUATION_HH
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.hh"
+
+namespace sns::core {
+
+/** Prediction vs truth for one design. */
+struct DesignEval
+{
+    std::string name;
+    double true_timing_ps = 0.0;
+    double true_area_um2 = 0.0;
+    double true_power_mw = 0.0;
+    double pred_timing_ps = 0.0;
+    double pred_area_um2 = 0.0;
+    double pred_power_mw = 0.0;
+};
+
+/** RRSE and MAEP for one target. */
+struct TargetErrors
+{
+    double rrse = 0.0;
+    double maep = 0.0;
+};
+
+/** Full evaluation result over a design set. */
+struct EvaluationResult
+{
+    std::vector<DesignEval> designs;
+    TargetErrors timing;
+    TargetErrors area;
+    TargetErrors power;
+};
+
+/** Compute per-target RRSE/MAEP from collected design evals. */
+EvaluationResult summarizeEvals(std::vector<DesignEval> evals);
+
+/** Run a trained predictor over the given test designs. */
+EvaluationResult evaluatePredictor(const SnsPredictor &predictor,
+                                   const HardwareDesignDataset &designs,
+                                   const std::vector<size_t> &test_indices);
+
+/**
+ * 2-fold cross validation (§5.2): split the dataset into halves A/B by
+ * base family, train on A / predict B and vice versa, and pool every
+ * design's prediction into one result.
+ */
+EvaluationResult crossValidate2Fold(const HardwareDesignDataset &designs,
+                                    const TrainerConfig &config,
+                                    const synth::Synthesizer &oracle,
+                                    uint64_t split_seed = 11);
+
+} // namespace sns::core
+
+#endif // SNS_CORE_EVALUATION_HH

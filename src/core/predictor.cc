@@ -1,0 +1,181 @@
+#include "core/predictor.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace sns::core {
+
+SnsPredictor::SnsPredictor(std::shared_ptr<Circuitformer> circuitformer,
+                           std::shared_ptr<AggregationMlp> timing_mlp,
+                           std::shared_ptr<AggregationMlp> area_mlp,
+                           std::shared_ptr<AggregationMlp> power_mlp,
+                           sampler::SamplerOptions sampler_options)
+    : circuitformer_(std::move(circuitformer)),
+      timing_mlp_(std::move(timing_mlp)),
+      area_mlp_(std::move(area_mlp)),
+      power_mlp_(std::move(power_mlp)),
+      sampler_options_(sampler_options)
+{
+    SNS_ASSERT(circuitformer_ && timing_mlp_ && area_mlp_ && power_mlp_,
+               "SnsPredictor needs all four models");
+    SNS_ASSERT(timing_mlp_->target() == Target::Timing &&
+                   area_mlp_->target() == Target::Area &&
+                   power_mlp_->target() == Target::Power,
+               "MLP target mismatch");
+}
+
+SnsPrediction
+SnsPredictor::predict(const graphir::Graph &graph) const
+{
+    SnsPrediction prediction;
+
+    // 1. Sample complete circuit paths.
+    const auto paths = sampler::PathSampler(sampler_options_).sample(graph);
+    prediction.paths_sampled = paths.size();
+    if (paths.empty())
+        return prediction;
+
+    // 2. Path-level inference.
+    std::vector<std::vector<graphir::TokenId>> token_paths;
+    token_paths.reserve(paths.size());
+    for (const auto &path : paths)
+        token_paths.push_back(path.tokens);
+    const auto path_preds = circuitformer_->predict(token_paths);
+
+    // 3. Reductions. Per-path activity is the mean of the endpoint
+    //    registers' activity coefficients (§3.4.4).
+    std::vector<double> activities;
+    std::vector<size_t> lengths;
+    activities.reserve(paths.size());
+    lengths.reserve(paths.size());
+    for (const auto &path : paths) {
+        const double front = graph.activity(path.nodes.front());
+        const double back = graph.activity(path.nodes.back());
+        activities.push_back(0.5 * (front + back));
+        lengths.push_back(path.nodes.size());
+    }
+    const auto summary =
+        reduceAggregates(graph, path_preds, lengths, activities);
+
+    // 4. Design-level MLPs.
+    prediction.timing_ps = timing_mlp_->predict(summary);
+    prediction.area_um2 = area_mlp_->predict(summary);
+    prediction.power_mw = power_mlp_->predict(summary);
+
+    // Critical-path localization: the sampled path with the largest
+    // predicted timing.
+    size_t argmax = 0;
+    for (size_t i = 1; i < path_preds.size(); ++i) {
+        if (path_preds[i].timing_ps > path_preds[argmax].timing_ps)
+            argmax = i;
+    }
+    prediction.critical_path = paths[argmax].nodes;
+    return prediction;
+}
+
+namespace {
+
+constexpr const char *kMetaFile = "predictor.meta";
+
+} // namespace
+
+void
+SnsPredictor::save(const std::string &directory) const
+{
+    std::filesystem::create_directories(directory);
+    circuitformer_->save(directory + "/circuitformer.bin");
+    timing_mlp_->save(directory + "/mlp_timing.bin");
+    area_mlp_->save(directory + "/mlp_area.bin");
+    power_mlp_->save(directory + "/mlp_power.bin");
+
+    std::ofstream meta(directory + "/" + kMetaFile);
+    if (!meta)
+        fatal("cannot write ", directory, "/", kMetaFile);
+    const auto &model = circuitformer_->config();
+    meta << "format 1\n"
+         << "vocab_size " << model.encoder.vocab_size << "\n"
+         << "max_positions " << model.encoder.max_positions << "\n"
+         << "d_model " << model.encoder.d_model << "\n"
+         << "heads " << model.encoder.heads << "\n"
+         << "layers " << model.encoder.layers << "\n"
+         << "d_ff " << model.encoder.d_ff << "\n"
+         << "head_hidden " << model.head_hidden << "\n"
+         << "sampler_k " << sampler_options_.k << "\n"
+         << "max_path_length " << sampler_options_.max_path_length
+         << "\n"
+         << "max_paths_per_source "
+         << sampler_options_.max_paths_per_source << "\n"
+         << "max_total_paths " << sampler_options_.max_total_paths
+         << "\n"
+         << "longest_paths " << sampler_options_.longest_paths << "\n"
+         << "sampler_seed " << sampler_options_.seed << "\n";
+}
+
+SnsPredictor
+SnsPredictor::load(const std::string &directory)
+{
+    std::ifstream meta(directory + "/" + kMetaFile);
+    if (!meta)
+        fatal("cannot open ", directory, "/", kMetaFile);
+    std::map<std::string, std::string> kv;
+    std::string line;
+    while (std::getline(meta, line)) {
+        const auto fields = splitWhitespace(line);
+        if (fields.size() == 2)
+            kv[fields[0]] = fields[1];
+    }
+    auto geti = [&kv](const char *key) {
+        const auto it = kv.find(key);
+        if (it == kv.end())
+            fatal("predictor.meta missing key: ", key);
+        return std::stoll(it->second);
+    };
+    auto getd = [&kv](const char *key) {
+        const auto it = kv.find(key);
+        if (it == kv.end())
+            fatal("predictor.meta missing key: ", key);
+        return std::stod(it->second);
+    };
+    if (geti("format") != 1)
+        fatal("unsupported predictor.meta format");
+
+    CircuitformerConfig model;
+    model.encoder.vocab_size = static_cast<int>(geti("vocab_size"));
+    model.encoder.max_positions =
+        static_cast<int>(geti("max_positions"));
+    model.encoder.d_model = static_cast<int>(geti("d_model"));
+    model.encoder.heads = static_cast<int>(geti("heads"));
+    model.encoder.layers = static_cast<int>(geti("layers"));
+    model.encoder.d_ff = static_cast<int>(geti("d_ff"));
+    model.head_hidden = static_cast<int>(geti("head_hidden"));
+
+    sampler::SamplerOptions sopts;
+    sopts.k = getd("sampler_k");
+    sopts.max_path_length =
+        static_cast<size_t>(geti("max_path_length"));
+    sopts.max_paths_per_source =
+        static_cast<size_t>(geti("max_paths_per_source"));
+    sopts.max_total_paths =
+        static_cast<size_t>(geti("max_total_paths"));
+    sopts.longest_paths = static_cast<size_t>(geti("longest_paths"));
+    sopts.seed = static_cast<uint64_t>(geti("sampler_seed"));
+
+    auto circuitformer = std::make_shared<Circuitformer>(model);
+    circuitformer->load(directory + "/circuitformer.bin");
+    auto timing_mlp =
+        std::make_shared<AggregationMlp>(Target::Timing);
+    auto area_mlp = std::make_shared<AggregationMlp>(Target::Area);
+    auto power_mlp = std::make_shared<AggregationMlp>(Target::Power);
+    timing_mlp->load(directory + "/mlp_timing.bin");
+    area_mlp->load(directory + "/mlp_area.bin");
+    power_mlp->load(directory + "/mlp_power.bin");
+    return SnsPredictor(std::move(circuitformer), std::move(timing_mlp),
+                        std::move(area_mlp), std::move(power_mlp),
+                        sopts);
+}
+
+} // namespace sns::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SnsPredictor — the end-to-end prediction flow of Fig. 1: GraphIR in,
+ * (timing, area, power) out.
+ *
+ *   1. sample complete circuit paths (Algorithm 1, k = 5),
+ *   2. Circuitformer predicts each path's physical characteristics,
+ *   3. reductions (max / sum / activity-scaled sum, §3.4),
+ *   4. per-target Aggregation MLPs produce the design-level numbers.
+ *
+ * Because every path is explicitly sampled, the predictor also reports
+ * *where* the predicted critical path lies in the design — the paper's
+ * §2.2 "local property" advantage over whole-graph GNNs.
+ */
+
+#ifndef SNS_CORE_PREDICTOR_HH
+#define SNS_CORE_PREDICTOR_HH
+
+#include <memory>
+
+#include "core/aggregation.hh"
+#include "core/circuitformer.hh"
+#include "sampler/path_sampler.hh"
+
+namespace sns::core {
+
+/** Design-level prediction plus located critical path. */
+struct SnsPrediction
+{
+    double timing_ps = 0.0;
+    double area_um2 = 0.0;
+    double power_mw = 0.0;
+    /** Vertices of the predicted-slowest sampled path. */
+    std::vector<graphir::NodeId> critical_path;
+    /** Number of complete circuit paths sampled for this prediction. */
+    size_t paths_sampled = 0;
+};
+
+/** The trained SNS prediction pipeline. */
+class SnsPredictor
+{
+  public:
+    SnsPredictor(std::shared_ptr<Circuitformer> circuitformer,
+                 std::shared_ptr<AggregationMlp> timing_mlp,
+                 std::shared_ptr<AggregationMlp> area_mlp,
+                 std::shared_ptr<AggregationMlp> power_mlp,
+                 sampler::SamplerOptions sampler_options);
+
+    /**
+     * Predict the post-synthesis characteristics of a design. Register
+     * activity coefficients on the graph (§3.4.4) scale per-path power
+     * before aggregation.
+     */
+    SnsPrediction predict(const graphir::Graph &graph) const;
+
+    /** The path-level model (e.g. for per-path inspection). */
+    const Circuitformer &circuitformer() const { return *circuitformer_; }
+
+    /** Shared handle to the path-level model (for re-wiring pipelines,
+     * e.g. the k-sweep ablation that swaps samplers and MLPs). */
+    std::shared_ptr<Circuitformer>
+    circuitformerPtr() const
+    {
+        return circuitformer_;
+    }
+
+    /** Sampler configuration in use. */
+    const sampler::SamplerOptions &samplerOptions() const
+    {
+        return sampler_options_;
+    }
+
+    /**
+     * Persist the whole trained pipeline into a directory:
+     * circuitformer weights, the three MLPs, and a metadata file with
+     * the architecture and sampler configuration.
+     */
+    void save(const std::string &directory) const;
+
+    /** Restore a pipeline saved by save(). */
+    static SnsPredictor load(const std::string &directory);
+
+  private:
+    std::shared_ptr<Circuitformer> circuitformer_;
+    std::shared_ptr<AggregationMlp> timing_mlp_;
+    std::shared_ptr<AggregationMlp> area_mlp_;
+    std::shared_ptr<AggregationMlp> power_mlp_;
+    sampler::SamplerOptions sampler_options_;
+};
+
+} // namespace sns::core
+
+#endif // SNS_CORE_PREDICTOR_HH

@@ -1,0 +1,126 @@
+#include "core/trainer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sns::core {
+
+TrainerConfig
+TrainerConfig::fast()
+{
+    TrainerConfig config;
+    config.model = CircuitformerConfig::small();
+    config.circuitformer_epochs = 8;
+    config.circuitformer_batch = 32;
+    config.path_data.max_paths_per_design = 24;
+    config.path_data.markov_paths = 48;
+    config.path_data.seqgan_paths = 48;
+    config.path_data.sampler.max_paths_per_source = 8;
+    config.mlp.epochs = 1500;
+    config.seqgan_small = true;
+    return config;
+}
+
+SnsTrainer::SnsTrainer(TrainerConfig config) : config_(config)
+{
+}
+
+SnsPredictor
+SnsTrainer::train(const HardwareDesignDataset &designs,
+                  const std::vector<size_t> &train_indices,
+                  const synth::Synthesizer &oracle)
+{
+    Rng rng(config_.seed);
+
+    // --- 1. Circuit Path Dataset (Fig. 4 left). -----------------------
+    path_dataset_ = buildCircuitPathDataset(designs, train_indices, oracle,
+                                            config_.path_data,
+                                            config_.seqgan_small);
+    inform("circuit path dataset: ", path_dataset_.size(), " paths (",
+           path_dataset_.countByOrigin(PathOrigin::Sampled), " sampled, ",
+           path_dataset_.countByOrigin(PathOrigin::Markov), " markov, ",
+           path_dataset_.countByOrigin(PathOrigin::SeqGan), " seqgan)");
+
+    // Train/validation split of the path records.
+    std::vector<size_t> order(path_dataset_.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+    const size_t val_count = std::max<size_t>(
+        1, static_cast<size_t>(config_.validation_fraction *
+                               static_cast<double>(order.size())));
+    std::vector<PathRecord> train_paths;
+    std::vector<PathRecord> val_paths;
+    for (size_t i = 0; i < order.size(); ++i) {
+        const auto &record = path_dataset_.records()[order[i]];
+        if (i < val_count)
+            val_paths.push_back(record);
+        else
+            train_paths.push_back(record);
+    }
+    SNS_ASSERT(!train_paths.empty(), "empty path training set");
+
+    // --- 2. Circuitformer training (Adam, Table 6). -------------------
+    CircuitformerConfig model_config = config_.model;
+    model_config.seed = rng.next();
+    auto circuitformer = std::make_shared<Circuitformer>(model_config);
+    circuitformer->fitNormalization(train_paths);
+
+    nn::Adam optimizer(circuitformer->parameters(),
+                       config_.circuitformer_lr);
+    Rng epoch_rng = rng.fork();
+    loss_curve_.clear();
+    for (int epoch = 0; epoch < config_.circuitformer_epochs; ++epoch) {
+        LossPoint point;
+        point.epoch = epoch;
+        point.train_loss = circuitformer->trainEpoch(
+            train_paths, optimizer, epoch_rng, config_.circuitformer_batch);
+        point.validation_loss = circuitformer->evaluateLoss(val_paths);
+        loss_curve_.push_back(point);
+    }
+
+    // --- 3. Aggregation MLPs (SGD, Table 6). --------------------------
+    std::vector<AggregateSummary> summaries;
+    std::vector<double> timing_truth;
+    std::vector<double> area_truth;
+    std::vector<double> power_truth;
+    for (size_t idx : train_indices) {
+        const auto &record = designs.records()[idx];
+        sampler::SamplerOptions sopts = config_.path_data.sampler;
+        sopts.seed = config_.seed ^ (idx * 0x9e3779b9ULL);
+        const auto paths = sampler::PathSampler(sopts).sample(record.graph);
+        if (paths.empty())
+            continue;
+        std::vector<std::vector<graphir::TokenId>> token_paths;
+        std::vector<size_t> lengths;
+        for (const auto &path : paths) {
+            token_paths.push_back(path.tokens);
+            lengths.push_back(path.nodes.size());
+        }
+        const auto preds = circuitformer->predict(token_paths);
+        summaries.push_back(
+            reduceAggregates(record.graph, preds, lengths));
+        timing_truth.push_back(record.truth.timing_ps);
+        area_truth.push_back(record.truth.area_um2);
+        power_truth.push_back(record.truth.power_mw);
+    }
+    SNS_ASSERT(!summaries.empty(), "no designs to fit aggregation MLPs");
+
+    MlpTrainConfig mlp_config = config_.mlp;
+    mlp_config.seed = rng.next();
+    auto timing_mlp =
+        std::make_shared<AggregationMlp>(Target::Timing, rng.next());
+    auto area_mlp =
+        std::make_shared<AggregationMlp>(Target::Area, rng.next());
+    auto power_mlp =
+        std::make_shared<AggregationMlp>(Target::Power, rng.next());
+    timing_mlp->fit(summaries, timing_truth, mlp_config);
+    area_mlp->fit(summaries, area_truth, mlp_config);
+    power_mlp->fit(summaries, power_truth, mlp_config);
+
+    return SnsPredictor(circuitformer, timing_mlp, area_mlp, power_mlp,
+                        config_.path_data.sampler);
+}
+
+} // namespace sns::core

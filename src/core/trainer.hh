@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The SNS training flow (Fig. 4): build the Circuit Path Dataset from
+ * the training designs (direct sampling + Markov + SeqGAN), train the
+ * Circuitformer (Adam, Table 6), then train the three Aggregation MLPs
+ * (SGD, Table 6) on the training designs' aggregated path predictions
+ * and ground truth.
+ */
+
+#ifndef SNS_CORE_TRAINER_HH
+#define SNS_CORE_TRAINER_HH
+
+#include <vector>
+
+#include "core/datasets.hh"
+#include "core/predictor.hh"
+
+namespace sns::core {
+
+/** One point of the Fig. 5 loss curves. */
+struct LossPoint
+{
+    int epoch = 0;
+    double train_loss = 0.0;
+    double validation_loss = 0.0;
+};
+
+/** End-to-end training configuration. */
+struct TrainerConfig
+{
+    /** Circuit Path Dataset assembly (§4.2). */
+    PathDatasetOptions path_data;
+
+    /** Circuitformer model size (Table 2 by default). */
+    CircuitformerConfig model;
+
+    /** @name Circuitformer schedule (Table 6)
+     * @{
+     */
+    int circuitformer_epochs = 256;
+    int circuitformer_batch = 128;
+    double circuitformer_lr = 1e-3;
+    /** @} */
+
+    /** Fraction of the path dataset held out for the Fig.-5 curve. */
+    double validation_fraction = 0.15;
+
+    /** Aggregation-MLP schedule (Table 6). */
+    MlpTrainConfig mlp;
+
+    /** Use the scaled-down SeqGAN schedule (fast runs). */
+    bool seqgan_small = true;
+
+    uint64_t seed = 0x7ea1;
+
+    /**
+     * A configuration small enough for unit tests: tiny model, few
+     * epochs, modest path counts. Same code paths, minutes -> seconds.
+     */
+    static TrainerConfig fast();
+};
+
+/** Runs the Fig.-4 training flow and produces an SnsPredictor. */
+class SnsTrainer
+{
+  public:
+    explicit SnsTrainer(TrainerConfig config = TrainerConfig());
+
+    /**
+     * Train on the given subset of the Hardware Design Dataset.
+     * @param oracle the reference synthesizer used to label circuit
+     *        paths (the paper's Synopsys DC role)
+     */
+    SnsPredictor train(const HardwareDesignDataset &designs,
+                       const std::vector<size_t> &train_indices,
+                       const synth::Synthesizer &oracle);
+
+    /** Fig.-5 loss curve of the last train() call. */
+    const std::vector<LossPoint> &lossCurve() const { return loss_curve_; }
+
+    /** The Circuit Path Dataset assembled by the last train() call. */
+    const CircuitPathDataset &pathDataset() const { return path_dataset_; }
+
+    const TrainerConfig &config() const { return config_; }
+
+  private:
+    TrainerConfig config_;
+    std::vector<LossPoint> loss_curve_;
+    CircuitPathDataset path_dataset_;
+};
+
+} // namespace sns::core
+
+#endif // SNS_CORE_TRAINER_HH

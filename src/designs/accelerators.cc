@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Machine-learning accelerator and vector-unit generators: a
+ * Gemmini-like systolic array, an NVDLA-like convolution MAC engine, a
+ * SIMD ALU, and a Hwacha-like banked vector unit (Table 3 rows
+ * "Machine Learning Acc." and "Vector Arithmetic").
+ */
+
+#include "designs/designs.hh"
+
+#include "netlist/circuit_builder.hh"
+#include "util/logging.hh"
+
+namespace sns::designs {
+
+using graphir::NodeId;
+using graphir::NodeType;
+using netlist::CircuitBuilder;
+
+Graph
+buildSystolicArray(int rows, int cols, int width)
+{
+    SNS_ASSERT(rows > 0 && cols > 0, "systolic array needs positive dims");
+    CircuitBuilder cb("systolic_" + std::to_string(rows) + "x" +
+                      std::to_string(cols) + "_w" + std::to_string(width));
+    const int acc_width = 2 * width;
+
+    // Activations stream in from the west, weights are preloaded into
+    // per-PE registers, partial sums accumulate in place
+    // (output-stationary), and results drain east.
+    std::vector<NodeId> west_in;
+    for (int r = 0; r < rows; ++r)
+        west_in.push_back(cb.input(width));
+
+    std::vector<std::vector<NodeId>> act(rows,
+                                         std::vector<NodeId>(cols));
+    std::vector<NodeId> drain;
+    for (int r = 0; r < rows; ++r) {
+        NodeId horizontal = west_in[r];
+        for (int c = 0; c < cols; ++c) {
+            // Skewing register between PEs.
+            const NodeId act_reg = cb.reg(width, horizontal);
+            act[r][c] = act_reg;
+            const NodeId weight = cb.dff(width);
+            const NodeId product = cb.mul(acc_width, act_reg, weight);
+            const NodeId acc = cb.dff(acc_width);
+            const NodeId sum = cb.add(acc_width, product, acc);
+            cb.connect(sum, acc);
+            horizontal = act_reg;
+            if (c == cols - 1)
+                drain.push_back(acc);
+        }
+    }
+
+    // Drain column: a mux chain selecting which row leaves the array.
+    const NodeId drain_sel = cb.input(8);
+    const NodeId out = cb.muxTree(acc_width, drain_sel, drain);
+    cb.output(acc_width, {cb.reg(out)});
+    return cb.build();
+}
+
+Graph
+buildConvEngine(int macs, int width, int accumulators)
+{
+    CircuitBuilder cb("nvdla_conv_m" + std::to_string(macs) + "_w" +
+                      std::to_string(width) + "_a" +
+                      std::to_string(accumulators));
+    const int acc_width = 2 * width + 4; // CACC guard bits
+
+    // MAC array: pairs of (feature, weight) inputs into multipliers,
+    // reduced through an adder tree (NVDLA's CMAC + CACC structure).
+    std::vector<NodeId> products;
+    for (int m = 0; m < macs; ++m) {
+        const NodeId feature = cb.input(width);
+        const NodeId weight = cb.dff(width);
+        products.push_back(cb.mul(acc_width, feature, weight));
+    }
+    const NodeId partial =
+        cb.reduceTree(NodeType::Add, acc_width, products);
+    const NodeId partial_reg = cb.reg(partial);
+
+    // Accumulator bank with read-modify-write and saturation compare.
+    std::vector<NodeId> bank;
+    const NodeId bank_sel = cb.input(8);
+    for (int a = 0; a < accumulators; ++a) {
+        const NodeId acc = cb.dff(acc_width);
+        const NodeId sum = cb.add(acc_width, acc, partial_reg);
+        const NodeId limit = cb.dff(acc_width);
+        const NodeId over = cb.lgt(acc_width, sum, limit);
+        const NodeId next = cb.mux(acc_width, over, limit, sum);
+        cb.connect(next, acc);
+        bank.push_back(acc);
+    }
+    const NodeId read = cb.muxTree(acc_width, bank_sel, bank);
+
+    // SDP-like post-processing: bias add, ReLU via compare+mux, shift.
+    const NodeId bias = cb.dff(acc_width);
+    const NodeId biased = cb.add(acc_width, read, bias);
+    const NodeId zero = cb.dff(acc_width);
+    const NodeId neg = cb.lgt(acc_width, zero, biased);
+    const NodeId relu_out = cb.mux(acc_width, neg, zero, biased);
+    const NodeId scaled = cb.shifter(acc_width, relu_out, bias);
+    cb.output(acc_width, {cb.reg(scaled)});
+    return cb.build();
+}
+
+Graph
+buildSimdAlu(int lanes, int width)
+{
+    CircuitBuilder cb("simd_alu_l" + std::to_string(lanes) + "_w" +
+                      std::to_string(width));
+    const NodeId op_sel = cb.input(8);
+    std::vector<NodeId> results;
+    for (int l = 0; l < lanes; ++l) {
+        const NodeId a = cb.input(width);
+        const NodeId b = cb.input(width);
+        const NodeId sum = cb.add(width, a, b);
+        const NodeId diff = cb.add(width, a, cb.bnot(width, b));
+        const NodeId prod = cb.mul(width, a, b);
+        const NodeId band = cb.band(width, a, b);
+        const NodeId bxor = cb.bxor(width, a, b);
+        const NodeId shl = cb.shifter(width, a, b);
+        const NodeId cmp = cb.lgt(width, a, b);
+        const NodeId min = cb.mux(width, cmp, b, a);
+        const NodeId lane = cb.muxTree(
+            width, op_sel, {sum, diff, prod, band, bxor, shl, min, cmp});
+        results.push_back(cb.reg(lane));
+    }
+    for (NodeId r : results)
+        cb.output(width, {r});
+    return cb.build();
+}
+
+Graph
+buildVectorUnit(int lanes, int width, int banks)
+{
+    CircuitBuilder cb("hwacha_l" + std::to_string(lanes) + "_w" +
+                      std::to_string(width) + "_b" + std::to_string(banks));
+
+    // Sequencer: a small counter + op queue registers.
+    const NodeId vlen = cb.input(12); // 4K max vector length
+    const NodeId counter = cb.dff(12);
+    const NodeId step = cb.add(12, counter, vlen);
+    const NodeId done = cb.eq(12, step, vlen);
+    cb.connect(cb.mux(12, done, vlen, step), counter);
+
+    // Banked vector register file: each bank is a register whose read
+    // data feeds every lane through chaining muxes.
+    std::vector<NodeId> bank_regs;
+    for (int b = 0; b < banks; ++b)
+        bank_regs.push_back(cb.dff(width));
+    const NodeId bank_sel = cb.input(8);
+
+    std::vector<NodeId> lane_outs;
+    for (int l = 0; l < lanes; ++l) {
+        const NodeId src1 = cb.muxTree(width, bank_sel, bank_regs);
+        const NodeId src2 = cb.input(width);
+        const NodeId chained = cb.mux(width, done, src2, src1);
+        const NodeId mac = cb.mul(width, chained, src2);
+        const NodeId acc = cb.dff(width);
+        const NodeId sum = cb.add(width, mac, acc);
+        cb.connect(sum, acc);
+        lane_outs.push_back(acc);
+    }
+    const NodeId reduced =
+        cb.reduceTree(NodeType::Add, width, lane_outs);
+    cb.output(width, {cb.reg(reduced)});
+    return cb.build();
+}
+
+} // namespace sns::designs

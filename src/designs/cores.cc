@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Processor-core design generators: three in-order RISC-style cores of
+ * increasing complexity (Sodor-, Rocket-, and Ariane-like), standing in
+ * for the paper's Table-3 "Processor Core" row.
+ *
+ * The datapaths are structurally faithful at the functional-unit level:
+ * program-counter arithmetic, register files with mux-tree read ports,
+ * full ALUs, branch resolution, bypass networks, multiply/divide units,
+ * and (for the Ariane-like core) a scoreboard of tag comparators.
+ */
+
+#include "designs/designs.hh"
+
+#include "netlist/circuit_builder.hh"
+#include "util/logging.hh"
+
+namespace sns::designs {
+
+using graphir::NodeId;
+using graphir::NodeType;
+using netlist::CircuitBuilder;
+
+namespace {
+
+/**
+ * A register file: `regs` registers of `width` bits plus `read_ports`
+ * mux-tree read ports selected by fresh select inputs.
+ * @return one read-data vertex per port
+ */
+std::vector<NodeId>
+regFile(CircuitBuilder &cb, int regs, int width, int read_ports)
+{
+    std::vector<NodeId> storage;
+    storage.reserve(regs);
+    for (int i = 0; i < regs; ++i)
+        storage.push_back(cb.dff(width));
+
+    std::vector<NodeId> ports;
+    for (int p = 0; p < read_ports; ++p) {
+        const NodeId sel = cb.input(8);
+        ports.push_back(cb.muxTree(width, sel, storage));
+    }
+    // A write port: CAM-style address decode (per-register tag compare)
+    // drives every register through a hold-or-load mux.
+    const NodeId wdata = cb.input(width);
+    const NodeId wsel = cb.input(8);
+    for (NodeId reg : storage) {
+        const NodeId tag = cb.dff(6); // 6-bit CAM tags
+        const NodeId hit = cb.eq(8, wsel, tag);
+        const NodeId next = cb.mux(width, hit, wdata, reg);
+        cb.connect(next, reg);
+    }
+    return ports;
+}
+
+/** A single-cycle integer ALU; returns the result mux. */
+NodeId
+alu(CircuitBuilder &cb, int width, NodeId a, NodeId b, NodeId op_sel)
+{
+    const NodeId sum = cb.add(width, a, b);
+    const NodeId diff = cb.add(width, a, cb.bnot(width, b));
+    const NodeId land = cb.band(width, a, b);
+    const NodeId lor = cb.bor(width, a, b);
+    const NodeId lxor = cb.bxor(width, a, b);
+    const NodeId shift = cb.shifter(width, a, b);
+    const NodeId slt = cb.lgt(width, a, b);
+    const NodeId seq = cb.eq(width, a, b);
+    return cb.muxTree(width, op_sel,
+                      {sum, diff, land, lor, lxor, shift, slt, seq});
+}
+
+/** Next-PC logic: sequential PC, branch target, and a redirect mux. */
+NodeId
+pcLogic(CircuitBuilder &cb, int width, NodeId branch_taken,
+        NodeId branch_target)
+{
+    const NodeId pc = cb.dff(width);
+    const NodeId step = cb.input(width); // +4 constant port
+    const NodeId seq_pc = cb.add(width, pc, step);
+    const NodeId next = cb.mux(width, branch_taken, branch_target, seq_pc);
+    cb.connect(next, pc);
+    return pc;
+}
+
+} // namespace
+
+Graph
+buildSodorCore(int xlen)
+{
+    SNS_ASSERT(xlen == 32 || xlen == 64, "sodor xlen must be 32 or 64");
+    CircuitBuilder cb("sodor_x" + std::to_string(xlen));
+
+    // --- Fetch. ---
+    const NodeId inst = cb.input(32);
+    const NodeId imm = cb.shifter(xlen, inst, inst);
+
+    // --- Decode + register read. ---
+    const auto rf = regFile(cb, 16, xlen, 2);
+    const NodeId rs1 = rf[0];
+    const NodeId rs2 = rf[1];
+    const NodeId op_sel = cb.input(8);
+    const NodeId use_imm = cb.reduceOr(inst);
+    const NodeId operand_b = cb.mux(xlen, use_imm, imm, rs2);
+
+    // --- Execute. ---
+    const NodeId result = alu(cb, xlen, rs1, operand_b, op_sel);
+    const NodeId taken = cb.eq(xlen, rs1, rs2);
+    const NodeId target = cb.add(xlen, imm, imm);
+    const NodeId pc = pcLogic(cb, xlen, taken, target);
+
+    // --- Memory + writeback (single combined stage). ---
+    const NodeId mem_data = cb.input(xlen);
+    const NodeId is_load = cb.reduceAnd(inst);
+    const NodeId wb = cb.mux(xlen, is_load, mem_data, result);
+    const NodeId wb_reg = cb.reg(wb);
+    cb.output(xlen, {wb_reg});
+    cb.output(xlen, {pc});
+    return cb.build();
+}
+
+Graph
+buildRocketCore(int xlen, int mul_width)
+{
+    CircuitBuilder cb("rocket_x" + std::to_string(xlen) + "_m" +
+                      std::to_string(mul_width));
+
+    // --- IF: fetch with branch redirect. ---
+    const NodeId inst_raw = cb.input(32);
+    const NodeId if_id = cb.reg(32, inst_raw);
+
+    // --- ID: decode, register read, immediate generation. ---
+    const auto rf = regFile(cb, 32, xlen, 2);
+    const NodeId imm = cb.shifter(xlen, if_id, if_id);
+    const NodeId op_sel = cb.input(8);
+    std::vector<NodeId> id_ex = {cb.reg(xlen, rf[0]), cb.reg(xlen, rf[1]),
+                                 cb.reg(xlen, imm), cb.reg(8, op_sel)};
+
+    // --- EX: ALU + bypass + branch + pipelined multiplier/divider. ---
+    const NodeId wb_bypass = cb.dff(xlen);
+    const NodeId mem_bypass = cb.dff(xlen);
+    const NodeId byp_sel = cb.input(4);
+    const NodeId op_a =
+        cb.muxTree(xlen, byp_sel, {id_ex[0], mem_bypass, wb_bypass});
+    const NodeId op_b =
+        cb.muxTree(xlen, byp_sel, {id_ex[1], id_ex[2], wb_bypass});
+    const NodeId alu_out = alu(cb, xlen, op_a, op_b, id_ex[3]);
+
+    const NodeId mul_lo = cb.mul(mul_width, op_a, op_b);
+    const NodeId mul_stage = cb.reg(mul_lo);
+    const NodeId div_out = cb.div(mul_width, op_a, op_b);
+    const NodeId div_stage = cb.reg(div_out);
+
+    const NodeId taken = cb.lgt(xlen, op_a, op_b);
+    const NodeId target = cb.add(xlen, id_ex[2], id_ex[2]);
+    pcLogic(cb, xlen, taken, target);
+
+    const NodeId ex_mem = cb.reg(xlen, alu_out);
+
+    // --- MEM: address generation + load alignment. ---
+    const NodeId mem_rdata = cb.input(xlen);
+    const NodeId aligned = cb.shifter(xlen, mem_rdata, ex_mem);
+    const NodeId is_load = cb.reduceOr(if_id);
+    const NodeId mem_out = cb.mux(xlen, is_load, aligned, ex_mem);
+    cb.connect(mem_out, mem_bypass);
+    const NodeId mem_wb = cb.reg(xlen, mem_out);
+
+    // --- WB: select among ALU, MUL, DIV results. ---
+    const NodeId wb_sel = cb.input(4);
+    const NodeId wb =
+        cb.muxTree(xlen, wb_sel, {mem_wb, mul_stage, div_stage});
+    cb.connect(wb, wb_bypass);
+    cb.output(xlen, {cb.reg(wb)});
+    return cb.build();
+}
+
+Graph
+buildArianeCore(int xlen, int issue_entries)
+{
+    CircuitBuilder cb("ariane_x" + std::to_string(xlen) + "_sb" +
+                      std::to_string(issue_entries));
+
+    // --- Frontend: fetch buffer + branch predictor-ish compare chain. ---
+    const NodeId fetch = cb.input(32);
+    const NodeId fq0 = cb.reg(32, fetch);
+    const NodeId fq1 = cb.reg(32, fq0);
+    const NodeId bht_idx = cb.band(10, fq0, fq1);
+    const NodeId bht = cb.dff(10); // 1K-entry history index
+    const NodeId predict = cb.lgt(10, bht, bht_idx);
+    const NodeId upd = cb.add(10, bht, bht_idx);
+    cb.connect(cb.mux(10, predict, upd, bht), bht);
+
+    // --- Decode + rename-lite: two read ports, immediate. ---
+    const auto rf = regFile(cb, 32, xlen, 2);
+    const NodeId imm = cb.shifter(xlen, fq1, fq1);
+
+    // --- Scoreboard: issue_entries entries with tag comparators. ---
+    std::vector<NodeId> ready_bits;
+    const NodeId issue_tag = cb.input(8);
+    for (int e = 0; e < issue_entries; ++e) {
+        const NodeId entry_tag = cb.dff(8);
+        const NodeId entry_valid = cb.dff(4);
+        const NodeId hit = cb.eq(8, entry_tag, issue_tag);
+        const NodeId ready = cb.band(4, hit, entry_valid);
+        ready_bits.push_back(ready);
+        cb.connect(cb.mux(8, hit, issue_tag, entry_tag), entry_tag);
+        cb.connect(cb.bnot(4, entry_valid), entry_valid);
+    }
+    const NodeId can_issue =
+        cb.reduceOr(cb.reduceTree(NodeType::Or, 4, ready_bits));
+
+    // --- Issue/execute: ALU + branch unit + mul + CSR. ---
+    const NodeId op_sel = cb.input(8);
+    const NodeId op_a = cb.mux(xlen, can_issue, rf[0], imm);
+    const NodeId op_b = cb.mux(xlen, can_issue, rf[1], imm);
+    const NodeId alu_out = alu(cb, xlen, op_a, op_b, op_sel);
+    const NodeId mul_out = cb.reg(cb.mul(xlen, op_a, op_b));
+    const NodeId csr = cb.dff(xlen);
+    cb.connect(cb.add(xlen, csr, op_a), csr);
+
+    const NodeId taken = cb.band(4, predict, can_issue);
+    pcLogic(cb, xlen, taken, cb.add(xlen, imm, imm));
+
+    // --- Commit: two-deep reorder buffer slice. ---
+    const NodeId rob0 = cb.reg(xlen, alu_out);
+    const NodeId rob1 = cb.reg(xlen, mul_out);
+    const NodeId commit_sel = cb.input(4);
+    const NodeId commit = cb.muxTree(xlen, commit_sel, {rob0, rob1, csr});
+    cb.output(xlen, {cb.reg(commit)});
+    return cb.build();
+}
+
+} // namespace sns::designs

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The hardware design generator library — our stand-in for the paper's
+ * 41 open-source designs (Table 3).
+ *
+ * Every generator builds a structurally realistic GraphIR circuit from
+ * explicit microarchitectural parameters. Families are parameterizable
+ * (as in §4.1: "designs with different hardware parameters are
+ * generated whenever possible"), and each spec records its base family
+ * so dataset splits can keep all variants of one base on the same side
+ * (the paper's fairness rule).
+ */
+
+#ifndef SNS_DESIGNS_DESIGNS_HH
+#define SNS_DESIGNS_DESIGNS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graphir/graph.hh"
+
+namespace sns::designs {
+
+using graphir::Graph;
+
+/** One concrete design the dataset can instantiate. */
+struct DesignSpec
+{
+    std::string name;     ///< unique instance name, e.g. "gemm_w32_k8"
+    std::string base;     ///< parameterizable base family, e.g. "gemm"
+    std::string category; ///< Table-3 category label
+    std::function<Graph()> build; ///< constructs the GraphIR circuit
+};
+
+/** @name Processor cores
+ * @{
+ */
+/** A Sodor-like 3-stage in-order core datapath. */
+Graph buildSodorCore(int xlen);
+/** A Rocket-like 5-stage in-order core with bypass network. */
+Graph buildRocketCore(int xlen, int mul_width);
+/** An Ariane-like 6-stage core with a scoreboard. */
+Graph buildArianeCore(int xlen, int issue_entries);
+/** @} */
+
+/** @name Peripherals
+ * @{
+ */
+/** A GPIO block with direction/value/interrupt registers. */
+Graph buildGpio(int ports);
+/** An IceNet-like NIC datapath: checksum, CRC, FIFO. */
+Graph buildIceNic(int data_width, int fifo_depth);
+/** @} */
+
+/** @name Machine-learning accelerators
+ * @{
+ */
+/** A Gemmini-like output-stationary systolic array. */
+Graph buildSystolicArray(int rows, int cols, int width);
+/** An NVDLA-like convolution MAC engine with accumulator SRAM regs. */
+Graph buildConvEngine(int macs, int width, int accumulators);
+/** @} */
+
+/** @name Vector arithmetic
+ * @{
+ */
+/** A SIMD integer ALU with per-lane op select. */
+Graph buildSimdAlu(int lanes, int width);
+/** A Hwacha-like vector unit: lanes + sequencer + chaining muxes. */
+Graph buildVectorUnit(int lanes, int width, int banks);
+/** @} */
+
+/** @name Signal processing
+ * @{
+ */
+/** A radix-2 decimation-in-time FFT datapath. */
+Graph buildFft(int points, int width);
+/** A 1-D FIR convolution pipeline. */
+Graph buildConvolution(int taps, int width);
+/** @} */
+
+/** @name Cryptography
+ * @{
+ */
+/** An AES-like round function (sbox mux networks + mix columns). */
+Graph buildAesRound(int parallel_bytes);
+/** A SHA3-like permutation slice (theta/rho/chi XOR networks). */
+Graph buildSha3(int lanes);
+/** @} */
+
+/** @name Linear algebra
+ * @{
+ */
+/** A GEMM dot-product engine with K-wide MAC trees. */
+Graph buildGemm(int k, int width, int engines);
+/** A sparse matrix-vector engine (index match + MAC). */
+Graph buildSpmv(int lanes, int width);
+/** @} */
+
+/** @name Sorting
+ * @{
+ */
+/** A bitonic/odd-even merge sorting network of compare-swap cells. */
+Graph buildMergeSorter(int elements, int width);
+/** A radix-sort digit-histogram pipeline. */
+Graph buildRadixSorter(int buckets, int width);
+/** @} */
+
+/** @name Non-linear function approximation
+ * @{
+ */
+/** An N-entry lookup table (registered entries + mux tree). */
+Graph buildLookupTable(int entries, int width);
+/** A piece-wise linear approximator: segment compare + slope MAC. */
+Graph buildPiecewise(int segments, int width);
+/** @} */
+
+/** @name Other (Table 3 bottom row)
+ * @{
+ */
+/** A hardfloat-like FP unit decomposed into integer primitives. */
+Graph buildFpUnit(int mantissa_width);
+/** A multi-core single-precision stencil-2D accelerator. */
+Graph buildStencil2d(int cores, int width);
+/** An add-compare-select Viterbi decoder stage. */
+Graph buildViterbi(int states, int width);
+/** @} */
+
+/** The full design library. */
+class DesignLibrary
+{
+  public:
+    /**
+     * The 41-design Hardware Design Dataset generator set, spanning
+     * every Table-3 category with parameter variants per base family.
+     */
+    static std::vector<DesignSpec> paperDataset();
+
+    /** A small subset (one per category) for fast tests and examples. */
+    static std::vector<DesignSpec> smokeSet();
+
+    /** Distinct base-family names in the paper dataset. */
+    static std::vector<std::string> baseFamilies();
+
+    /** Look up one spec by name; fatal() if missing. */
+    static const DesignSpec &byName(const std::string &name);
+};
+
+} // namespace sns::designs
+
+#endif // SNS_DESIGNS_DESIGNS_HH

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Kernel-accelerator generators: signal processing (FFT, convolution),
+ * cryptography (AES round, SHA3 slice), linear algebra (GEMM, SPMV),
+ * and sorting networks — the MachSuite-flavoured middle of Table 3.
+ */
+
+#include "designs/designs.hh"
+
+#include "netlist/circuit_builder.hh"
+#include "util/logging.hh"
+
+namespace sns::designs {
+
+using graphir::NodeId;
+using graphir::NodeType;
+using netlist::CircuitBuilder;
+
+namespace {
+
+/** One radix-2 butterfly: (a + w*b, a - w*b) with a twiddle register. */
+std::pair<NodeId, NodeId>
+butterfly(CircuitBuilder &cb, int width, NodeId a, NodeId b)
+{
+    // Twiddle factors carry guard bits beyond the datapath width.
+    const NodeId twiddle = cb.dff(width + 2);
+    const NodeId wb = cb.mul(width, b, twiddle);
+    const NodeId upper = cb.add(width, a, wb);
+    const NodeId lower = cb.add(width, a, cb.bnot(width, wb));
+    return {upper, lower};
+}
+
+/** A compare-and-swap sorting cell. */
+std::pair<NodeId, NodeId>
+compareSwap(CircuitBuilder &cb, int width, NodeId a, NodeId b)
+{
+    const NodeId gt = cb.lgt(width, a, b);
+    const NodeId lo = cb.mux(width, gt, b, a);
+    const NodeId hi = cb.mux(width, gt, a, b);
+    return {lo, hi};
+}
+
+} // namespace
+
+Graph
+buildFft(int points, int width)
+{
+    SNS_ASSERT(points >= 2 && (points & (points - 1)) == 0,
+               "FFT points must be a power of two");
+    CircuitBuilder cb("fft_n" + std::to_string(points) + "_w" +
+                      std::to_string(width));
+
+    std::vector<NodeId> stage = cb.inputBus(width, points);
+    for (int span = points / 2; span >= 1; span /= 2) {
+        std::vector<NodeId> next(points);
+        for (int block = 0; block < points; block += 2 * span) {
+            for (int i = 0; i < span; ++i) {
+                const auto [upper, lower] = butterfly(
+                    cb, width, stage[block + i], stage[block + span + i]);
+                next[block + i] = upper;
+                next[block + span + i] = lower;
+            }
+        }
+        // Pipeline register between stages.
+        stage = cb.regBank(next);
+    }
+    for (NodeId out : stage)
+        cb.output(width, {out});
+    return cb.build();
+}
+
+Graph
+buildConvolution(int taps, int width)
+{
+    CircuitBuilder cb("conv1d_t" + std::to_string(taps) + "_w" +
+                      std::to_string(width));
+    const int acc_width = 2 * width;
+
+    // Transposed-form FIR: sample broadcast to all taps, products flow
+    // through an accumulate chain of registers.
+    const NodeId sample = cb.input(width);
+    NodeId carry = graphir::kInvalidNode;
+    for (int t = 0; t < taps; ++t) {
+        const NodeId coeff = cb.dff(12); // 12-bit quantized taps
+        const NodeId product = cb.mul(acc_width, sample, coeff);
+        if (carry == graphir::kInvalidNode) {
+            carry = cb.reg(acc_width, product);
+        } else {
+            carry = cb.reg(acc_width, cb.add(acc_width, product, carry));
+        }
+    }
+    cb.output(acc_width, {carry});
+    return cb.build();
+}
+
+Graph
+buildAesRound(int parallel_bytes)
+{
+    CircuitBuilder cb("aes_round_p" + std::to_string(parallel_bytes));
+
+    // SubBytes: per byte, an S-box approximated structurally as a
+    // 2-level mux network over stored constants, followed by ShiftRows
+    // (wiring / shifter), MixColumns (xtime = shift + conditional xor),
+    // and AddRoundKey (xor with a key register).
+    std::vector<NodeId> mixed;
+    for (int b = 0; b < parallel_bytes; ++b) {
+        const NodeId in_byte = cb.input(8);
+        // S-box lookup: 8 stored rows selected by the input.
+        std::vector<NodeId> sbox_rows;
+        for (int r = 0; r < 8; ++r)
+            sbox_rows.push_back(cb.dff(8));
+        const NodeId substituted = cb.muxTree(8, in_byte, sbox_rows);
+        const NodeId shifted = cb.shifter(8, substituted, in_byte);
+        // xtime: shift left, conditional reduction-xor of the poly.
+        const NodeId doubled = cb.shifter(8, shifted, shifted);
+        const NodeId msb = cb.reduceOr(shifted);
+        const NodeId poly = cb.dff(8);
+        const NodeId reduced =
+            cb.mux(8, msb, cb.bxor(8, doubled, poly), doubled);
+        mixed.push_back(reduced);
+    }
+
+    // MixColumns column sums + AddRoundKey.
+    const NodeId column = cb.reduceTree(NodeType::Xor, 8, mixed);
+    const NodeId round_key = cb.dff(8);
+    const NodeId state_out = cb.bxor(8, column, round_key);
+    cb.output(8, {cb.reg(state_out)});
+    return cb.build();
+}
+
+Graph
+buildSha3(int lanes)
+{
+    CircuitBuilder cb("sha3_l" + std::to_string(lanes));
+
+    // Keccak-f slice: lanes of state registers; theta = column parity
+    // xor; rho/pi = rotations (shifters); chi = not/and/xor lane mix.
+    std::vector<NodeId> state;
+    for (int l = 0; l < lanes; ++l)
+        state.push_back(cb.dff(64));
+
+    // theta: parity of all lanes xored into each lane.
+    const NodeId parity = cb.reduceTree(NodeType::Xor, 64, state);
+    std::vector<NodeId> theta;
+    for (NodeId lane : state)
+        theta.push_back(cb.bxor(64, lane, parity));
+
+    // rho: per-lane rotation by a lane-specific register amount.
+    std::vector<NodeId> rho;
+    for (NodeId lane : theta) {
+        const NodeId amount = cb.dff(8);
+        rho.push_back(cb.shifter(64, lane, amount));
+    }
+
+    // chi: lane[i] ^= ~lane[i+1] & lane[i+2].
+    for (size_t i = 0; i < rho.size(); ++i) {
+        const NodeId nxt = rho[(i + 1) % rho.size()];
+        const NodeId nxt2 = rho[(i + 2) % rho.size()];
+        const NodeId chi =
+            cb.bxor(64, rho[i], cb.band(64, cb.bnot(64, nxt), nxt2));
+        cb.connect(chi, state[i]);
+    }
+    cb.output(64, {state[0]});
+    return cb.build();
+}
+
+Graph
+buildGemm(int k, int width, int engines)
+{
+    CircuitBuilder cb("gemm_k" + std::to_string(k) + "_w" +
+                      std::to_string(width) + "_e" +
+                      std::to_string(engines));
+    // Accumulators grow log2(k) guard bits over the product width.
+    int guard = 0;
+    while ((1 << guard) < k)
+        ++guard;
+    const int acc_width = 2 * width + guard;
+
+    std::vector<NodeId> outs;
+    for (int e = 0; e < engines; ++e) {
+        std::vector<NodeId> products;
+        for (int i = 0; i < k; ++i) {
+            const NodeId a = cb.input(width);
+            const NodeId b = cb.dff(width); // stationary B panel
+            products.push_back(cb.mul(acc_width, a, b));
+        }
+        const NodeId dot = cb.reduceTree(NodeType::Add, acc_width,
+                                         products);
+        const NodeId acc = cb.dff(acc_width);
+        cb.connect(cb.add(acc_width, dot, acc), acc);
+        outs.push_back(acc);
+    }
+    for (NodeId out : outs)
+        cb.output(acc_width, {out});
+    return cb.build();
+}
+
+Graph
+buildSpmv(int lanes, int width)
+{
+    CircuitBuilder cb("spmv_l" + std::to_string(lanes) + "_w" +
+                      std::to_string(width));
+    const int acc_width = 2 * width;
+
+    // Per lane: column-index match (CAM compare), gated multiply,
+    // accumulate. A final tree reduces lane partial sums.
+    std::vector<NodeId> partials;
+    for (int l = 0; l < lanes; ++l) {
+        const NodeId col_idx = cb.input(14); // 16K-column matrices
+        const NodeId row_ptr = cb.dff(14);
+        const NodeId hit = cb.eq(14, col_idx, row_ptr);
+        const NodeId value = cb.input(width);
+        const NodeId x = cb.dff(width); // cached vector element
+        const NodeId product = cb.mul(acc_width, value, x);
+        const NodeId zero = cb.dff(acc_width);
+        const NodeId gated = cb.mux(acc_width, hit, product, zero);
+        const NodeId acc = cb.dff(acc_width);
+        cb.connect(cb.add(acc_width, gated, acc), acc);
+        partials.push_back(acc);
+    }
+    const NodeId row_sum =
+        cb.reduceTree(NodeType::Add, acc_width, partials);
+    cb.output(acc_width, {cb.reg(row_sum)});
+    return cb.build();
+}
+
+Graph
+buildMergeSorter(int elements, int width)
+{
+    SNS_ASSERT(elements >= 2 && (elements & (elements - 1)) == 0,
+               "sorter size must be a power of two");
+    CircuitBuilder cb("merge_sort_n" + std::to_string(elements) + "_w" +
+                      std::to_string(width));
+
+    // Bitonic-style network: log2(n) merge phases, each a cascade of
+    // compare-swap columns at halving distances, with pipeline
+    // registers between columns.
+    std::vector<NodeId> wires = cb.inputBus(width, elements);
+    for (int phase = 2; phase <= elements; phase <<= 1) {
+        for (int dist = phase / 2; dist >= 1; dist >>= 1) {
+            std::vector<NodeId> next = wires;
+            for (int i = 0; i < elements; ++i) {
+                if ((i & dist) == 0 && (i + dist) < elements) {
+                    const auto [lo, hi] =
+                        compareSwap(cb, width, wires[i], wires[i + dist]);
+                    next[i] = lo;
+                    next[i + dist] = hi;
+                }
+            }
+            wires = cb.regBank(next);
+        }
+    }
+    for (NodeId w : wires)
+        cb.output(width, {w});
+    return cb.build();
+}
+
+Graph
+buildRadixSorter(int buckets, int width)
+{
+    CircuitBuilder cb("radix_sort_b" + std::to_string(buckets) + "_w" +
+                      std::to_string(width));
+
+    // Digit extraction + per-bucket histogram counters + prefix-sum
+    // chain (the scatter-address pipeline of a radix sort pass).
+    const NodeId key = cb.input(width);
+    const NodeId digit = cb.shifter(6, key, key); // radix-64 digit
+
+    std::vector<NodeId> counters;
+    for (int b = 0; b < buckets; ++b) {
+        const NodeId tag = cb.dff(6);
+        const NodeId hit = cb.eq(8, digit, tag);
+        const NodeId count = cb.dff(10); // histogram saturates at 1K
+        const NodeId one = cb.dff(10);
+        const NodeId bumped = cb.add(10, count, one);
+        cb.connect(cb.mux(10, hit, bumped, count), count);
+        counters.push_back(count);
+    }
+    // Exclusive prefix sum over bucket counts.
+    NodeId running = counters[0];
+    std::vector<NodeId> offsets = {running};
+    for (size_t b = 1; b < counters.size(); ++b) {
+        running = cb.add(16, running, counters[b]);
+        offsets.push_back(cb.reg(running));
+    }
+    const NodeId pick = cb.muxTree(16, digit, offsets);
+    cb.output(16, {cb.reg(pick)});
+    return cb.build();
+}
+
+} // namespace sns::designs

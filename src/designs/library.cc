@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The design registry: assembles the 41-design Hardware Design Dataset
+ * (Table 3) from the parametric generators, with variants per base
+ * family as in §4.1.
+ */
+
+#include "designs/designs.hh"
+
+#include <set>
+
+#include "util/logging.hh"
+
+namespace sns::designs {
+
+namespace {
+
+std::vector<DesignSpec>
+makePaperDataset()
+{
+    std::vector<DesignSpec> specs;
+    auto addSpec = [&specs](std::string base, std::string category,
+                            std::function<Graph()> build) {
+        DesignSpec spec;
+        spec.build = std::move(build);
+        spec.name = spec.build().name();
+        spec.base = std::move(base);
+        spec.category = std::move(category);
+        specs.push_back(std::move(spec));
+    };
+
+    // --- Processor cores (5). ---
+    addSpec("sodor", "Processor Core", [] { return buildSodorCore(32); });
+    addSpec("rocket", "Processor Core",
+            [] { return buildRocketCore(32, 32); });
+    addSpec("rocket", "Processor Core",
+            [] { return buildRocketCore(64, 64); });
+    addSpec("ariane", "Processor Core",
+            [] { return buildArianeCore(64, 8); });
+    addSpec("ariane", "Processor Core",
+            [] { return buildArianeCore(64, 16); });
+
+    // --- Peripheral components (3). ---
+    addSpec("gpio", "Peripheral Component", [] { return buildGpio(8); });
+    addSpec("gpio", "Peripheral Component", [] { return buildGpio(32); });
+    addSpec("icenet", "Peripheral Component",
+            [] { return buildIceNic(64, 16); });
+
+    // --- Machine learning accelerators (5). ---
+    addSpec("systolic", "Machine Learning Acc.",
+            [] { return buildSystolicArray(4, 4, 8); });
+    addSpec("systolic", "Machine Learning Acc.",
+            [] { return buildSystolicArray(8, 8, 16); });
+    addSpec("systolic", "Machine Learning Acc.",
+            [] { return buildSystolicArray(16, 16, 16); });
+    addSpec("nvdla_conv", "Machine Learning Acc.",
+            [] { return buildConvEngine(32, 8, 16); });
+    addSpec("nvdla_conv", "Machine Learning Acc.",
+            [] { return buildConvEngine(64, 16, 32); });
+
+    // --- Vector arithmetic (4). ---
+    addSpec("simd_alu", "Vector Arithmetic",
+            [] { return buildSimdAlu(4, 32); });
+    addSpec("simd_alu", "Vector Arithmetic",
+            [] { return buildSimdAlu(16, 32); });
+    addSpec("hwacha", "Vector Arithmetic",
+            [] { return buildVectorUnit(4, 64, 8); });
+    addSpec("hwacha", "Vector Arithmetic",
+            [] { return buildVectorUnit(8, 64, 16); });
+
+    // --- Signal processing (5). ---
+    addSpec("fft", "Signal Processing", [] { return buildFft(8, 16); });
+    addSpec("fft", "Signal Processing", [] { return buildFft(32, 16); });
+    addSpec("fft", "Signal Processing", [] { return buildFft(64, 32); });
+    addSpec("conv1d", "Signal Processing",
+            [] { return buildConvolution(16, 16); });
+    addSpec("conv1d", "Signal Processing",
+            [] { return buildConvolution(64, 16); });
+
+    // --- Cryptographic arithmetic (3). ---
+    addSpec("aes", "Cryptographic Arithmetic",
+            [] { return buildAesRound(16); });
+    addSpec("sha3", "Cryptographic Arithmetic",
+            [] { return buildSha3(16); });
+    addSpec("sha3", "Cryptographic Arithmetic",
+            [] { return buildSha3(25); });
+
+    // --- Linear algebra (4). ---
+    addSpec("gemm", "Linear Algebra",
+            [] { return buildGemm(8, 16, 4); });
+    addSpec("gemm", "Linear Algebra",
+            [] { return buildGemm(16, 32, 8); });
+    addSpec("spmv", "Linear Algebra", [] { return buildSpmv(8, 32); });
+    addSpec("spmv", "Linear Algebra", [] { return buildSpmv(16, 32); });
+
+    // --- Sort (4). ---
+    addSpec("merge_sort", "Sort",
+            [] { return buildMergeSorter(16, 32); });
+    addSpec("merge_sort", "Sort",
+            [] { return buildMergeSorter(64, 32); });
+    addSpec("radix_sort", "Sort",
+            [] { return buildRadixSorter(16, 32); });
+    addSpec("radix_sort", "Sort",
+            [] { return buildRadixSorter(64, 32); });
+
+    // --- Non-linear function approximation (4). ---
+    addSpec("lut", "Non-linear Approximation",
+            [] { return buildLookupTable(128, 8); });
+    addSpec("lut", "Non-linear Approximation",
+            [] { return buildLookupTable(1024, 16); });
+    addSpec("piecewise", "Non-linear Approximation",
+            [] { return buildPiecewise(8, 16); });
+    addSpec("piecewise", "Non-linear Approximation",
+            [] { return buildPiecewise(32, 16); });
+
+    // --- Other (4). ---
+    addSpec("fpu", "Other", [] { return buildFpUnit(24); });
+    addSpec("stencil2d", "Other", [] { return buildStencil2d(4, 32); });
+    addSpec("stencil2d", "Other", [] { return buildStencil2d(16, 32); });
+    addSpec("viterbi", "Other", [] { return buildViterbi(64, 16); });
+
+    return specs;
+}
+
+} // namespace
+
+std::vector<DesignSpec>
+DesignLibrary::paperDataset()
+{
+    return makePaperDataset();
+}
+
+std::vector<DesignSpec>
+DesignLibrary::smokeSet()
+{
+    const std::vector<std::string> picks = {
+        "sodor_x32",       "gpio_p8",        "systolic_4x4_w8",
+        "simd_alu_l4_w32", "fft_n8_w16",     "aes_round_p16",
+        "gemm_k8_w16_e4",  "merge_sort_n16_w32",
+        "lut_e128_w8",     "viterbi_s64_w16",
+    };
+    std::vector<DesignSpec> subset;
+    for (const auto &name : picks)
+        subset.push_back(byName(name));
+    return subset;
+}
+
+std::vector<std::string>
+DesignLibrary::baseFamilies()
+{
+    std::set<std::string> bases;
+    for (const auto &spec : makePaperDataset())
+        bases.insert(spec.base);
+    return {bases.begin(), bases.end()};
+}
+
+const DesignSpec &
+DesignLibrary::byName(const std::string &name)
+{
+    static const std::vector<DesignSpec> all = makePaperDataset();
+    for (const auto &spec : all) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown design: ", name);
+}
+
+} // namespace sns::designs

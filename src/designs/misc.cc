@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Remaining Table-3 generators: peripherals (GPIO, IceNet-like NIC),
+ * non-linear function approximation (lookup table, piece-wise linear),
+ * and the "Other" row (hardfloat-like FP unit, multi-core stencil-2D
+ * accelerator, Viterbi add-compare-select stage).
+ */
+
+#include "designs/designs.hh"
+
+#include "netlist/circuit_builder.hh"
+#include "util/logging.hh"
+
+namespace sns::designs {
+
+using graphir::NodeId;
+using graphir::NodeType;
+using netlist::CircuitBuilder;
+
+Graph
+buildGpio(int ports)
+{
+    CircuitBuilder cb("gpio_p" + std::to_string(ports));
+    // Per port: direction register, output register, input synchronizer
+    // chain, and interrupt edge detector.
+    std::vector<NodeId> irqs;
+    for (int p = 0; p < ports; ++p) {
+        const NodeId pad_in = cb.input(4);
+        const NodeId dir = cb.dff(4);
+        const NodeId out_reg = cb.dff(4);
+        const NodeId sync1 = cb.reg(4, pad_in);
+        const NodeId sync2 = cb.reg(4, sync1);
+        const NodeId drive = cb.mux(4, dir, out_reg, sync2);
+        cb.output(4, {drive});
+        const NodeId edge = cb.bxor(4, sync1, sync2);
+        const NodeId mask = cb.dff(4);
+        irqs.push_back(cb.band(4, edge, mask));
+        cb.connect(drive, out_reg);
+    }
+    const NodeId irq = cb.reduceOr(
+        cb.reduceTree(NodeType::Or, 4, irqs));
+    cb.output(4, {cb.reg(4, irq)});
+    return cb.build();
+}
+
+Graph
+buildIceNic(int data_width, int fifo_depth)
+{
+    CircuitBuilder cb("icenet_w" + std::to_string(data_width) + "_f" +
+                      std::to_string(fifo_depth));
+
+    // Receive path: data through a FIFO register chain, ones-complement
+    // checksum accumulator, CRC-ish xor/shift ladder, length compare.
+    const NodeId rx = cb.input(data_width);
+    NodeId stage = rx;
+    std::vector<NodeId> fifo;
+    for (int i = 0; i < fifo_depth; ++i) {
+        stage = cb.reg(data_width, stage);
+        fifo.push_back(stage);
+    }
+
+    const NodeId csum = cb.dff(data_width);
+    cb.connect(cb.add(data_width, csum, rx), csum);
+
+    NodeId crc = cb.dff(data_width);
+    const NodeId shifted = cb.shifter(data_width, crc, rx);
+    const NodeId folded = cb.bxor(data_width, shifted, rx);
+    cb.connect(folded, crc);
+
+    const NodeId expect_len = cb.dff(11); // jumbo frames: 2K bytes
+    const NodeId seen_len = cb.dff(11);
+    const NodeId one = cb.dff(11);
+    cb.connect(cb.add(11, seen_len, one), seen_len);
+    const NodeId done = cb.eq(11, seen_len, expect_len);
+
+    const NodeId head_sel = cb.input(8);
+    const NodeId head = cb.muxTree(data_width, head_sel, fifo);
+    const NodeId deliver = cb.mux(data_width, done, head, csum);
+    cb.output(data_width, {cb.reg(deliver)});
+    return cb.build();
+}
+
+Graph
+buildLookupTable(int entries, int width)
+{
+    CircuitBuilder cb("lut_e" + std::to_string(entries) + "_w" +
+                      std::to_string(width));
+    // Registered table entries read through a mux tree (the paper's
+    // smallest design class: a 128-entry 8-bit lookup table).
+    std::vector<NodeId> table;
+    for (int e = 0; e < entries; ++e)
+        table.push_back(cb.dff(width));
+    const NodeId index = cb.input(16);
+    const NodeId data = cb.muxTree(width, index, table);
+    cb.output(width, {cb.reg(data)});
+    return cb.build();
+}
+
+Graph
+buildPiecewise(int segments, int width)
+{
+    CircuitBuilder cb("piecewise_s" + std::to_string(segments) + "_w" +
+                      std::to_string(width));
+    const int acc_width = 2 * width;
+
+    // Segment search: parallel breakpoint compares select a (slope,
+    // offset) pair; evaluation is a MAC: y = slope * x + offset.
+    const NodeId x = cb.input(width);
+    std::vector<NodeId> slopes;
+    std::vector<NodeId> offsets;
+    std::vector<NodeId> hits;
+    for (int s = 0; s < segments; ++s) {
+        const NodeId breakpoint = cb.dff(width);
+        hits.push_back(cb.lgt(width, x, breakpoint));
+        slopes.push_back(cb.dff(width));
+        offsets.push_back(cb.dff(acc_width + 2)); // offset headroom
+    }
+    const NodeId which = cb.reduceTree(NodeType::Or, 8, hits);
+    const NodeId slope = cb.muxTree(width, which, slopes);
+    const NodeId offset = cb.muxTree(acc_width, which, offsets);
+    const NodeId prod = cb.mul(acc_width, slope, x);
+    const NodeId y = cb.add(acc_width, prod, offset);
+    cb.output(acc_width, {cb.reg(y)});
+    return cb.build();
+}
+
+Graph
+buildFpUnit(int mantissa_width)
+{
+    CircuitBuilder cb("fpu_m" + std::to_string(mantissa_width));
+    const int mw = mantissa_width;
+    const int ew = 8;
+
+    // FP adder: exponent compare, mantissa align shifter, add/sub,
+    // leading-zero-style normalize shifter, exponent adjust.
+    const NodeId exp_a = cb.input(ew);
+    const NodeId exp_b = cb.input(ew);
+    const NodeId man_a = cb.input(mw);
+    const NodeId man_b = cb.input(mw);
+
+    const NodeId exp_gt = cb.lgt(ew, exp_a, exp_b);
+    const NodeId exp_diff = cb.add(ew, exp_a, cb.bnot(ew, exp_b));
+    const NodeId man_small = cb.mux(mw, exp_gt, man_b, man_a);
+    const NodeId man_big = cb.mux(mw, exp_gt, man_a, man_b);
+    const NodeId aligned = cb.shifter(mw, man_small, exp_diff);
+    const NodeId mant_sum = cb.add(mw, man_big, aligned);
+    const NodeId lz = cb.reduceOr(mant_sum);
+    const NodeId normalized = cb.shifter(mw, mant_sum, exp_diff);
+    const NodeId exp_base = cb.mux(ew, exp_gt, exp_a, exp_b);
+    const NodeId exp_adj = cb.add(ew, exp_base, cb.mux(ew, lz, exp_diff,
+                                                       exp_base));
+    const NodeId add_out = cb.reg(mw, normalized);
+    cb.output(ew, {cb.reg(ew, exp_adj)});
+
+    // FP multiplier: mantissa multiply, exponent add, round compare.
+    const NodeId prod = cb.mul(2 * mw, man_a, man_b);
+    const NodeId exp_sum = cb.add(ew, exp_a, exp_b);
+    const NodeId guard = cb.reduceOr(prod);
+    const NodeId rounded = cb.mux(2 * mw, guard, prod, prod);
+    cb.output(2 * mw, {cb.reg(rounded)});
+    cb.output(ew, {cb.reg(ew, exp_sum)});
+    cb.output(mw, {add_out});
+    return cb.build();
+}
+
+Graph
+buildStencil2d(int cores, int width)
+{
+    CircuitBuilder cb("stencil2d_c" + std::to_string(cores) + "_w" +
+                      std::to_string(width));
+    const int acc_width = 2 * width;
+
+    // Each core processes 8 output columns in parallel; every column
+    // pipeline has a 3x3 window of line-buffer registers, 9 coefficient
+    // MACs reduced by a tree, and a normalization shift. Cores share a
+    // broadcast input stream. This is the paper's largest design class
+    // (the 16-core single-precision stencil-2D accelerator).
+    constexpr int kColumnsPerCore = 8;
+    const NodeId stream = cb.input(width);
+    std::vector<NodeId> core_outs;
+    for (int c = 0; c < cores; ++c) {
+        // Line buffers modelled as register delay chains shared by the
+        // core's column pipelines.
+        NodeId row0 = cb.reg(width, stream);
+        NodeId row1 = cb.reg(width, row0);
+        NodeId row2 = cb.reg(width, row1);
+
+        std::vector<NodeId> column_results;
+        for (int col = 0; col < kColumnsPerCore; ++col) {
+            std::vector<NodeId> window;
+            for (int dy = 0; dy < 3; ++dy) {
+                NodeId tap = dy == 0 ? row0 : (dy == 1 ? row1 : row2);
+                for (int dx = 0; dx <= col % 3; ++dx)
+                    tap = cb.reg(width, tap);
+                for (int dx = 0; dx < 3; ++dx) {
+                    tap = cb.reg(width, tap);
+                    window.push_back(tap);
+                }
+            }
+            std::vector<NodeId> products;
+            for (NodeId w : window) {
+                const NodeId coeff = cb.dff(width);
+                products.push_back(cb.mul(acc_width, w, coeff));
+            }
+            const NodeId total =
+                cb.reduceTree(NodeType::Add, acc_width, products);
+            const NodeId shift_amt = cb.dff(8);
+            const NodeId normalized =
+                cb.shifter(acc_width, total, shift_amt);
+            column_results.push_back(cb.reg(normalized));
+        }
+        const NodeId drain_sel = cb.input(8);
+        core_outs.push_back(
+            cb.muxTree(acc_width, drain_sel, column_results));
+    }
+    for (NodeId out : core_outs)
+        cb.output(acc_width, {out});
+    return cb.build();
+}
+
+Graph
+buildViterbi(int states, int width)
+{
+    CircuitBuilder cb("viterbi_s" + std::to_string(states) + "_w" +
+                      std::to_string(width));
+    // Path metrics carry 4 renormalization guard bits.
+    width += 4;
+
+    // Add-compare-select per state: two branch-metric adders, a
+    // comparator, a survivor mux, and the path-metric register.
+    std::vector<NodeId> metrics;
+    for (int s = 0; s < states; ++s)
+        metrics.push_back(cb.dff(width));
+
+    const NodeId branch0 = cb.input(width);
+    const NodeId branch1 = cb.input(width);
+    std::vector<NodeId> survivors;
+    for (int s = 0; s < states; ++s) {
+        const NodeId pred0 = metrics[s];
+        const NodeId pred1 = metrics[(s + states / 2) % states];
+        const NodeId cand0 = cb.add(width, pred0, branch0);
+        const NodeId cand1 = cb.add(width, pred1, branch1);
+        const NodeId pick = cb.lgt(width, cand0, cand1);
+        const NodeId best = cb.mux(width, pick, cand1, cand0);
+        cb.connect(best, metrics[s]);
+        survivors.push_back(pick);
+    }
+    const NodeId decision = cb.reduceTree(NodeType::Or, 8, survivors);
+    cb.output(8, {cb.reg(8, decision)});
+    return cb.build();
+}
+
+} // namespace sns::designs

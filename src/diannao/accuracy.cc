@@ -1,0 +1,258 @@
+#include "diannao/accuracy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/layers.hh"
+#include "nn/optim.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace sns::diannao {
+
+using namespace sns::tensor;
+
+namespace {
+
+/**
+ * Synthetic 10-class image dataset (8x8, one channel): each class is a
+ * smooth random template (spatially correlated, so convolution is the
+ * right inductive bias) plus per-sample noise.
+ */
+struct Dataset
+{
+    std::vector<std::vector<float>> inputs;
+    std::vector<int> labels;
+};
+
+std::vector<std::vector<float>>
+makeTemplates(const AccuracyStudyConfig &config, Rng &rng)
+{
+    const int side = 8;
+    SNS_ASSERT(config.input_dim == side * side,
+               "accuracy study expects 8x8 inputs");
+    std::vector<std::vector<float>> templates;
+    for (int c = 0; c < config.classes; ++c) {
+        // Smooth field: random low-frequency cosine mixture.
+        const double fx = 0.5 + rng.uniform() * 1.5;
+        const double fy = 0.5 + rng.uniform() * 1.5;
+        const double px = rng.uniform() * 6.28;
+        const double py = rng.uniform() * 6.28;
+        const double amp = 1.5 + rng.uniform();
+        std::vector<float> t(config.input_dim);
+        for (int y = 0; y < side; ++y) {
+            for (int x = 0; x < side; ++x) {
+                t[y * side + x] = static_cast<float>(
+                    amp * (std::cos(fx * x + px) +
+                           std::sin(fy * y + py)));
+            }
+        }
+        templates.push_back(std::move(t));
+    }
+    return templates;
+}
+
+Dataset
+makeDataset(const AccuracyStudyConfig &config, int samples, Rng &rng,
+            const std::vector<std::vector<float>> &templates)
+{
+    Dataset data;
+    for (int i = 0; i < samples; ++i) {
+        const int label = static_cast<int>(
+            rng.uniformInt(static_cast<uint64_t>(config.classes)));
+        std::vector<float> x(config.input_dim);
+        for (int j = 0; j < config.input_dim; ++j) {
+            x[j] = templates[label][j] +
+                   static_cast<float>(rng.normal(0.0, config.noise));
+        }
+        data.inputs.push_back(std::move(x));
+        data.labels.push_back(label);
+    }
+    return data;
+}
+
+/** Quantized (or fp32) matrix-vector product with requantization. */
+std::vector<float>
+quantizedLinear(const std::vector<float> &x, const std::vector<float> &w,
+                const std::vector<float> &b, int in_dim, int out_dim,
+                DataType dtype)
+{
+    std::vector<float> qx = x;
+    quantizeBuffer(qx, dtype);
+    std::vector<float> out(out_dim, 0.0f);
+    for (int o = 0; o < out_dim; ++o) {
+        float acc = b[o];
+        for (int i = 0; i < in_dim; ++i)
+            acc += qx[i] * w[static_cast<size_t>(i) * out_dim + o];
+        out[o] = acc;
+    }
+    // The accumulator leaves NFU-2 and is requantized into NBout.
+    quantizeBuffer(out, dtype);
+    return out;
+}
+
+/**
+ * Quantized 3x3 stride-1 pad-1 convolution on an HWC image, mirroring
+ * nn::Conv2d's arithmetic with the datatype's rounding at the
+ * input/output boundaries (NBin / NBout semantics).
+ */
+std::vector<float>
+quantizedConv3x3(const std::vector<float> &image, int height, int width,
+                 int in_channels, const std::vector<float> &w,
+                 const std::vector<float> &b, int out_channels,
+                 DataType dtype)
+{
+    std::vector<float> qx = image;
+    quantizeBuffer(qx, dtype);
+    std::vector<float> out(
+        static_cast<size_t>(height) * width * out_channels, 0.0f);
+    for (int oy = 0; oy < height; ++oy) {
+        for (int ox = 0; ox < width; ++ox) {
+            for (int f = 0; f < out_channels; ++f) {
+                float acc = b[f];
+                int tap = 0;
+                for (int ky = 0; ky < 3; ++ky) {
+                    for (int kx = 0; kx < 3; ++kx) {
+                        for (int c = 0; c < in_channels; ++c, ++tap) {
+                            const int iy = oy + ky - 1;
+                            const int ix = ox + kx - 1;
+                            if (iy < 0 || iy >= height || ix < 0 ||
+                                ix >= width) {
+                                continue;
+                            }
+                            acc += qx[(iy * width + ix) * in_channels +
+                                      c] *
+                                   w[static_cast<size_t>(tap) *
+                                         out_channels +
+                                     f];
+                        }
+                    }
+                }
+                out[(oy * width + ox) * out_channels + f] = acc;
+            }
+        }
+    }
+    quantizeBuffer(out, dtype);
+    return out;
+}
+
+/** 2x2 average pooling on an HWC buffer. */
+std::vector<float>
+pool2x2(const std::vector<float> &x, int height, int width, int channels)
+{
+    std::vector<float> out(
+        static_cast<size_t>(height / 2) * (width / 2) * channels);
+    for (int oy = 0; oy < height / 2; ++oy) {
+        for (int ox = 0; ox < width / 2; ++ox) {
+            for (int c = 0; c < channels; ++c) {
+                const int base =
+                    ((2 * oy) * width + 2 * ox) * channels + c;
+                out[(oy * (width / 2) + ox) * channels + c] =
+                    0.25f * (x[base] + x[base + channels] +
+                             x[base + width * channels] +
+                             x[base + width * channels + channels]);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<AccuracyResult>
+runAccuracyStudy(const AccuracyStudyConfig &config)
+{
+    Rng rng(config.seed);
+    const int side = 8;
+    const int conv_channels = config.conv_channels;
+
+    const auto templates = makeTemplates(config, rng);
+    const Dataset train =
+        makeDataset(config, config.train_samples, rng, templates);
+    const Dataset test =
+        makeDataset(config, config.test_samples, rng, templates);
+
+    // --- Train the fp32 reference CNN: conv3x3 -> relu -> pool ->
+    //     fully connected softmax (an AlexNet-in-miniature). ----------
+    Rng init_rng = rng.fork();
+    nn::Conv2d conv(1, conv_channels, 3, side, side, 1, init_rng);
+    const int fc_in = (side / 2) * (side / 2) * conv_channels;
+    nn::Linear head(fc_in, config.classes, init_rng);
+    std::vector<Variable> params = conv.parameters();
+    for (const auto &p : head.parameters())
+        params.push_back(p);
+    nn::Adam opt(params, 3e-3);
+
+    const int batch = 64;
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        for (size_t start = 0; start < train.inputs.size();
+             start += batch) {
+            const size_t end =
+                std::min(train.inputs.size(), start + batch);
+            Tensor x({static_cast<int>(end - start), config.input_dim});
+            std::vector<int> labels;
+            for (size_t i = start; i < end; ++i) {
+                for (int j = 0; j < config.input_dim; ++j)
+                    x.at2(static_cast<int>(i - start), j) =
+                        train.inputs[i][j];
+                labels.push_back(train.labels[i]);
+            }
+            opt.zeroGrad();
+            const Variable features = avgPool2x2(
+                relu(conv.forward(Variable(x))), conv_channels, side,
+                side);
+            Variable loss =
+                crossEntropyLoss(head.forward(features), labels);
+            loss.backward();
+            opt.step();
+        }
+    }
+
+    // Extract trained weights into flat buffers.
+    auto flatten = [](const Tensor &t) {
+        return std::vector<float>(t.data(), t.data() + t.numel());
+    };
+    const auto conv_params = conv.parameters();
+    const auto head_params = head.parameters();
+    const std::vector<float> wc = flatten(conv_params[0].value());
+    const std::vector<float> bc = flatten(conv_params[1].value());
+    const std::vector<float> wf = flatten(head_params[0].value());
+    const std::vector<float> bf = flatten(head_params[1].value());
+
+    // --- Evaluate quantized inference per datatype. --------------------
+    std::vector<AccuracyResult> results;
+    for (DataType dtype : allDataTypes()) {
+        std::vector<float> qwc = wc;
+        std::vector<float> qbc = bc;
+        std::vector<float> qwf = wf;
+        std::vector<float> qbf = bf;
+        quantizeBuffer(qwc, dtype);
+        quantizeBuffer(qbc, dtype);
+        quantizeBuffer(qwf, dtype);
+        quantizeBuffer(qbf, dtype);
+
+        int correct = 0;
+        for (size_t i = 0; i < test.inputs.size(); ++i) {
+            auto fmap = quantizedConv3x3(test.inputs[i], side, side, 1,
+                                         qwc, qbc, conv_channels, dtype);
+            for (auto &v : fmap)
+                v = std::max(v, 0.0f);
+            const auto pooled =
+                pool2x2(fmap, side, side, conv_channels);
+            const auto logits = quantizedLinear(
+                pooled, qwf, qbf, fc_in, config.classes, dtype);
+            const int argmax = static_cast<int>(
+                std::max_element(logits.begin(), logits.end()) -
+                logits.begin());
+            correct += argmax == test.labels[i];
+        }
+        AccuracyResult result;
+        result.dtype = dtype;
+        result.accuracy =
+            static_cast<double>(correct) / test.inputs.size();
+        results.push_back(result);
+    }
+    return results;
+}
+
+} // namespace sns::diannao

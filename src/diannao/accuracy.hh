@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The datatype-vs-model-accuracy study behind Fig. 11.
+ *
+ * Substitution note (see DESIGN.md): the paper trains AlexNet on
+ * CIFAR-10; we train a small convolutional network (conv3x3 -> relu ->
+ * avgpool -> fully connected) with our own nn stack on a synthetic
+ * 10-class 8x8-image dataset of smooth class templates, then evaluate
+ * inference accuracy under each DianNao datatype using the
+ * bit-accurate emulation in dtype.hh (weights and activations
+ * quantized at every NBin/NBout boundary, exactly as the accelerator
+ * would). The relevant behaviour — classification accuracy saturating
+ * beyond int16 while int8 loses accuracy — is produced by genuinely
+ * quantized inference of a genuinely trained network.
+ */
+
+#ifndef SNS_DIANNAO_ACCURACY_HH
+#define SNS_DIANNAO_ACCURACY_HH
+
+#include <vector>
+
+#include "diannao/dtype.hh"
+
+namespace sns::diannao {
+
+/** Accuracy-study configuration. */
+struct AccuracyStudyConfig
+{
+    int classes = 10;
+    int input_dim = 64;     ///< 8x8 synthetic "images"
+    int conv_channels = 6; ///< feature maps in the conv layer
+    int train_samples = 1500;
+    int test_samples = 400;
+    int epochs = 40;
+    double noise = 3.2;     ///< intra-class noise level (hard task)
+    uint64_t seed = 0xacc;
+};
+
+/** Accuracy of one datatype. */
+struct AccuracyResult
+{
+    DataType dtype;
+    double accuracy = 0.0;  ///< top-1 classification accuracy
+};
+
+/**
+ * Train the reference network in fp32, then evaluate quantized
+ * inference for every Table-13 datatype.
+ */
+std::vector<AccuracyResult> runAccuracyStudy(
+    const AccuracyStudyConfig &config = AccuracyStudyConfig());
+
+} // namespace sns::diannao
+
+#endif // SNS_DIANNAO_ACCURACY_HH

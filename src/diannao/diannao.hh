@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The DianNao case study (§5.7, Fig. 9): a parametric generator for the
+ * classic CNN-inference accelerator over the Table-13 design space
+ * (576 configurations), a cycle-level performance model that produces
+ * register activity coefficients for power gating (§3.4.4), and the
+ * 65nm -> 15nm technology scaling used by Table 12.
+ *
+ * The pipeline follows the original three-stage organization:
+ *   NFU-1: Tn x Tn multipliers,
+ *   NFU-2: Tn adder trees of Tn inputs each (built at the configured
+ *          reduction width),
+ *   NFU-3: Tn activation units with table-stored piece-wise segments,
+ * plus NBin/NBout/SB buffer register banks.
+ */
+
+#ifndef SNS_DIANNAO_DIANNAO_HH
+#define SNS_DIANNAO_DIANNAO_HH
+
+#include <string>
+#include <vector>
+
+#include "diannao/dtype.hh"
+#include "graphir/graph.hh"
+#include "synth/synthesizer.hh"
+
+namespace sns::diannao {
+
+/** One point of the Table-13 design space. */
+struct DianNaoParams
+{
+    int tn = 16;                       ///< 4, 8, 16, 32
+    DataType dtype = DataType::Int16;  ///< Table-13 datatypes
+    int pipeline_stages = 3;           ///< 3 or 8 (Table 13)
+    int reduction_width = 4;           ///< 4, 8, 16 (NFU-2 tree arity)
+    int activation_entries = 8;        ///< 2, 4, 8, 16 segments
+
+    /** Unique configuration name. */
+    std::string name() const;
+
+    /** The original paper's configuration (Tn = 16, int16). */
+    static DianNaoParams original();
+};
+
+/** Built accelerator plus register groups for activity annotation. */
+struct DianNaoDesign
+{
+    graphir::Graph graph;
+    DianNaoParams params;
+    /** @name Register groups (graph vertex ids)
+     * @{
+     */
+    std::vector<graphir::NodeId> input_regs;   ///< NBin / multiplier in
+    std::vector<graphir::NodeId> weight_regs;  ///< SB weight registers
+    std::vector<graphir::NodeId> accum_regs;   ///< NFU-2 partial sums
+    std::vector<graphir::NodeId> output_regs;  ///< NBout / NFU-3 out
+    /** @} */
+};
+
+/** Build one configuration. */
+DianNaoDesign buildDianNao(const DianNaoParams &params);
+
+/** Enumerate the full 576-point Table-13 design space. */
+std::vector<DianNaoParams> dianNaoDesignSpace();
+
+/** Shape of one CNN layer for the performance model. */
+struct LayerShape
+{
+    int in_channels = 0;
+    int out_channels = 0;
+    int out_x = 0;
+    int out_y = 0;
+    int kernel_x = 1;
+    int kernel_y = 1;
+};
+
+/** The AlexNet-on-CIFAR-10-like layer stack the paper evaluates. */
+std::vector<LayerShape> alexNetLikeLayers();
+
+/** Cycle-level performance model (the paper's §5.7 in-house model). */
+class DianNaoPerfModel
+{
+  public:
+    /** Aggregate execution statistics for a layer stack. */
+    struct Result
+    {
+        double total_cycles = 0.0;
+        double mac_utilization = 0.0;   ///< fraction of PEs doing work
+        double input_activity = 0.0;    ///< NBin register toggle rate
+        double weight_activity = 0.0;   ///< SB register toggle rate
+        double accum_activity = 0.0;    ///< NFU-2 register toggle rate
+        double output_activity = 0.0;   ///< NBout register toggle rate
+    };
+
+    /** Run the layer stack on a configuration. */
+    static Result run(const DianNaoParams &params,
+                      const std::vector<LayerShape> &layers);
+
+    /**
+     * Write the result's activity coefficients onto the design's
+     * register groups (enables §3.4.4 power gating in SNS and in the
+     * reference synthesizer).
+     */
+    static void applyActivities(DianNaoDesign &design,
+                                const Result &result);
+};
+
+/**
+ * Scale a 65nm synthesis result to 15nm using Stillmaker & Baas-style
+ * factors (the transformation behind row 2 of Table 12).
+ */
+synth::SynthesisResult scale65To15(const synth::SynthesisResult &result);
+
+/** The original paper's published 65nm DianNao synthesis results. */
+synth::SynthesisResult publishedDianNao65nm();
+
+} // namespace sns::diannao
+
+#endif // SNS_DIANNAO_DIANNAO_HH

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * GraphIR construction for the parametric DianNao accelerator.
+ */
+
+#include "diannao/diannao.hh"
+
+#include "netlist/circuit_builder.hh"
+#include "util/logging.hh"
+
+namespace sns::diannao {
+
+using graphir::NodeId;
+using graphir::NodeType;
+using netlist::CircuitBuilder;
+
+std::string
+DianNaoParams::name() const
+{
+    return std::string("diannao_t") + std::to_string(tn) + "_" +
+           dataTypeName(dtype) + "_s" + std::to_string(pipeline_stages) +
+           "_r" + std::to_string(reduction_width) + "_a" +
+           std::to_string(activation_entries);
+}
+
+DianNaoParams
+DianNaoParams::original()
+{
+    DianNaoParams params;
+    params.tn = 16;
+    params.dtype = DataType::Int16;
+    params.pipeline_stages = 3;
+    params.reduction_width = 4;
+    params.activation_entries = 8;
+    return params;
+}
+
+namespace {
+
+/**
+ * One multiplier PE. Integer types are a single multiplier; floating
+ * types decompose into mantissa multiply + exponent add + normalize
+ * shift, which is how the datatype reshapes the hardware.
+ */
+NodeId
+buildMultiplier(CircuitBuilder &cb, DataType dtype, NodeId a, NodeId b)
+{
+    const int mant = datapathWidth(dtype);
+    if (!isFloating(dtype))
+        return cb.mul(2 * mant, a, b);
+
+    const int exp = exponentBits(dtype);
+    const NodeId mant_prod = cb.mul(2 * mant, a, b);
+    const NodeId exp_sum = cb.add(exp, a, b);
+    const NodeId norm = cb.shifter(2 * mant, mant_prod, exp_sum);
+    return norm;
+}
+
+/**
+ * One two-input adder of the configured datatype. Integer addition is
+ * a single adder; floating-point addition needs the full align/add/
+ * normalize datapath (exponent compare, mantissa align shifter, adder,
+ * renormalize shifter) — which is why floating NFU-2 trees dominate
+ * the accelerator's area at equal storage width.
+ */
+NodeId
+buildAdder(CircuitBuilder &cb, DataType dtype, int acc_width, NodeId a,
+           NodeId b)
+{
+    if (!isFloating(dtype))
+        return cb.add(acc_width, a, b);
+    const int exp = exponentBits(dtype);
+    const NodeId exp_cmp = cb.lgt(exp, a, b);
+    const NodeId aligned = cb.shifter(acc_width, b, exp_cmp);
+    const NodeId sum = cb.add(acc_width, a, aligned);
+    return cb.shifter(acc_width, sum, exp_cmp); // renormalize
+}
+
+/**
+ * An NFU-2 adder tree over `inputs` at the configured reduction width:
+ * inputs are grouped `reduction_width` at a time, each group reduced by
+ * a binary tree of datatype-appropriate adders and registered before
+ * the next level (wider reduction means fewer pipeline cut points and
+ * longer combinational runs).
+ */
+NodeId
+buildReductionTree(CircuitBuilder &cb, DataType dtype, int acc_width,
+                   int reduction_width, std::vector<NodeId> inputs,
+                   std::vector<NodeId> &accum_regs)
+{
+    while (inputs.size() > 1) {
+        std::vector<NodeId> next;
+        for (size_t base = 0; base < inputs.size();
+             base += reduction_width) {
+            const size_t end = std::min(
+                inputs.size(), base + static_cast<size_t>(reduction_width));
+            std::vector<NodeId> group(inputs.begin() + base,
+                                      inputs.begin() + end);
+            while (group.size() > 1) {
+                std::vector<NodeId> level;
+                for (size_t i = 0; i + 1 < group.size(); i += 2) {
+                    level.push_back(buildAdder(cb, dtype, acc_width,
+                                               group[i], group[i + 1]));
+                }
+                if (group.size() % 2 == 1)
+                    level.push_back(group.back());
+                group = std::move(level);
+            }
+            const NodeId staged = cb.reg(acc_width, group.front());
+            accum_regs.push_back(staged);
+            next.push_back(staged);
+        }
+        inputs = std::move(next);
+    }
+    return inputs.front();
+}
+
+} // namespace
+
+DianNaoDesign
+buildDianNao(const DianNaoParams &params)
+{
+    SNS_ASSERT(params.tn >= 2, "Tn must be at least 2");
+    CircuitBuilder cb(params.name());
+    DianNaoDesign design;
+    design.params = params;
+
+    const int width = datapathWidth(params.dtype);
+    const int acc_width = 2 * width;
+    const bool deep = params.pipeline_stages >= 8;
+
+    // --- NBin: Tn input-neuron registers fed from the input port. ----
+    const NodeId stream = cb.input(width);
+    std::vector<NodeId> neurons;
+    for (int i = 0; i < params.tn; ++i) {
+        const NodeId reg = cb.reg(width, stream);
+        design.input_regs.push_back(reg);
+        neurons.push_back(reg);
+    }
+
+    // --- NFU-1: Tn x Tn multipliers with SB weight registers. --------
+    // Weights stream from the SB port into the per-PE weight registers.
+    const NodeId sb_stream = cb.input(width);
+    std::vector<std::vector<NodeId>> products(params.tn);
+    for (int out = 0; out < params.tn; ++out) {
+        for (int in = 0; in < params.tn; ++in) {
+            const NodeId weight = cb.reg(width, sb_stream);
+            design.weight_regs.push_back(weight);
+            NodeId product =
+                buildMultiplier(cb, params.dtype, neurons[in], weight);
+            if (deep) {
+                // 8-stage pipeline: register the raw products too.
+                product = cb.reg(acc_width, product);
+                design.accum_regs.push_back(product);
+            }
+            products[out].push_back(product);
+        }
+    }
+
+    // --- NFU-2: Tn adder trees. ---------------------------------------
+    std::vector<NodeId> sums;
+    for (int out = 0; out < params.tn; ++out) {
+        const NodeId sum = buildReductionTree(
+            cb, params.dtype, acc_width, params.reduction_width,
+            std::move(products[out]), design.accum_regs);
+        // Partial-sum accumulator (output-stationary over input tiles).
+        const NodeId acc = cb.dff(acc_width);
+        cb.connect(buildAdder(cb, params.dtype, acc_width, sum, acc),
+                   acc);
+        design.accum_regs.push_back(acc);
+        sums.push_back(acc);
+    }
+
+    // --- NFU-3: Tn activation units (piece-wise approximation). -------
+    std::vector<NodeId> outputs;
+    for (int out = 0; out < params.tn; ++out) {
+        std::vector<NodeId> breakpoints;
+        std::vector<NodeId> slopes;
+        std::vector<NodeId> offsets;
+        std::vector<NodeId> hits;
+        for (int seg = 0; seg < params.activation_entries; ++seg) {
+            const NodeId breakpoint = cb.dff(acc_width);
+            hits.push_back(cb.lgt(acc_width, sums[out], breakpoint));
+            slopes.push_back(cb.dff(width));
+            offsets.push_back(cb.dff(acc_width));
+        }
+        const NodeId which = cb.reduceTree(NodeType::Or, 8, hits);
+        const NodeId slope = cb.muxTree(width, which, slopes);
+        const NodeId offset = cb.muxTree(acc_width, which, offsets);
+        NodeId scaled = cb.mul(acc_width, slope, sums[out]);
+        if (deep)
+            scaled = cb.reg(acc_width, scaled);
+        const NodeId activated = cb.add(acc_width, scaled, offset);
+
+        // NBout register.
+        const NodeId out_reg = cb.reg(acc_width, activated);
+        design.output_regs.push_back(out_reg);
+        outputs.push_back(out_reg);
+    }
+
+    // Output drain mux.
+    const NodeId drain_sel = cb.input(8);
+    const NodeId drained = cb.muxTree(acc_width, drain_sel, outputs);
+    cb.output(acc_width, {drained});
+
+    design.graph = cb.build();
+    return design;
+}
+
+std::vector<DianNaoParams>
+dianNaoDesignSpace()
+{
+    std::vector<DianNaoParams> space;
+    for (int tn : {4, 8, 16, 32}) {
+        for (DataType dtype : allDataTypes()) {
+            for (int stages : {3, 8}) {
+                for (int reduction : {4, 8, 16}) {
+                    for (int entries : {2, 4, 8, 16}) {
+                        DianNaoParams params;
+                        params.tn = tn;
+                        params.dtype = dtype;
+                        params.pipeline_stages = stages;
+                        params.reduction_width = reduction;
+                        params.activation_entries = entries;
+                        space.push_back(params);
+                    }
+                }
+            }
+        }
+    }
+    SNS_ASSERT(space.size() == 576, "Table 13 expects 576 points");
+    return space;
+}
+
+} // namespace sns::diannao

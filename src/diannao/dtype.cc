@@ -1,0 +1,193 @@
+#include "diannao/dtype.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace sns::diannao {
+
+const std::vector<DataType> &
+allDataTypes()
+{
+    static const std::vector<DataType> types = {
+        DataType::Int8, DataType::Int16, DataType::Fp16,
+        DataType::Bf16, DataType::Tf32,  DataType::Fp32,
+    };
+    return types;
+}
+
+const char *
+dataTypeName(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::Int8:
+        return "int8";
+      case DataType::Int16:
+        return "int16";
+      case DataType::Fp16:
+        return "fp16";
+      case DataType::Bf16:
+        return "bf16";
+      case DataType::Tf32:
+        return "tf32";
+      case DataType::Fp32:
+        return "fp32";
+    }
+    panic("unhandled DataType");
+}
+
+bool
+isFloating(DataType dtype)
+{
+    return dtype != DataType::Int8 && dtype != DataType::Int16;
+}
+
+int
+mantissaBits(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::Fp16:
+        return 10;
+      case DataType::Bf16:
+        return 7;
+      case DataType::Tf32:
+        return 10;
+      case DataType::Fp32:
+        return 23;
+      default:
+        return 0;
+    }
+}
+
+int
+exponentBits(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::Fp16:
+        return 5;
+      case DataType::Bf16:
+      case DataType::Tf32:
+      case DataType::Fp32:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
+int
+storageBits(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::Int8:
+        return 8;
+      case DataType::Int16:
+        return 16;
+      case DataType::Fp16:
+      case DataType::Bf16:
+        return 16;
+      case DataType::Tf32:
+        return 19;
+      case DataType::Fp32:
+        return 32;
+    }
+    panic("unhandled DataType");
+}
+
+int
+datapathWidth(DataType dtype)
+{
+    switch (dtype) {
+      case DataType::Int8:
+        return 8;
+      case DataType::Int16:
+        return 16;
+      case DataType::Bf16:
+        return 8;  // 7+1 mantissa bits
+      case DataType::Fp16:
+      case DataType::Tf32:
+        return 11; // 10+1 mantissa bits
+      case DataType::Fp32:
+        return 24; // 23+1 mantissa bits
+    }
+    panic("unhandled DataType");
+}
+
+float
+quantizeFloat(float value, DataType dtype)
+{
+    SNS_ASSERT(isFloating(dtype), "quantizeFloat on integer type");
+    if (dtype == DataType::Fp32 || !std::isfinite(value))
+        return value;
+
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+
+    // Round-to-nearest-even truncation of the mantissa.
+    const int drop = 23 - mantissaBits(dtype);
+    const uint32_t half = 1u << (drop - 1);
+    const uint32_t mask = (1u << drop) - 1;
+    const uint32_t tail = bits & mask;
+    bits &= ~mask;
+    if (tail > half || (tail == half && (bits & (1u << drop))))
+        bits += 1u << drop;
+
+    float rounded;
+    std::memcpy(&rounded, &bits, sizeof(rounded));
+
+    // Exponent clamping for narrow-exponent formats (fp16).
+    if (exponentBits(dtype) < 8) {
+        const int ebits = exponentBits(dtype);
+        const float max_mag =
+            std::ldexp(2.0f - std::ldexp(1.0f, -mantissaBits(dtype)),
+                       (1 << (ebits - 1)) - 1);
+        const float min_normal =
+            std::ldexp(1.0f, 2 - (1 << (ebits - 1)));
+        if (std::fabs(rounded) > max_mag) {
+            rounded = std::copysign(
+                std::numeric_limits<float>::infinity(), rounded);
+        } else if (rounded != 0.0f &&
+                   std::fabs(rounded) < min_normal) {
+            // Flush denormals to zero (DianNao-style simple hardware).
+            rounded = std::copysign(0.0f, rounded);
+        }
+    }
+    return rounded;
+}
+
+float
+quantizeFixed(float value, int bits, float scale)
+{
+    SNS_ASSERT(bits >= 2 && bits <= 32, "bad fixed-point width");
+    SNS_ASSERT(scale > 0.0f, "fixed-point scale must be positive");
+    const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+    float q = std::nearbyint(value / scale);
+    q = std::clamp(q, -qmax - 1.0f, qmax);
+    return q * scale;
+}
+
+void
+quantizeBuffer(std::vector<float> &values, DataType dtype)
+{
+    if (dtype == DataType::Fp32)
+        return;
+    if (isFloating(dtype)) {
+        for (float &v : values)
+            v = quantizeFloat(v, dtype);
+        return;
+    }
+    // Fixed-point hardware semantics (as in the original DianNao): one
+    // global format with a fixed decimal position shared by weights
+    // and activations — here Qm.n covering [-32, 32). int16 leaves 11
+    // fractional bits (plenty); int8 leaves only 2, which is where its
+    // accuracy loss comes from.
+    const int bits = storageBits(dtype);
+    const float scale = 32.0f / static_cast<float>(1 << (bits - 1));
+    for (float &v : values)
+        v = quantizeFixed(v, bits, scale);
+}
+
+} // namespace sns::diannao

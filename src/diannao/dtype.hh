@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bit-accurate software emulation of the DianNao DSE datatypes
+ * (Table 13): int8, int16, fp16, bf16, tf32, fp32.
+ *
+ * Floating-point formats are emulated by rounding an IEEE-754 float32
+ * to the target's mantissa width (round-to-nearest-even) and clamping
+ * to the target's exponent range; integer formats use symmetric
+ * fixed-point quantization with a per-tensor scale. This drives the
+ * Fig.-11 accuracy-vs-datatype study.
+ */
+
+#ifndef SNS_DIANNAO_DTYPE_HH
+#define SNS_DIANNAO_DTYPE_HH
+
+#include <string>
+#include <vector>
+
+namespace sns::diannao {
+
+/** The datatypes of the Table-13 design space. */
+enum class DataType
+{
+    Int8,
+    Int16,
+    Fp16,
+    Bf16,
+    Tf32,
+    Fp32,
+};
+
+/** All datatypes in Table-13 order. */
+const std::vector<DataType> &allDataTypes();
+
+/** Printable name ("int8", "bf16", ...). */
+const char *dataTypeName(DataType dtype);
+
+/** True for the floating-point formats. */
+bool isFloating(DataType dtype);
+
+/** Stored mantissa bits (excluding the hidden bit); 0 for integers. */
+int mantissaBits(DataType dtype);
+
+/** Exponent field width; 0 for integers. */
+int exponentBits(DataType dtype);
+
+/** Total storage bits of one operand. */
+int storageBits(DataType dtype);
+
+/**
+ * Datapath width the hardware generator uses for this type's
+ * multipliers (mantissa datapath for floats, full width for ints).
+ */
+int datapathWidth(DataType dtype);
+
+/**
+ * Round a float32 value to the target floating format
+ * (round-to-nearest-even on the mantissa, exponent clamped with
+ * overflow to infinity and underflow to zero). Identity for Fp32;
+ * must not be called for integer types.
+ */
+float quantizeFloat(float value, DataType dtype);
+
+/**
+ * Symmetric fixed-point quantization: clamp(round(value / scale)) *
+ * scale with the signed range of `bits` bits.
+ */
+float quantizeFixed(float value, int bits, float scale);
+
+/**
+ * Quantize a whole tensor's worth of values for the given datatype.
+ * Integer types derive a per-call symmetric scale from the max
+ * absolute value.
+ */
+void quantizeBuffer(std::vector<float> &values, DataType dtype);
+
+} // namespace sns::diannao
+
+#endif // SNS_DIANNAO_DTYPE_HH

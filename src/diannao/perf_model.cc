@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cycle-level DianNao performance model and the Table-12 technology
+ * scaling helpers.
+ */
+
+#include "diannao/diannao.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sns::diannao {
+
+std::vector<LayerShape>
+alexNetLikeLayers()
+{
+    // A CIFAR-10-scaled AlexNet-style stack: five conv layers and two
+    // fully-connected layers (FC layers have out_x = out_y = 1 and a
+    // 1x1 kernel over "in_channels" inputs). Channel counts follow the
+    // AlexNet habit of multiples of 48/112/176 — they tile exactly at
+    // Tn <= 16 but leave PEs idle at Tn = 32, which is the utilization
+    // cliff behind the paper's Fig.-10 optimum.
+    return {
+        {3, 48, 32, 32, 3, 3},    // conv1
+        {48, 112, 16, 16, 3, 3},  // conv2
+        {112, 176, 8, 8, 3, 3},   // conv3
+        {176, 112, 8, 8, 3, 3},   // conv4
+        {112, 112, 4, 4, 3, 3},   // conv5
+        {1792, 432, 1, 1, 1, 1},  // fc6
+        {432, 10, 1, 1, 1, 1},    // fc7
+    };
+}
+
+DianNaoPerfModel::Result
+DianNaoPerfModel::run(const DianNaoParams &params,
+                      const std::vector<LayerShape> &layers)
+{
+    SNS_ASSERT(!layers.empty(), "perf model needs at least one layer");
+    const double tn = params.tn;
+
+    double total_cycles = 0.0;
+    double busy_weighted_util = 0.0;
+    double weight_reload_cycles = 0.0;
+    double output_write_cycles = 0.0;
+
+    for (const auto &layer : layers) {
+        const double positions =
+            static_cast<double>(layer.out_x) * layer.out_y;
+        const double in_taps = static_cast<double>(layer.in_channels) *
+                               layer.kernel_x * layer.kernel_y;
+        // Tiling: ceil over both neuron dimensions; the ragged last
+        // tiles leave PEs idle, which is what drives utilization (and
+        // therefore clock-gating activity) below 1.0.
+        const double in_tiles = std::ceil(in_taps / tn);
+        const double out_tiles =
+            std::ceil(static_cast<double>(layer.out_channels) / tn);
+        const double cycles = positions * in_tiles * out_tiles;
+
+        const double useful_macs =
+            positions * in_taps * layer.out_channels;
+        const double offered_macs = cycles * tn * tn;
+        busy_weighted_util += useful_macs;
+        total_cycles += cycles;
+        (void)offered_macs;
+
+        // SB traffic: one weight tile reload per (in_tile, out_tile).
+        weight_reload_cycles += in_tiles * out_tiles;
+        // NBout writes once per output tile per position.
+        output_write_cycles += positions * out_tiles;
+    }
+
+    Result result;
+    result.total_cycles = total_cycles;
+    result.mac_utilization = std::min(
+        1.0, busy_weighted_util / (total_cycles * tn * tn));
+
+    // Register activity coefficients in [0, 1]:
+    //  - input (NBin) registers shift a new neuron nearly every cycle,
+    //  - synapse registers stream a fresh SB word every busy cycle
+    //    (DianNao is NOT weight-stationary: SB supplies Tn x Tn
+    //    synapses per cycle, which is why its power grows so quickly
+    //    with Tn),
+    //  - accumulator registers toggle when their PE column is busy,
+    //  - output registers toggle once per produced output.
+    result.input_activity = std::min(1.0, 0.9 * result.mac_utilization +
+                                              0.1);
+    result.weight_activity =
+        std::min(1.0, 0.9 * result.mac_utilization + 0.05);
+    (void)weight_reload_cycles;
+    result.accum_activity = result.mac_utilization;
+    result.output_activity =
+        std::min(1.0, output_write_cycles / total_cycles + 0.05);
+    return result;
+}
+
+void
+DianNaoPerfModel::applyActivities(DianNaoDesign &design,
+                                  const Result &result)
+{
+    // Clock gating is imperfect in real silicon: the clock tree, the
+    // gating cells themselves, and enable fan-in keep toggling even
+    // when a register bank is idle. Model that as a residual activity
+    // floor — without it, scaling Tn up looks free because idle PEs
+    // would cost nothing.
+    constexpr double kGatingResidual = 0.30;
+    auto apply = [&design](const std::vector<graphir::NodeId> &group,
+                           double activity) {
+        const double effective =
+            kGatingResidual + (1.0 - kGatingResidual) * activity;
+        for (graphir::NodeId id : group)
+            design.graph.setActivity(id, std::clamp(effective, 0.0, 1.0));
+    };
+    apply(design.input_regs, result.input_activity);
+    apply(design.weight_regs, result.weight_activity);
+    apply(design.accum_regs, result.accum_activity);
+    apply(design.output_regs, result.output_activity);
+}
+
+synth::SynthesisResult
+scale65To15(const synth::SynthesisResult &result)
+{
+    // Stillmaker & Baas (2017)-style scaling factors from 65nm to
+    // 15nm, matching the transformation between rows 1 and 2 of the
+    // paper's Table 12 (area x0.115, delay x0.324, power x0.499).
+    synth::SynthesisResult scaled = result;
+    scaled.area_um2 = result.area_um2 * 0.115;
+    scaled.timing_ps = result.timing_ps * 0.324;
+    scaled.power_mw = result.power_mw * 0.499;
+    return scaled;
+}
+
+synth::SynthesisResult
+publishedDianNao65nm()
+{
+    // Row 1 of Table 12: the DianNao paper's published 65nm synthesis.
+    synth::SynthesisResult result;
+    result.power_mw = 132.0;
+    result.area_um2 = 0.846563e6; // 0.846563 mm^2
+    result.timing_ps = 1020.0;    // 1.02 ns
+    return result;
+}
+
+} // namespace sns::diannao

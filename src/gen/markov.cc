@@ -1,0 +1,199 @@
+#include "gen/markov.hh"
+
+#include <set>
+
+#include "gen/path_check.hh"
+#include "util/logging.hh"
+
+namespace sns::gen {
+
+using graphir::Vocabulary;
+
+MarkovChainGenerator::MarkovChainGenerator(uint64_t seed) : rng_(seed)
+{
+}
+
+int
+MarkovChainGenerator::states() const
+{
+    return Vocabulary::instance().circuitSize() + 2;
+}
+
+int
+MarkovChainGenerator::bosState() const
+{
+    return Vocabulary::instance().circuitSize();
+}
+
+int
+MarkovChainGenerator::eosState() const
+{
+    return Vocabulary::instance().circuitSize() + 1;
+}
+
+void
+MarkovChainGenerator::fit(const std::vector<std::vector<TokenId>> &paths)
+{
+    counts_.assign(states(), std::vector<double>(states(), 0.0));
+    size_t used = 0;
+    for (const auto &path : paths) {
+        if (path.empty())
+            continue;
+        int prev = bosState();
+        for (TokenId token : path) {
+            SNS_ASSERT(token >= 0 &&
+                           token < Vocabulary::instance().circuitSize(),
+                       "fit() path contains non-circuit token");
+            counts_[prev][token] += 1.0;
+            prev = token;
+        }
+        counts_[prev][eosState()] += 1.0;
+        ++used;
+    }
+    SNS_ASSERT(used > 0, "MarkovChainGenerator::fit needs paths");
+    fitted_ = true;
+}
+
+std::vector<TokenId>
+MarkovChainGenerator::sample(size_t max_length)
+{
+    SNS_ASSERT(fitted_, "sample() before fit()");
+    std::vector<TokenId> path;
+    int state = bosState();
+    while (path.size() < max_length) {
+        const auto &row_counts = counts_[state];
+        double total = 0.0;
+        for (double c : row_counts)
+            total += c;
+        if (total <= 0.0)
+            break; // dead end: token never seen mid-path
+        const int next = static_cast<int>(rng_.categorical(row_counts));
+        if (next == eosState())
+            break;
+        path.push_back(next);
+        state = next;
+    }
+    return path;
+}
+
+std::vector<std::vector<TokenId>>
+MarkovChainGenerator::generateUnique(
+    size_t count, const std::vector<std::vector<TokenId>> &exclude,
+    size_t max_length)
+{
+    std::set<std::vector<TokenId>> seen(exclude.begin(), exclude.end());
+    std::vector<std::vector<TokenId>> result;
+    const size_t max_attempts = count * 200 + 1000;
+    for (size_t attempt = 0;
+         attempt < max_attempts && result.size() < count; ++attempt) {
+        auto path = sample(max_length);
+        if (!isValidCircuitPath(path, max_length))
+            continue;
+        if (!seen.insert(path).second)
+            continue;
+        result.push_back(std::move(path));
+    }
+    return result;
+}
+
+std::vector<TokenId>
+MarkovChainGenerator::sampleWithTargetLength(size_t target_length)
+{
+    SNS_ASSERT(fitted_, "sampleWithTargetLength() before fit()");
+    const auto &vocab = Vocabulary::instance();
+    std::vector<TokenId> path;
+
+    // First token: endpoints only (the BOS row already is).
+    {
+        const auto &row_counts = counts_[bosState()];
+        double total = 0.0;
+        for (double c : row_counts)
+            total += c;
+        if (total <= 0.0)
+            return {};
+        path.push_back(static_cast<int>(rng_.categorical(row_counts)));
+    }
+
+    // Middle: combinational tokens only, until the target is reached.
+    const size_t slack = 8; // allowed overshoot while hunting an ending
+    while (path.size() + 1 < target_length + slack) {
+        const bool want_end = path.size() + 1 >= target_length;
+        auto masked = [&](bool endpoints_only) {
+            std::vector<double> weights = counts_[path.back()];
+            weights[bosState()] = 0.0;
+            weights[eosState()] = 0.0;
+            for (size_t token = 0;
+                 token < static_cast<size_t>(vocab.circuitSize());
+                 ++token) {
+                const bool endpoint =
+                    vocab.isEndpointToken(static_cast<TokenId>(token));
+                if (endpoint != endpoints_only)
+                    weights[token] = 0.0;
+            }
+            return weights;
+        };
+
+        std::vector<double> weights = masked(want_end);
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        if (total <= 0.0) {
+            if (!want_end)
+                return {}; // dead end mid-path
+            // No endpoint transition from here: keep walking through
+            // combinational tokens towards one (the slack bounds this).
+            weights = masked(false);
+            total = 0.0;
+            for (double w : weights)
+                total += w;
+            if (total <= 0.0)
+                return {};
+        }
+        const int next = static_cast<int>(rng_.categorical(weights));
+        path.push_back(next);
+        if (vocab.isEndpointToken(next))
+            return path;
+    }
+    return {};
+}
+
+std::vector<std::vector<TokenId>>
+MarkovChainGenerator::generateStratified(
+    size_t count, const std::vector<std::vector<TokenId>> &exclude,
+    size_t max_length)
+{
+    std::set<std::vector<TokenId>> seen(exclude.begin(), exclude.end());
+    std::vector<std::vector<TokenId>> result;
+    const size_t max_attempts = count * 40 + 1000;
+    for (size_t attempt = 0;
+         attempt < max_attempts && result.size() < count; ++attempt) {
+        const size_t target = 3 + rng_.uniformInt(
+            static_cast<uint64_t>(std::max<size_t>(1, max_length - 2)));
+        auto path = sampleWithTargetLength(target);
+        if (!isValidCircuitPath(path, max_length + 8))
+            continue;
+        if (!seen.insert(path).second)
+            continue;
+        result.push_back(std::move(path));
+    }
+    return result;
+}
+
+std::vector<double>
+MarkovChainGenerator::transitionRow(TokenId from) const
+{
+    SNS_ASSERT(fitted_, "transitionRow() before fit()");
+    SNS_ASSERT(from >= 0 && from < states(), "bad state");
+    const auto &row_counts = counts_[from];
+    double total = 0.0;
+    for (double c : row_counts)
+        total += c;
+    std::vector<double> probs(row_counts.size(), 0.0);
+    if (total > 0.0) {
+        for (size_t i = 0; i < row_counts.size(); ++i)
+            probs[i] = row_counts[i] / total;
+    }
+    return probs;
+}
+
+} // namespace sns::gen

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Markov-chain circuit-path generator (§4.2.1).
+ *
+ * A first-order transition matrix over vocabulary tokens (plus virtual
+ * BOS/EOS states) is estimated from the directly sampled circuit paths;
+ * new unique paths are then drawn from the chain. Generated paths are
+ * "variants of paths directly sampled from real designs" — locally
+ * realistic, globally noisier than SeqGAN output.
+ */
+
+#ifndef SNS_GEN_MARKOV_HH
+#define SNS_GEN_MARKOV_HH
+
+#include <vector>
+
+#include "graphir/vocabulary.hh"
+#include "util/rng.hh"
+
+namespace sns::gen {
+
+using graphir::TokenId;
+
+/** First-order Markov model over circuit-path token sequences. */
+class MarkovChainGenerator
+{
+  public:
+    explicit MarkovChainGenerator(uint64_t seed = 0xbadc0de);
+
+    /** Estimate the transition matrix from real sampled paths. */
+    void fit(const std::vector<std::vector<TokenId>> &paths);
+
+    /**
+     * Sample one path from the chain (BOS -> ... -> EOS). May return an
+     * invalid or over-long path; callers filter with
+     * isValidCircuitPath().
+     */
+    std::vector<TokenId> sample(size_t max_length = 512);
+
+    /**
+     * Generate `count` valid circuit paths that are unique among
+     * themselves and absent from `exclude`. Gives up after a bounded
+     * number of attempts, so the result may be shorter than requested.
+     */
+    std::vector<std::vector<TokenId>> generateUnique(
+        size_t count, const std::vector<std::vector<TokenId>> &exclude,
+        size_t max_length = 512);
+
+    /**
+     * Sample one path steered towards a target length: end-of-sequence
+     * and endpoint transitions are suppressed while the path is shorter
+     * than the target, then endpoint transitions are forced. Gives the
+     * Circuitformer length coverage beyond what the (mostly short)
+     * naturally-terminating samples provide.
+     * @return a valid complete path, or an empty vector on a dead end
+     */
+    std::vector<TokenId> sampleWithTargetLength(size_t target_length);
+
+    /**
+     * Like generateUnique() but with target lengths drawn uniformly
+     * from [3, max_length], covering the whole length range.
+     */
+    std::vector<std::vector<TokenId>> generateStratified(
+        size_t count, const std::vector<std::vector<TokenId>> &exclude,
+        size_t max_length);
+
+    /** Transition probability row for a token (for tests/inspection). */
+    std::vector<double> transitionRow(TokenId from) const;
+
+    /** True once fit() has seen at least one path. */
+    bool fitted() const { return fitted_; }
+
+  private:
+    int states() const;
+    int bosState() const;
+    int eosState() const;
+
+    Rng rng_;
+    bool fitted_ = false;
+    /** counts_[from][to] transition counts including BOS/EOS states. */
+    std::vector<std::vector<double>> counts_;
+};
+
+} // namespace sns::gen
+
+#endif // SNS_GEN_MARKOV_HH

@@ -1,0 +1,31 @@
+#include "gen/path_check.hh"
+
+namespace sns::gen {
+
+using graphir::TokenId;
+using graphir::Vocabulary;
+
+bool
+isValidCircuitPath(const std::vector<TokenId> &tokens, size_t max_length)
+{
+    if (tokens.size() < 2 || tokens.size() > max_length)
+        return false;
+    const auto &vocab = Vocabulary::instance();
+    for (TokenId token : tokens) {
+        if (token < 0 || token >= vocab.circuitSize())
+            return false;
+    }
+    if (!vocab.isEndpointToken(tokens.front()) ||
+        !vocab.isEndpointToken(tokens.back())) {
+        return false;
+    }
+    // Interior vertices must be combinational: an endpoint inside the
+    // sequence would have terminated the path earlier.
+    for (size_t i = 1; i + 1 < tokens.size(); ++i) {
+        if (vocab.isEndpointToken(tokens[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace sns::gen

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Validity rules for complete circuit paths, shared by the generative
+ * models: a usable path begins and ends on an endpoint token (io/dff),
+ * has only circuit tokens, and stays within the Circuitformer's input
+ * limit.
+ */
+
+#ifndef SNS_GEN_PATH_CHECK_HH
+#define SNS_GEN_PATH_CHECK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "graphir/vocabulary.hh"
+
+namespace sns::gen {
+
+/** True if tokens form a structurally valid complete circuit path. */
+bool isValidCircuitPath(const std::vector<graphir::TokenId> &tokens,
+                        size_t max_length = 512);
+
+} // namespace sns::gen
+
+#endif // SNS_GEN_PATH_CHECK_HH

@@ -1,0 +1,447 @@
+#include "gen/seqgan.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gen/path_check.hh"
+#include "util/logging.hh"
+
+namespace sns::gen {
+
+using graphir::Vocabulary;
+using namespace sns::tensor;
+using nn::Adam;
+using nn::Embedding;
+using nn::GruCell;
+using nn::Linear;
+
+namespace {
+
+/** Model vocabulary: circuit tokens + pad + bos + eos. */
+int
+modelVocab()
+{
+    return Vocabulary::instance().totalSize();
+}
+
+} // namespace
+
+SeqGan::SeqGan(SeqGanConfig config) : config_(config), rng_(config.seed)
+{
+    Rng init_rng = rng_.fork();
+    const int vocab = modelVocab();
+    g_embed_ = std::make_unique<Embedding>(vocab, config_.embed_dim,
+                                           init_rng);
+    g_rnn_ = std::make_unique<GruCell>(config_.embed_dim,
+                                       config_.hidden_dim, init_rng);
+    g_head_ = std::make_unique<Linear>(config_.hidden_dim, vocab,
+                                       init_rng);
+    d_embed_ = std::make_unique<Embedding>(vocab, config_.embed_dim,
+                                           init_rng);
+    d_rnn_ = std::make_unique<GruCell>(config_.embed_dim,
+                                       config_.hidden_dim, init_rng);
+    d_head_ = std::make_unique<Linear>(config_.hidden_dim, 1, init_rng);
+
+    std::vector<Variable> g_params = g_embed_->parameters();
+    for (const auto &p : g_rnn_->parameters())
+        g_params.push_back(p);
+    for (const auto &p : g_head_->parameters())
+        g_params.push_back(p);
+    g_opt_ = std::make_unique<Adam>(g_params, config_.generator_lr);
+
+    std::vector<Variable> d_params = d_embed_->parameters();
+    for (const auto &p : d_rnn_->parameters())
+        d_params.push_back(p);
+    for (const auto &p : d_head_->parameters())
+        d_params.push_back(p);
+    d_opt_ = std::make_unique<Adam>(d_params, config_.discriminator_lr);
+}
+
+std::vector<std::vector<TokenId>>
+SeqGan::sampleBatch(int batch)
+{
+    NoGradGuard no_grad;
+    const auto &vocab = Vocabulary::instance();
+    const int bos = vocab.bosId();
+    const int eos = vocab.eosId();
+
+    std::vector<std::vector<TokenId>> sequences(batch);
+    std::vector<bool> done(batch, false);
+    std::vector<int> current(batch, bos);
+
+    Variable h = g_rnn_->initialState(batch);
+    for (int t = 0; t < config_.max_length; ++t) {
+        const Variable emb = g_embed_->forward(current, {batch});
+        h = g_rnn_->step(emb, h);
+        const Variable probs = softmaxLastDim(g_head_->forward(h));
+        bool all_done = true;
+        for (int b = 0; b < batch; ++b) {
+            if (done[b])
+                continue;
+            std::vector<double> weights(modelVocab());
+            for (int v = 0; v < modelVocab(); ++v)
+                weights[v] = probs.value().at2(b, v);
+            // Never emit pad or bos mid-sequence.
+            weights[vocab.padId()] = 0.0;
+            weights[bos] = 0.0;
+            const int next = static_cast<int>(rng_.categorical(weights));
+            if (next == eos) {
+                done[b] = true;
+            } else {
+                sequences[b].push_back(next);
+                current[b] = next;
+                all_done = false;
+            }
+        }
+        if (all_done)
+            break;
+    }
+    return sequences;
+}
+
+std::vector<TokenId>
+SeqGan::sample()
+{
+    return sampleBatch(1)[0];
+}
+
+std::vector<TokenId>
+SeqGan::rollOut(const std::vector<TokenId> &prefix)
+{
+    NoGradGuard no_grad;
+    const auto &vocab = Vocabulary::instance();
+
+    std::vector<TokenId> seq = prefix;
+    Variable h = g_rnn_->initialState(1);
+    int current = vocab.bosId();
+    // Replay the prefix to rebuild the hidden state, then free-run.
+    for (TokenId token : prefix) {
+        h = g_rnn_->step(g_embed_->forward({current}, {1}), h);
+        current = token;
+    }
+    while (seq.size() < static_cast<size_t>(config_.max_length)) {
+        h = g_rnn_->step(g_embed_->forward({current}, {1}), h);
+        const Variable probs = softmaxLastDim(g_head_->forward(h));
+        std::vector<double> weights(modelVocab());
+        for (int v = 0; v < modelVocab(); ++v)
+            weights[v] = probs.value().at2(0, v);
+        weights[vocab.padId()] = 0.0;
+        weights[vocab.bosId()] = 0.0;
+        const int next = static_cast<int>(rng_.categorical(weights));
+        if (next == vocab.eosId())
+            break;
+        seq.push_back(next);
+        current = next;
+    }
+    return seq;
+}
+
+Variable
+SeqGan::discriminate(const std::vector<std::vector<TokenId>> &paths)
+{
+    const auto &vocab = Vocabulary::instance();
+    const int batch = static_cast<int>(paths.size());
+    int time = 1;
+    for (const auto &path : paths)
+        time = std::max(time, static_cast<int>(path.size()));
+    time = std::min(time, config_.max_length);
+
+    Variable h = d_rnn_->initialState(batch);
+    for (int t = 0; t < time; ++t) {
+        std::vector<int> step_tokens(batch, vocab.padId());
+        Tensor mask({batch, config_.hidden_dim});
+        for (int b = 0; b < batch; ++b) {
+            const bool live = t < static_cast<int>(paths[b].size());
+            if (live)
+                step_tokens[b] = paths[b][t];
+            for (int j = 0; j < config_.hidden_dim; ++j)
+                mask.at2(b, j) = live ? 1.0f : 0.0f;
+        }
+        const Variable emb = d_embed_->forward(step_tokens, {batch});
+        const Variable h_new = d_rnn_->step(emb, h);
+        // Hold the state once a sequence has ended.
+        const Variable m = constant(mask);
+        h = add(mul(m, h_new), sub(h, mul(m, h)));
+    }
+    return d_head_->forward(h); // [batch, 1] logits
+}
+
+double
+SeqGan::mleEpoch(const std::vector<std::vector<TokenId>> &paths)
+{
+    const auto &vocab = Vocabulary::instance();
+    double total_loss = 0.0;
+    int batches = 0;
+
+    std::vector<size_t> order(paths.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng_.shuffle(order);
+
+    for (size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+        const size_t end =
+            std::min(order.size(), start + config_.batch_size);
+        const int batch = static_cast<int>(end - start);
+
+        int time = 1;
+        for (size_t i = start; i < end; ++i) {
+            time = std::max(
+                time, static_cast<int>(paths[order[i]].size()) + 1);
+        }
+        time = std::min(time, config_.max_length);
+
+        g_opt_->zeroGrad();
+        Variable h = g_rnn_->initialState(batch);
+        std::vector<int> inputs(batch, vocab.bosId());
+        Variable loss;
+        for (int t = 0; t < time; ++t) {
+            const Variable emb = g_embed_->forward(inputs, {batch});
+            h = g_rnn_->step(emb, h);
+            const Variable logits = g_head_->forward(h);
+
+            std::vector<int> targets(batch, vocab.padId());
+            std::vector<float> weights(batch, 0.0f);
+            for (int b = 0; b < batch; ++b) {
+                const auto &path = paths[order[start + b]];
+                if (t < static_cast<int>(path.size())) {
+                    targets[b] = path[t];
+                    weights[b] = 1.0f;
+                    inputs[b] = path[t];
+                } else if (t == static_cast<int>(path.size())) {
+                    targets[b] = vocab.eosId();
+                    weights[b] = 1.0f;
+                }
+            }
+            const Variable step_loss =
+                weightedNllLoss(logits, targets, weights);
+            loss = loss.defined() ? add(loss, step_loss) : step_loss;
+        }
+        loss = scale(loss, 1.0 / time);
+        loss.backward();
+        g_opt_->step();
+        total_loss += loss.value()[0];
+        ++batches;
+    }
+    return batches == 0 ? 0.0 : total_loss / batches;
+}
+
+double
+SeqGan::discriminatorEpoch(const std::vector<std::vector<TokenId>> &real,
+                           const std::vector<std::vector<TokenId>> &fake)
+{
+    std::vector<std::vector<TokenId>> data;
+    std::vector<float> labels;
+    for (const auto &path : real) {
+        data.push_back(path);
+        labels.push_back(1.0f);
+    }
+    for (const auto &path : fake) {
+        if (path.empty())
+            continue;
+        data.push_back(path);
+        labels.push_back(0.0f);
+    }
+    if (data.empty())
+        return 0.0;
+
+    d_opt_->zeroGrad();
+    const Variable logits = discriminate(data);
+    Tensor targets =
+        Tensor::fromValues({static_cast<int>(labels.size()), 1},
+                           std::vector<float>(labels));
+    Variable loss = bceWithLogitsLoss(logits, targets);
+    loss.backward();
+    d_opt_->step();
+    return loss.value()[0];
+}
+
+double
+SeqGan::policyGradientRound()
+{
+    const auto &vocab = Vocabulary::instance();
+    auto sequences = sampleBatch(config_.batch_size);
+    // Drop empty generations.
+    sequences.erase(std::remove_if(sequences.begin(), sequences.end(),
+                                   [](const auto &s) { return s.empty(); }),
+                    sequences.end());
+    if (sequences.empty())
+        return 0.0;
+    const int batch = static_cast<int>(sequences.size());
+
+    // Per-step rewards from the discriminator.
+    std::vector<std::vector<float>> rewards(batch);
+    double mean_terminal = 0.0;
+    {
+        NoGradGuard no_grad;
+        const Variable terminal = discriminate(sequences);
+        for (int b = 0; b < batch; ++b) {
+            const float score =
+                1.0f / (1.0f + std::exp(-terminal.value().at2(b, 0)));
+            mean_terminal += score;
+            rewards[b].assign(sequences[b].size(), score);
+        }
+        mean_terminal /= batch;
+
+        if (config_.rollouts > 0) {
+            for (int b = 0; b < batch; ++b) {
+                for (size_t t = 0; t + 1 < sequences[b].size(); ++t) {
+                    double acc = 0.0;
+                    for (int r = 0; r < config_.rollouts; ++r) {
+                        const std::vector<TokenId> prefix(
+                            sequences[b].begin(),
+                            sequences[b].begin() + t + 1);
+                        const auto completed = rollOut(prefix);
+                        const Variable score = discriminate({completed});
+                        acc += 1.0 /
+                               (1.0 +
+                                std::exp(-score.value().at2(0, 0)));
+                    }
+                    rewards[b][t] =
+                        static_cast<float>(acc / config_.rollouts);
+                }
+            }
+        }
+    }
+
+    // Advantage baseline: batch-mean terminal reward.
+    const float baseline = static_cast<float>(mean_terminal);
+
+    // Teacher-forced replay with gradients, REINFORCE objective.
+    int time = 1;
+    for (const auto &seq : sequences)
+        time = std::max(time, static_cast<int>(seq.size()));
+
+    g_opt_->zeroGrad();
+    Variable h = g_rnn_->initialState(batch);
+    std::vector<int> inputs(batch, vocab.bosId());
+    Variable loss;
+    for (int t = 0; t < time; ++t) {
+        const Variable emb = g_embed_->forward(inputs, {batch});
+        h = g_rnn_->step(emb, h);
+        const Variable logits = g_head_->forward(h);
+
+        std::vector<int> actions(batch, vocab.padId());
+        std::vector<float> weights(batch, 0.0f);
+        for (int b = 0; b < batch; ++b) {
+            if (t < static_cast<int>(sequences[b].size())) {
+                actions[b] = sequences[b][t];
+                weights[b] = rewards[b][t] - baseline;
+                inputs[b] = sequences[b][t];
+            }
+        }
+        const Variable step_loss =
+            weightedNllLoss(logits, actions, weights);
+        loss = loss.defined() ? add(loss, step_loss) : step_loss;
+    }
+    loss = scale(loss, 1.0 / time);
+    loss.backward();
+    g_opt_->step();
+    return mean_terminal;
+}
+
+void
+SeqGan::fit(const std::vector<std::vector<TokenId>> &real_paths)
+{
+    SNS_ASSERT(!real_paths.empty(), "SeqGan::fit needs real paths");
+    real_paths_.clear();
+    for (const auto &path : real_paths) {
+        if (!path.empty() &&
+            path.size() < static_cast<size_t>(config_.max_length)) {
+            real_paths_.push_back(path);
+        }
+    }
+    SNS_ASSERT(!real_paths_.empty(), "no path fits within max_length");
+
+    // 1. Generator MLE pre-training.
+    for (int epoch = 0; epoch < config_.pretrain_epochs; ++epoch)
+        mleEpoch(real_paths_);
+
+    // 2. Discriminator pre-training against early fakes.
+    for (int epoch = 0; epoch < config_.d_pretrain_epochs; ++epoch)
+        discriminatorEpoch(real_paths_, sampleBatch(config_.batch_size));
+
+    // 3. Adversarial alternation.
+    for (int round = 0; round < config_.adversarial_rounds; ++round) {
+        policyGradientRound();
+        discriminatorEpoch(real_paths_, sampleBatch(config_.batch_size));
+    }
+    fitted_ = true;
+}
+
+std::vector<std::vector<TokenId>>
+SeqGan::generateUnique(size_t count,
+                       const std::vector<std::vector<TokenId>> &exclude)
+{
+    std::set<std::vector<TokenId>> seen(exclude.begin(), exclude.end());
+    std::vector<std::vector<TokenId>> result;
+    const size_t max_attempts = count * 100 + 500;
+    size_t attempts = 0;
+    while (result.size() < count && attempts < max_attempts) {
+        auto batch = sampleBatch(config_.batch_size);
+        attempts += batch.size();
+        for (auto &path : batch) {
+            if (result.size() >= count)
+                break;
+            if (!isValidCircuitPath(path, config_.max_length))
+                continue;
+            if (!seen.insert(path).second)
+                continue;
+            result.push_back(std::move(path));
+        }
+    }
+    return result;
+}
+
+double
+SeqGan::discriminatorScore(
+    const std::vector<std::vector<TokenId>> &paths)
+{
+    if (paths.empty())
+        return 0.0;
+    NoGradGuard no_grad;
+    const Variable logits = discriminate(paths);
+    double total = 0.0;
+    for (size_t b = 0; b < paths.size(); ++b) {
+        total += 1.0 / (1.0 + std::exp(-logits.value().at2(
+                                  static_cast<int>(b), 0)));
+    }
+    return total / paths.size();
+}
+
+double
+SeqGan::generatorNll(const std::vector<std::vector<TokenId>> &paths)
+{
+    SNS_ASSERT(!paths.empty(), "generatorNll needs paths");
+    NoGradGuard no_grad;
+    const auto &vocab = Vocabulary::instance();
+    double total = 0.0;
+    size_t tokens = 0;
+    for (const auto &path : paths) {
+        Variable h = g_rnn_->initialState(1);
+        int current = vocab.bosId();
+        for (size_t t = 0; t <= path.size(); ++t) {
+            h = g_rnn_->step(g_embed_->forward({current}, {1}), h);
+            const Variable logits = g_head_->forward(h);
+            const int target = t < path.size()
+                                   ? path[t]
+                                   : vocab.eosId();
+            // log-softmax of the target entry.
+            float max_val = logits.value().at2(0, 0);
+            for (int v = 1; v < modelVocab(); ++v)
+                max_val = std::max(max_val, logits.value().at2(0, v));
+            double lse = 0.0;
+            for (int v = 0; v < modelVocab(); ++v)
+                lse += std::exp(logits.value().at2(0, v) - max_val);
+            lse = std::log(lse) + max_val;
+            total += lse - logits.value().at2(0, target);
+            ++tokens;
+            if (t < path.size())
+                current = path[t];
+        }
+    }
+    return total / static_cast<double>(tokens);
+}
+
+} // namespace sns::gen

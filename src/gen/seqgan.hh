@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SeqGAN — Sequence Generative Adversarial Nets with policy gradient
+ * (Yu et al. 2017), the paper's second circuit-path generator
+ * (§4.2.2).
+ *
+ * The generator is an autoregressive GRU language model over circuit
+ * tokens; the discriminator is a GRU sequence classifier. Training
+ * follows the SeqGAN recipe:
+ *
+ *   1. MLE pre-training of the generator on real sampled paths,
+ *   2. pre-training of the discriminator on real vs generated paths,
+ *   3. adversarial rounds: the generator samples sequences, receives
+ *      discriminator scores as rewards (optionally via Monte-Carlo
+ *      rollouts for per-step credit), and updates with REINFORCE; the
+ *      discriminator re-trains on the fresh fakes.
+ */
+
+#ifndef SNS_GEN_SEQGAN_HH
+#define SNS_GEN_SEQGAN_HH
+
+#include <memory>
+#include <vector>
+
+#include "graphir/vocabulary.hh"
+#include "nn/gru.hh"
+#include "nn/layers.hh"
+#include "nn/optim.hh"
+#include "util/rng.hh"
+
+namespace sns::gen {
+
+using graphir::TokenId;
+
+/** SeqGAN hyper-parameters (scaled-down defaults; Table 6 for paper). */
+struct SeqGanConfig
+{
+    int embed_dim = 24;        ///< token embedding width
+    int hidden_dim = 48;       ///< GRU state width
+    int max_length = 64;       ///< generation cap
+    int pretrain_epochs = 12;  ///< generator MLE epochs
+    int d_pretrain_epochs = 4; ///< discriminator pre-training epochs
+    int adversarial_rounds = 8;
+    int batch_size = 32;
+    int rollouts = 2;          ///< MC rollouts per step (0 = terminal
+                               ///< reward broadcast to every step)
+    double generator_lr = 0.01; ///< Adam LR (Table 6 uses 0.01)
+    double discriminator_lr = 0.005;
+    uint64_t seed = 0x5e9a;
+};
+
+/** The SeqGAN circuit-path generator. */
+class SeqGan
+{
+  public:
+    explicit SeqGan(SeqGanConfig config = SeqGanConfig());
+
+    /** Run the full training recipe on real sampled paths. */
+    void fit(const std::vector<std::vector<TokenId>> &real_paths);
+
+    /** Sample one token sequence from the trained generator. */
+    std::vector<TokenId> sample();
+
+    /**
+     * Generate `count` valid, unique circuit paths (unique among
+     * themselves and absent from `exclude`); may return fewer if the
+     * attempt budget is exhausted.
+     */
+    std::vector<std::vector<TokenId>> generateUnique(
+        size_t count, const std::vector<std::vector<TokenId>> &exclude);
+
+    /** Mean discriminator score (sigmoid) on the given sequences. */
+    double discriminatorScore(
+        const std::vector<std::vector<TokenId>> &paths);
+
+    /** Mean per-token negative log-likelihood under the generator. */
+    double generatorNll(const std::vector<std::vector<TokenId>> &paths);
+
+    /** True once fit() completed. */
+    bool fitted() const { return fitted_; }
+
+    const SeqGanConfig &config() const { return config_; }
+
+  private:
+    /** Sample a batch of sequences, returning token rows. */
+    std::vector<std::vector<TokenId>> sampleBatch(int batch);
+
+    /** Complete a prefix with greedy-free sampling (for rollouts). */
+    std::vector<TokenId> rollOut(const std::vector<TokenId> &prefix);
+
+    /** Discriminator logits for a batch of padded sequences. */
+    tensor::Variable discriminate(
+        const std::vector<std::vector<TokenId>> &paths);
+
+    /** One MLE (teacher-forced) generator epoch; returns mean loss. */
+    double mleEpoch(const std::vector<std::vector<TokenId>> &paths);
+
+    /** One discriminator epoch on real + fake data; returns mean loss. */
+    double discriminatorEpoch(
+        const std::vector<std::vector<TokenId>> &real,
+        const std::vector<std::vector<TokenId>> &fake);
+
+    /** One policy-gradient round; returns the mean reward. */
+    double policyGradientRound();
+
+    SeqGanConfig config_;
+    Rng rng_;
+    bool fitted_ = false;
+    std::vector<std::vector<TokenId>> real_paths_;
+
+    // Generator: embedding -> GRU -> vocab logits.
+    std::unique_ptr<nn::Embedding> g_embed_;
+    std::unique_ptr<nn::GruCell> g_rnn_;
+    std::unique_ptr<nn::Linear> g_head_;
+    std::unique_ptr<nn::Adam> g_opt_;
+
+    // Discriminator: embedding -> GRU -> real/fake logit.
+    std::unique_ptr<nn::Embedding> d_embed_;
+    std::unique_ptr<nn::GruCell> d_rnn_;
+    std::unique_ptr<nn::Linear> d_head_;
+    std::unique_ptr<nn::Adam> d_opt_;
+};
+
+} // namespace sns::gen
+
+#endif // SNS_GEN_SEQGAN_HH

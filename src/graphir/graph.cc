@@ -1,0 +1,172 @@
+#include "graphir/graph.hh"
+
+#include <algorithm>
+
+namespace sns::graphir {
+
+Graph::Graph(std::string name) : name_(std::move(name))
+{
+}
+
+NodeId
+Graph::addNode(NodeType type, int raw_width)
+{
+    const int rounded = roundWidth(type, raw_width);
+    Node node;
+    node.type = type;
+    node.raw_width = raw_width;
+    node.width = rounded;
+    node.token = Vocabulary::instance().tokenId(type, rounded);
+    node.activity = 1.0;
+    nodes_.push_back(node);
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void
+Graph::addEdge(NodeId from, NodeId to)
+{
+    check(from);
+    check(to);
+    out_[from].push_back(to);
+    in_[to].push_back(from);
+    ++edge_count_;
+}
+
+std::vector<NodeId>
+Graph::endpoints() const
+{
+    std::vector<NodeId> result;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        if (isPathEndpoint(nodes_[id].type))
+            result.push_back(id);
+    }
+    return result;
+}
+
+void
+Graph::setActivity(NodeId id, double activity)
+{
+    SNS_ASSERT(activity >= 0.0 && activity <= 1.0,
+               "activity coefficient out of [0, 1]: ", activity);
+    nodes_[check(id)].activity = activity;
+}
+
+std::vector<double>
+Graph::tokenCounts() const
+{
+    std::vector<double> counts(Vocabulary::instance().circuitSize(), 0.0);
+    for (const auto &node : nodes_)
+        counts[node.token] += 1.0;
+    return counts;
+}
+
+bool
+Graph::combinationallyAcyclic() const
+{
+    // Iterative DFS over the combinational subgraph: edges leaving a
+    // sequential vertex are cut, so a cycle through a register is fine.
+    enum class Mark : uint8_t { White, Grey, Black };
+    std::vector<Mark> mark(nodes_.size(), Mark::White);
+
+    for (NodeId root = 0; root < nodes_.size(); ++root) {
+        if (mark[root] != Mark::White)
+            continue;
+        // (node, next successor index) stack
+        std::vector<std::pair<NodeId, size_t>> stack;
+        stack.emplace_back(root, 0);
+        mark[root] = Mark::Grey;
+        while (!stack.empty()) {
+            auto &[node, idx] = stack.back();
+            const bool cut = isSequential(nodes_[node].type);
+            if (cut || idx >= out_[node].size()) {
+                mark[node] = Mark::Black;
+                stack.pop_back();
+                continue;
+            }
+            const NodeId next = out_[node][idx++];
+            if (mark[next] == Mark::Grey)
+                return false;
+            if (mark[next] == Mark::White) {
+                mark[next] = Mark::Grey;
+                stack.emplace_back(next, 0);
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<NodeId>
+Graph::combinationalTopoOrder() const
+{
+    // Kahn's algorithm on the combinational view: edges out of
+    // sequential vertices still order their combinational consumers, but
+    // edges *into* sequential vertices do not constrain the register
+    // (registers only launch, they never wait combinationally).
+    std::vector<int> indegree(nodes_.size(), 0);
+    for (NodeId from = 0; from < nodes_.size(); ++from) {
+        for (NodeId to : out_[from]) {
+            if (!isSequential(nodes_[to].type))
+                ++indegree[to];
+        }
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(nodes_.size());
+    std::vector<NodeId> ready;
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        if (isSequential(nodes_[id].type) || indegree[id] == 0)
+            ready.push_back(id);
+    }
+    size_t cursor = 0;
+    std::vector<bool> emitted(nodes_.size(), false);
+    while (cursor < ready.size()) {
+        const NodeId node = ready[cursor++];
+        if (emitted[node])
+            continue;
+        emitted[node] = true;
+        order.push_back(node);
+        for (NodeId next : out_[node]) {
+            if (isSequential(nodes_[next].type))
+                continue;
+            if (--indegree[next] == 0)
+                ready.push_back(next);
+        }
+    }
+    SNS_ASSERT(order.size() == nodes_.size(),
+               "combinational cycle detected in design '", name_, "'");
+    return order;
+}
+
+void
+Graph::validate() const
+{
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        for (NodeId next : out_[id])
+            check(next);
+    }
+    SNS_ASSERT(combinationallyAcyclic(),
+               "design '", name_, "' has a combinational loop");
+}
+
+void
+Graph::writeDot(std::ostream &os) const
+{
+    os << "digraph \"" << name_ << "\" {\n";
+    const auto &vocab = Vocabulary::instance();
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        os << "  n" << id << " [label=\""
+           << vocab.tokenString(nodes_[id].token) << "\"";
+        if (isPathEndpoint(nodes_[id].type))
+            os << ", shape=box, style=filled, fillcolor=lightgrey";
+        os << "];\n";
+    }
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        for (NodeId next : out_[id])
+            os << "  n" << id << " -> n" << next << ";\n";
+    }
+    os << "}\n";
+}
+
+} // namespace sns::graphir

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The GraphIR circuit graph (§3.1).
+ *
+ * Vertices are typed, width-annotated functional units; directed edges
+ * are wiring connections. Registers (dff) and ports (io) are the
+ * sequential boundary: every combinational cycle must be broken by one,
+ * and complete circuit paths (§3.2) start and end on them.
+ */
+
+#ifndef SNS_GRAPHIR_GRAPH_HH
+#define SNS_GRAPHIR_GRAPH_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graphir/node_type.hh"
+#include "graphir/vocabulary.hh"
+#include "util/logging.hh"
+
+namespace sns::graphir {
+
+/** Index of a vertex within a Graph. */
+using NodeId = uint32_t;
+
+/** Invalid / "no node" sentinel. */
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/**
+ * A directed circuit graph in the Table-1 vocabulary.
+ *
+ * The graph stores both raw wire widths (as produced by the front-end)
+ * and rounded token widths (§3.1 rounding rule); predictors consume the
+ * rounded view while ablation studies can re-encode from the raw view.
+ */
+class Graph
+{
+  public:
+    /** Construct an empty graph with a human-readable design name. */
+    explicit Graph(std::string name = "design");
+
+    /**
+     * Add a vertex.
+     *
+     * @param type functional-unit category
+     * @param raw_width maximal wire width of the unit before rounding
+     * @return the new vertex id
+     */
+    NodeId addNode(NodeType type, int raw_width);
+
+    /** Add a directed wiring edge from one vertex to another. */
+    void addEdge(NodeId from, NodeId to);
+
+    /** Number of vertices. */
+    size_t numNodes() const { return nodes_.size(); }
+
+    /** Number of edges. */
+    size_t numEdges() const { return edge_count_; }
+
+    /** Design name. */
+    const std::string &name() const { return name_; }
+
+    /** Rename the design. */
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Vertex type. */
+    NodeType type(NodeId id) const { return nodes_[check(id)].type; }
+
+    /** Rounded (vocabulary) width. */
+    int width(NodeId id) const { return nodes_[check(id)].width; }
+
+    /** Raw pre-rounding width. */
+    int rawWidth(NodeId id) const { return nodes_[check(id)].raw_width; }
+
+    /** Vocabulary token of the vertex. */
+    TokenId token(NodeId id) const { return nodes_[check(id)].token; }
+
+    /** Outgoing neighbors. */
+    const std::vector<NodeId> &
+    successors(NodeId id) const
+    {
+        return out_[check(id)];
+    }
+
+    /** Incoming neighbors. */
+    const std::vector<NodeId> &
+    predecessors(NodeId id) const
+    {
+        return in_[check(id)];
+    }
+
+    /** True if the vertex can begin/end a complete circuit path. */
+    bool
+    isEndpoint(NodeId id) const
+    {
+        return isPathEndpoint(type(id));
+    }
+
+    /** All endpoint (io/dff) vertices, in id order. */
+    std::vector<NodeId> endpoints() const;
+
+    /**
+     * Switching-activity coefficient of a register (§3.4.4); 1.0 unless
+     * a performance model provided clock-gating information.
+     */
+    double activity(NodeId id) const { return nodes_[check(id)].activity; }
+
+    /** Set the activity coefficient of a vertex. */
+    void setActivity(NodeId id, double activity);
+
+    /**
+     * Graph statistics (Fig. 2c): per-token vertex counts over the
+     * circuit vocabulary. Length is Vocabulary::circuitSize().
+     */
+    std::vector<double> tokenCounts() const;
+
+    /**
+     * Verify structural invariants: edge targets in range, port/register
+     * boundary breaks every combinational cycle. Calls panic() on
+     * violation (these indicate front-end bugs, not user error).
+     */
+    void validate() const;
+
+    /** True if the combinational subgraph is acyclic. */
+    bool combinationallyAcyclic() const;
+
+    /**
+     * Vertices in a topological order of the combinational subgraph
+     * (edges leaving sequential vertices are treated as cut). Sequential
+     * vertices appear before any combinational vertex that depends on
+     * them.
+     */
+    std::vector<NodeId> combinationalTopoOrder() const;
+
+    /** Emit Graphviz DOT for debugging / documentation. */
+    void writeDot(std::ostream &os) const;
+
+  private:
+    struct Node
+    {
+        NodeType type;
+        int raw_width;
+        int width;
+        TokenId token;
+        double activity;
+    };
+
+    NodeId
+    check(NodeId id) const
+    {
+        SNS_ASSERT(id < nodes_.size(), "node id out of range: ", id);
+        return id;
+    }
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<std::vector<NodeId>> out_;
+    std::vector<std::vector<NodeId>> in_;
+    size_t edge_count_ = 0;
+};
+
+} // namespace sns::graphir
+
+#endif // SNS_GRAPHIR_GRAPH_HH

@@ -1,0 +1,119 @@
+#include "graphir/vocabulary.hh"
+
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace sns::graphir {
+
+namespace {
+
+int
+log2Exact(int value)
+{
+    int log = 0;
+    while ((1 << log) < value)
+        ++log;
+    SNS_ASSERT((1 << log) == value, "width must be a power of two");
+    return log;
+}
+
+} // namespace
+
+const Vocabulary &
+Vocabulary::instance()
+{
+    static const Vocabulary vocab;
+    return vocab;
+}
+
+Vocabulary::Vocabulary()
+{
+    lookup_.assign(kNumNodeTypes, std::vector<TokenId>(7, -1));
+    for (int t = 0; t < kNumNodeTypes; ++t) {
+        const auto type = static_cast<NodeType>(t);
+        for (int w = minWidth(type); w <= kMaxWidth; w *= 2) {
+            const TokenId id = static_cast<TokenId>(tokens_.size());
+            tokens_.push_back({type, w});
+            lookup_[t][log2Exact(w)] = id;
+        }
+    }
+}
+
+TokenId
+Vocabulary::tokenId(NodeType type, int width) const
+{
+    const int t = static_cast<int>(type);
+    const int log = log2Exact(width);
+    SNS_ASSERT(log < static_cast<int>(lookup_[t].size()),
+               "width out of range: ", width);
+    const TokenId id = lookup_[t][log];
+    SNS_ASSERT(id >= 0, "illegal (type, width) pair: ",
+               tokenName(type, width));
+    return id;
+}
+
+TokenId
+Vocabulary::tokenIdRounded(NodeType type, int raw_width) const
+{
+    return tokenId(type, roundWidth(type, raw_width));
+}
+
+NodeType
+Vocabulary::tokenType(TokenId id) const
+{
+    SNS_ASSERT(id >= 0 && id < circuitSize(), "not a circuit token: ", id);
+    return tokens_[id].type;
+}
+
+int
+Vocabulary::tokenWidth(TokenId id) const
+{
+    SNS_ASSERT(id >= 0 && id < circuitSize(), "not a circuit token: ", id);
+    return tokens_[id].width;
+}
+
+std::string
+Vocabulary::tokenString(TokenId id) const
+{
+    if (id == padId())
+        return "<pad>";
+    if (id == bosId())
+        return "<bos>";
+    if (id == eosId())
+        return "<eos>";
+    return tokenName(tokenType(id), tokenWidth(id));
+}
+
+std::optional<TokenId>
+Vocabulary::parse(const std::string &name) const
+{
+    // Split trailing digits from the mnemonic.
+    size_t pos = name.size();
+    while (pos > 0 && std::isdigit(static_cast<unsigned char>(name[pos - 1])))
+        --pos;
+    if (pos == 0 || pos == name.size())
+        return std::nullopt;
+    const auto type = nodeTypeFromName(name.substr(0, pos));
+    if (!type)
+        return std::nullopt;
+    const int width = std::stoi(name.substr(pos));
+    const int t = static_cast<int>(*type);
+    int log = 0;
+    while ((1 << log) < width)
+        ++log;
+    if ((1 << log) != width || log >= static_cast<int>(lookup_[t].size()))
+        return std::nullopt;
+    const TokenId id = lookup_[t][log];
+    if (id < 0)
+        return std::nullopt;
+    return id;
+}
+
+bool
+Vocabulary::isEndpointToken(TokenId id) const
+{
+    return id >= 0 && id < circuitSize() && isPathEndpoint(tokens_[id].type);
+}
+
+} // namespace sns::graphir

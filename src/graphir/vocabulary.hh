@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The GraphIR token vocabulary (§3.1).
+ *
+ * Each legal (type, width) pair is one token; with Table 1's width sets
+ * this yields exactly 79 circuit tokens (11 types x 5 widths + 6
+ * arithmetic types x 4 widths). Three extra control tokens (PAD, BOS,
+ * EOS) are appended for the sequence models; the paper counts only the
+ * 79 circuit tokens in its "Vocabulary Set Size".
+ */
+
+#ifndef SNS_GRAPHIR_VOCABULARY_HH
+#define SNS_GRAPHIR_VOCABULARY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graphir/node_type.hh"
+
+namespace sns::graphir {
+
+/** Integer id of a vocabulary token. */
+using TokenId = int32_t;
+
+/**
+ * Bijection between (type, width) pairs and dense token ids.
+ *
+ * Token ids [0, circuitSize()) are circuit tokens; padId(), bosId() and
+ * eosId() follow. The layout is deterministic: tokens are ordered by
+ * type then by increasing width.
+ */
+class Vocabulary
+{
+  public:
+    /** The process-wide vocabulary instance. */
+    static const Vocabulary &instance();
+
+    /** Number of circuit tokens (79 with the Table-1 width sets). */
+    int circuitSize() const { return static_cast<int>(tokens_.size()); }
+
+    /** Total token count including PAD/BOS/EOS. */
+    int totalSize() const { return circuitSize() + 3; }
+
+    /** Padding token id. */
+    TokenId padId() const { return circuitSize(); }
+
+    /** Begin-of-sequence token id. */
+    TokenId bosId() const { return circuitSize() + 1; }
+
+    /** End-of-sequence token id. */
+    TokenId eosId() const { return circuitSize() + 2; }
+
+    /** Token id for a type and already-rounded width. */
+    TokenId tokenId(NodeType type, int width) const;
+
+    /** Token id for a type and raw width (applies the rounding rule). */
+    TokenId tokenIdRounded(NodeType type, int raw_width) const;
+
+    /** Type of a circuit token. */
+    NodeType tokenType(TokenId id) const;
+
+    /** Width of a circuit token. */
+    int tokenWidth(TokenId id) const;
+
+    /** Printable name ("mul16", "<pad>", ...). */
+    std::string tokenString(TokenId id) const;
+
+    /** Parse a token name like "mul16"; nullopt if not a circuit token. */
+    std::optional<TokenId> parse(const std::string &name) const;
+
+    /** True if the token is a circuit token whose type is a path endpoint. */
+    bool isEndpointToken(TokenId id) const;
+
+  private:
+    Vocabulary();
+
+    struct TokenInfo
+    {
+        NodeType type;
+        int width;
+    };
+
+    std::vector<TokenInfo> tokens_;
+    // lookup_[typeIndex][log2(width)] -> id
+    std::vector<std::vector<TokenId>> lookup_;
+};
+
+} // namespace sns::graphir
+
+#endif // SNS_GRAPHIR_VOCABULARY_HH

@@ -1,0 +1,216 @@
+#include "netlist/circuit_builder.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace sns::netlist {
+
+CircuitBuilder::CircuitBuilder(std::string name) : graph_(std::move(name))
+{
+}
+
+NodeId
+CircuitBuilder::input(int width)
+{
+    return graph_.addNode(NodeType::Io, width);
+}
+
+NodeId
+CircuitBuilder::output(int width, std::initializer_list<NodeId> sources)
+{
+    return output(width, std::vector<NodeId>(sources));
+}
+
+NodeId
+CircuitBuilder::output(int width, const std::vector<NodeId> &sources)
+{
+    return op(NodeType::Io, width, sources);
+}
+
+NodeId
+CircuitBuilder::dff(int width)
+{
+    return graph_.addNode(NodeType::Dff, width);
+}
+
+NodeId
+CircuitBuilder::op(NodeType type, int width,
+                   const std::vector<NodeId> &sources)
+{
+    const NodeId id = graph_.addNode(type, width);
+    for (NodeId src : sources)
+        graph_.addEdge(src, id);
+    return id;
+}
+
+NodeId
+CircuitBuilder::add(int width, NodeId a, NodeId b)
+{
+    return op(NodeType::Add, width, {a, b});
+}
+
+NodeId
+CircuitBuilder::mul(int width, NodeId a, NodeId b)
+{
+    return op(NodeType::Mul, width, {a, b});
+}
+
+NodeId
+CircuitBuilder::div(int width, NodeId a, NodeId b)
+{
+    return op(NodeType::Div, width, {a, b});
+}
+
+NodeId
+CircuitBuilder::mod(int width, NodeId a, NodeId b)
+{
+    return op(NodeType::Mod, width, {a, b});
+}
+
+NodeId
+CircuitBuilder::eq(int width, NodeId a, NodeId b)
+{
+    return op(NodeType::Eq, width, {a, b});
+}
+
+NodeId
+CircuitBuilder::lgt(int width, NodeId a, NodeId b)
+{
+    return op(NodeType::Lgt, width, {a, b});
+}
+
+NodeId
+CircuitBuilder::mux(int width, NodeId sel, NodeId a, NodeId b)
+{
+    return op(NodeType::Mux, width, {sel, a, b});
+}
+
+NodeId
+CircuitBuilder::bnot(int width, NodeId a)
+{
+    return op(NodeType::Not, width, {a});
+}
+
+NodeId
+CircuitBuilder::band(int width, NodeId a, NodeId b)
+{
+    return op(NodeType::And, width, {a, b});
+}
+
+NodeId
+CircuitBuilder::bor(int width, NodeId a, NodeId b)
+{
+    return op(NodeType::Or, width, {a, b});
+}
+
+NodeId
+CircuitBuilder::bxor(int width, NodeId a, NodeId b)
+{
+    return op(NodeType::Xor, width, {a, b});
+}
+
+NodeId
+CircuitBuilder::shifter(int width, NodeId value, NodeId amount)
+{
+    return op(NodeType::Sh, width, {value, amount});
+}
+
+NodeId
+CircuitBuilder::reduceAnd(NodeId a)
+{
+    return op(NodeType::ReduceAnd, graph_.width(a), {a});
+}
+
+NodeId
+CircuitBuilder::reduceOr(NodeId a)
+{
+    return op(NodeType::ReduceOr, graph_.width(a), {a});
+}
+
+NodeId
+CircuitBuilder::reduceXor(NodeId a)
+{
+    return op(NodeType::ReduceXor, graph_.width(a), {a});
+}
+
+NodeId
+CircuitBuilder::reg(NodeId source)
+{
+    return reg(graph_.width(source), source);
+}
+
+NodeId
+CircuitBuilder::reg(int width, NodeId source)
+{
+    return op(NodeType::Dff, width, {source});
+}
+
+std::vector<NodeId>
+CircuitBuilder::regBank(const std::vector<NodeId> &sources)
+{
+    std::vector<NodeId> regs;
+    regs.reserve(sources.size());
+    for (NodeId src : sources)
+        regs.push_back(reg(src));
+    return regs;
+}
+
+NodeId
+CircuitBuilder::reduceTree(NodeType type, int width,
+                           std::vector<NodeId> inputs)
+{
+    SNS_ASSERT(!inputs.empty(), "reduceTree() needs at least one input");
+    while (inputs.size() > 1) {
+        std::vector<NodeId> level;
+        level.reserve((inputs.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < inputs.size(); i += 2)
+            level.push_back(op(type, width, {inputs[i], inputs[i + 1]}));
+        if (inputs.size() % 2 == 1)
+            level.push_back(inputs.back());
+        inputs = std::move(level);
+    }
+    return inputs.front();
+}
+
+NodeId
+CircuitBuilder::muxTree(int width, NodeId select,
+                        std::vector<NodeId> inputs)
+{
+    SNS_ASSERT(!inputs.empty(), "muxTree() needs at least one input");
+    while (inputs.size() > 1) {
+        std::vector<NodeId> level;
+        level.reserve((inputs.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < inputs.size(); i += 2)
+            level.push_back(mux(width, select, inputs[i], inputs[i + 1]));
+        if (inputs.size() % 2 == 1)
+            level.push_back(inputs.back());
+        inputs = std::move(level);
+    }
+    return inputs.front();
+}
+
+std::vector<NodeId>
+CircuitBuilder::inputBus(int width, int count)
+{
+    std::vector<NodeId> bus;
+    bus.reserve(count);
+    for (int i = 0; i < count; ++i)
+        bus.push_back(input(width));
+    return bus;
+}
+
+void
+CircuitBuilder::connect(NodeId from, NodeId to)
+{
+    graph_.addEdge(from, to);
+}
+
+Graph
+CircuitBuilder::build()
+{
+    graph_.validate();
+    return std::move(graph_);
+}
+
+} // namespace sns::netlist

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Programmatic construction of GraphIR circuits.
+ *
+ * CircuitBuilder is the structural front-end used by the design
+ * generator library (src/designs) and the case-study generators. It
+ * offers one method per Table-1 functional unit plus composite helpers
+ * (register banks, balanced reduction trees, pipelined chains) that the
+ * generators use to express realistic microarchitecture.
+ */
+
+#ifndef SNS_NETLIST_CIRCUIT_BUILDER_HH
+#define SNS_NETLIST_CIRCUIT_BUILDER_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "graphir/graph.hh"
+
+namespace sns::netlist {
+
+using graphir::Graph;
+using graphir::NodeId;
+using graphir::NodeType;
+
+/** Fluent builder producing a validated GraphIR circuit. */
+class CircuitBuilder
+{
+  public:
+    /** Start a new design with the given name. */
+    explicit CircuitBuilder(std::string name);
+
+    /** Add an input port of the given width. */
+    NodeId input(int width);
+
+    /** Add an output port driven by the given sources. */
+    NodeId output(int width, std::initializer_list<NodeId> sources);
+
+    /** Add an output port driven by a vector of sources. */
+    NodeId output(int width, const std::vector<NodeId> &sources);
+
+    /** Add a free-standing register of the given width. */
+    NodeId dff(int width);
+
+    /**
+     * Add a generic functional unit fed by the given sources.
+     *
+     * @param type unit category
+     * @param width maximal wire width (rounded per §3.1)
+     * @param sources driving vertices
+     */
+    NodeId op(NodeType type, int width,
+              const std::vector<NodeId> &sources);
+
+    /** @name Table-1 unit shorthands
+     * Width is the unit's maximal connection width; sources are the
+     * driving vertices.
+     * @{
+     */
+    NodeId add(int width, NodeId a, NodeId b);
+    NodeId mul(int width, NodeId a, NodeId b);
+    NodeId div(int width, NodeId a, NodeId b);
+    NodeId mod(int width, NodeId a, NodeId b);
+    NodeId eq(int width, NodeId a, NodeId b);
+    NodeId lgt(int width, NodeId a, NodeId b);
+    NodeId mux(int width, NodeId sel, NodeId a, NodeId b);
+    NodeId bnot(int width, NodeId a);
+    NodeId band(int width, NodeId a, NodeId b);
+    NodeId bor(int width, NodeId a, NodeId b);
+    NodeId bxor(int width, NodeId a, NodeId b);
+    NodeId shifter(int width, NodeId value, NodeId amount);
+    NodeId reduceAnd(NodeId a);
+    NodeId reduceOr(NodeId a);
+    NodeId reduceXor(NodeId a);
+    /** @} */
+
+    /** Register the given source (dff of the same width). */
+    NodeId reg(NodeId source);
+
+    /** Register the given source with an explicit register width. */
+    NodeId reg(int width, NodeId source);
+
+    /** Register every element of a bus. */
+    std::vector<NodeId> regBank(const std::vector<NodeId> &sources);
+
+    /**
+     * Balanced binary reduction tree combining a bus with a two-input
+     * unit type (typically Add for adder trees, Or/And for logic).
+     * @return the tree's root vertex
+     */
+    NodeId reduceTree(NodeType type, int width,
+                      std::vector<NodeId> inputs);
+
+    /**
+     * N-input one-hot multiplexer network built from 2:1 muxes.
+     * @param select vertex driving every mux select input
+     */
+    NodeId muxTree(int width, NodeId select, std::vector<NodeId> inputs);
+
+    /** A bus of fresh input ports. */
+    std::vector<NodeId> inputBus(int width, int count);
+
+    /** Wire an extra edge after construction (e.g. feedback into a dff). */
+    void connect(NodeId from, NodeId to);
+
+    /** Width of an existing vertex (rounded). */
+    int widthOf(NodeId id) const { return graph_.width(id); }
+
+    /** Access the graph under construction. */
+    const Graph &graph() const { return graph_; }
+
+    /** Validate and take ownership of the finished design. */
+    Graph build();
+
+  private:
+    Graph graph_;
+};
+
+} // namespace sns::netlist
+
+#endif // SNS_NETLIST_CIRCUIT_BUILDER_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SNL — the Simple NetList language, our textual HDL front-end.
+ *
+ * SNL replaces the paper's Verilog + Yosys combination: it is a
+ * structural description whose elaboration directly yields the same
+ * typed, width-annotated operator graph that SNS consumes.
+ *
+ * Grammar (one statement per line, '#' starts a comment):
+ *
+ *     design <name>
+ *     input  <id> <width>
+ *     node   <id> <type> <width> [<src> ...]
+ *     reg    <id> <width> [<src> ...]
+ *     output <id> <width> [<src> ...]
+ *
+ * where <type> is a Table-1 mnemonic (add, mul, mux, reduce_xor, ...).
+ * Identifiers may be referenced before their defining line (two-pass
+ * elaboration), which is how register feedback loops are written:
+ *
+ *     design mac8
+ *     input  a 8
+ *     input  b 8
+ *     node   m   mul 16 a b
+ *     node   s   add 16 m acc
+ *     reg    acc 16 s
+ *     output out 16 acc
+ */
+
+#ifndef SNS_NETLIST_SNL_PARSER_HH
+#define SNS_NETLIST_SNL_PARSER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "graphir/graph.hh"
+
+namespace sns::netlist {
+
+/** Error thrown on malformed SNL input, carrying a line number. */
+class SnlError : public std::runtime_error
+{
+  public:
+    SnlError(int line, const std::string &message);
+
+    /** 1-based line number of the offending statement. */
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/** Parse SNL source text into a validated GraphIR circuit. */
+graphir::Graph parseSnl(const std::string &source);
+
+/** Parse an SNL file from disk. */
+graphir::Graph loadSnlFile(const std::string &path);
+
+/** Serialize a circuit back to SNL text (round-trip support). */
+std::string writeSnl(const graphir::Graph &graph);
+
+} // namespace sns::netlist
+
+#endif // SNS_NETLIST_SNL_PARSER_HH

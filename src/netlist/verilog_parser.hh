@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A structural/dataflow Verilog front-end (the paper's primary input
+ * format, §5.5) for a synthesizable subset:
+ *
+ *   - one module per file, ANSI-style port declarations
+ *     (`input [7:0] a`, `output [15:0] y`, plain `input clk`),
+ *   - `wire` / `reg` declarations with optional ranges,
+ *   - continuous assignments: `assign y = a * b + c;`,
+ *   - registered assignments:
+ *     `always @(posedge clk) begin acc <= acc + p; end`
+ *     (also the single-statement form without begin/end),
+ *   - expressions: `?:`, `| & ^ + - * / % << >> == != < > <= >=`,
+ *     unary `~ - & | ^` (the last three as reductions), parentheses,
+ *     identifiers, and integer literals (plain or sized like `8'hff`).
+ *
+ * Elaboration maps each operator onto the Table-1 vocabulary with the
+ * §3.1 width rule (a node's width is the maximum of its operand and
+ * target widths; rounding happens inside GraphIR). Constant operands
+ * are tie-offs: the operator node is still instantiated, wired only to
+ * its non-constant operands — a `+ 1` is an incrementer, hardware that
+ * exists even though one input is constant.
+ *
+ * Unsupported constructs (initial blocks, instantiation, generate,
+ * behavioural if/case) raise VerilogError with a line number.
+ */
+
+#ifndef SNS_NETLIST_VERILOG_PARSER_HH
+#define SNS_NETLIST_VERILOG_PARSER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "graphir/graph.hh"
+
+namespace sns::netlist {
+
+/** Error in Verilog input, carrying a 1-based line number. */
+class VerilogError : public std::runtime_error
+{
+  public:
+    VerilogError(int line, const std::string &message);
+
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/** Parse Verilog source text into a validated GraphIR circuit. */
+graphir::Graph parseVerilog(const std::string &source);
+
+/** Parse a Verilog file from disk. */
+graphir::Graph loadVerilogFile(const std::string &path);
+
+} // namespace sns::netlist
+
+#endif // SNS_NETLIST_VERILOG_PARSER_HH

@@ -1,0 +1,45 @@
+#include "nn/gru.hh"
+
+namespace sns::nn {
+
+using namespace sns::tensor;
+
+GruCell::GruCell(int input_size, int hidden_size, Rng &rng)
+    : hidden_(hidden_size),
+      xz_(input_size, hidden_size, rng),
+      hz_(hidden_size, hidden_size, rng),
+      xr_(input_size, hidden_size, rng),
+      hr_(hidden_size, hidden_size, rng),
+      xn_(input_size, hidden_size, rng),
+      hn_(hidden_size, hidden_size, rng)
+{
+}
+
+Variable
+GruCell::step(const Variable &x, const Variable &h) const
+{
+    const Variable z = sigmoidOp(add(xz_.forward(x), hz_.forward(h)));
+    const Variable r = sigmoidOp(add(xr_.forward(x), hr_.forward(h)));
+    const Variable n = tanhOp(add(xn_.forward(x), hn_.forward(mul(r, h))));
+    // h' = (1 - z) * n + z * h = n - z*n + z*h.
+    return add(sub(n, mul(z, n)), mul(z, h));
+}
+
+Variable
+GruCell::initialState(int batch) const
+{
+    return constant(Tensor::zeros({batch, hidden_}));
+}
+
+std::vector<Variable>
+GruCell::parameters() const
+{
+    std::vector<Variable> params;
+    for (const auto *layer : {&xz_, &hz_, &xr_, &hr_, &xn_, &hn_}) {
+        for (const auto &param : layer->parameters())
+            params.push_back(param);
+    }
+    return params;
+}
+
+} // namespace sns::nn

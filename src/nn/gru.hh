@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A gated recurrent unit cell (Cho et al. 2014), used by the SeqGAN
+ * generator and discriminator (§4.2.2 of the paper).
+ */
+
+#ifndef SNS_NN_GRU_HH
+#define SNS_NN_GRU_HH
+
+#include "nn/layers.hh"
+
+namespace sns::nn {
+
+/**
+ * One GRU step:
+ *
+ *   z = sigmoid(x Wz + h Uz + bz)
+ *   r = sigmoid(x Wr + h Ur + br)
+ *   n = tanh(x Wn + (r * h) Un + bn)
+ *   h' = (1 - z) * n + z * h
+ */
+class GruCell : public Module
+{
+  public:
+    GruCell(int input_size, int hidden_size, Rng &rng);
+
+    /**
+     * Advance the recurrence by one step.
+     * @param x input [B, input_size]
+     * @param h previous hidden state [B, hidden_size]
+     * @return next hidden state [B, hidden_size]
+     */
+    Variable step(const Variable &x, const Variable &h) const;
+
+    /** A zero initial hidden state for the given batch size. */
+    Variable initialState(int batch) const;
+
+    int hiddenSize() const { return hidden_; }
+
+    std::vector<Variable> parameters() const override;
+
+  private:
+    int hidden_;
+    Linear xz_;
+    Linear hz_;
+    Linear xr_;
+    Linear hr_;
+    Linear xn_;
+    Linear hn_;
+};
+
+} // namespace sns::nn
+
+#endif // SNS_NN_GRU_HH

@@ -1,0 +1,82 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace sns::nn {
+
+using tensor::Variable;
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'N', 'S', 'W'};
+
+} // namespace
+
+void
+saveParameters(const std::string &path, const std::vector<Variable> &params)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open weight file for writing: ", path);
+
+    out.write(kMagic, 4);
+    const uint32_t count = static_cast<uint32_t>(params.size());
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    for (const auto &param : params) {
+        const auto &value = param.value();
+        const uint32_t ndim = static_cast<uint32_t>(value.ndim());
+        out.write(reinterpret_cast<const char *>(&ndim), sizeof(ndim));
+        for (int d : value.shape()) {
+            const int32_t dim = d;
+            out.write(reinterpret_cast<const char *>(&dim), sizeof(dim));
+        }
+        out.write(reinterpret_cast<const char *>(value.data()),
+                  static_cast<std::streamsize>(value.numel() *
+                                               sizeof(float)));
+    }
+    if (!out)
+        fatal("short write to weight file: ", path);
+}
+
+void
+loadParameters(const std::string &path, std::vector<Variable> &params)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open weight file: ", path);
+
+    char magic[4];
+    in.read(magic, 4);
+    if (!in || std::string(magic, 4) != std::string(kMagic, 4))
+        fatal("bad magic in weight file: ", path);
+
+    uint32_t count = 0;
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in || count != params.size()) {
+        fatal("weight file has ", count, " tensors, model expects ",
+              params.size());
+    }
+
+    for (auto &param : params) {
+        auto &value = param.valueMutable();
+        uint32_t ndim = 0;
+        in.read(reinterpret_cast<char *>(&ndim), sizeof(ndim));
+        if (!in || ndim != static_cast<uint32_t>(value.ndim()))
+            fatal("tensor rank mismatch in ", path);
+        for (int d : value.shape()) {
+            int32_t dim = 0;
+            in.read(reinterpret_cast<char *>(&dim), sizeof(dim));
+            if (!in || dim != d)
+                fatal("tensor shape mismatch in ", path);
+        }
+        in.read(reinterpret_cast<char *>(value.data()),
+                static_cast<std::streamsize>(value.numel() * sizeof(float)));
+        if (!in)
+            fatal("truncated weight file: ", path);
+    }
+}
+
+} // namespace sns::nn

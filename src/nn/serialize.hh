@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binary weight (de)serialization so trained models (Circuitformer,
+ * Aggregation MLPs, SeqGAN) can be checkpointed and reloaded.
+ *
+ * Format: "SNSW" magic, uint32 tensor count, then per tensor a uint32
+ * ndim, int32 dims, and float32 data — all little-endian host order.
+ */
+
+#ifndef SNS_NN_SERIALIZE_HH
+#define SNS_NN_SERIALIZE_HH
+
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.hh"
+
+namespace sns::nn {
+
+/** Write the parameter tensors to a file. */
+void saveParameters(const std::string &path,
+                    const std::vector<tensor::Variable> &params);
+
+/**
+ * Load parameters saved by saveParameters() into the given variables.
+ * Count and shapes must match exactly; fatal() on mismatch or I/O error.
+ */
+void loadParameters(const std::string &path,
+                    std::vector<tensor::Variable> &params);
+
+} // namespace sns::nn
+
+#endif // SNS_NN_SERIALIZE_HH

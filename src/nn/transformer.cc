@@ -1,0 +1,152 @@
+#include "nn/transformer.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sns::nn {
+
+using namespace sns::tensor;
+
+MultiHeadAttention::MultiHeadAttention(int d_model, int heads, Rng &rng)
+    : d_model_(d_model),
+      heads_(heads),
+      wq_(d_model, d_model, rng),
+      wk_(d_model, d_model, rng),
+      wv_(d_model, d_model, rng),
+      wo_(d_model, d_model, rng)
+{
+    SNS_ASSERT(d_model % heads == 0, "d_model must divide into heads");
+}
+
+Variable
+MultiHeadAttention::forward(const Variable &x,
+                            const std::vector<int> &lengths) const
+{
+    const int dh = d_model_ / heads_;
+    const Variable q = splitHeads(wq_.forward(x), heads_); // [B*H, T, dh]
+    const Variable k = splitHeads(wk_.forward(x), heads_);
+    const Variable v = splitHeads(wv_.forward(x), heads_);
+
+    Variable scores = bmmTransB(q, k); // [B*H, T, T]
+    scores = scale(scores, 1.0 / std::sqrt(static_cast<double>(dh)));
+    scores = addKeyPaddingMask(scores, lengths, heads_);
+    const Variable attn = softmaxLastDim(scores);
+    const Variable ctx = bmm(attn, v);             // [B*H, T, dh]
+    return wo_.forward(mergeHeads(ctx, heads_));   // [B, T, D]
+}
+
+std::vector<Variable>
+MultiHeadAttention::parameters() const
+{
+    std::vector<Variable> params;
+    for (const auto &layer : {&wq_, &wk_, &wv_, &wo_}) {
+        for (const auto &param : layer->parameters())
+            params.push_back(param);
+    }
+    return params;
+}
+
+FeedForward::FeedForward(int d_model, int d_ff, Rng &rng)
+    : up_(d_model, d_ff, rng), down_(d_ff, d_model, rng)
+{
+}
+
+Variable
+FeedForward::forward(const Variable &x) const
+{
+    return down_.forward(gelu(up_.forward(x)));
+}
+
+std::vector<Variable>
+FeedForward::parameters() const
+{
+    std::vector<Variable> params = up_.parameters();
+    for (const auto &param : down_.parameters())
+        params.push_back(param);
+    return params;
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int d_model, int heads,
+                                                 int d_ff, Rng &rng)
+    : attention_(d_model, heads, rng),
+      feed_forward_(d_model, d_ff, rng),
+      norm1_(d_model),
+      norm2_(d_model)
+{
+}
+
+Variable
+TransformerEncoderLayer::forward(const Variable &x,
+                                 const std::vector<int> &lengths) const
+{
+    const Variable attended =
+        norm1_.forward(add(x, attention_.forward(x, lengths)));
+    return norm2_.forward(add(attended, feed_forward_.forward(attended)));
+}
+
+std::vector<Variable>
+TransformerEncoderLayer::parameters() const
+{
+    std::vector<Variable> params = attention_.parameters();
+    for (const auto &param : feed_forward_.parameters())
+        params.push_back(param);
+    for (const auto &param : norm1_.parameters())
+        params.push_back(param);
+    for (const auto &param : norm2_.parameters())
+        params.push_back(param);
+    return params;
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig &config,
+                                       Rng &rng)
+    : config_(config),
+      token_embedding_(config.vocab_size, config.d_model, rng),
+      position_embedding_(config.max_positions, config.d_model, rng),
+      input_norm_(config.d_model)
+{
+    for (int i = 0; i < config.layers; ++i) {
+        layers_.emplace_back(config.d_model, config.heads, config.d_ff,
+                             rng);
+    }
+}
+
+Variable
+TransformerEncoder::encode(const std::vector<int> &ids, int batch,
+                           int time, const std::vector<int> &lengths) const
+{
+    SNS_ASSERT(ids.size() == static_cast<size_t>(batch) * time,
+               "ids size must be batch * time");
+    SNS_ASSERT(time <= config_.max_positions,
+               "sequence longer than max_positions: ", time);
+
+    std::vector<int> positions(ids.size());
+    for (int b = 0; b < batch; ++b) {
+        for (int t = 0; t < time; ++t)
+            positions[static_cast<size_t>(b) * time + t] = t;
+    }
+
+    Variable h = add(token_embedding_.forward(ids, {batch, time}),
+                     position_embedding_.forward(positions, {batch, time}));
+    h = input_norm_.forward(h);
+    for (const auto &layer : layers_)
+        h = layer.forward(h, lengths);
+    return meanPoolMasked(h, lengths); // [B, d_model]
+}
+
+std::vector<Variable>
+TransformerEncoder::parameters() const
+{
+    std::vector<Variable> params = token_embedding_.parameters();
+    for (const auto &param : position_embedding_.parameters())
+        params.push_back(param);
+    for (const auto &param : input_norm_.parameters())
+        params.push_back(param);
+    for (const auto &layer : layers_) {
+        for (const auto &param : layer.parameters())
+            params.push_back(param);
+    }
+    return params;
+}
+
+} // namespace sns::nn

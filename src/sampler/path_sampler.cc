@@ -1,0 +1,232 @@
+#include "sampler/path_sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace sns::sampler {
+
+using graphir::Graph;
+using graphir::NodeId;
+
+namespace {
+
+/** Recursive DFS state shared across one design's sampling run. */
+struct DfsContext
+{
+    const Graph &graph;
+    const SamplerOptions &options;
+    Rng &rng;
+    std::vector<SampledPath> &out;
+    std::set<std::vector<NodeId>> &seen; // dedup vs deepest-path set
+    size_t source_budget = 0;   // paths still allowed from this source
+    std::vector<NodeId> stack;  // current partial path
+
+    bool
+    totalBudgetLeft() const
+    {
+        return out.size() < options.max_total_paths;
+    }
+
+    void
+    emit()
+    {
+        if (!seen.insert(stack).second)
+            return; // already present (e.g. a deepest-path duplicate)
+        SampledPath path;
+        path.nodes = stack;
+        path.tokens.reserve(stack.size());
+        for (NodeId id : stack)
+            path.tokens.push_back(graph.token(id));
+        out.push_back(std::move(path));
+        --source_budget;
+    }
+
+    /**
+     * Continue the path through vertex `node`. The vertex is pushed on
+     * the partial path; if it is an endpoint (or a dead end) the path is
+     * complete, otherwise ceil(|succ|/k) random successors are explored.
+     */
+    void
+    extend(NodeId node)
+    {
+        if (source_budget == 0 || !totalBudgetLeft())
+            return;
+        if (stack.size() >= options.max_path_length)
+            return;  // abandon over-long paths
+
+        stack.push_back(node);
+        if (graph.isEndpoint(node) || graph.successors(node).empty()) {
+            emit();
+        } else {
+            descend(node);
+        }
+        stack.pop_back();
+    }
+
+    /** Explore a thinned random subset of `node`'s successors. */
+    void
+    descend(NodeId node)
+    {
+        const auto &succs = graph.successors(node);
+        const size_t fanout = succs.size();
+        const size_t pick = std::max<size_t>(
+            1, static_cast<size_t>(
+                   std::ceil(static_cast<double>(fanout) / options.k)));
+
+        if (pick >= fanout) {
+            for (NodeId next : succs)
+                extend(next);
+            return;
+        }
+        // Partial Fisher-Yates over an index scratch vector: the first
+        // `pick` slots end up holding a uniform random subset.
+        std::vector<size_t> order(fanout);
+        for (size_t i = 0; i < fanout; ++i)
+            order[i] = i;
+        for (size_t i = 0; i < pick; ++i) {
+            const size_t j = i + rng.uniformInt(fanout - i);
+            std::swap(order[i], order[j]);
+        }
+        for (size_t i = 0; i < pick; ++i)
+            extend(succs[order[i]]);
+    }
+};
+
+} // namespace
+
+PathSampler::PathSampler(SamplerOptions options) : options_(options)
+{
+    SNS_ASSERT(options_.k >= 1.0, "sampler k must be >= 1");
+    SNS_ASSERT(options_.max_path_length >= 2,
+               "paths need at least two vertices");
+}
+
+namespace {
+
+/**
+ * Deterministic deepest-path extraction: depth[u] = longest number of
+ * vertices from combinational vertex u to (and including) a terminating
+ * endpoint, computed over the combinational DAG; then the maximal path
+ * from each of the deepest launch points is materialized by following
+ * argmax successors.
+ */
+std::vector<SampledPath>
+deepestPaths(const Graph &graph, size_t count, size_t max_length)
+{
+    const auto topo = graph.combinationalTopoOrder();
+    const size_t n = graph.numNodes();
+    std::vector<int> depth(n, 0);
+    std::vector<NodeId> best_succ(n, graphir::kInvalidNode);
+
+    // Reverse topological sweep: successors are finalized before their
+    // predecessors.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const NodeId id = *it;
+        if (graph.isEndpoint(id))
+            continue;
+        for (NodeId next : graph.successors(id)) {
+            const int via =
+                graph.isEndpoint(next) ? 1 : 1 + depth[next];
+            if (via > depth[id]) {
+                depth[id] = via;
+                best_succ[id] = next;
+            }
+        }
+    }
+
+    // Rank launch endpoints by the depth reachable through them.
+    std::vector<std::pair<int, NodeId>> launches;
+    for (NodeId id : graph.endpoints()) {
+        int best = 0;
+        for (NodeId next : graph.successors(id)) {
+            const int via =
+                graph.isEndpoint(next) ? 1 : 1 + depth[next];
+            best = std::max(best, via);
+        }
+        if (best > 0)
+            launches.emplace_back(best, id);
+    }
+    std::sort(launches.begin(), launches.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first > b.first ||
+                         (a.first == b.first && a.second < b.second);
+              });
+
+    std::vector<SampledPath> paths;
+    for (const auto &[launch_depth, source] : launches) {
+        if (paths.size() >= count)
+            break;
+        SampledPath path;
+        path.nodes.push_back(source);
+        // First hop: the deepest successor of the launch point.
+        NodeId cursor = graphir::kInvalidNode;
+        int best = -1;
+        for (NodeId next : graph.successors(source)) {
+            const int via =
+                graph.isEndpoint(next) ? 1 : 1 + depth[next];
+            if (via > best) {
+                best = via;
+                cursor = next;
+            }
+        }
+        while (cursor != graphir::kInvalidNode &&
+               path.nodes.size() < max_length) {
+            path.nodes.push_back(cursor);
+            if (graph.isEndpoint(cursor))
+                break;
+            cursor = best_succ[cursor];
+        }
+        if (path.nodes.size() < 2 ||
+            !graph.isEndpoint(path.nodes.back())) {
+            continue; // over-long chain truncated: skip
+        }
+        for (NodeId id : path.nodes)
+            path.tokens.push_back(graph.token(id));
+        paths.push_back(std::move(path));
+    }
+    return paths;
+}
+
+} // namespace
+
+std::vector<SampledPath>
+PathSampler::sample(const Graph &graph) const
+{
+    std::vector<SampledPath> paths;
+    Rng rng(options_.seed);
+
+    // Deterministic deep-path supplement first (deduplicated against
+    // the random sample below).
+    std::set<std::vector<NodeId>> seen;
+    if (options_.longest_paths > 0) {
+        for (auto &path : deepestPaths(graph, options_.longest_paths,
+                                       options_.max_path_length)) {
+            if (paths.size() >= options_.max_total_paths)
+                break;
+            if (seen.insert(path.nodes).second)
+                paths.push_back(std::move(path));
+        }
+    }
+
+    auto sources = graph.endpoints();
+    // Randomize the source order so the total-path cap does not bias the
+    // sample towards low-numbered vertices.
+    rng.shuffle(sources);
+
+    for (NodeId source : sources) {
+        if (paths.size() >= options_.max_total_paths)
+            break;
+        if (graph.successors(source).empty())
+            continue;
+        DfsContext ctx{graph, options_, rng, paths, seen, 0, {}};
+        ctx.source_budget = options_.max_paths_per_source;
+        ctx.stack.push_back(source);
+        ctx.descend(source);
+    }
+    return paths;
+}
+
+} // namespace sns::sampler

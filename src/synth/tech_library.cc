@@ -1,0 +1,155 @@
+#include "synth/tech_library.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sns::synth {
+
+using graphir::NodeType;
+
+namespace {
+
+double
+log2d(double x)
+{
+    return std::log2(x);
+}
+
+/** Gate-equivalent count for a (type, width) unit. */
+double
+gateCount(NodeType type, double w)
+{
+    switch (type) {
+      case NodeType::Io:
+        return 0.5 * w;                     // pad/buffer cells
+      case NodeType::Dff:
+        return 4.0 * w;                     // ~4 GE per flop bit
+      case NodeType::Mux:
+        return 1.2 * w;
+      case NodeType::Not:
+        return 0.5 * w;
+      case NodeType::And:
+      case NodeType::Or:
+        return 1.0 * w;
+      case NodeType::Xor:
+        return 1.5 * w;
+      case NodeType::Sh:
+        return 1.6 * w * log2d(w);          // barrel shifter
+      case NodeType::ReduceAnd:
+      case NodeType::ReduceOr:
+        return 1.0 * w;
+      case NodeType::ReduceXor:
+        return 1.5 * w;
+      case NodeType::Add:
+        return 4.5 * w + 1.5 * w * log2d(w) / 4.0;   // CLA overhead
+      case NodeType::Eq:
+        return 2.0 * w;
+      case NodeType::Lgt:
+        return 3.0 * w;
+      case NodeType::Mul:
+        return 1.1 * std::pow(w, 1.9);      // partial-product array + tree
+      case NodeType::Div:
+      case NodeType::Mod:
+        return 1.4 * std::pow(w, 1.8);      // restoring array divider
+    }
+    panic("unhandled NodeType in gateCount");
+}
+
+/** Logic depth (in FO4-ish levels) for a (type, width) unit. */
+double
+logicLevels(NodeType type, double w)
+{
+    switch (type) {
+      case NodeType::Io:
+        return 1.0;
+      case NodeType::Dff:
+        return 0.0;                          // handled via clk-to-q/setup
+      case NodeType::Mux:
+        return 1.5;
+      case NodeType::Not:
+        return 0.6;
+      case NodeType::And:
+      case NodeType::Or:
+        return 1.0;
+      case NodeType::Xor:
+        return 1.4;
+      case NodeType::Sh:
+        return 1.2 * log2d(w);
+      case NodeType::ReduceAnd:
+      case NodeType::ReduceOr:
+        return 1.0 * log2d(w);
+      case NodeType::ReduceXor:
+        return 1.4 * log2d(w);
+      case NodeType::Add:
+        return 2.0 + 1.8 * log2d(w);         // carry-lookahead depth
+      case NodeType::Eq:
+        return 1.0 + 1.0 * log2d(w);
+      case NodeType::Lgt:
+        return 1.5 + 1.4 * log2d(w);
+      case NodeType::Mul:
+        return 3.0 + 3.6 * log2d(w);         // booth + wallace + final add
+      case NodeType::Div:
+      case NodeType::Mod:
+        return 2.0 + 1.1 * w;                // carry ripples across rows
+    }
+    panic("unhandled NodeType in logicLevels");
+}
+
+} // namespace
+
+const TechLibrary &
+TechLibrary::freePdk15()
+{
+    static const TechLibrary lib;
+    return lib;
+}
+
+TechLibrary::TechLibrary()
+{
+    // FreePDK15-flavoured constants: a NAND2-equivalent occupies about
+    // 0.2 um^2, one loaded logic level costs ~14 ps, switching one GE
+    // costs ~0.10 fJ and leaks ~2 nW.
+    area_per_ge_um2_ = 0.20;
+    delay_per_level_ps_ = 14.0;
+    energy_per_ge_fj_ = 0.10;
+    leakage_per_ge_uw_ = 0.002;
+    setup_ps_ = 18.0;
+    clk_to_q_ps_ = 22.0;
+    wire_delay_base_ps_ = 3.0;
+    buffer_area_um2_ = 0.35;
+}
+
+CellParams
+TechLibrary::cell(NodeType type, int width) const
+{
+    SNS_ASSERT(width > 0, "cell width must be positive");
+    const double w = width;
+    const double gates = gateCount(type, w);
+    CellParams params;
+    params.gates = gates;
+    params.area_um2 = gates * area_per_ge_um2_;
+    params.delay_ps = logicLevels(type, w) * delay_per_level_ps_;
+    params.energy_fj = gates * energy_per_ge_fj_;
+    params.leakage_uw = gates * leakage_per_ge_uw_;
+    return params;
+}
+
+double
+TechLibrary::wireDelayPs(int fanout) const
+{
+    if (fanout <= 1)
+        return wire_delay_base_ps_;
+    // Buffered fanout trees grow logarithmically in delay.
+    return wire_delay_base_ps_ * (1.0 + std::log2(static_cast<double>(fanout)));
+}
+
+double
+TechLibrary::bufferAreaUm2(int fanout) const
+{
+    if (fanout <= 2)
+        return 0.0;
+    return buffer_area_um2_ * (fanout - 2);
+}
+
+} // namespace sns::synth

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Technology library for the reference synthesizer.
+ *
+ * Substitutes the FreePDK 15nm cell library used by the paper. Each
+ * (type, width) functional unit maps to a gate-equivalent (GE) count,
+ * a logic depth, and per-GE electrical constants. The scaling laws are
+ * the standard ones for synthesized datapath blocks:
+ *
+ *   - ripple-free adders/comparators: depth ~ log2(w), area ~ w
+ *   - array/tree multipliers: depth ~ 2*log2(w), area ~ w^1.9
+ *   - iterative dividers/modulus: depth ~ w, area ~ w^1.8
+ *   - barrel shifters: depth ~ log2(w), area ~ w*log2(w)
+ *   - bitwise logic and muxes: depth O(1), area ~ w
+ *   - reductions: depth ~ log2(w), area ~ w
+ *
+ * The absolute constants are calibrated so small designs land in the
+ * same decade as the paper's FreePDK15 numbers (e.g. the DianNao-class
+ * accelerator synthesizing to ~0.1 mm^2 and sub-nanosecond cycle time).
+ */
+
+#ifndef SNS_SYNTH_TECH_LIBRARY_HH
+#define SNS_SYNTH_TECH_LIBRARY_HH
+
+#include "graphir/node_type.hh"
+
+namespace sns::synth {
+
+/** Electrical and physical characteristics of one mapped cell. */
+struct CellParams
+{
+    double area_um2;    ///< silicon area
+    double delay_ps;    ///< input-to-output propagation delay
+    double energy_fj;   ///< switching energy per activation
+    double leakage_uw;  ///< static leakage power
+    double gates;       ///< gate-equivalent count
+};
+
+/** A process technology: per-unit cost model plus wire/buffer model. */
+class TechLibrary
+{
+  public:
+    /** The FreePDK15-inspired default technology. */
+    static const TechLibrary &freePdk15();
+
+    /** Characteristics of a (type, width) functional unit. */
+    CellParams cell(graphir::NodeType type, int width) const;
+
+    /** Extra wire delay charged to a net with the given fanout. */
+    double wireDelayPs(int fanout) const;
+
+    /** Buffer area inserted on a net with the given fanout. */
+    double bufferAreaUm2(int fanout) const;
+
+    /** Flip-flop setup time. */
+    double setupPs() const { return setup_ps_; }
+
+    /** Flip-flop clock-to-q delay. */
+    double clockToQPs() const { return clk_to_q_ps_; }
+
+    /** Area of one gate equivalent. */
+    double areaPerGate() const { return area_per_ge_um2_; }
+
+  private:
+    TechLibrary();
+
+    double area_per_ge_um2_;   ///< um^2 per gate equivalent
+    double delay_per_level_ps_; ///< one logic level's delay
+    double energy_per_ge_fj_;  ///< switching energy per GE
+    double leakage_per_ge_uw_; ///< leakage per GE
+    double setup_ps_;
+    double clk_to_q_ps_;
+    double wire_delay_base_ps_;
+    double buffer_area_um2_;
+};
+
+} // namespace sns::synth
+
+#endif // SNS_SYNTH_TECH_LIBRARY_HH

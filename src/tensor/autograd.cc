@@ -1,0 +1,1233 @@
+#include "tensor/autograd.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "tensor/gemm.hh"
+
+namespace sns::tensor {
+
+using detail::VarImpl;
+
+Variable::Variable(Tensor value, bool requires_grad)
+{
+    impl_ = std::make_shared<VarImpl>();
+    impl_->value = std::move(value);
+    impl_->requires_grad = requires_grad;
+}
+
+const Tensor &
+Variable::value() const
+{
+    SNS_ASSERT(impl_, "value() on undefined Variable");
+    return impl_->value;
+}
+
+Tensor &
+Variable::valueMutable()
+{
+    SNS_ASSERT(impl_, "valueMutable() on undefined Variable");
+    return impl_->value;
+}
+
+const Tensor &
+Variable::grad() const
+{
+    SNS_ASSERT(impl_ && impl_->grad_ready, "grad() before backward()");
+    return impl_->grad;
+}
+
+bool
+Variable::hasGrad() const
+{
+    return impl_ && impl_->grad_ready;
+}
+
+bool
+Variable::requiresGrad() const
+{
+    return impl_ && impl_->requires_grad;
+}
+
+void
+Variable::zeroGrad()
+{
+    if (impl_ && impl_->grad_ready)
+        impl_->grad.fill(0.0f);
+}
+
+void
+Variable::scaleGrad(double factor)
+{
+    if (impl_ && impl_->grad_ready)
+        impl_->grad.scaleInPlace(static_cast<float>(factor));
+}
+
+void
+Variable::backward()
+{
+    SNS_ASSERT(impl_, "backward() on undefined Variable");
+    SNS_ASSERT(impl_->value.numel() == 1,
+               "backward() must start from a scalar, got shape ",
+               impl_->value.shapeString());
+
+    // Iterative DFS postorder; reversed it is a topological order with
+    // the root first, so every node's gradient is complete before the
+    // node pushes it into its parents.
+    std::vector<VarImpl *> postorder;
+    std::unordered_set<VarImpl *> visited;
+    std::vector<std::pair<VarImpl *, size_t>> stack;
+    stack.emplace_back(impl_.get(), 0);
+    visited.insert(impl_.get());
+    while (!stack.empty()) {
+        auto &[node, idx] = stack.back();
+        if (idx < node->parents.size()) {
+            VarImpl *parent = node->parents[idx++].get();
+            if (!visited.count(parent)) {
+                visited.insert(parent);
+                stack.emplace_back(parent, 0);
+            }
+        } else {
+            postorder.push_back(node);
+            stack.pop_back();
+        }
+    }
+
+    impl_->ensureGrad().fill(1.0f);
+    for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
+        VarImpl *node = *it;
+        if (node->backward_fn && node->grad_ready)
+            node->backward_fn(*node);
+    }
+}
+
+Variable
+constant(Tensor value)
+{
+    return Variable(std::move(value), false);
+}
+
+namespace {
+
+thread_local bool grad_mode_enabled = true;
+
+} // namespace
+
+NoGradGuard::NoGradGuard() : previous_(grad_mode_enabled)
+{
+    grad_mode_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard()
+{
+    grad_mode_enabled = previous_;
+}
+
+bool
+NoGradGuard::gradEnabled()
+{
+    return grad_mode_enabled;
+}
+
+namespace {
+
+/** Build a result node wired to its inputs with a backward closure. */
+Variable
+makeNode(Tensor value, const std::vector<Variable> &inputs,
+         std::function<void(VarImpl &)> backward_fn)
+{
+    bool needs_grad = false;
+    for (const auto &input : inputs) {
+        SNS_ASSERT(input.defined(), "op on undefined Variable");
+        needs_grad |= input.requiresGrad();
+    }
+    needs_grad &= grad_mode_enabled;
+    Variable result(std::move(value), needs_grad);
+    if (needs_grad) {
+        auto &impl = *result.impl();
+        impl.parents.reserve(inputs.size());
+        for (const auto &input : inputs)
+            impl.parents.push_back(input.impl());
+        impl.backward_fn = std::move(backward_fn);
+    }
+    return result;
+}
+
+/** Accumulate src into parent's grad if it participates. */
+void
+accumulate(VarImpl &parent, const Tensor &delta)
+{
+    if (parent.requires_grad || !parent.parents.empty())
+        parent.ensureGrad().addScaled(delta, 1.0f);
+}
+
+bool
+wantsGrad(const VarImpl &node)
+{
+    return node.requires_grad || !node.parents.empty();
+}
+
+} // namespace
+
+Variable
+matmul(const Variable &a, const Variable &b)
+{
+    const Tensor &av = a.value();
+    const Tensor &bv = b.value();
+    SNS_ASSERT(av.ndim() == 2 && bv.ndim() == 2 && av.dim(1) == bv.dim(0),
+               "matmul shape mismatch: ", av.shapeString(), " x ",
+               bv.shapeString());
+    const int m = av.dim(0);
+    const int k = av.dim(1);
+    const int n = bv.dim(1);
+
+    Tensor out({m, n});
+    gemmAcc(av.data(), bv.data(), out.data(), m, n, k, false, false);
+
+    return makeNode(std::move(out), {a, b}, [m, n, k](VarImpl &self) {
+        auto &pa = *self.parents[0];
+        auto &pb = *self.parents[1];
+        if (wantsGrad(pa)) {
+            // dA = dC * B^T : [m,n] x [k,n]^T.
+            gemmAcc(self.grad.data(), pb.value.data(),
+                    pa.ensureGrad().data(), m, k, n, false, true);
+        }
+        if (wantsGrad(pb)) {
+            // dB = A^T * dC : [m,k]^T x [m,n].
+            gemmAcc(pa.value.data(), self.grad.data(),
+                    pb.ensureGrad().data(), k, n, m, true, false);
+        }
+    });
+}
+
+namespace {
+
+Variable
+bmmImpl(const Variable &a, const Variable &b, bool trans_b)
+{
+    const Tensor &av = a.value();
+    const Tensor &bv = b.value();
+    SNS_ASSERT(av.ndim() == 3 && bv.ndim() == 3 && av.dim(0) == bv.dim(0),
+               "bmm batch mismatch");
+    const int batches = av.dim(0);
+    const int m = av.dim(1);
+    const int k = av.dim(2);
+    const int n = trans_b ? bv.dim(1) : bv.dim(2);
+    SNS_ASSERT(trans_b ? bv.dim(2) == k : bv.dim(1) == k,
+               "bmm inner-dimension mismatch");
+
+    Tensor out({batches, m, n});
+    const size_t a_stride = static_cast<size_t>(m) * k;
+    const size_t b_stride = static_cast<size_t>(bv.dim(1)) * bv.dim(2);
+    const size_t c_stride = static_cast<size_t>(m) * n;
+    for (int i = 0; i < batches; ++i) {
+        gemmAcc(av.data() + i * a_stride, bv.data() + i * b_stride,
+                out.data() + i * c_stride, m, n, k, false, trans_b);
+    }
+
+    return makeNode(
+        std::move(out), {a, b},
+        [batches, m, n, k, a_stride, b_stride, c_stride,
+         trans_b](VarImpl &self) {
+            auto &pa = *self.parents[0];
+            auto &pb = *self.parents[1];
+            for (int i = 0; i < batches; ++i) {
+                const float *dc = self.grad.data() + i * c_stride;
+                if (wantsGrad(pa)) {
+                    float *da = pa.ensureGrad().data() + i * a_stride;
+                    const float *bvp = pb.value.data() + i * b_stride;
+                    // !trans_b: dA = dC * B^T; trans_b: dA = dC * B.
+                    gemmAcc(dc, bvp, da, m, k, n, false, !trans_b);
+                }
+                if (wantsGrad(pb)) {
+                    float *db = pb.ensureGrad().data() + i * b_stride;
+                    const float *avp = pa.value.data() + i * a_stride;
+                    if (!trans_b) {
+                        // dB = A^T * dC : [k,n].
+                        gemmAcc(avp, dc, db, k, n, m, true, false);
+                    } else {
+                        // B is [n,k]; dB = dC^T * A : [n,m] x [m,k].
+                        gemmAcc(dc, avp, db, n, k, m, true, false);
+                    }
+                }
+            }
+        });
+}
+
+} // namespace
+
+Variable
+bmm(const Variable &a, const Variable &b)
+{
+    return bmmImpl(a, b, false);
+}
+
+Variable
+bmmTransB(const Variable &a, const Variable &b)
+{
+    return bmmImpl(a, b, true);
+}
+
+Variable
+add(const Variable &a, const Variable &b)
+{
+    SNS_ASSERT(a.value().sameShape(b.value()), "add shape mismatch");
+    Tensor out = a.value();
+    out.addScaled(b.value(), 1.0f);
+    return makeNode(std::move(out), {a, b}, [](VarImpl &self) {
+        accumulate(*self.parents[0], self.grad);
+        accumulate(*self.parents[1], self.grad);
+    });
+}
+
+Variable
+sub(const Variable &a, const Variable &b)
+{
+    SNS_ASSERT(a.value().sameShape(b.value()), "sub shape mismatch");
+    Tensor out = a.value();
+    out.addScaled(b.value(), -1.0f);
+    return makeNode(std::move(out), {a, b}, [](VarImpl &self) {
+        accumulate(*self.parents[0], self.grad);
+        auto &pb = *self.parents[1];
+        if (wantsGrad(pb))
+            pb.ensureGrad().addScaled(self.grad, -1.0f);
+    });
+}
+
+Variable
+mul(const Variable &a, const Variable &b)
+{
+    SNS_ASSERT(a.value().sameShape(b.value()), "mul shape mismatch");
+    Tensor out = a.value();
+    for (size_t i = 0; i < out.numel(); ++i)
+        out[i] *= b.value()[i];
+    return makeNode(std::move(out), {a, b}, [](VarImpl &self) {
+        auto &pa = *self.parents[0];
+        auto &pb = *self.parents[1];
+        if (wantsGrad(pa)) {
+            Tensor &da = pa.ensureGrad();
+            for (size_t i = 0; i < da.numel(); ++i)
+                da[i] += self.grad[i] * pb.value[i];
+        }
+        if (wantsGrad(pb)) {
+            Tensor &db = pb.ensureGrad();
+            for (size_t i = 0; i < db.numel(); ++i)
+                db[i] += self.grad[i] * pa.value[i];
+        }
+    });
+}
+
+Variable
+addBias(const Variable &x, const Variable &bias)
+{
+    const Tensor &xv = x.value();
+    const Tensor &bv = bias.value();
+    SNS_ASSERT(bv.ndim() == 1, "bias must be 1-D");
+    const int d = bv.dim(0);
+    SNS_ASSERT(xv.dim(xv.ndim() - 1) == d, "bias width mismatch");
+    const size_t rows = xv.numel() / d;
+
+    Tensor out = xv;
+    for (size_t r = 0; r < rows; ++r) {
+        float *dst = out.data() + r * d;
+        for (int j = 0; j < d; ++j)
+            dst[j] += bv[j];
+    }
+    return makeNode(std::move(out), {x, bias}, [rows, d](VarImpl &self) {
+        accumulate(*self.parents[0], self.grad);
+        auto &pb = *self.parents[1];
+        if (wantsGrad(pb)) {
+            Tensor &db = pb.ensureGrad();
+            for (size_t r = 0; r < rows; ++r) {
+                const float *src = self.grad.data() + r * d;
+                for (int j = 0; j < d; ++j)
+                    db[j] += src[j];
+            }
+        }
+    });
+}
+
+Variable
+scale(const Variable &x, double factor)
+{
+    Tensor out = x.value();
+    out.scaleInPlace(static_cast<float>(factor));
+    return makeNode(std::move(out), {x}, [factor](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (wantsGrad(px)) {
+            px.ensureGrad().addScaled(self.grad,
+                                      static_cast<float>(factor));
+        }
+    });
+}
+
+Variable
+addScalar(const Variable &x, double value)
+{
+    Tensor out = x.value();
+    for (size_t i = 0; i < out.numel(); ++i)
+        out[i] += static_cast<float>(value);
+    return makeNode(std::move(out), {x}, [](VarImpl &self) {
+        accumulate(*self.parents[0], self.grad);
+    });
+}
+
+Variable
+relu(const Variable &x)
+{
+    Tensor out = x.value();
+    for (size_t i = 0; i < out.numel(); ++i)
+        out[i] = std::max(out[i], 0.0f);
+    return makeNode(std::move(out), {x}, [](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (size_t i = 0; i < dx.numel(); ++i) {
+            if (px.value[i] > 0.0f)
+                dx[i] += self.grad[i];
+        }
+    });
+}
+
+namespace {
+
+// tanh-approximation GELU and its derivative.
+float
+geluForward(float v)
+{
+    const float c = 0.7978845608f; // sqrt(2/pi)
+    const float inner = c * (v + 0.044715f * v * v * v);
+    return 0.5f * v * (1.0f + std::tanh(inner));
+}
+
+float
+geluBackward(float v)
+{
+    const float c = 0.7978845608f;
+    const float inner = c * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(inner);
+    const float sech2 = 1.0f - t * t;
+    return 0.5f * (1.0f + t) +
+           0.5f * v * sech2 * c * (1.0f + 3.0f * 0.044715f * v * v);
+}
+
+} // namespace
+
+Variable
+gelu(const Variable &x)
+{
+    Tensor out = x.value();
+    for (size_t i = 0; i < out.numel(); ++i)
+        out[i] = geluForward(out[i]);
+    return makeNode(std::move(out), {x}, [](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (size_t i = 0; i < dx.numel(); ++i)
+            dx[i] += self.grad[i] * geluBackward(px.value[i]);
+    });
+}
+
+Variable
+tanhOp(const Variable &x)
+{
+    Tensor out = x.value();
+    for (size_t i = 0; i < out.numel(); ++i)
+        out[i] = std::tanh(out[i]);
+    return makeNode(std::move(out), {x}, [](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (size_t i = 0; i < dx.numel(); ++i) {
+            const float y = self.value[i];
+            dx[i] += self.grad[i] * (1.0f - y * y);
+        }
+    });
+}
+
+Variable
+sigmoidOp(const Variable &x)
+{
+    Tensor out = x.value();
+    for (size_t i = 0; i < out.numel(); ++i)
+        out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+    return makeNode(std::move(out), {x}, [](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (size_t i = 0; i < dx.numel(); ++i) {
+            const float y = self.value[i];
+            dx[i] += self.grad[i] * y * (1.0f - y);
+        }
+    });
+}
+
+Variable
+softmaxLastDim(const Variable &x)
+{
+    const Tensor &xv = x.value();
+    const int d = xv.dim(xv.ndim() - 1);
+    const size_t rows = xv.numel() / d;
+
+    Tensor out = xv;
+    for (size_t r = 0; r < rows; ++r) {
+        float *row_data = out.data() + r * d;
+        float max_val = row_data[0];
+        for (int j = 1; j < d; ++j)
+            max_val = std::max(max_val, row_data[j]);
+        float total = 0.0f;
+        for (int j = 0; j < d; ++j) {
+            row_data[j] = std::exp(row_data[j] - max_val);
+            total += row_data[j];
+        }
+        const float inv = 1.0f / total;
+        for (int j = 0; j < d; ++j)
+            row_data[j] *= inv;
+    }
+    return makeNode(std::move(out), {x}, [rows, d](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (size_t r = 0; r < rows; ++r) {
+            const float *y = self.value.data() + r * d;
+            const float *dy = self.grad.data() + r * d;
+            float dot = 0.0f;
+            for (int j = 0; j < d; ++j)
+                dot += y[j] * dy[j];
+            float *dst = dx.data() + r * d;
+            for (int j = 0; j < d; ++j)
+                dst[j] += y[j] * (dy[j] - dot);
+        }
+    });
+}
+
+Variable
+layerNorm(const Variable &x, const Variable &gamma, const Variable &beta,
+          double eps)
+{
+    const Tensor &xv = x.value();
+    const int d = xv.dim(xv.ndim() - 1);
+    SNS_ASSERT(gamma.value().numel() == size_t(d) &&
+                   beta.value().numel() == size_t(d),
+               "layerNorm parameter size mismatch");
+    const size_t rows = xv.numel() / d;
+
+    Tensor out(xv.shape());
+    std::vector<float> mean(rows);
+    std::vector<float> inv_std(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        const float *src = xv.data() + r * d;
+        float mu = 0.0f;
+        for (int j = 0; j < d; ++j)
+            mu += src[j];
+        mu /= d;
+        float var = 0.0f;
+        for (int j = 0; j < d; ++j) {
+            const float delta = src[j] - mu;
+            var += delta * delta;
+        }
+        var /= d;
+        const float inv = 1.0f / std::sqrt(var + static_cast<float>(eps));
+        mean[r] = mu;
+        inv_std[r] = inv;
+        float *dst = out.data() + r * d;
+        const float *g = gamma.value().data();
+        const float *bb = beta.value().data();
+        for (int j = 0; j < d; ++j)
+            dst[j] = (src[j] - mu) * inv * g[j] + bb[j];
+    }
+
+    return makeNode(
+        std::move(out), {x, gamma, beta},
+        [rows, d, mean = std::move(mean),
+         inv_std = std::move(inv_std)](VarImpl &self) {
+            auto &px = *self.parents[0];
+            auto &pg = *self.parents[1];
+            auto &pb = *self.parents[2];
+            const float *g = pg.value.data();
+            for (size_t r = 0; r < rows; ++r) {
+                const float *src = px.value.data() + r * d;
+                const float *dy = self.grad.data() + r * d;
+                const float mu = mean[r];
+                const float inv = inv_std[r];
+
+                if (wantsGrad(pg) || wantsGrad(pb)) {
+                    Tensor &dgamma = pg.ensureGrad();
+                    Tensor &dbeta = pb.ensureGrad();
+                    for (int j = 0; j < d; ++j) {
+                        const float xhat = (src[j] - mu) * inv;
+                        if (wantsGrad(pg))
+                            dgamma[j] += dy[j] * xhat;
+                        if (wantsGrad(pb))
+                            dbeta[j] += dy[j];
+                    }
+                }
+                if (wantsGrad(px)) {
+                    // dx = inv * (dxhat - mean(dxhat)
+                    //             - xhat * mean(dxhat * xhat)).
+                    float sum_dxhat = 0.0f;
+                    float sum_dxhat_xhat = 0.0f;
+                    for (int j = 0; j < d; ++j) {
+                        const float xhat = (src[j] - mu) * inv;
+                        const float dxhat = dy[j] * g[j];
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xhat;
+                    }
+                    const float m1 = sum_dxhat / d;
+                    const float m2 = sum_dxhat_xhat / d;
+                    Tensor &dx = px.ensureGrad();
+                    float *dst = dx.data() + r * d;
+                    for (int j = 0; j < d; ++j) {
+                        const float xhat = (src[j] - mu) * inv;
+                        const float dxhat = dy[j] * g[j];
+                        dst[j] += inv * (dxhat - m1 - xhat * m2);
+                    }
+                }
+            }
+        });
+}
+
+Variable
+embedding(const Variable &weight, const std::vector<int> &ids,
+          std::vector<int> out_shape)
+{
+    const Tensor &wv = weight.value();
+    SNS_ASSERT(wv.ndim() == 2, "embedding weight must be [V, D]");
+    const int vocab = wv.dim(0);
+    const int d = wv.dim(1);
+    SNS_ASSERT(shapeNumel(out_shape) == ids.size(),
+               "embedding out_shape / ids mismatch");
+
+    out_shape.push_back(d);
+    Tensor out(out_shape);
+    for (size_t i = 0; i < ids.size(); ++i) {
+        SNS_ASSERT(ids[i] >= 0 && ids[i] < vocab,
+                   "embedding id out of range: ", ids[i]);
+        const float *src = wv.data() + static_cast<size_t>(ids[i]) * d;
+        float *dst = out.data() + i * d;
+        std::copy(src, src + d, dst);
+    }
+    return makeNode(std::move(out), {weight}, [ids, d](VarImpl &self) {
+        auto &pw = *self.parents[0];
+        if (!wantsGrad(pw))
+            return;
+        Tensor &dw = pw.ensureGrad();
+        for (size_t i = 0; i < ids.size(); ++i) {
+            const float *src = self.grad.data() + i * d;
+            float *dst = dw.data() + static_cast<size_t>(ids[i]) * d;
+            for (int j = 0; j < d; ++j)
+                dst[j] += src[j];
+        }
+    });
+}
+
+Variable
+splitHeads(const Variable &x, int heads)
+{
+    const Tensor &xv = x.value();
+    SNS_ASSERT(xv.ndim() == 3, "splitHeads input must be [B, T, D]");
+    const int b = xv.dim(0);
+    const int t = xv.dim(1);
+    const int d = xv.dim(2);
+    SNS_ASSERT(d % heads == 0, "model width not divisible by heads");
+    const int dh = d / heads;
+
+    Tensor out({b * heads, t, dh});
+    for (int bi = 0; bi < b; ++bi) {
+        for (int ti = 0; ti < t; ++ti) {
+            const float *src = xv.data() +
+                               (static_cast<size_t>(bi) * t + ti) * d;
+            for (int h = 0; h < heads; ++h) {
+                float *dst =
+                    out.data() +
+                    ((static_cast<size_t>(bi) * heads + h) * t + ti) * dh;
+                std::copy(src + h * dh, src + (h + 1) * dh, dst);
+            }
+        }
+    }
+    return makeNode(std::move(out), {x}, [b, t, d, dh,
+                                          heads](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (int bi = 0; bi < b; ++bi) {
+            for (int ti = 0; ti < t; ++ti) {
+                float *dst = dx.data() +
+                             (static_cast<size_t>(bi) * t + ti) * d;
+                for (int h = 0; h < heads; ++h) {
+                    const float *src =
+                        self.grad.data() +
+                        ((static_cast<size_t>(bi) * heads + h) * t + ti) *
+                            dh;
+                    for (int j = 0; j < dh; ++j)
+                        dst[h * dh + j] += src[j];
+                }
+            }
+        }
+    });
+}
+
+Variable
+mergeHeads(const Variable &x, int heads)
+{
+    const Tensor &xv = x.value();
+    SNS_ASSERT(xv.ndim() == 3, "mergeHeads input must be [B*H, T, dh]");
+    SNS_ASSERT(xv.dim(0) % heads == 0, "batch not divisible by heads");
+    const int b = xv.dim(0) / heads;
+    const int t = xv.dim(1);
+    const int dh = xv.dim(2);
+    const int d = dh * heads;
+
+    Tensor out({b, t, d});
+    for (int bi = 0; bi < b; ++bi) {
+        for (int ti = 0; ti < t; ++ti) {
+            float *dst = out.data() +
+                         (static_cast<size_t>(bi) * t + ti) * d;
+            for (int h = 0; h < heads; ++h) {
+                const float *src =
+                    xv.data() +
+                    ((static_cast<size_t>(bi) * heads + h) * t + ti) * dh;
+                std::copy(src, src + dh, dst + h * dh);
+            }
+        }
+    }
+    return makeNode(std::move(out), {x}, [b, t, d, dh,
+                                          heads](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (int bi = 0; bi < b; ++bi) {
+            for (int ti = 0; ti < t; ++ti) {
+                const float *src = self.grad.data() +
+                                   (static_cast<size_t>(bi) * t + ti) * d;
+                for (int h = 0; h < heads; ++h) {
+                    float *dst =
+                        dx.data() +
+                        ((static_cast<size_t>(bi) * heads + h) * t + ti) *
+                            dh;
+                    for (int j = 0; j < dh; ++j)
+                        dst[j] += src[h * dh + j];
+                }
+            }
+        }
+    });
+}
+
+Variable
+addKeyPaddingMask(const Variable &scores, const std::vector<int> &lengths,
+                  int heads)
+{
+    const Tensor &sv = scores.value();
+    SNS_ASSERT(sv.ndim() == 3, "scores must be [B*H, Tq, Tk]");
+    const int bh = sv.dim(0);
+    const int tq = sv.dim(1);
+    const int tk = sv.dim(2);
+    SNS_ASSERT(bh % heads == 0 &&
+                   lengths.size() == static_cast<size_t>(bh / heads),
+               "mask length batch mismatch");
+    constexpr float kNegInf = -1e9f;
+
+    Tensor out = sv;
+    for (int i = 0; i < bh; ++i) {
+        const int len = lengths[i / heads];
+        for (int q = 0; q < tq; ++q) {
+            float *row_data = out.data() +
+                              (static_cast<size_t>(i) * tq + q) * tk;
+            for (int j = len; j < tk; ++j)
+                row_data[j] = kNegInf;
+        }
+    }
+    // The mask is constant; grads flow through unmasked entries only.
+    return makeNode(std::move(out), {scores},
+                    [bh, tq, tk, heads, lengths](VarImpl &self) {
+                        auto &ps = *self.parents[0];
+                        if (!wantsGrad(ps))
+                            return;
+                        Tensor &dx = ps.ensureGrad();
+                        for (int i = 0; i < bh; ++i) {
+                            const int len = lengths[i / heads];
+                            for (int q = 0; q < tq; ++q) {
+                                const size_t base =
+                                    (static_cast<size_t>(i) * tq + q) * tk;
+                                for (int j = 0; j < len; ++j)
+                                    dx[base + j] += self.grad[base + j];
+                            }
+                        }
+                    });
+}
+
+Variable
+meanPoolMasked(const Variable &x, const std::vector<int> &lengths)
+{
+    const Tensor &xv = x.value();
+    SNS_ASSERT(xv.ndim() == 3, "meanPoolMasked input must be [B, T, D]");
+    const int b = xv.dim(0);
+    const int t = xv.dim(1);
+    const int d = xv.dim(2);
+    SNS_ASSERT(lengths.size() == static_cast<size_t>(b),
+               "lengths batch mismatch");
+
+    Tensor out({b, d});
+    for (int bi = 0; bi < b; ++bi) {
+        const int len = std::max(1, std::min(lengths[bi], t));
+        float *dst = out.data() + static_cast<size_t>(bi) * d;
+        for (int ti = 0; ti < len; ++ti) {
+            const float *src = xv.data() +
+                               (static_cast<size_t>(bi) * t + ti) * d;
+            for (int j = 0; j < d; ++j)
+                dst[j] += src[j];
+        }
+        const float inv = 1.0f / len;
+        for (int j = 0; j < d; ++j)
+            dst[j] *= inv;
+    }
+    return makeNode(std::move(out), {x}, [b, t, d, lengths](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (int bi = 0; bi < b; ++bi) {
+            const int len = std::max(1, std::min(lengths[bi], t));
+            const float inv = 1.0f / len;
+            const float *dy = self.grad.data() + static_cast<size_t>(bi) * d;
+            for (int ti = 0; ti < len; ++ti) {
+                float *dst = dx.data() +
+                             (static_cast<size_t>(bi) * t + ti) * d;
+                for (int j = 0; j < d; ++j)
+                    dst[j] += dy[j] * inv;
+            }
+        }
+    });
+}
+
+Variable
+dropout(const Variable &x, double p, Rng &rng, bool train)
+{
+    if (!train || p <= 0.0)
+        return x;
+    SNS_ASSERT(p < 1.0, "dropout probability must be < 1");
+    const float keep = static_cast<float>(1.0 - p);
+    Tensor mask(x.value().shape());
+    for (size_t i = 0; i < mask.numel(); ++i)
+        mask[i] = rng.bernoulli(keep) ? 1.0f / keep : 0.0f;
+
+    Tensor out = x.value();
+    for (size_t i = 0; i < out.numel(); ++i)
+        out[i] *= mask[i];
+    return makeNode(std::move(out), {x},
+                    [mask = std::move(mask)](VarImpl &self) {
+                        auto &px = *self.parents[0];
+                        if (!wantsGrad(px))
+                            return;
+                        Tensor &dx = px.ensureGrad();
+                        for (size_t i = 0; i < dx.numel(); ++i)
+                            dx[i] += self.grad[i] * mask[i];
+                    });
+}
+
+Variable
+sumAll(const Variable &x)
+{
+    Tensor out = Tensor::scalar(static_cast<float>(x.value().sum()));
+    return makeNode(std::move(out), {x}, [](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px)) {
+            return;
+        }
+        Tensor &dx = px.ensureGrad();
+        const float g = self.grad[0];
+        for (size_t i = 0; i < dx.numel(); ++i)
+            dx[i] += g;
+    });
+}
+
+Variable
+meanAll(const Variable &x)
+{
+    const double inv = 1.0 / static_cast<double>(x.value().numel());
+    return scale(sumAll(x), inv);
+}
+
+Variable
+mseLoss(const Variable &pred, const Tensor &target)
+{
+    const Tensor &pv = pred.value();
+    SNS_ASSERT(pv.sameShape(target), "mseLoss shape mismatch");
+    const size_t n = pv.numel();
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double err = pv[i] - target[i];
+        total += err * err;
+    }
+    Tensor out = Tensor::scalar(static_cast<float>(total / n));
+    return makeNode(std::move(out), {pred}, [target, n](VarImpl &self) {
+        auto &pp = *self.parents[0];
+        if (!wantsGrad(pp))
+            return;
+        Tensor &dp = pp.ensureGrad();
+        const float g = self.grad[0] * 2.0f / static_cast<float>(n);
+        for (size_t i = 0; i < n; ++i)
+            dp[i] += g * (pp.value[i] - target[i]);
+    });
+}
+
+Variable
+bceWithLogitsLoss(const Variable &logits, const Tensor &targets)
+{
+    const Tensor &zv = logits.value();
+    SNS_ASSERT(zv.sameShape(targets), "bce shape mismatch");
+    const size_t n = zv.numel();
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double z = zv[i];
+        const double t = targets[i];
+        total += std::max(z, 0.0) - z * t + std::log1p(std::exp(-std::abs(z)));
+    }
+    Tensor out = Tensor::scalar(static_cast<float>(total / n));
+    return makeNode(std::move(out), {logits}, [targets, n](VarImpl &self) {
+        auto &pz = *self.parents[0];
+        if (!wantsGrad(pz))
+            return;
+        Tensor &dz = pz.ensureGrad();
+        const float g = self.grad[0] / static_cast<float>(n);
+        for (size_t i = 0; i < n; ++i) {
+            const float s = 1.0f / (1.0f + std::exp(-pz.value[i]));
+            dz[i] += g * (s - targets[i]);
+        }
+    });
+}
+
+Variable
+weightedNllLoss(const Variable &logits, const std::vector<int> &labels,
+                const std::vector<float> &weights)
+{
+    const Tensor &zv = logits.value();
+    SNS_ASSERT(zv.ndim() == 2, "weightedNllLoss logits must be [B, C]");
+    const int b = zv.dim(0);
+    const int c = zv.dim(1);
+    SNS_ASSERT(labels.size() == static_cast<size_t>(b) &&
+                   weights.size() == static_cast<size_t>(b),
+               "labels/weights batch mismatch");
+
+    // Stable log-softmax rows; save the softmax for backward.
+    std::vector<float> probs(static_cast<size_t>(b) * c);
+    double total = 0.0;
+    for (int i = 0; i < b; ++i) {
+        const float *row_data = zv.data() + static_cast<size_t>(i) * c;
+        float max_val = row_data[0];
+        for (int j = 1; j < c; ++j)
+            max_val = std::max(max_val, row_data[j]);
+        double lse = 0.0;
+        for (int j = 0; j < c; ++j)
+            lse += std::exp(row_data[j] - max_val);
+        lse = std::log(lse) + max_val;
+        SNS_ASSERT(labels[i] >= 0 && labels[i] < c, "label out of range");
+        total += weights[i] * (lse - row_data[labels[i]]);
+        float *prow = probs.data() + static_cast<size_t>(i) * c;
+        for (int j = 0; j < c; ++j)
+            prow[j] = std::exp(row_data[j] - static_cast<float>(lse));
+    }
+    Tensor out = Tensor::scalar(static_cast<float>(total / b));
+    return makeNode(std::move(out), {logits},
+                    [labels, weights, probs = std::move(probs), b,
+                     c](VarImpl &self) {
+                        auto &pz = *self.parents[0];
+                        if (!wantsGrad(pz))
+                            return;
+                        Tensor &dz = pz.ensureGrad();
+                        const float g = self.grad[0] / static_cast<float>(b);
+                        for (int i = 0; i < b; ++i) {
+                            const float w = weights[i] * g;
+                            const float *prow =
+                                probs.data() + static_cast<size_t>(i) * c;
+                            float *drow =
+                                dz.data() + static_cast<size_t>(i) * c;
+                            for (int j = 0; j < c; ++j)
+                                drow[j] += w * prow[j];
+                            drow[labels[i]] -= w;
+                        }
+                    });
+}
+
+Variable
+crossEntropyLoss(const Variable &logits, const std::vector<int> &labels)
+{
+    return weightedNllLoss(logits, labels,
+                           std::vector<float>(labels.size(), 1.0f));
+}
+
+Variable
+gatherMeanRows(const Variable &x,
+               const std::vector<std::vector<int>> &groups)
+{
+    const Tensor &xv = x.value();
+    SNS_ASSERT(xv.ndim() == 2, "gatherMeanRows input must be [N, D]");
+    const int n = xv.dim(0);
+    const int d = xv.dim(1);
+    const int g = static_cast<int>(groups.size());
+
+    Tensor out({g, d});
+    for (int gi = 0; gi < g; ++gi) {
+        if (groups[gi].empty())
+            continue;
+        float *dst = out.data() + static_cast<size_t>(gi) * d;
+        for (int row_idx : groups[gi]) {
+            SNS_ASSERT(row_idx >= 0 && row_idx < n,
+                       "gatherMeanRows index out of range");
+            const float *src =
+                xv.data() + static_cast<size_t>(row_idx) * d;
+            for (int j = 0; j < d; ++j)
+                dst[j] += src[j];
+        }
+        const float inv = 1.0f / static_cast<float>(groups[gi].size());
+        for (int j = 0; j < d; ++j)
+            dst[j] *= inv;
+    }
+    return makeNode(std::move(out), {x}, [groups, d](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (size_t gi = 0; gi < groups.size(); ++gi) {
+            if (groups[gi].empty())
+                continue;
+            const float inv = 1.0f / static_cast<float>(groups[gi].size());
+            const float *dy = self.grad.data() + gi * d;
+            for (int row_idx : groups[gi]) {
+                float *dst = dx.data() + static_cast<size_t>(row_idx) * d;
+                for (int j = 0; j < d; ++j)
+                    dst[j] += dy[j] * inv;
+            }
+        }
+    });
+}
+
+Variable
+im2col(const Variable &x, int channels, int height, int width,
+       int kernel_h, int kernel_w, int pad)
+{
+    const Tensor &xv = x.value();
+    SNS_ASSERT(xv.ndim() == 2 &&
+                   xv.dim(1) == channels * height * width,
+               "im2col input must be [B, C*H*W]");
+    const int batch = xv.dim(0);
+    const int out_h = height + 2 * pad - kernel_h + 1;
+    const int out_w = width + 2 * pad - kernel_w + 1;
+    SNS_ASSERT(out_h > 0 && out_w > 0, "kernel larger than padded input");
+    const int cols = channels * kernel_h * kernel_w;
+
+    // Precompute the source index (or -1 for padding) of every output
+    // element of one batch row; forward and backward both replay it.
+    // Images are HWC (position-major, channel-last), so convolution
+    // chains compose without layout shuffles.
+    std::vector<int> mapping(
+        static_cast<size_t>(out_h) * out_w * cols, -1);
+    {
+        size_t slot = 0;
+        for (int oy = 0; oy < out_h; ++oy) {
+            for (int ox = 0; ox < out_w; ++ox) {
+                for (int ky = 0; ky < kernel_h; ++ky) {
+                    for (int kx = 0; kx < kernel_w; ++kx) {
+                        for (int c = 0; c < channels; ++c) {
+                            const int iy = oy + ky - pad;
+                            const int ix = ox + kx - pad;
+                            if (iy >= 0 && iy < height && ix >= 0 &&
+                                ix < width) {
+                                mapping[slot] =
+                                    (iy * width + ix) * channels + c;
+                            }
+                            ++slot;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Tensor out({batch * out_h * out_w, cols});
+    const size_t row_elems = static_cast<size_t>(out_h) * out_w * cols;
+    for (int b = 0; b < batch; ++b) {
+        const float *src =
+            xv.data() + static_cast<size_t>(b) * channels * height * width;
+        float *dst = out.data() + static_cast<size_t>(b) * row_elems;
+        for (size_t i = 0; i < row_elems; ++i)
+            dst[i] = mapping[i] >= 0 ? src[mapping[i]] : 0.0f;
+    }
+
+    return makeNode(
+        std::move(out), {x},
+        [batch, channels, height, width, row_elems,
+         mapping = std::move(mapping)](VarImpl &self) {
+            auto &px = *self.parents[0];
+            if (!wantsGrad(px))
+                return;
+            Tensor &dx = px.ensureGrad();
+            const size_t image = static_cast<size_t>(channels) * height *
+                                 width;
+            for (int b = 0; b < batch; ++b) {
+                const float *dy =
+                    self.grad.data() + static_cast<size_t>(b) * row_elems;
+                float *dst = dx.data() + static_cast<size_t>(b) * image;
+                for (size_t i = 0; i < row_elems; ++i) {
+                    if (mapping[i] >= 0)
+                        dst[mapping[i]] += dy[i];
+                }
+            }
+        });
+}
+
+Variable
+avgPool2x2(const Variable &x, int channels, int height, int width)
+{
+    const Tensor &xv = x.value();
+    SNS_ASSERT(xv.ndim() == 2 &&
+                   xv.dim(1) == channels * height * width,
+               "avgPool2x2 input must be [B, C*H*W]");
+    SNS_ASSERT(height % 2 == 0 && width % 2 == 0,
+               "avgPool2x2 needs even spatial dims");
+    const int batch = xv.dim(0);
+    const int out_h = height / 2;
+    const int out_w = width / 2;
+
+    Tensor out({batch, channels * out_h * out_w});
+    for (int b = 0; b < batch; ++b) {
+        const float *src =
+            xv.data() + static_cast<size_t>(b) * channels * height * width;
+        float *dst = out.data() +
+                     static_cast<size_t>(b) * channels * out_h * out_w;
+        for (int oy = 0; oy < out_h; ++oy) {
+            for (int ox = 0; ox < out_w; ++ox) {
+                for (int c = 0; c < channels; ++c) {
+                    const int base =
+                        ((2 * oy) * width + 2 * ox) * channels + c;
+                    const int right = channels;
+                    const int down = width * channels;
+                    dst[(oy * out_w + ox) * channels + c] =
+                        0.25f * (src[base] + src[base + right] +
+                                 src[base + down] +
+                                 src[base + down + right]);
+                }
+            }
+        }
+    }
+    return makeNode(
+        std::move(out), {x},
+        [batch, channels, height, width, out_h, out_w](VarImpl &self) {
+            auto &px = *self.parents[0];
+            if (!wantsGrad(px))
+                return;
+            Tensor &dx = px.ensureGrad();
+            for (int b = 0; b < batch; ++b) {
+                const float *dy =
+                    self.grad.data() +
+                    static_cast<size_t>(b) * channels * out_h * out_w;
+                float *dst = dx.data() + static_cast<size_t>(b) *
+                                             channels * height * width;
+                for (int oy = 0; oy < out_h; ++oy) {
+                    for (int ox = 0; ox < out_w; ++ox) {
+                        for (int c = 0; c < channels; ++c) {
+                            const float g =
+                                0.25f *
+                                dy[(oy * out_w + ox) * channels + c];
+                            const int base =
+                                ((2 * oy) * width + 2 * ox) * channels +
+                                c;
+                            const int right = channels;
+                            const int down = width * channels;
+                            dst[base] += g;
+                            dst[base + right] += g;
+                            dst[base + down] += g;
+                            dst[base + down + right] += g;
+                        }
+                    }
+                }
+            }
+        });
+}
+
+Variable
+reshape(const Variable &x, std::vector<int> shape)
+{
+    Tensor out = x.value().reshaped(std::move(shape));
+    return makeNode(std::move(out), {x}, [](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        Tensor &dx = px.ensureGrad();
+        for (size_t i = 0; i < dx.numel(); ++i)
+            dx[i] += self.grad[i];
+    });
+}
+
+Variable
+concatCols(const Variable &a, const Variable &b)
+{
+    const Tensor &av = a.value();
+    const Tensor &bv = b.value();
+    SNS_ASSERT(av.ndim() == 2 && bv.ndim() == 2 && av.dim(0) == bv.dim(0),
+               "concatCols needs 2-D inputs with equal row counts");
+    const int rows = av.dim(0);
+    const int da = av.dim(1);
+    const int db = bv.dim(1);
+
+    Tensor out({rows, da + db});
+    for (int i = 0; i < rows; ++i) {
+        std::copy(av.data() + static_cast<size_t>(i) * da,
+                  av.data() + static_cast<size_t>(i + 1) * da,
+                  out.data() + static_cast<size_t>(i) * (da + db));
+        std::copy(bv.data() + static_cast<size_t>(i) * db,
+                  bv.data() + static_cast<size_t>(i + 1) * db,
+                  out.data() + static_cast<size_t>(i) * (da + db) + da);
+    }
+    return makeNode(std::move(out), {a, b}, [rows, da, db](VarImpl &self) {
+        auto &pa = *self.parents[0];
+        auto &pb = *self.parents[1];
+        for (int i = 0; i < rows; ++i) {
+            const float *src =
+                self.grad.data() + static_cast<size_t>(i) * (da + db);
+            if (wantsGrad(pa)) {
+                float *dst =
+                    pa.ensureGrad().data() + static_cast<size_t>(i) * da;
+                for (int j = 0; j < da; ++j)
+                    dst[j] += src[j];
+            }
+            if (wantsGrad(pb)) {
+                float *dst =
+                    pb.ensureGrad().data() + static_cast<size_t>(i) * db;
+                for (int j = 0; j < db; ++j)
+                    dst[j] += src[da + j];
+            }
+        }
+    });
+}
+
+Variable
+row(const Variable &x, int index)
+{
+    const Tensor &xv = x.value();
+    SNS_ASSERT(xv.ndim() == 2 && index >= 0 && index < xv.dim(0),
+               "row() index out of range");
+    const int d = xv.dim(1);
+    Tensor out({1, d});
+    std::copy(xv.data() + static_cast<size_t>(index) * d,
+              xv.data() + static_cast<size_t>(index + 1) * d, out.data());
+    return makeNode(std::move(out), {x}, [index, d](VarImpl &self) {
+        auto &px = *self.parents[0];
+        if (!wantsGrad(px))
+            return;
+        float *dst =
+            px.ensureGrad().data() + static_cast<size_t>(index) * d;
+        for (int j = 0; j < d; ++j)
+            dst[j] += self.grad[j];
+    });
+}
+
+} // namespace sns::tensor

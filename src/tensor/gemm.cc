@@ -1,0 +1,68 @@
+#include "tensor/gemm.hh"
+
+#include <cstddef>
+
+namespace sns::tensor {
+
+void
+gemmAcc(const float *a, const float *b, float *c, int m, int n, int k,
+        bool trans_a, bool trans_b)
+{
+    if (!trans_a && !trans_b) {
+        // C[i][j] += A[i][p] * B[p][j]; ikj order streams B and C rows.
+        for (int i = 0; i < m; ++i) {
+            const float *arow = a + static_cast<size_t>(i) * k;
+            float *crow = c + static_cast<size_t>(i) * n;
+            for (int p = 0; p < k; ++p) {
+                const float av = arow[p];
+                if (av == 0.0f)
+                    continue;
+                const float *brow = b + static_cast<size_t>(p) * n;
+                for (int j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    } else if (!trans_a && trans_b) {
+        // B stored (n x k): C[i][j] += dot(Arow_i, Brow_j).
+        for (int i = 0; i < m; ++i) {
+            const float *arow = a + static_cast<size_t>(i) * k;
+            float *crow = c + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j) {
+                const float *brow = b + static_cast<size_t>(j) * k;
+                float acc = 0.0f;
+                for (int p = 0; p < k; ++p)
+                    acc += arow[p] * brow[p];
+                crow[j] += acc;
+            }
+        }
+    } else if (trans_a && !trans_b) {
+        // A stored (k x m): C[i][j] += A[p][i] * B[p][j].
+        for (int p = 0; p < k; ++p) {
+            const float *arow = a + static_cast<size_t>(p) * m;
+            const float *brow = b + static_cast<size_t>(p) * n;
+            for (int i = 0; i < m; ++i) {
+                const float av = arow[i];
+                if (av == 0.0f)
+                    continue;
+                float *crow = c + static_cast<size_t>(i) * n;
+                for (int j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    } else {
+        // Rare double-transpose case; plain triple loop.
+        for (int i = 0; i < m; ++i) {
+            float *crow = c + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j) {
+                float acc = 0.0f;
+                for (int p = 0; p < k; ++p) {
+                    acc += a[static_cast<size_t>(p) * m + i] *
+                           b[static_cast<size_t>(j) * k + p];
+                }
+                crow[j] += acc;
+            }
+        }
+    }
+}
+
+} // namespace sns::tensor

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * The one dense matrix-multiply kernel under every model in the
+ * library. C (m x n) += op(A) * op(B) where op optionally transposes.
+ */
+
+#ifndef SNS_TENSOR_GEMM_HH
+#define SNS_TENSOR_GEMM_HH
+
+namespace sns::tensor {
+
+/**
+ * Accumulating GEMM: C += opA(A) * opB(B).
+ *
+ * @param a pointer to A, stored (m x k) or (k x m) if trans_a
+ * @param b pointer to B, stored (k x n) or (n x k) if trans_b
+ * @param c pointer to C, stored (m x n); results accumulate into it
+ */
+void gemmAcc(const float *a, const float *b, float *c, int m, int n, int k,
+             bool trans_a, bool trans_b);
+
+} // namespace sns::tensor
+
+#endif // SNS_TENSOR_GEMM_HH

@@ -1,0 +1,158 @@
+#include "tensor/tensor.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace sns::tensor {
+
+size_t
+shapeNumel(const std::vector<int> &shape)
+{
+    size_t n = 1;
+    for (int d : shape) {
+        SNS_ASSERT(d >= 0, "negative dimension in shape");
+        n *= static_cast<size_t>(d);
+    }
+    return n;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shapeNumel(shape_), 0.0f)
+{
+}
+
+Tensor
+Tensor::zeros(std::vector<int> shape)
+{
+    return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::full(std::vector<int> shape, float value)
+{
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+Tensor
+Tensor::scalar(float value)
+{
+    Tensor t(std::vector<int>{1});
+    t[0] = value;
+    return t;
+}
+
+Tensor
+Tensor::randn(std::vector<int> shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+Tensor
+Tensor::uniform(std::vector<int> shape, Rng &rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+Tensor
+Tensor::fromValues(std::vector<int> shape, std::vector<float> values)
+{
+    SNS_ASSERT(shapeNumel(shape) == values.size(),
+               "fromValues: size mismatch");
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = std::move(values);
+    return t;
+}
+
+float &
+Tensor::at2(int i, int j)
+{
+    SNS_ASSERT(ndim() == 2, "at2 on non-2D tensor");
+    return data_[static_cast<size_t>(i) * shape_[1] + j];
+}
+
+float
+Tensor::at2(int i, int j) const
+{
+    SNS_ASSERT(ndim() == 2, "at2 on non-2D tensor");
+    return data_[static_cast<size_t>(i) * shape_[1] + j];
+}
+
+float &
+Tensor::at3(int b, int i, int j)
+{
+    SNS_ASSERT(ndim() == 3, "at3 on non-3D tensor");
+    return data_[(static_cast<size_t>(b) * shape_[1] + i) * shape_[2] + j];
+}
+
+float
+Tensor::at3(int b, int i, int j) const
+{
+    SNS_ASSERT(ndim() == 3, "at3 on non-3D tensor");
+    return data_[(static_cast<size_t>(b) * shape_[1] + i) * shape_[2] + j];
+}
+
+Tensor
+Tensor::reshaped(std::vector<int> shape) const
+{
+    SNS_ASSERT(shapeNumel(shape) == numel(), "reshape changes element count");
+    Tensor t = *this;
+    t.shape_ = std::move(shape);
+    return t;
+}
+
+void
+Tensor::fill(float value)
+{
+    for (auto &x : data_)
+        x = value;
+}
+
+void
+Tensor::addScaled(const Tensor &other, float alpha)
+{
+    SNS_ASSERT(sameShape(other), "addScaled shape mismatch: ",
+               shapeString(), " vs ", other.shapeString());
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += alpha * other.data_[i];
+}
+
+void
+Tensor::scaleInPlace(float alpha)
+{
+    for (auto &x : data_)
+        x *= alpha;
+}
+
+double
+Tensor::sum() const
+{
+    double total = 0.0;
+    for (float x : data_)
+        total += x;
+    return total;
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < shape_.size(); ++i) {
+        if (i > 0)
+            oss << ", ";
+        oss << shape_[i];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+} // namespace sns::tensor

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Dense float32 tensors (up to 3 dimensions, row-major).
+ *
+ * This is the storage layer under the autograd engine. Shapes are kept
+ * deliberately small-dimensional: everything the SNS models need is
+ * expressible with 2-D matrices and 3-D batched matrices, with head
+ * splitting handled by explicit permutation ops.
+ */
+
+#ifndef SNS_TENSOR_TENSOR_HH
+#define SNS_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace sns::tensor {
+
+/** A dense row-major float tensor with value semantics. */
+class Tensor
+{
+  public:
+    /** An empty 0-element tensor. */
+    Tensor() = default;
+
+    /** Zero-filled tensor of the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** @name Factories
+     * @{
+     */
+    static Tensor zeros(std::vector<int> shape);
+    static Tensor full(std::vector<int> shape, float value);
+    static Tensor scalar(float value);
+    /** i.i.d. N(0, stddev^2) entries. */
+    static Tensor randn(std::vector<int> shape, Rng &rng,
+                        float stddev = 1.0f);
+    /** i.i.d. U[lo, hi) entries. */
+    static Tensor uniform(std::vector<int> shape, Rng &rng, float lo,
+                          float hi);
+    /** Wrap explicit values (size must match the shape). */
+    static Tensor fromValues(std::vector<int> shape,
+                             std::vector<float> values);
+    /** @} */
+
+    /** Shape vector. */
+    const std::vector<int> &shape() const { return shape_; }
+
+    /** Number of dimensions. */
+    int ndim() const { return static_cast<int>(shape_.size()); }
+
+    /** Extent of one dimension. */
+    int
+    dim(int i) const
+    {
+        SNS_ASSERT(i >= 0 && i < ndim(), "dim index out of range");
+        return shape_[i];
+    }
+
+    /** Total element count. */
+    size_t numel() const { return data_.size(); }
+
+    /** Raw storage. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Flat element access. */
+    float &operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    /** 2-D element access (tensor must be 2-D). */
+    float &at2(int i, int j);
+    float at2(int i, int j) const;
+
+    /** 3-D element access (tensor must be 3-D). */
+    float &at3(int b, int i, int j);
+    float at3(int b, int i, int j) const;
+
+    /** Same data viewed under a new shape (element count preserved). */
+    Tensor reshaped(std::vector<int> shape) const;
+
+    /** Set every element. */
+    void fill(float value);
+
+    /** this += alpha * other (shapes must match). Used by optimizers. */
+    void addScaled(const Tensor &other, float alpha);
+
+    /** this *= alpha. */
+    void scaleInPlace(float alpha);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Human-readable shape, e.g. "[2, 3, 4]". */
+    std::string shapeString() const;
+
+    /** True if shapes are identical. */
+    bool sameShape(const Tensor &other) const
+    {
+        return shape_ == other.shape_;
+    }
+
+  private:
+    std::vector<int> shape_;
+    std::vector<float> data_;
+};
+
+/** Total element count implied by a shape. */
+size_t shapeNumel(const std::vector<int> &shape);
+
+} // namespace sns::tensor
+
+#endif // SNS_TENSOR_TENSOR_HH

@@ -1,0 +1,32 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace sns {
+namespace detail {
+
+void
+emitLog(const char *tag, const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+}
+
+void
+emitFatal(const std::string &message)
+{
+    std::fprintf(stderr, "[fatal] %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+emitPanic(const std::string &message)
+{
+    std::fprintf(stderr, "[panic] %s\n", message.c_str());
+    // Throwing instead of abort() lets tests assert on panics; uncaught,
+    // it still terminates the process with a diagnostic.
+    throw std::logic_error(message);
+}
+
+} // namespace detail
+} // namespace sns

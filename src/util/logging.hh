@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 idiom.
+ *
+ * inform() reports normal status, warn() reports recoverable oddities,
+ * fatal() terminates on user error (bad input, bad configuration), and
+ * panic() aborts on internal invariant violations (library bugs).
+ */
+
+#ifndef SNS_UTIL_LOGGING_HH
+#define SNS_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sns {
+
+namespace detail {
+
+/** Stream any number of arguments into a single string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit one log line with the given severity tag. */
+void emitLog(const char *tag, const std::string &message);
+
+[[noreturn]] void emitFatal(const std::string &message);
+[[noreturn]] void emitPanic(const std::string &message);
+
+} // namespace detail
+
+/** Report normal operating status to the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of a user-caused condition (bad arguments, malformed
+ * input files, impossible configuration). Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitFatal(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort because of an internal bug; something that should never happen
+ * regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitPanic(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Panic unless the invariant holds. */
+#define SNS_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sns::panic("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+} // namespace sns
+
+#endif // SNS_UTIL_LOGGING_HH

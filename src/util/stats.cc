@@ -1,0 +1,141 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sns {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStats::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+rrse(const std::vector<double> &predicted, const std::vector<double> &actual)
+{
+    SNS_ASSERT(predicted.size() == actual.size() && !actual.empty(),
+               "rrse() needs equal-length, non-empty inputs");
+    RunningStats truth;
+    for (double a : actual)
+        truth.add(a);
+
+    double sq_err = 0.0;
+    double sq_dev = 0.0;
+    for (size_t i = 0; i < actual.size(); ++i) {
+        const double err = predicted[i] - actual[i];
+        const double dev = actual[i] - truth.mean();
+        sq_err += err * err;
+        sq_dev += dev * dev;
+    }
+    if (sq_dev <= 0.0) {
+        // Constant ground truth: RRSE degenerates; report RMSE instead of
+        // dividing by zero so callers still get a sane signal.
+        return std::sqrt(sq_err / static_cast<double>(actual.size()));
+    }
+    return std::sqrt(sq_err / sq_dev);
+}
+
+double
+maep(const std::vector<double> &predicted, const std::vector<double> &actual)
+{
+    SNS_ASSERT(predicted.size() == actual.size() && !actual.empty(),
+               "maep() needs equal-length, non-empty inputs");
+    double total = 0.0;
+    size_t used = 0;
+    for (size_t i = 0; i < actual.size(); ++i) {
+        if (actual[i] == 0.0)
+            continue;
+        total += std::fabs(predicted[i] - actual[i]) / std::fabs(actual[i]);
+        ++used;
+    }
+    return used == 0 ? 0.0 : 100.0 * total / static_cast<double>(used);
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    SNS_ASSERT(xs.size() == ys.size() && xs.size() >= 2,
+               "pearson() needs >= 2 paired observations");
+    RunningStats sx;
+    RunningStats sy;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        sx.add(xs[i]);
+        sy.add(ys[i]);
+    }
+    double cov = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i)
+        cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+    cov /= static_cast<double>(xs.size());
+    const double denom = sx.stddev() * sy.stddev();
+    return denom <= 0.0 ? 0.0 : cov / denom;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    SNS_ASSERT(!values.empty(), "geomean() of empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        SNS_ASSERT(v > 0.0, "geomean() requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+double
+quantile(std::vector<double> values, double p)
+{
+    SNS_ASSERT(!values.empty(), "quantile() of empty vector");
+    SNS_ASSERT(p >= 0.0 && p <= 1.0, "quantile() p out of range");
+    std::sort(values.begin(), values.end());
+    const double pos = p * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+} // namespace sns

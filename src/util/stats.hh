@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Statistics helpers and the paper's evaluation metrics.
+ *
+ * Section 5.1 of the paper defines two accuracy metrics: Mean Absolute
+ * Error Percentage (MAEP) and Root Relative Square Error (RRSE). RRSE
+ * normalizes the root mean square error by the standard deviation of the
+ * ground truth, making it scale-invariant.
+ */
+
+#ifndef SNS_UTIL_STATS_HH
+#define SNS_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sns {
+
+/** Online accumulator for mean / variance / min / max. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return count_; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const;
+
+    /** Population variance (0 if fewer than 2 observations). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation. */
+    double min() const { return min_; }
+
+    /** Largest observation. */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Root Relative Square Error: RMSE(pred, truth) / stddev(truth).
+ * A predictor that always outputs mean(truth) scores exactly 1.0.
+ */
+double rrse(const std::vector<double> &predicted,
+            const std::vector<double> &actual);
+
+/**
+ * Mean Absolute Error Percentage: mean(|pred - truth| / |truth|) * 100.
+ * Observations with truth == 0 are skipped.
+ */
+double maep(const std::vector<double> &predicted,
+            const std::vector<double> &actual);
+
+/** Pearson correlation coefficient of two equal-length series. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Geometric mean of a vector of positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 for an empty vector). */
+double mean(const std::vector<double> &values);
+
+/** p-quantile (0 <= p <= 1) via linear interpolation of sorted values. */
+double quantile(std::vector<double> values, double p);
+
+} // namespace sns
+
+#endif // SNS_UTIL_STATS_HH

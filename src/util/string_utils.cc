@@ -1,0 +1,93 @@
+#include "util/string_utils.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sns {
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : text) {
+        if (c == delim) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::vector<std::string>
+splitWhitespace(const std::string &text)
+{
+    std::vector<std::string> fields;
+    std::istringstream iss(text);
+    std::string field;
+    while (iss >> field)
+        fields.push_back(field);
+    return fields;
+}
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &pieces, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < pieces.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += pieces[i];
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+std::string
+formatEng(double value)
+{
+    const char *suffixes[] = {"", "K", "M", "G", "T"};
+    int idx = 0;
+    double magnitude = std::fabs(value);
+    while (magnitude >= 1000.0 && idx < 4) {
+        magnitude /= 1000.0;
+        value /= 1000.0;
+        ++idx;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.2f%s", value, suffixes[idx]);
+    return buffer;
+}
+
+} // namespace sns

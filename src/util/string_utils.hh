@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small string helpers used across the library.
+ */
+
+#ifndef SNS_UTIL_STRING_UTILS_HH
+#define SNS_UTIL_STRING_UTILS_HH
+
+#include <string>
+#include <vector>
+
+namespace sns {
+
+/** Split a string on a delimiter character; empty fields are kept. */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/** Split on arbitrary whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(const std::string &text);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &text);
+
+/** True if text begins with the given prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** Join string pieces with a separator. */
+std::string join(const std::vector<std::string> &pieces,
+                 const std::string &sep);
+
+/** printf-style double formatting with the given precision. */
+std::string formatDouble(double value, int precision);
+
+/**
+ * Human-friendly engineering formatting: 1234567 -> "1.23M".
+ */
+std::string formatEng(double value);
+
+} // namespace sns
+
+#endif // SNS_UTIL_STRING_UTILS_HH

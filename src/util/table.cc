@@ -1,0 +1,121 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace sns {
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+Table::Table(std::string caption) : caption_(std::move(caption))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    size_t columns = header_.size();
+    for (const auto &row : rows_)
+        columns = std::max(columns, row.size());
+    if (columns == 0)
+        return;
+
+    std::vector<size_t> widths(columns, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (size_t i = 0; i < columns; ++i) {
+            const std::string &cell = i < row.size() ? row[i] : std::string();
+            os << " " << cell << std::string(widths[i] - cell.size(), ' ')
+               << " |";
+        }
+        os << "\n";
+    };
+    auto rule = [&]() {
+        os << "+";
+        for (size_t i = 0; i < columns; ++i)
+            os << std::string(widths[i] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    if (!caption_.empty())
+        os << caption_ << "\n";
+    rule();
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    rule();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i > 0)
+                os << ",";
+            os << csvEscape(row[i]);
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("could not write CSV to ", path);
+        return;
+    }
+    printCsv(out);
+}
+
+} // namespace sns

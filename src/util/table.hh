@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harnesses to print
+ * the paper's tables and figure data series.
+ */
+
+#ifndef SNS_UTIL_TABLE_HH
+#define SNS_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sns {
+
+/**
+ * A simple column-aligned text table. Benchmarks build one Table per
+ * paper table/figure and print it; an optional CSV dump supports
+ * re-plotting the figures.
+ */
+class Table
+{
+  public:
+    /** Construct with an optional caption printed above the table. */
+    explicit Table(std::string caption = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row of already-formatted cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Render as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header first if present). */
+    void printCsv(std::ostream &os) const;
+
+    /** Write CSV to a file path; warns and continues on failure. */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sns
+
+#endif // SNS_UTIL_TABLE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock timer used by the runtime-comparison experiments (Fig. 7).
+ */
+
+#ifndef SNS_UTIL_TIMER_HH
+#define SNS_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace sns {
+
+/** Monotonic wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto now = Clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace sns
+
+#endif // SNS_UTIL_TIMER_HH

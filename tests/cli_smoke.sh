@@ -1,0 +1,42 @@
+#!/bin/sh
+# End-to-end smoke test of sns-cli: train a fast model on the smoke
+# dataset, then predict / synthesize / sample / dot both an SNL and a
+# Verilog design with it. Any non-zero exit or missing output fails.
+set -e
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/fir.snl" <<'EOF'
+design fir2
+input  x 16
+node   p0 mul 32 x c0
+node   p1 mul 32 x c1
+reg    c0 16
+reg    c1 16
+reg    z0 32 p0
+node   s1 add 32 p1 z0
+reg    z1 32 s1
+output y  32 z1
+EOF
+
+cat > "$WORK/mac.v" <<'EOF'
+module mac(input clk, input [7:0] a, input [7:0] b, output [15:0] q);
+  reg [15:0] acc;
+  always @(posedge clk) acc <= acc + a * b;
+  assign q = acc;
+endmodule
+EOF
+
+"$CLI" train --out="$WORK/model" --dataset=smoke --fast --seed=3
+test -f "$WORK/model/circuitformer.bin"
+test -f "$WORK/model/predictor.meta"
+
+"$CLI" predict --model="$WORK/model" "$WORK/fir.snl" "$WORK/mac.v" \
+    | grep -q "critical path"
+"$CLI" synth "$WORK/fir.snl" "$WORK/mac.v" | grep -q "gates"
+"$CLI" paths "$WORK/mac.v" --k=1 | grep -q "complete circuit paths"
+"$CLI" dot "$WORK/fir.snl" | grep -q "digraph"
+
+echo "cli smoke test passed"

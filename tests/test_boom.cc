@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the BOOM case-study substrate: the Table-10 design space,
+ * the parametric core generator, and the CoreMark performance model's
+ * qualitative properties (the ones §5.6's DSE discussion relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "boom/boom.hh"
+#include "synth/synthesizer.hh"
+
+namespace sns::boom {
+namespace {
+
+TEST(BoomSpaceTest, Enumerates2592UniqueConfigs)
+{
+    const auto space = boomDesignSpace();
+    EXPECT_EQ(space.size(), 2592u);
+    std::set<std::string> names;
+    for (const auto &params : space)
+        names.insert(params.name());
+    EXPECT_EQ(names.size(), space.size());
+}
+
+TEST(BoomBuilderTest, BuildsValidGraphs)
+{
+    BoomParams params;
+    const auto graph = buildBoomCore(params);
+    EXPECT_GT(graph.numNodes(), 200u);
+    EXPECT_NO_THROW(graph.validate());
+    EXPECT_FALSE(graph.endpoints().empty());
+}
+
+TEST(BoomBuilderTest, StructuresScaleWithParameters)
+{
+    auto nodes = [](auto mutate) {
+        BoomParams params;
+        mutate(params);
+        return buildBoomCore(params).numNodes();
+    };
+    const size_t base = nodes([](BoomParams &) {});
+    EXPECT_GT(nodes([](BoomParams &p) { p.rob_size = 96; }), base);
+    EXPECT_GT(nodes([](BoomParams &p) { p.issue_slots = 32; }), base);
+    EXPECT_GT(nodes([](BoomParams &p) { p.int_regs = 100; }), base);
+    EXPECT_GT(nodes([](BoomParams &p) { p.core_width = 4; }), base);
+    EXPECT_GT(nodes([](BoomParams &p) { p.mem_ports = 2; }), base);
+    EXPECT_GT(nodes([](BoomParams &p) { p.l1d_ways = 8; }), base);
+}
+
+TEST(BoomBuilderTest, BiggerCoresSynthesizeBigger)
+{
+    synth::SynthesisOptions opts;
+    opts.heuristic_noise = 0.0;
+    opts.effort = 0.1;
+    const synth::Synthesizer synth(opts);
+
+    BoomParams small;
+    small.core_width = 1;
+    small.rob_size = 32;
+    small.int_regs = 52;
+    small.issue_slots = 8;
+    small.fetch_width = 4;
+
+    BoomParams big;
+    big.core_width = 4;
+    big.rob_size = 96;
+    big.int_regs = 100;
+    big.issue_slots = 32;
+    big.fetch_width = 8;
+
+    const auto rs = synth.run(buildBoomCore(small));
+    const auto rb = synth.run(buildBoomCore(big));
+    EXPECT_GT(rb.area_um2, 1.5 * rs.area_um2);
+    EXPECT_GT(rb.power_mw, rs.power_mw);
+}
+
+TEST(BoomBuilderTest, PredictorVariantsBuildDistinctFrontends)
+{
+    auto nodes = [](BranchPredictor bpred) {
+        BoomParams params;
+        params.bpred = bpred;
+        const auto g = buildBoomCore(params);
+        g.validate();
+        return g.numNodes();
+    };
+    const size_t tage = nodes(BranchPredictor::TageL);
+    const size_t gshare = nodes(BranchPredictor::Boom2);
+    const size_t alpha = nodes(BranchPredictor::Alpha21264);
+    // TAGE's four tagged tables are the largest structure; the three
+    // organizations must be structurally distinguishable.
+    EXPECT_GT(tage, gshare);
+    EXPECT_NE(gshare, alpha);
+}
+
+TEST(BoomBuilderTest, NamesEncodeEveryParameter)
+{
+    BoomParams params;
+    params.bpred = BranchPredictor::Alpha21264;
+    params.core_width = 3;
+    params.issue_slots = 32;
+    const std::string name = params.name();
+    EXPECT_NE(name.find("alpha"), std::string::npos);
+    EXPECT_NE(name.find("w3"), std::string::npos);
+    EXPECT_NE(name.find("i32"), std::string::npos);
+}
+
+TEST(CoreMarkModelTest, IpcSaturatesAtWidth)
+{
+    BoomParams params;
+    params.rob_size = 96;
+    params.int_regs = 100;
+    params.issue_slots = 32;
+    params.fetch_width = 8;
+    for (int width : {1, 2, 3, 4}) {
+        params.core_width = width;
+        EXPECT_LE(CoreMarkModel::ipc(params),
+                  static_cast<double>(width));
+        EXPECT_GT(CoreMarkModel::ipc(params), 0.0);
+    }
+}
+
+TEST(CoreMarkModelTest, WiderCoresAreFaster)
+{
+    BoomParams params;
+    params.rob_size = 96;
+    params.int_regs = 100;
+    params.issue_slots = 32;
+    params.fetch_width = 8;
+    double prev = 0.0;
+    for (int width : {1, 2, 3, 4}) {
+        params.core_width = width;
+        const double ipc = CoreMarkModel::ipc(params);
+        EXPECT_GT(ipc, prev);
+        prev = ipc;
+    }
+}
+
+TEST(CoreMarkModelTest, ExtraIssueSlotsBeyondWidthAreWasted)
+{
+    // §5.6 observation 1: a 4-wide core with 32 issue slots is no
+    // faster than with 16 — decode bound, not issue bound.
+    BoomParams params;
+    params.core_width = 4;
+    params.fetch_width = 8;
+    params.rob_size = 96;
+    params.int_regs = 100;
+    params.issue_slots = 16;
+    const double sixteen = CoreMarkModel::ipc(params);
+    params.issue_slots = 32;
+    const double thirtytwo = CoreMarkModel::ipc(params);
+    EXPECT_NEAR(sixteen, thirtytwo, 1e-9);
+}
+
+TEST(CoreMarkModelTest, SecondMemoryPortBuysNothing)
+{
+    // §5.6 observation 3: CoreMark is not memory bound.
+    BoomParams params;
+    params.core_width = 4;
+    params.fetch_width = 8;
+    params.rob_size = 96;
+    params.int_regs = 100;
+    params.issue_slots = 32;
+    params.mem_ports = 1;
+    const double one = CoreMarkModel::ipc(params);
+    params.mem_ports = 2;
+    const double two = CoreMarkModel::ipc(params);
+    EXPECT_NEAR(one, two, 1e-9);
+}
+
+TEST(CoreMarkModelTest, SmallWindowOnlyMarginallySlower)
+{
+    // §5.6 observation 2: dialing ROB/regs/issue down from the maximum
+    // costs less than 15% on a 4-wide core (diminishing returns).
+    BoomParams big;
+    big.core_width = 4;
+    big.fetch_width = 8;
+    big.rob_size = 64;
+    big.int_regs = 100;
+    big.issue_slots = 16;
+
+    BoomParams lean = big;
+    lean.rob_size = 32;
+    lean.int_regs = 52;
+    lean.issue_slots = 8;
+
+    const double big_ipc = CoreMarkModel::ipc(big);
+    const double lean_ipc = CoreMarkModel::ipc(lean);
+    EXPECT_LT(lean_ipc, big_ipc);
+    EXPECT_GT(lean_ipc, 0.80 * big_ipc);
+}
+
+TEST(CoreMarkModelTest, BetterPredictorHelps)
+{
+    BoomParams params;
+    params.core_width = 4;
+    params.fetch_width = 8;
+    params.rob_size = 96;
+    params.int_regs = 100;
+    params.issue_slots = 32;
+    params.bpred = BranchPredictor::TageL;
+    const double tage = CoreMarkModel::ipc(params);
+    params.bpred = BranchPredictor::Boom2;
+    const double gshare = CoreMarkModel::ipc(params);
+    EXPECT_GT(tage, gshare);
+}
+
+TEST(CoreMarkModelTest, ScoreScalesWithFrequency)
+{
+    BoomParams params;
+    EXPECT_NEAR(CoreMarkModel::score(params, 2.0),
+                2.0 * CoreMarkModel::ipc(params), 1e-12);
+    EXPECT_DOUBLE_EQ(CoreMarkModel::score(params, 0.0), 0.0);
+}
+
+} // namespace
+} // namespace sns::boom

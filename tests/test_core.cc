@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the SNS core: dataset assembly and split fairness,
+ * Circuitformer training/inference, aggregation reductions and MLPs,
+ * the end-to-end predictor, and the trainer flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "core/evaluation.hh"
+#include "util/stats.hh"
+#include "core/trainer.hh"
+
+namespace sns::core {
+namespace {
+
+using designs::DesignLibrary;
+using graphir::TokenId;
+using graphir::Vocabulary;
+
+synth::Synthesizer
+oracle()
+{
+    synth::SynthesisOptions opts;
+    opts.effort = 0.1; // keep tests fast; same code paths
+    return synth::Synthesizer(opts);
+}
+
+/** A cached small design dataset shared by the heavier tests. */
+const HardwareDesignDataset &
+smokeDataset()
+{
+    static const HardwareDesignDataset dataset =
+        HardwareDesignDataset::build(DesignLibrary::smokeSet(), oracle());
+    return dataset;
+}
+
+TokenId
+tok(const char *name)
+{
+    return *Vocabulary::instance().parse(name);
+}
+
+TEST(HardwareDesignDatasetTest, BuildsRecordsWithTruth)
+{
+    const auto &dataset = smokeDataset();
+    EXPECT_EQ(dataset.size(), 10u);
+    for (const auto &record : dataset.records()) {
+        EXPECT_GT(record.truth.area_um2, 0.0) << record.name;
+        EXPECT_GT(record.truth.timing_ps, 0.0) << record.name;
+        EXPECT_GT(record.truth.power_mw, 0.0) << record.name;
+        EXPECT_GT(record.graph.numNodes(), 0u);
+    }
+}
+
+TEST(HardwareDesignDatasetTest, SplitKeepsBasesTogether)
+{
+    const auto full = HardwareDesignDataset::build(
+        DesignLibrary::paperDataset(), oracle());
+    for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto [train, test] = full.splitByBase(0.5, seed);
+        EXPECT_EQ(train.size() + test.size(), full.size());
+
+        std::map<std::string, int> side;
+        for (size_t idx : train)
+            side[full.records()[idx].base] |= 1;
+        for (size_t idx : test)
+            side[full.records()[idx].base] |= 2;
+        for (const auto &[base, mask] : side)
+            EXPECT_NE(mask, 3) << "base " << base << " straddles split";
+
+        // Roughly half the designs on each side.
+        EXPECT_GT(train.size(), full.size() / 4);
+        EXPECT_GT(test.size(), full.size() / 4);
+    }
+}
+
+TEST(HardwareDesignDatasetTest, SplitIsDeterministicPerSeed)
+{
+    const auto &dataset = smokeDataset();
+    const auto a = dataset.splitByBase(0.5, 42);
+    const auto b = dataset.splitByBase(0.5, 42);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(CircuitPathDatasetTest, BuildCollectsAllOrigins)
+{
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    PathDatasetOptions options;
+    options.max_paths_per_design = 16;
+    options.markov_paths = 20;
+    options.seqgan_paths = 10;
+    options.sampler.max_paths_per_source = 4;
+    const auto paths = buildCircuitPathDataset(dataset, train_idx,
+                                               oracle(), options, true);
+    EXPECT_GT(paths.countByOrigin(PathOrigin::Sampled), 10u);
+    EXPECT_GT(paths.countByOrigin(PathOrigin::Markov), 0u);
+    EXPECT_EQ(paths.size(), paths.origins().size());
+    for (const auto &record : paths.records()) {
+        EXPECT_GE(record.tokens.size(), 2u);
+        EXPECT_GT(record.timing_ps, 0.0);
+        EXPECT_GT(record.area_um2, 0.0);
+        EXPECT_GT(record.power_mw, 0.0);
+    }
+}
+
+TEST(CircuitPathDatasetTest, PathLabelsMatchOracle)
+{
+    const auto &dataset = smokeDataset();
+    PathDatasetOptions options;
+    options.max_paths_per_design = 8;
+    options.markov_paths = 0;
+    options.seqgan_paths = 0;
+    const auto paths = buildCircuitPathDataset(dataset, {0}, oracle(),
+                                               options, true);
+    ASSERT_FALSE(paths.records().empty());
+    const auto &record = paths.records().front();
+    const auto check = oracle().runPath(record.tokens);
+    EXPECT_DOUBLE_EQ(record.timing_ps, check.timing_ps);
+    EXPECT_DOUBLE_EQ(record.area_um2, check.area_um2);
+}
+
+std::vector<PathRecord>
+syntheticPathRecords(int count, uint64_t seed)
+{
+    // Labels follow a simple structural law so a small model can learn
+    // them: more tokens -> more area/power, wider -> slower.
+    Rng rng(seed);
+    const synth::Synthesizer synth = oracle();
+    std::vector<PathRecord> records;
+    const std::vector<TokenId> pool = {
+        tok("add16"), tok("mul16"), tok("xor16"), tok("mux16"),
+        tok("sh16"),  tok("add32"), tok("mul32"),
+    };
+    for (int i = 0; i < count; ++i) {
+        std::vector<TokenId> tokens;
+        tokens.push_back(tok("dff16"));
+        const int middle = 1 + static_cast<int>(rng.uniformInt(5ull));
+        for (int j = 0; j < middle; ++j)
+            tokens.push_back(rng.choice(pool));
+        tokens.push_back(tok("dff16"));
+        const auto truth = synth.runPath(tokens);
+        PathRecord record;
+        record.tokens = std::move(tokens);
+        record.timing_ps = truth.timing_ps;
+        record.area_um2 = truth.area_um2;
+        record.power_mw = truth.power_mw;
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+TEST(CircuitformerTest, TrainingReducesLoss)
+{
+    const auto records = syntheticPathRecords(96, 5);
+    Circuitformer model(CircuitformerConfig::small());
+    model.fitNormalization(records);
+    nn::Adam opt(model.parameters(), 1e-3);
+    Rng rng(7);
+    const double first = model.trainEpoch(records, opt, rng, 32);
+    double last = first;
+    for (int epoch = 0; epoch < 30; ++epoch)
+        last = model.trainEpoch(records, opt, rng, 32);
+    EXPECT_LT(last, first * 0.5);
+}
+
+TEST(CircuitformerTest, PredictsOrderingEffect)
+{
+    // After training, [dff, mul, add, dff] must predict faster timing
+    // than [dff, add, mul, dff] (the §3.3 MAC-fusion ordering effect).
+    const synth::Synthesizer synth = oracle();
+    std::vector<PathRecord> records;
+    Rng rng(11);
+    const std::vector<TokenId> pool = {tok("add16"), tok("mul16"),
+                                       tok("xor16"), tok("mux16")};
+    for (int i = 0; i < 160; ++i) {
+        std::vector<TokenId> tokens;
+        tokens.push_back(tok("dff16"));
+        const int middle = 2 + static_cast<int>(rng.uniformInt(3ull));
+        for (int j = 0; j < middle; ++j)
+            tokens.push_back(rng.choice(pool));
+        tokens.push_back(tok("dff16"));
+        const auto truth = synth.runPath(tokens);
+        records.push_back({tokens, truth.timing_ps, truth.area_um2,
+                           truth.power_mw});
+    }
+
+    Circuitformer model(CircuitformerConfig::small());
+    model.fitNormalization(records);
+    nn::Adam opt(model.parameters(), 1e-3);
+    Rng train_rng(13);
+    for (int epoch = 0; epoch < 60; ++epoch)
+        model.trainEpoch(records, opt, train_rng, 32);
+
+    const std::vector<TokenId> mac = {tok("dff16"), tok("mul16"),
+                                      tok("add16"), tok("dff16")};
+    const std::vector<TokenId> swapped = {tok("dff16"), tok("add16"),
+                                          tok("mul16"), tok("dff16")};
+    const auto preds = model.predict({mac, swapped});
+    EXPECT_LT(preds[0].timing_ps, preds[1].timing_ps)
+        << "model failed to learn the ordering effect";
+}
+
+TEST(CircuitformerTest, SaveLoadRoundTrip)
+{
+    const auto records = syntheticPathRecords(16, 23);
+    Circuitformer model(CircuitformerConfig::small());
+    model.fitNormalization(records);
+    const auto before = model.predict({records[0].tokens});
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "cf.bin").string();
+    model.save(path);
+
+    Circuitformer restored(CircuitformerConfig::small());
+    restored.load(path);
+    // Normalization statistics round-trip through float32, so allow a
+    // relative tolerance.
+    const auto after = restored.predict({records[0].tokens});
+    EXPECT_NEAR(before[0].timing_ps, after[0].timing_ps,
+                1e-4 * before[0].timing_ps);
+    EXPECT_NEAR(before[0].area_um2, after[0].area_um2,
+                1e-4 * before[0].area_um2);
+    std::remove(path.c_str());
+}
+
+TEST(CircuitformerTest, PredictBeforeNormalizationPanics)
+{
+    Circuitformer model(CircuitformerConfig::small());
+    EXPECT_THROW(model.predict({{tok("dff16"), tok("io16")}}),
+                 std::logic_error);
+}
+
+TEST(AggregationTest, ReductionsFollowSection34)
+{
+    const auto &graph = smokeDataset().records()[0].graph;
+    std::vector<PathPrediction> preds = {
+        {100.0, 5.0, 0.5}, {300.0, 7.0, 0.25}, {200.0, 1.0, 1.0}};
+    const auto summary = reduceAggregates(graph, preds);
+    EXPECT_DOUBLE_EQ(summary.max_timing_ps, 300.0); // max
+    EXPECT_DOUBLE_EQ(summary.sum_area_um2, 13.0);   // sum
+    EXPECT_DOUBLE_EQ(summary.sum_power_mw, 1.75);   // sum
+    EXPECT_EQ(summary.num_paths, 3u);
+    EXPECT_EQ(summary.token_counts.size(),
+              size_t(Vocabulary::instance().circuitSize()));
+}
+
+TEST(AggregationTest, ActivityCoefficientsScalePower)
+{
+    const auto &graph = smokeDataset().records()[0].graph;
+    std::vector<PathPrediction> preds = {{100.0, 5.0, 1.0},
+                                         {100.0, 5.0, 1.0}};
+    const auto gated = reduceAggregates(graph, preds, {}, {0.5, 0.1});
+    EXPECT_DOUBLE_EQ(gated.sum_power_mw, 0.6);
+    // Timing and area are unaffected by clock gating (§3.4.4).
+    EXPECT_DOUBLE_EQ(gated.max_timing_ps, 100.0);
+    EXPECT_DOUBLE_EQ(gated.sum_area_um2, 10.0);
+}
+
+TEST(AggregationTest, MlpLearnsMonotoneMapping)
+{
+    // Truth = 3x the aggregate: the MLP must recover it approximately.
+    const auto &graph = smokeDataset().records()[0].graph;
+    std::vector<AggregateSummary> summaries;
+    std::vector<double> truths;
+    Rng rng(31);
+    for (int i = 0; i < 24; ++i) {
+        std::vector<PathPrediction> preds;
+        const int paths = 2 + static_cast<int>(rng.uniformInt(6ull));
+        for (int p = 0; p < paths; ++p)
+            preds.push_back({0.0, rng.uniform(1.0, 50.0), 0.0});
+        auto summary = reduceAggregates(graph, preds);
+        truths.push_back(3.0 * summary.sum_area_um2);
+        summaries.push_back(std::move(summary));
+    }
+    AggregationMlp mlp(Target::Area, 7);
+    MlpTrainConfig config;
+    config.epochs = 3000;
+    mlp.fit(summaries, truths, config);
+
+    std::vector<double> preds;
+    std::vector<double> actual;
+    for (size_t i = 0; i < summaries.size(); ++i) {
+        preds.push_back(mlp.predict(summaries[i]));
+        actual.push_back(truths[i]);
+    }
+    EXPECT_LT(sns::rrse(preds, actual), 0.5);
+}
+
+TEST(AggregationTest, PredictBeforeFitPanics)
+{
+    AggregationMlp mlp(Target::Power, 3);
+    AggregateSummary summary;
+    summary.token_counts.assign(
+        Vocabulary::instance().circuitSize(), 0.0);
+    EXPECT_THROW(mlp.predict(summary), std::logic_error);
+}
+
+TEST(TrainerTest, EndToEndTrainingAndPrediction)
+{
+    const auto &dataset = smokeDataset();
+    const auto [train_idx, test_idx] = dataset.splitByBase(0.5, 3);
+
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+
+    // Loss curve recorded for Fig. 5 and generally decreasing.
+    const auto &curve = trainer.lossCurve();
+    ASSERT_FALSE(curve.empty());
+    EXPECT_LT(curve.back().train_loss, curve.front().train_loss);
+
+    // Predictions exist and are positive for every test design.
+    for (size_t idx : test_idx) {
+        const auto &record = dataset.records()[idx];
+        const auto pred = predictor.predict(record.graph);
+        EXPECT_GT(pred.timing_ps, 0.0) << record.name;
+        EXPECT_GT(pred.area_um2, 0.0) << record.name;
+        EXPECT_GT(pred.power_mw, 0.0) << record.name;
+        EXPECT_GT(pred.paths_sampled, 0u);
+        EXPECT_FALSE(pred.critical_path.empty());
+        // The located critical path is a real walk of this design.
+        for (size_t i = 0; i + 1 < pred.critical_path.size(); ++i) {
+            const auto &succ =
+                record.graph.successors(pred.critical_path[i]);
+            EXPECT_NE(std::find(succ.begin(), succ.end(),
+                                pred.critical_path[i + 1]),
+                      succ.end());
+        }
+    }
+}
+
+TEST(TrainerTest, PredictionsCorrelateWithTruth)
+{
+    // Even the fast configuration must rank designs sensibly: area
+    // predictions should correlate strongly with ground truth across
+    // the test set (the paper's Fig. 6 diagonal).
+    const auto &dataset = smokeDataset();
+    const auto [train_idx, test_idx] = dataset.splitByBase(0.6, 5);
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+    const auto result = evaluatePredictor(predictor, dataset, test_idx);
+
+    std::vector<double> pred_log;
+    std::vector<double> true_log;
+    for (const auto &eval : result.designs) {
+        pred_log.push_back(std::log(eval.pred_area_um2));
+        true_log.push_back(std::log(eval.true_area_um2));
+    }
+    EXPECT_GT(sns::pearson(pred_log, true_log), 0.6);
+}
+
+TEST(AggregationTest, SaveLoadRoundTrip)
+{
+    const auto &graph = smokeDataset().records()[0].graph;
+    std::vector<AggregateSummary> summaries;
+    std::vector<double> truths;
+    Rng rng(41);
+    for (int i = 0; i < 12; ++i) {
+        std::vector<PathPrediction> preds;
+        for (int p = 0; p < 4; ++p)
+            preds.push_back({rng.uniform(50, 500), rng.uniform(1, 50),
+                             rng.uniform(0.01, 1.0)});
+        auto summary = reduceAggregates(graph, preds);
+        truths.push_back(2.0 * summary.sum_area_um2);
+        summaries.push_back(std::move(summary));
+    }
+    AggregationMlp original(Target::Area, 9);
+    MlpTrainConfig config;
+    config.epochs = 200;
+    original.fit(summaries, truths, config);
+    const double before = original.predict(summaries[0]);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "agg.bin").string();
+    original.save(path);
+    AggregationMlp restored(Target::Area, 10);
+    restored.load(path);
+    EXPECT_NEAR(restored.predict(summaries[0]), before,
+                1e-4 * std::max(1.0, before));
+    std::remove(path.c_str());
+}
+
+TEST(PredictorTest, SaveLoadRoundTripsPredictions)
+{
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4, 5};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+
+    const auto dir =
+        (std::filesystem::temp_directory_path() / "sns_model").string();
+    predictor.save(dir);
+    const auto restored = SnsPredictor::load(dir);
+
+    for (size_t idx : {size_t(6), size_t(7)}) {
+        const auto &graph = dataset.records()[idx].graph;
+        const auto a = predictor.predict(graph);
+        const auto b = restored.predict(graph);
+        EXPECT_NEAR(a.area_um2, b.area_um2, 1e-3 * a.area_um2);
+        EXPECT_NEAR(a.timing_ps, b.timing_ps, 1e-3 * a.timing_ps);
+        EXPECT_NEAR(a.power_mw, b.power_mw, 1e-3 * a.power_mw);
+        EXPECT_EQ(a.critical_path, b.critical_path);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(PredictorTest, LoadMissingDirectoryIsFatal)
+{
+    EXPECT_EXIT(SnsPredictor::load("/nonexistent/sns_model"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(EvaluationTest, SummaryMetricsMatchUtilMetrics)
+{
+    std::vector<DesignEval> evals;
+    for (int i = 1; i <= 4; ++i) {
+        DesignEval eval;
+        eval.name = "d" + std::to_string(i);
+        eval.true_timing_ps = i * 100.0;
+        eval.pred_timing_ps = i * 100.0 + 10.0;
+        eval.true_area_um2 = i * 10.0;
+        eval.pred_area_um2 = i * 10.0;
+        eval.true_power_mw = i * 1.0;
+        eval.pred_power_mw = i * 2.0;
+        evals.push_back(eval);
+    }
+    const auto result = summarizeEvals(evals);
+    EXPECT_DOUBLE_EQ(result.area.rrse, 0.0);
+    EXPECT_NEAR(result.timing.maep,
+                100.0 * (0.1 + 0.05 + 10.0 / 300 + 0.025) / 4.0, 1e-9);
+    EXPECT_GT(result.power.rrse, 0.0);
+    EXPECT_EQ(result.designs.size(), 4u);
+}
+
+} // namespace
+} // namespace sns::core

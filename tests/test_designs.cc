@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the design generator library: dataset composition (41
+ * designs, Table-3 coverage), structural validity of every generator,
+ * determinism, and family-level scaling sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "designs/designs.hh"
+#include "sampler/path_sampler.hh"
+#include "synth/synthesizer.hh"
+
+namespace sns::designs {
+namespace {
+
+TEST(DesignLibraryTest, PaperDatasetHas41UniqueDesigns)
+{
+    const auto specs = DesignLibrary::paperDataset();
+    EXPECT_EQ(specs.size(), 41u);
+    std::set<std::string> names;
+    for (const auto &spec : specs)
+        names.insert(spec.name);
+    EXPECT_EQ(names.size(), specs.size()) << "duplicate design names";
+}
+
+TEST(DesignLibraryTest, CoversEveryTable3Category)
+{
+    std::set<std::string> categories;
+    for (const auto &spec : DesignLibrary::paperDataset())
+        categories.insert(spec.category);
+    const std::vector<std::string> expected = {
+        "Processor Core",       "Peripheral Component",
+        "Machine Learning Acc.", "Vector Arithmetic",
+        "Signal Processing",     "Cryptographic Arithmetic",
+        "Linear Algebra",        "Sort",
+        "Non-linear Approximation", "Other",
+    };
+    for (const auto &category : expected)
+        EXPECT_TRUE(categories.count(category)) << category;
+}
+
+TEST(DesignLibraryTest, EveryBaseFamilyHasSpecs)
+{
+    const auto families = DesignLibrary::baseFamilies();
+    EXPECT_GE(families.size(), 15u);
+    for (const auto &base : families) {
+        int count = 0;
+        for (const auto &spec : DesignLibrary::paperDataset())
+            count += spec.base == base;
+        EXPECT_GE(count, 1) << base;
+    }
+}
+
+TEST(DesignLibraryTest, SmokeSetOnePerCategory)
+{
+    const auto specs = DesignLibrary::smokeSet();
+    EXPECT_EQ(specs.size(), 10u);
+    std::set<std::string> categories;
+    for (const auto &spec : specs)
+        categories.insert(spec.category);
+    EXPECT_EQ(categories.size(), 10u);
+}
+
+TEST(DesignLibraryTest, ByNameUnknownIsFatal)
+{
+    EXPECT_EXIT(DesignLibrary::byName("no_such_design"),
+                ::testing::ExitedWithCode(1), "unknown design");
+}
+
+TEST(DesignLibraryTest, BuildIsDeterministic)
+{
+    const auto &spec = DesignLibrary::byName("fft_n8_w16");
+    const auto a = spec.build();
+    const auto b = spec.build();
+    EXPECT_EQ(a.numNodes(), b.numNodes());
+    EXPECT_EQ(a.numEdges(), b.numEdges());
+    EXPECT_EQ(a.tokenCounts(), b.tokenCounts());
+}
+
+TEST(DesignScalingTest, LargerVariantsAreLarger)
+{
+    auto nodes = [](const std::string &name) {
+        return DesignLibrary::byName(name).build().numNodes();
+    };
+    EXPECT_GT(nodes("systolic_8x8_w16"), nodes("systolic_4x4_w8"));
+    EXPECT_GT(nodes("systolic_16x16_w16"), nodes("systolic_8x8_w16"));
+    EXPECT_GT(nodes("fft_n64_w32"), nodes("fft_n8_w16"));
+    EXPECT_GT(nodes("lut_e1024_w16"), nodes("lut_e128_w8"));
+    EXPECT_GT(nodes("stencil2d_c16_w32"), nodes("stencil2d_c4_w32"));
+    EXPECT_GT(nodes("merge_sort_n64_w32"), nodes("merge_sort_n16_w32"));
+}
+
+TEST(DesignScalingTest, SynthesizedAreaGrowsWithinFamily)
+{
+    synth::SynthesisOptions opts;
+    opts.heuristic_noise = 0.0;
+    const synth::Synthesizer synth(opts);
+    const auto small =
+        synth.run(DesignLibrary::byName("systolic_4x4_w8").build());
+    const auto big =
+        synth.run(DesignLibrary::byName("systolic_8x8_w16").build());
+    EXPECT_GT(big.area_um2, 3.0 * small.area_um2);
+    EXPECT_GT(big.power_mw, small.power_mw);
+}
+
+TEST(DesignScalingTest, DatasetSpansThreeOrdersOfMagnitude)
+{
+    // Fig. 6's log axes rely on a wide size range: the dataset must
+    // span from the small LUT to the 16-core stencil accelerator.
+    synth::SynthesisOptions opts;
+    opts.heuristic_noise = 0.0;
+    opts.enable_sizing = false; // mapping-only area estimate is enough
+    const synth::Synthesizer synth(opts);
+    const auto lut =
+        synth.run(DesignLibrary::byName("lut_e128_w8").build());
+    const auto stencil =
+        synth.run(DesignLibrary::byName("stencil2d_c16_w32").build());
+    EXPECT_GT(stencil.area_um2 / lut.area_um2, 100.0);
+}
+
+TEST(DesignRealismTest, RawWidthsAreRicherThanVocabulary)
+{
+    // Real RTL contains odd wire widths (guard bits, tag fields,
+    // counters); the §3.1 rounding collapses them onto the 79-token
+    // vocabulary. The generators must exhibit that diversity for the
+    // rounding ablation to be meaningful.
+    std::set<std::pair<int, int>> raw_pairs;
+    std::set<graphir::TokenId> tokens;
+    size_t odd_width_nodes = 0;
+    size_t total_nodes = 0;
+    for (const auto &spec : DesignLibrary::paperDataset()) {
+        const auto graph = spec.build();
+        for (graphir::NodeId id = 0; id < graph.numNodes(); ++id) {
+            raw_pairs.insert({static_cast<int>(graph.type(id)),
+                              graph.rawWidth(id)});
+            tokens.insert(graph.token(id));
+            const int w = graph.rawWidth(id);
+            odd_width_nodes += (w & (w - 1)) != 0;
+            ++total_nodes;
+        }
+    }
+    EXPECT_GT(raw_pairs.size(), tokens.size() + 15)
+        << "rounding should compress a meaningfully larger raw set";
+    EXPECT_GT(odd_width_nodes, total_nodes / 50)
+        << "at least a few percent of nodes use non-power-of-two widths";
+}
+
+/** Every design in the dataset satisfies the structural invariants. */
+class AllDesigns : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllDesigns, BuildsValidatesAndSamples)
+{
+    const auto &spec = DesignLibrary::byName(GetParam());
+    const auto graph = spec.build();
+    EXPECT_GT(graph.numNodes(), 10u) << "suspiciously small design";
+    EXPECT_GT(graph.numEdges(), graph.numNodes() / 2);
+    EXPECT_NO_THROW(graph.validate());
+    EXPECT_FALSE(graph.endpoints().empty());
+
+    // The path sampler must find at least one complete circuit path.
+    sampler::SamplerOptions sopts;
+    sopts.k = 5.0;
+    sopts.max_paths_per_source = 4;
+    sopts.max_total_paths = 500;
+    const auto paths = sampler::PathSampler(sopts).sample(graph);
+    EXPECT_FALSE(paths.empty()) << spec.name;
+    for (const auto &path : paths) {
+        EXPECT_TRUE(graph.isEndpoint(path.nodes.front()));
+        EXPECT_TRUE(graph.isEndpoint(path.nodes.back()));
+    }
+}
+
+std::vector<std::string>
+allDesignNames()
+{
+    std::vector<std::string> names;
+    for (const auto &spec : DesignLibrary::paperDataset())
+        names.push_back(spec.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperDataset, AllDesigns,
+                         ::testing::ValuesIn(allDesignNames()),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name) {
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+} // namespace
+} // namespace sns::designs

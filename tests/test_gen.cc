@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the data-augmentation generators: path validity rules, the
+ * Markov-chain generator (§4.2.1), and the SeqGAN (§4.2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/markov.hh"
+#include "gen/path_check.hh"
+#include "gen/seqgan.hh"
+
+namespace sns::gen {
+namespace {
+
+using graphir::Vocabulary;
+
+TokenId
+tok(const char *name)
+{
+    const auto id = Vocabulary::instance().parse(name);
+    EXPECT_TRUE(id.has_value()) << name;
+    return *id;
+}
+
+/** A small realistic path corpus: MAC, ALU and bypass shapes. */
+std::vector<std::vector<TokenId>>
+corpus()
+{
+    // Note the branching (add16 is followed by dff16 or mux16; mux16 by
+    // dff16 or add16; ...) so the Markov chain admits genuinely new
+    // recombinations beyond the corpus itself.
+    return {
+        {tok("io8"), tok("mul16"), tok("add16"), tok("dff16")},
+        {tok("io8"), tok("mul16"), tok("add16"), tok("mux16"),
+         tok("dff16")},
+        {tok("dff16"), tok("add16"), tok("dff16")},
+        {tok("dff16"), tok("mux16"), tok("add16"), tok("dff16")},
+        {tok("dff16"), tok("io16")},
+        {tok("io32"), tok("and32"), tok("mux32"), tok("dff32")},
+        {tok("dff32"), tok("xor32"), tok("mux32"), tok("dff32")},
+        {tok("io32"), tok("sh32"), tok("add32"), tok("dff32")},
+        {tok("dff32"), tok("lgt32"), tok("mux32"), tok("add32"),
+         tok("dff32")},
+        {tok("dff32"), tok("xor32"), tok("add32"), tok("dff32")},
+    };
+}
+
+TEST(PathCheckTest, AcceptsRealShapes)
+{
+    for (const auto &path : corpus())
+        EXPECT_TRUE(isValidCircuitPath(path));
+}
+
+TEST(PathCheckTest, RejectsBadShapes)
+{
+    // Too short.
+    EXPECT_FALSE(isValidCircuitPath({tok("dff16")}));
+    // Does not start on an endpoint.
+    EXPECT_FALSE(
+        isValidCircuitPath({tok("add16"), tok("dff16")}));
+    // Does not end on an endpoint.
+    EXPECT_FALSE(isValidCircuitPath({tok("io8"), tok("add16")}));
+    // Endpoint in the interior.
+    EXPECT_FALSE(isValidCircuitPath(
+        {tok("io8"), tok("dff16"), tok("add16"), tok("dff16")}));
+    // Non-circuit token.
+    EXPECT_FALSE(isValidCircuitPath(
+        {tok("io8"), Vocabulary::instance().padId(), tok("dff16")}));
+    // Over-long.
+    std::vector<TokenId> long_path(10, tok("add16"));
+    long_path.front() = tok("dff16");
+    long_path.back() = tok("dff16");
+    EXPECT_FALSE(isValidCircuitPath(long_path, 5));
+}
+
+TEST(MarkovTest, TransitionRowsAreDistributions)
+{
+    MarkovChainGenerator markov(1);
+    markov.fit(corpus());
+    const auto row = markov.transitionRow(tok("io8"));
+    double total = 0.0;
+    for (double p : row)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MarkovTest, LearnsDeterministicTransition)
+{
+    MarkovChainGenerator markov(2);
+    markov.fit(corpus());
+    // In the corpus, mul16 is always followed by add16.
+    const auto row = markov.transitionRow(tok("mul16"));
+    EXPECT_NEAR(row[tok("add16")], 1.0, 1e-9);
+}
+
+TEST(MarkovTest, EmpiricalFrequenciesMatch)
+{
+    MarkovChainGenerator markov(3);
+    markov.fit(corpus());
+    // In the corpus, dff16 is followed once each by add16 / mux16 /
+    // io16 and terminates four paths (EOS), for 7 outgoing transitions.
+    const auto row = markov.transitionRow(tok("dff16"));
+    EXPECT_NEAR(row[tok("add16")], 1.0 / 7.0, 1e-9);
+    EXPECT_NEAR(row[tok("mux16")], 1.0 / 7.0, 1e-9);
+    EXPECT_NEAR(row[tok("io16")], 1.0 / 7.0, 1e-9);
+}
+
+TEST(MarkovTest, GeneratedPathsAreValidAndUnique)
+{
+    MarkovChainGenerator markov(4);
+    const auto real = corpus();
+    markov.fit(real);
+    const auto generated = markov.generateUnique(10, real);
+    EXPECT_GE(generated.size(), 3u);
+    std::set<std::vector<TokenId>> seen(real.begin(), real.end());
+    for (const auto &path : generated) {
+        EXPECT_TRUE(isValidCircuitPath(path));
+        EXPECT_TRUE(seen.insert(path).second)
+            << "duplicate or training-set path generated";
+    }
+}
+
+TEST(MarkovTest, DeterministicPerSeed)
+{
+    MarkovChainGenerator a(7);
+    MarkovChainGenerator b(7);
+    a.fit(corpus());
+    b.fit(corpus());
+    EXPECT_EQ(a.sample(), b.sample());
+    EXPECT_EQ(a.sample(), b.sample());
+}
+
+TEST(MarkovTest, TargetLengthSamplingHitsTheTarget)
+{
+    MarkovChainGenerator markov(21);
+    markov.fit(corpus());
+    int hits = 0;
+    for (size_t target : {3u, 4u, 5u, 8u}) {
+        for (int attempt = 0; attempt < 20; ++attempt) {
+            const auto path = markov.sampleWithTargetLength(target);
+            if (path.empty())
+                continue;
+            EXPECT_TRUE(isValidCircuitPath(path, target + 8));
+            EXPECT_GE(path.size(), 2u);
+            // The slack allows bounded overshoot only.
+            EXPECT_LE(path.size(), target + 8);
+            ++hits;
+        }
+    }
+    EXPECT_GT(hits, 20) << "stratified sampling almost never succeeds";
+}
+
+TEST(MarkovTest, StratifiedGenerationCoversLongLengths)
+{
+    MarkovChainGenerator markov(22);
+    const auto real = corpus();
+    markov.fit(real);
+    const auto generated = markov.generateStratified(40, real, 24);
+    EXPECT_GE(generated.size(), 10u);
+    size_t longest = 0;
+    for (const auto &path : generated) {
+        EXPECT_TRUE(isValidCircuitPath(path, 32));
+        longest = std::max(longest, path.size());
+    }
+    // The corpus' own paths max out at 5 tokens; stratified sampling
+    // must extend well beyond that.
+    EXPECT_GE(longest, 10u);
+}
+
+TEST(MarkovTest, SampleBeforeFitPanics)
+{
+    MarkovChainGenerator markov(8);
+    EXPECT_THROW(markov.sample(), std::logic_error);
+}
+
+SeqGanConfig
+tinyConfig()
+{
+    SeqGanConfig config;
+    config.embed_dim = 12;
+    config.hidden_dim = 24;
+    config.max_length = 12;
+    config.pretrain_epochs = 30;
+    config.d_pretrain_epochs = 2;
+    config.adversarial_rounds = 3;
+    config.batch_size = 16;
+    config.rollouts = 1;
+    config.seed = 99;
+    return config;
+}
+
+TEST(SeqGanTest, PretrainingReducesNll)
+{
+    const auto real = corpus();
+    SeqGan untrained(tinyConfig());
+    const double before = untrained.generatorNll(real);
+
+    SeqGan trained(tinyConfig());
+    trained.fit(real);
+    const double after = trained.generatorNll(real);
+    EXPECT_LT(after, before * 0.7)
+        << "training should compress the real paths";
+}
+
+TEST(SeqGanTest, GeneratesValidUniquePaths)
+{
+    const auto real = corpus();
+    SeqGan gan(tinyConfig());
+    gan.fit(real);
+    const auto generated = gan.generateUnique(8, real);
+    EXPECT_GE(generated.size(), 1u);
+    std::set<std::vector<TokenId>> seen(real.begin(), real.end());
+    for (const auto &path : generated) {
+        EXPECT_TRUE(isValidCircuitPath(path, 12));
+        EXPECT_TRUE(seen.insert(path).second);
+    }
+}
+
+TEST(SeqGanTest, DiscriminatorPrefersRealOverJunk)
+{
+    const auto real = corpus();
+    SeqGan gan(tinyConfig());
+    gan.fit(real);
+
+    // Junk: uniformly random token soup.
+    Rng rng(123);
+    std::vector<std::vector<TokenId>> junk;
+    for (int i = 0; i < 8; ++i) {
+        std::vector<TokenId> path;
+        for (int t = 0; t < 6; ++t) {
+            path.push_back(static_cast<TokenId>(rng.uniformInt(
+                uint64_t(Vocabulary::instance().circuitSize()))));
+        }
+        junk.push_back(path);
+    }
+    EXPECT_GT(gan.discriminatorScore(real),
+              gan.discriminatorScore(junk));
+}
+
+TEST(SeqGanTest, FitRejectsEmptyCorpus)
+{
+    SeqGan gan(tinyConfig());
+    EXPECT_THROW(gan.fit({}), std::logic_error);
+}
+
+} // namespace
+} // namespace sns::gen

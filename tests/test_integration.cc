@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Cross-module integration tests: randomized circuit fuzzing through
+ * the whole pipeline (build -> validate -> synthesize -> sample ->
+ * predict), SNL round trips through synthesis, and agreement between
+ * the predictor's located critical path and the reference
+ * synthesizer's.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/trainer.hh"
+#include "designs/designs.hh"
+#include "netlist/circuit_builder.hh"
+#include "netlist/snl_parser.hh"
+#include "sampler/path_sampler.hh"
+#include "synth/synthesizer.hh"
+
+namespace sns {
+namespace {
+
+using graphir::Graph;
+using graphir::NodeId;
+using graphir::NodeType;
+using netlist::CircuitBuilder;
+
+/**
+ * Generate a random but structurally valid circuit: layered DAG of
+ * random functional units between a register/port boundary, with
+ * random register feedback edges.
+ */
+Graph
+fuzzCircuit(uint64_t seed)
+{
+    Rng rng(seed);
+    CircuitBuilder cb("fuzz_" + std::to_string(seed));
+
+    const int n_inputs = 2 + static_cast<int>(rng.uniformInt(4ull));
+    const int n_layers = 1 + static_cast<int>(rng.uniformInt(4ull));
+    const std::vector<int> widths = {4, 8, 12, 16, 24, 32, 48, 64};
+    const std::vector<NodeType> binary_ops = {
+        NodeType::Add, NodeType::Mul, NodeType::And, NodeType::Or,
+        NodeType::Xor, NodeType::Mux, NodeType::Eq,  NodeType::Lgt,
+        NodeType::Sh,  NodeType::Div, NodeType::Mod,
+    };
+
+    std::vector<NodeId> frontier;
+    for (int i = 0; i < n_inputs; ++i)
+        frontier.push_back(cb.input(rng.choice(widths)));
+    std::vector<NodeId> regs;
+    for (int i = 0; i < 2; ++i) {
+        regs.push_back(cb.dff(rng.choice(widths)));
+        frontier.push_back(regs.back());
+    }
+
+    for (int layer = 0; layer < n_layers; ++layer) {
+        const int n_ops = 1 + static_cast<int>(rng.uniformInt(5ull));
+        std::vector<NodeId> next;
+        for (int i = 0; i < n_ops; ++i) {
+            const NodeId a = rng.choice(frontier);
+            const NodeId b = rng.choice(frontier);
+            const int width = std::max(8, rng.choice(widths));
+            next.push_back(
+                cb.op(rng.choice(binary_ops), width, {a, b}));
+        }
+        // Occasionally register a value (pipeline cut).
+        if (rng.bernoulli(0.5))
+            next.push_back(cb.reg(rng.choice(next)));
+        for (NodeId id : next)
+            frontier.push_back(id);
+    }
+
+    // Random feedback into the free-standing registers (safe: cycles
+    // through registers are sequential, never combinational).
+    for (NodeId reg : regs)
+        cb.connect(rng.choice(frontier), reg);
+    cb.output(rng.choice(widths), {rng.choice(frontier)});
+    return cb.build();
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzPipeline, SynthesizeSampleAndChainInvariants)
+{
+    const Graph g = fuzzCircuit(GetParam());
+    EXPECT_NO_THROW(g.validate());
+
+    // Reference synthesis must produce sane, positive results.
+    synth::SynthesisOptions opts;
+    opts.heuristic_noise = 0.0;
+    opts.effort = 0.1;
+    const synth::Synthesizer synth(opts);
+    const auto truth = synth.run(g);
+    EXPECT_GT(truth.area_um2, 0.0);
+    EXPECT_GT(truth.power_mw, 0.0);
+    const auto &lib = synth::TechLibrary::freePdk15();
+    EXPECT_GE(truth.timing_ps, lib.clockToQPs() + lib.setupPs());
+
+    // The critical path is a real walk ending on an endpoint or a
+    // dangling combinational output.
+    if (!truth.critical_path.empty()) {
+        for (size_t i = 0; i + 1 < truth.critical_path.size(); ++i) {
+            const auto &succ = g.successors(truth.critical_path[i]);
+            EXPECT_NE(std::find(succ.begin(), succ.end(),
+                                truth.critical_path[i + 1]),
+                      succ.end());
+        }
+    }
+
+    // Sampled paths re-synthesize as standalone chains without issue,
+    // and a chain can never be slower than the whole design's worst
+    // path by more than the sizing/fusion context effects allow —
+    // sanity: strictly positive and bounded by a generous multiple.
+    sampler::SamplerOptions sopts;
+    sopts.seed = GetParam();
+    sopts.max_paths_per_source = 2;
+    sopts.max_total_paths = 24;
+    const auto paths = sampler::PathSampler(sopts).sample(g);
+    EXPECT_FALSE(paths.empty());
+    for (const auto &path : paths) {
+        const auto chain = synth.runPath(path.tokens);
+        EXPECT_GT(chain.area_um2, 0.0);
+        EXPECT_GT(chain.timing_ps, 0.0);
+        EXPECT_LT(chain.timing_ps, 50.0 * truth.timing_ps);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(IntegrationTest, SnlRoundTripPreservesSynthesisResults)
+{
+    // writeSnl keeps raw widths, so synthesis results must round-trip
+    // bit-exactly (modulo the name-seeded jitter, disabled here).
+    synth::SynthesisOptions opts;
+    opts.heuristic_noise = 0.0;
+    const synth::Synthesizer synth(opts);
+    for (uint64_t seed : {3ull, 7ull, 11ull}) {
+        Graph original = fuzzCircuit(seed);
+        const auto text = netlist::writeSnl(original);
+        Graph reparsed = netlist::parseSnl(text);
+        reparsed.setName(original.name());
+
+        const auto a = synth.run(original);
+        const auto b = synth.run(reparsed);
+        EXPECT_DOUBLE_EQ(a.area_um2, b.area_um2);
+        EXPECT_DOUBLE_EQ(a.timing_ps, b.timing_ps);
+        EXPECT_DOUBLE_EQ(a.power_mw, b.power_mw);
+    }
+}
+
+TEST(IntegrationTest, PredictorLocatesTheDeepChain)
+{
+    // In a design whose critical path is an unmistakably deep chain,
+    // the predictor's located critical path must be that chain (thanks
+    // to the deepest-path supplement + length-aware Circuitformer).
+    CircuitBuilder cb("deep_vs_shallow");
+    NodeId chain = cb.dff(32);
+    NodeId cursor = chain;
+    for (int i = 0; i < 24; ++i)
+        cursor = cb.add(32, cursor, cursor);
+    const NodeId chain_end = cb.reg(cursor);
+    (void)chain_end;
+    // Plus some shallow distractors.
+    for (int i = 0; i < 6; ++i)
+        cb.output(16, {cb.reg(cb.bxor(16, cb.input(16), cb.input(16)))});
+    const Graph g = cb.build();
+
+    synth::SynthesisOptions opts;
+    opts.effort = 0.1;
+    const synth::Synthesizer oracle(opts);
+    const auto dataset = core::HardwareDesignDataset::build(
+        designs::DesignLibrary::smokeSet(), oracle);
+    std::vector<size_t> all_indices;
+    for (size_t i = 0; i < dataset.size(); ++i)
+        all_indices.push_back(i);
+    core::SnsTrainer trainer(core::TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, all_indices, oracle);
+
+    const auto pred = predictor.predict(g);
+    EXPECT_GE(pred.critical_path.size(), 20u)
+        << "the predictor should single out the deep adder chain";
+
+    const auto truth = oracle.run(g);
+    EXPECT_GE(truth.critical_path.size(), 20u);
+}
+
+TEST(IntegrationTest, PredictionsAreDeterministic)
+{
+    synth::SynthesisOptions opts;
+    opts.effort = 0.1;
+    const synth::Synthesizer oracle(opts);
+    const auto dataset = core::HardwareDesignDataset::build(
+        designs::DesignLibrary::smokeSet(), oracle);
+    std::vector<size_t> all_indices;
+    for (size_t i = 0; i < dataset.size(); ++i)
+        all_indices.push_back(i);
+
+    core::SnsTrainer t1(core::TrainerConfig::fast());
+    core::SnsTrainer t2(core::TrainerConfig::fast());
+    const auto p1 = t1.train(dataset, all_indices, oracle);
+    const auto p2 = t2.train(dataset, all_indices, oracle);
+
+    const Graph g = fuzzCircuit(99);
+    const auto a = p1.predict(g);
+    const auto b = p2.predict(g);
+    EXPECT_DOUBLE_EQ(a.area_um2, b.area_um2);
+    EXPECT_DOUBLE_EQ(a.power_mw, b.power_mw);
+    EXPECT_DOUBLE_EQ(a.timing_ps, b.timing_ps);
+}
+
+} // namespace
+} // namespace sns

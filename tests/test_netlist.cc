@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the netlist front-end: CircuitBuilder and the SNL
+ * language parser / writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "netlist/circuit_builder.hh"
+#include "netlist/snl_parser.hh"
+
+namespace sns::netlist {
+namespace {
+
+using graphir::NodeType;
+
+TEST(CircuitBuilderTest, BuildsFigure2Mac)
+{
+    CircuitBuilder cb("mac8");
+    const NodeId a = cb.input(8);
+    const NodeId b = cb.input(8);
+    const NodeId m = cb.mul(16, a, b);
+    const NodeId acc = cb.dff(16);
+    const NodeId s = cb.add(16, m, acc);
+    cb.connect(s, acc);
+    cb.output(16, {acc});
+
+    const auto g = cb.build();
+    EXPECT_EQ(g.numNodes(), 6u);
+    EXPECT_EQ(g.numEdges(), 6u);
+    EXPECT_EQ(g.endpoints().size(), 4u);
+}
+
+TEST(CircuitBuilderTest, ReduceTreeNodeCountAndDepth)
+{
+    CircuitBuilder cb("tree");
+    auto leaves = cb.inputBus(16, 8);
+    const NodeId root = cb.reduceTree(NodeType::Add, 16, leaves);
+    cb.output(16, {cb.reg(root)});
+    const auto g = cb.build();
+    // 8 inputs + 7 adders + 1 dff + 1 output.
+    EXPECT_EQ(g.numNodes(), 17u);
+}
+
+TEST(CircuitBuilderTest, ReduceTreeHandlesOddCounts)
+{
+    CircuitBuilder cb("tree5");
+    auto leaves = cb.inputBus(8, 5);
+    const NodeId root = cb.reduceTree(NodeType::Or, 8, leaves);
+    cb.output(8, {root});
+    const auto g = cb.build();
+    // 5 inputs + 4 or-gates + 1 output.
+    EXPECT_EQ(g.numNodes(), 10u);
+}
+
+TEST(CircuitBuilderTest, ReduceTreeSingleInputIsIdentity)
+{
+    CircuitBuilder cb("tree1");
+    auto leaves = cb.inputBus(8, 1);
+    EXPECT_EQ(cb.reduceTree(NodeType::Add, 8, leaves), leaves[0]);
+}
+
+TEST(CircuitBuilderTest, MuxTreeSelectsFanIn)
+{
+    CircuitBuilder cb("muxes");
+    const NodeId sel = cb.input(4);
+    auto leaves = cb.inputBus(32, 4);
+    const NodeId root = cb.muxTree(32, sel, leaves);
+    cb.output(32, {root});
+    const auto g = cb.build();
+    // 1 sel + 4 data inputs + 3 muxes + 1 output.
+    EXPECT_EQ(g.numNodes(), 9u);
+    EXPECT_EQ(g.type(root), NodeType::Mux);
+}
+
+TEST(CircuitBuilderTest, RegBankRegistersEveryLane)
+{
+    CircuitBuilder cb("bank");
+    auto bus = cb.inputBus(16, 6);
+    auto regs = cb.regBank(bus);
+    ASSERT_EQ(regs.size(), 6u);
+    for (NodeId r : regs)
+        EXPECT_EQ(cb.graph().type(r), NodeType::Dff);
+}
+
+TEST(CircuitBuilderTest, WidthOfReportsRoundedWidth)
+{
+    CircuitBuilder cb("w");
+    const NodeId a = cb.input(12);
+    EXPECT_EQ(cb.widthOf(a), 16);
+}
+
+constexpr const char *kMacSnl = R"(
+# Figure 2 multiply-accumulate unit
+design mac8
+input  a 8
+input  b 8
+node   m   mul 16 a b
+node   s   add 16 m acc
+reg    acc 16 s
+output out 16 acc
+)";
+
+TEST(SnlParserTest, ParsesMacExample)
+{
+    const auto g = parseSnl(kMacSnl);
+    EXPECT_EQ(g.name(), "mac8");
+    EXPECT_EQ(g.numNodes(), 6u);
+    EXPECT_EQ(g.numEdges(), 6u);
+    EXPECT_EQ(g.endpoints().size(), 4u);
+    EXPECT_TRUE(g.combinationallyAcyclic());
+}
+
+TEST(SnlParserTest, ForwardReferencesAllowed)
+{
+    // 'acc' is referenced by node s before its reg statement.
+    EXPECT_NO_THROW(parseSnl(kMacSnl));
+}
+
+TEST(SnlParserTest, CommentsAndBlankLinesIgnored)
+{
+    const auto g = parseSnl("design d\n\n  # nothing\ninput a 8 # tail\n");
+    EXPECT_EQ(g.numNodes(), 1u);
+}
+
+TEST(SnlParserTest, RejectsUnknownStatement)
+{
+    try {
+        parseSnl("design d\nfoo x 8\n");
+        FAIL() << "expected SnlError";
+    } catch (const SnlError &e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(SnlParserTest, RejectsUnknownNodeType)
+{
+    EXPECT_THROW(parseSnl("design d\nnode x frobnicate 8\n"), SnlError);
+}
+
+TEST(SnlParserTest, RejectsIoDeclaredAsNode)
+{
+    EXPECT_THROW(parseSnl("design d\nnode x io 8\n"), SnlError);
+    EXPECT_THROW(parseSnl("design d\nnode x dff 8\n"), SnlError);
+}
+
+TEST(SnlParserTest, RejectsUndefinedSource)
+{
+    EXPECT_THROW(parseSnl("design d\nnode x add 8 ghost\n"), SnlError);
+}
+
+TEST(SnlParserTest, RejectsDuplicateIdentifier)
+{
+    EXPECT_THROW(parseSnl("design d\ninput a 8\ninput a 8\n"), SnlError);
+}
+
+TEST(SnlParserTest, RejectsBadWidth)
+{
+    EXPECT_THROW(parseSnl("design d\ninput a zero\n"), SnlError);
+    EXPECT_THROW(parseSnl("design d\ninput a 0\n"), SnlError);
+    EXPECT_THROW(parseSnl("design d\ninput a -4\n"), SnlError);
+}
+
+TEST(SnlParserTest, RejectsMissingDesignName)
+{
+    EXPECT_THROW(parseSnl("input a 8\n"), SnlError);
+}
+
+TEST(SnlParserTest, RejectsCombinationalLoop)
+{
+    const char *looped =
+        "design loop\n"
+        "node x add 8 y\n"
+        "node y add 8 x\n";
+    EXPECT_THROW(parseSnl(looped), SnlError);
+}
+
+TEST(SnlParserTest, WriteThenParseRoundTrips)
+{
+    const auto original = parseSnl(kMacSnl);
+    const auto text = writeSnl(original);
+    const auto reparsed = parseSnl(text);
+
+    ASSERT_EQ(reparsed.numNodes(), original.numNodes());
+    EXPECT_EQ(reparsed.numEdges(), original.numEdges());
+    for (graphir::NodeId id = 0; id < original.numNodes(); ++id) {
+        EXPECT_EQ(reparsed.type(id), original.type(id));
+        EXPECT_EQ(reparsed.width(id), original.width(id));
+        EXPECT_EQ(reparsed.successors(id).size(),
+                  original.successors(id).size());
+    }
+}
+
+TEST(SnlParserTest, BuilderAndSnlProduceIsomorphicMac)
+{
+    CircuitBuilder cb("mac8");
+    const NodeId a = cb.input(8);
+    const NodeId b = cb.input(8);
+    const NodeId m = cb.mul(16, a, b);
+    const NodeId acc = cb.dff(16);
+    const NodeId s = cb.add(16, m, acc);
+    cb.connect(s, acc);
+    cb.output(16, {acc});
+    const auto built = cb.build();
+
+    const auto parsed = parseSnl(kMacSnl);
+    EXPECT_EQ(built.numNodes(), parsed.numNodes());
+    EXPECT_EQ(built.numEdges(), parsed.numEdges());
+    EXPECT_EQ(built.tokenCounts(), parsed.tokenCounts());
+}
+
+} // namespace
+} // namespace sns::netlist

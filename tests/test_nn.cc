@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the neural-network layer library: layers, transformer
+ * blocks, GRU cell, optimizers, and serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/gru.hh"
+#include "nn/layers.hh"
+#include "nn/optim.hh"
+#include "nn/serialize.hh"
+#include "nn/transformer.hh"
+
+namespace sns::nn {
+namespace {
+
+using namespace sns::tensor;
+
+TEST(LinearTest, Matches2DManualMatmul)
+{
+    Rng rng(1);
+    const Linear layer(3, 2, rng);
+    const Tensor x0 = Tensor::fromValues({1, 3}, {1.0f, 2.0f, 3.0f});
+    const Variable y = layer.forward(Variable(x0));
+    ASSERT_EQ(y.value().shape(), (std::vector<int>{1, 2}));
+
+    const auto params = layer.parameters();
+    const Tensor &w = params[0].value();
+    const Tensor &b = params[1].value();
+    for (int j = 0; j < 2; ++j) {
+        float expect = b[j];
+        for (int i = 0; i < 3; ++i)
+            expect += x0[i] * w.at2(i, j);
+        EXPECT_NEAR(y.value()[j], expect, 1e-5f);
+    }
+}
+
+TEST(LinearTest, ThreeDAppliesPerPosition)
+{
+    Rng rng(2);
+    const Linear layer(4, 3, rng);
+    Rng data_rng(3);
+    const Tensor x0 = Tensor::randn({2, 5, 4}, data_rng);
+    const Variable y3 = layer.forward(Variable(x0));
+    ASSERT_EQ(y3.value().shape(), (std::vector<int>{2, 5, 3}));
+
+    // Same rows through the 2-D path give the same answer.
+    const Variable y2 =
+        layer.forward(Variable(x0.reshaped({10, 4})));
+    for (size_t i = 0; i < y2.value().numel(); ++i)
+        EXPECT_FLOAT_EQ(y3.value()[i], y2.value()[i]);
+}
+
+TEST(LinearTest, RejectsWidthMismatch)
+{
+    Rng rng(4);
+    const Linear layer(4, 3, rng);
+    EXPECT_THROW(layer.forward(Variable(Tensor::zeros({2, 5}))),
+                 std::logic_error);
+}
+
+TEST(MlpTest, ShapeAndParameterCount)
+{
+    Rng rng(5);
+    const Mlp mlp({8, 32, 32, 32, 3}, rng);
+    // Paper §3.4: three hidden fully-connected layers of 32 neurons.
+    EXPECT_EQ(mlp.parameterCount(),
+              size_t(8 * 32 + 32 + 32 * 32 + 32 + 32 * 32 + 32 +
+                     32 * 3 + 3));
+    const Variable y = mlp.forward(Variable(Tensor::zeros({4, 8})));
+    EXPECT_EQ(y.value().shape(), (std::vector<int>{4, 3}));
+}
+
+TEST(MlpTest, LearnsTinyRegression)
+{
+    // Fit y = 2*x0 - x1 on random data; loss must fall dramatically.
+    Rng rng(6);
+    Mlp mlp({2, 16, 1}, rng);
+    Adam opt(mlp.parameters(), 0.01);
+
+    Rng data_rng(7);
+    const int n = 64;
+    Tensor x({n, 2});
+    Tensor y({n, 1});
+    for (int i = 0; i < n; ++i) {
+        x.at2(i, 0) = static_cast<float>(data_rng.normal());
+        x.at2(i, 1) = static_cast<float>(data_rng.normal());
+        y.at2(i, 0) = 2.0f * x.at2(i, 0) - x.at2(i, 1);
+    }
+
+    double first_loss = 0.0;
+    double last_loss = 0.0;
+    for (int epoch = 0; epoch < 300; ++epoch) {
+        opt.zeroGrad();
+        Variable loss = mseLoss(mlp.forward(Variable(x)), y);
+        loss.backward();
+        opt.step();
+        if (epoch == 0)
+            first_loss = loss.value()[0];
+        last_loss = loss.value()[0];
+    }
+    EXPECT_LT(last_loss, first_loss * 0.02);
+}
+
+TEST(LayerNormTest, NormalizesRows)
+{
+    LayerNorm norm(8);
+    Rng rng(8);
+    const Tensor x0 = Tensor::randn({4, 8}, rng, 3.0f);
+    const Variable y = norm.forward(Variable(x0));
+    for (int i = 0; i < 4; ++i) {
+        double mean = 0.0;
+        double var = 0.0;
+        for (int j = 0; j < 8; ++j)
+            mean += y.value().at2(i, j);
+        mean /= 8.0;
+        for (int j = 0; j < 8; ++j) {
+            const double d = y.value().at2(i, j) - mean;
+            var += d * d;
+        }
+        var /= 8.0;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(AttentionTest, OutputShape)
+{
+    Rng rng(9);
+    const MultiHeadAttention mha(16, 2, rng);
+    Rng data_rng(10);
+    const Tensor x0 = Tensor::randn({3, 5, 16}, data_rng);
+    const Variable y = mha.forward(Variable(x0), {5, 3, 1});
+    EXPECT_EQ(y.value().shape(), (std::vector<int>{3, 5, 16}));
+}
+
+TEST(TransformerTest, PaddingInvariance)
+{
+    // Changing tokens beyond the valid length must not change the
+    // pooled encoding.
+    Rng rng(11);
+    TransformerConfig config;
+    config.vocab_size = 20;
+    config.max_positions = 8;
+    config.d_model = 16;
+    config.heads = 2;
+    config.layers = 2;
+    config.d_ff = 32;
+    const TransformerEncoder encoder(config, rng);
+
+    const std::vector<int> ids_a = {3, 7, 2, 0, 0, 0};
+    const std::vector<int> ids_b = {3, 7, 2, 9, 9, 9};
+    const Variable ya = encoder.encode(ids_a, 1, 6, {3});
+    const Variable yb = encoder.encode(ids_b, 1, 6, {3});
+    for (size_t i = 0; i < ya.value().numel(); ++i)
+        EXPECT_NEAR(ya.value()[i], yb.value()[i], 1e-5f);
+}
+
+TEST(TransformerTest, BatchingMatchesSingle)
+{
+    Rng rng(12);
+    TransformerConfig config;
+    config.vocab_size = 20;
+    config.max_positions = 8;
+    config.d_model = 16;
+    config.heads = 2;
+    config.layers = 1;
+    config.d_ff = 32;
+    const TransformerEncoder encoder(config, rng);
+
+    const std::vector<int> batch_ids = {1, 2, 3, 4, 5, 6, 7, 0};
+    const Variable both = encoder.encode(batch_ids, 2, 4, {4, 3});
+    const Variable first = encoder.encode({1, 2, 3, 4}, 1, 4, {4});
+    const Variable second = encoder.encode({5, 6, 7, 0}, 1, 4, {3});
+    for (int j = 0; j < 16; ++j) {
+        EXPECT_NEAR(both.value().at2(0, j), first.value().at2(0, j), 1e-4f);
+        EXPECT_NEAR(both.value().at2(1, j), second.value().at2(0, j),
+                    1e-4f);
+    }
+}
+
+TEST(TransformerTest, PaperScaleParameterCount)
+{
+    // Table 2 configuration: vocab 79+3, two layers, two heads, 128-d.
+    Rng rng(13);
+    const TransformerEncoder encoder(TransformerConfig{}, rng);
+    const size_t count = encoder.parameterCount();
+    // Our encoder lands at ~0.5M parameters (the paper reports 1.4M for
+    // its HuggingFace-derived variant); assert the right magnitude.
+    EXPECT_GT(count, 300000u);
+    EXPECT_LT(count, 2000000u);
+}
+
+TEST(TransformerTest, CanOverfitTinyRegression)
+{
+    // Map sequences to the count of token "2" they contain.
+    Rng rng(14);
+    TransformerConfig config;
+    config.vocab_size = 5;
+    config.max_positions = 6;
+    config.d_model = 16;
+    config.heads = 2;
+    config.layers = 1;
+    config.d_ff = 32;
+    const TransformerEncoder encoder(config, rng);
+    Mlp head({16, 16, 1}, rng);
+
+    std::vector<Variable> params = encoder.parameters();
+    for (const auto &p : head.parameters())
+        params.push_back(p);
+    Adam opt(params, 0.01);
+
+    const std::vector<std::vector<int>> seqs = {
+        {2, 2, 2, 1}, {1, 3, 1, 4}, {2, 1, 2, 3}, {4, 2, 4, 4}};
+    const std::vector<float> targets = {3.0f, 0.0f, 2.0f, 1.0f};
+
+    std::vector<int> flat;
+    for (const auto &s : seqs)
+        flat.insert(flat.end(), s.begin(), s.end());
+    Tensor target_tensor =
+        Tensor::fromValues({4, 1}, std::vector<float>(targets));
+
+    double last_loss = 1e9;
+    for (int epoch = 0; epoch < 150; ++epoch) {
+        opt.zeroGrad();
+        const Variable pooled =
+            encoder.encode(flat, 4, 4, {4, 4, 4, 4});
+        Variable loss =
+            mseLoss(head.forward(pooled), target_tensor);
+        loss.backward();
+        opt.step();
+        last_loss = loss.value()[0];
+    }
+    EXPECT_LT(last_loss, 0.05) << "transformer failed to overfit";
+}
+
+TEST(Conv2dTest, OutputShapeAndParams)
+{
+    Rng rng(40);
+    const Conv2d conv(3, 8, 3, 8, 8, 1, rng); // 8x8x3 -> 8x8x8
+    EXPECT_EQ(conv.outHeight(), 8);
+    EXPECT_EQ(conv.outWidth(), 8);
+    EXPECT_EQ(conv.parameterCount(), size_t(3 * 3 * 3 * 8 + 8));
+    const Variable y =
+        conv.forward(Variable(Tensor::zeros({2, 8 * 8 * 3})));
+    EXPECT_EQ(y.value().shape(), (std::vector<int>{2, 8 * 8 * 8}));
+}
+
+TEST(Conv2dTest, DetectsAVerticalEdge)
+{
+    // A conv net must learn to separate vertical-bar images from
+    // horizontal-bar images — something a 3x3 kernel does trivially.
+    Rng rng(41);
+    Conv2d conv(1, 4, 3, 6, 6, 1, rng);
+    Linear head(6 * 6 * 4, 2, rng);
+    std::vector<Variable> params = conv.parameters();
+    for (const auto &p : head.parameters())
+        params.push_back(p);
+    Adam opt(params, 5e-3);
+
+    Rng data_rng(42);
+    auto make_batch = [&](int n, Tensor &x, std::vector<int> &labels) {
+        x = Tensor::zeros({n, 36});
+        labels.assign(n, 0);
+        for (int i = 0; i < n; ++i) {
+            const bool vertical = data_rng.bernoulli(0.5);
+            const int pos =
+                1 + static_cast<int>(data_rng.uniformInt(4ull));
+            for (int t = 0; t < 6; ++t) {
+                const int idx = vertical ? t * 6 + pos : pos * 6 + t;
+                x.at2(i, idx) = 1.0f;
+            }
+            for (int j = 0; j < 36; ++j) {
+                x.at2(i, j) += static_cast<float>(
+                    data_rng.normal(0.0, 0.15));
+            }
+            labels[i] = vertical ? 1 : 0;
+        }
+    };
+
+    for (int epoch = 0; epoch < 60; ++epoch) {
+        Tensor x;
+        std::vector<int> labels;
+        make_batch(32, x, labels);
+        opt.zeroGrad();
+        Variable loss = crossEntropyLoss(
+            head.forward(relu(conv.forward(Variable(x)))), labels);
+        loss.backward();
+        opt.step();
+    }
+
+    Tensor x;
+    std::vector<int> labels;
+    make_batch(200, x, labels);
+    const Variable logits =
+        head.forward(relu(conv.forward(Variable(x))));
+    int correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        const int pred =
+            logits.value().at2(i, 1) > logits.value().at2(i, 0);
+        correct += pred == labels[i];
+    }
+    EXPECT_GT(correct, 180) << "conv net failed the bar task";
+}
+
+TEST(GruTest, StepShapesAndLearning)
+{
+    Rng rng(15);
+    const GruCell cell(4, 8, rng);
+    const Variable h0 = cell.initialState(3);
+    EXPECT_EQ(h0.value().shape(), (std::vector<int>{3, 8}));
+    const Variable h1 =
+        cell.step(Variable(Tensor::zeros({3, 4})), h0);
+    EXPECT_EQ(h1.value().shape(), (std::vector<int>{3, 8}));
+}
+
+TEST(GruTest, LearnsToRememberFirstInput)
+{
+    // Sequence task: after 3 steps output the first step's sign.
+    Rng rng(16);
+    GruCell cell(1, 8, rng);
+    Linear readout(8, 1, rng);
+    std::vector<Variable> params = cell.parameters();
+    for (const auto &p : readout.parameters())
+        params.push_back(p);
+    Adam opt(params, 0.02);
+
+    Rng data_rng(17);
+    double last_loss = 1e9;
+    for (int epoch = 0; epoch < 200; ++epoch) {
+        const int batch = 16;
+        Tensor first({batch, 1});
+        Tensor rest1({batch, 1});
+        Tensor rest2({batch, 1});
+        Tensor target({batch, 1});
+        for (int i = 0; i < batch; ++i) {
+            first.at2(i, 0) = data_rng.bernoulli(0.5) ? 1.0f : -1.0f;
+            rest1.at2(i, 0) = static_cast<float>(data_rng.normal(0, 0.3));
+            rest2.at2(i, 0) = static_cast<float>(data_rng.normal(0, 0.3));
+            target.at2(i, 0) = first.at2(i, 0);
+        }
+        opt.zeroGrad();
+        Variable h = cell.initialState(batch);
+        h = cell.step(Variable(first), h);
+        h = cell.step(Variable(rest1), h);
+        h = cell.step(Variable(rest2), h);
+        Variable loss = mseLoss(readout.forward(h), target);
+        loss.backward();
+        opt.step();
+        last_loss = loss.value()[0];
+    }
+    EXPECT_LT(last_loss, 0.2) << "GRU failed to carry state";
+}
+
+TEST(OptimTest, SgdMatchesHandComputedStep)
+{
+    Variable w(Tensor::full({1}, 1.0f), true);
+    Sgd sgd({w}, 0.1, 0.9);
+    // loss = w^2 -> grad 2w.
+    mseLoss(w, Tensor::zeros({1})).backward();
+    sgd.step(); // v = 2, w = 1 - 0.2 = 0.8
+    EXPECT_NEAR(w.value()[0], 0.8f, 1e-6f);
+    sgd.zeroGrad();
+    mseLoss(w, Tensor::zeros({1})).backward(); // grad = 1.6
+    sgd.step(); // v = 0.9*2 + 1.6 = 3.4, w = 0.8 - 0.34 = 0.46
+    EXPECT_NEAR(w.value()[0], 0.46f, 1e-5f);
+}
+
+TEST(OptimTest, AdamMinimizesQuadratic)
+{
+    Variable w(Tensor::full({4}, 5.0f), true);
+    Adam adam({w}, 0.1);
+    for (int i = 0; i < 300; ++i) {
+        adam.zeroGrad();
+        mseLoss(w, Tensor::zeros({4})).backward();
+        adam.step();
+    }
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(w.value()[i], 0.0f, 0.05f);
+}
+
+TEST(OptimTest, ClipGradNormCaps)
+{
+    Variable w(Tensor::full({4}, 1.0f), true);
+    scale(sumAll(w), 10.0).backward(); // grad = 10 each, norm 20.
+    const double before = clipGradNorm({w}, 1.0);
+    EXPECT_NEAR(before, 20.0, 1e-4);
+    double sq = 0.0;
+    for (size_t i = 0; i < 4; ++i)
+        sq += w.grad()[i] * w.grad()[i];
+    EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-4);
+}
+
+TEST(OptimTest, RejectsNonGradParameters)
+{
+    Variable w(Tensor::zeros({1}), false);
+    EXPECT_THROW(Sgd({w}, 0.1), std::logic_error);
+}
+
+TEST(SerializeTest, RoundTripRestoresWeights)
+{
+    Rng rng(18);
+    Mlp mlp({4, 8, 2}, rng);
+    auto params = mlp.parameters();
+    std::vector<float> saved_first;
+    for (size_t i = 0; i < params[0].value().numel(); ++i)
+        saved_first.push_back(params[0].value()[i]);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "sns_weights.bin")
+            .string();
+    saveParameters(path, params);
+
+    // Corrupt in memory, then restore from disk.
+    params[0].valueMutable().fill(0.0f);
+    loadParameters(path, params);
+    for (size_t i = 0; i < saved_first.size(); ++i)
+        EXPECT_FLOAT_EQ(params[0].value()[i], saved_first[i]);
+    std::remove(path.c_str());
+}
+
+TEST(SerializeTest, DetectsShapeMismatch)
+{
+    Rng rng(19);
+    Mlp a({4, 8, 2}, rng);
+    Mlp b({4, 9, 2}, rng);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "sns_weights2.bin")
+            .string();
+    auto pa = a.parameters();
+    saveParameters(path, pa);
+    auto pb = b.parameters();
+    EXPECT_EXIT(loadParameters(path, pb),
+                ::testing::ExitedWithCode(1), "mismatch");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace sns::nn

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Tests for the tensor and autograd layer. The centrepiece is a
+ * finite-difference gradient check applied to every differentiable op,
+ * since every model in the library rides on these gradients.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/autograd.hh"
+#include "tensor/gemm.hh"
+#include "tensor/tensor.hh"
+
+namespace sns::tensor {
+namespace {
+
+TEST(TensorTest, FactoriesAndShape)
+{
+    const Tensor z = Tensor::zeros({2, 3});
+    EXPECT_EQ(z.numel(), 6u);
+    EXPECT_EQ(z.ndim(), 2);
+    EXPECT_EQ(z.dim(1), 3);
+    EXPECT_EQ(z.shapeString(), "[2, 3]");
+
+    const Tensor f = Tensor::full({4}, 2.5f);
+    for (size_t i = 0; i < f.numel(); ++i)
+        EXPECT_FLOAT_EQ(f[i], 2.5f);
+
+    const Tensor s = Tensor::scalar(7.0f);
+    EXPECT_EQ(s.numel(), 1u);
+    EXPECT_FLOAT_EQ(s[0], 7.0f);
+}
+
+TEST(TensorTest, RandnMomentsAndUniformRange)
+{
+    Rng rng(3);
+    const Tensor n = Tensor::randn({10000}, rng, 2.0f);
+    double mean = 0.0;
+    for (size_t i = 0; i < n.numel(); ++i)
+        mean += n[i];
+    mean /= n.numel();
+    EXPECT_NEAR(mean, 0.0, 0.1);
+
+    const Tensor u = Tensor::uniform({1000}, rng, -1.0f, 1.0f);
+    for (size_t i = 0; i < u.numel(); ++i) {
+        EXPECT_GE(u[i], -1.0f);
+        EXPECT_LT(u[i], 1.0f);
+    }
+}
+
+TEST(TensorTest, ElementAccess)
+{
+    Tensor t = Tensor::fromValues({2, 3}, {1, 2, 3, 4, 5, 6});
+    EXPECT_FLOAT_EQ(t.at2(1, 2), 6.0f);
+    t.at2(0, 1) = 9.0f;
+    EXPECT_FLOAT_EQ(t[1], 9.0f);
+
+    Tensor t3 = Tensor::fromValues({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+    EXPECT_FLOAT_EQ(t3.at3(1, 0, 1), 5.0f);
+}
+
+TEST(TensorTest, ReshapePreservesDataAndChecksCount)
+{
+    const Tensor t = Tensor::fromValues({2, 3}, {1, 2, 3, 4, 5, 6});
+    const Tensor r = t.reshaped({3, 2});
+    EXPECT_FLOAT_EQ(r.at2(2, 1), 6.0f);
+    EXPECT_THROW(t.reshaped({4, 2}), std::logic_error);
+}
+
+TEST(TensorTest, AddScaledAndScale)
+{
+    Tensor a = Tensor::full({3}, 1.0f);
+    const Tensor b = Tensor::full({3}, 2.0f);
+    a.addScaled(b, 0.5f);
+    EXPECT_FLOAT_EQ(a[0], 2.0f);
+    a.scaleInPlace(2.0f);
+    EXPECT_FLOAT_EQ(a[2], 4.0f);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+// ---------------------------------------------------------------------
+// GEMM kernel
+// ---------------------------------------------------------------------
+
+void
+naiveGemm(const std::vector<float> &a, const std::vector<float> &b,
+          std::vector<float> &c, int m, int n, int k, bool ta, bool tb)
+{
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (int p = 0; p < k; ++p) {
+                const float av = ta ? a[p * m + i] : a[i * k + p];
+                const float bv = tb ? b[j * k + p] : b[p * n + j];
+                acc += av * bv;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+class GemmCase
+    : public ::testing::TestWithParam<std::tuple<bool, bool>>
+{
+};
+
+TEST_P(GemmCase, MatchesNaiveReference)
+{
+    const auto [ta, tb] = GetParam();
+    const int m = 5;
+    const int n = 7;
+    const int k = 4;
+    Rng rng(17);
+    std::vector<float> a(static_cast<size_t>(m) * k);
+    std::vector<float> b(static_cast<size_t>(k) * n);
+    for (auto &x : a)
+        x = static_cast<float>(rng.normal());
+    for (auto &x : b)
+        x = static_cast<float>(rng.normal());
+
+    std::vector<float> expected(static_cast<size_t>(m) * n, 0.5f);
+    std::vector<float> actual = expected;
+    naiveGemm(a, b, expected, m, n, k, ta, tb);
+    gemmAcc(a.data(), b.data(), actual.data(), m, n, k, ta, tb);
+    for (size_t i = 0; i < actual.size(); ++i)
+        EXPECT_NEAR(actual[i], expected[i], 1e-4f) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposes, GemmCase,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) ? "tA" : "nA") +
+               (std::get<1>(info.param) ? "tB" : "nB");
+    });
+
+// ---------------------------------------------------------------------
+// Autograd: finite-difference gradient checking
+// ---------------------------------------------------------------------
+
+using LossFn = std::function<Variable(const Variable &)>;
+
+/**
+ * Verify d(loss)/d(x) against central finite differences. The loss
+ * function must be a pure function of its input so the graph can be
+ * rebuilt per evaluation.
+ */
+void
+gradCheck(const Tensor &x0, const LossFn &f, float eps = 1e-2f,
+          float tol = 3e-2f)
+{
+    Variable x(x0, /*requires_grad=*/true);
+    Variable loss = f(x);
+    ASSERT_EQ(loss.value().numel(), 1u);
+    loss.backward();
+    const Tensor analytic = x.grad();
+
+    for (size_t i = 0; i < x0.numel(); ++i) {
+        Tensor xp = x0;
+        Tensor xm = x0;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const double fp = f(Variable(xp)).value()[0];
+        const double fm = f(Variable(xm)).value()[0];
+        const double numeric = (fp - fm) / (2.0 * eps);
+        const double a = analytic[i];
+        const double scale_ref =
+            1.0 + std::max(std::fabs(a), std::fabs(numeric));
+        EXPECT_NEAR(a, numeric, tol * scale_ref)
+            << "element " << i;
+    }
+}
+
+Tensor
+randomTensor(std::vector<int> shape, uint64_t seed, float stddev = 1.0f)
+{
+    Rng rng(seed);
+    return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+TEST(Autograd, MatmulGradients)
+{
+    const Tensor a0 = randomTensor({3, 4}, 1);
+    const Tensor b0 = randomTensor({4, 2}, 2);
+    gradCheck(a0, [&](const Variable &a) {
+        return sumAll(matmul(a, constant(b0)));
+    });
+    gradCheck(b0, [&](const Variable &b) {
+        return sumAll(matmul(constant(a0), b));
+    });
+}
+
+TEST(Autograd, BmmGradients)
+{
+    const Tensor a0 = randomTensor({2, 3, 4}, 3);
+    const Tensor b0 = randomTensor({2, 4, 2}, 4);
+    gradCheck(a0, [&](const Variable &a) {
+        return sumAll(bmm(a, constant(b0)));
+    });
+    gradCheck(b0, [&](const Variable &b) {
+        return sumAll(bmm(constant(a0), b));
+    });
+}
+
+TEST(Autograd, BmmTransBGradients)
+{
+    const Tensor a0 = randomTensor({2, 3, 4}, 5);
+    const Tensor b0 = randomTensor({2, 5, 4}, 6);
+    gradCheck(a0, [&](const Variable &a) {
+        return sumAll(bmmTransB(a, constant(b0)));
+    });
+    gradCheck(b0, [&](const Variable &b) {
+        return sumAll(bmmTransB(constant(a0), b));
+    });
+}
+
+TEST(Autograd, ElementwiseGradients)
+{
+    const Tensor x0 = randomTensor({2, 3}, 7);
+    const Tensor y0 = randomTensor({2, 3}, 8);
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(add(x, constant(y0)));
+    });
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(sub(constant(y0), x));
+    });
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(mul(x, constant(y0)));
+    });
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(mul(x, x)); // shared input accumulates
+    });
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(scale(addScalar(x, 1.5), -2.0));
+    });
+}
+
+TEST(Autograd, AddBiasGradients)
+{
+    const Tensor x0 = randomTensor({3, 4}, 9);
+    const Tensor b0 = randomTensor({4}, 10);
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(addBias(x, constant(b0)));
+    });
+    gradCheck(b0, [&](const Variable &b) {
+        return sumAll(addBias(constant(x0), b));
+    });
+}
+
+TEST(Autograd, NonlinearityGradients)
+{
+    // Keep values away from the ReLU kink for finite differences.
+    Tensor x0 = randomTensor({2, 5}, 11);
+    for (size_t i = 0; i < x0.numel(); ++i) {
+        if (std::fabs(x0[i]) < 0.1f)
+            x0[i] = 0.3f;
+    }
+    gradCheck(x0, [](const Variable &x) { return sumAll(relu(x)); });
+    gradCheck(x0, [](const Variable &x) { return sumAll(gelu(x)); });
+    gradCheck(x0, [](const Variable &x) { return sumAll(tanhOp(x)); });
+    gradCheck(x0, [](const Variable &x) { return sumAll(sigmoidOp(x)); });
+}
+
+TEST(Autograd, SoftmaxGradients)
+{
+    const Tensor x0 = randomTensor({3, 4}, 12);
+    const Tensor w0 = randomTensor({3, 4}, 13);
+    gradCheck(x0, [&](const Variable &x) {
+        // Weighted sum makes the Jacobian non-trivial.
+        return sumAll(mul(softmaxLastDim(x), constant(w0)));
+    });
+}
+
+TEST(Autograd, LayerNormGradients)
+{
+    const Tensor x0 = randomTensor({2, 6}, 14);
+    const Tensor g0 = randomTensor({6}, 15, 0.5f);
+    const Tensor b0 = randomTensor({6}, 16, 0.5f);
+    const Tensor w0 = randomTensor({2, 6}, 17);
+    auto weighted = [&](const Variable &y) {
+        return sumAll(mul(y, constant(w0)));
+    };
+    gradCheck(x0, [&](const Variable &x) {
+        return weighted(layerNorm(x, constant(g0), constant(b0)));
+    });
+    gradCheck(g0, [&](const Variable &g) {
+        return weighted(layerNorm(constant(x0), g, constant(b0)));
+    });
+    gradCheck(b0, [&](const Variable &b) {
+        return weighted(layerNorm(constant(x0), constant(g0), b));
+    });
+}
+
+TEST(Autograd, EmbeddingGradients)
+{
+    const Tensor w0 = randomTensor({5, 3}, 18);
+    const std::vector<int> ids = {1, 4, 1, 0};
+    gradCheck(w0, [&](const Variable &w) {
+        return sumAll(mul(embedding(w, ids, {4}),
+                          constant(randomTensor({4, 3}, 19))));
+    });
+}
+
+TEST(Autograd, SplitMergeHeadsRoundTripAndGradients)
+{
+    const Tensor x0 = randomTensor({2, 3, 4}, 20);
+    // Round trip reproduces the input exactly.
+    const Variable x(x0);
+    const Variable rt = mergeHeads(splitHeads(x, 2), 2);
+    for (size_t i = 0; i < x0.numel(); ++i)
+        EXPECT_FLOAT_EQ(rt.value()[i], x0[i]);
+
+    const Tensor w0 = randomTensor({4, 3, 2}, 21);
+    gradCheck(x0, [&](const Variable &v) {
+        return sumAll(mul(splitHeads(v, 2), constant(w0)));
+    });
+}
+
+TEST(Autograd, KeyPaddingMaskGradients)
+{
+    const Tensor s0 = randomTensor({4, 3, 3}, 22); // B=2, H=2
+    const std::vector<int> lengths = {2, 3};
+    const Tensor w0 = randomTensor({4, 3, 3}, 23);
+    gradCheck(s0, [&](const Variable &s) {
+        return sumAll(mul(softmaxLastDim(addKeyPaddingMask(s, lengths, 2)),
+                          constant(w0)));
+    });
+}
+
+TEST(Autograd, MeanPoolMaskedGradients)
+{
+    const Tensor x0 = randomTensor({2, 4, 3}, 24);
+    const std::vector<int> lengths = {2, 4};
+    const Tensor w0 = randomTensor({2, 3}, 25);
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(mul(meanPoolMasked(x, lengths), constant(w0)));
+    });
+}
+
+TEST(Autograd, MeanPoolMaskedIgnoresPaddedSteps)
+{
+    Tensor x0 = Tensor::zeros({1, 3, 2});
+    x0.at3(0, 0, 0) = 2.0f;
+    x0.at3(0, 1, 0) = 4.0f;
+    x0.at3(0, 2, 0) = 100.0f; // padded, must not contribute
+    const Variable pooled = meanPoolMasked(Variable(x0), {2});
+    EXPECT_FLOAT_EQ(pooled.value().at2(0, 0), 3.0f);
+}
+
+TEST(Autograd, GatherMeanRowsGradients)
+{
+    const Tensor x0 = randomTensor({4, 3}, 40);
+    const std::vector<std::vector<int>> groups = {
+        {0, 2}, {1}, {}, {0, 1, 3}};
+    const Tensor w0 = randomTensor({4, 3}, 41);
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(mul(gatherMeanRows(x, groups), constant(w0)));
+    });
+}
+
+TEST(Autograd, GatherMeanRowsValues)
+{
+    const Tensor x0 =
+        Tensor::fromValues({3, 2}, {1, 2, 3, 4, 5, 6});
+    const Variable y =
+        gatherMeanRows(Variable(x0), {{0, 2}, {}, {1, 1}});
+    EXPECT_FLOAT_EQ(y.value().at2(0, 0), 3.0f); // mean(1, 5)
+    EXPECT_FLOAT_EQ(y.value().at2(0, 1), 4.0f); // mean(2, 6)
+    EXPECT_FLOAT_EQ(y.value().at2(1, 0), 0.0f); // empty group
+    EXPECT_FLOAT_EQ(y.value().at2(2, 1), 4.0f); // duplicated row 1
+}
+
+TEST(Autograd, NoGradGuardSuppressesTape)
+{
+    Variable w(Tensor::full({2, 2}, 1.0f), true);
+    {
+        NoGradGuard guard;
+        EXPECT_FALSE(NoGradGuard::gradEnabled());
+        const Variable y = matmul(w, w);
+        EXPECT_FALSE(y.requiresGrad());
+        EXPECT_TRUE(y.impl()->parents.empty());
+    }
+    EXPECT_TRUE(NoGradGuard::gradEnabled());
+    const Variable y = matmul(w, w);
+    EXPECT_TRUE(y.requiresGrad());
+}
+
+TEST(Autograd, NoGradGuardNests)
+{
+    NoGradGuard outer;
+    {
+        NoGradGuard inner;
+        EXPECT_FALSE(NoGradGuard::gradEnabled());
+    }
+    EXPECT_FALSE(NoGradGuard::gradEnabled())
+        << "inner guard must restore the outer state, not enable";
+}
+
+TEST(Autograd, Im2colGradients)
+{
+    // 1-channel 4x4 image, 3x3 kernel, pad 1 -> 16 output positions.
+    const Tensor x0 = randomTensor({2, 16}, 50);
+    const Tensor w0 = randomTensor({2 * 16, 9}, 51);
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(mul(im2col(x, 1, 4, 4, 3, 3, 1), constant(w0)));
+    });
+}
+
+TEST(Autograd, Im2colValuesNoPadding)
+{
+    // 2x2 image, 2x2 kernel, no padding -> one output row = the image.
+    const Tensor x0 = Tensor::fromValues({1, 4}, {1, 2, 3, 4});
+    const Variable cols = im2col(Variable(x0), 1, 2, 2, 2, 2, 0);
+    ASSERT_EQ(cols.value().shape(), (std::vector<int>{1, 4}));
+    for (int j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(cols.value().at2(0, j), x0[j]);
+}
+
+TEST(Autograd, AvgPoolGradientsAndValues)
+{
+    const Tensor x0 = randomTensor({2, 32}, 52); // 2ch 4x4 HWC
+    const Tensor w0 = randomTensor({2, 8}, 53);
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(mul(avgPool2x2(x, 2, 4, 4), constant(w0)));
+    });
+
+    // Hand-checked value: 1-channel 2x2 image pools to its mean.
+    const Tensor y0 = Tensor::fromValues({1, 4}, {1, 3, 5, 7});
+    const Variable pooled = avgPool2x2(Variable(y0), 1, 2, 2);
+    ASSERT_EQ(pooled.value().numel(), 1u);
+    EXPECT_FLOAT_EQ(pooled.value()[0], 4.0f);
+}
+
+TEST(Autograd, ReshapeConcatRowGradients)
+{
+    const Tensor x0 = randomTensor({2, 6}, 26);
+    const Tensor y0 = randomTensor({2, 2}, 27);
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(mul(reshape(x, {3, 4}),
+                          constant(randomTensor({3, 4}, 28))));
+    });
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(mul(concatCols(x, constant(y0)),
+                          constant(randomTensor({2, 8}, 29))));
+    });
+    gradCheck(x0, [&](const Variable &x) {
+        return sumAll(mul(row(x, 1), constant(randomTensor({1, 6}, 30))));
+    });
+}
+
+TEST(Autograd, LossGradients)
+{
+    const Tensor p0 = randomTensor({3, 2}, 31);
+    const Tensor t0 = randomTensor({3, 2}, 32);
+    gradCheck(p0, [&](const Variable &p) { return mseLoss(p, t0); });
+
+    Tensor bt = Tensor::fromValues({4}, {0.0f, 1.0f, 1.0f, 0.0f});
+    const Tensor z0 = randomTensor({4}, 33);
+    gradCheck(z0,
+              [&](const Variable &z) { return bceWithLogitsLoss(z, bt); });
+
+    const Tensor logits0 = randomTensor({3, 5}, 34);
+    const std::vector<int> labels = {2, 0, 4};
+    gradCheck(logits0, [&](const Variable &z) {
+        return crossEntropyLoss(z, labels);
+    });
+    const std::vector<float> weights = {0.5f, -1.0f, 2.0f};
+    gradCheck(logits0, [&](const Variable &z) {
+        return weightedNllLoss(z, labels, weights);
+    });
+}
+
+TEST(Autograd, DropoutEvalIsIdentityTrainScales)
+{
+    const Tensor x0 = Tensor::full({1000}, 1.0f);
+    Rng rng(35);
+    const Variable x(x0);
+    const Variable eval_out = dropout(x, 0.4, rng, /*train=*/false);
+    EXPECT_FLOAT_EQ(eval_out.value()[0], 1.0f);
+
+    const Variable train_out = dropout(x, 0.4, rng, /*train=*/true);
+    double mean = 0.0;
+    int zeros = 0;
+    for (size_t i = 0; i < 1000; ++i) {
+        mean += train_out.value()[i];
+        zeros += train_out.value()[i] == 0.0f;
+    }
+    mean /= 1000.0;
+    EXPECT_NEAR(mean, 1.0, 0.1) << "inverted dropout preserves scale";
+    EXPECT_NEAR(zeros / 1000.0, 0.4, 0.07);
+}
+
+TEST(Autograd, NoGradChainRecordsNoTape)
+{
+    const Variable a(Tensor::full({2, 2}, 1.0f));
+    const Variable b(Tensor::full({2, 2}, 2.0f));
+    const Variable c = matmul(a, b);
+    EXPECT_FALSE(c.requiresGrad());
+    EXPECT_TRUE(c.impl()->parents.empty());
+}
+
+TEST(Autograd, BackwardRequiresScalar)
+{
+    Variable x(Tensor::zeros({2, 2}), true);
+    EXPECT_THROW(x.backward(), std::logic_error);
+}
+
+TEST(Autograd, GradAccumulatesAcrossBackwards)
+{
+    Variable x(Tensor::full({2}, 3.0f), true);
+    sumAll(x).backward();
+    sumAll(x).backward();
+    EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+    x.zeroGrad();
+    sumAll(x).backward();
+    EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(Autograd, DiamondGraphAccumulatesBothBranches)
+{
+    // loss = sum(x*x + x) -> d/dx = 2x + 1.
+    Variable x(Tensor::full({3}, 2.0f), true);
+    Variable loss = sumAll(add(mul(x, x), x));
+    loss.backward();
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(x.grad()[i], 5.0f);
+}
+
+TEST(Autograd, MeanAllMatchesSumOverN)
+{
+    Variable x(Tensor::full({4}, 2.0f), true);
+    meanAll(x).backward();
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(x.grad()[i], 0.25f);
+}
+
+} // namespace
+} // namespace sns::tensor

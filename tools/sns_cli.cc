@@ -1,0 +1,262 @@
+/**
+ * @file
+ * sns-cli — the command-line face of the library.
+ *
+ *   sns-cli train   --out=DIR [--dataset=paper|smoke] [--fast] [--seed=N]
+ *   sns-cli predict --model=DIR DESIGN.{snl,v} [...]
+ *   sns-cli synth   DESIGN.snl [...]
+ *   sns-cli paths   DESIGN.snl [--k=5] [--limit=N]
+ *   sns-cli dot     DESIGN.snl
+ *
+ * `train` runs the Fig.-4 flow on the built-in design dataset and
+ * persists the predictor; `predict` loads it and prints area / power /
+ * timing plus the located critical path for each SNL design; `synth`
+ * runs the reference synthesizer for comparison; `paths` dumps sampled
+ * complete circuit paths; `dot` emits Graphviz.
+ */
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hh"
+#include "designs/designs.hh"
+#include "netlist/snl_parser.hh"
+#include "netlist/verilog_parser.hh"
+#include "sampler/path_sampler.hh"
+#include "util/string_utils.hh"
+#include "util/timer.hh"
+
+namespace {
+
+using namespace sns;
+
+struct CliArgs
+{
+    std::string command;
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    bool has(const std::string &flag) const { return flags.count(flag); }
+
+    std::string
+    get(const std::string &flag, const std::string &fallback) const
+    {
+        const auto it = flags.find(flag);
+        return it == flags.end() ? fallback : it->second;
+    }
+};
+
+CliArgs
+parseArgs(int argc, char **argv)
+{
+    CliArgs args;
+    if (argc >= 2)
+        args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (startsWith(arg, "--")) {
+            const auto eq = arg.find('=');
+            if (eq == std::string::npos)
+                args.flags[arg.substr(2)] = "1";
+            else
+                args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        } else {
+            args.positional.push_back(arg);
+        }
+    }
+    return args;
+}
+
+/** Load .v/.sv as Verilog, anything else as SNL. */
+graphir::Graph
+loadDesign(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : path.substr(dot);
+    if (ext == ".v" || ext == ".sv")
+        return netlist::loadVerilogFile(path);
+    return netlist::loadSnlFile(path);
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  sns-cli train   --out=DIR [--dataset=paper|smoke] "
+           "[--fast] [--seed=N]\n"
+        << "  sns-cli predict --model=DIR DESIGN.{snl,v} [...]\n"
+        << "  sns-cli synth   DESIGN.snl [...]\n"
+        << "  sns-cli paths   DESIGN.snl [--k=5] [--limit=20]\n"
+        << "  sns-cli dot     DESIGN.snl\n";
+    return 1;
+}
+
+int
+cmdTrain(const CliArgs &args)
+{
+    if (!args.has("out")) {
+        std::cerr << "train requires --out=DIR\n";
+        return 1;
+    }
+    const uint64_t seed = std::stoull(args.get("seed", "7"));
+    const bool fast = args.has("fast");
+    const std::string which = args.get("dataset", "paper");
+
+    synth::Synthesizer oracle{synth::SynthesisOptions{}};
+    const auto specs = which == "smoke"
+                           ? designs::DesignLibrary::smokeSet()
+                           : designs::DesignLibrary::paperDataset();
+    std::cerr << "synthesizing the " << specs.size()
+              << "-design dataset...\n";
+    const auto dataset =
+        core::HardwareDesignDataset::build(specs, oracle);
+    std::vector<size_t> all_indices;
+    for (size_t i = 0; i < dataset.size(); ++i)
+        all_indices.push_back(i);
+
+    core::TrainerConfig config =
+        fast ? core::TrainerConfig::fast() : core::TrainerConfig();
+    if (!fast) {
+        // A balanced single-core default (the full Table-6 schedule is
+        // available through the bench harnesses' --full).
+        config.circuitformer_epochs = 24;
+        config.model.encoder.d_model = 64;
+        config.model.encoder.d_ff = 256;
+        config.mlp.epochs = 4096;
+        config.path_data.max_paths_per_design = 48;
+        config.path_data.markov_paths = 192;
+        config.path_data.seqgan_paths = 256;
+    }
+    config.seed = seed;
+
+    std::cerr << "training...\n";
+    WallTimer timer;
+    core::SnsTrainer trainer(config);
+    const auto predictor = trainer.train(dataset, all_indices, oracle);
+    predictor.save(args.get("out", ""));
+    std::cout << "trained on " << dataset.size() << " designs in "
+              << formatDouble(timer.seconds(), 1)
+              << " s; model saved to " << args.get("out", "") << "\n";
+    return 0;
+}
+
+int
+cmdPredict(const CliArgs &args)
+{
+    if (!args.has("model") || args.positional.empty()) {
+        std::cerr << "predict requires --model=DIR and at least one "
+                     ".snl file\n";
+        return 1;
+    }
+    const auto predictor = core::SnsPredictor::load(args.get("model", ""));
+    const auto &vocab = graphir::Vocabulary::instance();
+    for (const auto &path : args.positional) {
+        const auto design = loadDesign(path);
+        WallTimer timer;
+        const auto pred = predictor.predict(design);
+        std::cout << design.name() << ": area "
+                  << formatDouble(pred.area_um2, 1) << " um2, power "
+                  << formatDouble(pred.power_mw, 4) << " mW, timing "
+                  << formatDouble(pred.timing_ps, 1) << " ps  ("
+                  << pred.paths_sampled << " paths, "
+                  << formatDouble(timer.seconds(), 3) << " s)\n";
+        std::cout << "  critical path: ";
+        for (size_t i = 0; i < pred.critical_path.size(); ++i) {
+            std::cout << (i ? " -> " : "")
+                      << vocab.tokenString(
+                             design.token(pred.critical_path[i]));
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int
+cmdSynth(const CliArgs &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "synth requires at least one .snl file\n";
+        return 1;
+    }
+    synth::Synthesizer oracle{synth::SynthesisOptions{}};
+    for (const auto &path : args.positional) {
+        const auto design = loadDesign(path);
+        WallTimer timer;
+        const auto result = oracle.run(design);
+        std::cout << design.name() << ": area "
+                  << formatDouble(result.area_um2, 1) << " um2, power "
+                  << formatDouble(result.power_mw, 4) << " mW, timing "
+                  << formatDouble(result.timing_ps, 1) << " ps, "
+                  << formatEng(result.gate_count) << " gates  ("
+                  << formatDouble(timer.seconds(), 3) << " s)\n";
+    }
+    return 0;
+}
+
+int
+cmdPaths(const CliArgs &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "paths requires an .snl file\n";
+        return 1;
+    }
+    const auto design = loadDesign(args.positional[0]);
+    sampler::SamplerOptions sopts;
+    sopts.k = std::stod(args.get("k", "5"));
+    const size_t limit = std::stoull(args.get("limit", "20"));
+    const auto paths = sampler::PathSampler(sopts).sample(design);
+    const auto &vocab = graphir::Vocabulary::instance();
+    std::cout << paths.size() << " complete circuit paths sampled (k="
+              << sopts.k << "); showing up to " << limit << ":\n";
+    for (size_t p = 0; p < paths.size() && p < limit; ++p) {
+        std::cout << "  [";
+        for (size_t i = 0; i < paths[p].tokens.size(); ++i) {
+            std::cout << (i ? ", " : "")
+                      << vocab.tokenString(paths[p].tokens[i]);
+        }
+        std::cout << "]\n";
+    }
+    return 0;
+}
+
+int
+cmdDot(const CliArgs &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "dot requires an .snl file\n";
+        return 1;
+    }
+    const auto design = loadDesign(args.positional[0]);
+    design.writeDot(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args = parseArgs(argc, argv);
+    try {
+        if (args.command == "train")
+            return cmdTrain(args);
+        if (args.command == "predict")
+            return cmdPredict(args);
+        if (args.command == "synth")
+            return cmdSynth(args);
+        if (args.command == "paths")
+            return cmdPaths(args);
+        if (args.command == "dot")
+            return cmdDot(args);
+    } catch (const std::exception &e) {
+        // Front-end parse errors (SnlError, VerilogError) and internal
+        // invariant failures all derive from std::exception.
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
