@@ -9,6 +9,7 @@
 #include "gen/seqgan.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "verify/analyzer.hh"
 
 namespace sns::core {
 
@@ -28,6 +29,17 @@ HardwareDesignDataset::build(const std::vector<designs::DesignSpec> &specs,
         record.graph = spec.build();
         record.truth = synthesizer.run(record.graph);
         dataset.records_.push_back(std::move(record));
+    }
+    // Dataset boundary: every ground-truth label must be usable before
+    // it can reach a training loop.
+    if (verify::enabled()) {
+        verify::Report report;
+        for (const auto &record : dataset.records_) {
+            report.merge(verify::checkLabels(
+                record.truth.timing_ps, record.truth.area_um2,
+                record.truth.power_mw, "design '" + record.name + "'"));
+        }
+        verify::enforce(std::move(report), "HardwareDesignDataset");
     }
     return dataset;
 }
@@ -65,6 +77,18 @@ HardwareDesignDataset::splitByBase(double train_fraction,
                "degenerate split: adjust train_fraction");
     std::sort(train.begin(), train.end());
     std::sort(test.begin(), test.end());
+    // Machine-check the §4.1 fairness rule rather than trusting the
+    // construction above: no base family may straddle the boundary.
+    if (verify::enabled()) {
+        std::vector<std::string> train_bases;
+        std::vector<std::string> test_bases;
+        for (size_t idx : train)
+            train_bases.push_back(records_[idx].base);
+        for (size_t idx : test)
+            test_bases.push_back(records_[idx].base);
+        verify::enforce(verify::checkSplit(train_bases, test_bases),
+                        "HardwareDesignDataset::splitByBase");
+    }
     return {std::move(train), std::move(test)};
 }
 
@@ -191,6 +215,24 @@ buildCircuitPathDataset(const HardwareDesignDataset &designs,
         }
     }
 
+    // Dataset boundary: every record that will feed the Circuitformer
+    // must be a legal path with finite labels. The +8 mirrors the
+    // length-stratified Markov generator's endpoint-forcing overshoot.
+    if (verify::enabled()) {
+        verify::Report report;
+        for (size_t i = 0; i < dataset.size(); ++i) {
+            const auto &record = dataset.records()[i];
+            const std::string where =
+                "path record " + std::to_string(i);
+            report.merge(verify::checkPath(
+                record.tokens, options.sampler.max_path_length + 8,
+                where));
+            report.merge(verify::checkLabels(record.timing_ps,
+                                             record.area_um2,
+                                             record.power_mw, where));
+        }
+        verify::enforce(std::move(report), "CircuitPathDataset");
+    }
     return dataset;
 }
 

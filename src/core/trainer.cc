@@ -1,8 +1,10 @@
 #include "core/trainer.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hh"
+#include "verify/diagnostics.hh"
 
 namespace sns::core {
 
@@ -77,6 +79,21 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
         point.train_loss = circuitformer->trainEpoch(
             train_paths, optimizer, epoch_rng, config_.circuitformer_batch);
         point.validation_loss = circuitformer->evaluateLoss(val_paths);
+        // A NaN/Inf loss means training has diverged; later epochs
+        // cannot recover, so flag it the moment it appears.
+        if (verify::enabled() && (!std::isfinite(point.train_loss) ||
+                                  !std::isfinite(point.validation_loss))) {
+            verify::Report report;
+            report.error(verify::rules::kTrainLoss,
+                         "epoch " + std::to_string(epoch),
+                         "non-finite loss (train=" +
+                             std::to_string(point.train_loss) +
+                             ", validation=" +
+                             std::to_string(point.validation_loss) + ")",
+                         "lower the learning rate or check the dataset "
+                         "labels");
+            verify::enforce(std::move(report), "SnsTrainer::train");
+        }
         loss_curve_.push_back(point);
     }
 

@@ -1,31 +1,24 @@
 #include "gen/path_check.hh"
 
+#include "verify/analyzer.hh"
+
 namespace sns::gen {
 
 using graphir::TokenId;
-using graphir::Vocabulary;
 
 bool
 isValidCircuitPath(const std::vector<TokenId> &tokens, size_t max_length)
 {
-    if (tokens.size() < 2 || tokens.size() > max_length)
-        return false;
-    const auto &vocab = Vocabulary::instance();
-    for (TokenId token : tokens) {
-        if (token < 0 || token >= vocab.circuitSize())
-            return false;
-    }
-    if (!vocab.isEndpointToken(tokens.front()) ||
-        !vocab.isEndpointToken(tokens.back())) {
-        return false;
-    }
-    // Interior vertices must be combinational: an endpoint inside the
-    // sequence would have terminated the path earlier.
-    for (size_t i = 1; i + 1 < tokens.size(); ++i) {
-        if (vocab.isEndpointToken(tokens[i]))
-            return false;
-    }
-    return true;
+    // The boolean view of verify::checkPath — the generators use it as
+    // a rejection filter, the analyzer reports the structured reasons.
+    return !verify::checkPath(tokens, max_length).hasErrors();
+}
+
+verify::Report
+checkCircuitPath(const std::vector<TokenId> &tokens, size_t max_length,
+                 const std::string &where)
+{
+    return verify::checkPath(tokens, max_length, where);
 }
 
 } // namespace sns::gen

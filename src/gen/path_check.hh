@@ -3,22 +3,34 @@
  * Validity rules for complete circuit paths, shared by the generative
  * models: a usable path begins and ends on an endpoint token (io/dff),
  * has only circuit tokens, and stays within the Circuitformer's input
- * limit.
+ * limit. The structured rule implementations live in verify::checkPath
+ * (rule ids P-*); this header keeps the cheap boolean filter the
+ * generators reject candidates with, plus a reporting variant.
  */
 
 #ifndef SNS_GEN_PATH_CHECK_HH
 #define SNS_GEN_PATH_CHECK_HH
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "graphir/vocabulary.hh"
+#include "verify/diagnostics.hh"
 
 namespace sns::gen {
 
 /** True if tokens form a structurally valid complete circuit path. */
 bool isValidCircuitPath(const std::vector<graphir::TokenId> &tokens,
                         size_t max_length = 512);
+
+/**
+ * Structured variant: one diagnostic per violated path rule (P-SHORT,
+ * P-LONG, P-OOV, P-ENDPOINT, P-INTERIOR).
+ */
+verify::Report checkCircuitPath(
+    const std::vector<graphir::TokenId> &tokens, size_t max_length = 512,
+    const std::string &where = "path");
 
 } // namespace sns::gen
 

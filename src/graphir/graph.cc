@@ -65,6 +65,12 @@ Graph::tokenCounts() const
 bool
 Graph::combinationallyAcyclic() const
 {
+    return findCombinationalCycle().empty();
+}
+
+std::vector<NodeId>
+Graph::findCombinationalCycle() const
+{
     // Iterative DFS over the combinational subgraph: edges leaving a
     // sequential vertex are cut, so a cycle through a register is fine.
     enum class Mark : uint8_t { White, Grey, Black };
@@ -86,15 +92,25 @@ Graph::combinationallyAcyclic() const
                 continue;
             }
             const NodeId next = out_[node][idx++];
-            if (mark[next] == Mark::Grey)
-                return false;
+            if (mark[next] == Mark::Grey) {
+                // The stack suffix from `next` onwards is the cycle.
+                std::vector<NodeId> cycle;
+                bool in_cycle = false;
+                for (const auto &[n, i] : stack) {
+                    if (n == next)
+                        in_cycle = true;
+                    if (in_cycle)
+                        cycle.push_back(n);
+                }
+                return cycle;
+            }
             if (mark[next] == Mark::White) {
                 mark[next] = Mark::Grey;
                 stack.emplace_back(next, 0);
             }
         }
     }
-    return true;
+    return {};
 }
 
 std::vector<NodeId>
@@ -139,15 +155,56 @@ Graph::combinationalTopoOrder() const
     return order;
 }
 
-void
+verify::Report
 Graph::validate() const
 {
+    verify::Report report;
+    const auto &vocab = Vocabulary::instance();
+    const auto loc = [this, &vocab](NodeId id) {
+        return name_ + ": node " + std::to_string(id) + " (" +
+               vocab.tokenString(nodes_[id].token) + ")";
+    };
+
     for (NodeId id = 0; id < nodes_.size(); ++id) {
-        for (NodeId next : out_[id])
-            check(next);
+        const Node &node = nodes_[id];
+        for (NodeId next : out_[id]) {
+            if (next >= nodes_.size()) {
+                report.error(verify::rules::kGraphEdge,
+                             name_ + ": node " + std::to_string(id),
+                             "edge target " + std::to_string(next) +
+                                 " out of range [0, " +
+                                 std::to_string(nodes_.size()) + ")");
+            }
+        }
+        const int rounded = roundWidth(node.type, node.raw_width);
+        if (node.width != rounded) {
+            report.error(verify::rules::kGraphWidth, loc(id),
+                         "stored width " + std::to_string(node.width) +
+                             " differs from rounded raw width " +
+                             std::to_string(rounded) + " (§3.1)",
+                         "re-add the vertex through Graph::addNode");
+        } else if (node.token != vocab.tokenId(node.type, node.width)) {
+            report.error(verify::rules::kVocabNode, loc(id),
+                         "token id " + std::to_string(node.token) +
+                             " does not encode (type, width)");
+        }
+        if (!(node.activity >= 0.0 && node.activity <= 1.0)) {
+            report.error(verify::rules::kGraphActivity, loc(id),
+                         "activity coefficient out of [0, 1]");
+        }
     }
-    SNS_ASSERT(combinationallyAcyclic(),
-               "design '", name_, "' has a combinational loop");
+
+    const auto cycle = findCombinationalCycle();
+    if (!cycle.empty()) {
+        std::string path;
+        for (NodeId id : cycle)
+            path += loc(id) + " -> ";
+        path += loc(cycle.front());
+        report.error(verify::rules::kGraphCycle, name_,
+                     "combinational cycle: " + path,
+                     "break the loop with a register (dff)");
+    }
+    return report;
 }
 
 void

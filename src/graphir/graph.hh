@@ -19,6 +19,7 @@
 #include "graphir/node_type.hh"
 #include "graphir/vocabulary.hh"
 #include "util/logging.hh"
+#include "verify/diagnostics.hh"
 
 namespace sns::graphir {
 
@@ -117,14 +118,28 @@ class Graph
     std::vector<double> tokenCounts() const;
 
     /**
-     * Verify structural invariants: edge targets in range, port/register
-     * boundary breaks every combinational cycle. Calls panic() on
-     * violation (these indicate front-end bugs, not user error).
+     * Verify structural invariants — edge targets in range, stored
+     * width/token agreeing with the §3.1 rounding rule, activity
+     * coefficients in range, port/register boundary breaking every
+     * combinational cycle — and return one diagnostic per violation
+     * (which invariant, which node). Never throws: pipeline boundaries
+     * pass the report to verify::enforce(), which applies the
+     * process-wide policy (fatal in tests, log-and-count in release);
+     * sns_lint prints it. The deeper whole-graph rules (dangling and
+     * multi-driven nets, dead logic, register sanity) live in
+     * verify::GraphAnalyzer.
      */
-    void validate() const;
+    verify::Report validate() const;
 
     /** True if the combinational subgraph is acyclic. */
     bool combinationallyAcyclic() const;
+
+    /**
+     * The vertices of one combinational cycle (in edge order, first
+     * vertex not repeated), or an empty vector if the combinational
+     * subgraph is acyclic.
+     */
+    std::vector<NodeId> findCombinationalCycle() const;
 
     /**
      * Vertices in a topological order of the combinational subgraph

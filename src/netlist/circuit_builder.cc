@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/logging.hh"
+#include "verify/analyzer.hh"
 
 namespace sns::netlist {
 
@@ -209,7 +210,13 @@ CircuitBuilder::connect(NodeId from, NodeId to)
 Graph
 CircuitBuilder::build()
 {
-    graph_.validate();
+    // Full static analysis at the programmatic front-end boundary:
+    // fatal on ERROR under the default (test) policy, log-and-count
+    // under SNS_VERIFY=count, collected when a lint tool is driving.
+    if (verify::enabled()) {
+        verify::enforce(verify::GraphAnalyzer().run(graph_),
+                        "CircuitBuilder(" + graph_.name() + ")");
+    }
     return std::move(graph_);
 }
 

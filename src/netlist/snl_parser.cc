@@ -6,6 +6,7 @@
 
 #include "util/logging.hh"
 #include "util/string_utils.hh"
+#include "verify/analyzer.hh"
 
 namespace sns::netlist {
 
@@ -140,9 +141,18 @@ parseSnl(const std::string &source)
         }
     }
 
-    if (!graph.combinationallyAcyclic()) {
-        throw SnlError(line_no, "design '" + design_name +
-                                "' has a combinational loop");
+    // Static verification at the front-end boundary. Under a lint
+    // tool's CollectGuard every finding is gathered; otherwise a
+    // structural ERROR (combinational loop, width-rule violation,
+    // dangling net, ...) is malformed user input and raises SnlError.
+    if (verify::enabled()) {
+        auto report = verify::GraphAnalyzer().run(graph);
+        if (verify::collecting()) {
+            verify::enforce(std::move(report), "snl:" + design_name);
+        } else if (report.hasErrors()) {
+            throw SnlError(line_no, "design '" + design_name + "': " +
+                                        report.summary());
+        }
     }
     return graph;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/logging.hh"
+#include "verify/analyzer.hh"
 
 namespace sns::netlist {
 
@@ -619,7 +620,19 @@ class Elaborator
             }
         }
 
-        graph_.validate();
+        // Front-end boundary verification (see snl_parser for the
+        // policy): collect under a lint tool, raise VerilogError on
+        // structural errors otherwise.
+        if (verify::enabled()) {
+            auto report = verify::GraphAnalyzer().run(graph_);
+            if (verify::collecting()) {
+                verify::enforce(std::move(report),
+                                "verilog:" + graph_.name());
+            } else if (report.hasErrors()) {
+                throw VerilogError(1, "module '" + graph_.name() +
+                                           "': " + report.summary());
+            }
+        }
         return std::move(graph_);
     }
 

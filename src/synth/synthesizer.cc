@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "util/logging.hh"
+#include "verify/analyzer.hh"
 
 namespace sns::synth {
 
@@ -410,6 +411,15 @@ Synthesizer::run(const Graph &graph) const
         result.power_mw *= jitter(seed, options_.heuristic_noise);
     }
 
+    // Ground-truth boundary: a non-finite or negative PPA figure here
+    // would silently poison every dataset built on top of this run.
+    if (verify::enabled()) {
+        verify::enforce(
+            verify::checkSynthesisResult(result.timing_ps, result.area_um2,
+                                         result.power_mw,
+                                         result.gate_count, graph.name()),
+            "Synthesizer::run");
+    }
     return result;
 }
 

@@ -5,10 +5,40 @@
 #include <unordered_set>
 
 #include "tensor/gemm.hh"
+#include "verify/diagnostics.hh"
 
 namespace sns::tensor {
 
 using detail::VarImpl;
+
+namespace {
+
+/**
+ * Debug-mode tensor sentinel (rule T-NONFINITE): scan a tensor for
+ * NaN/Inf at an autograd boundary. Active only when
+ * verify::tensorSentinelEnabled(); the scan is O(numel), which is why
+ * it is opt-in rather than always-on.
+ */
+void
+sentinelScan(const Tensor &tensor, const std::string &where)
+{
+    if (!verify::tensorSentinelEnabled())
+        return;
+    for (size_t i = 0; i < tensor.numel(); ++i) {
+        if (std::isfinite(tensor[i]))
+            continue;
+        verify::Report report;
+        report.error(verify::rules::kTensorNotFinite,
+                     where + " " + tensor.shapeString(),
+                     "non-finite value at flat index " + std::to_string(i),
+                     "enable SNS_TENSOR_SENTINEL earlier in the pipeline "
+                     "to find where the NaN/Inf is first produced");
+        verify::enforce(std::move(report), "tensor sentinel");
+        return; // Count mode: one diagnostic per tensor is enough.
+    }
+}
+
+} // namespace
 
 Variable::Variable(Tensor value, bool requires_grad)
 {
@@ -95,10 +125,26 @@ Variable::backward()
     }
 
     impl_->ensureGrad().fill(1.0f);
+    const bool sentinel = verify::tensorSentinelEnabled();
     for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
         VarImpl *node = *it;
-        if (node->backward_fn && node->grad_ready)
-            node->backward_fn(*node);
+        if (!node->backward_fn || !node->grad_ready)
+            continue;
+        if (sentinel) {
+            // Shape drift between a value and its gradient corrupts
+            // every accumulation downstream of this node (T-SHAPE).
+            if (!node->grad.sameShape(node->value)) {
+                verify::Report report;
+                report.error(verify::rules::kTensorShape,
+                             "backward node " + node->value.shapeString(),
+                             "gradient shape " + node->grad.shapeString() +
+                                 " does not match value shape",
+                             "check the op's backward closure");
+                verify::enforce(std::move(report), "tensor sentinel");
+            }
+            sentinelScan(node->grad, "gradient");
+        }
+        node->backward_fn(*node);
     }
 }
 
@@ -144,6 +190,7 @@ makeNode(Tensor value, const std::vector<Variable> &inputs,
     }
     needs_grad &= grad_mode_enabled;
     Variable result(std::move(value), needs_grad);
+    sentinelScan(result.value(), "op result");
     if (needs_grad) {
         auto &impl = *result.impl();
         impl.parents.reserve(inputs.size());

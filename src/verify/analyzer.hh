@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The sns::verify pass manager and its registered checkers.
+ *
+ * GraphAnalyzer runs an ordered set of named checkers over a GraphIR
+ * circuit and returns a combined Report. The default registry covers
+ * the structural invariants every pipeline boundary relies on:
+ *
+ *   structure    edge targets in range, width/token/vocabulary
+ *                consistency, activity coefficients, combinational
+ *                cycle detection with the vertices of one offending
+ *                cycle (Graph::validate)
+ *   drivers      multi-driven registers/ports/unary units, dangling
+ *                (undriven) combinational operators, arity oddities
+ *   widths       the §3.1 width rule: no operator may be declared
+ *                narrower than the data it consumes
+ *   liveness     dead logic (values never observed at a register or
+ *                port) and unreachable vertices
+ *   registers    floating and degenerate self-loop registers
+ *
+ * Dataset-side checks (circuit-path legality, label sanity, train/test
+ * leakage) and the vocabulary self-check live here too so that the
+ * gen/core pipelines and the sns_lint tool share one implementation.
+ */
+
+#ifndef SNS_VERIFY_ANALYZER_HH
+#define SNS_VERIFY_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "graphir/graph.hh"
+#include "verify/diagnostics.hh"
+
+namespace sns::verify {
+
+/** A named graph checker registered with the analyzer. */
+struct GraphChecker
+{
+    std::string name;         ///< registry key, e.g. "cycles"
+    std::string description;  ///< one-line purpose
+    void (*run)(const graphir::Graph &, Report &);
+};
+
+/** Pass-manager over GraphIR checkers. */
+class GraphAnalyzer
+{
+  public:
+    /** An analyzer pre-loaded with the default checker registry. */
+    GraphAnalyzer();
+
+    /** Register an extra checker (appended after the defaults). */
+    void addChecker(GraphChecker checker);
+
+    /** Drop a registered checker by name (no-op if absent). */
+    void disableChecker(const std::string &name);
+
+    /** The current registry, in execution order. */
+    const std::vector<GraphChecker> &checkers() const { return checkers_; }
+
+    /** Run every registered checker over the graph. */
+    Report run(const graphir::Graph &graph) const;
+
+    /** The default checker registry. */
+    static std::vector<GraphChecker> defaultCheckers();
+
+  private:
+    std::vector<GraphChecker> checkers_;
+};
+
+/** @name Individual graph checkers (exposed for tests and tools)
+ * @{
+ */
+void checkStructure(const graphir::Graph &graph, Report &report);
+void checkDrivers(const graphir::Graph &graph, Report &report);
+void checkWidths(const graphir::Graph &graph, Report &report);
+void checkLiveness(const graphir::Graph &graph, Report &report);
+void checkRegisters(const graphir::Graph &graph, Report &report);
+/** @} */
+
+/**
+ * Vocabulary self-check: every (type, legal width) pair must round-trip
+ * id -> string -> id, and the id space must be dense and collision-free.
+ */
+Report checkVocabularyRoundTrip();
+
+/**
+ * Circuit-path legality (the structured generalization of
+ * gen::isValidCircuitPath): length bounds, circuit-token range,
+ * endpoint first/last, combinational interior.
+ *
+ * @param where location prefix for diagnostics, e.g. "path 12"
+ */
+Report checkPath(const std::vector<graphir::TokenId> &tokens,
+                 size_t max_length = 512,
+                 const std::string &where = "path");
+
+/** Label sanity: finite, non-negative area/power, positive timing. */
+Report checkLabels(double timing_ps, double area_um2, double power_mw,
+                   const std::string &where);
+
+/**
+ * Train/test leakage: no base family (or design name) may appear on
+ * both sides of a split (§4.1 fairness rule). Comparison is by a
+ * deterministic hash of the name so huge splits stay cheap.
+ */
+Report checkSplit(const std::vector<std::string> &train_names,
+                  const std::vector<std::string> &test_names);
+
+/**
+ * Lint a textual circuit-path dataset file. Format: one record per
+ * line, '#' comments; whitespace-separated token names, ';', then
+ * three labels (timing_ps area_um2 power_mw):
+ *
+ *     dff16 mul32 add32 dff32 ; 812.5 140.2 0.61
+ */
+Report lintPathDatasetFile(const std::string &path);
+
+/** Synthesis-result sanity (S-RESULT): finite and non-negative. */
+Report checkSynthesisResult(double timing_ps, double area_um2,
+                            double power_mw, double gate_count,
+                            const std::string &where);
+
+} // namespace sns::verify
+
+#endif // SNS_VERIFY_ANALYZER_HH

@@ -1,10 +1,14 @@
 #!/bin/sh
-# End-to-end smoke test of sns-cli: train a fast model on the smoke
-# dataset, then predict / synthesize / sample / dot both an SNL and a
-# Verilog design with it. Any non-zero exit or missing output fails.
+# End-to-end smoke test of sns-cli and sns_lint: train a fast model on
+# the smoke dataset, then predict / synthesize / sample / dot both an
+# SNL and a Verilog design with it; lint a clean and a broken design
+# and check the exit codes. Any unexpected exit or missing output
+# fails.
 set -e
 
 CLI="$1"
+LINT="$2"
+FIXTURES="$(dirname "$0")/fixtures"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
@@ -38,5 +42,40 @@ test -f "$WORK/model/predictor.meta"
 "$CLI" synth "$WORK/fir.snl" "$WORK/mac.v" | grep -q "gates"
 "$CLI" paths "$WORK/mac.v" --k=1 | grep -q "complete circuit paths"
 "$CLI" dot "$WORK/fir.snl" | grep -q "digraph"
+
+# sns_lint: clean designs exit 0, corrupted fixtures exit 1 with the
+# right rule id in the output.
+"$LINT" --self-check "$WORK/fir.snl" "$WORK/mac.v" | grep -q "0 error"
+
+if "$LINT" "$FIXTURES/cycle.snl" > "$WORK/lint.out"; then
+    echo "sns_lint missed the combinational cycle" >&2
+    exit 1
+fi
+grep -q "G-CYCLE" "$WORK/lint.out"
+
+if "$LINT" "$FIXTURES/multi_driver.snl" "$FIXTURES/oov_token.paths" \
+        > "$WORK/lint.out"; then
+    echo "sns_lint missed multi-driver / out-of-vocab" >&2
+    exit 1
+fi
+grep -q "G-MULTIDRIVER" "$WORK/lint.out"
+grep -q "P-OOV" "$WORK/lint.out"
+
+if "$LINT" "$FIXTURES/dangling.snl" "$FIXTURES/nan_label.paths" \
+        > "$WORK/lint.out"; then
+    echo "sns_lint missed dangling net / NaN label" >&2
+    exit 1
+fi
+grep -q "G-DANGLING" "$WORK/lint.out"
+grep -q "D-LABEL-NAN" "$WORK/lint.out"
+
+# Arithmetic narrowing is warning-severity: clean exit by default,
+# nonzero under --werror.
+"$LINT" "$FIXTURES/width_mismatch.snl" > "$WORK/lint.out"
+if "$LINT" --werror "$FIXTURES/width_mismatch.snl" > "$WORK/lint.out"; then
+    echo "sns_lint --werror missed the width mismatch" >&2
+    exit 1
+fi
+grep -q "G-WIDTH" "$WORK/lint.out"
 
 echo "cli smoke test passed"

@@ -203,7 +203,8 @@ TEST(GraphTest, RegisterFeedbackIsNotACombinationalLoop)
 {
     const Graph g = buildMacGraph();
     EXPECT_TRUE(g.combinationallyAcyclic());
-    EXPECT_NO_THROW(g.validate());
+    EXPECT_TRUE(g.findCombinationalCycle().empty());
+    EXPECT_FALSE(g.validate().hasErrors());
 }
 
 TEST(GraphTest, CombinationalLoopDetected)
@@ -214,7 +215,11 @@ TEST(GraphTest, CombinationalLoopDetected)
     g.addEdge(x, y);
     g.addEdge(y, x);
     EXPECT_FALSE(g.combinationallyAcyclic());
-    EXPECT_THROW(g.validate(), std::logic_error);
+    const auto cycle = g.findCombinationalCycle();
+    EXPECT_EQ(cycle.size(), 2u);
+    const auto report = g.validate();
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(verify::rules::kGraphCycle));
 }
 
 TEST(GraphTest, TopoOrderRespectsCombinationalEdges)

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Unit tests for the sns::verify static analyzer: one clean and one
+ * corrupted artifact per checker (cycle, multi-driver, width mismatch,
+ * dangling net, out-of-vocab token, NaN label), plus the enforcement
+ * machinery (modes, collection, counters) and the dataset-file linter
+ * over the bundled fixtures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gen/path_check.hh"
+#include "graphir/vocabulary.hh"
+#include "netlist/snl_parser.hh"
+#include "verify/analyzer.hh"
+
+namespace sns::verify {
+namespace {
+
+using graphir::Graph;
+using graphir::NodeId;
+using graphir::NodeType;
+using graphir::TokenId;
+using graphir::Vocabulary;
+
+TokenId
+tok(const char *name)
+{
+    const auto id = Vocabulary::instance().parse(name);
+    EXPECT_TRUE(id.has_value()) << name;
+    return *id;
+}
+
+/** The Figure-2 multiply-accumulate circuit; lints clean. */
+Graph
+buildCleanMac()
+{
+    Graph g("mac8");
+    const NodeId a = g.addNode(NodeType::Io, 8);
+    const NodeId b = g.addNode(NodeType::Io, 8);
+    const NodeId m = g.addNode(NodeType::Mul, 16);
+    const NodeId s = g.addNode(NodeType::Add, 16);
+    const NodeId acc = g.addNode(NodeType::Dff, 16);
+    const NodeId out = g.addNode(NodeType::Io, 16);
+    g.addEdge(a, m);
+    g.addEdge(b, m);
+    g.addEdge(m, s);
+    g.addEdge(acc, s);
+    g.addEdge(s, acc);
+    g.addEdge(acc, out);
+    return g;
+}
+
+TEST(GraphAnalyzerTest, CleanDesignHasNoFindings)
+{
+    const auto report = GraphAnalyzer().run(buildCleanMac());
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_EQ(report.count(Severity::Warning), 0u);
+}
+
+TEST(GraphAnalyzerTest, DetectsCombinationalCycle)
+{
+    Graph g("loop");
+    const NodeId a = g.addNode(NodeType::Io, 8);
+    const NodeId x = g.addNode(NodeType::Add, 8);
+    const NodeId y = g.addNode(NodeType::Add, 8);
+    const NodeId q = g.addNode(NodeType::Io, 8);
+    g.addEdge(a, x);
+    g.addEdge(y, x);
+    g.addEdge(x, y);
+    g.addEdge(y, q);
+    const auto report = GraphAnalyzer().run(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kGraphCycle));
+}
+
+TEST(GraphAnalyzerTest, DetectsMultiDrivenRegister)
+{
+    Graph g("multi");
+    const NodeId a = g.addNode(NodeType::Io, 16);
+    const NodeId b = g.addNode(NodeType::Io, 16);
+    const NodeId z = g.addNode(NodeType::Dff, 16);
+    const NodeId q = g.addNode(NodeType::Io, 16);
+    g.addEdge(a, z);
+    g.addEdge(b, z);
+    g.addEdge(z, q);
+    const auto report = GraphAnalyzer().run(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kGraphMultiDriver));
+}
+
+TEST(GraphAnalyzerTest, DetectsWidthRuleViolation)
+{
+    // A 64-bit operand feeding an 8-bit adder breaks the §3.1 width
+    // rule: the operator must be at least as wide as its operands.
+    Graph g("narrow");
+    const NodeId a = g.addNode(NodeType::Io, 64);
+    const NodeId b = g.addNode(NodeType::Io, 64);
+    const NodeId s = g.addNode(NodeType::Add, 8);
+    const NodeId q = g.addNode(NodeType::Io, 8);
+    g.addEdge(a, s);
+    g.addEdge(b, s);
+    g.addEdge(s, q);
+    const auto report = GraphAnalyzer().run(g);
+    // Arithmetic narrowing is a warning (quantized datapaths do it on
+    // purpose), never a hard error; sns_lint --werror promotes it.
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_GE(report.count(Severity::Warning), 1u);
+    EXPECT_TRUE(report.hasRule(rules::kGraphWidth));
+}
+
+TEST(GraphAnalyzerTest, OutputAggregationIsOnlyANote)
+{
+    // CircuitBuilder::output(width, sources) funnels many capture
+    // points into one port; many drivers on an Io is a note, not a
+    // multi-driven-net error.
+    Graph g("agg");
+    const NodeId a = g.addNode(NodeType::Io, 32);
+    const NodeId x = g.addNode(NodeType::Not, 32);
+    const NodeId y = g.addNode(NodeType::Not, 32);
+    const NodeId q = g.addNode(NodeType::Io, 32);
+    g.addEdge(a, x);
+    g.addEdge(a, y);
+    g.addEdge(x, q);
+    g.addEdge(y, q);
+    const auto report = GraphAnalyzer().run(g);
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_EQ(report.count(Severity::Warning), 0u);
+    EXPECT_TRUE(report.hasRule(rules::kGraphMultiDriver));
+}
+
+TEST(GraphAnalyzerTest, MuxSelectAndShiftAmountAreExempt)
+{
+    // A 1-bit select on a wide mux and a narrow shift amount are
+    // control inputs, not data — no width violation.
+    Graph g("ctl");
+    const NodeId sel = g.addNode(NodeType::Io, 1);
+    const NodeId a = g.addNode(NodeType::Io, 32);
+    const NodeId b = g.addNode(NodeType::Io, 32);
+    const NodeId m = g.addNode(NodeType::Mux, 32);
+    const NodeId q = g.addNode(NodeType::Io, 32);
+    g.addEdge(sel, m);
+    g.addEdge(a, m);
+    g.addEdge(b, m);
+    g.addEdge(m, q);
+    const auto report = GraphAnalyzer().run(g);
+    EXPECT_FALSE(report.hasRule(rules::kGraphWidth));
+    EXPECT_FALSE(report.hasErrors());
+}
+
+TEST(GraphAnalyzerTest, BitwiseNarrowingIsTheSliceIdiom)
+{
+    // A 4-bit AND over 32-bit values takes the low nibble — the
+    // mask/slice idiom the design library uses for table indexing.
+    // It must not fail enforcement (note only).
+    Graph g("slice");
+    const NodeId a = g.addNode(NodeType::Io, 32);
+    const NodeId b = g.addNode(NodeType::Io, 32);
+    const NodeId m = g.addNode(NodeType::And, 4);
+    const NodeId q = g.addNode(NodeType::Io, 4);
+    g.addEdge(a, m);
+    g.addEdge(b, m);
+    g.addEdge(m, q);
+    const auto report = GraphAnalyzer().run(g);
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_EQ(report.count(Severity::Warning), 0u);
+    EXPECT_TRUE(report.hasRule(rules::kGraphWidth));
+}
+
+TEST(GraphAnalyzerTest, DetectsDanglingOperator)
+{
+    Graph g("dangle");
+    const NodeId s = g.addNode(NodeType::Add, 32);
+    const NodeId q = g.addNode(NodeType::Io, 32);
+    g.addEdge(s, q);
+    const auto report = GraphAnalyzer().run(g);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kGraphDangling));
+}
+
+TEST(GraphAnalyzerTest, DetectsDeadLogic)
+{
+    // mul's result never reaches a port or register.
+    Graph g("dead");
+    const NodeId a = g.addNode(NodeType::Io, 8);
+    const NodeId m = g.addNode(NodeType::Mul, 16);
+    const NodeId n = g.addNode(NodeType::Not, 16);
+    g.addEdge(a, m);
+    g.addEdge(a, m);
+    g.addEdge(m, n);
+    const auto report = GraphAnalyzer().run(g);
+    EXPECT_TRUE(report.hasRule(rules::kGraphDeadCode));
+}
+
+TEST(GraphAnalyzerTest, DetectsDegenerateSelfLoopRegister)
+{
+    Graph g("self");
+    const NodeId d = g.addNode(NodeType::Dff, 8);
+    g.addEdge(d, d);
+    const auto report = GraphAnalyzer().run(g);
+    EXPECT_TRUE(report.hasRule(rules::kGraphRegister));
+}
+
+TEST(GraphAnalyzerTest, ConstantRegisterIsOnlyANote)
+{
+    // Coefficient registers (no next-state driver) are a legitimate
+    // idiom; they must not fail enforcement.
+    Graph g("coeff");
+    const NodeId c = g.addNode(NodeType::Dff, 16);
+    const NodeId x = g.addNode(NodeType::Io, 16);
+    const NodeId m = g.addNode(NodeType::Mul, 32);
+    const NodeId q = g.addNode(NodeType::Io, 32);
+    g.addEdge(x, m);
+    g.addEdge(c, m);
+    g.addEdge(m, q);
+    const auto report = GraphAnalyzer().run(g);
+    EXPECT_FALSE(report.hasErrors());
+    EXPECT_EQ(report.count(Severity::Warning), 0u);
+    EXPECT_TRUE(report.hasRule(rules::kGraphRegister));
+}
+
+TEST(GraphAnalyzerTest, DisableCheckerSuppressesItsFindings)
+{
+    Graph g("dangle");
+    const NodeId s = g.addNode(NodeType::Add, 32);
+    const NodeId q = g.addNode(NodeType::Io, 32);
+    g.addEdge(s, q);
+    GraphAnalyzer analyzer;
+    analyzer.disableChecker("drivers");
+    EXPECT_FALSE(analyzer.run(g).hasRule(rules::kGraphDangling));
+}
+
+TEST(VocabularyCheckTest, BuiltInVocabularyRoundTrips)
+{
+    EXPECT_TRUE(checkVocabularyRoundTrip().empty());
+}
+
+TEST(PathCheckTest, CleanPathPasses)
+{
+    const std::vector<TokenId> path = {tok("dff16"), tok("mul32"),
+                                       tok("add32"), tok("dff32")};
+    EXPECT_TRUE(checkPath(path).empty());
+    EXPECT_TRUE(gen::isValidCircuitPath(path));
+}
+
+TEST(PathCheckTest, DetectsOutOfVocabToken)
+{
+    const std::vector<TokenId> path = {tok("dff16"), 999, tok("dff32")};
+    const auto report = checkPath(path);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kPathOutOfVocab));
+    EXPECT_FALSE(gen::isValidCircuitPath(path));
+}
+
+TEST(PathCheckTest, DetectsEndpointViolations)
+{
+    // Launches from a combinational token; an endpoint mid-path.
+    const std::vector<TokenId> bad_start = {tok("mul16"), tok("dff16")};
+    EXPECT_TRUE(checkPath(bad_start).hasRule(rules::kPathEndpoint));
+    const std::vector<TokenId> interior = {tok("dff16"), tok("io16"),
+                                           tok("dff16")};
+    EXPECT_TRUE(checkPath(interior).hasRule(rules::kPathInterior));
+}
+
+TEST(PathCheckTest, DetectsLengthViolations)
+{
+    EXPECT_TRUE(checkPath({tok("dff16")}).hasRule(rules::kPathShort));
+    std::vector<TokenId> long_path(20, tok("add16"));
+    long_path.front() = tok("dff16");
+    long_path.back() = tok("dff16");
+    EXPECT_TRUE(checkPath(long_path, 8).hasRule(rules::kPathLong));
+    EXPECT_TRUE(checkPath(long_path, 64).empty());
+}
+
+TEST(LabelCheckTest, FiniteLabelsPassNanFails)
+{
+    EXPECT_TRUE(checkLabels(812.5, 140.2, 0.61, "rec").empty());
+    const auto report =
+        checkLabels(std::nan(""), 140.2, 0.61, "rec");
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kLabelNotFinite));
+    // Suspicious but finite values only warn.
+    EXPECT_EQ(checkLabels(-1.0, 140.2, 0.61, "rec")
+                  .count(Severity::Error),
+              0u);
+    EXPECT_TRUE(
+        checkLabels(-1.0, 140.2, 0.61, "rec").hasRule(rules::kLabelRange));
+}
+
+TEST(SplitCheckTest, DetectsLeakage)
+{
+    EXPECT_TRUE(checkSplit({"fir", "mac"}, {"systolic"}).empty());
+    const auto report = checkSplit({"fir", "mac"}, {"mac", "conv"});
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kSplitLeakage));
+}
+
+TEST(SynthResultCheckTest, FlagsNonFiniteAndNegative)
+{
+    EXPECT_TRUE(checkSynthesisResult(812.5, 140.2, 0.61, 42.0, "mac")
+                    .empty());
+    EXPECT_TRUE(checkSynthesisResult(812.5, -1.0, 0.61, 42.0, "mac")
+                    .hasRule(rules::kSynthResult));
+    EXPECT_TRUE(
+        checkSynthesisResult(std::nan(""), 140.2, 0.61, 42.0, "mac")
+            .hasErrors());
+}
+
+// ---- Fixture files (tests/fixtures/, shared with cli_smoke.sh). ----
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(SNS_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(FixtureTest, SnlFixturesCarryTheirRuleIds)
+{
+    const struct
+    {
+        const char *file;
+        const char *rule;
+    } error_cases[] = {
+        {"cycle.snl", rules::kGraphCycle},
+        {"multi_driver.snl", rules::kGraphMultiDriver},
+        {"dangling.snl", rules::kGraphDangling},
+    };
+    for (const auto &c : error_cases) {
+        Report report;
+        {
+            CollectGuard guard(report);
+            netlist::loadSnlFile(fixture(c.file));
+        }
+        EXPECT_TRUE(report.hasErrors()) << c.file;
+        EXPECT_TRUE(report.hasRule(c.rule)) << c.file;
+    }
+
+    // Arithmetic narrowing is warning-severity; sns_lint --werror turns
+    // it into a failure (cli_smoke.sh covers that path).
+    Report width;
+    {
+        CollectGuard guard(width);
+        netlist::loadSnlFile(fixture("width_mismatch.snl"));
+    }
+    EXPECT_FALSE(width.hasErrors());
+    EXPECT_GE(width.count(Severity::Warning), 1u);
+    EXPECT_TRUE(width.hasRule(rules::kGraphWidth));
+}
+
+TEST(FixtureTest, PathDatasetFixturesCarryTheirRuleIds)
+{
+    const auto oov = lintPathDatasetFile(fixture("oov_token.paths"));
+    EXPECT_TRUE(oov.hasErrors());
+    EXPECT_TRUE(oov.hasRule(rules::kPathOutOfVocab));
+
+    const auto nan_label = lintPathDatasetFile(fixture("nan_label.paths"));
+    EXPECT_TRUE(nan_label.hasErrors());
+    EXPECT_TRUE(nan_label.hasRule(rules::kLabelNotFinite));
+}
+
+TEST(FixtureTest, DatasetLinterFlagsSyntaxErrors)
+{
+    const std::string path = "verify_syntax_tmp.paths";
+    {
+        std::ofstream out(path);
+        out << "dff16 add32 dff32 ; 1.0 2.0\n";    // two labels
+        out << "dff16 dff16 ; 1.0 2.0 oops\n";     // non-numeric
+    }
+    const auto report = lintPathDatasetFile(path);
+    std::remove(path.c_str());
+    EXPECT_TRUE(report.hasRule(rules::kDatasetSyntax));
+    EXPECT_GE(report.count(Severity::Error), 2u);
+}
+
+// ---- Enforcement machinery. ----
+
+TEST(EnforceTest, FatalModeThrowsOnErrors)
+{
+    Report report;
+    report.error(rules::kGraphCycle, "x", "boom");
+    setMode(Mode::Fatal);
+    EXPECT_THROW(enforce(std::move(report), "test"), VerifyError);
+}
+
+TEST(EnforceTest, WarningsNeverThrow)
+{
+    Report report;
+    report.warning(rules::kGraphDeadCode, "x", "meh");
+    setMode(Mode::Fatal);
+    EXPECT_NO_THROW(enforce(std::move(report), "test"));
+}
+
+TEST(EnforceTest, CountModeTalliesInsteadOfThrowing)
+{
+    setMode(Mode::Count);
+    resetCounters();
+    Report report;
+    report.error(rules::kGraphCycle, "x", "boom");
+    report.warning(rules::kGraphDeadCode, "y", "meh");
+    EXPECT_NO_THROW(enforce(std::move(report), "test"));
+    EXPECT_EQ(totalErrors(), 1u);
+    EXPECT_EQ(totalWarnings(), 1u);
+    EXPECT_EQ(totalReports(), 1u);
+    setMode(Mode::Fatal);
+    resetCounters();
+}
+
+TEST(EnforceTest, CollectGuardGathersInsteadOfThrowing)
+{
+    setMode(Mode::Fatal);
+    Report sink;
+    {
+        CollectGuard guard(sink);
+        EXPECT_TRUE(collecting());
+        Report report;
+        report.error(rules::kGraphCycle, "x", "boom");
+        EXPECT_NO_THROW(enforce(std::move(report), "test"));
+    }
+    EXPECT_FALSE(collecting());
+    EXPECT_EQ(sink.count(Severity::Error), 1u);
+}
+
+TEST(EnforceTest, SnlParserThrowsOnBrokenDesignWhenNotCollecting)
+{
+    setMode(Mode::Fatal);
+    EXPECT_THROW(netlist::loadSnlFile(fixture("cycle.snl")),
+                 netlist::SnlError);
+}
+
+TEST(ReportTest, PrintAndSummaryMentionRuleIds)
+{
+    Report report;
+    report.error(rules::kGraphCycle, "mac8: node 2", "loop", "fix it");
+    report.note(rules::kGraphArity, "mac8: node 3", "tie-off");
+    std::ostringstream os;
+    report.print(os);
+    EXPECT_NE(os.str().find("G-CYCLE"), std::string::npos);
+    EXPECT_EQ(os.str().find("G-ARITY"), std::string::npos)
+        << "notes hidden by default";
+    std::ostringstream verbose;
+    report.print(verbose, true);
+    EXPECT_NE(verbose.str().find("G-ARITY"), std::string::npos);
+    EXPECT_NE(report.summary().find("G-CYCLE"), std::string::npos);
+}
+
+} // namespace
+} // namespace sns::verify

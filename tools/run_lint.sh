@@ -1,0 +1,34 @@
+#!/bin/sh
+# Tier-2 verification driver (see ROADMAP.md and docs/verify.md):
+#
+#   1. configure + build with AddressSanitizer and UBSan;
+#   2. run the full test suite under the sanitizers;
+#   3. run sns_lint over the bundled example designs and datasets
+#      (must be clean) and the corrupted fixtures (must fail).
+#
+# Usage: tools/run_lint.sh [BUILD_DIR]   (default: build-lint)
+set -e
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build-lint}"
+
+echo "== sanitizer build ($BUILD) =="
+cmake -B "$BUILD" -S "$REPO" -DSNS_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j
+
+echo "== ctest under ASan+UBSan =="
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+LINT="$BUILD/tools/sns_lint"
+
+echo "== sns_lint: bundled examples must be clean =="
+"$LINT" --self-check "$REPO"/examples/designs/*
+
+echo "== sns_lint: corrupted fixtures must fail =="
+if "$LINT" "$REPO"/tests/fixtures/*; then
+    echo "sns_lint failed to reject the corrupted fixtures" >&2
+    exit 1
+fi
+
+echo "run_lint: all checks passed"

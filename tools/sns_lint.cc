@@ -1,0 +1,130 @@
+/**
+ * @file
+ * sns_lint — the standalone front-end of the sns::verify analyzer.
+ *
+ *   sns_lint [--notes] [--werror] [--self-check] FILE...
+ *
+ * Each FILE is linted by extension: .snl and .v/.sv designs are parsed
+ * and run through the full GraphAnalyzer registry; .paths dataset files
+ * (one `tokens ; timing area power` record per line) go through the
+ * dataset checkers. A CollectGuard gathers every diagnostic so one run
+ * reports all findings instead of dying at the first.
+ *
+ * Exit status: 0 when no file produced an ERROR diagnostic (or, with
+ * --werror, a WARNING), 1 otherwise, 2 on usage errors. docs/verify.md
+ * lists every rule id that can appear in the output.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "netlist/snl_parser.hh"
+#include "netlist/verilog_parser.hh"
+#include "verify/analyzer.hh"
+
+namespace {
+
+using namespace sns;
+
+int
+usage()
+{
+    std::cerr << "usage: sns_lint [--notes] [--werror] [--self-check] "
+                 "FILE...\n"
+              << "  FILE: design (.snl, .v, .sv) or path dataset "
+                 "(.paths)\n"
+              << "  --notes       include note-level diagnostics\n"
+              << "  --werror      treat warnings as errors\n"
+              << "  --self-check  also run the vocabulary round-trip "
+                 "check\n";
+    return 2;
+}
+
+std::string
+extensionOf(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    return dot == std::string::npos ? "" : path.substr(dot);
+}
+
+/**
+ * Lint one file into a report. Front-end syntax errors (SnlError,
+ * VerilogError) abort analysis of that file; they are folded into the
+ * report as D-SYNTAX so the tool keeps going and the exit code is
+ * still driven by the report contents.
+ */
+verify::Report
+lintFile(const std::string &path)
+{
+    verify::Report report;
+    const std::string ext = extensionOf(path);
+    if (ext == ".paths")
+        return verify::lintPathDatasetFile(path);
+
+    if (!std::ifstream(path)) {
+        report.error(verify::rules::kDatasetSyntax, path,
+                     "cannot open file");
+        return report;
+    }
+    try {
+        verify::CollectGuard guard(report);
+        if (ext == ".v" || ext == ".sv")
+            netlist::loadVerilogFile(path);
+        else
+            netlist::loadSnlFile(path);
+    } catch (const std::exception &e) {
+        report.error(verify::rules::kDatasetSyntax, path, e.what());
+    }
+    return report;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool include_notes = false;
+    bool werror = false;
+    bool self_check = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--notes")
+            include_notes = true;
+        else if (arg == "--werror")
+            werror = true;
+        else if (arg == "--self-check")
+            self_check = true;
+        else if (arg.rfind("--", 0) == 0)
+            return usage();
+        else
+            files.push_back(arg);
+    }
+    if (files.empty() && !self_check)
+        return usage();
+
+    size_t errors = 0;
+    size_t warnings = 0;
+    auto consume = [&](const std::string &what,
+                       const verify::Report &report) {
+        errors += report.count(verify::Severity::Error);
+        warnings += report.count(verify::Severity::Warning);
+        if (report.empty()) {
+            std::cout << what << ": clean\n";
+            return;
+        }
+        std::cout << what << ": " << report.summary() << "\n";
+        report.print(std::cout, include_notes);
+    };
+
+    if (self_check)
+        consume("vocabulary", verify::checkVocabularyRoundTrip());
+    for (const auto &file : files)
+        consume(file, lintFile(file));
+
+    std::cout << files.size() << " file(s): " << errors << " error(s), "
+              << warnings << " warning(s)\n";
+    return errors > 0 || (werror && warnings > 0) ? 1 : 0;
+}
