@@ -71,20 +71,14 @@ main(int argc, char **argv)
         }
 
         core::MlpTrainConfig mlp_config = base_config.mlp;
-        auto timing_mlp = std::make_shared<core::AggregationMlp>(
-            core::Target::Timing, args.seed);
-        auto area_mlp = std::make_shared<core::AggregationMlp>(
-            core::Target::Area, args.seed);
-        auto power_mlp = std::make_shared<core::AggregationMlp>(
-            core::Target::Power, args.seed);
-        timing_mlp->fit(summaries, timing_truth, mlp_config);
-        area_mlp->fit(summaries, area_truth, mlp_config);
-        power_mlp->fit(summaries, power_truth, mlp_config);
+        auto heads = core::AggregationHeads::make(args.seed, args.seed,
+                                                 args.seed);
+        heads.fit(summaries, timing_truth, area_truth, power_truth,
+                  mlp_config);
 
-        // Shared trained Circuitformer, per-k sampler, fresh MLPs.
+        // Shared trained Circuitformer, per-k sampler, fresh heads.
         core::SnsPredictor predictor(base_predictor.circuitformerPtr(),
-                                     timing_mlp, area_mlp, power_mlp,
-                                     sopts);
+                                     std::move(heads), sopts);
 
         const auto result =
             core::evaluatePredictor(predictor, dataset, test_idx);

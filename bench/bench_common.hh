@@ -17,6 +17,7 @@
 
 #include "core/evaluation.hh"
 #include "designs/designs.hh"
+#include "par/thread_pool.hh"
 #include "util/table.hh"
 
 namespace sns::bench {
@@ -28,6 +29,8 @@ struct BenchArgs
     uint64_t seed = 7;
     std::string csv_dir;     ///< optional directory for CSV dumps
     int override_epochs = -1;
+    int threads = -1;        ///< sns::par width (0 = all cores,
+                             ///< -1 = keep SNS_THREADS / default)
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -44,15 +47,19 @@ struct BenchArgs
             } else if (arg.rfind("--epochs=", 0) == 0) {
                 args.override_epochs =
                     std::atoi(arg.c_str() + 9);
+            } else if (arg.rfind("--threads=", 0) == 0) {
+                args.threads = std::atoi(arg.c_str() + 10);
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << "flags: --full --seed=N --epochs=N "
-                             "--csv-dir=PATH\n";
+                             "--threads=N --csv-dir=PATH\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown flag: " << arg << "\n";
                 std::exit(1);
             }
         }
+        if (args.threads >= 0)
+            par::setThreads(args.threads);
         return args;
     }
 

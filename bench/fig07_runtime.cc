@@ -10,8 +10,15 @@
  * synthesizer's gate-level sizing schedule scales super-linearly with
  * gate count, while SNS samples a bounded number of paths and runs a
  * fixed-size Transformer over them.
+ *
+ * With --threads=N the harness additionally measures each SNS
+ * prediction on the sns::par pool at width N, reports the
+ * single-vs-multi-thread curve, and checks the determinism contract:
+ * predictions must be bitwise identical at every thread count
+ * (docs/parallelism.md).
  */
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 
@@ -25,6 +32,7 @@ main(int argc, char **argv)
 {
     using namespace sns;
     const auto args = bench::BenchArgs::parse(argc, argv);
+    const int multi_threads = std::max(1, par::configuredThreads());
     // Runtime comparison: model the per-invocation tool setup cost the
     // paper's DC runs pay on every design (result-neutral; see
     // SynthesisOptions::model_setup_cost).
@@ -52,36 +60,112 @@ main(int argc, char **argv)
         specs.push_back(mega);
     }
 
-    Table table("Figure 7: SNS runtime vs reference-synthesis runtime "
-                "(wall clock, one core)");
-    table.setHeader({"design", "gates", "synth_s", "sns_s", "speedup"});
-    std::vector<double> speedups;
-    std::vector<double> gate_counts;
-    for (const auto &spec : specs) {
-        const auto graph = spec.build();
+    struct Row
+    {
+        std::string name;
+        double gates = 0.0;
+        double synth_s = 0.0;
+        double sns_1t_s = 0.0;
+        double sns_nt_s = 0.0;
+        core::SnsPrediction pred_1t;
+        core::SnsPrediction pred_nt;
+    };
+    std::vector<Row> rows(specs.size());
+
+    // Pass A: reference synthesis + single-thread SNS. One pool width
+    // per pass so the pool is not rebuilt per design.
+    par::setThreads(1);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const auto graph = specs[i].build();
+        rows[i].name = specs[i].name;
 
         WallTimer synth_timer;
         const auto truth = oracle.run(graph);
-        const double synth_s = synth_timer.seconds();
+        rows[i].synth_s = synth_timer.seconds();
+        rows[i].gates = truth.gate_count;
 
         WallTimer sns_timer;
-        const auto pred = predictor.predict(graph);
-        const double sns_s = sns_timer.seconds();
-        (void)pred;
+        rows[i].pred_1t = predictor.predict(graph);
+        rows[i].sns_1t_s = sns_timer.seconds();
+    }
 
-        const double speedup = synth_s / sns_s;
+    // Pass B: the same predictions at the requested pool width.
+    par::setThreads(multi_threads);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const auto graph = specs[i].build();
+        WallTimer sns_timer;
+        rows[i].pred_nt = predictor.predict(graph);
+        rows[i].sns_nt_s = sns_timer.seconds();
+    }
+
+    // Determinism contract: bitwise-identical predictions at any width.
+    size_t mismatches = 0;
+    for (const auto &row : rows) {
+        const bool same =
+            row.pred_1t.timing_ps == row.pred_nt.timing_ps &&
+            row.pred_1t.area_um2 == row.pred_nt.area_um2 &&
+            row.pred_1t.power_mw == row.pred_nt.power_mw &&
+            row.pred_1t.critical_path == row.pred_nt.critical_path;
+        if (!same) {
+            ++mismatches;
+            std::cerr << "DETERMINISM VIOLATION: " << row.name
+                      << " differs between 1 and " << multi_threads
+                      << " threads\n";
+        }
+    }
+
+    Table table("Figure 7: SNS runtime vs reference-synthesis runtime "
+                "(wall clock; sns_nt = " +
+                std::to_string(multi_threads) + " threads)");
+    table.setHeader({"design", "gates", "synth_s", "sns_1t_s", "sns_nt_s",
+                     "par_x", "speedup"});
+    std::vector<double> speedups;
+    std::vector<double> gate_counts;
+    std::vector<double> par_speedups;
+    for (const auto &row : rows) {
+        const double par_x = row.sns_1t_s / row.sns_nt_s;
+        const double speedup = row.synth_s / row.sns_nt_s;
         speedups.push_back(speedup);
-        gate_counts.push_back(truth.gate_count);
-        table.addRow({spec.name, formatEng(truth.gate_count),
-                      formatDouble(synth_s, 4), formatDouble(sns_s, 4),
+        par_speedups.push_back(par_x);
+        gate_counts.push_back(row.gates);
+        table.addRow({row.name, formatEng(row.gates),
+                      formatDouble(row.synth_s, 4),
+                      formatDouble(row.sns_1t_s, 4),
+                      formatDouble(row.sns_nt_s, 4),
+                      formatDouble(par_x, 2) + "x",
                       formatDouble(speedup, 2) + "x"});
     }
     table.print(std::cout);
     args.maybeCsv(table, "fig07_runtime");
 
+    // Large-design tier: top quartile by gate count (at least 3
+    // designs) — intra-design parallelism pays off where there are
+    // many sampled paths to spread over the pool.
+    std::vector<size_t> order(rows.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return rows[a].gates > rows[b].gates;
+    });
+    const size_t tier = std::max<size_t>(3, order.size() / 4);
+    std::vector<double> large_par;
+    for (size_t i = 0; i < std::min(tier, order.size()); ++i)
+        large_par.push_back(par_speedups[order[i]]);
+
     std::cout << "\naverage speedup: "
               << formatDouble(mean(speedups), 2) << "x (geomean "
               << formatDouble(geomean(speedups), 2) << "x)\n";
+    std::cout << "parallel speedup (" << multi_threads
+              << " threads vs 1): geomean all designs "
+              << formatDouble(geomean(par_speedups), 2)
+              << "x, large-design tier (top " << large_par.size()
+              << " by gates) " << formatDouble(geomean(large_par), 2)
+              << "x\n";
+    std::cout << "determinism check (1 vs " << multi_threads
+              << " threads): "
+              << (mismatches == 0 ? "PASS (bitwise identical)"
+                                  : "FAIL")
+              << "\n";
     std::cout << "size-speedup correlation (log-log pearson): "
               << formatDouble(
                      [&] {
@@ -96,5 +180,5 @@ main(int argc, char **argv)
                      3)
               << " (paper shape: strongly positive — bigger designs "
                  "gain more)\n";
-    return 0;
+    return mismatches == 0 ? 0 : 1;
 }

@@ -111,20 +111,38 @@ main(int argc, char **argv)
     WallTimer dse_timer;
     std::vector<DsePoint> points;
     points.reserve(space.size());
-    for (size_t i = 0; i < space.size(); ++i) {
-        const auto graph = boom::buildBoomCore(space[i]);
-        const auto pred = predictor.predict(graph);
-        DsePoint point;
-        point.params = space[i];
-        point.area_um2 = pred.area_um2;
-        point.power_mw = pred.power_mw;
-        point.timing_ps = pred.timing_ps;
-        const double freq_ghz = 1000.0 / pred.timing_ps;
-        boom::PipelineSimulator sim(space[i], args.seed);
-        point.score = sim.run(trace).ipc() * freq_ghz;
-        points.push_back(point);
-        if ((i + 1) % 500 == 0)
-            std::cerr << "  " << (i + 1) << "/" << space.size()
+    // Sweep in chunks: elaborate a chunk of configurations, predict the
+    // whole chunk with one predictBatch (fanned out over the sns::par
+    // pool), then score with the pipeline simulator. Chunking bounds
+    // the number of elaborated graphs held in memory at once.
+    const size_t chunk = 64;
+    core::PredictOptions popts;
+    popts.collect_critical_path = false;
+    for (size_t start = 0; start < space.size(); start += chunk) {
+        const size_t end = std::min(space.size(), start + chunk);
+        std::vector<graphir::Graph> graphs;
+        graphs.reserve(end - start);
+        for (size_t i = start; i < end; ++i)
+            graphs.push_back(boom::buildBoomCore(space[i]));
+        std::vector<const graphir::Graph *> ptrs;
+        ptrs.reserve(graphs.size());
+        for (const auto &graph : graphs)
+            ptrs.push_back(&graph);
+        const auto preds = predictor.predictBatch(ptrs, popts);
+        for (size_t i = start; i < end; ++i) {
+            const auto &pred = preds[i - start];
+            DsePoint point;
+            point.params = space[i];
+            point.area_um2 = pred.area_um2;
+            point.power_mw = pred.power_mw;
+            point.timing_ps = pred.timing_ps;
+            const double freq_ghz = 1000.0 / pred.timing_ps;
+            boom::PipelineSimulator sim(space[i], args.seed);
+            point.score = sim.run(trace).ipc() * freq_ghz;
+            points.push_back(point);
+        }
+        if (end % 512 < chunk)
+            std::cerr << "  " << end << "/" << space.size()
                       << std::endl;
     }
     const double dse_seconds = dse_timer.seconds();
@@ -231,23 +249,32 @@ main(int argc, char **argv)
                  "the reference synthesizer..."
               << std::endl;
     Rng rng(args.seed ^ 0xb00);
+    std::vector<graphir::Graph> verify_graphs;
+    verify_graphs.reserve(20);
+    for (int i = 0; i < 20; ++i) {
+        const auto &params = space[rng.uniformInt(space.size())];
+        verify_graphs.push_back(boom::buildBoomCore(params));
+    }
+    std::vector<const graphir::Graph *> verify_ptrs;
+    for (const auto &graph : verify_graphs)
+        verify_ptrs.push_back(&graph);
+    // Both sides of the check run batched: the reference synthesizer
+    // fans the 20 designs over the pool, as does predictBatch.
+    const auto truths = oracle.runBatch(verify_ptrs);
+    const auto preds = predictor.predictBatch(verify_ptrs, popts);
     std::vector<double> area_t;
     std::vector<double> area_p;
     std::vector<double> power_t;
     std::vector<double> power_p;
     std::vector<double> timing_t;
     std::vector<double> timing_p;
-    for (int i = 0; i < 20; ++i) {
-        const auto &params = space[rng.uniformInt(space.size())];
-        const auto graph = boom::buildBoomCore(params);
-        const auto truth = oracle.run(graph);
-        const auto pred = predictor.predict(graph);
-        area_t.push_back(truth.area_um2);
-        area_p.push_back(pred.area_um2);
-        power_t.push_back(truth.power_mw);
-        power_p.push_back(pred.power_mw);
-        timing_t.push_back(truth.timing_ps);
-        timing_p.push_back(pred.timing_ps);
+    for (size_t i = 0; i < verify_graphs.size(); ++i) {
+        area_t.push_back(truths[i].area_um2);
+        area_p.push_back(preds[i].area_um2);
+        power_t.push_back(truths[i].power_mw);
+        power_p.push_back(preds[i].power_mw);
+        timing_t.push_back(truths[i].timing_ps);
+        timing_p.push_back(preds[i].timing_ps);
     }
     std::cout << "verification MAEP (paper: area 12.58%, power 29.61%, "
                  "timing 19.78%): area "

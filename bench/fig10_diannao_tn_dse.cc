@@ -58,25 +58,46 @@ main(int argc, char **argv)
     std::map<int, Accum> by_tn;
 
     WallTimer timer;
-    size_t done = 0;
-    for (const auto &params : space) {
-        auto design = diannao::buildDianNao(params);
-        const auto perf = diannao::DianNaoPerfModel::run(params, layers);
-        diannao::DianNaoPerfModel::applyActivities(design, perf);
-        const auto pred = predictor.predict(design.graph);
+    // Chunked sweep: elaborate + annotate a chunk of configurations,
+    // then predict the whole chunk with one batched call on the pool.
+    const size_t chunk = 64;
+    core::PredictOptions popts;
+    popts.collect_critical_path = false;
+    for (size_t start = 0; start < space.size(); start += chunk) {
+        const size_t end = std::min(space.size(), start + chunk);
+        std::vector<diannao::DianNaoDesign> chunk_designs;
+        std::vector<diannao::DianNaoPerfModel::Result> chunk_perf;
+        chunk_designs.reserve(end - start);
+        chunk_perf.reserve(end - start);
+        for (size_t i = start; i < end; ++i) {
+            auto design = diannao::buildDianNao(space[i]);
+            const auto perf =
+                diannao::DianNaoPerfModel::run(space[i], layers);
+            diannao::DianNaoPerfModel::applyActivities(design, perf);
+            chunk_designs.push_back(std::move(design));
+            chunk_perf.push_back(perf);
+        }
+        std::vector<const graphir::Graph *> ptrs;
+        ptrs.reserve(chunk_designs.size());
+        for (const auto &design : chunk_designs)
+            ptrs.push_back(&design.graph);
+        const auto preds = predictor.predictBatch(ptrs, popts);
 
-        const double freq_ghz = 1000.0 / pred.timing_ps;
-        // One inference = the whole layer stack.
-        const double inf_per_s =
-            freq_ghz * 1e9 / perf.total_cycles;
-        auto &acc = by_tn[params.tn];
-        acc.area.push_back(pred.area_um2);
-        acc.power.push_back(pred.power_mw);
-        acc.area_eff.push_back(inf_per_s / pred.area_um2);
-        acc.energy_per_inf.push_back(pred.power_mw * 1e-3 /
-                                     inf_per_s * 1e6); // uJ
-        if (++done % 100 == 0)
-            std::cerr << "  " << done << "/" << space.size()
+        for (size_t i = start; i < end; ++i) {
+            const auto &pred = preds[i - start];
+            const double freq_ghz = 1000.0 / pred.timing_ps;
+            // One inference = the whole layer stack.
+            const double inf_per_s =
+                freq_ghz * 1e9 / chunk_perf[i - start].total_cycles;
+            auto &acc = by_tn[space[i].tn];
+            acc.area.push_back(pred.area_um2);
+            acc.power.push_back(pred.power_mw);
+            acc.area_eff.push_back(inf_per_s / pred.area_um2);
+            acc.energy_per_inf.push_back(pred.power_mw * 1e-3 /
+                                         inf_per_s * 1e6); // uJ
+        }
+        if (end % 128 < chunk)
+            std::cerr << "  " << end << "/" << space.size()
                       << std::endl;
     }
     std::cout << "prediction sweep: " << formatDouble(timer.seconds(), 1)

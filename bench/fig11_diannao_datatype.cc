@@ -52,20 +52,38 @@ main(int argc, char **argv)
     table.setHeader({"datatype", "area um2 (pred/true)",
                      "power mW (pred/true)", "area_eff inf/s/um2",
                      "energy/inf uJ", "accuracy %"});
+    // Elaborate one design per datatype, then run both sides batched:
+    // predictBatch and the reference synthesizer's runBatch each fan
+    // the five designs over the sns::par pool.
+    std::vector<diannao::DianNaoDesign> dt_designs;
+    std::vector<diannao::DianNaoPerfModel::Result> dt_perf;
     for (const auto &result : accuracy) {
         diannao::DianNaoParams params = diannao::DianNaoParams::original();
         params.dtype = result.dtype;
         auto design = diannao::buildDianNao(params);
         const auto perf = diannao::DianNaoPerfModel::run(params, layers);
         diannao::DianNaoPerfModel::applyActivities(design, perf);
-        const auto pred = predictor.predict(design.graph);
-        const auto truth = oracle.run(design.graph);
+        dt_designs.push_back(std::move(design));
+        dt_perf.push_back(perf);
+    }
+    std::vector<const graphir::Graph *> ptrs;
+    for (const auto &design : dt_designs)
+        ptrs.push_back(&design.graph);
+    core::PredictOptions popts;
+    popts.collect_critical_path = false;
+    const auto preds = predictor.predictBatch(ptrs, popts);
+    const auto truths = oracle.runBatch(ptrs);
 
+    for (size_t i = 0; i < accuracy.size(); ++i) {
+        const auto &result = accuracy[i];
+        const auto &pred = preds[i];
+        const auto &truth = truths[i];
         // Efficiency metrics from ground truth (the fp16/bf16/tf32
         // designs alias under SNS's rounded vocabulary; the reference
         // synthesizer still tells them apart via raw widths).
         const double freq_ghz = 1000.0 / truth.timing_ps;
-        const double inf_per_s = freq_ghz * 1e9 / perf.total_cycles;
+        const double inf_per_s =
+            freq_ghz * 1e9 / dt_perf[i].total_cycles;
         table.addRow(
             {diannao::dataTypeName(result.dtype),
              formatDouble(pred.area_um2, 0) + " / " +

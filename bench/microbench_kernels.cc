@@ -13,6 +13,7 @@
 
 #include "core/circuitformer.hh"
 #include "designs/designs.hh"
+#include "par/thread_pool.hh"
 #include "sampler/path_sampler.hh"
 #include "synth/synthesizer.hh"
 #include "tensor/gemm.hh"
@@ -25,6 +26,7 @@ void
 BM_GemmSquare(benchmark::State &state)
 {
     const int n = static_cast<int>(state.range(0));
+    par::setThreads(static_cast<int>(state.range(1)));
     Rng rng(1);
     const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
     const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
@@ -36,13 +38,23 @@ BM_GemmSquare(benchmark::State &state)
         benchmark::DoNotOptimize(c.data());
     }
     state.SetItemsProcessed(state.iterations() * 2ll * n * n * n);
+    state.SetLabel("threads=" + std::to_string(par::configuredThreads()));
+    par::setThreads(1);
 }
-BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmSquare)
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Args({512, 0}); // 0 = all cores
 
 void
 BM_CircuitformerInference(benchmark::State &state)
 {
     const int path_len = static_cast<int>(state.range(0));
+    par::setThreads(static_cast<int>(state.range(1)));
     core::Circuitformer model(core::CircuitformerConfig{});
     // Normalization is required before predict(); fit on dummy records.
     const auto &vocab = graphir::Vocabulary::instance();
@@ -56,15 +68,24 @@ BM_CircuitformerInference(benchmark::State &state)
     dummy.push_back({tokens, 200.0, 20.0, 0.2});
     model.fitNormalization(dummy);
 
-    std::vector<std::vector<graphir::TokenId>> batch(64, tokens);
+    // 256 paths = 4 Circuitformer batches, so the threaded variants
+    // exercise the per-batch fan-out of Circuitformer::predict.
+    std::vector<std::vector<graphir::TokenId>> batch(256, tokens);
     for (auto _ : state) {
         const auto preds = model.predict(batch);
         benchmark::DoNotOptimize(preds.data());
     }
-    state.SetItemsProcessed(state.iterations() * 64);
-    state.SetLabel("paths/iter=64, Table-2 model");
+    state.SetItemsProcessed(state.iterations() * 256);
+    state.SetLabel("paths/iter=256, Table-2 model, threads=" +
+                   std::to_string(par::configuredThreads()));
+    par::setThreads(1);
 }
-BENCHMARK(BM_CircuitformerInference)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_CircuitformerInference)
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({128, 1})
+    ->Args({128, 4});
 
 void
 BM_PathSampling(benchmark::State &state)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/serialize.hh"
+#include "par/thread_pool.hh"
 #include "synth/tech_library.hh"
 #include "util/logging.hh"
 
@@ -347,6 +348,57 @@ AggregationMlp::load(const std::string &path)
     target_mean_ = stats[2 * dim];
     target_std_ = stats[2 * dim + 1];
     fitted_ = true;
+}
+
+AggregationHeads
+AggregationHeads::make(uint64_t timing_seed, uint64_t area_seed,
+                       uint64_t power_seed)
+{
+    AggregationHeads heads;
+    heads.timing =
+        std::make_shared<AggregationMlp>(Target::Timing, timing_seed);
+    heads.area = std::make_shared<AggregationMlp>(Target::Area, area_seed);
+    heads.power =
+        std::make_shared<AggregationMlp>(Target::Power, power_seed);
+    return heads;
+}
+
+void
+AggregationHeads::fit(const std::vector<AggregateSummary> &summaries,
+                      const std::vector<double> &timing_truth,
+                      const std::vector<double> &area_truth,
+                      const std::vector<double> &power_truth,
+                      const MlpTrainConfig &config)
+{
+    SNS_ASSERT(complete(), "fit() on incomplete AggregationHeads");
+    AggregationMlp *mlps[3] = {timing.get(), area.get(), power.get()};
+    const std::vector<double> *truths[3] = {&timing_truth, &area_truth,
+                                            &power_truth};
+    // The three fits are independent (each MLP owns its parameters and
+    // seeds its own SGD shuffle from config.seed), so target order and
+    // thread count cannot change any of the three results.
+    par::globalPool().run(3, [&](size_t t) {
+        mlps[t]->fit(summaries, *truths[t], config);
+    });
+}
+
+void
+AggregationHeads::save(const std::string &directory) const
+{
+    SNS_ASSERT(complete(), "save() on incomplete AggregationHeads");
+    timing->save(directory + "/mlp_timing.bin");
+    area->save(directory + "/mlp_area.bin");
+    power->save(directory + "/mlp_power.bin");
+}
+
+AggregationHeads
+AggregationHeads::load(const std::string &directory)
+{
+    AggregationHeads heads = make();
+    heads.timing->load(directory + "/mlp_timing.bin");
+    heads.area->load(directory + "/mlp_area.bin");
+    heads.power->load(directory + "/mlp_power.bin");
+    return heads;
 }
 
 } // namespace sns::core

@@ -15,6 +15,7 @@
 #ifndef SNS_CORE_AGGREGATION_HH
 #define SNS_CORE_AGGREGATION_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,45 @@ struct MlpTrainConfig
     double learning_rate = 1e-4;
     double momentum = 0.9;
     uint64_t seed = 0xa99;
+};
+
+class AggregationMlp;
+
+/**
+ * The three per-target Aggregation MLPs as one unit. Everything that
+ * used to juggle three parallel shared_ptrs — the predictor's
+ * constructor, pipeline save/load, the trainer, the k-sweep
+ * ablation's re-wiring — passes one AggregationHeads instead.
+ */
+struct AggregationHeads
+{
+    std::shared_ptr<AggregationMlp> timing;
+    std::shared_ptr<AggregationMlp> area;
+    std::shared_ptr<AggregationMlp> power;
+
+    /** Heads with freshly-initialized (unfitted) MLPs. */
+    static AggregationHeads make(uint64_t timing_seed = 0xa99,
+                                 uint64_t area_seed = 0xa99,
+                                 uint64_t power_seed = 0xa99);
+
+    /** True when all three handles are present. */
+    bool complete() const { return timing && area && power; }
+
+    /**
+     * Fit all three MLPs on the same training summaries, one fit per
+     * sns::par worker (the fits are independent).
+     */
+    void fit(const std::vector<AggregateSummary> &summaries,
+             const std::vector<double> &timing_truth,
+             const std::vector<double> &area_truth,
+             const std::vector<double> &power_truth,
+             const MlpTrainConfig &config = MlpTrainConfig());
+
+    /** Persist the three MLPs into a model directory. */
+    void save(const std::string &directory) const;
+
+    /** Restore heads saved by save(). */
+    static AggregationHeads load(const std::string &directory);
 };
 
 /** One per-target design-level regressor. */

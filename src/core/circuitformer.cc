@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/serialize.hh"
+#include "par/thread_pool.hh"
 #include "util/logging.hh"
 
 namespace sns::core {
@@ -206,36 +207,43 @@ Circuitformer::predict(const std::vector<std::vector<TokenId>> &paths,
                        int batch_size) const
 {
     SNS_ASSERT(normalized_, "fitNormalization() before predict()");
-    NoGradGuard no_grad;
-    std::vector<PathPrediction> out;
-    out.reserve(paths.size());
-    for (size_t start = 0; start < paths.size(); start += batch_size) {
-        const size_t end = std::min(paths.size(),
-                                    start + static_cast<size_t>(batch_size));
-        std::vector<const std::vector<TokenId> *> batch_paths;
-        for (size_t i = start; i < end; ++i)
-            batch_paths.push_back(&paths[i]);
-        std::vector<int> ids;
-        std::vector<int> lengths;
-        int time = 0;
-        pack(batch_paths, ids, time, lengths);
-        const Variable pred = forwardBatch(
-            ids, static_cast<int>(batch_paths.size()), time, lengths);
-        for (size_t i = 0; i < batch_paths.size(); ++i) {
-            PathPrediction p;
-            const int row_idx = static_cast<int>(i);
-            p.timing_ps = std::exp(
-                pred.value().at2(row_idx, 0) * target_std_[0] +
-                target_mean_[0]);
-            p.area_um2 = std::exp(
-                pred.value().at2(row_idx, 1) * target_std_[1] +
-                target_mean_[1]);
-            p.power_mw = std::exp(
-                pred.value().at2(row_idx, 2) * target_std_[2] +
-                target_mean_[2]);
-            out.push_back(p);
+    SNS_ASSERT(batch_size > 0, "predict() needs batch_size > 0");
+    std::vector<PathPrediction> out(paths.size());
+    // Batch boundaries depend only on batch_size, never on the thread
+    // count, and each forward pass writes a disjoint slice of `out` —
+    // so the parallel prediction is bitwise identical to the serial one.
+    const size_t stride = static_cast<size_t>(batch_size);
+    const size_t num_batches = (paths.size() + stride - 1) / stride;
+    par::parallelFor(num_batches, [&](size_t bbegin, size_t bend) {
+        NoGradGuard no_grad;
+        for (size_t b = bbegin; b < bend; ++b) {
+            const size_t start = b * stride;
+            const size_t end = std::min(paths.size(), start + stride);
+            std::vector<const std::vector<TokenId> *> batch_paths;
+            for (size_t i = start; i < end; ++i)
+                batch_paths.push_back(&paths[i]);
+            std::vector<int> ids;
+            std::vector<int> lengths;
+            int time = 0;
+            pack(batch_paths, ids, time, lengths);
+            const Variable pred = forwardBatch(
+                ids, static_cast<int>(batch_paths.size()), time, lengths);
+            for (size_t i = 0; i < batch_paths.size(); ++i) {
+                PathPrediction p;
+                const int row_idx = static_cast<int>(i);
+                p.timing_ps = std::exp(
+                    pred.value().at2(row_idx, 0) * target_std_[0] +
+                    target_mean_[0]);
+                p.area_um2 = std::exp(
+                    pred.value().at2(row_idx, 1) * target_std_[1] +
+                    target_mean_[1]);
+                p.power_mw = std::exp(
+                    pred.value().at2(row_idx, 2) * target_std_[2] +
+                    target_mean_[2]);
+                out[start + i] = p;
+            }
         }
-    }
+    });
     return out;
 }
 

@@ -7,6 +7,7 @@
 #include "gen/markov.hh"
 #include "gen/path_check.hh"
 #include "gen/seqgan.hh"
+#include "par/thread_pool.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "verify/analyzer.hh"
@@ -20,16 +21,19 @@ HardwareDesignDataset::build(const std::vector<designs::DesignSpec> &specs,
                              const synth::Synthesizer &synthesizer)
 {
     HardwareDesignDataset dataset;
-    dataset.records_.reserve(specs.size());
-    for (const auto &spec : specs) {
-        DesignRecord record;
-        record.name = spec.name;
-        record.base = spec.base;
-        record.category = spec.category;
-        record.graph = spec.build();
-        record.truth = synthesizer.run(record.graph);
-        dataset.records_.push_back(std::move(record));
-    }
+    dataset.records_.resize(specs.size());
+    // Each design elaborates and characterizes independently; slot i
+    // belongs to specs[i], so the record order matches the serial build.
+    par::parallelFor(specs.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            DesignRecord &record = dataset.records_[i];
+            record.name = specs[i].name;
+            record.base = specs[i].base;
+            record.category = specs[i].category;
+            record.graph = specs[i].build();
+            record.truth = synthesizer.run(record.graph);
+        }
+    });
     // Dataset boundary: every ground-truth label must be usable before
     // it can reach a training loop.
     if (verify::enabled()) {
@@ -110,17 +114,22 @@ CircuitPathDataset::add(PathRecord record, PathOrigin origin)
 
 namespace {
 
-PathRecord
-labelPath(std::vector<TokenId> tokens,
-          const synth::Synthesizer &synthesizer)
+/** Characterize a batch of paths (parallel oracle) and append the
+ * labelled records to the dataset in input order. */
+void
+labelPaths(const std::vector<std::vector<TokenId>> &token_paths,
+           const synth::Synthesizer &synthesizer,
+           PathOrigin origin, CircuitPathDataset &dataset)
 {
-    PathRecord record;
-    const auto result = synthesizer.runPath(tokens);
-    record.tokens = std::move(tokens);
-    record.timing_ps = result.timing_ps;
-    record.area_um2 = result.area_um2;
-    record.power_mw = result.power_mw;
-    return record;
+    const auto results = synthesizer.runPaths(token_paths);
+    for (size_t i = 0; i < token_paths.size(); ++i) {
+        PathRecord record;
+        record.tokens = token_paths[i];
+        record.timing_ps = results[i].timing_ps;
+        record.area_um2 = results[i].area_um2;
+        record.power_mw = results[i].power_mw;
+        dataset.add(std::move(record), origin);
+    }
 }
 
 } // namespace
@@ -137,14 +146,30 @@ buildCircuitPathDataset(const HardwareDesignDataset &designs,
     CircuitPathDataset dataset;
 
     // --- 1. Direct sampling from the training designs. ---------------
+    // Seeds are drawn serially first so the per-design seed sequence is
+    // identical to the serial build; sampling then fans out over the
+    // sns::par pool, and the dedup pass walks designs in order so the
+    // surviving path set matches the serial build exactly.
+    Rng rng(options.seed);
+    std::vector<uint64_t> design_seeds;
+    design_seeds.reserve(train_indices.size());
+    for (size_t i = 0; i < train_indices.size(); ++i)
+        design_seeds.push_back(rng.next());
+
+    std::vector<std::vector<sampler::SampledPath>> per_design(
+        train_indices.size());
+    par::parallelFor(train_indices.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            sampler::SamplerOptions sopts = options.sampler;
+            sopts.seed = design_seeds[i];
+            per_design[i] = sampler::PathSampler(sopts).sample(
+                designs.records()[train_indices[i]].graph);
+        }
+    });
+
     std::set<std::vector<TokenId>> unique_paths;
     std::vector<std::vector<TokenId>> sampled;
-    Rng rng(options.seed);
-    for (size_t idx : train_indices) {
-        sampler::SamplerOptions sopts = options.sampler;
-        sopts.seed = rng.next();
-        const auto paths = sampler::PathSampler(sopts).sample(
-            designs.records()[idx].graph);
+    for (const auto &paths : per_design) {
         size_t taken = 0;
         for (const auto &path : paths) {
             if (taken >= options.max_paths_per_design)
@@ -158,8 +183,7 @@ buildCircuitPathDataset(const HardwareDesignDataset &designs,
         }
     }
     SNS_ASSERT(!sampled.empty(), "no circuit paths sampled");
-    for (const auto &tokens : sampled)
-        dataset.add(labelPath(tokens, synthesizer), PathOrigin::Sampled);
+    labelPaths(sampled, synthesizer, PathOrigin::Sampled, dataset);
 
     // --- 2. Markov-chain augmentation (§4.2.1). ----------------------
     std::vector<std::vector<TokenId>> exclude(unique_paths.begin(),
@@ -185,12 +209,12 @@ buildCircuitPathDataset(const HardwareDesignDataset &designs,
                  strat_cap)) {
             generated.push_back(tokens);
         }
+        std::vector<std::vector<TokenId>> accepted;
         for (const auto &tokens : generated) {
-            if (!unique_paths.insert(tokens).second)
-                continue;
-            dataset.add(labelPath(tokens, synthesizer),
-                        PathOrigin::Markov);
+            if (unique_paths.insert(tokens).second)
+                accepted.push_back(tokens);
         }
+        labelPaths(accepted, synthesizer, PathOrigin::Markov, dataset);
         exclude.assign(unique_paths.begin(), unique_paths.end());
     }
 
@@ -209,10 +233,7 @@ buildCircuitPathDataset(const HardwareDesignDataset &designs,
         gan.fit(sampled);
         const auto generated =
             gan.generateUnique(options.seqgan_paths, exclude);
-        for (const auto &tokens : generated) {
-            dataset.add(labelPath(tokens, synthesizer),
-                        PathOrigin::SeqGan);
-        }
+        labelPaths(generated, synthesizer, PathOrigin::SeqGan, dataset);
     }
 
     // Dataset boundary: every record that will feed the Circuitformer

@@ -34,18 +34,26 @@ evaluatePredictor(const SnsPredictor &predictor,
                   const HardwareDesignDataset &designs,
                   const std::vector<size_t> &test_indices)
 {
+    std::vector<const graphir::Graph *> graphs;
+    graphs.reserve(test_indices.size());
+    for (size_t idx : test_indices)
+        graphs.push_back(&designs.records()[idx].graph);
+    PredictOptions options;
+    options.collect_critical_path = false;
+    const auto preds = predictor.predictBatch(graphs, options);
+
     std::vector<DesignEval> evals;
-    for (size_t idx : test_indices) {
-        const auto &record = designs.records()[idx];
-        const auto pred = predictor.predict(record.graph);
+    evals.reserve(test_indices.size());
+    for (size_t i = 0; i < test_indices.size(); ++i) {
+        const auto &record = designs.records()[test_indices[i]];
         DesignEval eval;
         eval.name = record.name;
         eval.true_timing_ps = record.truth.timing_ps;
         eval.true_area_um2 = record.truth.area_um2;
         eval.true_power_mw = record.truth.power_mw;
-        eval.pred_timing_ps = pred.timing_ps;
-        eval.pred_area_um2 = pred.area_um2;
-        eval.pred_power_mw = pred.power_mw;
+        eval.pred_timing_ps = preds[i].timing_ps;
+        eval.pred_area_um2 = preds[i].area_um2;
+        eval.pred_power_mw = preds[i].power_mw;
         evals.push_back(std::move(eval));
     }
     return summarizeEvals(std::move(evals));

@@ -4,32 +4,31 @@
 #include <fstream>
 #include <map>
 
+#include "par/thread_pool.hh"
+#include "tensor/autograd.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 
 namespace sns::core {
 
 SnsPredictor::SnsPredictor(std::shared_ptr<Circuitformer> circuitformer,
-                           std::shared_ptr<AggregationMlp> timing_mlp,
-                           std::shared_ptr<AggregationMlp> area_mlp,
-                           std::shared_ptr<AggregationMlp> power_mlp,
+                           AggregationHeads heads,
                            sampler::SamplerOptions sampler_options)
     : circuitformer_(std::move(circuitformer)),
-      timing_mlp_(std::move(timing_mlp)),
-      area_mlp_(std::move(area_mlp)),
-      power_mlp_(std::move(power_mlp)),
+      heads_(std::move(heads)),
       sampler_options_(sampler_options)
 {
-    SNS_ASSERT(circuitformer_ && timing_mlp_ && area_mlp_ && power_mlp_,
+    SNS_ASSERT(circuitformer_ && heads_.complete(),
                "SnsPredictor needs all four models");
-    SNS_ASSERT(timing_mlp_->target() == Target::Timing &&
-                   area_mlp_->target() == Target::Area &&
-                   power_mlp_->target() == Target::Power,
+    SNS_ASSERT(heads_.timing->target() == Target::Timing &&
+                   heads_.area->target() == Target::Area &&
+                   heads_.power->target() == Target::Power,
                "MLP target mismatch");
 }
 
 SnsPrediction
-SnsPredictor::predict(const graphir::Graph &graph) const
+SnsPredictor::predictOne(const graphir::Graph &graph,
+                         const PredictOptions &options) const
 {
     SnsPrediction prediction;
 
@@ -44,7 +43,8 @@ SnsPredictor::predict(const graphir::Graph &graph) const
     token_paths.reserve(paths.size());
     for (const auto &path : paths)
         token_paths.push_back(path.tokens);
-    const auto path_preds = circuitformer_->predict(token_paths);
+    const auto path_preds =
+        circuitformer_->predict(token_paths, options.batch_size);
 
     // 3. Reductions. Per-path activity is the mean of the endpoint
     //    registers' activity coefficients (§3.4.4).
@@ -62,19 +62,51 @@ SnsPredictor::predict(const graphir::Graph &graph) const
         reduceAggregates(graph, path_preds, lengths, activities);
 
     // 4. Design-level MLPs.
-    prediction.timing_ps = timing_mlp_->predict(summary);
-    prediction.area_um2 = area_mlp_->predict(summary);
-    prediction.power_mw = power_mlp_->predict(summary);
+    prediction.timing_ps = heads_.timing->predict(summary);
+    prediction.area_um2 = heads_.area->predict(summary);
+    prediction.power_mw = heads_.power->predict(summary);
 
     // Critical-path localization: the sampled path with the largest
     // predicted timing.
-    size_t argmax = 0;
-    for (size_t i = 1; i < path_preds.size(); ++i) {
-        if (path_preds[i].timing_ps > path_preds[argmax].timing_ps)
-            argmax = i;
+    if (options.collect_critical_path) {
+        size_t argmax = 0;
+        for (size_t i = 1; i < path_preds.size(); ++i) {
+            if (path_preds[i].timing_ps > path_preds[argmax].timing_ps)
+                argmax = i;
+        }
+        prediction.critical_path = paths[argmax].nodes;
     }
-    prediction.critical_path = paths[argmax].nodes;
     return prediction;
+}
+
+std::vector<SnsPrediction>
+SnsPredictor::predictBatch(std::span<const graphir::Graph *const> graphs,
+                           const PredictOptions &options) const
+{
+    if (options.threads > 0)
+        par::setThreads(options.threads);
+
+    std::vector<SnsPrediction> predictions(graphs.size());
+    // One task per design; each design's pipeline is self-contained and
+    // writes only its own slot. With a single design (or one thread)
+    // this degrades to the serial loop, and the per-design pipeline's
+    // inner parallelism (GEMM tiles, Circuitformer batches) takes over.
+    par::parallelFor(graphs.size(), [&](size_t begin, size_t end) {
+        tensor::NoGradGuard no_grad;
+        for (size_t i = begin; i < end; ++i) {
+            SNS_ASSERT(graphs[i] != nullptr,
+                       "predictBatch: null graph at index ", i);
+            predictions[i] = predictOne(*graphs[i], options);
+        }
+    });
+    return predictions;
+}
+
+SnsPrediction
+SnsPredictor::predict(const graphir::Graph &graph) const
+{
+    const graphir::Graph *graphs[1] = {&graph};
+    return predictBatch(graphs).front();
 }
 
 namespace {
@@ -88,9 +120,7 @@ SnsPredictor::save(const std::string &directory) const
 {
     std::filesystem::create_directories(directory);
     circuitformer_->save(directory + "/circuitformer.bin");
-    timing_mlp_->save(directory + "/mlp_timing.bin");
-    area_mlp_->save(directory + "/mlp_area.bin");
-    power_mlp_->save(directory + "/mlp_power.bin");
+    heads_.save(directory);
 
     std::ofstream meta(directory + "/" + kMetaFile);
     if (!meta)
@@ -166,16 +196,8 @@ SnsPredictor::load(const std::string &directory)
 
     auto circuitformer = std::make_shared<Circuitformer>(model);
     circuitformer->load(directory + "/circuitformer.bin");
-    auto timing_mlp =
-        std::make_shared<AggregationMlp>(Target::Timing);
-    auto area_mlp = std::make_shared<AggregationMlp>(Target::Area);
-    auto power_mlp = std::make_shared<AggregationMlp>(Target::Power);
-    timing_mlp->load(directory + "/mlp_timing.bin");
-    area_mlp->load(directory + "/mlp_area.bin");
-    power_mlp->load(directory + "/mlp_power.bin");
-    return SnsPredictor(std::move(circuitformer), std::move(timing_mlp),
-                        std::move(area_mlp), std::move(power_mlp),
-                        sopts);
+    return SnsPredictor(std::move(circuitformer),
+                        AggregationHeads::load(directory), sopts);
 }
 
 } // namespace sns::core

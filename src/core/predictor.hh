@@ -11,12 +11,19 @@
  * Because every path is explicitly sampled, the predictor also reports
  * *where* the predicted critical path lies in the design — the paper's
  * §2.2 "local property" advantage over whole-graph GNNs.
+ *
+ * The serving entry point is `predictBatch`: many designs in, one
+ * prediction per design out, with work distributed over the sns::par
+ * runtime — across designs when the batch has several, across path
+ * batches (and GEMM tiles) inside a single large design. Predictions
+ * are bitwise identical at any thread count (docs/parallelism.md).
  */
 
 #ifndef SNS_CORE_PREDICTOR_HH
 #define SNS_CORE_PREDICTOR_HH
 
 #include <memory>
+#include <span>
 
 #include "core/aggregation.hh"
 #include "core/circuitformer.hh"
@@ -30,10 +37,32 @@ struct SnsPrediction
     double timing_ps = 0.0;
     double area_um2 = 0.0;
     double power_mw = 0.0;
-    /** Vertices of the predicted-slowest sampled path. */
+    /** Vertices of the predicted-slowest sampled path (empty when
+     * PredictOptions::collect_critical_path is off). */
     std::vector<graphir::NodeId> critical_path;
     /** Number of complete circuit paths sampled for this prediction. */
     size_t paths_sampled = 0;
+};
+
+/** Knobs of one predictBatch() call. */
+struct PredictOptions
+{
+    /**
+     * Pool width for this call: 0 keeps the process-wide width
+     * (par::configuredThreads()); > 0 resets it via par::setThreads()
+     * first — a process-wide effect, exactly like a --threads flag.
+     */
+    int threads = 0;
+
+    /** Paths per Circuitformer forward pass. Changing it regroups the
+     * padded batches, which legitimately changes results at the
+     * float level — it is a model-evaluation knob, not a parallelism
+     * knob, and the thread count never alters it. */
+    int batch_size = 64;
+
+    /** Record each design's predicted critical path (skip to save the
+     * per-design argmax + node-vector copy in bulk serving). */
+    bool collect_critical_path = true;
 };
 
 /** The trained SNS prediction pipeline. */
@@ -41,15 +70,22 @@ class SnsPredictor
 {
   public:
     SnsPredictor(std::shared_ptr<Circuitformer> circuitformer,
-                 std::shared_ptr<AggregationMlp> timing_mlp,
-                 std::shared_ptr<AggregationMlp> area_mlp,
-                 std::shared_ptr<AggregationMlp> power_mlp,
+                 AggregationHeads heads,
                  sampler::SamplerOptions sampler_options);
 
     /**
-     * Predict the post-synthesis characteristics of a design. Register
-     * activity coefficients on the graph (§3.4.4) scale per-path power
-     * before aggregation.
+     * Predict the post-synthesis characteristics of a batch of
+     * designs; result i belongs to graphs[i]. Register activity
+     * coefficients on each graph (§3.4.4) scale per-path power before
+     * aggregation.
+     */
+    std::vector<SnsPrediction> predictBatch(
+        std::span<const graphir::Graph *const> graphs,
+        const PredictOptions &options = PredictOptions()) const;
+
+    /**
+     * Single-design convenience wrapper over predictBatch (kept for
+     * tests and exploratory callers; bulk callers should batch).
      */
     SnsPrediction predict(const graphir::Graph &graph) const;
 
@@ -64,6 +100,9 @@ class SnsPredictor
         return circuitformer_;
     }
 
+    /** The per-target aggregation heads. */
+    const AggregationHeads &heads() const { return heads_; }
+
     /** Sampler configuration in use. */
     const sampler::SamplerOptions &samplerOptions() const
     {
@@ -72,8 +111,8 @@ class SnsPredictor
 
     /**
      * Persist the whole trained pipeline into a directory:
-     * circuitformer weights, the three MLPs, and a metadata file with
-     * the architecture and sampler configuration.
+     * circuitformer weights, the aggregation heads, and a metadata
+     * file with the architecture and sampler configuration.
      */
     void save(const std::string &directory) const;
 
@@ -81,10 +120,12 @@ class SnsPredictor
     static SnsPredictor load(const std::string &directory);
 
   private:
+    /** The full single-design pipeline (sample -> infer -> aggregate). */
+    SnsPrediction predictOne(const graphir::Graph &graph,
+                             const PredictOptions &options) const;
+
     std::shared_ptr<Circuitformer> circuitformer_;
-    std::shared_ptr<AggregationMlp> timing_mlp_;
-    std::shared_ptr<AggregationMlp> area_mlp_;
-    std::shared_ptr<AggregationMlp> power_mlp_;
+    AggregationHeads heads_;
     sampler::SamplerOptions sampler_options_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/thread_pool.hh"
 #include "util/logging.hh"
 #include "verify/diagnostics.hh"
 
@@ -98,26 +99,44 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
     }
 
     // --- 3. Aggregation MLPs (SGD, Table 6). --------------------------
+    // Each design's sampler seed depends only on its dataset index, so
+    // the per-design summaries can be computed on the sns::par pool in
+    // any order; the compaction below restores train_indices order.
+    const size_t num_train = train_indices.size();
+    std::vector<AggregateSummary> design_summaries(num_train);
+    std::vector<char> has_summary(num_train, 0);
+    par::parallelFor(num_train, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            const size_t idx = train_indices[i];
+            const auto &record = designs.records()[idx];
+            sampler::SamplerOptions sopts = config_.path_data.sampler;
+            sopts.seed = config_.seed ^ (idx * 0x9e3779b9ULL);
+            const auto paths =
+                sampler::PathSampler(sopts).sample(record.graph);
+            if (paths.empty())
+                continue;
+            std::vector<std::vector<graphir::TokenId>> token_paths;
+            std::vector<size_t> lengths;
+            for (const auto &path : paths) {
+                token_paths.push_back(path.tokens);
+                lengths.push_back(path.nodes.size());
+            }
+            const auto preds = circuitformer->predict(token_paths);
+            design_summaries[i] =
+                reduceAggregates(record.graph, preds, lengths);
+            has_summary[i] = 1;
+        }
+    });
+
     std::vector<AggregateSummary> summaries;
     std::vector<double> timing_truth;
     std::vector<double> area_truth;
     std::vector<double> power_truth;
-    for (size_t idx : train_indices) {
-        const auto &record = designs.records()[idx];
-        sampler::SamplerOptions sopts = config_.path_data.sampler;
-        sopts.seed = config_.seed ^ (idx * 0x9e3779b9ULL);
-        const auto paths = sampler::PathSampler(sopts).sample(record.graph);
-        if (paths.empty())
+    for (size_t i = 0; i < num_train; ++i) {
+        if (!has_summary[i])
             continue;
-        std::vector<std::vector<graphir::TokenId>> token_paths;
-        std::vector<size_t> lengths;
-        for (const auto &path : paths) {
-            token_paths.push_back(path.tokens);
-            lengths.push_back(path.nodes.size());
-        }
-        const auto preds = circuitformer->predict(token_paths);
-        summaries.push_back(
-            reduceAggregates(record.graph, preds, lengths));
+        const auto &record = designs.records()[train_indices[i]];
+        summaries.push_back(std::move(design_summaries[i]));
         timing_truth.push_back(record.truth.timing_ps);
         area_truth.push_back(record.truth.area_um2);
         power_truth.push_back(record.truth.power_mw);
@@ -126,17 +145,18 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
 
     MlpTrainConfig mlp_config = config_.mlp;
     mlp_config.seed = rng.next();
-    auto timing_mlp =
-        std::make_shared<AggregationMlp>(Target::Timing, rng.next());
-    auto area_mlp =
-        std::make_shared<AggregationMlp>(Target::Area, rng.next());
-    auto power_mlp =
-        std::make_shared<AggregationMlp>(Target::Power, rng.next());
-    timing_mlp->fit(summaries, timing_truth, mlp_config);
-    area_mlp->fit(summaries, area_truth, mlp_config);
-    power_mlp->fit(summaries, power_truth, mlp_config);
+    // Named draws: function-argument evaluation order is unspecified,
+    // and the seed sequence (timing, area, power) must match the
+    // pre-AggregationHeads trainer exactly.
+    const uint64_t timing_seed = rng.next();
+    const uint64_t area_seed = rng.next();
+    const uint64_t power_seed = rng.next();
+    AggregationHeads heads =
+        AggregationHeads::make(timing_seed, area_seed, power_seed);
+    heads.fit(summaries, timing_truth, area_truth, power_truth,
+              mlp_config);
 
-    return SnsPredictor(circuitformer, timing_mlp, area_mlp, power_mlp,
+    return SnsPredictor(circuitformer, std::move(heads),
                         config_.path_data.sampler);
 }
 

@@ -1,0 +1,250 @@
+#include "par/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace sns::par {
+
+namespace {
+
+/** Set while the current thread executes inside a pool region. */
+thread_local bool t_in_region = false;
+
+int
+resolveWidth(int threads)
+{
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    return std::max(1, threads);
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(resolveWidth(threads))
+{
+    workers_.reserve(static_cast<size_t>(threads_) - 1);
+    for (int i = 1; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runTasks()
+{
+    t_in_region = true;
+    for (;;) {
+        const size_t index =
+            next_task_.fetch_add(1, std::memory_order_relaxed);
+        if (index >= num_tasks_)
+            break;
+        try {
+            (*task_)(index);
+        } catch (...) {
+            errors_[index] = std::current_exception();
+        }
+    }
+    t_in_region = false;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_epoch = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || epoch_ != seen_epoch;
+            });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+        }
+        runTasks();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--active_ == 0)
+                done_cv_.notify_one();
+        }
+    }
+}
+
+void
+ThreadPool::run(size_t num_tasks, const std::function<void(size_t)> &task)
+{
+    if (num_tasks == 0)
+        return;
+
+    // Nested region, single task, or serial pool: run inline. Nested
+    // parallelism is rejected by design — see the header contract.
+    if (t_in_region || workers_.empty() || num_tasks == 1) {
+        const bool was_in_region = t_in_region;
+        t_in_region = true;
+        std::exception_ptr first_error;
+        for (size_t i = 0; i < num_tasks; ++i) {
+            try {
+                task(i);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        t_in_region = was_in_region;
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task_ = &task;
+        num_tasks_ = num_tasks;
+        next_task_.store(0, std::memory_order_relaxed);
+        errors_.assign(num_tasks, nullptr);
+        active_ = workers_.size();
+        ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    // The caller participates, claiming chunks from the same counter.
+    runTasks();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    task_ = nullptr;
+
+    // Deterministic rethrow: the lowest-index failing task wins,
+    // regardless of which worker ran it or when it failed.
+    for (auto &error : errors_) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    grain = std::max<size_t>(1, grain);
+    const size_t max_chunks = (n + grain - 1) / grain;
+    const size_t chunks =
+        std::min<size_t>(static_cast<size_t>(threads_), max_chunks);
+    const size_t chunk_size = (n + chunks - 1) / chunks;
+    run(chunks, [&](size_t chunk) {
+        const size_t begin = chunk * chunk_size;
+        const size_t end = std::min(n, begin + chunk_size);
+        if (begin < end)
+            body(begin, end);
+    });
+}
+
+void
+ThreadPool::parallelForChunks(
+    size_t n, size_t num_chunks,
+    const std::function<void(size_t, size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    SNS_ASSERT(num_chunks > 0, "parallelForChunks needs chunks > 0");
+    // Chunk boundaries are a pure function of (n, num_chunks): the
+    // pool width never shifts them, so serial combination of the
+    // per-chunk partials is reproducible at any thread count.
+    const size_t chunks = std::min(n, num_chunks);
+    const size_t chunk_size = (n + chunks - 1) / chunks;
+    run(chunks, [&](size_t chunk) {
+        const size_t begin = chunk * chunk_size;
+        const size_t end = std::min(n, begin + chunk_size);
+        if (begin < end)
+            body(chunk, begin, end);
+    });
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_thread_override = -1; // -1: unset; >= 0: setThreads() value
+
+int
+envThreads()
+{
+    const char *env = std::getenv("SNS_THREADS");
+    if (env == nullptr || *env == '\0')
+        return 1;
+    return resolveWidth(std::atoi(env));
+}
+
+} // namespace
+
+int
+configuredThreads()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (g_thread_override >= 0)
+        return resolveWidth(g_thread_override);
+    return envThreads();
+}
+
+void
+setThreads(int threads)
+{
+    SNS_ASSERT(!t_in_region,
+               "setThreads() inside a parallel region");
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_thread_override = std::max(0, threads);
+    const int width = resolveWidth(g_thread_override);
+    if (g_pool && g_pool->threads() != width)
+        g_pool.reset();
+}
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool) {
+        const int width = g_thread_override >= 0
+                              ? resolveWidth(g_thread_override)
+                              : envThreads();
+        g_pool = std::make_unique<ThreadPool>(width);
+    }
+    return *g_pool;
+}
+
+bool
+inParallelRegion()
+{
+    return t_in_region;
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t, size_t)> &body,
+            size_t grain)
+{
+    globalPool().parallelFor(n, grain, body);
+}
+
+void
+parallelForChunks(size_t n, size_t num_chunks,
+                  const std::function<void(size_t, size_t, size_t)> &body)
+{
+    globalPool().parallelForChunks(n, num_chunks, body);
+}
+
+} // namespace sns::par

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * sns::par — the deterministic parallel runtime.
+ *
+ * A fixed-size thread pool with *static chunking* and no work
+ * stealing: `parallelFor` splits an index range into contiguous
+ * chunks whose boundaries depend only on the range, the grain, and the
+ * pool width — never on execution timing. Which worker executes which
+ * chunk is scheduling noise; the contract is that every chunk writes
+ * disjoint state (or reduces through `parallelForChunks`, whose chunk
+ * count the caller fixes), so results are bitwise identical at any
+ * thread count.
+ *
+ * Determinism contract:
+ *   - chunk boundaries are pure functions of (n, grain, threads);
+ *   - a loop body must only write state indexed by its own range
+ *     (per-index outputs, per-chunk partials);
+ *   - reductions combine per-chunk partials serially, in chunk order,
+ *     with a caller-fixed chunk count (`parallelForChunks`);
+ *   - stochastic bodies draw from RNG streams pre-split per index or
+ *     per chunk (`Rng::fork`, seed-by-index), never from one shared
+ *     generator.
+ *
+ * Nested parallelism is rejected: a `parallelFor` issued from inside a
+ * worker runs its body serially inline on the calling worker. This
+ * keeps composition safe (a parallel predictor may call a parallel
+ * GEMM) without oversubscription or deadlock.
+ *
+ * The process-wide pool width comes from, in priority order:
+ * `setThreads()` (e.g. a `--threads=N` CLI flag), the `SNS_THREADS`
+ * environment variable, else 1 (serial). A width of 0 requests the
+ * hardware concurrency.
+ */
+
+#ifndef SNS_PAR_THREAD_POOL_HH
+#define SNS_PAR_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sns::par {
+
+/** A fixed-width, statically-chunked, work-stealing-free thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn a pool of the given width. The calling thread participates
+     * in every region, so `threads` counts it: a width of N spawns
+     * N - 1 workers, and a width <= 1 spawns none (purely serial).
+     * A width of 0 requests std::thread::hardware_concurrency().
+     */
+    explicit ThreadPool(int threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Pool width (participating caller included). */
+    int threads() const { return threads_; }
+
+    /**
+     * Execute task(0) .. task(num_tasks - 1), distributed over the
+     * workers plus the calling thread; blocks until every task ran.
+     * Tasks are claimed in index order from a shared counter (static
+     * task list, no stealing). If tasks throw, every task still runs,
+     * and the exception of the lowest-index failing task is rethrown.
+     * Issued from inside a pool region, runs serially inline.
+     */
+    void run(size_t num_tasks, const std::function<void(size_t)> &task);
+
+    /**
+     * Chunked parallel loop over [0, n): the range splits into at most
+     * threads() contiguous chunks of at least `grain` indices, and
+     * body(begin, end) runs once per chunk. The body must only write
+     * state indexed by [begin, end).
+     */
+    void parallelFor(size_t n, size_t grain,
+                     const std::function<void(size_t, size_t)> &body);
+
+    /**
+     * Fixed-chunk-count parallel loop for deterministic reductions:
+     * [0, n) splits into exactly min(num_chunks, n) contiguous chunks
+     * regardless of pool width, and body(chunk, begin, end) runs once
+     * per chunk. Combine the per-chunk partials serially in chunk
+     * order afterwards and the reduction is bitwise identical at any
+     * thread count.
+     */
+    void parallelForChunks(
+        size_t n, size_t num_chunks,
+        const std::function<void(size_t, size_t, size_t)> &body);
+
+  private:
+    void workerLoop();
+    void runTasks();
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    bool stop_ = false;
+    uint64_t epoch_ = 0;    ///< bumped once per region
+    size_t active_ = 0;     ///< workers still inside the current region
+
+    const std::function<void(size_t)> *task_ = nullptr;
+    size_t num_tasks_ = 0;
+    std::atomic<size_t> next_task_{0};
+    std::vector<std::exception_ptr> errors_;
+};
+
+/**
+ * The configured process-wide pool width: setThreads() override if
+ * set, else SNS_THREADS, else 1. 0 in either source resolves to the
+ * hardware concurrency.
+ */
+int configuredThreads();
+
+/**
+ * Override the process-wide pool width (e.g. from --threads=N). Takes
+ * effect immediately: if the global pool already exists at a different
+ * width it is torn down and respawned. Call from the main thread at
+ * configuration points only, never from inside a parallel region.
+ */
+void setThreads(int threads);
+
+/** The lazily-created process-wide pool at the configured width. */
+ThreadPool &globalPool();
+
+/** True on a thread currently executing inside a pool region. */
+bool inParallelRegion();
+
+/** parallelFor on the global pool. */
+void parallelFor(size_t n, const std::function<void(size_t, size_t)> &body,
+                 size_t grain = 1);
+
+/** parallelForChunks on the global pool. */
+void parallelForChunks(
+    size_t n, size_t num_chunks,
+    const std::function<void(size_t, size_t, size_t)> &body);
+
+} // namespace sns::par
+
+#endif // SNS_PAR_THREAD_POOL_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "par/thread_pool.hh"
 #include "util/logging.hh"
 #include "verify/analyzer.hh"
 
@@ -440,6 +441,29 @@ Synthesizer::pathToChain(const std::vector<TokenId> &path,
         prev = id;
     }
     return chain;
+}
+
+std::vector<SynthesisResult>
+Synthesizer::runPaths(
+    const std::vector<std::vector<TokenId>> &paths) const
+{
+    std::vector<SynthesisResult> results(paths.size());
+    par::parallelFor(paths.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            results[i] = runPath(paths[i]);
+    });
+    return results;
+}
+
+std::vector<SynthesisResult>
+Synthesizer::runBatch(const std::vector<const graphir::Graph *> &graphs) const
+{
+    std::vector<SynthesisResult> results(graphs.size());
+    par::parallelFor(graphs.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            results[i] = run(*graphs[i]);
+    });
+    return results;
 }
 
 SynthesisResult

@@ -114,6 +114,24 @@ class Synthesizer
      */
     SynthesisResult runPath(const std::vector<graphir::TokenId> &path) const;
 
+    /**
+     * Characterize a batch of complete circuit paths, distributed over
+     * the sns::par runtime. Each path's label is a pure function of its
+     * tokens (the heuristic jitter is seeded from the path itself), so
+     * results are index-aligned with the input and bitwise identical
+     * to calling runPath() serially, at any thread count.
+     */
+    std::vector<SynthesisResult> runPaths(
+        const std::vector<std::vector<graphir::TokenId>> &paths) const;
+
+    /**
+     * Synthesize a batch of designs, distributed over the sns::par
+     * runtime. Results are index-aligned with the input and identical
+     * to serial run() calls at any thread count.
+     */
+    std::vector<SynthesisResult> runBatch(
+        const std::vector<const graphir::Graph *> &graphs) const;
+
     /** Build the standalone chain circuit for a token sequence. */
     static graphir::Graph pathToChain(
         const std::vector<graphir::TokenId> &path,

@@ -1,67 +1,145 @@
 #include "tensor/gemm.hh"
 
+#include <algorithm>
 #include <cstddef>
 
+#include "par/thread_pool.hh"
+
 namespace sns::tensor {
+
+namespace {
+
+// Multi-threading threshold: below ~2 MFLOP the fork/join overhead of
+// even an idle pool beats the arithmetic.
+constexpr long long kParallelFlops = 1 << 21;
+
+// Row-tile kernels: each computes the full GEMM restricted to rows
+// [i0, i1) of C (column tile [j0, j1) for the trans_a case, whose
+// natural loop order writes whole C rows). Every element of C keeps
+// the exact serial accumulation order — the reduction over p runs
+// ascending inside one tile — so tiling (and threading over tiles)
+// never changes a single bit of the result.
+
+void
+gemmRowsNN(const float *a, const float *b, float *c, int n, int k,
+           int i0, int i1)
+{
+    // C[i][j] += A[i][p] * B[p][j]; ikj order streams B and C rows.
+    for (int i = i0; i < i1; ++i) {
+        const float *arow = a + static_cast<size_t>(i) * k;
+        float *crow = c + static_cast<size_t>(i) * n;
+        for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + static_cast<size_t>(p) * n;
+            for (int j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmRowsNT(const float *a, const float *b, float *c, int n, int k,
+           int i0, int i1)
+{
+    // B stored (n x k): C[i][j] += dot(Arow_i, Brow_j).
+    for (int i = i0; i < i1; ++i) {
+        const float *arow = a + static_cast<size_t>(i) * k;
+        float *crow = c + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+            const float *brow = b + static_cast<size_t>(j) * k;
+            float acc = 0.0f;
+            for (int p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] += acc;
+        }
+    }
+}
+
+void
+gemmColsTN(const float *a, const float *b, float *c, int m, int n,
+           int k, int j0, int j1)
+{
+    // A stored (k x m): C[i][j] += A[p][i] * B[p][j]. The p-outer
+    // order is kept (it streams A and B rows); tiles split the j
+    // columns so concurrent tiles write disjoint slices of C.
+    for (int p = 0; p < k; ++p) {
+        const float *arow = a + static_cast<size_t>(p) * m;
+        const float *brow = b + static_cast<size_t>(p) * n;
+        for (int i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c + static_cast<size_t>(i) * n;
+            for (int j = j0; j < j1; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmRowsTT(const float *a, const float *b, float *c, int m, int n,
+           int k, int i0, int i1)
+{
+    // Rare double-transpose case; plain triple loop.
+    for (int i = i0; i < i1; ++i) {
+        float *crow = c + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (int p = 0; p < k; ++p) {
+                acc += a[static_cast<size_t>(p) * m + i] *
+                       b[static_cast<size_t>(j) * k + p];
+            }
+            crow[j] += acc;
+        }
+    }
+}
+
+} // namespace
 
 void
 gemmAcc(const float *a, const float *b, float *c, int m, int n, int k,
         bool trans_a, bool trans_b)
 {
-    if (!trans_a && !trans_b) {
-        // C[i][j] += A[i][p] * B[p][j]; ikj order streams B and C rows.
-        for (int i = 0; i < m; ++i) {
-            const float *arow = a + static_cast<size_t>(i) * k;
-            float *crow = c + static_cast<size_t>(i) * n;
-            for (int p = 0; p < k; ++p) {
-                const float av = arow[p];
-                if (av == 0.0f)
-                    continue;
-                const float *brow = b + static_cast<size_t>(p) * n;
-                for (int j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
+    auto &pool = par::globalPool();
+    const long long flops = 2ll * m * n * k;
+    const bool parallel = pool.threads() > 1 &&
+                          !par::inParallelRegion() &&
+                          flops >= kParallelFlops;
+
+    if (trans_a && !trans_b) {
+        // Tile over columns of C (disjoint writes under p-outer order).
+        if (parallel && n >= 2 * pool.threads()) {
+            pool.parallelFor(
+                static_cast<size_t>(n), 16,
+                [&](size_t j0, size_t j1) {
+                    gemmColsTN(a, b, c, m, n, k, static_cast<int>(j0),
+                               static_cast<int>(j1));
+                });
+        } else {
+            gemmColsTN(a, b, c, m, n, k, 0, n);
         }
-    } else if (!trans_a && trans_b) {
-        // B stored (n x k): C[i][j] += dot(Arow_i, Brow_j).
-        for (int i = 0; i < m; ++i) {
-            const float *arow = a + static_cast<size_t>(i) * k;
-            float *crow = c + static_cast<size_t>(i) * n;
-            for (int j = 0; j < n; ++j) {
-                const float *brow = b + static_cast<size_t>(j) * k;
-                float acc = 0.0f;
-                for (int p = 0; p < k; ++p)
-                    acc += arow[p] * brow[p];
-                crow[j] += acc;
-            }
-        }
-    } else if (trans_a && !trans_b) {
-        // A stored (k x m): C[i][j] += A[p][i] * B[p][j].
-        for (int p = 0; p < k; ++p) {
-            const float *arow = a + static_cast<size_t>(p) * m;
-            const float *brow = b + static_cast<size_t>(p) * n;
-            for (int i = 0; i < m; ++i) {
-                const float av = arow[i];
-                if (av == 0.0f)
-                    continue;
-                float *crow = c + static_cast<size_t>(i) * n;
-                for (int j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
-        }
+        return;
+    }
+
+    // The remaining cases tile over rows of C.
+    auto rows = [&](int i0, int i1) {
+        if (!trans_a && !trans_b)
+            gemmRowsNN(a, b, c, n, k, i0, i1);
+        else if (!trans_a && trans_b)
+            gemmRowsNT(a, b, c, n, k, i0, i1);
+        else
+            gemmRowsTT(a, b, c, m, n, k, i0, i1);
+    };
+    if (parallel && m >= 2 * pool.threads()) {
+        pool.parallelFor(static_cast<size_t>(m), 4,
+                         [&](size_t i0, size_t i1) {
+                             rows(static_cast<int>(i0),
+                                  static_cast<int>(i1));
+                         });
     } else {
-        // Rare double-transpose case; plain triple loop.
-        for (int i = 0; i < m; ++i) {
-            float *crow = c + static_cast<size_t>(i) * n;
-            for (int j = 0; j < n; ++j) {
-                float acc = 0.0f;
-                for (int p = 0; p < k; ++p) {
-                    acc += a[static_cast<size_t>(p) * m + i] *
-                           b[static_cast<size_t>(j) * k + p];
-                }
-                crow[j] += acc;
-            }
-        }
+        rows(0, m);
     }
 }
 

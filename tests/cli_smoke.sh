@@ -39,6 +39,23 @@ test -f "$WORK/model/predictor.meta"
 
 "$CLI" predict --model="$WORK/model" "$WORK/fir.snl" "$WORK/mac.v" \
     | grep -q "critical path"
+
+# Batched prediction must be identical with and without --threads, and
+# --json must emit one record per design.
+"$CLI" predict --model="$WORK/model" "$WORK/fir.snl" "$WORK/mac.v" \
+    > "$WORK/pred_1t.out"
+"$CLI" predict --model="$WORK/model" --threads=4 "$WORK/fir.snl" \
+    "$WORK/mac.v" > "$WORK/pred_4t.out"
+# Strip the timing summary line (wall clock differs run to run).
+grep -v "predicted in" "$WORK/pred_1t.out" > "$WORK/pred_1t.body"
+grep -v "predicted in" "$WORK/pred_4t.out" > "$WORK/pred_4t.body"
+diff "$WORK/pred_1t.body" "$WORK/pred_4t.body"
+
+"$CLI" predict --model="$WORK/model" --json "$WORK/fir.snl" "$WORK/mac.v" \
+    > "$WORK/pred.json"
+grep -q '"design": "fir2"' "$WORK/pred.json"
+grep -q '"design": "mac"' "$WORK/pred.json"
+grep -q '"timing_ps"' "$WORK/pred.json"
 "$CLI" synth "$WORK/fir.snl" "$WORK/mac.v" | grep -q "gates"
 "$CLI" paths "$WORK/mac.v" --k=1 | grep -q "complete circuit paths"
 "$CLI" dot "$WORK/fir.snl" | grep -q "digraph"

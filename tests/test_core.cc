@@ -14,8 +14,9 @@
 #include <set>
 
 #include "core/evaluation.hh"
-#include "util/stats.hh"
 #include "core/trainer.hh"
+#include "par/thread_pool.hh"
+#include "util/stats.hh"
 
 namespace sns::core {
 namespace {
@@ -412,8 +413,86 @@ TEST(PredictorTest, SaveLoadRoundTripsPredictions)
     std::filesystem::remove_all(dir);
 }
 
+TEST(PredictBatchTest, BitwiseIdenticalAtAnyThreadCount)
+{
+    // The sns::par determinism contract, end to end: the same batch
+    // predicted at 1 and N threads must agree bit for bit — same
+    // doubles, same critical paths.
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+
+    std::vector<const graphir::Graph *> graphs;
+    for (const auto &record : dataset.records())
+        graphs.push_back(&record.graph);
+
+    PredictOptions serial;
+    serial.threads = 1;
+    const auto base = predictor.predictBatch(graphs, serial);
+    ASSERT_EQ(base.size(), graphs.size());
+
+    for (int threads : {2, 4}) {
+        PredictOptions multi;
+        multi.threads = threads;
+        const auto preds = predictor.predictBatch(graphs, multi);
+        ASSERT_EQ(preds.size(), base.size());
+        for (size_t i = 0; i < preds.size(); ++i) {
+            EXPECT_EQ(preds[i].timing_ps, base[i].timing_ps)
+                << "design " << i << " threads " << threads;
+            EXPECT_EQ(preds[i].area_um2, base[i].area_um2)
+                << "design " << i << " threads " << threads;
+            EXPECT_EQ(preds[i].power_mw, base[i].power_mw)
+                << "design " << i << " threads " << threads;
+            EXPECT_EQ(preds[i].critical_path, base[i].critical_path)
+                << "design " << i << " threads " << threads;
+            EXPECT_EQ(preds[i].paths_sampled, base[i].paths_sampled);
+        }
+    }
+    par::setThreads(1);
+}
+
+TEST(PredictBatchTest, WrapperAndOptionsAgree)
+{
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+
+    const auto &graph = dataset.records()[5].graph;
+    const graphir::Graph *one[1] = {&graph};
+
+    // predict() is a thin wrapper over predictBatch.
+    const auto single = predictor.predict(graph);
+    const auto batched = predictor.predictBatch(one);
+    ASSERT_EQ(batched.size(), 1u);
+    EXPECT_EQ(single.timing_ps, batched[0].timing_ps);
+    EXPECT_EQ(single.area_um2, batched[0].area_um2);
+    EXPECT_EQ(single.power_mw, batched[0].power_mw);
+    EXPECT_EQ(single.critical_path, batched[0].critical_path);
+
+    // collect_critical_path=false skips the path but not the numbers.
+    PredictOptions no_path;
+    no_path.collect_critical_path = false;
+    const auto bare = predictor.predictBatch(one, no_path);
+    EXPECT_TRUE(bare[0].critical_path.empty());
+    EXPECT_EQ(bare[0].timing_ps, single.timing_ps);
+    EXPECT_EQ(bare[0].area_um2, single.area_um2);
+
+    // An empty batch is valid and returns nothing.
+    EXPECT_TRUE(predictor
+                    .predictBatch(std::span<const graphir::Graph
+                                                *const>{})
+                    .empty());
+}
+
 TEST(PredictorTest, LoadMissingDirectoryIsFatal)
 {
+    // Earlier tests leave par worker threads alive; the default "fast"
+    // death-test style forks without exec'ing, which deadlocks in a
+    // multithreaded process under TSan. "threadsafe" re-executes the
+    // binary in the child.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_EXIT(SnsPredictor::load("/nonexistent/sns_model"),
                 ::testing::ExitedWithCode(1), "cannot open");
 }

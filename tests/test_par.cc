@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for sns::par — pool lifecycle, static chunking, the
+ * determinism contract, nested-region rejection, and exception
+ * propagation.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "par/thread_pool.hh"
+
+namespace {
+
+using namespace sns;
+
+TEST(ThreadPool, LifecycleAndWidth)
+{
+    par::ThreadPool serial(1);
+    EXPECT_EQ(serial.threads(), 1);
+
+    par::ThreadPool four(4);
+    EXPECT_EQ(four.threads(), 4);
+
+    // Width 0 resolves to the hardware concurrency (at least 1).
+    par::ThreadPool all(0);
+    EXPECT_GE(all.threads(), 1);
+
+    // Negative widths clamp to serial.
+    par::ThreadPool negative(-3);
+    EXPECT_EQ(negative.threads(), 1);
+}
+
+TEST(ThreadPool, RunCoversEveryTaskExactlyOnce)
+{
+    par::ThreadPool pool(4);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.run(n, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, ParallelForCoversRangeWithDisjointChunks)
+{
+    for (int width : {1, 2, 4, 7}) {
+        par::ThreadPool pool(width);
+        const size_t n = 337;
+        std::vector<int> hits(n, 0);
+        pool.parallelFor(n, 1, [&](size_t begin, size_t end) {
+            ASSERT_LT(begin, end);
+            ASSERT_LE(end, n);
+            for (size_t i = begin; i < end; ++i)
+                ++hits[i]; // disjoint chunks: no synchronization needed
+        });
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i], 1) << "index " << i << " width " << width;
+    }
+}
+
+TEST(ThreadPool, ParallelForRespectsGrain)
+{
+    par::ThreadPool pool(8);
+    // n = 10, grain = 4 -> at most ceil(10/4) = 3 chunks even though
+    // the pool is wider.
+    std::atomic<int> chunks{0};
+    pool.parallelFor(10, 4, [&](size_t, size_t) {
+        chunks.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_LE(chunks.load(), 3);
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfWidth)
+{
+    // The determinism contract: chunk boundaries from parallelForChunks
+    // depend only on (n, num_chunks) — record them at several widths
+    // and require identical splits.
+    const size_t n = 101;
+    const size_t num_chunks = 7;
+    std::vector<std::vector<std::pair<size_t, size_t>>> splits;
+    for (int width : {1, 2, 4}) {
+        par::ThreadPool pool(width);
+        std::vector<std::pair<size_t, size_t>> bounds(num_chunks,
+                                                      {0, 0});
+        pool.parallelForChunks(
+            n, num_chunks, [&](size_t chunk, size_t begin, size_t end) {
+                bounds[chunk] = {begin, end};
+            });
+        splits.push_back(bounds);
+    }
+    EXPECT_EQ(splits[0], splits[1]);
+    EXPECT_EQ(splits[0], splits[2]);
+}
+
+TEST(ThreadPool, FixedChunkReductionIsBitwiseIdentical)
+{
+    // A floating-point sum reduced through per-chunk partials combined
+    // in chunk order must not depend on the pool width.
+    const size_t n = 4096;
+    std::vector<float> values(n);
+    for (size_t i = 0; i < n; ++i)
+        values[i] = 1.0f / static_cast<float>(i + 1);
+
+    auto reduce = [&](int width) {
+        par::ThreadPool pool(width);
+        const size_t num_chunks = 16;
+        std::vector<float> partials(num_chunks, 0.0f);
+        pool.parallelForChunks(
+            n, num_chunks, [&](size_t chunk, size_t begin, size_t end) {
+                float sum = 0.0f;
+                for (size_t i = begin; i < end; ++i)
+                    sum += values[i];
+                partials[chunk] = sum;
+            });
+        float total = 0.0f;
+        for (float partial : partials)
+            total += partial;
+        return total;
+    };
+
+    const float serial = reduce(1);
+    EXPECT_EQ(serial, reduce(2));
+    EXPECT_EQ(serial, reduce(4));
+    EXPECT_EQ(serial, reduce(8));
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyInline)
+{
+    par::ThreadPool pool(4);
+    EXPECT_FALSE(par::inParallelRegion());
+    std::atomic<int> outer_chunks{0};
+    std::atomic<bool> saw_region{false};
+    pool.parallelFor(8, 1, [&](size_t begin, size_t end) {
+        outer_chunks.fetch_add(1, std::memory_order_relaxed);
+        saw_region.store(par::inParallelRegion());
+        // A nested loop must not deadlock or spill onto the pool; it
+        // runs serially on this worker, and its chunking collapses to
+        // one chunk per call site invocation.
+        std::vector<int> hits(16, 0);
+        pool.parallelFor(16, 1, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i)
+                ++hits[i];
+        });
+        for (int hit : hits)
+            ASSERT_EQ(hit, 1);
+        (void)begin;
+        (void)end;
+    });
+    EXPECT_GT(outer_chunks.load(), 0);
+    EXPECT_TRUE(saw_region.load());
+    EXPECT_FALSE(par::inParallelRegion());
+}
+
+TEST(ThreadPool, RethrowsLowestIndexFailure)
+{
+    par::ThreadPool pool(4);
+    // Several tasks throw; the winner must be the lowest index, not
+    // whichever worker failed first on the wall clock.
+    try {
+        pool.run(64, [&](size_t i) {
+            if (i == 7 || i == 11 || i == 42)
+                throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 7");
+    }
+}
+
+TEST(ThreadPool, ExceptionDoesNotPoisonThePool)
+{
+    par::ThreadPool pool(4);
+    EXPECT_THROW(pool.run(8,
+                          [](size_t) {
+                              throw std::runtime_error("boom");
+                          }),
+                 std::runtime_error);
+    // The pool must still execute subsequent regions normally.
+    std::atomic<int> count{0};
+    pool.run(32, [&](size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, SerialInlineAlsoPropagatesExceptions)
+{
+    par::ThreadPool pool(1); // no workers: inline path
+    EXPECT_THROW(pool.run(4,
+                          [](size_t i) {
+                              if (i == 2)
+                                  throw std::runtime_error("inline");
+                          }),
+                 std::runtime_error);
+}
+
+TEST(GlobalPool, SetThreadsControlsWidth)
+{
+    par::setThreads(3);
+    EXPECT_EQ(par::configuredThreads(), 3);
+    EXPECT_EQ(par::globalPool().threads(), 3);
+
+    par::setThreads(1);
+    EXPECT_EQ(par::configuredThreads(), 1);
+    EXPECT_EQ(par::globalPool().threads(), 1);
+
+    // 0 = hardware concurrency.
+    par::setThreads(0);
+    EXPECT_GE(par::configuredThreads(), 1);
+    par::setThreads(1);
+}
+
+TEST(GlobalPool, FreeFunctionParallelFor)
+{
+    par::setThreads(4);
+    std::vector<long> out(257, 0);
+    par::parallelFor(out.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i)
+            out[i] = static_cast<long>(i * i);
+    });
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<long>(i * i));
+    par::setThreads(1);
+}
+
+} // namespace

@@ -4,13 +4,17 @@
 #   1. configure + build with AddressSanitizer and UBSan;
 #   2. run the full test suite under the sanitizers;
 #   3. run sns_lint over the bundled example designs and datasets
-#      (must be clean) and the corrupted fixtures (must fail).
+#      (must be clean) and the corrupted fixtures (must fail);
+#   4. build with ThreadSanitizer and run the parallel-runtime-heavy
+#      suites (test_par, test_tensor, test_core) under TSan.
 #
-# Usage: tools/run_lint.sh [BUILD_DIR]   (default: build-lint)
+# Usage: tools/run_lint.sh [BUILD_DIR]   (default: build-lint;
+#        the TSan build lands in BUILD_DIR-tsan)
 set -e
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO/build-lint}"
+TSAN_BUILD="$BUILD-tsan"
 
 echo "== sanitizer build ($BUILD) =="
 cmake -B "$BUILD" -S "$REPO" -DSNS_SANITIZE=address,undefined \
@@ -30,5 +34,16 @@ if "$LINT" "$REPO"/tests/fixtures/*; then
     echo "sns_lint failed to reject the corrupted fixtures" >&2
     exit 1
 fi
+
+echo "== ThreadSanitizer build ($TSAN_BUILD) =="
+cmake -B "$TSAN_BUILD" -S "$REPO" -DSNS_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD" -j --target test_par test_tensor test_core
+
+echo "== sns::par suites under TSan (SNS_THREADS=4) =="
+# Multi-threaded pool width so TSan actually sees concurrent regions.
+for t in test_par test_tensor test_core; do
+    SNS_THREADS=4 "$TSAN_BUILD/tests/$t"
+done
 
 echo "run_lint: all checks passed"

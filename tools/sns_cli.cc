@@ -24,6 +24,7 @@
 #include "designs/designs.hh"
 #include "netlist/snl_parser.hh"
 #include "netlist/verilog_parser.hh"
+#include "par/thread_pool.hh"
 #include "sampler/path_sampler.hh"
 #include "util/string_utils.hh"
 #include "util/timer.hh"
@@ -87,11 +88,15 @@ usage()
     std::cerr
         << "usage:\n"
         << "  sns-cli train   --out=DIR [--dataset=paper|smoke] "
-           "[--fast] [--seed=N]\n"
-        << "  sns-cli predict --model=DIR DESIGN.{snl,v} [...]\n"
+           "[--fast] [--seed=N] [--threads=N]\n"
+        << "  sns-cli predict --model=DIR [--threads=N] [--json] "
+           "DESIGN.{snl,v} [...]\n"
         << "  sns-cli synth   DESIGN.snl [...]\n"
         << "  sns-cli paths   DESIGN.snl [--k=5] [--limit=20]\n"
-        << "  sns-cli dot     DESIGN.snl\n";
+        << "  sns-cli dot     DESIGN.snl\n"
+        << "--threads=N runs on the sns::par pool (0 = all cores; "
+           "results are identical at any width); SNS_THREADS sets the "
+           "default.\n";
     return 1;
 }
 
@@ -105,6 +110,8 @@ cmdTrain(const CliArgs &args)
     const uint64_t seed = std::stoull(args.get("seed", "7"));
     const bool fast = args.has("fast");
     const std::string which = args.get("dataset", "paper");
+    if (args.has("threads"))
+        par::setThreads(std::stoi(args.get("threads", "0")));
 
     synth::Synthesizer oracle{synth::SynthesisOptions{}};
     const auto specs = which == "smoke"
@@ -154,16 +161,51 @@ cmdPredict(const CliArgs &args)
     }
     const auto predictor = core::SnsPredictor::load(args.get("model", ""));
     const auto &vocab = graphir::Vocabulary::instance();
-    for (const auto &path : args.positional) {
-        const auto design = loadDesign(path);
-        WallTimer timer;
-        const auto pred = predictor.predict(design);
+    const bool json = args.has("json");
+
+    std::vector<graphir::Graph> designs;
+    designs.reserve(args.positional.size());
+    for (const auto &path : args.positional)
+        designs.push_back(loadDesign(path));
+    std::vector<const graphir::Graph *> graphs;
+    graphs.reserve(designs.size());
+    for (const auto &design : designs)
+        graphs.push_back(&design);
+
+    core::PredictOptions options;
+    if (args.has("threads"))
+        options.threads = std::stoi(args.get("threads", "0"));
+    WallTimer timer;
+    const auto preds = predictor.predictBatch(graphs, options);
+    const double elapsed = timer.seconds();
+
+    if (json)
+        std::cout << "[\n";
+    for (size_t d = 0; d < designs.size(); ++d) {
+        const auto &design = designs[d];
+        const auto &pred = preds[d];
+        if (json) {
+            std::cout << "  {\"design\": \"" << design.name()
+                      << "\", \"area_um2\": " << pred.area_um2
+                      << ", \"power_mw\": " << pred.power_mw
+                      << ", \"timing_ps\": " << pred.timing_ps
+                      << ", \"paths_sampled\": " << pred.paths_sampled
+                      << ", \"critical_path\": [";
+            for (size_t i = 0; i < pred.critical_path.size(); ++i) {
+                std::cout << (i ? ", " : "") << "\""
+                          << vocab.tokenString(
+                                 design.token(pred.critical_path[i]))
+                          << "\"";
+            }
+            std::cout << "]}" << (d + 1 < designs.size() ? "," : "")
+                      << "\n";
+            continue;
+        }
         std::cout << design.name() << ": area "
                   << formatDouble(pred.area_um2, 1) << " um2, power "
                   << formatDouble(pred.power_mw, 4) << " mW, timing "
                   << formatDouble(pred.timing_ps, 1) << " ps  ("
-                  << pred.paths_sampled << " paths, "
-                  << formatDouble(timer.seconds(), 3) << " s)\n";
+                  << pred.paths_sampled << " paths)\n";
         std::cout << "  critical path: ";
         for (size_t i = 0; i < pred.critical_path.size(); ++i) {
             std::cout << (i ? " -> " : "")
@@ -172,6 +214,12 @@ cmdPredict(const CliArgs &args)
         }
         std::cout << "\n";
     }
+    if (json)
+        std::cout << "]\n";
+    else
+        std::cout << designs.size() << " designs predicted in "
+                  << formatDouble(elapsed, 3) << " s on "
+                  << par::configuredThreads() << " thread(s)\n";
     return 0;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "designs/designs.hh"
+#include "par/thread_pool.hh"
 #include "sampler/path_sampler.hh"
 #include "synth/synthesizer.hh"
 #include "util/string_utils.hh"
@@ -67,17 +68,23 @@ dumpDesigns(const std::map<std::string, std::string> &flags)
     Table table;
     table.setHeader({"design", "base", "category", "timing_ps",
                      "area_um2", "power_mw", "gates", "nodes", "edges"});
-    for (const auto &spec : specs) {
-        const auto graph = spec.build();
-        const auto result = oracle.run(graph);
-        table.addRow({spec.name, spec.base, spec.category,
-                      formatDouble(result.timing_ps, 2),
-                      formatDouble(result.area_um2, 2),
-                      formatDouble(result.power_mw, 5),
-                      formatDouble(result.gate_count, 0),
-                      std::to_string(graph.numNodes()),
-                      std::to_string(graph.numEdges())});
-    }
+    // Characterize every design on the pool; rows land in spec order.
+    std::vector<std::vector<std::string>> rows(specs.size());
+    par::parallelFor(specs.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            const auto graph = specs[i].build();
+            const auto result = oracle.run(graph);
+            rows[i] = {specs[i].name, specs[i].base, specs[i].category,
+                       formatDouble(result.timing_ps, 2),
+                       formatDouble(result.area_um2, 2),
+                       formatDouble(result.power_mw, 5),
+                       formatDouble(result.gate_count, 0),
+                       std::to_string(graph.numNodes()),
+                       std::to_string(graph.numEdges())};
+        }
+    });
+    for (auto &row : rows)
+        table.addRow(std::move(row));
     emit(table, flags);
     return 0;
 }
@@ -97,18 +104,31 @@ dumpPaths(const std::map<std::string, std::string> &flags)
     Table table;
     table.setHeader({"design", "path", "timing_ps", "area_um2",
                      "power_mw"});
-    for (const auto &spec : specs) {
-        const auto graph = spec.build();
-        sampler::SamplerOptions sopts;
-        sopts.max_paths_per_source = 2;
-        sopts.max_total_paths = per_design;
-        for (const auto &path :
-             sampler::PathSampler(sopts).sample(graph)) {
-            const auto label = oracle.runPath(path.tokens);
+    // Sample per design on the pool, then label all paths in one
+    // parallel oracle batch; output order stays design-then-path.
+    std::vector<std::vector<sampler::SampledPath>> per(specs.size());
+    par::parallelFor(specs.size(), [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+            const auto graph = specs[i].build();
+            sampler::SamplerOptions sopts;
+            sopts.max_paths_per_source = 2;
+            sopts.max_total_paths = per_design;
+            per[i] = sampler::PathSampler(sopts).sample(graph);
+        }
+    });
+    std::vector<std::vector<graphir::TokenId>> all_tokens;
+    for (const auto &paths : per)
+        for (const auto &path : paths)
+            all_tokens.push_back(path.tokens);
+    const auto labels = oracle.runPaths(all_tokens);
+    size_t cursor = 0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        for (const auto &path : per[i]) {
+            const auto &label = labels[cursor++];
             std::vector<std::string> names;
             for (graphir::TokenId token : path.tokens)
                 names.push_back(vocab.tokenString(token));
-            table.addRow({spec.name, "[" + join(names, " ") + "]",
+            table.addRow({specs[i].name, "[" + join(names, " ") + "]",
                           formatDouble(label.timing_ps, 2),
                           formatDouble(label.area_um2, 3),
                           formatDouble(label.power_mw, 6)});
@@ -125,11 +145,13 @@ main(int argc, char **argv)
 {
     const std::string command = argc >= 2 ? argv[1] : "";
     const auto flags = parseFlags(argc, argv);
+    if (flags.count("threads"))
+        sns::par::setThreads(std::stoi(flags.at("threads")));
     if (command == "designs")
         return dumpDesigns(flags);
     if (command == "paths")
         return dumpPaths(flags);
     std::cerr << "usage: sns-dataset designs|paths [--out=FILE] "
-                 "[--smoke] [--per-design=N]\n";
+                 "[--smoke] [--per-design=N] [--threads=N]\n";
     return 1;
 }
