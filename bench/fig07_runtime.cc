@@ -16,6 +16,12 @@
  * single-vs-multi-thread curve, and checks the determinism contract:
  * predictions must be bitwise identical at every thread count
  * (docs/parallelism.md).
+ *
+ * Two further passes measure the path-prediction cache (docs/perf.md):
+ * cold (first visit, misses only) and warm (same designs revisited —
+ * the repeated-variant DSE scenario). The determinism check extends to
+ * the cached passes: cache-on must equal cache-off bit for bit. Lines
+ * prefixed `BENCH` are machine-readable for tools/run_bench.sh.
  */
 
 #include <algorithm>
@@ -23,6 +29,7 @@
 #include <iostream>
 
 #include "bench_common.hh"
+#include "perf/path_cache.hh"
 #include "util/stats.hh"
 #include "util/string_utils.hh"
 #include "util/timer.hh"
@@ -67,8 +74,12 @@ main(int argc, char **argv)
         double synth_s = 0.0;
         double sns_1t_s = 0.0;
         double sns_nt_s = 0.0;
+        double sns_cold_s = 0.0;
+        double sns_warm_s = 0.0;
         core::SnsPrediction pred_1t;
         core::SnsPrediction pred_nt;
+        core::SnsPrediction pred_cold;
+        core::SnsPrediction pred_warm;
     };
     std::vector<Row> rows(specs.size());
 
@@ -98,19 +109,52 @@ main(int argc, char **argv)
         rows[i].sns_nt_s = sns_timer.seconds();
     }
 
-    // Determinism contract: bitwise-identical predictions at any width.
+    // Passes C/D: the path-prediction cache, single-threaded so the
+    // timing isolates memoization. Pass C starts cold (every path is a
+    // miss and is inserted), pass D revisits the same designs — the
+    // fig08-style repeated-variant scenario where DSE sweeps share most
+    // of their sampled paths.
+    perf::PathPredictionCache cache;
+    core::PredictOptions cached_opts;
+    cached_opts.cache = &cache;
+    par::setThreads(1);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const auto graph = specs[i].build();
+        const graphir::Graph *one[1] = {&graph};
+        WallTimer cold_timer;
+        rows[i].pred_cold = predictor.predictBatch(one, cached_opts)[0];
+        rows[i].sns_cold_s = cold_timer.seconds();
+    }
+    const auto cold_stats = cache.stats();
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const auto graph = specs[i].build();
+        const graphir::Graph *one[1] = {&graph};
+        WallTimer warm_timer;
+        rows[i].pred_warm = predictor.predictBatch(one, cached_opts)[0];
+        rows[i].sns_warm_s = warm_timer.seconds();
+    }
+    const auto warm_stats = cache.stats();
+
+    // Determinism contract: bitwise-identical predictions at any width
+    // and with the cache on or off, cold or warm.
     size_t mismatches = 0;
     for (const auto &row : rows) {
-        const bool same =
-            row.pred_1t.timing_ps == row.pred_nt.timing_ps &&
-            row.pred_1t.area_um2 == row.pred_nt.area_um2 &&
-            row.pred_1t.power_mw == row.pred_nt.power_mw &&
-            row.pred_1t.critical_path == row.pred_nt.critical_path;
-        if (!same) {
+        auto equal = [&](const core::SnsPrediction &other) {
+            return row.pred_1t.timing_ps == other.timing_ps &&
+                   row.pred_1t.area_um2 == other.area_um2 &&
+                   row.pred_1t.power_mw == other.power_mw &&
+                   row.pred_1t.critical_path == other.critical_path;
+        };
+        if (!equal(row.pred_nt)) {
             ++mismatches;
             std::cerr << "DETERMINISM VIOLATION: " << row.name
                       << " differs between 1 and " << multi_threads
                       << " threads\n";
+        }
+        if (!equal(row.pred_cold) || !equal(row.pred_warm)) {
+            ++mismatches;
+            std::cerr << "DETERMINISM VIOLATION: " << row.name
+                      << " differs between cache-off and cache-on\n";
         }
     }
 
@@ -118,20 +162,26 @@ main(int argc, char **argv)
                 "(wall clock; sns_nt = " +
                 std::to_string(multi_threads) + " threads)");
     table.setHeader({"design", "gates", "synth_s", "sns_1t_s", "sns_nt_s",
-                     "par_x", "speedup"});
+                     "cold_s", "warm_s", "cache_x", "par_x", "speedup"});
     std::vector<double> speedups;
     std::vector<double> gate_counts;
     std::vector<double> par_speedups;
+    std::vector<double> cache_speedups;
     for (const auto &row : rows) {
         const double par_x = row.sns_1t_s / row.sns_nt_s;
+        const double cache_x = row.sns_cold_s / row.sns_warm_s;
         const double speedup = row.synth_s / row.sns_nt_s;
         speedups.push_back(speedup);
         par_speedups.push_back(par_x);
+        cache_speedups.push_back(cache_x);
         gate_counts.push_back(row.gates);
         table.addRow({row.name, formatEng(row.gates),
                       formatDouble(row.synth_s, 4),
                       formatDouble(row.sns_1t_s, 4),
                       formatDouble(row.sns_nt_s, 4),
+                      formatDouble(row.sns_cold_s, 4),
+                      formatDouble(row.sns_warm_s, 4),
+                      formatDouble(cache_x, 2) + "x",
                       formatDouble(par_x, 2) + "x",
                       formatDouble(speedup, 2) + "x"});
     }
@@ -161,11 +211,50 @@ main(int argc, char **argv)
               << "x, large-design tier (top " << large_par.size()
               << " by gates) " << formatDouble(geomean(large_par), 2)
               << "x\n";
+    // Cache summary: the warm pass replays the identical design set, so
+    // every sampled path resolves from the cache.
+    double cold_total_s = 0.0;
+    double warm_total_s = 0.0;
+    double total_paths = 0.0;
+    for (const auto &row : rows) {
+        cold_total_s += row.sns_cold_s;
+        warm_total_s += row.sns_warm_s;
+        total_paths += static_cast<double>(row.pred_warm.paths_sampled);
+    }
+    const uint64_t warm_hits = warm_stats.hits - cold_stats.hits;
+    const uint64_t warm_misses = warm_stats.misses - cold_stats.misses;
+    std::cout << "path cache (repeated-variant sweep): cold "
+              << formatDouble(cold_total_s, 3) << " s ("
+              << formatDouble(total_paths / cold_total_s, 1)
+              << " paths/s), warm " << formatDouble(warm_total_s, 3)
+              << " s (" << formatDouble(total_paths / warm_total_s, 1)
+              << " paths/s), speedup "
+              << formatDouble(cold_total_s / warm_total_s, 2)
+              << "x; warm pass " << warm_hits << " hits / "
+              << warm_misses << " misses, " << warm_stats.entries
+              << " entries, " << warm_stats.bytes << " bytes\n";
     std::cout << "determinism check (1 vs " << multi_threads
-              << " threads): "
+              << " threads, cache on vs off): "
               << (mismatches == 0 ? "PASS (bitwise identical)"
                                   : "FAIL")
               << "\n";
+    // Machine-readable rows for tools/run_bench.sh (BENCH_pr3.json).
+    std::cout << "BENCH fig07_predict_cold_s " << cold_total_s << "\n"
+              << "BENCH fig07_predict_warm_s " << warm_total_s << "\n"
+              << "BENCH fig07_paths_per_s_cold "
+              << total_paths / cold_total_s << "\n"
+              << "BENCH fig07_paths_per_s_warm "
+              << total_paths / warm_total_s << "\n"
+              << "BENCH fig07_warm_cache_speedup_x "
+              << cold_total_s / warm_total_s << "\n"
+              << "BENCH fig07_warm_hit_rate "
+              << (warm_hits + warm_misses == 0
+                      ? 0.0
+                      : static_cast<double>(warm_hits) /
+                            static_cast<double>(warm_hits + warm_misses))
+              << "\n"
+              << "BENCH fig07_determinism "
+              << (mismatches == 0 ? 1 : 0) << "\n";
     std::cout << "size-speedup correlation (log-log pearson): "
               << formatDouble(
                      [&] {

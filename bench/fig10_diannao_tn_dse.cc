@@ -15,6 +15,7 @@
 
 #include "bench_common.hh"
 #include "diannao/diannao.hh"
+#include "perf/path_cache.hh"
 #include "util/stats.hh"
 #include "util/string_utils.hh"
 #include "util/timer.hh"
@@ -60,9 +61,14 @@ main(int argc, char **argv)
     WallTimer timer;
     // Chunked sweep: elaborate + annotate a chunk of configurations,
     // then predict the whole chunk with one batched call on the pool.
+    // One cache shared across every chunk: the Tn sweep reuses datapath
+    // building blocks heavily, so most paths resolve without another
+    // Circuitformer pass (docs/perf.md).
     const size_t chunk = 64;
+    perf::PathPredictionCache cache;
     core::PredictOptions popts;
     popts.collect_critical_path = false;
+    popts.cache = &cache;
     for (size_t start = 0; start < space.size(); start += chunk) {
         const size_t end = std::min(space.size(), start + chunk);
         std::vector<diannao::DianNaoDesign> chunk_designs;
@@ -100,9 +106,19 @@ main(int argc, char **argv)
             std::cerr << "  " << end << "/" << space.size()
                       << std::endl;
     }
-    std::cout << "prediction sweep: " << formatDouble(timer.seconds(), 1)
+    const double sweep_seconds = timer.seconds();
+    const auto cache_stats = cache.stats();
+    std::cout << "prediction sweep: " << formatDouble(sweep_seconds, 1)
               << " s for " << space.size()
-              << " designs (paper: 809 s on its server)\n\n";
+              << " designs (paper: 809 s on its server)\n";
+    std::cout << "path cache over the sweep: " << cache_stats.hits
+              << " hits / " << cache_stats.misses << " misses ("
+              << formatDouble(100.0 * cache_stats.hitRate(), 1)
+              << "% hit rate), " << cache_stats.entries << " entries, "
+              << cache_stats.bytes << " bytes\n";
+    std::cout << "BENCH fig10_sweep_s " << sweep_seconds << "\n"
+              << "BENCH fig10_cache_hit_rate " << cache_stats.hitRate()
+              << "\n\n";
 
     Table table("Figure 10: efficiency vs Tn (means over the 144 "
                 "configs at each Tn)");

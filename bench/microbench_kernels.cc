@@ -50,6 +50,59 @@ BENCHMARK(BM_GemmSquare)
     ->Args({512, 4})
     ->Args({512, 0}); // 0 = all cores
 
+/**
+ * The microkernel dispatch head to head: the same shape with the AVX2
+ * path forced off (pure scalar fma chains) and on (packed 4x16/1x16
+ * kernels). items/s here is FLOP/s — tools/run_bench.sh divides by 1e9
+ * for the BENCH_pr3.json GFLOP/s columns. Shapes cover the Table-2
+ * model's GEMMs: square, attention-thin (n = d_model), FFN-wide, and
+ * both transpose layouts used by backprop.
+ */
+void
+BM_GemmSimdDispatch(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    const int n = static_cast<int>(state.range(1));
+    const int k = static_cast<int>(state.range(2));
+    const bool trans_a = state.range(3) != 0;
+    const bool trans_b = state.range(4) != 0;
+    const bool simd = state.range(5) != 0;
+    par::setThreads(1);
+    const bool restore = tensor::gemmSimdActive();
+    tensor::setGemmSimd(simd);
+    Rng rng(1);
+    const tensor::Tensor a =
+        tensor::Tensor::randn({trans_a ? k : m, trans_a ? m : k}, rng);
+    const tensor::Tensor b =
+        tensor::Tensor::randn({trans_b ? n : k, trans_b ? k : n}, rng);
+    tensor::Tensor c({m, n});
+    for (auto _ : state) {
+        c.fill(0.0f);
+        tensor::gemmAcc(a.data(), b.data(), c.data(), m, n, k, trans_a,
+                        trans_b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    tensor::setGemmSimd(restore);
+    state.SetItemsProcessed(state.iterations() * 2ll * m * n * k);
+    state.SetLabel(std::string(trans_a ? "T" : "N") +
+                   (trans_b ? "T" : "N") +
+                   (simd ? " simd"
+                         : (tensor::gemmSimdAvailable() ? " scalar"
+                                                        : " scalar-only")));
+}
+BENCHMARK(BM_GemmSimdDispatch)
+    // {m, n, k, trans_a, trans_b, simd}
+    ->Args({256, 256, 256, 0, 0, 0})
+    ->Args({256, 256, 256, 0, 0, 1})
+    ->Args({64, 64, 512, 0, 1, 0}) // attention scores: q @ k^T
+    ->Args({64, 64, 512, 0, 1, 1})
+    ->Args({128, 256, 64, 0, 0, 0}) // FFN up-projection
+    ->Args({128, 256, 64, 0, 0, 1})
+    ->Args({256, 64, 128, 1, 0, 0}) // backprop weight grad: x^T @ dy
+    ->Args({256, 64, 128, 1, 0, 1})
+    ->Args({96, 107, 128, 0, 0, 0}) // ragged tails: partial panels
+    ->Args({96, 107, 128, 0, 0, 1});
+
 void
 BM_CircuitformerInference(benchmark::State &state)
 {

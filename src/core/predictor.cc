@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <unordered_map>
 
 #include "par/thread_pool.hh"
 #include "tensor/autograd.hh"
@@ -38,13 +39,16 @@ SnsPredictor::predictOne(const graphir::Graph &graph,
     if (paths.empty())
         return prediction;
 
-    // 2. Path-level inference.
+    // 2. Path-level inference, memoized when the caller holds a cache.
     std::vector<std::vector<graphir::TokenId>> token_paths;
     token_paths.reserve(paths.size());
     for (const auto &path : paths)
         token_paths.push_back(path.tokens);
     const auto path_preds =
-        circuitformer_->predict(token_paths, options.batch_size);
+        options.cache != nullptr
+            ? predictPathsCached(token_paths, *options.cache,
+                                 options.batch_size)
+            : circuitformer_->predict(token_paths, options.batch_size);
 
     // 3. Reductions. Per-path activity is the mean of the endpoint
     //    registers' activity coefficients (§3.4.4).
@@ -79,12 +83,73 @@ SnsPredictor::predictOne(const graphir::Graph &graph,
     return prediction;
 }
 
+std::vector<PathPrediction>
+SnsPredictor::predictPathsCached(
+    const std::vector<std::vector<graphir::TokenId>> &token_paths,
+    perf::PathPredictionCache &cache, int batch_size) const
+{
+    std::vector<PathPrediction> preds(token_paths.size());
+
+    // Probe phase: resolve hits immediately; dedup the misses so each
+    // unique path is forwarded through the Circuitformer exactly once.
+    // `unique` holds the first index of each distinct missed sequence,
+    // `assign[i]` maps every miss back to its unique slot. Hash
+    // buckets are verified by full token comparison, so colliding
+    // sequences never share a slot.
+    std::vector<size_t> unique;
+    std::vector<size_t> assign(token_paths.size());
+    std::vector<char> hit(token_paths.size(), 0);
+    std::unordered_map<uint64_t, std::vector<size_t>> pending;
+    for (size_t i = 0; i < token_paths.size(); ++i) {
+        if (cache.lookup(token_paths[i], preds[i])) {
+            hit[i] = 1;
+            continue;
+        }
+        const uint64_t hash = perf::hashTokens(token_paths[i]);
+        auto &slots = pending[hash];
+        size_t slot = unique.size();
+        for (const size_t candidate : slots) {
+            if (token_paths[unique[candidate]] == token_paths[i]) {
+                slot = candidate;
+                break;
+            }
+        }
+        if (slot == unique.size()) {
+            slots.push_back(slot);
+            unique.push_back(i);
+        }
+        assign[i] = slot;
+    }
+    if (unique.empty())
+        return preds;
+
+    // Compute phase: one forward pass over the deduplicated misses.
+    // Batch padding is key-masked, so each path's row is bitwise
+    // independent of its batch mates — regrouping misses never changes
+    // a prediction (docs/perf.md).
+    std::vector<std::vector<graphir::TokenId>> miss_paths;
+    miss_paths.reserve(unique.size());
+    for (const size_t index : unique)
+        miss_paths.push_back(token_paths[index]);
+    const auto miss_preds = circuitformer_->predict(miss_paths, batch_size);
+
+    // Scatter phase: memoize and fill every miss in original order.
+    for (size_t u = 0; u < unique.size(); ++u)
+        cache.insert(miss_paths[u], miss_preds[u]);
+    for (size_t i = 0; i < token_paths.size(); ++i) {
+        if (!hit[i])
+            preds[i] = miss_preds[assign[i]];
+    }
+    return preds;
+}
+
 std::vector<SnsPrediction>
 SnsPredictor::predictBatch(std::span<const graphir::Graph *const> graphs,
                            const PredictOptions &options) const
 {
-    if (options.threads > 0)
-        par::setThreads(options.threads);
+    // Call-scoped width override; restores the prior process-wide
+    // configuration (including "unset") when this call returns.
+    par::ScopedThreads scoped_threads(options.threads);
 
     std::vector<SnsPrediction> predictions(graphs.size());
     // One task per design; each design's pipeline is self-contained and

@@ -27,6 +27,7 @@
 
 #include "core/aggregation.hh"
 #include "core/circuitformer.hh"
+#include "perf/path_cache.hh"
 #include "sampler/path_sampler.hh"
 
 namespace sns::core {
@@ -49,8 +50,10 @@ struct PredictOptions
 {
     /**
      * Pool width for this call: 0 keeps the process-wide width
-     * (par::configuredThreads()); > 0 resets it via par::setThreads()
-     * first — a process-wide effect, exactly like a --threads flag.
+     * (par::configuredThreads()); > 0 runs this call on a pool of
+     * that width and restores the prior configuration on return
+     * (par::ScopedThreads) — the override is scoped to the call, it
+     * no longer leaks into the process like a --threads flag would.
      */
     int threads = 0;
 
@@ -63,6 +66,18 @@ struct PredictOptions
     /** Record each design's predicted critical path (skip to save the
      * per-design argmax + node-vector copy in bulk serving). */
     bool collect_critical_path = true;
+
+    /**
+     * Optional content-addressed path-prediction cache (not owned).
+     * When set, every sampled path is looked up first and only the
+     * unique misses are forwarded through the Circuitformer — within
+     * one design each unique path runs exactly once, and a cache held
+     * across predictBatch calls (DSE sweeps over design variants that
+     * share most of their paths) extends the reuse across batches.
+     * Predictions are bitwise identical cache-on vs cache-off
+     * (docs/perf.md).
+     */
+    perf::PathPredictionCache *cache = nullptr;
 };
 
 /** The trained SNS prediction pipeline. */
@@ -123,6 +138,12 @@ class SnsPredictor
     /** The full single-design pipeline (sample -> infer -> aggregate). */
     SnsPrediction predictOne(const graphir::Graph &graph,
                              const PredictOptions &options) const;
+
+    /** Path-level inference through a cache: probe every path, dedup
+     * the misses, forward each unique miss once, scatter in order. */
+    std::vector<PathPrediction> predictPathsCached(
+        const std::vector<std::vector<graphir::TokenId>> &token_paths,
+        perf::PathPredictionCache &cache, int batch_size) const;
 
     std::shared_ptr<Circuitformer> circuitformer_;
     AggregationHeads heads_;

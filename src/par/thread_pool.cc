@@ -202,16 +202,51 @@ configuredThreads()
     return envThreads();
 }
 
+namespace {
+
+/** Set the override to a raw value (-1 = unset) and retire a pool of
+ * the wrong width. Shared by setThreads() and ScopedThreads. */
 void
-setThreads(int threads)
+applyOverride(int override_value)
 {
     SNS_ASSERT(!t_in_region,
                "setThreads() inside a parallel region");
     std::lock_guard<std::mutex> lock(g_pool_mutex);
-    g_thread_override = std::max(0, threads);
-    const int width = resolveWidth(g_thread_override);
+    g_thread_override = override_value;
+    const int width = override_value >= 0 ? resolveWidth(override_value)
+                                          : envThreads();
     if (g_pool && g_pool->threads() != width)
         g_pool.reset();
+}
+
+} // namespace
+
+void
+setThreads(int threads)
+{
+    applyOverride(std::max(0, threads));
+}
+
+int
+threadOverride()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    return g_thread_override;
+}
+
+ScopedThreads::ScopedThreads(int threads)
+{
+    if (threads <= 0)
+        return;
+    previous_override_ = threadOverride();
+    active_ = true;
+    setThreads(threads);
+}
+
+ScopedThreads::~ScopedThreads()
+{
+    if (active_)
+        applyOverride(previous_override_);
 }
 
 ThreadPool &

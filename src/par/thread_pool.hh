@@ -131,6 +131,37 @@ int configuredThreads();
  */
 void setThreads(int threads);
 
+/**
+ * The raw setThreads() override: -1 when unset (SNS_THREADS / default
+ * applies), else the last value passed to setThreads(). ScopedThreads
+ * uses it to restore the exact prior state, including "unset".
+ */
+int threadOverride();
+
+/**
+ * RAII width override: `ScopedThreads guard(n)` behaves like
+ * setThreads(n) (n <= 0 is a no-op) and the destructor restores the
+ * previous configuration exactly — a prior setThreads() value is
+ * re-applied, and an unset override stays unset, so SNS_THREADS takes
+ * over again. Use it wherever a call-scoped width is wanted (e.g.
+ * PredictOptions::threads) instead of leaking a process-wide
+ * setThreads() past the call. Construct and destroy on the main
+ * thread, outside parallel regions, like setThreads() itself.
+ */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(int threads);
+    ~ScopedThreads();
+
+    ScopedThreads(const ScopedThreads &) = delete;
+    ScopedThreads &operator=(const ScopedThreads &) = delete;
+
+  private:
+    int previous_override_ = -1;
+    bool active_ = false;
+};
+
 /** The lazily-created process-wide pool at the configured width. */
 ThreadPool &globalPool();
 

@@ -1,139 +1,345 @@
 #include "tensor/gemm.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "par/thread_pool.hh"
+
+#if defined(SNS_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SNS_SIMD_X86 1
+#include <immintrin.h>
+#endif
 
 namespace sns::tensor {
 
 namespace {
 
 // Multi-threading threshold: below ~2 MFLOP the fork/join overhead of
-// even an idle pool beats the arithmetic.
+// an idle pool beats the arithmetic.
 constexpr long long kParallelFlops = 1 << 21;
 
-// Row-tile kernels: each computes the full GEMM restricted to rows
-// [i0, i1) of C (column tile [j0, j1) for the trans_a case, whose
-// natural loop order writes whole C rows). Every element of C keeps
-// the exact serial accumulation order — the reduction over p runs
-// ascending inside one tile — so tiling (and threading over tiles)
-// never changes a single bit of the result.
+// Packed-panel geometry: B columns are packed 16 wide (two 8-float
+// vectors), and the microkernels cover 4 x 16 / 1 x 16 C tiles.
+constexpr int kPanelWidth = 16;
+constexpr int kRowBlock = 4;
 
-void
-gemmRowsNN(const float *a, const float *b, float *c, int n, int k,
-           int i0, int i1)
+/** op(A)[i][p] for either storage order. */
+inline float
+aAt(const float *a, int m, int k, bool trans_a, int i, int p)
 {
-    // C[i][j] += A[i][p] * B[p][j]; ikj order streams B and C rows.
+    return trans_a ? a[static_cast<size_t>(p) * m + i]
+                   : a[static_cast<size_t>(i) * k + p];
+}
+
+// ---------------------------------------------------------------------
+// Scalar kernels. Per element the accumulation is the contract from
+// gemm.hh — ascending p, one fused rounding per step (std::fmaf) — so
+// they match the SIMD microkernels bit for bit. Loop *order around*
+// the elements is free, and each layout picks the cache-friendly one.
+// ---------------------------------------------------------------------
+
+/** B untransposed (k x n): ikj order streams B and C rows. */
+void
+gemmRowsScalarBN(const float *a, const float *b, float *c, int m, int n,
+                 int k, bool trans_a, int i0, int i1)
+{
     for (int i = i0; i < i1; ++i) {
-        const float *arow = a + static_cast<size_t>(i) * k;
         float *crow = c + static_cast<size_t>(i) * n;
         for (int p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f)
-                continue;
+            const float av = aAt(a, m, k, trans_a, i, p);
             const float *brow = b + static_cast<size_t>(p) * n;
             for (int j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+                crow[j] = std::fmaf(av, brow[j], crow[j]);
         }
     }
 }
 
+/** B transposed (n x k): per-element dot over the contiguous B row. */
 void
-gemmRowsNT(const float *a, const float *b, float *c, int n, int k,
-           int i0, int i1)
+gemmRowsScalarBT(const float *a, const float *b, float *c, int m, int n,
+                 int k, bool trans_a, int i0, int i1)
 {
-    // B stored (n x k): C[i][j] += dot(Arow_i, Brow_j).
     for (int i = i0; i < i1; ++i) {
-        const float *arow = a + static_cast<size_t>(i) * k;
         float *crow = c + static_cast<size_t>(i) * n;
         for (int j = 0; j < n; ++j) {
             const float *brow = b + static_cast<size_t>(j) * k;
-            float acc = 0.0f;
+            float acc = crow[j];
             for (int p = 0; p < k; ++p)
-                acc += arow[p] * brow[p];
-            crow[j] += acc;
+                acc = std::fmaf(aAt(a, m, k, trans_a, i, p), brow[p],
+                                acc);
+            crow[j] = acc;
         }
     }
 }
 
 void
-gemmColsTN(const float *a, const float *b, float *c, int m, int n,
-           int k, int j0, int j1)
+gemmRowsScalar(const float *a, const float *b, float *c, int m, int n,
+               int k, bool trans_a, bool trans_b, int i0, int i1)
 {
-    // A stored (k x m): C[i][j] += A[p][i] * B[p][j]. The p-outer
-    // order is kept (it streams A and B rows); tiles split the j
-    // columns so concurrent tiles write disjoint slices of C.
-    for (int p = 0; p < k; ++p) {
-        const float *arow = a + static_cast<size_t>(p) * m;
-        const float *brow = b + static_cast<size_t>(p) * n;
-        for (int i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c + static_cast<size_t>(i) * n;
-            for (int j = j0; j < j1; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    if (trans_b)
+        gemmRowsScalarBT(a, b, c, m, n, k, trans_a, i0, i1);
+    else
+        gemmRowsScalarBN(a, b, c, m, n, k, trans_a, i0, i1);
 }
 
+// ---------------------------------------------------------------------
+// Packed AVX2+FMA path. op(B) is packed once per call into 16-wide,
+// zero-padded column panels (panel q = columns [16q, 16q + 16), rows
+// p contiguous), which turns the strided trans_b access into unit
+// stride and lets every microkernel iteration issue two aligned-width
+// FMAs per row. Compiled with a target attribute so portable builds
+// (SNS_NATIVE_ARCH=OFF) still carry the kernels; runtime dispatch
+// keeps them off CPUs without AVX2/FMA.
+// ---------------------------------------------------------------------
+
+#if SNS_SIMD_X86
+
+/** Pack op(B) into zero-padded 16-wide panels (k * 16 floats each). */
 void
-gemmRowsTT(const float *a, const float *b, float *c, int m, int n,
-           int k, int i0, int i1)
+packBPanels(const float *b, int n, int k, bool trans_b, float *bt)
 {
-    // Rare double-transpose case; plain triple loop.
-    for (int i = i0; i < i1; ++i) {
-        float *crow = c + static_cast<size_t>(i) * n;
-        for (int j = 0; j < n; ++j) {
-            float acc = 0.0f;
+    const int panels = (n + kPanelWidth - 1) / kPanelWidth;
+    for (int q = 0; q < panels; ++q) {
+        const int j0 = q * kPanelWidth;
+        const int w = std::min(kPanelWidth, n - j0);
+        float *panel = bt + static_cast<size_t>(q) * k * kPanelWidth;
+        if (!trans_b) {
+            // B (k x n): copy a row slice, zero the padded lanes.
             for (int p = 0; p < k; ++p) {
-                acc += a[static_cast<size_t>(p) * m + i] *
-                       b[static_cast<size_t>(j) * k + p];
+                const float *src = b + static_cast<size_t>(p) * n + j0;
+                float *dst = panel + static_cast<size_t>(p) * kPanelWidth;
+                std::memcpy(dst, src, static_cast<size_t>(w) *
+                                          sizeof(float));
+                for (int jj = w; jj < kPanelWidth; ++jj)
+                    dst[jj] = 0.0f;
             }
-            crow[j] += acc;
+        } else {
+            // B (n x k): column j of op(B) is the contiguous row j of
+            // B — the pack is where the transpose happens.
+            for (int jj = 0; jj < w; ++jj) {
+                const float *src =
+                    b + static_cast<size_t>(j0 + jj) * k;
+                float *dst = panel + jj;
+                for (int p = 0; p < k; ++p)
+                    dst[static_cast<size_t>(p) * kPanelWidth] = src[p];
+            }
+            for (int jj = w; jj < kPanelWidth; ++jj) {
+                float *dst = panel + jj;
+                for (int p = 0; p < k; ++p)
+                    dst[static_cast<size_t>(p) * kPanelWidth] = 0.0f;
+            }
         }
     }
+}
+
+/**
+ * 4 x 16 microkernel: rows [i, i + 4) x panel columns [j0, j0 + w).
+ * Eight accumulator registers, two panel loads and eight FMAs per p.
+ * Partial panels (w < 16) stage C through a zero-padded stack tile;
+ * the padded B lanes are zero, so the extra lanes accumulate exact
+ * zeros and are simply not stored back.
+ */
+__attribute__((target("avx2,fma"))) void
+micro4x16(const float *a, int m, int k, bool trans_a, const float *panel,
+          float *c, int n, int i, int j0, int w)
+{
+    __m256 acc[kRowBlock][2];
+    float tmp[kRowBlock][kPanelWidth];
+    const bool partial = w < kPanelWidth;
+    for (int r = 0; r < kRowBlock; ++r) {
+        float *crow = c + static_cast<size_t>(i + r) * n + j0;
+        if (partial) {
+            std::memset(tmp[r], 0, sizeof(tmp[r]));
+            std::memcpy(tmp[r], crow,
+                        static_cast<size_t>(w) * sizeof(float));
+            acc[r][0] = _mm256_loadu_ps(tmp[r]);
+            acc[r][1] = _mm256_loadu_ps(tmp[r] + 8);
+        } else {
+            acc[r][0] = _mm256_loadu_ps(crow);
+            acc[r][1] = _mm256_loadu_ps(crow + 8);
+        }
+    }
+    for (int p = 0; p < k; ++p) {
+        const float *brow = panel + static_cast<size_t>(p) * kPanelWidth;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        for (int r = 0; r < kRowBlock; ++r) {
+            const __m256 av =
+                _mm256_set1_ps(aAt(a, m, k, trans_a, i + r, p));
+            acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+            acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+    }
+    for (int r = 0; r < kRowBlock; ++r) {
+        float *crow = c + static_cast<size_t>(i + r) * n + j0;
+        if (partial) {
+            _mm256_storeu_ps(tmp[r], acc[r][0]);
+            _mm256_storeu_ps(tmp[r] + 8, acc[r][1]);
+            std::memcpy(crow, tmp[r],
+                        static_cast<size_t>(w) * sizeof(float));
+        } else {
+            _mm256_storeu_ps(crow, acc[r][0]);
+            _mm256_storeu_ps(crow + 8, acc[r][1]);
+        }
+    }
+}
+
+/** 1 x 16 microkernel for the row remainder. */
+__attribute__((target("avx2,fma"))) void
+micro1x16(const float *a, int m, int k, bool trans_a, const float *panel,
+          float *c, int n, int i, int j0, int w)
+{
+    __m256 acc0;
+    __m256 acc1;
+    float tmp[kPanelWidth];
+    float *crow = c + static_cast<size_t>(i) * n + j0;
+    const bool partial = w < kPanelWidth;
+    if (partial) {
+        std::memset(tmp, 0, sizeof(tmp));
+        std::memcpy(tmp, crow, static_cast<size_t>(w) * sizeof(float));
+        acc0 = _mm256_loadu_ps(tmp);
+        acc1 = _mm256_loadu_ps(tmp + 8);
+    } else {
+        acc0 = _mm256_loadu_ps(crow);
+        acc1 = _mm256_loadu_ps(crow + 8);
+    }
+    for (int p = 0; p < k; ++p) {
+        const float *brow = panel + static_cast<size_t>(p) * kPanelWidth;
+        const __m256 av = _mm256_set1_ps(aAt(a, m, k, trans_a, i, p));
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), acc1);
+    }
+    if (partial) {
+        _mm256_storeu_ps(tmp, acc0);
+        _mm256_storeu_ps(tmp + 8, acc1);
+        std::memcpy(crow, tmp, static_cast<size_t>(w) * sizeof(float));
+    } else {
+        _mm256_storeu_ps(crow, acc0);
+        _mm256_storeu_ps(crow + 8, acc1);
+    }
+}
+
+/** Row tile [i0, i1) over every packed panel. */
+__attribute__((target("avx2,fma"))) void
+gemmRowsSimd(const float *a, const float *bt, float *c, int m, int n,
+             int k, bool trans_a, int i0, int i1)
+{
+    const int panels = (n + kPanelWidth - 1) / kPanelWidth;
+    for (int q = 0; q < panels; ++q) {
+        const int j0 = q * kPanelWidth;
+        const int w = std::min(kPanelWidth, n - j0);
+        const float *panel = bt + static_cast<size_t>(q) * k * kPanelWidth;
+        int i = i0;
+        for (; i + kRowBlock <= i1; i += kRowBlock)
+            micro4x16(a, m, k, trans_a, panel, c, n, i, j0, w);
+        for (; i < i1; ++i)
+            micro1x16(a, m, k, trans_a, panel, c, n, i, j0, w);
+    }
+}
+
+/** Per-thread reusable panel scratch (grows to the largest B seen). */
+thread_local std::vector<float> t_pack_buffer;
+
+#endif // SNS_SIMD_X86
+
+bool
+cpuHasSimd()
+{
+#if SNS_SIMD_X86
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+std::atomic<bool> &
+simdFlag()
+{
+    static std::atomic<bool> flag([] {
+        if (!cpuHasSimd())
+            return false;
+        // SNS_SIMD=0 forces the scalar path from the environment.
+        const char *env = std::getenv("SNS_SIMD");
+        return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+    }());
+    return flag;
 }
 
 } // namespace
+
+bool
+gemmSimdAvailable()
+{
+    return cpuHasSimd();
+}
+
+void
+setGemmSimd(bool enabled)
+{
+    simdFlag().store(enabled && cpuHasSimd(), std::memory_order_relaxed);
+}
+
+bool
+gemmSimdActive()
+{
+    return simdFlag().load(std::memory_order_relaxed);
+}
 
 void
 gemmAcc(const float *a, const float *b, float *c, int m, int n, int k,
         bool trans_a, bool trans_b)
 {
+    if (m <= 0 || n <= 0 || k <= 0)
+        return;
+
+    const bool simd = gemmSimdActive();
+#if SNS_SIMD_X86
+    // Pack op(B) once, on the calling thread, before the parallel
+    // region; row tiles share the read-only panels. The scratch is
+    // thread-local, so GEMMs running inline inside pool workers (the
+    // nested-parallelism case) each pack into their own buffer.
+    const float *bt = nullptr;
+    if (simd) {
+        const size_t panels =
+            (static_cast<size_t>(n) + kPanelWidth - 1) / kPanelWidth;
+        const size_t need = panels * k * kPanelWidth;
+        if (t_pack_buffer.size() < need)
+            t_pack_buffer.resize(need);
+        packBPanels(b, n, k, trans_b, t_pack_buffer.data());
+        bt = t_pack_buffer.data();
+    }
+#else
+    (void)simd;
+#endif
+
+    // All layouts tile over rows of C: each tile runs the full p loop
+    // for its rows, so tiling (and threading over tiles) never changes
+    // a single bit of the result.
+    auto rows = [&](int i0, int i1) {
+#if SNS_SIMD_X86
+        if (simd) {
+            gemmRowsSimd(a, bt, c, m, n, k, trans_a, i0, i1);
+            return;
+        }
+#endif
+        gemmRowsScalar(a, b, c, m, n, k, trans_a, trans_b, i0, i1);
+    };
+
     auto &pool = par::globalPool();
     const long long flops = 2ll * m * n * k;
     const bool parallel = pool.threads() > 1 &&
                           !par::inParallelRegion() &&
-                          flops >= kParallelFlops;
-
-    if (trans_a && !trans_b) {
-        // Tile over columns of C (disjoint writes under p-outer order).
-        if (parallel && n >= 2 * pool.threads()) {
-            pool.parallelFor(
-                static_cast<size_t>(n), 16,
-                [&](size_t j0, size_t j1) {
-                    gemmColsTN(a, b, c, m, n, k, static_cast<int>(j0),
-                               static_cast<int>(j1));
-                });
-        } else {
-            gemmColsTN(a, b, c, m, n, k, 0, n);
-        }
-        return;
-    }
-
-    // The remaining cases tile over rows of C.
-    auto rows = [&](int i0, int i1) {
-        if (!trans_a && !trans_b)
-            gemmRowsNN(a, b, c, n, k, i0, i1);
-        else if (!trans_a && trans_b)
-            gemmRowsNT(a, b, c, n, k, i0, i1);
-        else
-            gemmRowsTT(a, b, c, m, n, k, i0, i1);
-    };
-    if (parallel && m >= 2 * pool.threads()) {
-        pool.parallelFor(static_cast<size_t>(m), 4,
+                          flops >= kParallelFlops &&
+                          m >= 2 * pool.threads();
+    if (parallel) {
+        pool.parallelFor(static_cast<size_t>(m), kRowBlock,
                          [&](size_t i0, size_t i1) {
                              rows(static_cast<int>(i0),
                                   static_cast<int>(i1));
@@ -141,6 +347,15 @@ gemmAcc(const float *a, const float *b, float *c, int m, int n, int k,
     } else {
         rows(0, m);
     }
+}
+
+void
+gemmAccScalar(const float *a, const float *b, float *c, int m, int n,
+              int k, bool trans_a, bool trans_b)
+{
+    if (m <= 0 || n <= 0 || k <= 0)
+        return;
+    gemmRowsScalar(a, b, c, m, n, k, trans_a, trans_b, 0, m);
 }
 
 } // namespace sns::tensor

@@ -2,6 +2,18 @@
  * @file
  * The one dense matrix-multiply kernel under every model in the
  * library. C (m x n) += op(A) * op(B) where op optionally transposes.
+ *
+ * Accumulation contract (docs/perf.md): for every element C[i][j] the
+ * update is
+ *
+ *     for p in 0..k-1:  C[i][j] = fma(opA(A)[i][p], opB(B)[p][j], C[i][j])
+ *
+ * — ascending p, one fused rounding per step — in *every* code path:
+ * the packed AVX2+FMA microkernels, the scalar fallback (std::fmaf),
+ * and every edge/remainder loop. Because the per-element order is
+ * identical everywhere, SIMD and scalar results are bitwise equal, and
+ * the sns::par row tiling (each tile runs its full p loop) keeps
+ * results bitwise identical at any thread count.
  */
 
 #ifndef SNS_TENSOR_GEMM_HH
@@ -10,7 +22,10 @@
 namespace sns::tensor {
 
 /**
- * Accumulating GEMM: C += opA(A) * opB(B).
+ * Accumulating GEMM: C += opA(A) * opB(B). Dispatches at runtime to
+ * the packed AVX2+FMA microkernels when compiled in (SNS_SIMD) and the
+ * CPU supports them, else to the scalar fallback; both produce bitwise
+ * identical results.
  *
  * @param a pointer to A, stored (m x k) or (k x m) if trans_a
  * @param b pointer to B, stored (k x n) or (n x k) if trans_b
@@ -18,6 +33,29 @@ namespace sns::tensor {
  */
 void gemmAcc(const float *a, const float *b, float *c, int m, int n, int k,
              bool trans_a, bool trans_b);
+
+/**
+ * The scalar reference kernel: same accumulation contract, no SIMD,
+ * no threading. Exists so tests and microbenchmarks can pin the
+ * dispatched kernel against it (exact equality expected).
+ */
+void gemmAccScalar(const float *a, const float *b, float *c, int m, int n,
+                   int k, bool trans_a, bool trans_b);
+
+/** True when the SIMD microkernels are compiled in and this CPU can
+ * run them (AVX2 + FMA). */
+bool gemmSimdAvailable();
+
+/**
+ * Runtime kill switch for the SIMD path (benchmarking / debugging;
+ * the env var SNS_SIMD=0 sets the initial state). Enabling is a no-op
+ * when gemmSimdAvailable() is false. Results do not change either
+ * way — only throughput does.
+ */
+void setGemmSimd(bool enabled);
+
+/** True when gemmAcc currently dispatches to the SIMD microkernels. */
+bool gemmSimdActive();
 
 } // namespace sns::tensor
 

@@ -486,6 +486,150 @@ TEST(PredictBatchTest, WrapperAndOptionsAgree)
                     .empty());
 }
 
+TEST(PredictBatchTest, CacheOnOffBitwiseIdentical)
+{
+    // The docs/perf.md memoization contract, end to end: predictions
+    // through a path cache — cold, warm, and at several pool widths —
+    // must match the uncached run bit for bit.
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+
+    std::vector<const graphir::Graph *> graphs;
+    for (const auto &record : dataset.records())
+        graphs.push_back(&record.graph);
+
+    PredictOptions plain;
+    plain.threads = 1;
+    const auto base = predictor.predictBatch(graphs, plain);
+
+    perf::PathPredictionCache cache;
+    PredictOptions cached = plain;
+    cached.cache = &cache;
+    // Three passes: cold cache, fully warm cache, warm at 4 threads.
+    for (const int threads : {1, 1, 4}) {
+        cached.threads = threads;
+        const auto preds = predictor.predictBatch(graphs, cached);
+        ASSERT_EQ(preds.size(), base.size());
+        for (size_t i = 0; i < preds.size(); ++i) {
+            EXPECT_EQ(preds[i].timing_ps, base[i].timing_ps)
+                << "design " << i << " threads " << threads;
+            EXPECT_EQ(preds[i].area_um2, base[i].area_um2)
+                << "design " << i << " threads " << threads;
+            EXPECT_EQ(preds[i].power_mw, base[i].power_mw)
+                << "design " << i << " threads " << threads;
+            EXPECT_EQ(preds[i].critical_path, base[i].critical_path)
+                << "design " << i << " threads " << threads;
+        }
+    }
+    const auto stats = cache.stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_EQ(stats.entries, stats.inserts);
+    par::setThreads(1);
+}
+
+TEST(PredictBatchTest, CacheAccountingAcrossRepeatedBatches)
+{
+    // DSE-style reuse: the same batch predicted twice through one
+    // cache. The second pass must resolve every path from the cache —
+    // no new misses, no new inserts — and probe counts must add up.
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+
+    std::vector<const graphir::Graph *> graphs;
+    for (const auto &record : dataset.records())
+        graphs.push_back(&record.graph);
+
+    perf::PathPredictionCache cache;
+    PredictOptions options;
+    options.threads = 1; // deterministic hit/miss accounting
+    options.cache = &cache;
+
+    const auto first = predictor.predictBatch(graphs, options);
+    size_t total_paths = 0;
+    for (const auto &pred : first)
+        total_paths += pred.paths_sampled;
+    const auto cold = cache.stats();
+    EXPECT_EQ(cold.hits + cold.misses,
+              static_cast<uint64_t>(total_paths));
+    EXPECT_GT(cold.misses, 0u);
+    EXPECT_EQ(cold.entries, cold.inserts);
+    EXPECT_EQ(cold.evictions, 0u);
+
+    const auto second = predictor.predictBatch(graphs, options);
+    const auto warm = cache.stats();
+    EXPECT_EQ(warm.misses, cold.misses) << "warm pass must not miss";
+    EXPECT_EQ(warm.hits,
+              cold.hits + static_cast<uint64_t>(total_paths));
+    EXPECT_EQ(warm.inserts, cold.inserts);
+
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].timing_ps, second[i].timing_ps);
+        EXPECT_EQ(first[i].area_um2, second[i].area_um2);
+        EXPECT_EQ(first[i].power_mw, second[i].power_mw);
+    }
+    par::setThreads(1);
+}
+
+TEST(PredictBatchTest, SharedCacheUnderConcurrentDesigns)
+{
+    // Several designs fanned over the pool all hammer one cache
+    // (exercised under the TSan leg of tools/run_lint.sh). The split
+    // between hits and misses is timing-dependent, but the predictions
+    // must still be bitwise identical to the uncached serial run.
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+
+    std::vector<const graphir::Graph *> graphs;
+    for (const auto &record : dataset.records())
+        graphs.push_back(&record.graph);
+
+    PredictOptions plain;
+    plain.threads = 1;
+    const auto base = predictor.predictBatch(graphs, plain);
+
+    perf::PathPredictionCache cache;
+    PredictOptions concurrent;
+    concurrent.threads = 4;
+    concurrent.cache = &cache;
+    const auto preds = predictor.predictBatch(graphs, concurrent);
+    for (size_t i = 0; i < preds.size(); ++i) {
+        EXPECT_EQ(preds[i].timing_ps, base[i].timing_ps) << i;
+        EXPECT_EQ(preds[i].area_um2, base[i].area_um2) << i;
+        EXPECT_EQ(preds[i].power_mw, base[i].power_mw) << i;
+        EXPECT_EQ(preds[i].critical_path, base[i].critical_path) << i;
+    }
+    const auto stats = cache.stats();
+    EXPECT_GT(stats.inserts, 0u);
+    EXPECT_EQ(stats.entries, stats.inserts);
+    par::setThreads(1);
+}
+
+TEST(PredictBatchTest, ThreadsOptionDoesNotLeak)
+{
+    // PredictOptions::threads is call-scoped: the process-wide width
+    // must be what it was before the call (the pre-PR behaviour leaked
+    // a par::setThreads past predictBatch).
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+
+    const graphir::Graph *one[1] = {&dataset.records()[0].graph};
+    par::setThreads(2);
+    PredictOptions options;
+    options.threads = 4;
+    predictor.predictBatch(one, options);
+    EXPECT_EQ(par::configuredThreads(), 2)
+        << "predictBatch leaked its thread override";
+    par::setThreads(1);
+}
+
 TEST(PredictorTest, LoadMissingDirectoryIsFatal)
 {
     // Earlier tests leave par worker threads alive; the default "fast"

@@ -216,6 +216,39 @@ TEST(GlobalPool, SetThreadsControlsWidth)
     par::setThreads(1);
 }
 
+TEST(GlobalPool, ScopedThreadsRestoresPriorConfiguration)
+{
+    // An explicit prior override is restored exactly.
+    par::setThreads(2);
+    {
+        par::ScopedThreads guard(3);
+        EXPECT_EQ(par::configuredThreads(), 3);
+        EXPECT_EQ(par::globalPool().threads(), 3);
+    }
+    EXPECT_EQ(par::configuredThreads(), 2);
+    EXPECT_EQ(par::threadOverride(), 2);
+
+    // Guards nest; each restores the width its constructor saw.
+    {
+        par::ScopedThreads outer(4);
+        {
+            par::ScopedThreads inner(3);
+            EXPECT_EQ(par::configuredThreads(), 3);
+        }
+        EXPECT_EQ(par::configuredThreads(), 4);
+    }
+    EXPECT_EQ(par::configuredThreads(), 2);
+
+    // threads <= 0 is a no-op guard (the PredictOptions::threads == 0
+    // "keep the process-wide width" case).
+    {
+        par::ScopedThreads noop(0);
+        EXPECT_EQ(par::configuredThreads(), 2);
+    }
+    EXPECT_EQ(par::configuredThreads(), 2);
+    par::setThreads(1);
+}
+
 TEST(GlobalPool, FreeFunctionParallelFor)
 {
     par::setThreads(4);

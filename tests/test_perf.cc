@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for sns::perf — the content-addressed path-prediction cache:
+ * hashing, hit/miss/byte accounting, deterministic FIFO eviction at
+ * capacity, re-insert semantics, and concurrent mixed access (the
+ * TSan leg of tools/run_lint.sh runs this suite at SNS_THREADS=4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "perf/path_cache.hh"
+
+namespace sns::perf {
+namespace {
+
+using graphir::TokenId;
+
+/** A distinct token sequence per seed (content-addressed test keys). */
+std::vector<TokenId>
+keyFor(int seed, int length = 6)
+{
+    std::vector<TokenId> tokens;
+    tokens.reserve(length);
+    for (int i = 0; i < length; ++i)
+        tokens.push_back(static_cast<TokenId>(seed * 131 + i));
+    return tokens;
+}
+
+/** A value derived from the key, mirroring the real invariant that
+ * cached predictions are pure functions of the token sequence. */
+core::PathPrediction
+valueFor(int seed)
+{
+    core::PathPrediction value;
+    value.timing_ps = 100.0 + seed;
+    value.area_um2 = 10.0 + seed;
+    value.power_mw = 1.0 + seed;
+    return value;
+}
+
+TEST(PathHash, ContentAddressed)
+{
+    const auto a = keyFor(1);
+    const auto b = keyFor(1);
+    const auto c = keyFor(2);
+    EXPECT_EQ(hashTokens(a), hashTokens(b));
+    EXPECT_NE(hashTokens(a), hashTokens(c));
+
+    // Order and length matter.
+    std::vector<TokenId> reversed(a.rbegin(), a.rend());
+    EXPECT_NE(hashTokens(a), hashTokens(reversed));
+    std::vector<TokenId> prefix(a.begin(), a.end() - 1);
+    EXPECT_NE(hashTokens(a), hashTokens(prefix));
+
+    // Known FNV-1a property: the empty sequence hashes to the offset
+    // basis (pins the constants against accidental edits).
+    EXPECT_EQ(hashTokens(std::span<const TokenId>{}),
+              0xcbf29ce484222325ull);
+}
+
+TEST(PathPredictionCache, LookupInsertRoundTripAndAccounting)
+{
+    PathPredictionCache cache;
+    core::PathPrediction out;
+
+    EXPECT_FALSE(cache.lookup(keyFor(1), out));
+    cache.insert(keyFor(1), valueFor(1));
+    ASSERT_TRUE(cache.lookup(keyFor(1), out));
+    EXPECT_EQ(out.timing_ps, valueFor(1).timing_ps);
+    EXPECT_EQ(out.area_um2, valueFor(1).area_um2);
+    EXPECT_EQ(out.power_mw, valueFor(1).power_mw);
+    EXPECT_FALSE(cache.lookup(keyFor(2), out));
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.inserts, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GT(stats.bytes, 0u);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 1.0 / 3.0);
+}
+
+TEST(PathPredictionCache, ReinsertKeepsResidentValue)
+{
+    PathPredictionCache cache;
+    cache.insert(keyFor(1), valueFor(1));
+    // Values are pure functions of the key; a duplicate insert (e.g.
+    // two designs racing on the same path) must keep the resident
+    // entry and not count as a new insert.
+    cache.insert(keyFor(1), valueFor(1));
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.inserts, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PathPredictionCache, DeterministicFifoEvictionAtCapacity)
+{
+    PathCacheOptions options;
+    options.capacity = 4;
+    options.shards = 1; // single shard: eviction order fully visible
+    const int total = 7;
+
+    auto fill = [&] {
+        auto cache = std::make_unique<PathPredictionCache>(options);
+        for (int i = 0; i < total; ++i)
+            cache->insert(keyFor(i), valueFor(i));
+        return cache;
+    };
+
+    const auto cache = fill();
+    const CacheStats stats = cache->stats();
+    EXPECT_EQ(stats.inserts, static_cast<uint64_t>(total));
+    EXPECT_EQ(stats.evictions, static_cast<uint64_t>(total - 4));
+    EXPECT_EQ(stats.entries, 4u);
+
+    // FIFO: the oldest three inserts were displaced, the newest four
+    // survive.
+    core::PathPrediction out;
+    for (int i = 0; i < total - 4; ++i)
+        EXPECT_FALSE(cache->lookup(keyFor(i), out)) << "key " << i;
+    for (int i = total - 4; i < total; ++i)
+        EXPECT_TRUE(cache->lookup(keyFor(i), out)) << "key " << i;
+
+    // Determinism: replaying the same insertion sequence reproduces
+    // the same survivor set and the same counters.
+    const auto replay = fill();
+    const CacheStats again = replay->stats();
+    EXPECT_EQ(again.evictions, stats.evictions);
+    EXPECT_EQ(again.entries, stats.entries);
+    EXPECT_EQ(again.bytes, stats.bytes);
+    for (int i = 0; i < total; ++i) {
+        core::PathPrediction a;
+        core::PathPrediction b;
+        EXPECT_EQ(cache->lookup(keyFor(i), a),
+                  replay->lookup(keyFor(i), b))
+            << "key " << i;
+    }
+}
+
+TEST(PathPredictionCache, EvictionReleasesBytes)
+{
+    PathCacheOptions options;
+    options.capacity = 2;
+    options.shards = 1;
+    PathPredictionCache cache(options);
+    cache.insert(keyFor(0), valueFor(0));
+    cache.insert(keyFor(1), valueFor(1));
+    const size_t full = cache.stats().bytes;
+    cache.insert(keyFor(2), valueFor(2));
+    // One in, one out, same-sized entries: footprint is unchanged and
+    // strictly positive.
+    EXPECT_EQ(cache.stats().bytes, full);
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    cache.clear();
+    const CacheStats cleared = cache.stats();
+    EXPECT_EQ(cleared.entries, 0u);
+    EXPECT_EQ(cleared.bytes, 0u);
+    EXPECT_EQ(cleared.hits, 0u);
+    EXPECT_EQ(cleared.misses, 0u);
+    EXPECT_EQ(cleared.inserts, 0u);
+    EXPECT_EQ(cleared.evictions, 0u);
+}
+
+TEST(PathPredictionCache, UnboundedWhenCapacityZero)
+{
+    PathCacheOptions options;
+    options.capacity = 0;
+    options.shards = 4;
+    PathPredictionCache cache(options);
+    for (int i = 0; i < 1000; ++i)
+        cache.insert(keyFor(i), valueFor(i));
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1000u);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PathPredictionCache, ConcurrentMixedAccessKeepsValuesKeyed)
+{
+    // DSE-shaped contention: several threads insert and look up
+    // overlapping key ranges. The split between hits and misses is
+    // timing-dependent, but every probe must be counted, every hit
+    // must return the key's canonical value, and the capacity bound
+    // must hold. Runs under the TSan leg of tools/run_lint.sh.
+    PathCacheOptions options;
+    options.capacity = 64;
+    options.shards = 8;
+    PathPredictionCache cache(options);
+
+    constexpr int kThreads = 4;
+    constexpr int kKeys = 48; // overlapping, below capacity
+    constexpr int kRounds = 50;
+    std::vector<std::thread> workers;
+    std::atomic<uint64_t> observed_hits{0};
+    std::atomic<bool> value_mismatch{false};
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int round = 0; round < kRounds; ++round) {
+                const int seed = (round * 7 + t * 13) % kKeys;
+                core::PathPrediction out;
+                if (cache.lookup(keyFor(seed), out)) {
+                    observed_hits.fetch_add(1);
+                    if (out.timing_ps != valueFor(seed).timing_ps ||
+                        out.area_um2 != valueFor(seed).area_um2 ||
+                        out.power_mw != valueFor(seed).power_mw) {
+                        value_mismatch.store(true);
+                    }
+                } else {
+                    cache.insert(keyFor(seed), valueFor(seed));
+                }
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+
+    EXPECT_FALSE(value_mismatch.load());
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses,
+              static_cast<uint64_t>(kThreads) * kRounds);
+    EXPECT_EQ(stats.hits, observed_hits.load());
+    EXPECT_LE(stats.entries, 64u);
+    EXPECT_EQ(stats.entries, stats.inserts - stats.evictions);
+}
+
+} // namespace
+} // namespace sns::perf

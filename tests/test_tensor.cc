@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
+#include "par/thread_pool.hh"
 #include "tensor/autograd.hh"
 #include "tensor/gemm.hh"
 #include "tensor/tensor.hh"
@@ -136,6 +138,94 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(std::get<0>(info.param) ? "tA" : "nA") +
                (std::get<1>(info.param) ? "tB" : "nB");
     });
+
+// The gemm.hh accumulation contract: the dispatched kernel (packed
+// SIMD microkernels when available) must equal the scalar reference
+// bit for bit, across every layout and every remainder shape (rows %
+// 4, cols % 16 / % 8), and at any pool width.
+TEST(GemmSimd, DispatchMatchesScalarBitForBit)
+{
+    struct Shape
+    {
+        int m, n, k;
+    };
+    // Exercise full 4x16 tiles, 1-row and sub-16/sub-8 column tails,
+    // and k edge cases.
+    const Shape shapes[] = {{4, 16, 8},  {8, 32, 16}, {1, 1, 1},
+                            {3, 7, 5},   {5, 17, 9},  {2, 8, 64},
+                            {7, 23, 33}, {16, 48, 1}, {1, 16, 128},
+                            {6, 9, 2},   {13, 40, 21}};
+    Rng rng(99);
+    for (const auto &shape : shapes) {
+        for (const bool ta : {false, true}) {
+            for (const bool tb : {false, true}) {
+                std::vector<float> a(static_cast<size_t>(shape.m) *
+                                     shape.k);
+                std::vector<float> b(static_cast<size_t>(shape.k) *
+                                     shape.n);
+                std::vector<float> c0(static_cast<size_t>(shape.m) *
+                                      shape.n);
+                for (auto &x : a)
+                    x = static_cast<float>(rng.normal());
+                for (auto &x : b)
+                    x = static_cast<float>(rng.normal());
+                for (auto &x : c0)
+                    x = static_cast<float>(rng.normal());
+
+                std::vector<float> want = c0;
+                gemmAccScalar(a.data(), b.data(), want.data(), shape.m,
+                              shape.n, shape.k, ta, tb);
+                std::vector<float> got = c0;
+                gemmAcc(a.data(), b.data(), got.data(), shape.m,
+                        shape.n, shape.k, ta, tb);
+                for (size_t i = 0; i < got.size(); ++i) {
+                    ASSERT_EQ(got[i], want[i])
+                        << "m=" << shape.m << " n=" << shape.n
+                        << " k=" << shape.k << " ta=" << ta
+                        << " tb=" << tb << " index " << i
+                        << " simd=" << gemmSimdActive();
+                }
+            }
+        }
+    }
+}
+
+TEST(GemmSimd, RuntimeToggleAndThreadingPreserveBits)
+{
+    // Big enough to cross the parallel threshold (2*m*n*k >= 2^21).
+    const int m = 96;
+    const int n = 107; // deliberate non-multiple of the panel width
+    const int k = 128;
+    Rng rng(7);
+    std::vector<float> a(static_cast<size_t>(m) * k);
+    std::vector<float> b(static_cast<size_t>(k) * n);
+    std::vector<float> c0(static_cast<size_t>(m) * n, 0.25f);
+    for (auto &x : a)
+        x = static_cast<float>(rng.normal());
+    for (auto &x : b)
+        x = static_cast<float>(rng.normal());
+
+    std::vector<float> want = c0;
+    gemmAccScalar(a.data(), b.data(), want.data(), m, n, k, false,
+                  false);
+
+    const bool simd_was_active = gemmSimdActive();
+    for (const bool simd : {false, true}) {
+        setGemmSimd(simd);
+        EXPECT_EQ(gemmSimdActive(), simd && gemmSimdAvailable());
+        for (const int threads : {1, 4}) {
+            par::setThreads(threads);
+            std::vector<float> got = c0;
+            gemmAcc(a.data(), b.data(), got.data(), m, n, k, false,
+                    false);
+            ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                                     got.size() * sizeof(float)))
+                << "simd=" << simd << " threads=" << threads;
+        }
+    }
+    setGemmSimd(simd_was_active);
+    par::setThreads(1);
+}
 
 // ---------------------------------------------------------------------
 // Autograd: finite-difference gradient checking

@@ -1,0 +1,120 @@
+#!/bin/sh
+# PR-3 performance driver (see docs/perf.md):
+#
+#   1. configure + build Release with SNS_NATIVE_ARCH;
+#   2. run the GEMM microkernel dispatch benchmarks (scalar vs SIMD,
+#      every transpose layout the Circuitformer uses);
+#   3. run the Figure-7 harness, which times the path-prediction cache
+#      cold vs warm over a repeated-variant sweep and re-checks the
+#      bitwise determinism contract with the cache on;
+#   4. assemble the machine-readable summary BENCH_pr3.json.
+#
+# Usage: tools/run_bench.sh [BUILD_DIR] [OUT_JSON]
+#        (defaults: build-bench, BENCH_pr3.json at the repo root)
+set -e
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build-bench}"
+OUT="${2:-$REPO/BENCH_pr3.json}"
+
+echo "== release build ($BUILD) =="
+cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release \
+    -DSNS_NATIVE_ARCH=ON
+cmake --build "$BUILD" -j --target microbench_kernels fig07_runtime
+
+echo "== GEMM microkernels: scalar vs SIMD dispatch =="
+GEMM_CSV="$BUILD/gemm_dispatch.csv"
+"$BUILD/bench/microbench_kernels" \
+    --benchmark_filter='BM_GemmSimdDispatch' \
+    --benchmark_format=csv >"$GEMM_CSV"
+# Console copy for the human reading along.
+awk -F, 'NR > 1 && $1 ~ /^"?BM_/ {
+    gsub(/"/, "", $1); printf "  %-44s %8.2f GFLOP/s\n", $1, $7 / 1e9
+}' "$GEMM_CSV"
+
+echo "== Figure 7 harness: cache cold vs warm + determinism =="
+FIG07_OUT="$BUILD/fig07_bench.out"
+# Quick mode by default; pass --full through the environment if wanted:
+#   SNS_BENCH_FLAGS=--full tools/run_bench.sh
+# shellcheck disable=SC2086
+"$BUILD/bench/fig07_runtime" ${SNS_BENCH_FLAGS:-} | tee "$FIG07_OUT"
+
+echo "== assembling $OUT =="
+# The fig07 harness prints `BENCH <key> <value>` lines; the benchmark
+# CSV carries items_per_second == FLOP/s in column 7. Everything below
+# is POSIX awk — no interpreter dependencies.
+awk -F, -v fig07="$FIG07_OUT" '
+    BEGIN {
+        while ((getline line <fig07) > 0) {
+            if (split(line, f, " ") == 3 && f[1] == "BENCH")
+                bench[f[2]] = f[3]
+        }
+        close(fig07)
+    }
+    NR > 1 && $1 ~ /^"?BM_GemmSimdDispatch/ {
+        name = $1
+        gsub(/"/, "", name)
+        sub(/^BM_GemmSimdDispatch\//, "", name)
+        gflops[name] = $7 / 1e9
+        order[++n] = name
+    }
+    END {
+        printf "{\n"
+        printf "  \"gemm_gflops\": {\n"
+        for (i = 1; i <= n; ++i) {
+            name = order[i]
+            # Args are slash-separated: m/n/k/trans_a/trans_b/simd.
+            split(name, a, "/")
+            shape = a[1] "x" a[2] "x" a[3]
+            layout = (a[4] ? "T" : "N") (a[5] ? "T" : "N")
+            mode = a[6] ? "simd" : "scalar"
+            key = shape "_" layout "_" mode
+            printf "    \"%s\": %.3f%s\n", key, gflops[name], \
+                   i < n ? "," : ""
+        }
+        printf "  },\n"
+        printf "  \"predict\": {\n"
+        printf "    \"cold_s\": %s,\n", bench["fig07_predict_cold_s"]
+        printf "    \"warm_s\": %s,\n", bench["fig07_predict_warm_s"]
+        printf "    \"paths_per_s_cold\": %s,\n", \
+               bench["fig07_paths_per_s_cold"]
+        printf "    \"paths_per_s_warm\": %s,\n", \
+               bench["fig07_paths_per_s_warm"]
+        printf "    \"warm_cache_speedup_x\": %s,\n", \
+               bench["fig07_warm_cache_speedup_x"]
+        printf "    \"warm_hit_rate\": %s,\n", \
+               bench["fig07_warm_hit_rate"]
+        printf "    \"determinism_pass\": %s\n", \
+               bench["fig07_determinism"]
+        printf "  }\n"
+        printf "}\n"
+    }
+' "$GEMM_CSV" >"$OUT"
+
+cat "$OUT"
+
+# Sanity gates mirrored from ISSUE.md: the warm-cache sweep must be at
+# least 2x faster than cold, and the cached passes bitwise identical.
+awk -F, -v fig07="$FIG07_OUT" '
+    BEGIN {
+        speedup = 0
+        det = 0
+        while ((getline line <fig07) > 0) {
+            if (split(line, f, " ") != 3 || f[1] != "BENCH")
+                continue
+            if (f[2] == "fig07_warm_cache_speedup_x") speedup = f[3]
+            if (f[2] == "fig07_determinism") det = f[3]
+        }
+        if (det != 1) {
+            print "FAIL: cached predictions are not bitwise identical"
+            exit 1
+        }
+        if (speedup + 0 < 2.0) {
+            printf "FAIL: warm-cache speedup %.2fx < 2x\n", speedup
+            exit 1
+        }
+        printf "PASS: warm-cache speedup %.2fx, determinism intact\n", \
+               speedup
+    }
+' /dev/null
+echo "wrote $OUT"

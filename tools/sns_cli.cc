@@ -17,11 +17,13 @@
 
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/evaluation.hh"
 #include "designs/designs.hh"
+#include "perf/path_cache.hh"
 #include "netlist/snl_parser.hh"
 #include "netlist/verilog_parser.hh"
 #include "par/thread_pool.hh"
@@ -90,13 +92,17 @@ usage()
         << "  sns-cli train   --out=DIR [--dataset=paper|smoke] "
            "[--fast] [--seed=N] [--threads=N]\n"
         << "  sns-cli predict --model=DIR [--threads=N] [--json] "
-           "DESIGN.{snl,v} [...]\n"
+           "[--cache[=CAP]] [--cache-stats] DESIGN.{snl,v} [...]\n"
         << "  sns-cli synth   DESIGN.snl [...]\n"
         << "  sns-cli paths   DESIGN.snl [--k=5] [--limit=20]\n"
         << "  sns-cli dot     DESIGN.snl\n"
         << "--threads=N runs on the sns::par pool (0 = all cores; "
            "results are identical at any width); SNS_THREADS sets the "
-           "default.\n";
+           "default.\n"
+        << "--cache[=CAP] memoizes path predictions across the designs "
+           "of one predict call (CAP entries, default 1M, 0 = "
+           "unbounded); predictions are bitwise identical either way. "
+           "--cache-stats prints hit/miss counters to stderr.\n";
     return 1;
 }
 
@@ -175,9 +181,27 @@ cmdPredict(const CliArgs &args)
     core::PredictOptions options;
     if (args.has("threads"))
         options.threads = std::stoi(args.get("threads", "0"));
+    std::unique_ptr<perf::PathPredictionCache> cache;
+    if (args.has("cache") || args.has("cache-stats")) {
+        perf::PathCacheOptions copts;
+        const std::string cap = args.get("cache", "1");
+        if (cap != "1") // --cache with no value parses as "1"
+            copts.capacity = std::stoull(cap);
+        cache = std::make_unique<perf::PathPredictionCache>(copts);
+        options.cache = cache.get();
+    }
     WallTimer timer;
     const auto preds = predictor.predictBatch(graphs, options);
     const double elapsed = timer.seconds();
+
+    if (cache && args.has("cache-stats")) {
+        const auto stats = cache->stats();
+        std::cerr << "cache: " << stats.hits << " hits, " << stats.misses
+                  << " misses (" << formatDouble(100.0 * stats.hitRate(), 1)
+                  << "% hit rate), " << stats.inserts << " inserts, "
+                  << stats.evictions << " evictions, " << stats.entries
+                  << " entries, " << stats.bytes << " bytes\n";
+    }
 
     if (json)
         std::cout << "[\n";
