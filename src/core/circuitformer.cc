@@ -256,6 +256,34 @@ Circuitformer::parameters() const
     return params;
 }
 
+uint64_t
+Circuitformer::parametersFingerprint() const
+{
+    // FNV-1a over the raw bytes of every weight tensor, then the
+    // double-precision normalization statistics. The statistics are
+    // hashed at full precision on purpose: save() truncates them to
+    // float32, so a freshly-trained model and its reloaded checkpoint
+    // correctly fingerprint as *different* models (their predictions
+    // differ in the last bits), while two loads of the same checkpoint
+    // fingerprint identically.
+    uint64_t hash = 0xcbf29ce484222325ull;
+    constexpr uint64_t kPrime = 0x100000001b3ull;
+    const auto mix = [&hash](const void *data, size_t bytes) {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < bytes; ++i) {
+            hash ^= p[i];
+            hash *= kPrime;
+        }
+    };
+    for (const auto &param : parameters()) {
+        const tensor::Tensor &value = param.value();
+        mix(value.data(), value.numel() * sizeof(float));
+    }
+    mix(target_mean_.data(), sizeof(target_mean_));
+    mix(target_std_.data(), sizeof(target_std_));
+    return hash == 0 ? 1 : hash; // 0 means "unbound" to the cache
+}
+
 void
 Circuitformer::save(const std::string &path) const
 {

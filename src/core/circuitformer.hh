@@ -75,6 +75,20 @@ class Circuitformer : public nn::Module
 
     std::vector<tensor::Variable> parameters() const override;
 
+    /**
+     * A nonzero FNV-1a fingerprint of everything a path prediction
+     * depends on: the raw float bytes of every parameter tensor plus
+     * the (double-precision) normalization statistics. Two models map
+     * a token path to bitwise-identical predictions iff their
+     * fingerprints match, which is the key to *sharing* a
+     * perf::PathPredictionCache across predictor instances — the cache
+     * binds to this value and rejects mismatched writers. A save/load
+     * round trip preserves the fingerprint once the statistics have
+     * been float-snapped by one load (the checkpoint invariant
+     * hot-reload relies on; see docs/serving.md).
+     */
+    uint64_t parametersFingerprint() const;
+
     /** Persist weights + normalization to a file. */
     void save(const std::string &path) const;
 

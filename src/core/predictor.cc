@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "nn/serialize.hh"
 #include "par/thread_pool.hh"
 #include "tensor/autograd.hh"
 #include "util/logging.hh"
@@ -25,6 +26,7 @@ SnsPredictor::SnsPredictor(std::shared_ptr<Circuitformer> circuitformer,
                    heads_.area->target() == Target::Area &&
                    heads_.power->target() == Target::Power,
                "MLP target mismatch");
+    model_fingerprint_ = circuitformer_->parametersFingerprint();
 }
 
 SnsPrediction
@@ -89,6 +91,15 @@ SnsPredictor::predictPathsCached(
     perf::PathPredictionCache &cache, int batch_size) const
 {
     std::vector<PathPrediction> preds(token_paths.size());
+
+    // A shared cache only memoizes soundly under one fixed model;
+    // bind it to this predictor's weights (first binder wins, equal
+    // fingerprints coexist, a conflict is a caller bug).
+    SNS_ASSERT(cache.bindModel(model_fingerprint_),
+               "path cache is bound to a different model "
+               "(fingerprint ", cache.boundModel(),
+               ") — a shared cache requires identical Circuitformer "
+               "weights; clear() it before switching models");
 
     // Probe phase: resolve hits immediately; dedup the misses so each
     // unique path is forwarded through the Circuitformer exactly once.
@@ -189,7 +200,8 @@ SnsPredictor::save(const std::string &directory) const
 
     std::ofstream meta(directory + "/" + kMetaFile);
     if (!meta)
-        fatal("cannot write ", directory, "/", kMetaFile);
+        throw nn::SerializeError("cannot write " + directory + "/" +
+                                 kMetaFile);
     const auto &model = circuitformer_->config();
     meta << "format 1\n"
          << "vocab_size " << model.encoder.vocab_size << "\n"
@@ -215,7 +227,8 @@ SnsPredictor::load(const std::string &directory)
 {
     std::ifstream meta(directory + "/" + kMetaFile);
     if (!meta)
-        fatal("cannot open ", directory, "/", kMetaFile);
+        throw nn::SerializeError("cannot open " + directory + "/" +
+                                 kMetaFile);
     std::map<std::string, std::string> kv;
     std::string line;
     while (std::getline(meta, line)) {
@@ -226,17 +239,19 @@ SnsPredictor::load(const std::string &directory)
     auto geti = [&kv](const char *key) {
         const auto it = kv.find(key);
         if (it == kv.end())
-            fatal("predictor.meta missing key: ", key);
+            throw nn::SerializeError(
+                std::string("predictor.meta missing key: ") + key);
         return std::stoll(it->second);
     };
     auto getd = [&kv](const char *key) {
         const auto it = kv.find(key);
         if (it == kv.end())
-            fatal("predictor.meta missing key: ", key);
+            throw nn::SerializeError(
+                std::string("predictor.meta missing key: ") + key);
         return std::stod(it->second);
     };
     if (geti("format") != 1)
-        fatal("unsupported predictor.meta format");
+        throw nn::SerializeError("unsupported predictor.meta format");
 
     CircuitformerConfig model;
     model.encoder.vocab_size = static_cast<int>(geti("vocab_size"));

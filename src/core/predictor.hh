@@ -76,6 +76,13 @@ struct PredictOptions
      * share most of their paths) extends the reuse across batches.
      * Predictions are bitwise identical cache-on vs cache-off
      * (docs/perf.md).
+     *
+     * The cache may be shared across predictor instances and threads,
+     * but only among predictors whose Circuitformer weights are
+     * identical: the first user binds the cache to its
+     * modelFingerprint() and a mismatched later user panics rather
+     * than serve another model's predictions (the path_cache.hh
+     * sharing contract).
      */
     perf::PathPredictionCache *cache = nullptr;
 };
@@ -118,6 +125,10 @@ class SnsPredictor
     /** The per-target aggregation heads. */
     const AggregationHeads &heads() const { return heads_; }
 
+    /** The Circuitformer weight fingerprint this predictor binds a
+     * shared path cache to (computed once at construction). */
+    uint64_t modelFingerprint() const { return model_fingerprint_; }
+
     /** Sampler configuration in use. */
     const sampler::SamplerOptions &samplerOptions() const
     {
@@ -148,6 +159,7 @@ class SnsPredictor
     std::shared_ptr<Circuitformer> circuitformer_;
     AggregationHeads heads_;
     sampler::SamplerOptions sampler_options_;
+    uint64_t model_fingerprint_ = 0;
 };
 
 } // namespace sns::core

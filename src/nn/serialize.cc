@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <fstream>
 
-#include "util/logging.hh"
+#include <string>
 
 namespace sns::nn {
 
@@ -20,7 +20,7 @@ saveParameters(const std::string &path, const std::vector<Variable> &params)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        fatal("cannot open weight file for writing: ", path);
+        throw SerializeError("cannot open weight file for writing: " + path);
 
     out.write(kMagic, 4);
     const uint32_t count = static_cast<uint32_t>(params.size());
@@ -38,7 +38,7 @@ saveParameters(const std::string &path, const std::vector<Variable> &params)
                                                sizeof(float)));
     }
     if (!out)
-        fatal("short write to weight file: ", path);
+        throw SerializeError("short write to weight file: " + path);
 }
 
 void
@@ -46,18 +46,19 @@ loadParameters(const std::string &path, std::vector<Variable> &params)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open weight file: ", path);
+        throw SerializeError("cannot open weight file: " + path);
 
     char magic[4];
     in.read(magic, 4);
     if (!in || std::string(magic, 4) != std::string(kMagic, 4))
-        fatal("bad magic in weight file: ", path);
+        throw SerializeError("bad magic in weight file: " + path);
 
     uint32_t count = 0;
     in.read(reinterpret_cast<char *>(&count), sizeof(count));
     if (!in || count != params.size()) {
-        fatal("weight file has ", count, " tensors, model expects ",
-              params.size());
+        throw SerializeError(
+            "weight file has " + std::to_string(count) +
+            " tensors, model expects " + std::to_string(params.size()));
     }
 
     for (auto &param : params) {
@@ -65,17 +66,17 @@ loadParameters(const std::string &path, std::vector<Variable> &params)
         uint32_t ndim = 0;
         in.read(reinterpret_cast<char *>(&ndim), sizeof(ndim));
         if (!in || ndim != static_cast<uint32_t>(value.ndim()))
-            fatal("tensor rank mismatch in ", path);
+            throw SerializeError("tensor rank mismatch in " + path);
         for (int d : value.shape()) {
             int32_t dim = 0;
             in.read(reinterpret_cast<char *>(&dim), sizeof(dim));
             if (!in || dim != d)
-                fatal("tensor shape mismatch in ", path);
+                throw SerializeError("tensor shape mismatch in " + path);
         }
         in.read(reinterpret_cast<char *>(value.data()),
                 static_cast<std::streamsize>(value.numel() * sizeof(float)));
         if (!in)
-            fatal("truncated weight file: ", path);
+            throw SerializeError("truncated weight file: " + path);
     }
 }
 

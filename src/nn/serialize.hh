@@ -10,6 +10,7 @@
 #ifndef SNS_NN_SERIALIZE_HH
 #define SNS_NN_SERIALIZE_HH
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,13 +18,31 @@
 
 namespace sns::nn {
 
-/** Write the parameter tensors to a file. */
+/**
+ * Unreadable, corrupt, or shape-mismatched checkpoint. An exception —
+ * not fatal() — so long-lived processes survive a bad checkpoint: the
+ * serve daemon must answer a RELOAD of a broken directory with an
+ * ERROR reply, not exit. One-shot tools let it propagate to main and
+ * exit 1 as before.
+ */
+class SerializeError : public std::runtime_error
+{
+  public:
+    explicit SerializeError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+/** Write the parameter tensors to a file; SerializeError on I/O
+ * failure. */
 void saveParameters(const std::string &path,
                     const std::vector<tensor::Variable> &params);
 
 /**
  * Load parameters saved by saveParameters() into the given variables.
- * Count and shapes must match exactly; fatal() on mismatch or I/O error.
+ * Count and shapes must match exactly; throws SerializeError on
+ * mismatch or I/O error.
  */
 void loadParameters(const std::string &path,
                     std::vector<tensor::Variable> &params);

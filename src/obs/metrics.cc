@@ -1,0 +1,212 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace sns::obs {
+
+void
+Histogram::record(uint64_t value)
+{
+    const size_t bucket =
+        std::min<size_t>(std::bit_width(value), kBuckets - 1);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+double
+Histogram::quantileFromBuckets(
+    const std::array<uint64_t, kBuckets> &buckets, uint64_t count,
+    double q) const
+{
+    if (count == 0)
+        return 0.0;
+    const double rank = q * static_cast<double>(count);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        if (buckets[i] == 0)
+            continue;
+        const uint64_t before = cumulative;
+        cumulative += buckets[i];
+        if (static_cast<double>(cumulative) < rank)
+            continue;
+        // Linear interpolation inside bucket i = [2^(i-1), 2^i).
+        const double lo = i == 0 ? 0.0 : std::ldexp(1.0, int(i) - 1);
+        const double hi = std::ldexp(1.0, int(i));
+        const double frac = (rank - static_cast<double>(before)) /
+                            static_cast<double>(buckets[i]);
+        return lo + frac * (hi - lo);
+    }
+    return std::ldexp(1.0, int(kBuckets));
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    std::array<uint64_t, kBuckets> buckets;
+    for (size_t i = 0; i < kBuckets; ++i)
+        buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    Snapshot snap;
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    // The bucket array may lag count_ by in-flight records; quantiles
+    // use the bucket total so the cumulative walk stays consistent.
+    uint64_t bucket_total = 0;
+    for (const uint64_t b : buckets)
+        bucket_total += b;
+    snap.mean = snap.count == 0 ? 0.0
+                                : static_cast<double>(snap.sum) /
+                                      static_cast<double>(snap.count);
+    snap.p50 = quantileFromBuckets(buckets, bucket_total, 0.50);
+    snap.p90 = quantileFromBuckets(buckets, bucket_total, 0.90);
+    snap.p99 = quantileFromBuckets(buckets, bucket_total, 0.99);
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+Registry::setGauge(const std::string &name, std::function<double()> fn)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] = std::move(fn);
+}
+
+void
+Registry::removeGauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_.erase(name);
+}
+
+std::vector<Registry::Sample>
+Registry::snapshot() const
+{
+    // Copy the gauge callbacks out so user callbacks run outside the
+    // registry lock (a gauge may itself read instruments).
+    std::vector<Sample> samples;
+    std::vector<std::pair<std::string, std::function<double()>>> gauges;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[name, counter] : counters_) {
+            samples.push_back(
+                {name, static_cast<double>(counter->value())});
+        }
+        for (const auto &[name, histogram] : histograms_) {
+            const auto snap = histogram->snapshot();
+            samples.push_back(
+                {name + ".count", static_cast<double>(snap.count)});
+            samples.push_back(
+                {name + ".sum", static_cast<double>(snap.sum)});
+            samples.push_back({name + ".mean", snap.mean});
+            samples.push_back({name + ".p50", snap.p50});
+            samples.push_back({name + ".p90", snap.p90});
+            samples.push_back({name + ".p99", snap.p99});
+        }
+        for (const auto &[name, fn] : gauges_)
+            gauges.emplace_back(name, fn);
+    }
+    for (const auto &[name, fn] : gauges)
+        samples.push_back({name, fn()});
+    std::sort(samples.begin(), samples.end(),
+              [](const Sample &a, const Sample &b) {
+                  return a.name < b.name;
+              });
+    return samples;
+}
+
+std::string
+Registry::render() const
+{
+    std::string out;
+    for (const auto &sample : snapshot()) {
+        out += sample.name;
+        out += ' ';
+        out += formatValue(sample.value);
+        out += '\n';
+    }
+    return out;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+std::string
+formatValue(double value)
+{
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        std::ostringstream out;
+        out << static_cast<long long>(value);
+        return out.str();
+    }
+    std::ostringstream out;
+    out.precision(6);
+    out << value;
+    return out.str();
+}
+
+std::string
+formatCacheStats(const perf::CacheStats &stats)
+{
+    std::string out;
+    const auto line = [&out](const char *name, double value) {
+        out += name;
+        out += ' ';
+        out += formatValue(value);
+        out += '\n';
+    };
+    line("cache.hits", static_cast<double>(stats.hits));
+    line("cache.misses", static_cast<double>(stats.misses));
+    line("cache.hit_rate", stats.hitRate());
+    line("cache.inserts", static_cast<double>(stats.inserts));
+    line("cache.evictions", static_cast<double>(stats.evictions));
+    line("cache.entries", static_cast<double>(stats.entries));
+    line("cache.bytes", static_cast<double>(stats.bytes));
+    return out;
+}
+
+} // namespace sns::obs

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * sns::obs — process-wide observability (docs/serving.md §Metrics).
+ *
+ * Three instrument kinds, all cheap enough for hot paths:
+ *
+ *   - Counter: a monotonic atomic; inc() is one relaxed fetch_add.
+ *   - Histogram: power-of-two buckets with atomic counts; record() is
+ *     a bit_width plus one relaxed fetch_add, quantiles come from the
+ *     bucket cumulative at snapshot time (log-scale resolution — the
+ *     right fidelity for latency tails, and no locks anywhere).
+ *   - Gauge: a registered callback sampled at snapshot time (e.g. the
+ *     current queue depth, a cache hit rate).
+ *
+ * Instruments live in a Registry. `Registry::global()` is the
+ * process-wide instance the server and CLI publish into; tests that
+ * want exact counts construct their own. Lookup by name takes a lock
+ * once at setup; callers hold the returned reference (stable for the
+ * registry's lifetime) and increment lock-free from then on.
+ *
+ * `render()` emits the canonical text form, one `name value` line per
+ * sample — the same bytes the `STATS` protocol verb returns and the
+ * CLI prints, so scripts parse one format everywhere.
+ */
+
+#ifndef SNS_OBS_METRICS_HH
+#define SNS_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "perf/path_cache.hh"
+
+namespace sns::obs {
+
+/** Monotonic counter; relaxed atomic increments. */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * Lock-free latency histogram: bucket i counts values whose bit width
+ * is i, i.e. [2^(i-1), 2^i); quantiles interpolate linearly inside the
+ * winning bucket. Values are unit-agnostic — name the instrument with
+ * its unit (`…_us`).
+ */
+class Histogram
+{
+  public:
+    /** Covers values up to 2^47 (≈ 4.5 years in microseconds). */
+    static constexpr size_t kBuckets = 48;
+
+    void record(uint64_t value);
+
+    /** A consistent-enough view for reporting (buckets are read
+     * relaxed; a snapshot taken mid-record can be off by a count). */
+    struct Snapshot
+    {
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        double mean = 0.0;
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+    };
+
+    Snapshot snapshot() const;
+
+    void reset();
+
+  private:
+    double quantileFromBuckets(
+        const std::array<uint64_t, kBuckets> &buckets, uint64_t count,
+        double q) const;
+
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/** A named set of instruments. */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** The process-wide registry (server, CLI). */
+    static Registry &global();
+
+    /** Find-or-create; the reference stays valid for the registry's
+     * lifetime. */
+    Counter &counter(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Register (or replace) a gauge callback, sampled at snapshot
+     * time. The callback must stay valid until removeGauge() — objects
+     * registering a `this`-capturing lambda remove it before dying.
+     */
+    void setGauge(const std::string &name, std::function<double()> fn);
+    void removeGauge(const std::string &name);
+
+    /** One flattened sample (histograms expand to .count/.p50/…). */
+    struct Sample
+    {
+        std::string name;
+        double value = 0.0;
+    };
+
+    /** Every instrument flattened, sorted by name. */
+    std::vector<Sample> snapshot() const;
+
+    /** The canonical text form: one `name value` line per sample. */
+    std::string render() const;
+
+    /** Zero every counter and histogram (gauges re-sample anyway).
+     * For tests. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::function<double()>> gauges_;
+};
+
+/**
+ * The canonical rendering of perf::CacheStats — `cache.<field> value`
+ * lines. `sns-cli predict --cache-stats` and the server's `STATS` verb
+ * both emit exactly this, so tooling reads one format.
+ */
+std::string formatCacheStats(const perf::CacheStats &stats);
+
+/** Format one sample value: integers bare, reals with 6 significant
+ * digits ("12", "0.9375", "1.5e+06"). */
+std::string formatValue(double value);
+
+} // namespace sns::obs
+
+#endif // SNS_OBS_METRICS_HH

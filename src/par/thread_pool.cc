@@ -44,6 +44,26 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::runSerial(size_t num_tasks,
+                      const std::function<void(size_t)> &task)
+{
+    const bool was_in_region = t_in_region;
+    t_in_region = true;
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < num_tasks; ++i) {
+        try {
+            task(i);
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    t_in_region = was_in_region;
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+void
 ThreadPool::runTasks()
 {
     t_in_region = true;
@@ -93,20 +113,21 @@ ThreadPool::run(size_t num_tasks, const std::function<void(size_t)> &task)
     // Nested region, single task, or serial pool: run inline. Nested
     // parallelism is rejected by design — see the header contract.
     if (t_in_region || workers_.empty() || num_tasks == 1) {
-        const bool was_in_region = t_in_region;
-        t_in_region = true;
-        std::exception_ptr first_error;
-        for (size_t i = 0; i < num_tasks; ++i) {
-            try {
-                task(i);
-            } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        }
-        t_in_region = was_in_region;
-        if (first_error)
-            std::rethrow_exception(first_error);
+        runSerial(num_tasks, task);
+        return;
+    }
+
+    // One external region at a time: the pool's region state (task_,
+    // active_, errors_) belongs to a single submitter. A second thread
+    // submitting while a region is in flight runs its own region
+    // inline serially instead of corrupting that state or blocking —
+    // results are bitwise identical either way, because every task of
+    // the region executes and chunk boundaries were fixed before
+    // submission. This is what lets a serving process predict from
+    // several threads at once (docs/serving.md).
+    std::unique_lock<std::mutex> region(region_mutex_, std::try_to_lock);
+    if (!region.owns_lock()) {
+        runSerial(num_tasks, task);
         return;
     }
 

@@ -26,6 +26,13 @@
  * keeps composition safe (a parallel predictor may call a parallel
  * GEMM) without oversubscription or deadlock.
  *
+ * Concurrent external submitters are safe: while one thread's region
+ * is in flight, a region submitted by another thread runs inline
+ * serially on its submitter. Every task still executes, chunk
+ * boundaries never move, so results stay bitwise identical — long-
+ * lived servers may therefore predict from several threads at once
+ * without coordinating around the pool.
+ *
  * The process-wide pool width comes from, in priority order:
  * `setThreads()` (e.g. a `--threads=N` CLI flag), the `SNS_THREADS`
  * environment variable, else 1 (serial). A width of 0 requests the
@@ -71,7 +78,8 @@ class ThreadPool
      * Tasks are claimed in index order from a shared counter (static
      * task list, no stealing). If tasks throw, every task still runs,
      * and the exception of the lowest-index failing task is rethrown.
-     * Issued from inside a pool region, runs serially inline.
+     * Issued from inside a pool region — or while another thread's
+     * region is in flight — runs serially inline on the caller.
      */
     void run(size_t num_tasks, const std::function<void(size_t)> &task);
 
@@ -99,9 +107,15 @@ class ThreadPool
   private:
     void workerLoop();
     void runTasks();
+    void runSerial(size_t num_tasks,
+                   const std::function<void(size_t)> &task);
 
     int threads_ = 1;
     std::vector<std::thread> workers_;
+
+    /** Held by the external submitter for the whole region; a busy
+     * try_lock sends the second submitter down the inline path. */
+    std::mutex region_mutex_;
 
     std::mutex mutex_;
     std::condition_variable work_cv_;

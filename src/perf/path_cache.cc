@@ -21,9 +21,10 @@ uint64_t
 hashTokens(std::span<const graphir::TokenId> tokens)
 {
     // FNV-1a, 64-bit, over the raw token bytes. Content addressing:
-    // the same sequence hashes the same in any process, so a cache
-    // could one day be shared across predictor instances or serialized
-    // without re-keying.
+    // the same sequence hashes the same in any process, which is what
+    // lets one cache be shared across predictor instances (the serve
+    // daemon shares it across workers and hot-reloads; see the header
+    // sharing contract and bindModel()).
     uint64_t hash = 0xcbf29ce484222325ull;
     constexpr uint64_t kPrime = 0x100000001b3ull;
     for (const graphir::TokenId token : tokens) {
@@ -117,6 +118,21 @@ PathPredictionCache::insert(std::span<const graphir::TokenId> tokens,
     }
 }
 
+bool
+PathPredictionCache::bindModel(uint64_t fingerprint)
+{
+    uint64_t expected = 0;
+    if (bound_model_.compare_exchange_strong(expected, fingerprint))
+        return true; // was unbound — bound now
+    return expected == fingerprint;
+}
+
+uint64_t
+PathPredictionCache::boundModel() const
+{
+    return bound_model_.load();
+}
+
 CacheStats
 PathPredictionCache::stats() const
 {
@@ -136,6 +152,7 @@ PathPredictionCache::stats() const
 void
 PathPredictionCache::clear()
 {
+    bound_model_.store(0);
     for (Shard &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.buckets.clear();

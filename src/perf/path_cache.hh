@@ -25,11 +25,21 @@
  * mixed workloads the hit/miss *split* may vary run to run — the
  * *predictions* never do, because every value is a pure function of
  * its key.
+ *
+ * Sharing contract: one cache may be shared across threads, across
+ * predictBatch calls, and across *predictor instances* — provided
+ * every writer runs the same Circuitformer weights, because a cached
+ * value is only key-determined under a fixed model. That precondition
+ * is enforced, not just documented: the first predictor to use the
+ * cache binds it to its weight fingerprint (`bindModel`), any later
+ * user with different weights is rejected, and `clear()` unbinds so a
+ * hot-reloaded server re-binds its fresh model (docs/serving.md).
  */
 
 #ifndef SNS_PERF_PATH_CACHE_HH
 #define SNS_PERF_PATH_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -105,10 +115,24 @@ class PathPredictionCache
     void insert(std::span<const graphir::TokenId> tokens,
                 const core::PathPrediction &value);
 
+    /**
+     * Bind the cache to a model's weight fingerprint (nonzero; see
+     * core::Circuitformer::parametersFingerprint). Returns true if the
+     * cache was unbound (it binds now) or already bound to the same
+     * fingerprint; false on a conflicting bind — the caller must treat
+     * that as a fatal sharing bug, since mixing models in one cache
+     * would serve one model's predictions for another's paths.
+     */
+    bool bindModel(uint64_t fingerprint);
+
+    /** The bound fingerprint, 0 while unbound. */
+    uint64_t boundModel() const;
+
     /** Consistent per-shard snapshot, aggregated over shards. */
     CacheStats stats() const;
 
-    /** Drop every entry and zero all counters. */
+    /** Drop every entry, zero all counters, and unbind the model
+     * fingerprint (the next bindModel() starts fresh). */
     void clear();
 
     size_t capacity() const { return capacity_; }
@@ -144,6 +168,9 @@ class PathPredictionCache
 
     size_t capacity_ = 0;
     size_t shard_capacity_ = 0; ///< 0 = unbounded
+    /** Weight fingerprint of the model whose predictions live here;
+     * 0 = unbound. CAS-bound on first use, reset by clear(). */
+    std::atomic<uint64_t> bound_model_{0};
     mutable std::vector<Shard> shards_;
 };
 

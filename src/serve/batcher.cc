@@ -1,0 +1,173 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+namespace sns::serve {
+
+using Clock = std::chrono::steady_clock;
+
+MicroBatcher::MicroBatcher(BatchOptions options, BatchFn fn,
+                           obs::Registry *registry)
+    : options_(options), fn_(std::move(fn)),
+      requests_total_(registry->counter("serve.requests_total")),
+      requests_ok_(registry->counter("serve.requests_ok")),
+      rejected_overloaded_(
+          registry->counter("serve.rejected_overloaded")),
+      rejected_deadline_(registry->counter("serve.rejected_deadline")),
+      rejected_draining_(registry->counter("serve.rejected_draining")),
+      request_errors_(registry->counter("serve.request_errors")),
+      batches_total_(registry->counter("serve.batches_total")),
+      batched_designs_total_(
+          registry->counter("serve.batched_designs_total")),
+      request_latency_us_(
+          registry->histogram("serve.request_latency_us"))
+{
+    options_.max_batch = std::max<size_t>(1, options_.max_batch);
+    options_.max_queue = std::max<size_t>(1, options_.max_queue);
+    options_.max_linger_us = std::max(0, options_.max_linger_us);
+    executor_ = std::thread([this] { executorLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { drain(); }
+
+MicroBatcher::Admit
+MicroBatcher::submit(std::unique_ptr<Ticket> &ticket)
+{
+    requests_total_.inc();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_) {
+            rejected_draining_.inc();
+            return Admit::Draining;
+        }
+        if (queue_.size() >= options_.max_queue) {
+            rejected_overloaded_.inc();
+            return Admit::Overloaded;
+        }
+        ticket->enqueued = Clock::now();
+        queue_.push_back(std::move(ticket));
+    }
+    work_cv_.notify_one();
+    return Admit::Ok;
+}
+
+void
+MicroBatcher::drain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+    }
+    work_cv_.notify_all();
+    // Serialize the join so concurrent drain() calls (server stop +
+    // destructor) are both safe; the loser sees a joined thread.
+    std::lock_guard<std::mutex> join_lock(join_mutex_);
+    if (executor_.joinable())
+        executor_.join();
+}
+
+size_t
+MicroBatcher::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+MicroBatcher::finish(std::unique_ptr<Ticket> ticket, Outcome outcome)
+{
+    const auto waited = std::chrono::duration_cast<
+        std::chrono::microseconds>(Clock::now() - ticket->enqueued);
+    request_latency_us_.record(
+        static_cast<uint64_t>(std::max<int64_t>(0, waited.count())));
+    switch (outcome.status) {
+    case Status::Ok:
+        requests_ok_.inc();
+        break;
+    case Status::DeadlineExceeded:
+        rejected_deadline_.inc();
+        break;
+    default:
+        request_errors_.inc();
+        break;
+    }
+    ticket->promise.set_value(std::move(outcome));
+}
+
+void
+MicroBatcher::executorLoop()
+{
+    const auto linger = std::chrono::microseconds(options_.max_linger_us);
+    for (;;) {
+        std::vector<std::unique_ptr<Ticket>> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this] {
+                return draining_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // draining and nothing left
+
+            // Linger, measured from the oldest pending arrival: wait
+            // for the batch to fill, but never hold the oldest request
+            // past its linger budget. Draining skips the wait — the
+            // goal is out, not throughput.
+            if (!draining_) {
+                const auto batch_by = queue_.front()->enqueued + linger;
+                work_cv_.wait_until(lock, batch_by, [this] {
+                    return draining_ ||
+                           queue_.size() >= options_.max_batch;
+                });
+            }
+            const size_t take =
+                std::min(queue_.size(), options_.max_batch);
+            batch.reserve(take);
+            for (size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+
+        // Expire dead requests at dispatch time: their client already
+        // gave up, so they must not spend model time.
+        const auto now = Clock::now();
+        std::vector<std::unique_ptr<Ticket>> live;
+        live.reserve(batch.size());
+        for (auto &ticket : batch) {
+            if (ticket->has_deadline && ticket->deadline < now) {
+                finish(std::move(ticket),
+                       {Status::DeadlineExceeded, {},
+                        "deadline expired before dispatch"});
+            } else {
+                live.push_back(std::move(ticket));
+            }
+        }
+        if (live.empty())
+            continue;
+
+        batches_total_.inc();
+        batched_designs_total_.inc(live.size());
+        std::vector<const graphir::Graph *> graphs;
+        graphs.reserve(live.size());
+        for (const auto &ticket : live)
+            graphs.push_back(&ticket->graph);
+        try {
+            auto predictions = fn_(graphs);
+            if (predictions.size() != live.size())
+                throw std::runtime_error(
+                    "batch function returned " +
+                    std::to_string(predictions.size()) +
+                    " predictions for " + std::to_string(live.size()) +
+                    " designs");
+            for (size_t i = 0; i < live.size(); ++i) {
+                finish(std::move(live[i]),
+                       {Status::Ok, std::move(predictions[i]), ""});
+            }
+        } catch (const std::exception &e) {
+            for (auto &ticket : live)
+                finish(std::move(ticket), {Status::Error, {}, e.what()});
+        }
+    }
+}
+
+} // namespace sns::serve

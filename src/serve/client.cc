@@ -1,0 +1,164 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sns::serve {
+
+Client
+Client::connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw ProtocolError("unix socket path too long: " + path);
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw ProtocolError(std::string("socket: ") +
+                            std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        throw ProtocolError("connect(" + path + "): " + err);
+    }
+    return Client(fd);
+}
+
+Client
+Client::connectTcp(const std::string &host, int port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw ProtocolError("bad address: " + host);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw ProtocolError(std::string("socket: ") +
+                            std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        throw ProtocolError("connect(" + host + ":" +
+                            std::to_string(port) + "): " + err);
+    }
+    return Client(fd);
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      max_frame_bytes_(other.max_frame_bytes_)
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+        max_frame_bytes_ = other.max_frame_bytes_;
+    }
+    return *this;
+}
+
+std::vector<uint8_t>
+Client::roundTrip(const std::vector<uint8_t> &payload)
+{
+    sendFrame(fd_, payload);
+    auto reply = recvFrame(fd_, max_frame_bytes_);
+    if (!reply)
+        throw ProtocolError("server closed the connection");
+    return std::move(*reply);
+}
+
+PredictReply
+Client::predict(const std::string &design_source, DesignFormat format,
+                uint32_t deadline_ms)
+{
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Predict));
+    writer.u32(deadline_ms);
+    writer.u8(static_cast<uint8_t>(format));
+    writer.str(design_source);
+
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    PredictReply reply;
+    reply.status = static_cast<Status>(reader.u8());
+    if (reply.status != Status::Ok) {
+        reply.message = reader.str();
+        reader.expectEnd();
+        return reply;
+    }
+    reply.prediction.timing_ps = reader.f64();
+    reply.prediction.area_um2 = reader.f64();
+    reply.prediction.power_mw = reader.f64();
+    reply.prediction.paths_sampled = reader.u64();
+    const uint32_t nodes = reader.u32();
+    reply.prediction.critical_path.reserve(nodes);
+    for (uint32_t i = 0; i < nodes; ++i)
+        reply.prediction.critical_path.push_back(reader.u32());
+    reader.expectEnd();
+    return reply;
+}
+
+std::string
+Client::stats()
+{
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Stats));
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    const auto status = static_cast<Status>(reader.u8());
+    if (status != Status::Ok)
+        throw ProtocolError("STATS failed: " + reader.str());
+    std::string text = reader.str();
+    reader.expectEnd();
+    return text;
+}
+
+std::string
+Client::reload(const std::string &directory)
+{
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Reload));
+    writer.str(directory);
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    const auto status = static_cast<Status>(reader.u8());
+    const std::string message = reader.str();
+    reader.expectEnd();
+    return status == Status::Ok ? "" : message;
+}
+
+void
+Client::ping()
+{
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Ping));
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    if (static_cast<Status>(reader.u8()) != Status::Ok)
+        throw ProtocolError("PING failed");
+}
+
+} // namespace sns::serve

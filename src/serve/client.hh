@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Client side of the sns-serve protocol (docs/serving.md).
+ *
+ * A Client owns one connection and runs one request/response exchange
+ * at a time (`sns-cli remote-predict`, bench/serve_throughput). It is
+ * deliberately synchronous: closed-loop callers measure true latency,
+ * and concurrency comes from opening more clients — exactly how the
+ * throughput bench drives the server.
+ *
+ * Transport failures (server gone, truncated frame) throw
+ * ProtocolError; application-level failures (OVERLOADED, a parse
+ * error, DRAINING) come back as a PredictReply status, because
+ * admission-control rejections are expected traffic, not exceptions.
+ */
+
+#ifndef SNS_SERVE_CLIENT_HH
+#define SNS_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "core/predictor.hh"
+#include "serve/protocol.hh"
+
+namespace sns::serve {
+
+/** One PREDICT exchange's result. */
+struct PredictReply
+{
+    Status status = Status::Error;
+    /** Valid only when status == Ok; bit-for-bit what a local
+     * predictBatch would return for the same design. */
+    core::SnsPrediction prediction;
+    /** Non-Ok explanation. */
+    std::string message;
+};
+
+/** A synchronous connection to an sns-serve daemon. */
+class Client
+{
+  public:
+    /** Connect to a Unix-domain socket; throws ProtocolError. */
+    static Client connectUnix(const std::string &path);
+
+    /** Connect over TCP; throws ProtocolError. */
+    static Client connectTcp(const std::string &host, int port);
+
+    ~Client();
+
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Predict one design from source text. deadline_ms > 0 asks the
+     * server to expire the request if no batch picks it up in time.
+     */
+    PredictReply predict(const std::string &design_source,
+                         DesignFormat format,
+                         uint32_t deadline_ms = 0);
+
+    /** The server's metrics rendering (`name value` lines). */
+    std::string stats();
+
+    /** Hot-swap the server's model to a checkpoint directory readable
+     * *by the server*. Returns "" on success, else the error. */
+    std::string reload(const std::string &directory);
+
+    /** Liveness round trip; throws ProtocolError when the server is
+     * unreachable mid-connection. */
+    void ping();
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    std::vector<uint8_t> roundTrip(const std::vector<uint8_t> &payload);
+
+    int fd_ = -1;
+    /** Replies larger than this are treated as corrupt. */
+    size_t max_frame_bytes_ = 64u << 20;
+};
+
+} // namespace sns::serve
+
+#endif // SNS_SERVE_CLIENT_HH

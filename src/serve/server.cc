@@ -1,0 +1,393 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "netlist/snl_parser.hh"
+#include "netlist/verilog_parser.hh"
+#include "util/logging.hh"
+
+namespace sns::serve {
+
+namespace {
+
+/** One non-Ok reply: status byte + message. */
+std::vector<uint8_t>
+statusReply(Status status, const std::string &message)
+{
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(status));
+    writer.str(message);
+    return writer.bytes();
+}
+
+} // namespace
+
+Server::Server(std::shared_ptr<const core::SnsPredictor> predictor,
+               ServerOptions options)
+    : options_(std::move(options)), predictor_(std::move(predictor)),
+      cache_(perf::PathCacheOptions{options_.cache_capacity, 16}),
+      connections_total_(
+          options_.registry->counter("serve.connections_total")),
+      protocol_errors_(
+          options_.registry->counter("serve.protocol_errors")),
+      reloads_total_(options_.registry->counter("serve.reloads_total"))
+{
+    SNS_ASSERT(predictor_ != nullptr, "Server needs a predictor");
+}
+
+Server::~Server() { stop(); }
+
+void
+Server::start()
+{
+    SNS_ASSERT(!running_.load(), "Server::start() called twice");
+
+    if (!options_.unix_path.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (options_.unix_path.size() >= sizeof(addr.sun_path))
+            throw std::runtime_error("unix socket path too long: " +
+                                     options_.unix_path);
+        std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listen_fd_ < 0)
+            throw std::runtime_error(std::string("socket: ") +
+                                     std::strerror(errno));
+        // A previous crashed instance leaves a stale inode behind.
+        ::unlink(options_.unix_path.c_str());
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            const std::string err = std::strerror(errno);
+            closeListener();
+            throw std::runtime_error("bind(" + options_.unix_path +
+                                     "): " + err);
+        }
+    } else {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+        if (::inet_pton(AF_INET, options_.tcp_host.c_str(),
+                        &addr.sin_addr) != 1)
+            throw std::runtime_error("bad listen address: " +
+                                     options_.tcp_host);
+        listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd_ < 0)
+            throw std::runtime_error(std::string("socket: ") +
+                                     std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            const std::string err = std::strerror(errno);
+            closeListener();
+            throw std::runtime_error(
+                "bind(" + options_.tcp_host + ":" +
+                std::to_string(options_.tcp_port) + "): " + err);
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listen_fd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            port_ = ntohs(bound.sin_port);
+    }
+
+    if (::listen(listen_fd_, 128) != 0) {
+        const std::string err = std::strerror(errno);
+        closeListener();
+        throw std::runtime_error("listen: " + err);
+    }
+
+    batcher_ = std::make_unique<MicroBatcher>(
+        options_.batch,
+        [this](const std::vector<const graphir::Graph *> &graphs) {
+            return runBatch(graphs);
+        },
+        options_.registry);
+    options_.registry->setGauge("serve.queue_depth", [this] {
+        return static_cast<double>(batcher_->queueDepth());
+    });
+
+    stopping_.store(false);
+    running_.store(true);
+    listener_ = std::thread([this] { listenLoop(); });
+    if (options_.stats_log_period_s > 0)
+        logger_ = std::thread([this] { logLoop(); });
+}
+
+void
+Server::closeListener()
+{
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    if (!options_.unix_path.empty())
+        ::unlink(options_.unix_path.c_str());
+}
+
+void
+Server::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stopping_.store(true);
+
+    // 1. Stop accepting: the listener polls with a timeout and checks
+    //    stopping_, so it exits promptly; joining it first guarantees
+    //    every accepted connection is registered in open_fds_.
+    if (listener_.joinable())
+        listener_.join();
+    closeListener();
+
+    // 2. Drain: every admitted request gets its real answer; submits
+    //    from here on get DRAINING.
+    if (batcher_)
+        batcher_->drain();
+
+    // 3. Unblock handlers parked in recvFrame. SHUT_RD only — a
+    //    handler mid-reply still owns the write side.
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        for (const int fd : open_fds_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    for (auto &handler : handlers_) {
+        if (handler.joinable())
+            handler.join();
+    }
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        handlers_.clear();
+        open_fds_.clear();
+    }
+
+    options_.registry->removeGauge("serve.queue_depth");
+    log_cv_.notify_all();
+    if (logger_.joinable())
+        logger_.join();
+}
+
+void
+Server::listenLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        connections_total_.inc();
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        open_fds_.insert(fd);
+        handlers_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    try {
+        for (;;) {
+            auto request = recvFrame(fd, options_.max_frame_bytes);
+            if (!request)
+                break; // clean EOF
+            sendFrame(fd, handleRequest(*request));
+        }
+    } catch (const ProtocolError &) {
+        // Corrupt framing or a vanished peer; drop the connection.
+        protocol_errors_.inc();
+    }
+    {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        open_fds_.erase(fd);
+    }
+    ::close(fd);
+}
+
+std::vector<uint8_t>
+Server::handleRequest(const std::vector<uint8_t> &request)
+{
+    WireReader reader(request);
+    try {
+        const auto verb = static_cast<Verb>(reader.u8());
+        switch (verb) {
+        case Verb::Predict:
+            return handlePredict(reader);
+        case Verb::Stats: {
+            reader.expectEnd();
+            WireWriter writer;
+            writer.u8(static_cast<uint8_t>(Status::Ok));
+            writer.str(statsText());
+            return writer.bytes();
+        }
+        case Verb::Reload: {
+            const std::string directory = reader.str();
+            reader.expectEnd();
+            const std::string error = stageReload(directory);
+            if (!error.empty())
+                return statusReply(Status::Error, error);
+            return statusReply(Status::Ok, "");
+        }
+        case Verb::Ping:
+            reader.expectEnd();
+            return statusReply(Status::Ok, "");
+        }
+        return statusReply(Status::Error, "unknown verb");
+    } catch (const ProtocolError &e) {
+        // Framing is intact (frames are length-delimited); answer and
+        // keep the connection.
+        protocol_errors_.inc();
+        return statusReply(Status::Error,
+                           std::string("bad request: ") + e.what());
+    }
+}
+
+std::vector<uint8_t>
+Server::handlePredict(WireReader &reader)
+{
+    const uint32_t deadline_ms = reader.u32();
+    const auto format = static_cast<DesignFormat>(reader.u8());
+    const std::string text = reader.str();
+    reader.expectEnd();
+
+    auto ticket = std::make_unique<Ticket>();
+    try {
+        ticket->graph = format == DesignFormat::Verilog
+                            ? netlist::parseVerilog(text)
+                            : netlist::parseSnl(text);
+    } catch (const std::exception &e) {
+        return statusReply(Status::Error,
+                           std::string("design parse error: ") +
+                               e.what());
+    }
+    if (deadline_ms > 0) {
+        ticket->has_deadline = true;
+        ticket->deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(deadline_ms);
+    }
+
+    auto future = ticket->promise.get_future();
+    switch (batcher_->submit(ticket)) {
+    case MicroBatcher::Admit::Overloaded:
+        return statusReply(Status::Overloaded,
+                           "queue full (" +
+                               std::to_string(
+                                   batcher_->options().max_queue) +
+                               " pending)");
+    case MicroBatcher::Admit::Draining:
+        return statusReply(Status::Draining, "server is draining");
+    case MicroBatcher::Admit::Ok:
+        break;
+    }
+
+    const Outcome outcome = future.get();
+    if (outcome.status != Status::Ok)
+        return statusReply(outcome.status, outcome.message);
+
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Status::Ok));
+    writer.f64(outcome.prediction.timing_ps);
+    writer.f64(outcome.prediction.area_um2);
+    writer.f64(outcome.prediction.power_mw);
+    writer.u64(outcome.prediction.paths_sampled);
+    writer.u32(
+        static_cast<uint32_t>(outcome.prediction.critical_path.size()));
+    for (const graphir::NodeId node : outcome.prediction.critical_path)
+        writer.u32(node);
+    return writer.bytes();
+}
+
+std::vector<core::SnsPrediction>
+Server::runBatch(const std::vector<const graphir::Graph *> &graphs)
+{
+    // This runs on the batcher's executor — the only thread that ever
+    // touches the model or inserts into the cache — so swapping the
+    // staged checkpoint here makes hot-reload atomic per batch: no
+    // batch mixes models, and clearing the cache before first use of
+    // the new model can never race an old-model insert.
+    std::shared_ptr<const core::SnsPredictor> predictor;
+    {
+        std::lock_guard<std::mutex> lock(model_mutex_);
+        if (staged_predictor_) {
+            predictor_ = std::move(staged_predictor_);
+            staged_predictor_ = nullptr;
+            cache_.clear(); // unbind; the new model re-binds below
+        }
+        predictor = predictor_;
+    }
+    core::PredictOptions options;
+    options.cache = &cache_;
+    return predictor->predictBatch(graphs, options);
+}
+
+std::string
+Server::stageReload(const std::string &directory)
+{
+    try {
+        auto loaded = std::make_shared<const core::SnsPredictor>(
+            core::SnsPredictor::load(directory));
+        std::lock_guard<std::mutex> lock(model_mutex_);
+        staged_predictor_ = std::move(loaded);
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+    reloads_total_.inc();
+    return "";
+}
+
+std::string
+Server::statsText() const
+{
+    return options_.registry->render() +
+           obs::formatCacheStats(cache_.stats());
+}
+
+void
+Server::logLoop()
+{
+    obs::Registry &registry = *options_.registry;
+    obs::Counter &ok = registry.counter("serve.requests_ok");
+    obs::Counter &total = registry.counter("serve.requests_total");
+    obs::Counter &overloaded =
+        registry.counter("serve.rejected_overloaded");
+    obs::Histogram &latency =
+        registry.histogram("serve.request_latency_us");
+    std::unique_lock<std::mutex> lock(log_mutex_);
+    while (running_.load()) {
+        log_cv_.wait_for(
+            lock, std::chrono::seconds(options_.stats_log_period_s));
+        if (!running_.load())
+            break;
+        const auto snap = latency.snapshot();
+        const auto stats = cache_.stats();
+        inform("serve: requests=", total.value(), " ok=", ok.value(),
+               " overloaded=", overloaded.value(),
+               " p50_us=", static_cast<uint64_t>(snap.p50),
+               " p99_us=", static_cast<uint64_t>(snap.p99),
+               " queue=", batcher_->queueDepth(),
+               " cache_hit_rate=", stats.hitRate());
+    }
+}
+
+} // namespace sns::serve

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * sns-serve — the long-lived prediction daemon (docs/serving.md).
+ *
+ * One process holds one trained SnsPredictor, one shared
+ * perf::PathPredictionCache, and one MicroBatcher. A listener thread
+ * accepts Unix-domain or TCP connections; each connection gets a
+ * handler thread that decodes frames, parses PREDICT design sources
+ * into graphs, and submits tickets to the batcher. The batcher's
+ * executor coalesces concurrent tickets into single predictBatch
+ * calls, so N clients cost one padded Circuitformer pass per batch
+ * instead of N process spin-ups — the PR 2 batch API and PR 3 warm
+ * cache finally serve traffic the way the ROADMAP intends.
+ *
+ * Model lifecycle: RELOAD stages a freshly-loaded checkpoint; the
+ * *executor* swaps it in between batches (an atomic pointer swap plus
+ * a cache clear/re-bind), so no batch ever mixes models, no in-flight
+ * request is dropped, and the shared cache can never serve stale
+ * predictions — the fingerprint binding of path_cache.hh backstops
+ * this at runtime. A checkpoint that fails to load is an ERROR reply,
+ * never a dead daemon.
+ *
+ * Shutdown: stop() (the SIGTERM path in tools/sns_serve.cc) stops
+ * accepting, lets the batcher drain — every admitted request gets a
+ * real answer, later submits get DRAINING — then unblocks and joins
+ * every handler. Observability: counters, latency histograms, and
+ * queue/cache gauges live in sns::obs; the STATS verb returns the
+ * same rendering the CLI prints.
+ */
+
+#ifndef SNS_SERVE_SERVER_HH
+#define SNS_SERVE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "obs/metrics.hh"
+#include "perf/path_cache.hh"
+#include "serve/batcher.hh"
+#include "serve/protocol.hh"
+
+namespace sns::serve {
+
+/** Server configuration. */
+struct ServerOptions
+{
+    /** Non-empty: listen on this Unix-domain socket path (unlinked on
+     * bind and on stop). Empty: listen on TCP. */
+    std::string unix_path;
+
+    /** TCP listen address; port 0 binds an ephemeral port (read the
+     * resolved one from Server::port()). */
+    std::string tcp_host = "127.0.0.1";
+    int tcp_port = 0;
+
+    /** Micro-batching and admission control. */
+    BatchOptions batch;
+
+    /** Largest accepted request frame (a corrupt length prefix must
+     * not become a giant allocation). */
+    size_t max_frame_bytes = 16u << 20;
+
+    /** Shared path-prediction cache capacity (entries; 0 unbounded). */
+    size_t cache_capacity = 1u << 20;
+
+    /** Seconds between periodic stats log lines to stderr; 0 = off. */
+    int stats_log_period_s = 0;
+
+    /** Where instruments live; tests may pass a private registry. */
+    obs::Registry *registry = &obs::Registry::global();
+};
+
+/** The daemon. start() to serve, stop() to drain and halt. */
+class Server
+{
+  public:
+    Server(std::shared_ptr<const core::SnsPredictor> predictor,
+           ServerOptions options);
+
+    /** Stops (gracefully) if still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the listener; throws std::runtime_error
+     * on bind/listen failure. */
+    void start();
+
+    /**
+     * Graceful shutdown: stop accepting, drain the batcher (every
+     * admitted request is answered), unblock and join every handler.
+     * Idempotent.
+     */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** Resolved TCP port (after start(); 0 for Unix sockets). */
+    int port() const { return port_; }
+
+    const ServerOptions &options() const { return options_; }
+
+    /** The process-shared path cache (e.g. for tests/benchmarks). */
+    perf::PathPredictionCache &cache() { return cache_; }
+
+    /** The STATS text: obs render + cache counters, one `name value`
+     * line each. */
+    std::string statsText() const;
+
+    /**
+     * Load `directory` and stage it for an atomic swap before the
+     * next batch (the RELOAD verb calls this; callable directly too).
+     * Returns "" on success, else the load error message.
+     */
+    std::string stageReload(const std::string &directory);
+
+  private:
+    void listenLoop();
+    void handleConnection(int fd);
+    std::vector<uint8_t> handleRequest(const std::vector<uint8_t> &req);
+    std::vector<uint8_t> handlePredict(WireReader &reader);
+    std::vector<core::SnsPrediction>
+    runBatch(const std::vector<const graphir::Graph *> &graphs);
+    void logLoop();
+    void closeListener();
+
+    ServerOptions options_;
+
+    /** Current + staged model, both swapped under model_mutex_; the
+     * staged one goes live only on the executor thread, between
+     * batches (runBatch), so batches never mix models. */
+    std::mutex model_mutex_;
+    std::shared_ptr<const core::SnsPredictor> predictor_;
+    std::shared_ptr<const core::SnsPredictor> staged_predictor_;
+
+    perf::PathPredictionCache cache_;
+    std::unique_ptr<MicroBatcher> batcher_;
+
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread listener_;
+    std::thread logger_;
+    std::mutex log_mutex_;
+    std::condition_variable log_cv_;
+
+    std::mutex conn_mutex_;
+    std::unordered_set<int> open_fds_;
+    std::vector<std::thread> handlers_;
+
+    obs::Counter &connections_total_;
+    obs::Counter &protocol_errors_;
+    obs::Counter &reloads_total_;
+};
+
+} // namespace sns::serve
+
+#endif // SNS_SERVE_SERVER_HH

@@ -1,16 +1,20 @@
 #!/bin/sh
-# End-to-end smoke test of sns-cli and sns_lint: train a fast model on
-# the smoke dataset, then predict / synthesize / sample / dot both an
-# SNL and a Verilog design with it; lint a clean and a broken design
-# and check the exit codes. Any unexpected exit or missing output
-# fails.
+# End-to-end smoke test of sns-cli, sns_lint, and sns-serve: train a
+# fast model on the smoke dataset, then predict / synthesize / sample /
+# dot both an SNL and a Verilog design with it; lint a clean and a
+# broken design and check the exit codes; finally boot an sns-serve
+# daemon on a temp socket and check remote-predict matches the local
+# report, STATS counts the traffic, and SIGTERM drains to exit 0. Any
+# unexpected exit or missing output fails.
 set -e
 
 CLI="$1"
 LINT="$2"
+SERVE="$3"
 FIXTURES="$(dirname "$0")/fixtures"
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+SERVE_PID=""
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 cat > "$WORK/fir.snl" <<'EOF'
 design fir2
@@ -94,5 +98,39 @@ if "$LINT" --werror "$FIXTURES/width_mismatch.snl" > "$WORK/lint.out"; then
     exit 1
 fi
 grep -q "G-WIDTH" "$WORK/lint.out"
+
+# --cache-stats prints the canonical obs rendering (same lines the
+# server's STATS verb emits).
+"$CLI" predict --model="$WORK/model" --cache-stats "$WORK/fir.snl" \
+    2> "$WORK/cache.err" > /dev/null
+grep -q "^cache.hits " "$WORK/cache.err"
+grep -q "^cache.bytes " "$WORK/cache.err"
+
+# sns-serve round trip: remote predictions must byte-match the local
+# report, STATS must show the traffic, and SIGTERM must drain cleanly.
+SOCK="$WORK/serve.sock"
+"$SERVE" --model="$WORK/model" --socket="$SOCK" --log-period=0 \
+    2> "$WORK/serve.log" &
+SERVE_PID=$!
+for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    [ -S "$SOCK" ] && break
+    sleep 0.5
+done
+[ -S "$SOCK" ] || { cat "$WORK/serve.log" >&2; exit 1; }
+
+"$CLI" remote-predict --socket="$SOCK" --stats "$WORK/fir.snl" \
+    "$WORK/mac.v" 2> "$WORK/serve_stats.err" > "$WORK/pred_remote.out"
+grep -v "predicted in" "$WORK/pred_remote.out" > "$WORK/pred_remote.body"
+diff "$WORK/pred_1t.body" "$WORK/pred_remote.body"
+
+# Nonzero traffic counters in STATS.
+grep -q "^serve.requests_total 2$" "$WORK/serve_stats.err"
+grep -q "^serve.requests_ok 2$" "$WORK/serve_stats.err"
+grep -q "^cache.inserts" "$WORK/serve_stats.err"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "sns-serve did not drain cleanly" >&2; \
+    cat "$WORK/serve.log" >&2; exit 1; }
+grep -q "drained" "$WORK/serve.log"
 
 echo "cli smoke test passed"

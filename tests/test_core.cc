@@ -12,10 +12,13 @@
 #include <filesystem>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "core/evaluation.hh"
 #include "core/trainer.hh"
+#include "nn/serialize.hh"
 #include "par/thread_pool.hh"
+#include "perf/path_cache.hh"
 #include "util/stats.hh"
 
 namespace sns::core {
@@ -610,6 +613,145 @@ TEST(PredictBatchTest, SharedCacheUnderConcurrentDesigns)
     par::setThreads(1);
 }
 
+TEST(PredictorTest, CheckpointRoundTripIsBitwiseStable)
+{
+    // The hot-reload invariant (docs/serving.md): loading a checkpoint
+    // is a fixed point. Saving truncates the double normalization
+    // stats to float32, so the trained-in-memory model and its
+    // reloaded twin may differ in the last bits — but once snapped,
+    // save→load→save→load must reproduce the exact same predictor:
+    // identical fingerprints and bitwise-identical predictBatch
+    // outputs. sns-serve RELOAD of the serving checkpoint relies on
+    // this to be a no-op.
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4, 5};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto trained = trainer.train(dataset, train_idx, oracle());
+
+    const auto base = std::filesystem::temp_directory_path();
+    const auto dir1 = (base / "sns_rt1").string();
+    const auto dir2 = (base / "sns_rt2").string();
+    trained.save(dir1);
+    const auto p1 = SnsPredictor::load(dir1);
+    p1.save(dir2);
+    const auto p2 = SnsPredictor::load(dir2);
+
+    EXPECT_EQ(p1.modelFingerprint(), p2.modelFingerprint());
+    EXPECT_NE(p1.modelFingerprint(), 0u);
+
+    std::vector<const graphir::Graph *> graphs;
+    for (const auto &record : dataset.records())
+        graphs.push_back(&record.graph);
+    PredictOptions options;
+    options.threads = 1;
+    const auto a = p1.predictBatch(graphs, options);
+    const auto b = p2.predictBatch(graphs, options);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].timing_ps, b[i].timing_ps) << i;
+        EXPECT_EQ(a[i].area_um2, b[i].area_um2) << i;
+        EXPECT_EQ(a[i].power_mw, b[i].power_mw) << i;
+        EXPECT_EQ(a[i].paths_sampled, b[i].paths_sampled) << i;
+        EXPECT_EQ(a[i].critical_path, b[i].critical_path) << i;
+    }
+    std::filesystem::remove_all(dir1);
+    std::filesystem::remove_all(dir2);
+}
+
+TEST(PredictBatchTest, CacheSharedAcrossPredictorInstances)
+{
+    // The perf::PathPredictionCache sharing contract: two predictor
+    // instances loaded from the same checkpoint may pool one cache —
+    // including from concurrent external threads, which is exactly how
+    // sns-serve workers would share it. Results must stay bitwise
+    // identical to a serial uncached run (TSan leg covers the races).
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto trained = trainer.train(dataset, train_idx, oracle());
+
+    const auto dir =
+        (std::filesystem::temp_directory_path() / "sns_shared").string();
+    trained.save(dir);
+    const auto first = SnsPredictor::load(dir);
+    const auto second = SnsPredictor::load(dir);
+    std::filesystem::remove_all(dir);
+    ASSERT_EQ(first.modelFingerprint(), second.modelFingerprint());
+
+    std::vector<const graphir::Graph *> graphs;
+    for (const auto &record : dataset.records())
+        graphs.push_back(&record.graph);
+
+    PredictOptions plain;
+    plain.threads = 1;
+    const auto base = first.predictBatch(graphs, plain);
+
+    perf::PathPredictionCache cache;
+    PredictOptions shared;
+    shared.cache = &cache;
+    std::vector<SnsPrediction> from_first;
+    std::vector<SnsPrediction> from_second;
+    std::thread worker([&] {
+        from_second = second.predictBatch(graphs, shared);
+    });
+    from_first = first.predictBatch(graphs, shared);
+    worker.join();
+
+    ASSERT_EQ(from_first.size(), base.size());
+    ASSERT_EQ(from_second.size(), base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(from_first[i].timing_ps, base[i].timing_ps) << i;
+        EXPECT_EQ(from_second[i].timing_ps, base[i].timing_ps) << i;
+        EXPECT_EQ(from_first[i].area_um2, base[i].area_um2) << i;
+        EXPECT_EQ(from_second[i].area_um2, base[i].area_um2) << i;
+        EXPECT_EQ(from_first[i].power_mw, base[i].power_mw) << i;
+        EXPECT_EQ(from_second[i].power_mw, base[i].power_mw) << i;
+        EXPECT_EQ(from_first[i].critical_path, base[i].critical_path);
+        EXPECT_EQ(from_second[i].critical_path, base[i].critical_path);
+    }
+    EXPECT_EQ(cache.boundModel(), first.modelFingerprint());
+    par::setThreads(1);
+}
+
+TEST(PredictBatchTest, CacheRefusesMismatchedModel)
+{
+    // Sharing a cache across *different* models would silently serve
+    // one model's numbers for the other, so predictBatch must refuse.
+    // The trained-in-memory predictor and its reloaded twin are the
+    // ideal odd couple: identical for practical purposes, yet
+    // fingerprinted apart because save() snaps the normalization stats
+    // to float32.
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto trained = trainer.train(dataset, train_idx, oracle());
+
+    const auto dir =
+        (std::filesystem::temp_directory_path() / "sns_mismatch").string();
+    trained.save(dir);
+    const auto reloaded = SnsPredictor::load(dir);
+    std::filesystem::remove_all(dir);
+    ASSERT_NE(trained.modelFingerprint(), reloaded.modelFingerprint());
+
+    std::vector<const graphir::Graph *> graphs = {
+        &dataset.records()[0].graph};
+    perf::PathPredictionCache cache;
+    PredictOptions options;
+    options.cache = &cache;
+    options.threads = 1;
+    (void)trained.predictBatch(graphs, options);
+    EXPECT_EQ(cache.boundModel(), trained.modelFingerprint());
+    EXPECT_THROW((void)reloaded.predictBatch(graphs, options),
+                 std::logic_error);
+
+    // clear() unbinds; the other model may then adopt the cache.
+    cache.clear();
+    const auto preds = reloaded.predictBatch(graphs, options);
+    EXPECT_EQ(preds.size(), 1u);
+    EXPECT_EQ(cache.boundModel(), reloaded.modelFingerprint());
+    par::setThreads(1);
+}
+
 TEST(PredictBatchTest, ThreadsOptionDoesNotLeak)
 {
     // PredictOptions::threads is call-scoped: the process-wide width
@@ -630,15 +772,13 @@ TEST(PredictBatchTest, ThreadsOptionDoesNotLeak)
     par::setThreads(1);
 }
 
-TEST(PredictorTest, LoadMissingDirectoryIsFatal)
+TEST(PredictorTest, LoadMissingDirectoryThrows)
 {
-    // Earlier tests leave par worker threads alive; the default "fast"
-    // death-test style forks without exec'ing, which deadlocks in a
-    // multithreaded process under TSan. "threadsafe" re-executes the
-    // binary in the child.
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-    EXPECT_EXIT(SnsPredictor::load("/nonexistent/sns_model"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    // A broken checkpoint is an exception, not fatal(): one-shot tools
+    // let it reach main and exit 1, while the serve daemon answers a
+    // RELOAD of a bad directory with an ERROR reply instead of dying.
+    EXPECT_THROW(SnsPredictor::load("/nonexistent/sns_model"),
+                 nn::SerializeError);
 }
 
 TEST(EvaluationTest, SummaryMetricsMatchUtilMetrics)

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for sns::obs: counter/histogram semantics, registry lifecycle
+ * (gauges, snapshot, render), concurrent increments, and the canonical
+ * cache-stats rendering shared by the CLI and the server's STATS verb.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace sns::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAllLand)
+{
+    Counter c;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i)
+                c.inc();
+        });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(c.value(), uint64_t(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, CountSumMean)
+{
+    Histogram h;
+    for (uint64_t v : {10u, 20u, 30u, 40u})
+        h.record(v);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 4u);
+    EXPECT_EQ(snap.sum, 100u);
+    EXPECT_DOUBLE_EQ(snap.mean, 25.0);
+}
+
+TEST(HistogramTest, QuantilesBracketTheData)
+{
+    // Log-bucketed quantiles are approximate but must stay within the
+    // recorded range and be monotone p50 <= p90 <= p99.
+    Histogram h;
+    for (uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    const auto snap = h.snapshot();
+    EXPECT_GE(snap.p50, 1.0);
+    EXPECT_LE(snap.p99, 1024.0); // top of the winning bucket
+    EXPECT_LE(snap.p50, snap.p90);
+    EXPECT_LE(snap.p90, snap.p99);
+    // The true median is 500; a power-of-two bucket estimate must land
+    // inside [256, 512).
+    EXPECT_GE(snap.p50, 256.0);
+    EXPECT_LT(snap.p50, 512.0);
+}
+
+TEST(HistogramTest, EmptyAndReset)
+{
+    Histogram h;
+    const auto empty = h.snapshot();
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_EQ(empty.p99, 0.0);
+    h.record(7);
+    h.reset();
+    EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(HistogramTest, ZeroValueLandsInFirstBucket)
+{
+    Histogram h;
+    h.record(0);
+    h.record(1);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 2u);
+    EXPECT_LE(snap.p50, 1.0);
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableRefs)
+{
+    Registry registry;
+    Counter &a = registry.counter("requests");
+    Counter &b = registry.counter("requests");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    EXPECT_EQ(b.value(), 3u);
+
+    Histogram &h1 = registry.histogram("latency_us");
+    Histogram &h2 = registry.histogram("latency_us");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, SnapshotFlattensAndSorts)
+{
+    Registry registry;
+    registry.counter("z.last").inc(2);
+    registry.counter("a.first").inc(1);
+    registry.histogram("m.hist").record(8);
+    registry.setGauge("g.depth", [] { return 5.0; });
+
+    const auto samples = registry.snapshot();
+    ASSERT_GE(samples.size(), 3u);
+    for (size_t i = 1; i < samples.size(); ++i)
+        EXPECT_LT(samples[i - 1].name, samples[i].name);
+
+    const auto find = [&samples](const std::string &name) -> double {
+        for (const auto &sample : samples)
+            if (sample.name == name)
+                return sample.value;
+        ADD_FAILURE() << "missing sample " << name;
+        return -1.0;
+    };
+    EXPECT_EQ(find("a.first"), 1.0);
+    EXPECT_EQ(find("z.last"), 2.0);
+    EXPECT_EQ(find("g.depth"), 5.0);
+    EXPECT_EQ(find("m.hist.count"), 1.0);
+}
+
+TEST(RegistryTest, RemoveGaugeAndReset)
+{
+    Registry registry;
+    registry.setGauge("gone", [] { return 1.0; });
+    registry.removeGauge("gone");
+    for (const auto &sample : registry.snapshot())
+        EXPECT_NE(sample.name, "gone");
+
+    registry.counter("c").inc(9);
+    registry.histogram("h").record(9);
+    registry.reset();
+    EXPECT_EQ(registry.counter("c").value(), 0u);
+    EXPECT_EQ(registry.histogram("h").snapshot().count, 0u);
+}
+
+TEST(RegistryTest, RenderEmitsNameValueLines)
+{
+    Registry registry;
+    registry.counter("serve.requests_total").inc(12);
+    const std::string text = registry.render();
+    EXPECT_NE(text.find("serve.requests_total 12\n"), std::string::npos);
+}
+
+TEST(RegistryTest, GlobalIsASingleton)
+{
+    EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(FormatTest, ValuesAndCacheStats)
+{
+    EXPECT_EQ(formatValue(12.0), "12");
+    EXPECT_EQ(formatValue(0.9375), "0.9375");
+
+    perf::CacheStats stats;
+    stats.hits = 30;
+    stats.misses = 10;
+    stats.inserts = 10;
+    stats.evictions = 2;
+    stats.entries = 8;
+    stats.bytes = 4096;
+    const std::string text = formatCacheStats(stats);
+    EXPECT_NE(text.find("cache.hits 30\n"), std::string::npos);
+    EXPECT_NE(text.find("cache.misses 10\n"), std::string::npos);
+    EXPECT_NE(text.find("cache.hit_rate 0.75\n"), std::string::npos);
+    EXPECT_NE(text.find("cache.evictions 2\n"), std::string::npos);
+    EXPECT_NE(text.find("cache.bytes 4096\n"), std::string::npos);
+}
+
+TEST(RegistryTest, ConcurrentLookupsAndIncrements)
+{
+    // Registration from many threads must neither duplicate
+    // instruments nor lose increments (run under TSan in run_lint.sh).
+    Registry registry;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&registry] {
+            for (int i = 0; i < 1000; ++i) {
+                registry.counter("shared").inc();
+                registry.histogram("lat").record(
+                    static_cast<uint64_t>(i));
+            }
+        });
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(registry.counter("shared").value(), 8000u);
+    EXPECT_EQ(registry.histogram("lat").snapshot().count, 8000u);
+}
+
+} // namespace
+} // namespace sns::obs

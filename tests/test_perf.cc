@@ -229,5 +229,53 @@ TEST(PathPredictionCache, ConcurrentMixedAccessKeepsValuesKeyed)
     EXPECT_EQ(stats.entries, stats.inserts - stats.evictions);
 }
 
+TEST(PathPredictionCache, BindModelIsFirstComeFirstServed)
+{
+    PathPredictionCache cache;
+    EXPECT_EQ(cache.boundModel(), 0u);
+    EXPECT_TRUE(cache.bindModel(0xABCD)) << "first binder wins";
+    EXPECT_EQ(cache.boundModel(), 0xABCDu);
+    EXPECT_TRUE(cache.bindModel(0xABCD)) << "same model rebinds freely";
+    EXPECT_FALSE(cache.bindModel(0x1234))
+        << "a different model must be refused";
+    EXPECT_EQ(cache.boundModel(), 0xABCDu);
+}
+
+TEST(PathPredictionCache, ClearUnbindsForTheNextModel)
+{
+    // The hot-reload sequence: clear() evicts everything and drops the
+    // binding so the incoming model can adopt the cache.
+    PathPredictionCache cache;
+    ASSERT_TRUE(cache.bindModel(7));
+    cache.insert(keyFor(1), valueFor(1));
+    cache.clear();
+    EXPECT_EQ(cache.boundModel(), 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_TRUE(cache.bindModel(9));
+    EXPECT_EQ(cache.boundModel(), 9u);
+}
+
+TEST(PathPredictionCache, ConcurrentBindersAgreeOnOneWinner)
+{
+    // Racing binders (serve workers sharing one cache) must settle on
+    // exactly one fingerprint; losers are told so, not corrupted.
+    PathPredictionCache cache;
+    constexpr int kThreads = 8;
+    std::vector<std::thread> workers;
+    std::atomic<int> wins{0};
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&cache, &wins, t] {
+            if (cache.bindModel(static_cast<uint64_t>(t) + 1))
+                wins.fetch_add(1);
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+    EXPECT_EQ(wins.load(), 1);
+    const uint64_t winner = cache.boundModel();
+    EXPECT_GE(winner, 1u);
+    EXPECT_LE(winner, static_cast<uint64_t>(kThreads));
+}
+
 } // namespace
 } // namespace sns::perf

@@ -1,0 +1,624 @@
+/**
+ * @file
+ * Tests for sns::serve: wire protocol encode/decode and framing, the
+ * micro-batching queue (coalescing, overload, deadlines, drain), and
+ * the full server loop — end-to-end bitwise agreement with a local
+ * predictBatch, STATS, hot reload, and graceful shutdown. Run under
+ * TSan by tools/run_lint.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/trainer.hh"
+#include "designs/designs.hh"
+#include "netlist/snl_parser.hh"
+#include "par/thread_pool.hh"
+#include "serve/batcher.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+namespace sns::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------
+// Protocol
+
+TEST(ProtocolTest, WriterReaderRoundTrip)
+{
+    WireWriter writer;
+    writer.u8(7);
+    writer.u32(0xDEADBEEF);
+    writer.u64(0x0123456789ABCDEFull);
+    writer.f64(3.141592653589793);
+    writer.str("hello frame");
+
+    WireReader reader(writer.bytes());
+    EXPECT_EQ(reader.u8(), 7);
+    EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(reader.f64(), 3.141592653589793); // bitwise
+    EXPECT_EQ(reader.str(), "hello frame");
+    EXPECT_EQ(reader.remaining(), 0u);
+    EXPECT_NO_THROW(reader.expectEnd());
+}
+
+TEST(ProtocolTest, UnderrunAndTrailingBytesThrow)
+{
+    WireWriter writer;
+    writer.u32(42);
+    WireReader short_read(writer.bytes());
+    EXPECT_THROW((void)short_read.u64(), ProtocolError);
+
+    WireReader trailing(writer.bytes());
+    (void)trailing.u8();
+    EXPECT_THROW(trailing.expectEnd(), ProtocolError);
+}
+
+TEST(ProtocolTest, StringLengthIsBoundsChecked)
+{
+    // A str whose length prefix exceeds the remaining payload must be
+    // rejected, not read out of bounds.
+    WireWriter writer;
+    writer.u32(1000); // claims 1000 bytes follow; none do
+    WireReader reader(writer.bytes());
+    EXPECT_THROW((void)reader.str(), ProtocolError);
+}
+
+TEST(ProtocolTest, FramesCrossASocketPair)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    WireWriter writer;
+    writer.str("ping");
+    writer.u32(99);
+    sendFrame(fds[0], writer.bytes());
+
+    const auto got = recvFrame(fds[1], 1 << 20);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, writer.bytes());
+
+    // Clean close at a frame boundary reads as EOF, not an error.
+    ::close(fds[0]);
+    EXPECT_FALSE(recvFrame(fds[1], 1 << 20).has_value());
+    ::close(fds[1]);
+}
+
+TEST(ProtocolTest, OversizedFrameIsRejected)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::vector<uint8_t> big(4096, 0xAB);
+    sendFrame(fds[0], big);
+    // Tiny cap: the receiver must refuse before allocating the payload.
+    EXPECT_THROW((void)recvFrame(fds[1], 64), ProtocolError);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(ProtocolTest, StatusNames)
+{
+    EXPECT_STREQ(statusName(Status::Ok), "OK");
+    EXPECT_STREQ(statusName(Status::Overloaded), "OVERLOADED");
+    EXPECT_STREQ(statusName(Status::DeadlineExceeded),
+                 "DEADLINE_EXCEEDED");
+    EXPECT_STREQ(statusName(Status::Draining), "DRAINING");
+}
+
+// ---------------------------------------------------------------------
+// MicroBatcher
+
+/** A ticket carrying a trivial graph. */
+std::unique_ptr<Ticket>
+makeTicket(uint32_t deadline_ms = 0)
+{
+    auto ticket = std::make_unique<Ticket>();
+    ticket->enqueued = std::chrono::steady_clock::now();
+    if (deadline_ms > 0) {
+        ticket->has_deadline = true;
+        ticket->deadline =
+            ticket->enqueued + std::chrono::milliseconds(deadline_ms);
+    }
+    return ticket;
+}
+
+core::SnsPrediction
+stubPrediction(double base)
+{
+    core::SnsPrediction pred;
+    pred.timing_ps = base;
+    pred.area_um2 = base * 2;
+    pred.power_mw = base * 3;
+    pred.paths_sampled = 1;
+    return pred;
+}
+
+TEST(MicroBatcherTest, CoalescesConcurrentRequestsIntoFewerBatches)
+{
+    obs::Registry registry;
+    BatchOptions options;
+    options.max_batch = 8;
+    options.max_linger_us = 20000; // generous: let the queue fill
+    std::atomic<size_t> batches{0};
+    MicroBatcher batcher(
+        options,
+        [&batches](const std::vector<const graphir::Graph *> &graphs) {
+            batches.fetch_add(1);
+            std::vector<core::SnsPrediction> preds;
+            for (size_t i = 0; i < graphs.size(); ++i)
+                preds.push_back(stubPrediction(double(i) + 1));
+            return preds;
+        },
+        &registry);
+
+    constexpr size_t kRequests = 16;
+    std::vector<std::future<Outcome>> futures;
+    std::vector<std::unique_ptr<Ticket>> tickets;
+    for (size_t i = 0; i < kRequests; ++i) {
+        auto ticket = makeTicket();
+        futures.push_back(ticket->promise.get_future());
+        ASSERT_EQ(batcher.submit(ticket), MicroBatcher::Admit::Ok);
+    }
+    for (auto &future : futures)
+        EXPECT_EQ(future.get().status, Status::Ok);
+
+    // 16 requests on an 8-wide batcher with a long linger must ride in
+    // far fewer than 16 batches (>= 2 by the width cap alone).
+    EXPECT_LE(batches.load(), kRequests - 1);
+    EXPECT_GE(batches.load(), 2u);
+    EXPECT_EQ(registry.counter("serve.requests_ok").value(), kRequests);
+    EXPECT_EQ(registry.counter("serve.batched_designs_total").value(),
+              kRequests);
+    EXPECT_EQ(registry.counter("serve.batches_total").value(),
+              batches.load());
+    EXPECT_EQ(
+        registry.histogram("serve.request_latency_us").snapshot().count,
+        kRequests);
+}
+
+TEST(MicroBatcherTest, BoundedQueueRejectsOverload)
+{
+    obs::Registry registry;
+    BatchOptions options;
+    options.max_batch = 1;
+    options.max_queue = 2;
+    options.max_linger_us = 0;
+
+    // Block the executor so the queue genuinely backs up.
+    std::promise<void> release;
+    std::shared_future<void> released(release.get_future());
+    MicroBatcher batcher(
+        options,
+        [released](const std::vector<const graphir::Graph *> &graphs) {
+            released.wait();
+            return std::vector<core::SnsPrediction>(graphs.size());
+        },
+        &registry);
+
+    // First ticket occupies the executor; then fill the queue.
+    std::vector<std::future<Outcome>> futures;
+    size_t admitted = 0;
+    size_t overloaded = 0;
+    for (size_t i = 0; i < 16; ++i) {
+        auto ticket = makeTicket();
+        auto future = ticket->promise.get_future();
+        const auto admit = batcher.submit(ticket);
+        if (admit == MicroBatcher::Admit::Ok) {
+            ++admitted;
+            futures.push_back(std::move(future));
+        } else {
+            EXPECT_EQ(admit, MicroBatcher::Admit::Overloaded);
+            ASSERT_NE(ticket, nullptr) << "rejected ticket handed back";
+            ++overloaded;
+        }
+        if (overloaded >= 3)
+            break;
+    }
+    EXPECT_GT(overloaded, 0u);
+    // Every admitted request still resolves once the executor unblocks.
+    release.set_value();
+    for (auto &future : futures)
+        EXPECT_EQ(future.get().status, Status::Ok);
+    EXPECT_EQ(registry.counter("serve.rejected_overloaded").value(),
+              overloaded);
+    batcher.drain();
+}
+
+TEST(MicroBatcherTest, ExpiredDeadlinesAreRejectedAtDispatch)
+{
+    obs::Registry registry;
+    BatchOptions options;
+    options.max_batch = 4;
+    options.max_linger_us = 0;
+
+    std::promise<void> release;
+    std::shared_future<void> released(release.get_future());
+    std::promise<void> entered;
+    auto entered_future = entered.get_future();
+    std::atomic<size_t> designs_seen{0};
+    std::atomic<bool> first_call{true};
+    MicroBatcher batcher(
+        options,
+        [released, &entered, &designs_seen, &first_call](
+            const std::vector<const graphir::Graph *> &graphs) {
+            if (first_call.exchange(false))
+                entered.set_value();
+            released.wait();
+            designs_seen.fetch_add(graphs.size());
+            return std::vector<core::SnsPrediction>(graphs.size());
+        },
+        &registry);
+
+    // Occupy the executor, then queue a request whose 1 ms deadline
+    // will be long gone when the executor finally picks it up. Waiting
+    // for the executor to enter the first batch guarantees the doomed
+    // ticket can't ride along in it.
+    auto blocker = makeTicket();
+    auto blocker_future = blocker->promise.get_future();
+    ASSERT_EQ(batcher.submit(blocker), MicroBatcher::Admit::Ok);
+    entered_future.wait();
+    auto doomed = makeTicket(1);
+    auto doomed_future = doomed->promise.get_future();
+    ASSERT_EQ(batcher.submit(doomed), MicroBatcher::Admit::Ok);
+
+    std::this_thread::sleep_for(20ms);
+    release.set_value();
+    EXPECT_EQ(blocker_future.get().status, Status::Ok);
+    EXPECT_EQ(doomed_future.get().status, Status::DeadlineExceeded);
+    EXPECT_EQ(registry.counter("serve.rejected_deadline").value(), 1u);
+    batcher.drain();
+    // The expired design never reached the model.
+    EXPECT_EQ(designs_seen.load(), 1u);
+}
+
+TEST(MicroBatcherTest, DrainAnswersAdmittedAndRefusesNew)
+{
+    obs::Registry registry;
+    BatchOptions options;
+    options.max_batch = 4;
+    options.max_linger_us = 50000;
+    MicroBatcher batcher(
+        options,
+        [](const std::vector<const graphir::Graph *> &graphs) {
+            return std::vector<core::SnsPrediction>(graphs.size());
+        },
+        &registry);
+
+    auto admitted = makeTicket();
+    auto admitted_future = admitted->promise.get_future();
+    ASSERT_EQ(batcher.submit(admitted), MicroBatcher::Admit::Ok);
+
+    batcher.drain();
+    EXPECT_EQ(admitted_future.get().status, Status::Ok)
+        << "admitted before drain() must still get a real answer";
+
+    auto late = makeTicket();
+    EXPECT_EQ(batcher.submit(late), MicroBatcher::Admit::Draining);
+    ASSERT_NE(late, nullptr);
+    EXPECT_EQ(registry.counter("serve.rejected_draining").value(), 1u);
+    batcher.drain(); // idempotent
+}
+
+TEST(MicroBatcherTest, BatchFnExceptionBecomesErrorOutcome)
+{
+    obs::Registry registry;
+    BatchOptions options;
+    options.max_linger_us = 0;
+    MicroBatcher batcher(
+        options,
+        [](const std::vector<const graphir::Graph *> &)
+            -> std::vector<core::SnsPrediction> {
+            throw std::runtime_error("model exploded");
+        },
+        &registry);
+    auto ticket = makeTicket();
+    auto future = ticket->promise.get_future();
+    ASSERT_EQ(batcher.submit(ticket), MicroBatcher::Admit::Ok);
+    const auto outcome = future.get();
+    EXPECT_EQ(outcome.status, Status::Error);
+    EXPECT_NE(outcome.message.find("model exploded"), std::string::npos);
+    EXPECT_EQ(registry.counter("serve.request_errors").value(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Server end to end
+
+constexpr const char *kFirSnl = R"(design fir2
+input  x 16
+node   p0 mul 32 x c0
+node   p1 mul 32 x c1
+reg    c0 16
+reg    c1 16
+reg    z0 32 p0
+node   s1 add 32 p1 z0
+reg    z1 32 s1
+output y  32 z1
+)";
+
+constexpr const char *kMacSnl = R"(design mac
+input  a 8
+input  b 8
+node   m mul 16 a b
+reg    acc 16 s
+node   s add 16 m acc
+output q 16 acc
+)";
+
+/** One tiny trained checkpoint shared by the server tests. */
+const std::string &
+checkpointDir()
+{
+    static const std::string dir = [] {
+        synth::SynthesisOptions opts;
+        opts.effort = 0.1;
+        synth::Synthesizer oracle(opts);
+        const auto dataset = core::HardwareDesignDataset::build(
+            designs::DesignLibrary::smokeSet(), oracle);
+        std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+        core::SnsTrainer trainer(core::TrainerConfig::fast());
+        const auto predictor = trainer.train(dataset, train_idx, oracle);
+        const auto path = (std::filesystem::temp_directory_path() /
+                           "sns_serve_test_model")
+                              .string();
+        predictor.save(path);
+        par::setThreads(1);
+        return path;
+    }();
+    return dir;
+}
+
+std::string
+tempSocketPath(const char *tag)
+{
+    return (std::filesystem::temp_directory_path() /
+            (std::string("sns_serve_test_") + tag + ".sock"))
+        .string();
+}
+
+TEST(ServerTest, RemotePredictionsMatchLocalBitwise)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("bitwise");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    // Local reference: the exact predictor instance the server holds,
+    // through its own shared cache's semantics (cache on/off is
+    // bitwise identical per PR 3, so a plain uncached call suffices).
+    const auto fir = netlist::parseSnl(kFirSnl);
+    const auto mac = netlist::parseSnl(kMacSnl);
+    const graphir::Graph *graphs[2] = {&fir, &mac};
+    const auto local = predictor->predictBatch(graphs);
+
+    auto client = Client::connectUnix(options.unix_path);
+    const auto remote_fir = client.predict(kFirSnl, DesignFormat::Snl);
+    const auto remote_mac = client.predict(kMacSnl, DesignFormat::Snl);
+    ASSERT_EQ(remote_fir.status, Status::Ok);
+    ASSERT_EQ(remote_mac.status, Status::Ok);
+
+    EXPECT_EQ(remote_fir.prediction.timing_ps, local[0].timing_ps);
+    EXPECT_EQ(remote_fir.prediction.area_um2, local[0].area_um2);
+    EXPECT_EQ(remote_fir.prediction.power_mw, local[0].power_mw);
+    EXPECT_EQ(remote_fir.prediction.paths_sampled,
+              local[0].paths_sampled);
+    EXPECT_EQ(remote_fir.prediction.critical_path,
+              local[0].critical_path);
+    EXPECT_EQ(remote_mac.prediction.timing_ps, local[1].timing_ps);
+    EXPECT_EQ(remote_mac.prediction.area_um2, local[1].area_um2);
+    EXPECT_EQ(remote_mac.prediction.power_mw, local[1].power_mw);
+    EXPECT_EQ(remote_mac.prediction.critical_path,
+              local[1].critical_path);
+
+    // Warm-cache second pass: still identical.
+    const auto again = client.predict(kFirSnl, DesignFormat::Snl);
+    ASSERT_EQ(again.status, Status::Ok);
+    EXPECT_EQ(again.prediction.timing_ps, local[0].timing_ps);
+    EXPECT_EQ(again.prediction.area_um2, local[0].area_um2);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(ServerTest, StatsReportsTrafficAndCache)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("stats");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    client.ping();
+    ASSERT_EQ(client.predict(kFirSnl, DesignFormat::Snl).status,
+              Status::Ok);
+    ASSERT_EQ(client.predict(kFirSnl, DesignFormat::Snl).status,
+              Status::Ok);
+
+    const std::string stats = client.stats();
+    EXPECT_NE(stats.find("serve.requests_total 2\n"), std::string::npos)
+        << stats;
+    EXPECT_NE(stats.find("serve.requests_ok 2\n"), std::string::npos);
+    EXPECT_NE(stats.find("serve.batches_total"), std::string::npos);
+    EXPECT_NE(stats.find("serve.connections_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(stats.find("serve.queue_depth"), std::string::npos);
+    EXPECT_NE(stats.find("cache.hits"), std::string::npos);
+    // The identical second request must have hit the shared cache.
+    EXPECT_GT(server.cache().stats().hits, 0u);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(ServerTest, MalformedPayloadGetsErrorReplyAndConnectionSurvives)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("badpayload");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    // An unparseable design is an application error, not a dead
+    // connection: the client sees ERROR and can keep going.
+    const auto bad = client.predict("this is not snl", DesignFormat::Snl);
+    EXPECT_EQ(bad.status, Status::Error);
+    EXPECT_FALSE(bad.message.empty());
+    const auto good = client.predict(kFirSnl, DesignFormat::Snl);
+    EXPECT_EQ(good.status, Status::Ok);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(ServerTest, HotReloadKeepsServingAndRebindsCache)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("reload");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    const auto before = client.predict(kFirSnl, DesignFormat::Snl);
+    ASSERT_EQ(before.status, Status::Ok);
+
+    // Reloading a bad path is an error reply, not a dead daemon.
+    const std::string err = client.reload("/nonexistent/model");
+    EXPECT_FALSE(err.empty());
+    EXPECT_EQ(client.predict(kFirSnl, DesignFormat::Snl).status,
+              Status::Ok);
+
+    // Reloading the same checkpoint: bitwise-identical predictions
+    // (the round-trip fixed point) through the re-bound cache.
+    EXPECT_EQ(client.reload(checkpointDir()), "");
+    const auto after = client.predict(kFirSnl, DesignFormat::Snl);
+    ASSERT_EQ(after.status, Status::Ok);
+    EXPECT_EQ(after.prediction.timing_ps, before.prediction.timing_ps);
+    EXPECT_EQ(after.prediction.area_um2, before.prediction.area_um2);
+    EXPECT_EQ(after.prediction.power_mw, before.prediction.power_mw);
+    EXPECT_EQ(after.prediction.critical_path,
+              before.prediction.critical_path);
+    EXPECT_EQ(registry.counter("serve.reloads_total").value(), 1u);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(ServerTest, ConcurrentClientsAllSucceedAndCoalesce)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("concurrent");
+    options.batch.max_linger_us = 5000;
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    const auto fir = netlist::parseSnl(kFirSnl);
+    const graphir::Graph *one[1] = {&fir};
+    const auto local = predictor->predictBatch(one);
+
+    constexpr int kClients = 8;
+    constexpr int kPerClient = 4;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&options, &local, &failures] {
+            auto client = Client::connectUnix(options.unix_path);
+            for (int i = 0; i < kPerClient; ++i) {
+                const auto reply =
+                    client.predict(kFirSnl, DesignFormat::Snl);
+                if (reply.status != Status::Ok ||
+                    reply.prediction.timing_ps != local[0].timing_ps ||
+                    reply.prediction.area_um2 != local[0].area_um2)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(registry.counter("serve.requests_ok").value(),
+              uint64_t(kClients) * kPerClient);
+    // Concurrent closed-loop clients must have shared batches at least
+    // once (strictly fewer batches than requests).
+    EXPECT_LT(registry.counter("serve.batches_total").value(),
+              uint64_t(kClients) * kPerClient);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(ServerTest, TcpTransportWorks)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options; // empty unix_path -> TCP on an ephemeral port
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+    ASSERT_GT(server.port(), 0);
+
+    auto client = Client::connectTcp("127.0.0.1", server.port());
+    client.ping();
+    EXPECT_EQ(client.predict(kFirSnl, DesignFormat::Snl).status,
+              Status::Ok);
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(ServerTest, StopIsGracefulAndIdempotent)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("stop");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+    {
+        auto client = Client::connectUnix(options.unix_path);
+        ASSERT_EQ(client.predict(kFirSnl, DesignFormat::Snl).status,
+                  Status::Ok);
+    }
+    server.stop();
+    server.stop(); // idempotent
+    EXPECT_FALSE(server.running());
+    // The socket file is gone after shutdown.
+    EXPECT_FALSE(std::filesystem::exists(options.unix_path));
+    par::setThreads(1);
+}
+
+} // namespace
+} // namespace sns::serve

@@ -1,5 +1,5 @@
 #!/bin/sh
-# PR-3 performance driver (see docs/perf.md):
+# Performance driver (see docs/perf.md and docs/serving.md):
 #
 #   1. configure + build Release with SNS_NATIVE_ARCH;
 #   2. run the GEMM microkernel dispatch benchmarks (scalar vs SIMD,
@@ -7,20 +7,27 @@
 #   3. run the Figure-7 harness, which times the path-prediction cache
 #      cold vs warm over a repeated-variant sweep and re-checks the
 #      bitwise determinism contract with the cache on;
-#   4. assemble the machine-readable summary BENCH_pr3.json.
+#   4. assemble the machine-readable summary BENCH_pr3.json;
+#   5. run the sns-serve throughput harness (closed-loop clients at
+#      concurrency 1..8, serial vs micro-batched, bitwise-checked
+#      against local predictBatch) and assemble BENCH_pr4.json, gating
+#      on batched-vs-serial-dispatch speedup >= 2x at concurrency 8.
 #
 # Usage: tools/run_bench.sh [BUILD_DIR] [OUT_JSON]
-#        (defaults: build-bench, BENCH_pr3.json at the repo root)
+#        (defaults: build-bench, BENCH_pr3.json at the repo root;
+#         the serve summary lands next to it as BENCH_pr4.json)
 set -e
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO/build-bench}"
 OUT="${2:-$REPO/BENCH_pr3.json}"
+OUT_SERVE="$(dirname "$OUT")/BENCH_pr4.json"
 
 echo "== release build ($BUILD) =="
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release \
     -DSNS_NATIVE_ARCH=ON
-cmake --build "$BUILD" -j --target microbench_kernels fig07_runtime
+cmake --build "$BUILD" -j --target microbench_kernels fig07_runtime \
+    serve_throughput
 
 echo "== GEMM microkernels: scalar vs SIMD dispatch =="
 GEMM_CSV="$BUILD/gemm_dispatch.csv"
@@ -118,3 +125,71 @@ awk -F, -v fig07="$FIG07_OUT" '
     }
 ' /dev/null
 echo "wrote $OUT"
+
+echo "== sns-serve throughput: serial dispatch vs micro-batched =="
+SERVE_OUT="$BUILD/serve_throughput.out"
+# shellcheck disable=SC2086
+"$BUILD/bench/serve_throughput" ${SNS_BENCH_FLAGS:-} | tee "$SERVE_OUT"
+
+awk -v serve="$SERVE_OUT" '
+    BEGIN {
+        while ((getline line <serve) > 0) {
+            if (split(line, f, " ") == 3 && f[1] == "BENCH")
+                bench[f[2]] = f[3]
+        }
+        close(serve)
+        printf "{\n"
+        printf "  \"serve\": {\n"
+        printf "    \"qps_serial_dispatch\": %s,\n", \
+               bench["serve_qps_serial_dispatch"]
+        printf "    \"qps_server_serial_c8\": %s,\n", \
+               bench["serve_qps_serial_c8"]
+        printf "    \"qps_server_batched_c1\": %s,\n", \
+               bench["serve_qps_batched_c1"]
+        printf "    \"qps_server_batched_c2\": %s,\n", \
+               bench["serve_qps_batched_c2"]
+        printf "    \"qps_server_batched_c4\": %s,\n", \
+               bench["serve_qps_batched_c4"]
+        printf "    \"qps_server_batched_c8\": %s,\n", \
+               bench["serve_qps_batched_c8"]
+        printf "    \"p50_us_batched_c8\": %s,\n", \
+               bench["serve_p50_us_batched_c8"]
+        printf "    \"p99_us_batched_c8\": %s,\n", \
+               bench["serve_p99_us_batched_c8"]
+        printf "    \"batched_speedup_c8\": %s,\n", \
+               bench["serve_batched_speedup_c8"]
+        printf "    \"bitwise_pass\": %s\n", bench["serve_bitwise"]
+        printf "  }\n"
+        printf "}\n"
+    }
+' /dev/null >"$OUT_SERVE"
+
+cat "$OUT_SERVE"
+
+# Serving gates mirrored from ISSUE.md: the batching daemon at
+# concurrency 8 must beat serial one-request-at-a-time dispatch by
+# >= 2x, and every server reply must be bitwise identical to a local
+# predictBatch.
+awk -v serve="$SERVE_OUT" '
+    BEGIN {
+        speedup = 0
+        bitwise = 0
+        while ((getline line <serve) > 0) {
+            if (split(line, f, " ") != 3 || f[1] != "BENCH")
+                continue
+            if (f[2] == "serve_batched_speedup_c8") speedup = f[3]
+            if (f[2] == "serve_bitwise") bitwise = f[3]
+        }
+        if (bitwise != 1) {
+            print "FAIL: server replies are not bitwise identical"
+            exit 1
+        }
+        if (speedup + 0 < 2.0) {
+            printf "FAIL: serve batched speedup %.2fx < 2x\n", speedup
+            exit 1
+        }
+        printf "PASS: serve batched speedup %.2fx, replies bitwise\n", \
+               speedup
+    }
+' /dev/null
+echo "wrote $OUT_SERVE"

@@ -6,7 +6,9 @@
 #   3. run sns_lint over the bundled example designs and datasets
 #      (must be clean) and the corrupted fixtures (must fail);
 #   4. build with ThreadSanitizer and run the parallel-runtime-heavy
-#      suites (test_par, test_perf, test_tensor, test_core) under TSan.
+#      suites (test_par, test_perf, test_tensor, test_core, test_obs,
+#      test_serve — the batching queue and the metrics registry are the
+#      most race-prone code in the repo) under TSan.
 #
 # Usage: tools/run_lint.sh [BUILD_DIR]   (default: build-lint;
 #        the TSan build lands in BUILD_DIR-tsan)
@@ -38,11 +40,12 @@ fi
 echo "== ThreadSanitizer build ($TSAN_BUILD) =="
 cmake -B "$TSAN_BUILD" -S "$REPO" -DSNS_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$TSAN_BUILD" -j --target test_par test_perf test_tensor test_core
+cmake --build "$TSAN_BUILD" -j --target test_par test_perf test_tensor \
+    test_core test_obs test_serve
 
-echo "== sns::par suites under TSan (SNS_THREADS=4) =="
+echo "== sns::par + serve suites under TSan (SNS_THREADS=4) =="
 # Multi-threaded pool width so TSan actually sees concurrent regions.
-for t in test_par test_perf test_tensor test_core; do
+for t in test_par test_perf test_tensor test_core test_obs test_serve; do
     SNS_THREADS=4 "$TSAN_BUILD/tests/$t"
 done
 

@@ -4,30 +4,37 @@
  *
  *   sns-cli train   --out=DIR [--dataset=paper|smoke] [--fast] [--seed=N]
  *   sns-cli predict --model=DIR DESIGN.{snl,v} [...]
+ *   sns-cli remote-predict (--socket=PATH | --host=H --port=N) DESIGN [...]
  *   sns-cli synth   DESIGN.snl [...]
  *   sns-cli paths   DESIGN.snl [--k=5] [--limit=N]
  *   sns-cli dot     DESIGN.snl
  *
  * `train` runs the Fig.-4 flow on the built-in design dataset and
  * persists the predictor; `predict` loads it and prints area / power /
- * timing plus the located critical path for each SNL design; `synth`
- * runs the reference synthesizer for comparison; `paths` dumps sampled
- * complete circuit paths; `dot` emits Graphviz.
+ * timing plus the located critical path for each SNL design;
+ * `remote-predict` sends the same designs to a running sns-serve
+ * daemon and prints the identical report; `synth` runs the reference
+ * synthesizer for comparison; `paths` dumps sampled complete circuit
+ * paths; `dot` emits Graphviz.
  */
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/evaluation.hh"
 #include "designs/designs.hh"
+#include "obs/metrics.hh"
 #include "perf/path_cache.hh"
 #include "netlist/snl_parser.hh"
 #include "netlist/verilog_parser.hh"
 #include "par/thread_pool.hh"
 #include "sampler/path_sampler.hh"
+#include "serve/client.hh"
 #include "util/string_utils.hh"
 #include "util/timer.hh"
 
@@ -84,6 +91,51 @@ loadDesign(const std::string &path)
     return netlist::loadSnlFile(path);
 }
 
+/** Wire format for a design file, mirroring loadDesign's dispatch. */
+serve::DesignFormat
+designFormat(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : path.substr(dot);
+    return (ext == ".v" || ext == ".sv") ? serve::DesignFormat::Verilog
+                                         : serve::DesignFormat::Snl;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/**
+ * The human-readable per-design report, shared verbatim between
+ * `predict` and `remote-predict` so their outputs diff clean — the
+ * smoke test relies on that to prove server results match local ones.
+ */
+void
+printPrediction(const graphir::Graph &design,
+                const core::SnsPrediction &pred)
+{
+    const auto &vocab = graphir::Vocabulary::instance();
+    std::cout << design.name() << ": area "
+              << formatDouble(pred.area_um2, 1) << " um2, power "
+              << formatDouble(pred.power_mw, 4) << " mW, timing "
+              << formatDouble(pred.timing_ps, 1) << " ps  ("
+              << pred.paths_sampled << " paths)\n";
+    std::cout << "  critical path: ";
+    for (size_t i = 0; i < pred.critical_path.size(); ++i) {
+        std::cout << (i ? " -> " : "")
+                  << vocab.tokenString(design.token(pred.critical_path[i]));
+    }
+    std::cout << "\n";
+}
+
 int
 usage()
 {
@@ -93,6 +145,9 @@ usage()
            "[--fast] [--seed=N] [--threads=N]\n"
         << "  sns-cli predict --model=DIR [--threads=N] [--json] "
            "[--cache[=CAP]] [--cache-stats] DESIGN.{snl,v} [...]\n"
+        << "  sns-cli remote-predict (--socket=PATH | --host=H "
+           "--port=N) [--deadline-ms=N] [--stats] DESIGN.{snl,v} "
+           "[...]\n"
         << "  sns-cli synth   DESIGN.snl [...]\n"
         << "  sns-cli paths   DESIGN.snl [--k=5] [--limit=20]\n"
         << "  sns-cli dot     DESIGN.snl\n"
@@ -195,12 +250,9 @@ cmdPredict(const CliArgs &args)
     const double elapsed = timer.seconds();
 
     if (cache && args.has("cache-stats")) {
-        const auto stats = cache->stats();
-        std::cerr << "cache: " << stats.hits << " hits, " << stats.misses
-                  << " misses (" << formatDouble(100.0 * stats.hitRate(), 1)
-                  << "% hit rate), " << stats.inserts << " inserts, "
-                  << stats.evictions << " evictions, " << stats.entries
-                  << " entries, " << stats.bytes << " bytes\n";
+        // The same canonical rendering the server's STATS verb uses,
+        // so humans and scrapers read one format everywhere.
+        std::cerr << obs::formatCacheStats(cache->stats());
     }
 
     if (json)
@@ -225,18 +277,7 @@ cmdPredict(const CliArgs &args)
                       << "\n";
             continue;
         }
-        std::cout << design.name() << ": area "
-                  << formatDouble(pred.area_um2, 1) << " um2, power "
-                  << formatDouble(pred.power_mw, 4) << " mW, timing "
-                  << formatDouble(pred.timing_ps, 1) << " ps  ("
-                  << pred.paths_sampled << " paths)\n";
-        std::cout << "  critical path: ";
-        for (size_t i = 0; i < pred.critical_path.size(); ++i) {
-            std::cout << (i ? " -> " : "")
-                      << vocab.tokenString(
-                             design.token(pred.critical_path[i]));
-        }
-        std::cout << "\n";
+        printPrediction(design, pred);
     }
     if (json)
         std::cout << "]\n";
@@ -244,6 +285,54 @@ cmdPredict(const CliArgs &args)
         std::cout << designs.size() << " designs predicted in "
                   << formatDouble(elapsed, 3) << " s on "
                   << par::configuredThreads() << " thread(s)\n";
+    return 0;
+}
+
+int
+cmdRemotePredict(const CliArgs &args)
+{
+    const bool have_socket = args.has("socket");
+    const bool have_port = args.has("port");
+    if ((!have_socket && !have_port) ||
+        (args.positional.empty() && !args.has("stats"))) {
+        std::cerr << "remote-predict requires --socket=PATH or "
+                     "--host=H --port=N, plus design files (or "
+                     "--stats)\n";
+        return 1;
+    }
+    auto client =
+        have_socket
+            ? serve::Client::connectUnix(args.get("socket", ""))
+            : serve::Client::connectTcp(
+                  args.get("host", "127.0.0.1"),
+                  std::stoi(args.get("port", "0")));
+
+    const uint32_t deadline_ms =
+        static_cast<uint32_t>(std::stoul(args.get("deadline-ms", "0")));
+    WallTimer timer;
+    size_t predicted = 0;
+    for (const auto &path : args.positional) {
+        const auto reply = client.predict(readWholeFile(path),
+                                          designFormat(path), deadline_ms);
+        if (reply.status != serve::Status::Ok) {
+            std::cerr << path << ": "
+                      << serve::statusName(reply.status)
+                      << (reply.message.empty() ? "" : ": ")
+                      << reply.message << "\n";
+            return 2;
+        }
+        // Parse locally only to render token names; the numbers and
+        // node ids come straight off the wire.
+        const auto design = loadDesign(path);
+        printPrediction(design, reply.prediction);
+        ++predicted;
+    }
+    if (args.has("stats"))
+        std::cerr << client.stats();
+    if (predicted > 0)
+        std::cout << predicted << " designs predicted in "
+                  << formatDouble(timer.seconds(), 3)
+                  << " s by the remote server\n";
     return 0;
 }
 
@@ -318,6 +407,8 @@ main(int argc, char **argv)
             return cmdTrain(args);
         if (args.command == "predict")
             return cmdPredict(args);
+        if (args.command == "remote-predict")
+            return cmdRemotePredict(args);
         if (args.command == "synth")
             return cmdSynth(args);
         if (args.command == "paths")

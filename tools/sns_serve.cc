@@ -1,0 +1,138 @@
+/**
+ * @file
+ * sns-serve — the prediction daemon (docs/serving.md).
+ *
+ *   sns-serve --model=DIR (--socket=PATH | --port=N [--host=ADDR])
+ *             [--max-batch=16] [--linger-us=1000] [--max-queue=256]
+ *             [--cache=CAP] [--threads=N] [--log-period=60]
+ *
+ * Loads a checkpoint trained by `sns-cli train`, listens on a
+ * Unix-domain socket or TCP, and serves PREDICT / STATS / RELOAD /
+ * PING until SIGTERM or SIGINT, which triggers a graceful drain:
+ * every admitted request is answered, new work is refused with
+ * DRAINING, then the process exits 0.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "par/thread_pool.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace sns;
+
+/** Signal flag + self-pipe so blocked poll() wakes immediately. */
+std::atomic<int> g_signal{0};
+int g_wake_pipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int sig)
+{
+    g_signal.store(sig);
+    const char byte = 1;
+    // Best effort; the poll timeout catches a full pipe anyway.
+    [[maybe_unused]] ssize_t n = ::write(g_wake_pipe[1], &byte, 1);
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: sns-serve --model=DIR (--socket=PATH | --port=N "
+           "[--host=ADDR])\n"
+           "                 [--max-batch=16] [--linger-us=1000] "
+           "[--max-queue=256]\n"
+           "                 [--cache=CAP] [--threads=N] "
+           "[--log-period=60]\n"
+           "Serves PREDICT/STATS/RELOAD/PING over the length-prefixed "
+           "binary protocol\n(docs/serving.md); SIGTERM drains "
+           "gracefully.\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            return usage();
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos)
+            flags[arg.substr(2)] = "1";
+        else
+            flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+    const auto get = [&flags](const char *key, const char *fallback) {
+        const auto it = flags.find(key);
+        return it == flags.end() ? std::string(fallback) : it->second;
+    };
+    if (!flags.count("model") ||
+        (!flags.count("socket") && !flags.count("port")))
+        return usage();
+
+    if (flags.count("threads"))
+        par::setThreads(std::stoi(get("threads", "0")));
+
+    serve::ServerOptions options;
+    options.unix_path = get("socket", "");
+    options.tcp_host = get("host", "127.0.0.1");
+    options.tcp_port = std::stoi(get("port", "0"));
+    options.batch.max_batch =
+        std::stoull(get("max-batch", "16"));
+    options.batch.max_linger_us = std::stoi(get("linger-us", "1000"));
+    options.batch.max_queue = std::stoull(get("max-queue", "256"));
+    options.cache_capacity = std::stoull(get("cache", "1048576"));
+    options.stats_log_period_s = std::stoi(get("log-period", "60"));
+
+    try {
+        const std::string model_dir = get("model", "");
+        std::cerr << "sns-serve: loading " << model_dir << "...\n";
+        auto predictor = std::make_shared<const core::SnsPredictor>(
+            core::SnsPredictor::load(model_dir));
+
+        serve::Server server(std::move(predictor), options);
+        server.start();
+        if (!options.unix_path.empty())
+            std::cerr << "sns-serve: listening on " << options.unix_path
+                      << "\n";
+        else
+            std::cerr << "sns-serve: listening on " << options.tcp_host
+                      << ":" << server.port() << "\n";
+
+        if (::pipe(g_wake_pipe) != 0)
+            return 1;
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGPIPE, SIG_IGN); // vanished clients are routine
+
+        // Park until a signal arrives; the self-pipe wakes us without
+        // a busy loop.
+        for (;;) {
+            pollfd pfd{g_wake_pipe[0], POLLIN, 0};
+            ::poll(&pfd, 1, 1000);
+            if (g_signal.load() != 0)
+                break;
+        }
+        std::cerr << "sns-serve: signal " << g_signal.load()
+                  << ", draining...\n";
+        server.stop();
+        std::cerr << "sns-serve: drained, bye\n";
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "sns-serve: error: " << e.what() << "\n";
+        return 1;
+    }
+}
