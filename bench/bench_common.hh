@@ -31,6 +31,8 @@ struct BenchArgs
     int override_epochs = -1;
     int threads = -1;        ///< sns::par width (0 = all cores,
                              ///< -1 = keep SNS_THREADS / default)
+    std::string checkpoint_dir; ///< crash-safe training state
+    std::string resume_from;    ///< resume source (file or directory)
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -49,9 +51,16 @@ struct BenchArgs
                     std::atoi(arg.c_str() + 9);
             } else if (arg.rfind("--threads=", 0) == 0) {
                 args.threads = std::atoi(arg.c_str() + 10);
+            } else if (arg.rfind("--checkpoint-dir=", 0) == 0) {
+                args.checkpoint_dir = arg.substr(17);
+            } else if (arg.rfind("--resume=", 0) == 0) {
+                args.resume_from = arg.substr(9);
+            } else if (arg == "--resume") {
+                args.resume_from = "@checkpoint-dir"; // resolved below
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << "flags: --full --seed=N --epochs=N "
-                             "--threads=N --csv-dir=PATH\n";
+                             "--threads=N --csv-dir=PATH "
+                             "--checkpoint-dir=DIR --resume[=SRC]\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown flag: " << arg << "\n";
@@ -60,6 +69,13 @@ struct BenchArgs
         }
         if (args.threads >= 0)
             par::setThreads(args.threads);
+        if (args.resume_from == "@checkpoint-dir") {
+            if (args.checkpoint_dir.empty()) {
+                std::cerr << "bare --resume needs --checkpoint-dir\n";
+                std::exit(1);
+            }
+            args.resume_from = args.checkpoint_dir;
+        }
         return args;
     }
 
@@ -112,6 +128,10 @@ benchTrainerConfig(const BenchArgs &args)
 
     // Aggregation MLPs (Table 6).
     config.mlp.epochs = args.full ? 10240 : 4096;
+
+    // Crash-safe checkpointing (docs/training.md).
+    config.checkpoint_dir = args.checkpoint_dir;
+    config.resume_from = args.resume_from;
     return config;
 }
 

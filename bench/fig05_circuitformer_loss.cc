@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "bench_common.hh"
+#include "obs/metrics.hh"
 #include "util/string_utils.hh"
 #include "util/timer.hh"
 
@@ -56,6 +57,20 @@ main(int argc, char **argv)
               << ", final validation loss "
               << curve.back().validation_loss << " ("
               << formatDouble(seconds, 1) << " s total training)\n";
+    if (!config.checkpoint_dir.empty()) {
+        // Checkpoint cost, from the same obs instruments sns-cli train
+        // reports (EXPERIMENTS.md records these numbers).
+        const auto written = obs::Registry::global()
+                                 .histogram("train.checkpoint_write_us")
+                                 .snapshot();
+        const double total_s = static_cast<double>(written.sum) / 1e6;
+        std::cout << written.count << " checkpoints written in "
+                  << formatDouble(total_s, 3) << " s ("
+                  << formatDouble(
+                         seconds > 0.0 ? 100.0 * total_s / seconds : 0.0,
+                         2)
+                  << "% of training wall time)\n";
+    }
     std::cout << "paper shape check: both curves decrease and track "
                  "each other without a late validation blow-up.\n";
     return 0;

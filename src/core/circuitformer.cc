@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 #include "nn/serialize.hh"
 #include "par/thread_pool.hh"
@@ -285,31 +286,57 @@ Circuitformer::parametersFingerprint() const
 }
 
 void
-Circuitformer::save(const std::string &path) const
+Circuitformer::saveTo(std::ostream &out, const std::string &where) const
 {
     SNS_ASSERT(normalized_, "save() before fitNormalization()");
     std::vector<Variable> all = parameters();
+    // The normalization statistics ride along as one extra tensor.
+    // They are float-snapped here; docs/serving.md explains why the
+    // fingerprint treats a freshly-trained model and its reloaded twin
+    // as different models because of this truncation.
     Tensor norm({6});
     for (int t = 0; t < 3; ++t) {
         norm[t] = static_cast<float>(target_mean_[t]);
         norm[3 + t] = static_cast<float>(target_std_[t]);
     }
     all.push_back(Variable(norm));
-    nn::saveParameters(path, all);
+    nn::saveParameters(out, all, where);
 }
 
 void
-Circuitformer::load(const std::string &path)
+Circuitformer::loadFrom(std::istream &in, const std::string &where)
 {
     std::vector<Variable> all = parameters();
     all.push_back(Variable(Tensor({6})));
-    nn::loadParameters(path, all);
+    nn::loadParameters(in, all, where);
     const Tensor &norm = all.back().value();
     for (int t = 0; t < 3; ++t) {
         target_mean_[t] = norm[t];
         target_std_[t] = norm[3 + t];
     }
     normalized_ = true;
+}
+
+void
+Circuitformer::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        throw nn::SerializeError(
+            "cannot open weight file for writing: " + path);
+    }
+    saveTo(out, path);
+    if (!out)
+        throw nn::SerializeError("short write to weight file: " + path);
+}
+
+void
+Circuitformer::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw nn::SerializeError("cannot open weight file: " + path);
+    loadFrom(in, path);
 }
 
 } // namespace sns::core

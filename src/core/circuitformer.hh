@@ -14,6 +14,7 @@
 #define SNS_CORE_CIRCUITFORMER_HH
 
 #include <array>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,12 @@ class Circuitformer : public nn::Module
 
     /** Restore weights + normalization from a file. */
     void load(const std::string &path);
+
+    /** Stream forms of save()/load(), used to embed the model inside a
+     * training checkpoint (nn::CheckpointWriter/Reader payloads);
+     * `where` labels load errors. */
+    void saveTo(std::ostream &out, const std::string &where) const;
+    void loadFrom(std::istream &in, const std::string &where);
 
     const CircuitformerConfig &config() const { return config_; }
 

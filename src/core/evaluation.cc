@@ -72,6 +72,15 @@ crossValidate2Fold(const HardwareDesignDataset &designs,
                         uint64_t seed_offset) {
         TrainerConfig fold_config = config;
         fold_config.seed = config.seed + seed_offset;
+        // The two folds train different models: give each its own
+        // checkpoint directory (and resume source) so their
+        // ckpt-*.ckpt sequences never collide.
+        const std::string fold_suffix =
+            "/fold-" + std::to_string(seed_offset);
+        if (!fold_config.checkpoint_dir.empty())
+            fold_config.checkpoint_dir += fold_suffix;
+        if (!fold_config.resume_from.empty())
+            fold_config.resume_from += fold_suffix;
         SnsTrainer trainer(fold_config);
         const auto predictor = trainer.train(designs, train_idx, oracle);
         auto fold_result =

@@ -1,13 +1,260 @@
 #include "core/trainer.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
+#include "nn/serialize.hh"
+#include "obs/metrics.hh"
 #include "par/thread_pool.hh"
 #include "util/logging.hh"
+#include "util/timer.hh"
 #include "verify/diagnostics.hh"
 
 namespace sns::core {
+
+namespace {
+
+/** Payload producer tag; a reader refuses anything else up front. */
+constexpr const char *kProducer = "sns-trainer-v1";
+
+uint64_t
+fnvBytes(uint64_t hash, const void *data, size_t size)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+uint64_t
+fnvU64(uint64_t hash, uint64_t value)
+{
+    return fnvBytes(hash, &value, sizeof(value));
+}
+
+uint64_t
+fnvF64(uint64_t hash, double value)
+{
+    return fnvBytes(hash, &value, sizeof(value));
+}
+
+/**
+ * FNV-1a over every configuration field that shapes the final model.
+ * A resumed run must agree on all of them, or "resume" would silently
+ * splice two different training trajectories together.
+ */
+uint64_t
+configFingerprint(const TrainerConfig &config)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = fnvU64(h, config.seed);
+    h = fnvU64(h, static_cast<uint64_t>(config.circuitformer_epochs));
+    h = fnvU64(h, static_cast<uint64_t>(config.circuitformer_batch));
+    h = fnvF64(h, config.circuitformer_lr);
+    h = fnvF64(h, config.validation_fraction);
+    h = fnvU64(h, config.seqgan_small ? 1 : 0);
+
+    const nn::TransformerConfig &enc = config.model.encoder;
+    h = fnvU64(h, static_cast<uint64_t>(enc.vocab_size));
+    h = fnvU64(h, static_cast<uint64_t>(enc.max_positions));
+    h = fnvU64(h, static_cast<uint64_t>(enc.d_model));
+    h = fnvU64(h, static_cast<uint64_t>(enc.heads));
+    h = fnvU64(h, static_cast<uint64_t>(enc.layers));
+    h = fnvU64(h, static_cast<uint64_t>(enc.d_ff));
+    h = fnvU64(h, static_cast<uint64_t>(config.model.head_hidden));
+    h = fnvU64(h, config.model.seed);
+
+    const PathDatasetOptions &pd = config.path_data;
+    h = fnvU64(h, pd.max_paths_per_design);
+    h = fnvU64(h, pd.markov_paths);
+    h = fnvU64(h, pd.seqgan_paths);
+    h = fnvU64(h, pd.enable_markov ? 1 : 0);
+    h = fnvU64(h, pd.enable_seqgan ? 1 : 0);
+    h = fnvU64(h, pd.seed);
+    h = fnvF64(h, pd.sampler.k);
+    h = fnvU64(h, pd.sampler.max_path_length);
+    h = fnvU64(h, pd.sampler.max_paths_per_source);
+    h = fnvU64(h, pd.sampler.max_total_paths);
+    h = fnvU64(h, pd.sampler.seed);
+    h = fnvU64(h, pd.sampler.longest_paths);
+
+    h = fnvU64(h, static_cast<uint64_t>(config.mlp.epochs));
+    h = fnvU64(h, static_cast<uint64_t>(config.mlp.batch_size));
+    h = fnvF64(h, config.mlp.learning_rate);
+    h = fnvF64(h, config.mlp.momentum);
+    h = fnvU64(h, config.mlp.seed);
+    return h;
+}
+
+uint64_t
+hashRecords(uint64_t h, const std::vector<PathRecord> &records)
+{
+    h = fnvU64(h, records.size());
+    for (const auto &record : records) {
+        h = fnvU64(h, record.tokens.size());
+        h = fnvBytes(h, record.tokens.data(),
+                     record.tokens.size() * sizeof(record.tokens[0]));
+        h = fnvF64(h, record.timing_ps);
+        h = fnvF64(h, record.area_um2);
+        h = fnvF64(h, record.power_mw);
+    }
+    return h;
+}
+
+/** FNV-1a over the exact train/validation record assignment. */
+uint64_t
+splitFingerprint(const std::vector<PathRecord> &train_paths,
+                 const std::vector<PathRecord> &val_paths)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = hashRecords(h, train_paths);
+    h = hashRecords(h, val_paths);
+    return h;
+}
+
+void
+writeRngState(nn::CheckpointWriter &writer, const Rng::State &state)
+{
+    for (uint64_t word : state.words)
+        writer.u64(word);
+    writer.u32(state.has_cached_normal ? 1 : 0);
+    writer.f64(state.cached_normal);
+}
+
+Rng::State
+readRngState(nn::CheckpointReader &reader)
+{
+    Rng::State state;
+    for (auto &word : state.words)
+        word = reader.u64();
+    state.has_cached_normal = reader.u32() != 0;
+    state.cached_normal = reader.f64();
+    return state;
+}
+
+/** %.17g — round-trips a double exactly through decimal. */
+std::string
+jsonNumber(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+StderrProgressSink::onEpoch(const EpochProgress &progress)
+{
+    if (!header_printed_) {
+        std::fprintf(stderr,
+                     "  epoch   train_loss     val_loss  sec/epoch"
+                     "    paths/s  checkpoint\n");
+        header_printed_ = true;
+    }
+    std::fprintf(stderr, "%4d/%-3d %12.6f %12.6f %10.2f %10.1f  %s\n",
+                 progress.epoch + 1, progress.total_epochs,
+                 progress.train_loss, progress.validation_loss,
+                 progress.epoch_seconds, progress.samples_per_sec,
+                 progress.checkpoint_path.empty()
+                     ? "-"
+                     : progress.checkpoint_path.c_str());
+    return true;
+}
+
+void
+StderrProgressSink::onEvent(const std::string &message)
+{
+    std::fprintf(stderr, "[train] %s\n", message.c_str());
+}
+
+JsonlProgressSink::JsonlProgressSink(const std::string &path)
+    : out_(std::make_unique<std::ofstream>(path, std::ios::app))
+{
+    if (!*out_)
+        throw std::runtime_error("cannot open JSONL training log: " + path);
+}
+
+JsonlProgressSink::~JsonlProgressSink() = default;
+
+bool
+JsonlProgressSink::onEpoch(const EpochProgress &progress)
+{
+    *out_ << "{\"epoch\":" << progress.epoch
+          << ",\"total_epochs\":" << progress.total_epochs
+          << ",\"train_loss\":" << jsonNumber(progress.train_loss)
+          << ",\"validation_loss\":"
+          << jsonNumber(progress.validation_loss)
+          << ",\"epoch_seconds\":" << jsonNumber(progress.epoch_seconds)
+          << ",\"samples_per_sec\":"
+          << jsonNumber(progress.samples_per_sec)
+          << ",\"train_paths\":" << progress.train_paths
+          << ",\"validation_paths\":" << progress.validation_paths
+          << ",\"checkpoint\":\"" << jsonEscape(progress.checkpoint_path)
+          << "\"}" << std::endl; // endl: flush each line, crash-safe
+    return true;
+}
+
+void
+JsonlProgressSink::onEvent(const std::string &message)
+{
+    *out_ << "{\"event\":\"" << jsonEscape(message) << "\"}"
+          << std::endl;
+}
+
+bool
+TeeProgressSink::onEpoch(const EpochProgress &progress)
+{
+    bool keep_going = true;
+    for (TrainProgressSink *sink : sinks_)
+        keep_going = sink->onEpoch(progress) && keep_going;
+    return keep_going;
+}
+
+void
+TeeProgressSink::onEvent(const std::string &message)
+{
+    for (TrainProgressSink *sink : sinks_)
+        sink->onEvent(message);
+}
+
+TrainingInterrupted::TrainingInterrupted(int epoch,
+                                         std::string checkpoint_path)
+    : std::runtime_error(
+          // 1-based in the message to match the progress table.
+          "training interrupted after epoch " +
+          std::to_string(epoch + 1) +
+          (checkpoint_path.empty()
+               ? std::string(" (checkpointing disabled)")
+               : " (state in " + checkpoint_path + ")")),
+      epoch_(epoch),
+      checkpoint_path_(std::move(checkpoint_path))
+{
+}
 
 TrainerConfig
 TrainerConfig::fast()
@@ -35,6 +282,43 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
                   const synth::Synthesizer &oracle)
 {
     Rng rng(config_.seed);
+
+    obs::Registry &registry =
+        config_.registry ? *config_.registry : obs::Registry::global();
+    obs::Counter &epochs_total = registry.counter("train.epochs_total");
+    obs::Counter &checkpoints_total =
+        registry.counter("train.checkpoints_total");
+    obs::Counter &resumes_total = registry.counter("train.resumes_total");
+    obs::Histogram &epoch_latency =
+        registry.histogram("train.epoch_latency_us");
+    obs::Histogram &checkpoint_latency =
+        registry.histogram("train.checkpoint_write_us");
+
+    // Live gauges for the duration of this train() call only.
+    struct GaugeState
+    {
+        std::atomic<double> epoch{0.0};
+        std::atomic<double> samples_per_sec{0.0};
+        std::atomic<double> train_loss{0.0};
+        std::atomic<double> validation_loss{0.0};
+    } gauge_state;
+    obs::ScopedGauge epoch_gauge(registry, "train.epoch", [&gauge_state] {
+        return gauge_state.epoch.load();
+    });
+    obs::ScopedGauge sps_gauge(registry, "train.samples_per_sec",
+                               [&gauge_state] {
+                                   return gauge_state.samples_per_sec
+                                       .load();
+                               });
+    obs::ScopedGauge train_loss_gauge(registry, "train.loss.train",
+                                      [&gauge_state] {
+                                          return gauge_state.train_loss
+                                              .load();
+                                      });
+    obs::ScopedGauge val_loss_gauge(
+        registry, "train.loss.validation", [&gauge_state] {
+            return gauge_state.validation_loss.load();
+        });
 
     // --- 1. Circuit Path Dataset (Fig. 4 left). -----------------------
     path_dataset_ = buildCircuitPathDataset(designs, train_indices, oracle,
@@ -65,6 +349,12 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
     SNS_ASSERT(!train_paths.empty(), "empty path training set");
 
     // --- 2. Circuitformer training (Adam, Table 6). -------------------
+    // The RNG draws below happen identically whether training from
+    // scratch or resuming: a resume rebuilds the dataset, split, and
+    // model deterministically from the seed, then *overwrites* weights,
+    // optimizer moments, and both RNG streams with the checkpointed
+    // state — which is exactly the state an uninterrupted run would
+    // have reached, so the remaining epochs replay bitwise-identically.
     CircuitformerConfig model_config = config_.model;
     model_config.seed = rng.next();
     auto circuitformer = std::make_shared<Circuitformer>(model_config);
@@ -74,7 +364,118 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
                        config_.circuitformer_lr);
     Rng epoch_rng = rng.fork();
     loss_curve_.clear();
-    for (int epoch = 0; epoch < config_.circuitformer_epochs; ++epoch) {
+
+    const uint64_t config_fp = configFingerprint(config_);
+    const uint64_t split_fp = splitFingerprint(train_paths, val_paths);
+    const int total_epochs = config_.circuitformer_epochs;
+    TrainProgressSink *sink = config_.progress;
+
+    /** Serialize full training state after `completed_epoch` and commit
+     * it atomically; returns the checkpoint path. */
+    const auto writeCheckpoint = [&](int completed_epoch) {
+        WallTimer timer;
+        std::ostringstream payload;
+        nn::CheckpointWriter writer(payload);
+        writer.str(kProducer);
+        writer.u64(config_fp);
+        writer.u64(split_fp);
+        writer.i64(completed_epoch);
+        writer.i64(total_epochs);
+        writeRngState(writer, rng.state());
+        writeRngState(writer, epoch_rng.state());
+        writer.u32(static_cast<uint32_t>(loss_curve_.size()));
+        for (const LossPoint &point : loss_curve_) {
+            writer.i64(point.epoch);
+            writer.f64(point.train_loss);
+            writer.f64(point.validation_loss);
+        }
+        circuitformer->saveTo(payload, "checkpoint payload");
+        nn::writeOptimizerState(writer, optimizer);
+
+        std::filesystem::create_directories(config_.checkpoint_dir);
+        const std::string path =
+            (std::filesystem::path(config_.checkpoint_dir) /
+             nn::checkpointFileName(completed_epoch))
+                .string();
+        nn::commitCheckpoint(path, payload.str());
+        nn::pruneCheckpoints(config_.checkpoint_dir,
+                             config_.checkpoint_keep <= 0
+                                 ? 0
+                                 : static_cast<size_t>(
+                                       config_.checkpoint_keep));
+        checkpoints_total.inc();
+        checkpoint_latency.record(
+            static_cast<uint64_t>(timer.seconds() * 1e6));
+        return path;
+    };
+
+    int start_epoch = 0;
+    if (!config_.resume_from.empty()) {
+        std::string source = config_.resume_from;
+        if (std::filesystem::is_directory(source)) {
+            source = nn::latestCheckpoint(source);
+            if (source.empty()) {
+                throw nn::SerializeError("no ckpt-*.ckpt files in " +
+                                         config_.resume_from);
+            }
+        }
+        const std::string payload = nn::readCheckpointPayload(source);
+        std::istringstream in(payload);
+        nn::CheckpointReader reader(in, source);
+        const std::string producer = reader.str();
+        if (producer != kProducer) {
+            throw nn::SerializeError("checkpoint " + source +
+                                     " was written by \"" + producer +
+                                     "\", expected \"" + kProducer +
+                                     "\"");
+        }
+        const uint64_t saved_config_fp = reader.u64();
+        if (saved_config_fp != config_fp) {
+            throw nn::SerializeError(
+                "checkpoint " + source +
+                " was written under a different training configuration "
+                "(config fingerprint mismatch); refusing to resume");
+        }
+        const uint64_t saved_split_fp = reader.u64();
+        if (saved_split_fp != split_fp) {
+            throw nn::SerializeError(
+                "checkpoint " + source +
+                " was trained on a different dataset split "
+                "(split fingerprint mismatch); refusing to resume");
+        }
+        const int64_t completed_epoch = reader.i64();
+        reader.i64(); // total_epochs at write time; config_fp covers it
+        rng.setState(readRngState(reader));
+        epoch_rng.setState(readRngState(reader));
+        const uint32_t curve_count = reader.u32();
+        loss_curve_.resize(curve_count);
+        for (auto &point : loss_curve_) {
+            point.epoch = static_cast<int>(reader.i64());
+            point.train_loss = reader.f64();
+            point.validation_loss = reader.f64();
+        }
+        circuitformer->loadFrom(in, source);
+        // loadFrom() float-snaps the normalization statistics (the
+        // SNSW block stores them as float32). The uninterrupted run
+        // holds them at full double precision, and they feed every
+        // training target — so recompute them from the train split,
+        // which is fingerprint-identical to the original: bitwise the
+        // same doubles fitNormalization produced before the crash.
+        circuitformer->fitNormalization(train_paths);
+        nn::readOptimizerState(reader, optimizer);
+        start_epoch = static_cast<int>(completed_epoch) + 1;
+        resumes_total.inc();
+        const std::string note =
+            "resumed from " + source + " at epoch " +
+            std::to_string(start_epoch + 1) + "/" +
+            std::to_string(total_epochs);
+        inform(note);
+        if (sink != nullptr)
+            sink->onEvent(note);
+    }
+
+    for (int epoch = start_epoch; epoch < total_epochs; ++epoch) {
+        WallTimer epoch_timer;
         LossPoint point;
         point.epoch = epoch;
         point.train_loss = circuitformer->trainEpoch(
@@ -96,6 +497,53 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
             verify::enforce(std::move(report), "SnsTrainer::train");
         }
         loss_curve_.push_back(point);
+
+        const double seconds = epoch_timer.seconds();
+        epochs_total.inc();
+        epoch_latency.record(static_cast<uint64_t>(seconds * 1e6));
+
+        EpochProgress progress;
+        progress.epoch = epoch;
+        progress.total_epochs = total_epochs;
+        progress.train_loss = point.train_loss;
+        progress.validation_loss = point.validation_loss;
+        progress.epoch_seconds = seconds;
+        progress.samples_per_sec =
+            seconds > 0.0
+                ? static_cast<double>(train_paths.size()) / seconds
+                : 0.0;
+        progress.train_paths = train_paths.size();
+        progress.validation_paths = val_paths.size();
+
+        gauge_state.epoch.store(static_cast<double>(epoch + 1));
+        gauge_state.samples_per_sec.store(progress.samples_per_sec);
+        gauge_state.train_loss.store(point.train_loss);
+        gauge_state.validation_loss.store(point.validation_loss);
+
+        const bool checkpointing = !config_.checkpoint_dir.empty();
+        const bool final_epoch = epoch + 1 == total_epochs;
+        const bool due =
+            checkpointing &&
+            (final_epoch ||
+             (config_.checkpoint_every > 0 &&
+              (epoch + 1) % config_.checkpoint_every == 0));
+        if (due)
+            progress.checkpoint_path = writeCheckpoint(epoch);
+
+        const bool keep_going = sink == nullptr || sink->onEpoch(progress);
+        if (!keep_going && !final_epoch) {
+            if (checkpointing && progress.checkpoint_path.empty())
+                progress.checkpoint_path = writeCheckpoint(epoch);
+            if (sink != nullptr) {
+                sink->onEvent(
+                    "stop requested; state through epoch " +
+                    std::to_string(epoch + 1) +
+                    (progress.checkpoint_path.empty()
+                         ? " lost (checkpointing disabled)"
+                         : " saved to " + progress.checkpoint_path));
+            }
+            throw TrainingInterrupted(epoch, progress.checkpoint_path);
+        }
     }
 
     // --- 3. Aggregation MLPs (SGD, Table 6). --------------------------

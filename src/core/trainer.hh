@@ -5,15 +5,36 @@
  * Circuitformer (Adam, Table 6), then train the three Aggregation MLPs
  * (SGD, Table 6) on the training designs' aggregated path predictions
  * and ground truth.
+ *
+ * Training is crash-safe and observable (docs/training.md):
+ *
+ *   - With TrainerConfig::checkpoint_dir set, the trainer commits a
+ *     full-state checkpoint (weights, optimizer moments, RNG streams,
+ *     epoch counters, loss history, dataset fingerprints) every
+ *     checkpoint_every epochs, atomically, with rolling keep-last-N
+ *     retention. A run killed at any epoch and restarted with
+ *     resume_from produces a bitwise-identical final model.
+ *   - A pluggable TrainProgressSink observes every epoch (stderr
+ *     table, JSONL log, or both via TeeProgressSink) and can request a
+ *     graceful stop; sns::obs counters/histograms/gauges expose the
+ *     same signals to the STATS machinery.
  */
 
 #ifndef SNS_CORE_TRAINER_HH
 #define SNS_CORE_TRAINER_HH
 
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/datasets.hh"
 #include "core/predictor.hh"
+
+namespace sns::obs {
+class Registry;
+}
 
 namespace sns::core {
 
@@ -23,6 +44,110 @@ struct LossPoint
     int epoch = 0;
     double train_loss = 0.0;
     double validation_loss = 0.0;
+};
+
+/** What a TrainProgressSink sees after each completed epoch. */
+struct EpochProgress
+{
+    int epoch = 0;        ///< 0-based index of the epoch just finished
+    int total_epochs = 0; ///< configured Circuitformer epoch count
+    double train_loss = 0.0;
+    double validation_loss = 0.0;
+    double epoch_seconds = 0.0;    ///< wall time of this epoch
+    double samples_per_sec = 0.0;  ///< training paths / epoch_seconds
+    size_t train_paths = 0;
+    size_t validation_paths = 0;
+    /** Checkpoint committed this epoch, or "" if none was due. */
+    std::string checkpoint_path;
+};
+
+/**
+ * Observer of training progress. onEpoch() returning false requests a
+ * graceful stop: the trainer commits a checkpoint (when checkpointing
+ * is enabled) and throws TrainingInterrupted — this is how the CLI
+ * turns SIGINT into a resumable interruption.
+ */
+class TrainProgressSink
+{
+  public:
+    virtual ~TrainProgressSink() = default;
+
+    /** Called after every completed epoch; return false to stop. */
+    virtual bool onEpoch(const EpochProgress &progress) = 0;
+
+    /** Out-of-band lifecycle notes (resume, interruption). */
+    virtual void
+    onEvent(const std::string &message)
+    {
+        (void)message;
+    }
+};
+
+/** Human-readable epoch table on stderr (`sns-cli train` default). */
+class StderrProgressSink : public TrainProgressSink
+{
+  public:
+    bool onEpoch(const EpochProgress &progress) override;
+    void onEvent(const std::string &message) override;
+
+  private:
+    bool header_printed_ = false;
+};
+
+/** One JSON object per epoch, appended to a log file and flushed per
+ * line (crash-safe observability; `sns-cli train --log-jsonl`). */
+class JsonlProgressSink : public TrainProgressSink
+{
+  public:
+    /** Opens `path` in append mode; throws std::runtime_error if the
+     * file cannot be opened. */
+    explicit JsonlProgressSink(const std::string &path);
+    ~JsonlProgressSink() override;
+
+    bool onEpoch(const EpochProgress &progress) override;
+    void onEvent(const std::string &message) override;
+
+  private:
+    std::unique_ptr<std::ofstream> out_;
+};
+
+/** Fans out to several sinks; stops when ANY child requests a stop
+ * (all children still observe every epoch). */
+class TeeProgressSink : public TrainProgressSink
+{
+  public:
+    explicit TeeProgressSink(std::vector<TrainProgressSink *> sinks)
+        : sinks_(std::move(sinks))
+    {
+    }
+
+    bool onEpoch(const EpochProgress &progress) override;
+    void onEvent(const std::string &message) override;
+
+  private:
+    std::vector<TrainProgressSink *> sinks_; ///< non-owning
+};
+
+/**
+ * Thrown when a progress sink requests a stop mid-training. Training
+ * state up to and including epoch() is safe in checkpointPath() (empty
+ * only when checkpointing was disabled); rerun with
+ * TrainerConfig::resume_from to continue bitwise-exactly.
+ */
+class TrainingInterrupted : public std::runtime_error
+{
+  public:
+    TrainingInterrupted(int epoch, std::string checkpoint_path);
+
+    /** Last completed epoch (0-based). */
+    int epoch() const { return epoch_; }
+
+    /** Checkpoint holding the interrupted state ("" if disabled). */
+    const std::string &checkpointPath() const { return checkpoint_path_; }
+
+  private:
+    int epoch_;
+    std::string checkpoint_path_;
 };
 
 /** End-to-end training configuration. */
@@ -53,6 +178,37 @@ struct TrainerConfig
 
     uint64_t seed = 0x7ea1;
 
+    /** @name Crash-safe checkpointing (docs/training.md)
+     * @{
+     */
+    /** Directory for ckpt-NNNNNN.ckpt files; "" disables. Created on
+     * demand. The final epoch is always checkpointed when enabled. */
+    std::string checkpoint_dir;
+
+    /** Commit a checkpoint every N completed epochs (<= 0: only the
+     * final epoch and interruptions). */
+    int checkpoint_every = 1;
+
+    /** Rolling retention: keep only the newest N checkpoints
+     * (0 keeps everything). */
+    int checkpoint_keep = 3;
+
+    /**
+     * Resume source: a .ckpt file, or a directory whose newest
+     * ckpt-*.ckpt is used. "" trains from scratch. The checkpoint's
+     * config and dataset-split fingerprints must match this config or
+     * train() throws nn::SerializeError.
+     */
+    std::string resume_from;
+    /** @} */
+
+    /** Metrics destination; nullptr publishes to
+     * obs::Registry::global(). */
+    obs::Registry *registry = nullptr;
+
+    /** Per-epoch observer; nullptr trains silently. Non-owning. */
+    TrainProgressSink *progress = nullptr;
+
     /**
      * A configuration small enough for unit tests: tiny model, few
      * epochs, modest path counts. Same code paths, minutes -> seconds.
@@ -70,12 +226,15 @@ class SnsTrainer
      * Train on the given subset of the Hardware Design Dataset.
      * @param oracle the reference synthesizer used to label circuit
      *        paths (the paper's Synopsys DC role)
+     * @throws TrainingInterrupted when the progress sink requests a
+     *        stop; nn::SerializeError when resume_from is unusable
      */
     SnsPredictor train(const HardwareDesignDataset &designs,
                        const std::vector<size_t> &train_indices,
                        const synth::Synthesizer &oracle);
 
-    /** Fig.-5 loss curve of the last train() call. */
+    /** Fig.-5 loss curve of the last train() call (on resume this
+     * includes the epochs restored from the checkpoint). */
     const std::vector<LossPoint> &lossCurve() const { return loss_curve_; }
 
     /** The Circuit Path Dataset assembled by the last train() call. */

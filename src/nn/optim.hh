@@ -32,6 +32,21 @@ class Optimizer
     /** Number of parameters managed. */
     size_t size() const { return params_.size(); }
 
+    /** @name Checkpoint introspection
+     * The optimizer's internal state as a flat list of tensors (the
+     * per-parameter moments, in a fixed documented order) plus integer
+     * scalars (e.g. Adam's step counter). nn::serialize persists these
+     * in training checkpoints; restoring them makes a resumed run
+     * continue bitwise-identically to an uninterrupted one
+     * (docs/training.md).
+     * @{
+     */
+    virtual std::vector<const Tensor *> stateTensors() const { return {}; }
+    virtual std::vector<Tensor *> stateTensorsMutable() { return {}; }
+    virtual std::vector<int64_t> stateScalars() const { return {}; }
+    virtual void setStateScalars(const std::vector<int64_t> &scalars);
+    /** @} */
+
   protected:
     std::vector<Variable> params_;
 };
@@ -46,6 +61,10 @@ class Sgd : public Optimizer
 
     double learningRate() const { return lr_; }
     void setLearningRate(double lr) { lr_ = lr; }
+
+    /** State order: one velocity tensor per parameter. */
+    std::vector<const Tensor *> stateTensors() const override;
+    std::vector<Tensor *> stateTensorsMutable() override;
 
   private:
     double lr_;
@@ -64,6 +83,13 @@ class Adam : public Optimizer
 
     double learningRate() const { return lr_; }
     void setLearningRate(double lr) { lr_ = lr; }
+
+    /** State order: all first moments (m), then all second moments
+     * (v); scalars: the bias-correction step counter. */
+    std::vector<const Tensor *> stateTensors() const override;
+    std::vector<Tensor *> stateTensorsMutable() override;
+    std::vector<int64_t> stateScalars() const override;
+    void setStateScalars(const std::vector<int64_t> &scalars) override;
 
   private:
     double lr_;

@@ -151,6 +151,32 @@ class Registry
 };
 
 /**
+ * RAII gauge registration: setGauge() on construction, removeGauge()
+ * on destruction. Transient publishers (a training run, a benchmark)
+ * expose live gauges for their lifetime without risking a dangling
+ * callback in the registry after they return.
+ */
+class ScopedGauge
+{
+  public:
+    ScopedGauge(Registry &registry, std::string name,
+                std::function<double()> fn)
+        : registry_(registry), name_(std::move(name))
+    {
+        registry_.setGauge(name_, std::move(fn));
+    }
+
+    ~ScopedGauge() { registry_.removeGauge(name_); }
+
+    ScopedGauge(const ScopedGauge &) = delete;
+    ScopedGauge &operator=(const ScopedGauge &) = delete;
+
+  private:
+    Registry &registry_;
+    std::string name_;
+};
+
+/**
  * The canonical rendering of perf::CacheStats — `cache.<field> value`
  * lines. `sns-cli predict --cache-stats` and the server's `STATS` verb
  * both emit exactly this, so tooling reads one format.

@@ -32,6 +32,26 @@ Rng::Rng(uint64_t seed)
         word = splitMix64(s);
 }
 
+Rng::State
+Rng::state() const
+{
+    State snapshot;
+    for (size_t i = 0; i < 4; ++i)
+        snapshot.words[i] = state_[i];
+    snapshot.has_cached_normal = hasCachedNormal_;
+    snapshot.cached_normal = cachedNormal_;
+    return snapshot;
+}
+
+void
+Rng::setState(const State &state)
+{
+    for (size_t i = 0; i < 4; ++i)
+        state_[i] = state.words[i];
+    hasCachedNormal_ = state.has_cached_normal;
+    cachedNormal_ = state.cached_normal;
+}
+
 uint64_t
 Rng::next()
 {

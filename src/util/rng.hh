@@ -11,6 +11,7 @@
 #ifndef SNS_UTIL_RNG_HH
 #define SNS_UTIL_RNG_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -22,8 +23,28 @@ namespace sns {
 class Rng
 {
   public:
+    /**
+     * The complete generator state: the four xoshiro256** words plus
+     * the Box-Muller carry. Exposed so training checkpoints can
+     * persist a stream mid-sequence and resume it bitwise (see
+     * docs/training.md); state()/setState() round-trips exactly.
+     */
+    struct State
+    {
+        std::array<uint64_t, 4> words{};
+        bool has_cached_normal = false;
+        double cached_normal = 0.0;
+    };
+
     /** Construct from a 64-bit seed (expanded via SplitMix64). */
     explicit Rng(uint64_t seed = 0x5eed5eedULL);
+
+    /** Snapshot the full generator state. */
+    State state() const;
+
+    /** Restore a state captured by state(); the next draws reproduce
+     * the original stream exactly. */
+    void setState(const State &state);
 
     /** Next raw 64-bit value. */
     uint64_t next();

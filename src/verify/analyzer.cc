@@ -607,4 +607,89 @@ checkSynthesisResult(double timing_ps, double area_um2, double power_mw,
     return report;
 }
 
+Report
+checkCheckpointFile(const std::string &path)
+{
+    // The SNSC header layout, duplicated from nn/serialize.hh on
+    // purpose: sns_verify stays a leaf library (graphir only), and a
+    // round-trip test pins the two copies together against drift.
+    constexpr char kMagic[4] = {'S', 'N', 'S', 'C'};
+    constexpr uint32_t kVersion = 1;
+
+    Report report;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        report.error(rules::kCheckpointOpen, path,
+                     "cannot open checkpoint file");
+        return report;
+    }
+
+    char magic[4] = {};
+    in.read(magic, sizeof(magic));
+    if (!in) {
+        report.error(rules::kCheckpointTruncated, path,
+                     "file shorter than the 24-byte SNSC header",
+                     "the checkpoint write was interrupted before the "
+                     "atomic rename; delete the file");
+        return report;
+    }
+    if (!std::equal(magic, magic + 4, kMagic)) {
+        report.error(rules::kCheckpointMagic, path,
+                     "bad container magic (expected \"SNSC\")",
+                     "this is not a training checkpoint");
+        return report;
+    }
+
+    uint32_t version = 0;
+    uint64_t length = 0;
+    uint64_t expected_hash = 0;
+    in.read(reinterpret_cast<char *>(&version), sizeof(version));
+    in.read(reinterpret_cast<char *>(&length), sizeof(length));
+    in.read(reinterpret_cast<char *>(&expected_hash),
+            sizeof(expected_hash));
+    if (!in) {
+        report.error(rules::kCheckpointTruncated, path,
+                     "file shorter than the 24-byte SNSC header",
+                     "the checkpoint write was interrupted before the "
+                     "atomic rename; delete the file");
+        return report;
+    }
+    if (version != kVersion) {
+        report.error(rules::kCheckpointVersion, path,
+                     "unsupported checkpoint version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(kVersion) + ")");
+        return report;
+    }
+
+    std::string payload(length, '\0');
+    if (length > 0)
+        in.read(payload.data(), static_cast<std::streamsize>(length));
+    if (!in || static_cast<uint64_t>(in.gcount()) != length) {
+        report.error(
+            rules::kCheckpointTruncated, path,
+            "header declares " + std::to_string(length) +
+                " payload bytes but the file ends early",
+            "resume from an older checkpoint in the same directory");
+        return report;
+    }
+    if (in.peek() != std::char_traits<char>::eof()) {
+        report.warning(rules::kCheckpointTruncated, path,
+                       "trailing bytes after the declared payload");
+    }
+
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char byte : payload) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    }
+    if (hash != expected_hash) {
+        report.error(rules::kCheckpointHash, path,
+                     "payload hash mismatch (file is corrupt)",
+                     "resume from an older checkpoint in the same "
+                     "directory");
+    }
+    return report;
+}
+
 } // namespace sns::verify

@@ -121,6 +121,17 @@ Report checkSynthesisResult(double timing_ps, double area_um2,
                             double power_mw, double gate_count,
                             const std::string &where);
 
+/**
+ * Validate a training-checkpoint container ("SNSC", C-* rules) without
+ * parsing the payload: magic, version, declared payload length against
+ * the actual file size, and the FNV-1a payload hash. This is the
+ * structural check `sns_lint file.ckpt` runs; a checkpoint that passes
+ * may still be refused by the trainer (fingerprint mismatch), but one
+ * that fails here is unreadable — truncated, corrupt, or not a
+ * checkpoint at all.
+ */
+Report checkCheckpointFile(const std::string &path);
+
 } // namespace sns::verify
 
 #endif // SNS_VERIFY_ANALYZER_HH

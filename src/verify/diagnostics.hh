@@ -60,7 +60,8 @@ severityName(Severity severity)
 /** @name Stable rule identifiers
  * G-* fire on GraphIR circuits, V-* on the vocabulary, P-* on circuit
  * paths, D-* on datasets, S-* on synthesis results, T-* on tensors and
- * training. docs/verify.md documents each one.
+ * training, C-* on training-checkpoint containers. docs/verify.md
+ * documents each one.
  * @{
  */
 namespace rules {
@@ -89,6 +90,11 @@ inline constexpr const char *kSynthResult = "S-RESULT";
 inline constexpr const char *kTensorNotFinite = "T-NONFINITE";
 inline constexpr const char *kTensorShape = "T-SHAPE";
 inline constexpr const char *kTrainLoss = "T-LOSS";
+inline constexpr const char *kCheckpointOpen = "C-OPEN";
+inline constexpr const char *kCheckpointMagic = "C-MAGIC";
+inline constexpr const char *kCheckpointVersion = "C-VERSION";
+inline constexpr const char *kCheckpointTruncated = "C-TRUNCATED";
+inline constexpr const char *kCheckpointHash = "C-HASH";
 } // namespace rules
 /** @} */
 

@@ -10,16 +10,20 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "core/evaluation.hh"
 #include "core/trainer.hh"
 #include "nn/serialize.hh"
+#include "obs/metrics.hh"
 #include "par/thread_pool.hh"
 #include "perf/path_cache.hh"
 #include "util/stats.hh"
+#include "verify/analyzer.hh"
 
 namespace sns::core {
 namespace {
@@ -801,6 +805,316 @@ TEST(EvaluationTest, SummaryMetricsMatchUtilMetrics)
                 100.0 * (0.1 + 0.05 + 10.0 / 300 + 0.025) / 4.0, 1e-9);
     EXPECT_GT(result.power.rrse, 0.0);
     EXPECT_EQ(result.designs.size(), 4u);
+}
+
+// --- Crash-safe checkpointing and resume (docs/training.md). -------
+
+/** Observes every epoch and requests a stop after `stop_after`. */
+struct StopAfterSink : TrainProgressSink
+{
+    explicit StopAfterSink(int stop_after) : stop_after_(stop_after) {}
+
+    bool
+    onEpoch(const EpochProgress &progress) override
+    {
+        seen.push_back(progress);
+        return static_cast<int>(seen.size()) < stop_after_;
+    }
+
+    void
+    onEvent(const std::string &message) override
+    {
+        events.push_back(message);
+    }
+
+    int stop_after_;
+    std::vector<EpochProgress> seen;
+    std::vector<std::string> events;
+};
+
+std::string
+freshDir(const char *name)
+{
+    const auto dir = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(in)) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** A checkpoint-friendly scaled-down trainer configuration. */
+TrainerConfig
+checkpointTestConfig()
+{
+    TrainerConfig config = TrainerConfig::fast();
+    config.circuitformer_epochs = 6;
+    config.mlp.epochs = 400;
+    return config;
+}
+
+TEST(TrainerCheckpointTest, KillAndResumeIsBitwiseIdentical)
+{
+    const auto &dataset = smokeDataset();
+    const auto [train_idx, test_idx] = dataset.splitByBase(0.5, 3);
+    const std::string dir_full = freshDir("sns_tr_full");
+    const std::string dir_killed = freshDir("sns_tr_killed");
+
+    // Reference: an uninterrupted run, metrics into a private registry.
+    obs::Registry registry;
+    TrainerConfig full = checkpointTestConfig();
+    full.checkpoint_dir = dir_full;
+    full.checkpoint_keep = 0;
+    full.registry = &registry;
+    SnsTrainer trainer_full(full);
+    const auto predictor_full =
+        trainer_full.train(dataset, train_idx, oracle());
+
+    EXPECT_EQ(registry.counter("train.epochs_total").value(), 6u);
+    EXPECT_EQ(registry.counter("train.checkpoints_total").value(), 6u);
+    EXPECT_EQ(registry.counter("train.resumes_total").value(), 0u);
+    EXPECT_EQ(registry.histogram("train.epoch_latency_us")
+                  .snapshot()
+                  .count,
+              6u);
+    // The train-scoped gauges are removed once train() returns.
+    for (const auto &sample : registry.snapshot())
+        EXPECT_EQ(sample.name.find("train.loss"), std::string::npos);
+
+    // "Kill" a second run after epoch 3 — the sink-driven stop is the
+    // same code path sns-cli's SIGINT handler takes.
+    TrainerConfig killed = checkpointTestConfig();
+    killed.checkpoint_dir = dir_killed;
+    killed.checkpoint_keep = 0;
+    StopAfterSink stopper(3);
+    killed.progress = &stopper;
+    SnsTrainer trainer_killed(killed);
+    try {
+        trainer_killed.train(dataset, train_idx, oracle());
+        FAIL() << "sink stop must raise TrainingInterrupted";
+    } catch (const TrainingInterrupted &interrupted) {
+        EXPECT_EQ(interrupted.epoch(), 2); // 0-based last completed
+        EXPECT_NE(interrupted.checkpointPath().find("ckpt-000002"),
+                  std::string::npos);
+        EXPECT_TRUE(
+            std::filesystem::exists(interrupted.checkpointPath()));
+    }
+    ASSERT_EQ(stopper.seen.size(), 3u);
+    EXPECT_EQ(stopper.seen[0].epoch, 0);
+    EXPECT_EQ(stopper.seen[0].total_epochs, 6);
+    EXPECT_GT(stopper.seen[0].samples_per_sec, 0.0);
+    ASSERT_FALSE(stopper.events.empty());
+
+    // Resume on a wider pool: the remaining epochs replay identically
+    // at any sns::par width.
+    par::setThreads(2);
+    TrainerConfig resumed = checkpointTestConfig();
+    resumed.checkpoint_dir = dir_killed;
+    resumed.checkpoint_keep = 0;
+    resumed.resume_from = dir_killed;
+    SnsTrainer trainer_resumed(resumed);
+    const auto predictor_resumed =
+        trainer_resumed.train(dataset, train_idx, oracle());
+    par::setThreads(1);
+
+    // The final checkpoints are byte-identical files.
+    const std::string final_full = dir_full + "/ckpt-000005.ckpt";
+    const std::string final_resumed = dir_killed + "/ckpt-000005.ckpt";
+    ASSERT_TRUE(std::filesystem::exists(final_full));
+    ASSERT_TRUE(std::filesystem::exists(final_resumed));
+    EXPECT_EQ(fileBytes(final_full), fileBytes(final_resumed));
+
+    // The restored loss curve splices seamlessly: epochs 0..5 present
+    // and equal to the uninterrupted run's, bit for bit.
+    const auto &curve_full = trainer_full.lossCurve();
+    const auto &curve_resumed = trainer_resumed.lossCurve();
+    ASSERT_EQ(curve_full.size(), curve_resumed.size());
+    for (size_t i = 0; i < curve_full.size(); ++i) {
+        EXPECT_EQ(curve_full[i].epoch, curve_resumed[i].epoch);
+        EXPECT_EQ(curve_full[i].train_loss, curve_resumed[i].train_loss);
+        EXPECT_EQ(curve_full[i].validation_loss,
+                  curve_resumed[i].validation_loss);
+    }
+
+    // And the final models predict bitwise-identically.
+    for (size_t idx : test_idx) {
+        const auto &graph = dataset.records()[idx].graph;
+        const auto a = predictor_full.predict(graph);
+        const auto b = predictor_resumed.predict(graph);
+        EXPECT_EQ(a.timing_ps, b.timing_ps);
+        EXPECT_EQ(a.area_um2, b.area_um2);
+        EXPECT_EQ(a.power_mw, b.power_mw);
+        EXPECT_EQ(a.critical_path, b.critical_path);
+    }
+
+    std::filesystem::remove_all(dir_full);
+    std::filesystem::remove_all(dir_killed);
+}
+
+TEST(TrainerCheckpointTest, ResumeRejectsMismatchedConfigAndCorruption)
+{
+    const auto &dataset = smokeDataset();
+    const auto [train_idx, test_idx] = dataset.splitByBase(0.5, 3);
+    const std::string dir = freshDir("sns_tr_reject");
+
+    TrainerConfig config = checkpointTestConfig();
+    config.circuitformer_epochs = 2;
+    config.mlp.epochs = 200;
+    config.checkpoint_dir = dir;
+    SnsTrainer trainer(config);
+    trainer.train(dataset, train_idx, oracle());
+    const std::string latest = nn::latestCheckpoint(dir);
+    ASSERT_FALSE(latest.empty());
+
+    // A different schedule must not silently splice trajectories.
+    TrainerConfig other = config;
+    other.circuitformer_lr *= 2.0;
+    other.resume_from = dir;
+    SnsTrainer trainer_other(other);
+    try {
+        trainer_other.train(dataset, train_idx, oracle());
+        FAIL() << "mismatched config must not resume";
+    } catch (const nn::SerializeError &e) {
+        EXPECT_NE(std::string(e.what()).find("config fingerprint"),
+                  std::string::npos);
+    }
+
+    // Flip one payload byte: refused on load, and sns::verify names
+    // the failure with a structured C-HASH diagnostic.
+    {
+        std::fstream f(latest, std::ios::in | std::ios::out |
+                                   std::ios::binary);
+        f.seekg(0, std::ios::end);
+        const auto size = static_cast<long>(f.tellg());
+        f.seekp(size - 3);
+        int byte = 0;
+        f.seekg(size - 3);
+        byte = f.get();
+        f.seekp(size - 3);
+        f.put(static_cast<char>(byte ^ 0x40));
+    }
+    const auto report = verify::checkCheckpointFile(latest);
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(verify::rules::kCheckpointHash));
+
+    TrainerConfig corrupt = config;
+    corrupt.resume_from = latest;
+    SnsTrainer trainer_corrupt(corrupt);
+    try {
+        trainer_corrupt.train(dataset, train_idx, oracle());
+        FAIL() << "corrupt checkpoint must not resume";
+    } catch (const nn::SerializeError &e) {
+        EXPECT_NE(std::string(e.what()).find("hash mismatch"),
+                  std::string::npos);
+    }
+
+    // Resuming from an empty directory is a structured error too.
+    TrainerConfig empty = config;
+    empty.resume_from = freshDir("sns_tr_empty");
+    SnsTrainer trainer_empty(empty);
+    EXPECT_THROW(trainer_empty.train(dataset, train_idx, oracle()),
+                 nn::SerializeError);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TrainerCheckpointTest, RollingRetentionKeepsNewest)
+{
+    const auto &dataset = smokeDataset();
+    const auto [train_idx, test_idx] = dataset.splitByBase(0.5, 3);
+    const std::string dir = freshDir("sns_tr_keep");
+
+    TrainerConfig config = checkpointTestConfig();
+    config.circuitformer_epochs = 5;
+    config.mlp.epochs = 200;
+    config.checkpoint_dir = dir;
+    config.checkpoint_keep = 2;
+    SnsTrainer trainer(config);
+    trainer.train(dataset, train_idx, oracle());
+
+    const auto kept = nn::listCheckpoints(dir);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_NE(kept[0].find("ckpt-000003"), std::string::npos);
+    EXPECT_NE(kept[1].find("ckpt-000004"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TrainerCheckpointTest, InterruptWithoutCheckpointDirLosesState)
+{
+    const auto &dataset = smokeDataset();
+    const auto [train_idx, test_idx] = dataset.splitByBase(0.5, 3);
+
+    TrainerConfig config = checkpointTestConfig();
+    config.circuitformer_epochs = 3;
+    StopAfterSink stopper(1);
+    config.progress = &stopper;
+    SnsTrainer trainer(config);
+    try {
+        trainer.train(dataset, train_idx, oracle());
+        FAIL() << "sink stop must raise TrainingInterrupted";
+    } catch (const TrainingInterrupted &interrupted) {
+        EXPECT_TRUE(interrupted.checkpointPath().empty());
+        EXPECT_NE(std::string(interrupted.what())
+                      .find("checkpointing disabled"),
+                  std::string::npos);
+    }
+}
+
+TEST(ProgressSinkTest, JsonlSinkWritesOneParseableLinePerEpoch)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "sns_train.jsonl")
+            .string();
+    std::remove(path.c_str());
+    {
+        JsonlProgressSink sink(path);
+        EpochProgress progress;
+        progress.epoch = 0;
+        progress.total_epochs = 2;
+        progress.train_loss = 0.5;
+        progress.validation_loss = 0.25;
+        progress.checkpoint_path = "/tmp/ck/ckpt-000000.ckpt";
+        EXPECT_TRUE(sink.onEpoch(progress));
+        progress.epoch = 1;
+        EXPECT_TRUE(sink.onEpoch(progress));
+        sink.onEvent("resumed from \"x\"");
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("\"epoch\":0"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"train_loss\":0.5"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"epoch\":1"), std::string::npos);
+    // Quotes in event text are escaped so the line stays valid JSON.
+    EXPECT_NE(lines[2].find("\"event\":\"resumed from \\\"x\\\"\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ProgressSinkTest, TeeFansOutAndAnyStopWins)
+{
+    StopAfterSink a(100);
+    StopAfterSink b(2);
+    TeeProgressSink tee({&a, &b});
+    EpochProgress progress;
+    EXPECT_TRUE(tee.onEpoch(progress));
+    EXPECT_FALSE(tee.onEpoch(progress)); // b requests a stop
+    // Both children saw both epochs (no short-circuit skipping).
+    EXPECT_EQ(a.seen.size(), 2u);
+    EXPECT_EQ(b.seen.size(), 2u);
+    tee.onEvent("note");
+    EXPECT_EQ(a.events.size(), 1u);
+    EXPECT_EQ(b.events.size(), 1u);
 }
 
 } // namespace

@@ -9,6 +9,8 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "nn/gru.hh"
 #include "nn/layers.hh"
@@ -445,6 +447,212 @@ TEST(SerializeTest, DetectsShapeMismatch)
                   std::string::npos);
     }
     std::remove(path.c_str());
+}
+
+// --- Training checkpoints (SNSC container + optimizer state). ------
+
+/** A throwaway directory under the system temp dir. */
+std::string
+tempCheckpointDir(const char *name)
+{
+    const auto dir = std::filesystem::temp_directory_path() / name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+TEST(CheckpointTest, ContainerRoundTripDetectsCorruption)
+{
+    const std::string dir = tempCheckpointDir("sns_ckpt_container");
+    const std::string path = dir + "/" + checkpointFileName(3);
+    EXPECT_EQ(checkpointFileName(3), "ckpt-000003.ckpt");
+
+    std::ostringstream payload;
+    CheckpointWriter writer(payload);
+    writer.u32(42);
+    writer.i64(-7);
+    writer.f64(0.25);
+    writer.str("hello checkpoint");
+    commitCheckpoint(path, payload.str());
+    // The atomic commit leaves no temp file behind.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    std::istringstream in(readCheckpointPayload(path));
+    CheckpointReader reader(in, path);
+    EXPECT_EQ(reader.u32(), 42u);
+    EXPECT_EQ(reader.i64(), -7);
+    EXPECT_EQ(reader.f64(), 0.25);
+    EXPECT_EQ(reader.str(), "hello checkpoint");
+    // Reading past the payload is a structured error, not UB.
+    EXPECT_THROW(reader.u32(), SerializeError);
+
+    // Flip one payload byte: the FNV-1a hash check must catch it.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(30);
+        f.put('\x5a');
+    }
+    try {
+        readCheckpointPayload(path);
+        FAIL() << "corrupt payload must not load";
+    } catch (const SerializeError &e) {
+        EXPECT_NE(std::string(e.what()).find("hash mismatch"),
+                  std::string::npos);
+    }
+
+    // Truncation is detected by the declared-length check.
+    commitCheckpoint(path, payload.str());
+    std::filesystem::resize_file(path, 30);
+    EXPECT_THROW(readCheckpointPayload(path), SerializeError);
+
+    // A non-checkpoint file is rejected on the magic.
+    {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        f << "definitely not a checkpoint";
+    }
+    EXPECT_THROW(readCheckpointPayload(path), SerializeError);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointTest, ListingSortsAndPruningKeepsNewest)
+{
+    const std::string dir = tempCheckpointDir("sns_ckpt_listing");
+    // Write out of order; zero-padded names sort numerically.
+    for (int epoch : {12, 3, 7, 101}) {
+        commitCheckpoint(dir + "/" + checkpointFileName(epoch),
+                         "payload");
+    }
+    const auto all = listCheckpoints(dir);
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_NE(all[0].find("ckpt-000003"), std::string::npos);
+    EXPECT_NE(all[3].find("ckpt-000101"), std::string::npos);
+    EXPECT_EQ(latestCheckpoint(dir), all[3]);
+
+    pruneCheckpoints(dir, 2);
+    const auto kept = listCheckpoints(dir);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_NE(kept[0].find("ckpt-000012"), std::string::npos);
+    EXPECT_NE(kept[1].find("ckpt-000101"), std::string::npos);
+
+    // keep == 0 keeps everything; an empty/missing dir is not an error.
+    pruneCheckpoints(dir, 0);
+    EXPECT_EQ(listCheckpoints(dir).size(), 2u);
+    EXPECT_TRUE(listCheckpoints(dir + "/missing").empty());
+    EXPECT_EQ(latestCheckpoint(dir + "/missing"), "");
+    std::filesystem::remove_all(dir);
+}
+
+/** One deterministic training step shared by the round-trip tests. */
+template <typename Optim>
+void
+quadStep(Variable &w, Optim &opt)
+{
+    opt.zeroGrad();
+    mseLoss(w, Tensor::zeros({8})).backward();
+    opt.step();
+}
+
+TEST(CheckpointTest, AdamStateBitwiseRoundTrip)
+{
+    Variable w_a(Tensor::full({8}, 3.0f), true);
+    Adam opt_a({w_a}, 0.05);
+    for (int i = 0; i < 5; ++i)
+        quadStep(w_a, opt_a);
+
+    std::ostringstream payload;
+    CheckpointWriter writer(payload);
+    writer.tensor(w_a.value());
+    writeOptimizerState(writer, opt_a);
+
+    // A fresh parameter/optimizer pair with different contents.
+    Variable w_b(Tensor::full({8}, -1.0f), true);
+    Adam opt_b({w_b}, 0.05);
+    std::istringstream in(payload.str());
+    CheckpointReader reader(in, "adam round trip");
+    reader.tensor(w_b.valueMutable());
+    readOptimizerState(reader, opt_b);
+
+    // Moments and the bias-correction step counter restore bitwise.
+    const auto state_a = opt_a.stateTensors();
+    const auto state_b = opt_b.stateTensors();
+    ASSERT_EQ(state_a.size(), state_b.size());
+    for (size_t t = 0; t < state_a.size(); ++t) {
+        for (size_t i = 0; i < state_a[t]->numel(); ++i)
+            EXPECT_EQ((*state_a[t])[i], (*state_b[t])[i]);
+    }
+    ASSERT_EQ(opt_b.stateScalars(), opt_a.stateScalars());
+
+    // The continuation is bitwise-identical too: the restored Adam
+    // resumes the exact bias-correction schedule.
+    for (int i = 0; i < 5; ++i) {
+        quadStep(w_a, opt_a);
+        quadStep(w_b, opt_b);
+    }
+    for (size_t i = 0; i < w_a.value().numel(); ++i)
+        EXPECT_EQ(w_a.value()[i], w_b.value()[i]);
+}
+
+TEST(CheckpointTest, SgdVelocityBitwiseRoundTrip)
+{
+    Variable w_a(Tensor::full({8}, 2.0f), true);
+    Sgd opt_a({w_a}, 0.05, 0.9);
+    for (int i = 0; i < 5; ++i)
+        quadStep(w_a, opt_a);
+
+    std::ostringstream payload;
+    CheckpointWriter writer(payload);
+    writer.tensor(w_a.value());
+    writeOptimizerState(writer, opt_a);
+
+    Variable w_b(Tensor::full({8}, -4.0f), true);
+    Sgd opt_b({w_b}, 0.05, 0.9);
+    std::istringstream in(payload.str());
+    CheckpointReader reader(in, "sgd round trip");
+    reader.tensor(w_b.valueMutable());
+    readOptimizerState(reader, opt_b);
+    EXPECT_TRUE(opt_b.stateScalars().empty());
+
+    for (int i = 0; i < 5; ++i) {
+        quadStep(w_a, opt_a);
+        quadStep(w_b, opt_b);
+    }
+    for (size_t i = 0; i < w_a.value().numel(); ++i)
+        EXPECT_EQ(w_a.value()[i], w_b.value()[i]);
+}
+
+TEST(CheckpointTest, OptimizerTensorCountMismatchThrows)
+{
+    Variable w(Tensor::full({4}, 1.0f), true);
+    Adam small({w}, 0.1);
+    std::ostringstream payload;
+    CheckpointWriter writer(payload);
+    writeOptimizerState(writer, small);
+
+    Variable w2(Tensor::full({4}, 1.0f), true);
+    Variable w3(Tensor::full({4}, 1.0f), true);
+    Adam big({w2, w3}, 0.1);
+    std::istringstream in(payload.str());
+    CheckpointReader reader(in, "count mismatch");
+    EXPECT_THROW(readOptimizerState(reader, big), SerializeError);
+}
+
+TEST(CheckpointTest, RngStateRoundTripIncludesCachedNormal)
+{
+    Rng a(0x5eed);
+    for (int i = 0; i < 7; ++i)
+        a.next();
+    // normal() draws two uniforms and caches the second Box-Muller
+    // deviate; the saved state must carry that carry-over.
+    a.normal();
+
+    const Rng::State state = a.state();
+    Rng b(1); // different seed, fully overwritten below
+    b.setState(state);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+        EXPECT_EQ(a.normal(), b.normal());
+    }
 }
 
 } // namespace

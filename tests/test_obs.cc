@@ -202,5 +202,22 @@ TEST(RegistryTest, ConcurrentLookupsAndIncrements)
     EXPECT_EQ(registry.histogram("lat").snapshot().count, 8000u);
 }
 
+TEST(ScopedGaugeTest, RegistersForItsLifetimeOnly)
+{
+    Registry registry;
+    double value = 1.5;
+    {
+        ScopedGauge gauge(registry, "train.epoch",
+                          [&value] { return value; });
+        auto samples = registry.snapshot();
+        ASSERT_EQ(samples.size(), 1u);
+        EXPECT_EQ(samples[0].name, "train.epoch");
+        EXPECT_EQ(samples[0].value, 1.5);
+        value = 4.0; // sampled live, not captured at registration
+        EXPECT_EQ(registry.snapshot()[0].value, 4.0);
+    }
+    EXPECT_TRUE(registry.snapshot().empty());
+}
+
 } // namespace
 } // namespace sns::obs

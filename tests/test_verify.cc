@@ -11,12 +11,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "gen/path_check.hh"
 #include "graphir/vocabulary.hh"
 #include "netlist/snl_parser.hh"
+#include "nn/serialize.hh"
 #include "verify/analyzer.hh"
 
 namespace sns::verify {
@@ -446,6 +448,84 @@ TEST(ReportTest, PrintAndSummaryMentionRuleIds)
     report.print(verbose, true);
     EXPECT_NE(verbose.str().find("G-ARITY"), std::string::npos);
     EXPECT_NE(report.summary().find("G-CYCLE"), std::string::npos);
+}
+
+// ---- Checkpoint container checks (C-* rules). ----------------------
+
+std::string
+tempCkpt(const char *name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CheckpointCheckTest, MissingFileIsCOpen)
+{
+    const auto report = checkCheckpointFile("/nonexistent/x.ckpt");
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kCheckpointOpen));
+}
+
+TEST(CheckpointCheckTest, WrongMagicAndVersionAreNamed)
+{
+    const std::string bad_magic = tempCkpt("verify_magic.ckpt");
+    {
+        std::ofstream out(bad_magic, std::ios::binary);
+        out << "SNSWxxxxxxxxxxxxxxxxxxxx"; // 24 bytes, wrong magic
+    }
+    EXPECT_TRUE(
+        checkCheckpointFile(bad_magic).hasRule(rules::kCheckpointMagic));
+    std::remove(bad_magic.c_str());
+
+    // A header shorter than 24 bytes is truncated, not "bad magic".
+    const std::string stub = tempCkpt("verify_stub.ckpt");
+    {
+        std::ofstream out(stub, std::ios::binary);
+        out << "SNSC";
+    }
+    EXPECT_TRUE(
+        checkCheckpointFile(stub).hasRule(rules::kCheckpointTruncated));
+    std::remove(stub.c_str());
+}
+
+TEST(CheckpointCheckTest, TruncatedFixtureIsRejected)
+{
+    const auto report = checkCheckpointFile(fixture("truncated.ckpt"));
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kCheckpointTruncated));
+}
+
+/**
+ * Drift pin: the checker duplicates the SNSC magic/version constants
+ * so sns::verify stays a leaf library; a checkpoint produced by the
+ * real writer must pass it, and the writer's own hash must be the one
+ * the checker recomputes.
+ */
+TEST(CheckpointCheckTest, WriterProducedCheckpointPassesChecker)
+{
+    const std::string path = tempCkpt("verify_writer.ckpt");
+    std::ostringstream payload;
+    nn::CheckpointWriter writer(payload);
+    writer.str("sns-trainer-v1");
+    writer.u64(0x1234u);
+    writer.f64(3.5);
+    nn::commitCheckpoint(path, payload.str());
+
+    const auto report = checkCheckpointFile(path);
+    EXPECT_FALSE(report.hasErrors()) << report.summary();
+    EXPECT_EQ(report.count(Severity::Warning), 0u);
+
+    // Flipping any payload byte turns it into C-HASH.
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(24);
+        const int byte = f.get();
+        f.seekp(24);
+        f.put(static_cast<char>(byte ^ 0x01));
+    }
+    EXPECT_TRUE(
+        checkCheckpointFile(path).hasRule(rules::kCheckpointHash));
+    std::remove(path.c_str());
 }
 
 } // namespace

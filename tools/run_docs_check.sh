@@ -1,0 +1,85 @@
+#!/bin/sh
+# Documentation drift check (invoked by tools/run_lint.sh):
+#
+#   1. every relative link in the markdown pages must resolve to an
+#      existing file (absolute URLs and #anchors are skipped);
+#   2. every CLI flag a markdown page documents must actually appear in
+#      the help/usage text of one of the built binaries, so the docs
+#      cannot drift ahead of (or behind) the tools.
+#
+# Usage: tools/run_docs_check.sh [BUILD_DIR]   (default: build)
+# Exit status: 0 clean, 1 on any dead link or undocumented flag.
+set -e
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO/build}"
+
+DOCS="$REPO/README.md $REPO/DESIGN.md $REPO/ROADMAP.md $REPO/docs"
+fail=0
+
+echo "== docs: relative links =="
+# shellcheck disable=SC2086
+for file in $(find $DOCS -name '*.md' | sort); do
+    dir="$(dirname "$file")"
+    # One link target per line: everything between "](" and ")".
+    for target in $(grep -o '](\([^)]*\))' "$file" \
+                        | sed 's/^](//; s/)$//'); do
+        case "$target" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        path="${target%%#*}" # drop the anchor, keep the file part
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "dead link in $file: $target" >&2
+            fail=1
+        fi
+    done
+done
+
+echo "== docs: documented CLI flags exist in --help =="
+# The union of every long flag the built binaries admit to. Tools
+# print usage when invoked bare (nonzero exit — tolerated here);
+# sns-serve and the bench harnesses take --help.
+helps="$BUILD/help_texts.$$"
+{
+    "$BUILD/tools/sns-cli" 2>&1 || true
+    "$BUILD/tools/sns_lint" 2>&1 || true
+    "$BUILD/tools/sns-dataset" 2>&1 || true
+    "$BUILD/tools/sns-serve" --help 2>&1 || true
+    "$BUILD/bench/fig05_circuitformer_loss" --help 2>&1 || true
+} >"$helps"
+known="$(grep -o '\-\-[a-z][a-z0-9-]*' "$helps" | sort -u)"
+rm -f "$helps"
+
+# cmake/ctest flags documented in build instructions are not ours.
+known="$known
+--build
+--test-dir
+--output-on-failure"
+
+# shellcheck disable=SC2086
+documented="$(grep -h -o '\-\-[a-z][a-z0-9-]*' \
+    $(find $DOCS -name '*.md') | sort -u)"
+for flag in $documented; do
+    case "$flag" in
+    *-)
+        # A family like "--promote-*": some known flag must extend it.
+        if printf '%s\n' "$known" | grep -q -- "^$flag"; then
+            continue
+        fi
+        ;;
+    esac
+    if ! printf '%s\n' "$known" | grep -qx -- "$flag"; then
+        echo "documented flag $flag missing from every --help" >&2
+        # shellcheck disable=SC2086
+        grep -ln -- "$flag" $(find $DOCS -name '*.md') \
+            | sed 's/^/  mentioned in /' >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "run_docs_check: FAILED" >&2
+    exit 1
+fi
+echo "run_docs_check: docs are in sync"

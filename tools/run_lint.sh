@@ -5,7 +5,9 @@
 #   2. run the full test suite under the sanitizers;
 #   3. run sns_lint over the bundled example designs and datasets
 #      (must be clean) and the corrupted fixtures (must fail);
-#   4. build with ThreadSanitizer and run the parallel-runtime-heavy
+#   4. run tools/run_docs_check.sh (dead markdown links, documented
+#      CLI flags missing from --help);
+#   5. build with ThreadSanitizer and run the parallel-runtime-heavy
 #      suites (test_par, test_perf, test_tensor, test_core, test_obs,
 #      test_serve — the batching queue and the metrics registry are the
 #      most race-prone code in the repo) under TSan.
@@ -36,6 +38,9 @@ if "$LINT" "$REPO"/tests/fixtures/*; then
     echo "sns_lint failed to reject the corrupted fixtures" >&2
     exit 1
 fi
+
+echo "== documentation drift check =="
+"$REPO/tools/run_docs_check.sh" "$BUILD"
 
 echo "== ThreadSanitizer build ($TSAN_BUILD) =="
 cmake -B "$TSAN_BUILD" -S "$REPO" -DSNS_SANITIZE=thread \

@@ -3,6 +3,9 @@
  * sns-cli — the command-line face of the library.
  *
  *   sns-cli train   --out=DIR [--dataset=paper|smoke] [--fast] [--seed=N]
+ *                   [--checkpoint-dir=DIR] [--checkpoint-every=N]
+ *                   [--checkpoint-keep=N] [--resume[=SRC]]
+ *                   [--log-jsonl=FILE] [--promote-socket=PATH]
  *   sns-cli predict --model=DIR DESIGN.{snl,v} [...]
  *   sns-cli remote-predict (--socket=PATH | --host=H --port=N) DESIGN [...]
  *   sns-cli synth   DESIGN.snl [...]
@@ -10,7 +13,10 @@
  *   sns-cli dot     DESIGN.snl
  *
  * `train` runs the Fig.-4 flow on the built-in design dataset and
- * persists the predictor; `predict` loads it and prints area / power /
+ * persists the predictor — with --checkpoint-dir it is crash-safe
+ * (SIGINT checkpoints and exits; --resume continues to a bitwise-
+ * identical model; docs/training.md) and with --promote-socket the
+ * fresh model is hot-promoted into a running sns-serve daemon; `predict` loads it and prints area / power /
  * timing plus the located critical path for each SNL design;
  * `remote-predict` sends the same designs to a running sns-serve
  * daemon and prints the identical report; `synth` runs the reference
@@ -18,6 +24,7 @@
  * paths; `dot` emits Graphviz.
  */
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -27,6 +34,7 @@
 #include <vector>
 
 #include "core/evaluation.hh"
+#include "core/trainer.hh"
 #include "designs/designs.hh"
 #include "obs/metrics.hh"
 #include "perf/path_cache.hh"
@@ -143,6 +151,11 @@ usage()
         << "usage:\n"
         << "  sns-cli train   --out=DIR [--dataset=paper|smoke] "
            "[--fast] [--seed=N] [--threads=N]\n"
+        << "                  [--checkpoint-dir=DIR] "
+           "[--checkpoint-every=N] [--checkpoint-keep=N]\n"
+        << "                  [--resume[=SRC]] [--log-jsonl=FILE]\n"
+        << "                  [--promote-socket=PATH | "
+           "--promote-host=H --promote-port=N]\n"
         << "  sns-cli predict --model=DIR [--threads=N] [--json] "
            "[--cache[=CAP]] [--cache-stats] DESIGN.{snl,v} [...]\n"
         << "  sns-cli remote-predict (--socket=PATH | --host=H "
@@ -157,9 +170,38 @@ usage()
         << "--cache[=CAP] memoizes path predictions across the designs "
            "of one predict call (CAP entries, default 1M, 0 = "
            "unbounded); predictions are bitwise identical either way. "
-           "--cache-stats prints hit/miss counters to stderr.\n";
+           "--cache-stats prints hit/miss counters to stderr.\n"
+        << "--checkpoint-dir=DIR commits resumable training state "
+           "every --checkpoint-every=N epochs (keeping the newest "
+           "--checkpoint-keep=N files); SIGINT checkpoints and exits. "
+           "--resume[=SRC] continues from SRC (a .ckpt file or a "
+           "directory; default: the checkpoint dir) to a bitwise-"
+           "identical final model. --log-jsonl=FILE appends one JSON "
+           "line per epoch. --promote-socket/--promote-host/"
+           "--promote-port hot-reload the freshly saved model into a "
+           "running sns-serve daemon.\n";
     return 1;
 }
+
+/** Set by the SIGINT handler; the stop-flag sink polls it so Ctrl-C
+ * finishes the current epoch, checkpoints, and exits cleanly. */
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void
+onSigint(int)
+{
+    g_interrupted = 1;
+}
+
+/** Turns SIGINT into a graceful stop request. */
+struct StopFlagSink : core::TrainProgressSink
+{
+    bool
+    onEpoch(const core::EpochProgress &) override
+    {
+        return g_interrupted == 0;
+    }
+};
 
 int
 cmdTrain(const CliArgs &args)
@@ -201,14 +243,90 @@ cmdTrain(const CliArgs &args)
     }
     config.seed = seed;
 
+    // Checkpointing / resume (docs/training.md).
+    config.checkpoint_dir = args.get("checkpoint-dir", "");
+    config.checkpoint_every =
+        std::stoi(args.get("checkpoint-every", "1"));
+    config.checkpoint_keep = std::stoi(args.get("checkpoint-keep", "3"));
+    if (args.has("resume")) {
+        const std::string resume = args.get("resume", "1");
+        // Bare --resume parses as "1": continue from the checkpoint dir.
+        config.resume_from = resume == "1" ? config.checkpoint_dir : resume;
+        if (config.resume_from.empty()) {
+            std::cerr << "--resume needs a source: --resume=SRC or "
+                         "--checkpoint-dir=DIR\n";
+            return 1;
+        }
+    }
+
+    // Progress sinks: stderr table + SIGINT stop flag, and optionally
+    // a JSONL epoch log.
+    core::StderrProgressSink table;
+    StopFlagSink stop_flag;
+    std::unique_ptr<core::JsonlProgressSink> jsonl;
+    std::vector<core::TrainProgressSink *> sinks = {&table, &stop_flag};
+    if (args.has("log-jsonl")) {
+        jsonl = std::make_unique<core::JsonlProgressSink>(
+            args.get("log-jsonl", ""));
+        sinks.push_back(jsonl.get());
+    }
+    core::TeeProgressSink sink(sinks);
+    config.progress = &sink;
+    std::signal(SIGINT, onSigint);
+
     std::cerr << "training...\n";
     WallTimer timer;
     core::SnsTrainer trainer(config);
-    const auto predictor = trainer.train(dataset, all_indices, oracle);
-    predictor.save(args.get("out", ""));
+    std::unique_ptr<core::SnsPredictor> predictor;
+    try {
+        predictor = std::make_unique<core::SnsPredictor>(
+            trainer.train(dataset, all_indices, oracle));
+    } catch (const core::TrainingInterrupted &interrupted) {
+        std::cerr << "interrupted: " << interrupted.what() << "\n";
+        if (!interrupted.checkpointPath().empty()) {
+            std::cerr << "resume with: sns-cli train --out="
+                      << args.get("out", "") << " --checkpoint-dir="
+                      << config.checkpoint_dir << " --resume ...\n";
+        }
+        return 3;
+    }
+    const double wall = timer.seconds();
+    predictor->save(args.get("out", ""));
     std::cout << "trained on " << dataset.size() << " designs in "
-              << formatDouble(timer.seconds(), 1)
-              << " s; model saved to " << args.get("out", "") << "\n";
+              << formatDouble(wall, 1) << " s; model saved to "
+              << args.get("out", "") << "\n";
+
+    if (!config.checkpoint_dir.empty()) {
+        // The checkpoint cost, from the same obs instruments the STATS
+        // verb exposes (EXPERIMENTS.md records these numbers).
+        const auto written = obs::Registry::global()
+                                 .histogram("train.checkpoint_write_us")
+                                 .snapshot();
+        const double total_s = static_cast<double>(written.sum) / 1e6;
+        std::cout << written.count << " checkpoints written in "
+                  << formatDouble(total_s, 3) << " s total ("
+                  << formatDouble(wall > 0.0 ? 100.0 * total_s / wall
+                                             : 0.0,
+                                  2)
+                  << "% of wall time)\n";
+    }
+
+    // Hot-promote the fresh model into a running sns-serve daemon.
+    if (args.has("promote-socket") || args.has("promote-port")) {
+        auto client =
+            args.has("promote-socket")
+                ? serve::Client::connectUnix(
+                      args.get("promote-socket", ""))
+                : serve::Client::connectTcp(
+                      args.get("promote-host", "127.0.0.1"),
+                      std::stoi(args.get("promote-port", "0")));
+        const std::string error = client.reload(args.get("out", ""));
+        if (!error.empty()) {
+            std::cerr << "promotion failed: " << error << "\n";
+            return 2;
+        }
+        std::cout << "model promoted into the serve daemon\n";
+    }
     return 0;
 }
 

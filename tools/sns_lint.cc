@@ -7,8 +7,10 @@
  * Each FILE is linted by extension: .snl and .v/.sv designs are parsed
  * and run through the full GraphAnalyzer registry; .paths dataset files
  * (one `tokens ; timing area power` record per line) go through the
- * dataset checkers. A CollectGuard gathers every diagnostic so one run
- * reports all findings instead of dying at the first.
+ * dataset checkers; .ckpt training checkpoints get the SNSC container
+ * check (magic, version, length, payload hash — the C-* rules). A
+ * CollectGuard gathers every diagnostic so one run reports all
+ * findings instead of dying at the first.
  *
  * Exit status: 0 when no file produced an ERROR diagnostic (or, with
  * --werror, a WARNING), 1 otherwise, 2 on usage errors. docs/verify.md
@@ -33,8 +35,8 @@ usage()
 {
     std::cerr << "usage: sns_lint [--notes] [--werror] [--self-check] "
                  "FILE...\n"
-              << "  FILE: design (.snl, .v, .sv) or path dataset "
-                 "(.paths)\n"
+              << "  FILE: design (.snl, .v, .sv), path dataset "
+                 "(.paths), or training checkpoint (.ckpt)\n"
               << "  --notes       include note-level diagnostics\n"
               << "  --werror      treat warnings as errors\n"
               << "  --self-check  also run the vocabulary round-trip "
@@ -62,6 +64,8 @@ lintFile(const std::string &path)
     const std::string ext = extensionOf(path);
     if (ext == ".paths")
         return verify::lintPathDatasetFile(path);
+    if (ext == ".ckpt")
+        return verify::checkCheckpointFile(path);
 
     if (!std::ifstream(path)) {
         report.error(verify::rules::kDatasetSyntax, path,
