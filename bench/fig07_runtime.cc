@@ -30,6 +30,7 @@
 
 #include "bench_common.hh"
 #include "perf/path_cache.hh"
+#include "plan/runtime.hh"
 #include "util/stats.hh"
 #include "util/string_utils.hh"
 #include "util/timer.hh"
@@ -74,10 +75,12 @@ main(int argc, char **argv)
         double synth_s = 0.0;
         double sns_1t_s = 0.0;
         double sns_nt_s = 0.0;
+        double sns_walk_s = 0.0;
         double sns_cold_s = 0.0;
         double sns_warm_s = 0.0;
         core::SnsPrediction pred_1t;
         core::SnsPrediction pred_nt;
+        core::SnsPrediction pred_walk;
         core::SnsPrediction pred_cold;
         core::SnsPrediction pred_warm;
     };
@@ -108,6 +111,20 @@ main(int argc, char **argv)
         rows[i].pred_nt = predictor.predict(graph);
         rows[i].sns_nt_s = sns_timer.seconds();
     }
+
+    // Pass B': the raw module walk — SNS_PLAN off — on one thread.
+    // The static execution plan (docs/plan.md) is on by default in
+    // every other pass; this measures what it buys and gates that it
+    // changes nothing (bitwise) in what the model predicts.
+    par::setThreads(1);
+    plan::setPlanEnabled(false);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const auto graph = specs[i].build();
+        WallTimer walk_timer;
+        rows[i].pred_walk = predictor.predict(graph);
+        rows[i].sns_walk_s = walk_timer.seconds();
+    }
+    plan::setPlanEnabled(true);
 
     // Passes C/D: the path-prediction cache, single-threaded so the
     // timing isolates memoization. Pass C starts cold (every path is a
@@ -155,6 +172,12 @@ main(int argc, char **argv)
             ++mismatches;
             std::cerr << "DETERMINISM VIOLATION: " << row.name
                       << " differs between cache-off and cache-on\n";
+        }
+        if (!equal(row.pred_walk)) {
+            ++mismatches;
+            std::cerr << "DETERMINISM VIOLATION: " << row.name
+                      << " differs between the planned hot path and "
+                         "the module walk\n";
         }
     }
 
@@ -233,8 +256,20 @@ main(int argc, char **argv)
               << "x; warm pass " << warm_hits << " hits / "
               << warm_misses << " misses, " << warm_stats.entries
               << " entries, " << warm_stats.bytes << " bytes\n";
+    double walk_total_s = 0.0;
+    double planned_total_s = 0.0;
+    for (const auto &row : rows) {
+        walk_total_s += row.sns_walk_s;
+        planned_total_s += row.sns_1t_s;
+    }
+    std::cout << "execution plan (planned hot path vs module walk, "
+                 "1 thread): walk "
+              << formatDouble(walk_total_s, 3) << " s, planned "
+              << formatDouble(planned_total_s, 3) << " s, speedup "
+              << formatDouble(walk_total_s / planned_total_s, 2)
+              << "x (bitwise identical)\n";
     std::cout << "determinism check (1 vs " << multi_threads
-              << " threads, cache on vs off): "
+              << " threads, cache on vs off, plan on vs off): "
               << (mismatches == 0 ? "PASS (bitwise identical)"
                                   : "FAIL")
               << "\n";
@@ -253,6 +288,10 @@ main(int argc, char **argv)
                       : static_cast<double>(warm_hits) /
                             static_cast<double>(warm_hits + warm_misses))
               << "\n"
+              << "BENCH fig07_plan_walk_s " << walk_total_s << "\n"
+              << "BENCH fig07_plan_planned_s " << planned_total_s << "\n"
+              << "BENCH fig07_plan_speedup_x "
+              << walk_total_s / planned_total_s << "\n"
               << "BENCH fig07_determinism "
               << (mismatches == 0 ? 1 : 0) << "\n";
     std::cout << "size-speedup correlation (log-log pearson): "

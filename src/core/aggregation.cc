@@ -327,7 +327,7 @@ AggregationMlp::save(const std::string &path) const
     }
     stats[2 * dim] = static_cast<float>(target_mean_);
     stats[2 * dim + 1] = static_cast<float>(target_std_);
-    all.push_back(Variable(stats));
+    all.emplace_back(stats);
     nn::saveParameters(path, all);
 }
 
@@ -336,7 +336,7 @@ AggregationMlp::load(const std::string &path)
 {
     std::vector<Variable> all = parameters();
     const int dim = featureDim();
-    all.push_back(Variable(Tensor({2 * dim + 2})));
+    all.emplace_back(Tensor({2 * dim + 2}));
     nn::loadParameters(path, all);
     const Tensor &stats = all.back().value();
     feature_mean_.assign(dim, 0.0);

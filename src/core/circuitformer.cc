@@ -227,20 +227,30 @@ Circuitformer::predict(const std::vector<std::vector<TokenId>> &paths,
             std::vector<int> lengths;
             int time = 0;
             pack(batch_paths, ids, time, lengths);
-            const Variable pred = forwardBatch(
-                ids, static_cast<int>(batch_paths.size()), time, lengths);
+            const int rows = static_cast<int>(batch_paths.size());
+            // Planned execution when a verified plan is bound and the
+            // batch fits it; bitwise-identical to the module walk
+            // (docs/plan.md), so mixing the two paths is sound.
+            const float *planned = nullptr;
+            if (plan_ != nullptr && plan::planEnabled() &&
+                rows <= plan_->batchMax())
+                planned = plan_->run(ids, lengths, rows, time);
+            Variable pred;
+            if (planned == nullptr)
+                pred = forwardBatch(ids, rows, time, lengths);
+            const auto logit = [&](size_t row, int t) {
+                return planned != nullptr
+                           ? planned[row * 3 + t]
+                           : pred.value().at2(static_cast<int>(row), t);
+            };
             for (size_t i = 0; i < batch_paths.size(); ++i) {
                 PathPrediction p;
-                const int row_idx = static_cast<int>(i);
-                p.timing_ps = std::exp(
-                    pred.value().at2(row_idx, 0) * target_std_[0] +
-                    target_mean_[0]);
-                p.area_um2 = std::exp(
-                    pred.value().at2(row_idx, 1) * target_std_[1] +
-                    target_mean_[1]);
-                p.power_mw = std::exp(
-                    pred.value().at2(row_idx, 2) * target_std_[2] +
-                    target_mean_[2]);
+                p.timing_ps = std::exp(logit(i, 0) * target_std_[0] +
+                                       target_mean_[0]);
+                p.area_um2 = std::exp(logit(i, 1) * target_std_[1] +
+                                      target_mean_[1]);
+                p.power_mw = std::exp(logit(i, 2) * target_std_[2] +
+                                      target_mean_[2]);
                 out[start + i] = p;
             }
         }
@@ -258,15 +268,9 @@ Circuitformer::parameters() const
 }
 
 uint64_t
-Circuitformer::parametersFingerprint() const
+Circuitformer::fingerprintWith(const std::array<double, 3> &mean,
+                               const std::array<double, 3> &std) const
 {
-    // FNV-1a over the raw bytes of every weight tensor, then the
-    // double-precision normalization statistics. The statistics are
-    // hashed at full precision on purpose: save() truncates them to
-    // float32, so a freshly-trained model and its reloaded checkpoint
-    // correctly fingerprint as *different* models (their predictions
-    // differ in the last bits), while two loads of the same checkpoint
-    // fingerprint identically.
     uint64_t hash = 0xcbf29ce484222325ull;
     constexpr uint64_t kPrime = 0x100000001b3ull;
     const auto mix = [&hash](const void *data, size_t bytes) {
@@ -280,9 +284,96 @@ Circuitformer::parametersFingerprint() const
         const tensor::Tensor &value = param.value();
         mix(value.data(), value.numel() * sizeof(float));
     }
-    mix(target_mean_.data(), sizeof(target_mean_));
-    mix(target_std_.data(), sizeof(target_std_));
+    mix(mean.data(), sizeof(mean));
+    mix(std.data(), sizeof(std));
     return hash == 0 ? 1 : hash; // 0 means "unbound" to the cache
+}
+
+uint64_t
+Circuitformer::parametersFingerprint() const
+{
+    // FNV-1a over the raw bytes of every weight tensor, then the
+    // double-precision normalization statistics. The statistics are
+    // hashed at full precision on purpose: save() truncates them to
+    // float32, so a freshly-trained model and its reloaded checkpoint
+    // correctly fingerprint as *different* models (their predictions
+    // differ in the last bits), while two loads of the same checkpoint
+    // fingerprint identically.
+    return fingerprintWith(target_mean_, target_std_);
+}
+
+namespace {
+
+/**
+ * double → float32 → double, with the narrowing forced through a real
+ * float store. A plain `(double)(float)x` pair here gets (mis)folded
+ * away by the vectorizer at -O3 (observed with GCC 12: the packed
+ * lanes of the loop skip the cvtpd2ps/cvtps2pd round trip), which
+ * silently breaks the save/load fingerprint contract below. The
+ * volatile store is the minimal fence that guarantees the value
+ * actually passes through float32.
+ */
+double
+snapToFloat(double value)
+{
+    volatile float snapped = static_cast<float>(value);
+    return static_cast<double>(snapped);
+}
+
+} // namespace
+
+uint64_t
+Circuitformer::parametersFingerprintSnapped() const
+{
+    std::array<double, 3> mean;
+    std::array<double, 3> std;
+    for (int t = 0; t < 3; ++t) {
+        mean[t] = snapToFloat(target_mean_[t]);
+        std[t] = snapToFloat(target_std_[t]);
+    }
+    return fingerprintWith(mean, std);
+}
+
+plan::Plan
+Circuitformer::tracePlan(int batch_max) const
+{
+    // The canonical plan *is* the module walk for this architecture;
+    // assert the composed modules actually have that architecture so a
+    // future module change cannot silently diverge from the trace.
+    const auto dims = head_.layerDims();
+    SNS_ASSERT(dims ==
+                   std::vector<int>({config_.encoder.d_model,
+                                     config_.head_hidden, 3}),
+               "tracePlan: head MLP is not the {d_model, head_hidden, 3}"
+               " stack the plan IR encodes");
+
+    plan::PlanConfig plan_config;
+    plan_config.vocab = config_.encoder.vocab_size;
+    plan_config.max_positions = config_.encoder.max_positions;
+    plan_config.d_model = config_.encoder.d_model;
+    plan_config.heads = config_.encoder.heads;
+    plan_config.layers = config_.encoder.layers;
+    plan_config.d_ff = config_.encoder.d_ff;
+    plan_config.head_hidden = config_.head_hidden;
+    plan_config.batch_max = batch_max;
+    return plan::buildCanonicalPlan(plan_config, parametersFingerprint());
+}
+
+void
+Circuitformer::bindPlan(std::shared_ptr<const plan::CompiledPlan> compiled)
+{
+    if (compiled) {
+        SNS_ASSERT(compiled->fingerprint() == parametersFingerprint(),
+                   "bindPlan: plan was traced from a different model "
+                   "(fingerprint mismatch)");
+    }
+    plan_ = std::move(compiled);
+}
+
+bool
+Circuitformer::planActive() const
+{
+    return plan_ != nullptr && plan::planEnabled();
 }
 
 void
@@ -299,7 +390,7 @@ Circuitformer::saveTo(std::ostream &out, const std::string &where) const
         norm[t] = static_cast<float>(target_mean_[t]);
         norm[3 + t] = static_cast<float>(target_std_[t]);
     }
-    all.push_back(Variable(norm));
+    all.emplace_back(norm);
     nn::saveParameters(out, all, where);
 }
 
@@ -307,7 +398,7 @@ void
 Circuitformer::loadFrom(std::istream &in, const std::string &where)
 {
     std::vector<Variable> all = parameters();
-    all.push_back(Variable(Tensor({6})));
+    all.emplace_back(Tensor({6}));
     nn::loadParameters(in, all, where);
     const Tensor &norm = all.back().value();
     for (int t = 0; t < 3; ++t) {

@@ -21,6 +21,7 @@
 #include "core/datasets.hh"
 #include "nn/optim.hh"
 #include "nn/transformer.hh"
+#include "plan/runtime.hh"
 
 namespace sns::core {
 
@@ -90,6 +91,46 @@ class Circuitformer : public nn::Module
      */
     uint64_t parametersFingerprint() const;
 
+    /**
+     * The fingerprint this model will have after one save/load round
+     * trip (normalization statistics passed through float32). A
+     * plan.snsp written at save() time records this value so the
+     * P-MODEL check passes against the *reloaded* model; see
+     * parametersFingerprint() for why the two differ.
+     */
+    uint64_t parametersFingerprintSnapped() const;
+
+    /**
+     * Trace the module walk into the static execution-plan IR
+     * (docs/plan.md): the canonical op sequence for this
+     * architecture, carrying parametersFingerprint() and accepting
+     * batches up to `batch_max`. Asserts that the composed modules
+     * (encoder config, head layer dims) actually form the walk the
+     * plan encodes.
+     */
+    plan::Plan tracePlan(int batch_max) const;
+
+    /**
+     * Bind a compiled plan: predict() batches that fit its batch_max
+     * run through CompiledPlan::run() instead of the module walk —
+     * bitwise-identically (the test_plan.cc gate). The plan must have
+     * been compiled against this model's current parameters; like the
+     * path cache, a bound plan assumes frozen weights. Pass nullptr
+     * to unbind.
+     */
+    void bindPlan(std::shared_ptr<const plan::CompiledPlan> compiled);
+
+    /** The bound plan, if any. */
+    const std::shared_ptr<const plan::CompiledPlan> &
+    boundPlan() const
+    {
+        return plan_;
+    }
+
+    /** True when a bound plan would serve predict() right now (a plan
+     * is bound and the SNS_PLAN kill switch is not off). */
+    bool planActive() const;
+
     /** Persist weights + normalization to a file. */
     void save(const std::string &path) const;
 
@@ -119,6 +160,11 @@ class Circuitformer : public nn::Module
     /** Normalized log-target triple for a record. */
     std::array<float, 3> normalizedTargets(const PathRecord &record) const;
 
+    /** Fingerprint with explicit normalization statistics (shared by
+     * the plain and float-snapped variants). */
+    uint64_t fingerprintWith(const std::array<double, 3> &mean,
+                             const std::array<double, 3> &std) const;
+
     CircuitformerConfig config_;
     Rng init_rng_; ///< consumed during member construction only
     nn::TransformerEncoder encoder_;
@@ -126,6 +172,7 @@ class Circuitformer : public nn::Module
     std::array<double, 3> target_mean_{};
     std::array<double, 3> target_std_{};
     bool normalized_ = false;
+    std::shared_ptr<const plan::CompiledPlan> plan_;
 };
 
 } // namespace sns::core

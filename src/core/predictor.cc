@@ -7,11 +7,21 @@
 
 #include "nn/serialize.hh"
 #include "par/thread_pool.hh"
+#include "plan/snsp.hh"
 #include "tensor/autograd.hh"
 #include "util/logging.hh"
 #include "util/string_utils.hh"
 
 namespace sns::core {
+
+namespace {
+
+/** Largest padded batch the traced plan accepts; covers the default
+ * PredictOptions::batch_size. Bigger batch_size values fall back to
+ * the (bitwise-identical) module walk. */
+constexpr int kPlanBatchMax = 64;
+
+} // namespace
 
 SnsPredictor::SnsPredictor(std::shared_ptr<Circuitformer> circuitformer,
                            AggregationHeads heads,
@@ -27,6 +37,14 @@ SnsPredictor::SnsPredictor(std::shared_ptr<Circuitformer> circuitformer,
                    heads_.power->target() == Target::Power,
                "MLP target mismatch");
     model_fingerprint_ = circuitformer_->parametersFingerprint();
+    // Trace the module walk into the static execution plan, run the
+    // analyzer over it, and bind it (docs/plan.md). Like the path
+    // cache, the bound plan assumes the weights stay frozen for this
+    // predictor's lifetime. load() re-binds from the verified
+    // plan.snsp when the save directory carries one.
+    circuitformer_->bindPlan(plan::compilePlan(
+        circuitformer_->tracePlan(kPlanBatchMax),
+        circuitformer_->parameters()));
 }
 
 SnsPrediction
@@ -198,6 +216,14 @@ SnsPredictor::save(const std::string &directory) const
     circuitformer_->save(directory + "/circuitformer.bin");
     heads_.save(directory);
 
+    // The serialized plan records the *snapped* fingerprint — the one
+    // the model will have after this directory is loaded back (the
+    // normalization statistics are float32 in circuitformer.bin) — so
+    // load()'s P-MODEL check passes against the reloaded model.
+    plan::Plan traced = circuitformer_->tracePlan(kPlanBatchMax);
+    traced.fingerprint = circuitformer_->parametersFingerprintSnapped();
+    plan::writePlanFile(traced, directory + "/plan.snsp");
+
     std::ofstream meta(directory + "/" + kMetaFile);
     if (!meta)
         throw nn::SerializeError("cannot write " + directory + "/" +
@@ -276,8 +302,53 @@ SnsPredictor::load(const std::string &directory)
 
     auto circuitformer = std::make_shared<Circuitformer>(model);
     circuitformer->load(directory + "/circuitformer.bin");
-    return SnsPredictor(std::move(circuitformer),
-                        AggregationHeads::load(directory), sopts);
+    SnsPredictor predictor(std::move(circuitformer),
+                           AggregationHeads::load(directory), sopts);
+
+    // When the directory carries a serialized plan, verify it
+    // (container P-* checks + the full analyzer pipeline inside
+    // compilePlan) and bind it in place of the constructor's in-memory
+    // trace. A missing plan.snsp (pre-plan save) is fine — the traced
+    // plan stays bound; a corrupt or mismatched one is a hard error
+    // under the default Fatal enforcement mode.
+    const std::string plan_path = directory + "/plan.snsp";
+    if (std::filesystem::exists(plan_path)) {
+        verify::Report report;
+        plan::Plan file_plan;
+        const bool parsed =
+            plan::readPlanFile(plan_path, file_plan, report);
+        if (parsed) {
+            const Circuitformer &model_ref = *predictor.circuitformer_;
+            const uint64_t want = model_ref.parametersFingerprint();
+            if (file_plan.fingerprint != want) {
+                report.error(verify::rules::kPlanModel, plan_path,
+                             "plan fingerprint does not match the "
+                             "loaded model's parameters",
+                             "the model files were modified after the "
+                             "plan was written; re-save the predictor");
+            }
+            const auto &config = model_ref.config();
+            if (file_plan.config.vocab != config.encoder.vocab_size ||
+                file_plan.config.max_positions !=
+                    config.encoder.max_positions ||
+                file_plan.config.d_model != config.encoder.d_model ||
+                file_plan.config.heads != config.encoder.heads ||
+                file_plan.config.layers != config.encoder.layers ||
+                file_plan.config.d_ff != config.encoder.d_ff ||
+                file_plan.config.head_hidden != config.head_hidden) {
+                report.error(verify::rules::kPlanModel, plan_path,
+                             "plan architecture does not match "
+                             "predictor.meta");
+            }
+        }
+        const bool usable = parsed && !report.hasErrors();
+        verify::enforce(std::move(report), plan_path);
+        if (usable) {
+            predictor.circuitformer_->bindPlan(plan::compilePlan(
+                file_plan, predictor.circuitformer_->parameters()));
+        }
+    }
+    return predictor;
 }
 
 } // namespace sns::core

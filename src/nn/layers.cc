@@ -171,6 +171,17 @@ Mlp::forward(const Variable &x) const
     return h;
 }
 
+std::vector<int>
+Mlp::layerDims() const
+{
+    std::vector<int> dims;
+    dims.reserve(layers_.size() + 1);
+    dims.push_back(layers_.front().inFeatures());
+    for (const auto &layer : layers_)
+        dims.push_back(layer.outFeatures());
+    return dims;
+}
+
 std::vector<Variable>
 Mlp::parameters() const
 {

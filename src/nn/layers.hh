@@ -143,6 +143,13 @@ class Mlp : public Module
 
     std::vector<Variable> parameters() const override;
 
+    /** The construction dims ({in, h1, ..., out}), reconstructed from
+     * the layer stack — plan tracing asserts the architecture. */
+    std::vector<int> layerDims() const;
+
+    /** Hidden-layer activation. */
+    Activation activation() const { return activation_; }
+
   private:
     std::vector<Linear> layers_;
     Activation activation_;

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Grow-only float arena backing planned execution (docs/plan.md).
+ *
+ * The static layout pass (verify::computePlanLayout) proves a fixed
+ * worst-case float budget for a whole planned batch; the executor asks
+ * this arena for that budget once per call and slices buffers out of
+ * it at the precomputed offsets. ensure() only ever allocates when the
+ * requested capacity grows — steady-state planned batches therefore
+ * perform zero heap allocations, which is exactly the property the
+ * analyzer's P-ALLOC note states.
+ *
+ * Memory is intentionally *uninitialized* on growth: every plan op
+ * either zero-fills its concrete output region first (gemm/bmm
+ * accumulators) or assigns every element it claims to produce, and
+ * the bitwise tests against the module walk would catch any op that
+ * read a float it never wrote.
+ */
+
+#ifndef SNS_PERF_ARENA_HH
+#define SNS_PERF_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+
+namespace sns::perf {
+
+/** Reusable, grow-only scratch buffer of floats. */
+class FloatArena
+{
+  public:
+    /**
+     * Return a buffer of at least `floats` floats, reallocating only
+     * when the request exceeds the current capacity. Contents are
+     * unspecified; callers must write before reading.
+     */
+    float *
+    ensure(size_t floats)
+    {
+        if (floats > capacity_) {
+            // NOLINTNEXTLINE(cppcoreguidelines-owning-memory)
+            data_.reset(new float[floats]); // uninitialized on purpose
+            capacity_ = floats;
+        }
+        return data_.get();
+    }
+
+    /** Current capacity in floats. */
+    size_t capacity() const { return capacity_; }
+
+  private:
+    std::unique_ptr<float[]> data_;
+    size_t capacity_ = 0;
+};
+
+} // namespace sns::perf
+
+#endif // SNS_PERF_ARENA_HH

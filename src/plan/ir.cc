@@ -1,0 +1,277 @@
+#include "plan/ir.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sns::plan {
+
+namespace {
+
+/** The eps LayerNorm's forward uses (autograd.hh default, truncated to
+ * float exactly like the kernel does). */
+constexpr float kLayerNormEps = 1e-5f;
+
+/** Append a fresh buffer + the op writing it; returns the buffer id. */
+uint32_t
+emit(Plan &plan, OpKind kind, Epilogue epilogue,
+     std::vector<uint32_t> inputs, std::vector<uint32_t> weights,
+     Shape out_shape, float fattr = 0.0f, int32_t iattr = 0)
+{
+    const auto id = static_cast<uint32_t>(plan.buffers.size());
+    plan.buffers.push_back(out_shape);
+    Op op;
+    op.kind = kind;
+    op.epilogue = epilogue;
+    op.inputs = std::move(inputs);
+    op.weights = std::move(weights);
+    op.out = id;
+    op.fattr = fattr;
+    op.iattr = iattr;
+    plan.ops.push_back(std::move(op));
+    return id;
+}
+
+/** Append a parameter reference; returns its weight-table index. */
+uint32_t
+refWeight(Plan &plan, uint32_t param_index, WeightRole role, int32_t rows,
+          int32_t cols)
+{
+    plan.weights.push_back({param_index, role, rows, cols});
+    return static_cast<uint32_t>(plan.weights.size() - 1);
+}
+
+} // namespace
+
+Shape
+makeShape(std::initializer_list<Dim> dims)
+{
+    SNS_ASSERT(dims.size() >= 1 && dims.size() <= 3,
+               "plan shapes are 1- to 3-D");
+    Shape shape;
+    shape.ndim = static_cast<uint8_t>(dims.size());
+    size_t i = 0;
+    for (const Dim &dim : dims)
+        shape.dims[i++] = dim;
+    return shape;
+}
+
+Plan
+buildCanonicalPlan(const PlanConfig &config, uint64_t fingerprint)
+{
+    SNS_ASSERT(config.vocab > 0 && config.max_positions > 0 &&
+                   config.d_model > 0 && config.heads > 0 &&
+                   config.layers > 0 && config.d_ff > 0 &&
+                   config.head_hidden > 0 && config.batch_max > 0,
+               "buildCanonicalPlan: config extents must be positive");
+    SNS_ASSERT(config.d_model % config.heads == 0,
+               "buildCanonicalPlan: d_model must divide into heads");
+
+    const int32_t d = config.d_model;
+    const int32_t dh = d / config.heads;
+    const float scale =
+        static_cast<float>(1.0 / std::sqrt(static_cast<double>(dh)));
+
+    Plan plan;
+    plan.config = config;
+    plan.fingerprint = fingerprint;
+
+    const Shape btd = makeShape({batchDim(), timeDim(), staticDim(d)});
+    const Shape heads3 =
+        makeShape({batchHeadsDim(), timeDim(), staticDim(dh)});
+
+    // Linear projection + bias as one Gemm op with a fused epilogue.
+    // `base` is the parameter index of the weight matrix; the bias is
+    // always the next parameter in the canonical flat order.
+    const auto linear = [&](uint32_t input, uint32_t base, int32_t in,
+                            int32_t out, Epilogue epilogue,
+                            Shape out_shape) {
+        const uint32_t w =
+            refWeight(plan, base, WeightRole::Matrix, in, out);
+        const uint32_t b = refWeight(plan, base + 1, WeightRole::Bias,
+                                     out, 0);
+        return emit(plan, OpKind::Gemm, epilogue, {input}, {w, b},
+                    out_shape);
+    };
+    const auto layer_norm = [&](uint32_t input, uint32_t gamma_index) {
+        const uint32_t g =
+            refWeight(plan, gamma_index, WeightRole::Gamma, d, 0);
+        const uint32_t b =
+            refWeight(plan, gamma_index + 1, WeightRole::Beta, d, 0);
+        return emit(plan, OpKind::LayerNorm, Epilogue::None, {input},
+                    {g, b}, btd, kLayerNormEps);
+    };
+
+    // Prologue: embeddings, residual add, input LayerNorm. Parameter
+    // indices 0..3 (TransformerEncoder::parameters() order).
+    const uint32_t tok = emit(
+        plan, OpKind::TokenEmbed, Epilogue::None, {},
+        {refWeight(plan, 0, WeightRole::Table, config.vocab, d)}, btd);
+    const uint32_t pos = emit(
+        plan, OpKind::PosEmbed, Epilogue::None, {},
+        {refWeight(plan, 1, WeightRole::Table, config.max_positions, d)},
+        btd);
+    const uint32_t summed =
+        emit(plan, OpKind::Add, Epilogue::None, {tok, pos}, {}, btd);
+    uint32_t x = layer_norm(summed, 2);
+
+    // Encoder layers. Per layer the flat parameter order is wq W,b,
+    // wk W,b, wv W,b, wo W,b, up W,b, down W,b, norm1 g,b, norm2 g,b —
+    // note norm1/norm2 are *stored* after the feed-forward parameters
+    // even though norm1 is applied before it.
+    for (int32_t layer = 0; layer < config.layers; ++layer) {
+        const uint32_t base = 4 + static_cast<uint32_t>(layer) * 16;
+
+        const auto split = [&](uint32_t projected) {
+            return emit(plan, OpKind::SplitHeads, Epilogue::None,
+                        {projected}, {}, heads3, 0.0f, config.heads);
+        };
+        const uint32_t q = split(
+            linear(x, base + 0, d, d, Epilogue::Bias, btd));
+        const uint32_t k = split(
+            linear(x, base + 2, d, d, Epilogue::Bias, btd));
+        const uint32_t v = split(
+            linear(x, base + 4, d, d, Epilogue::Bias, btd));
+
+        const uint32_t attn = emit(
+            plan, OpKind::BmmTransB, Epilogue::ScaleMaskSoftmax, {q, k},
+            {},
+            makeShape({batchHeadsDim(), timeDim(), timeDim()}), scale,
+            config.heads);
+        const uint32_t ctx = emit(plan, OpKind::Bmm, Epilogue::None,
+                                  {attn, v}, {}, heads3);
+        const uint32_t merged =
+            emit(plan, OpKind::MergeHeads, Epilogue::None, {ctx}, {},
+                 btd, 0.0f, config.heads);
+        const uint32_t attn_out =
+            linear(merged, base + 6, d, d, Epilogue::Bias, btd);
+
+        const uint32_t h1 = layer_norm(
+            emit(plan, OpKind::Add, Epilogue::None, {x, attn_out}, {},
+                 btd),
+            base + 12);
+
+        const uint32_t up = linear(
+            h1, base + 8, d, config.d_ff, Epilogue::BiasGelu,
+            makeShape({batchDim(), timeDim(), staticDim(config.d_ff)}));
+        const uint32_t ffn =
+            linear(up, base + 10, config.d_ff, d, Epilogue::Bias, btd);
+
+        x = layer_norm(
+            emit(plan, OpKind::Add, Epilogue::None, {h1, ffn}, {}, btd),
+            base + 14);
+    }
+
+    // Tail: masked mean pooling + the {d_model, head_hidden, 3} MLP.
+    const uint32_t head_base = 4 + static_cast<uint32_t>(config.layers) * 16;
+    const uint32_t pooled =
+        emit(plan, OpKind::MeanPool, Epilogue::None, {x}, {},
+             makeShape({batchDim(), staticDim(d)}));
+    const uint32_t hidden = linear(
+        pooled, head_base, d, config.head_hidden, Epilogue::BiasRelu,
+        makeShape({batchDim(), staticDim(config.head_hidden)}));
+    linear(hidden, head_base + 2, config.head_hidden, 3, Epilogue::Bias,
+           makeShape({batchDim(), staticDim(3)}));
+
+    SNS_ASSERT(plan.ops.size() == canonicalOpCount(config) &&
+                   plan.weights.size() == canonicalParamCount(config),
+               "canonical plan op/weight count drifted");
+    return plan;
+}
+
+int64_t
+resolveDim(const Dim &dim, int batch, int time, int heads)
+{
+    switch (dim.kind) {
+      case DimKind::Static: return dim.value;
+      case DimKind::Batch: return batch;
+      case DimKind::Time: return time;
+      case DimKind::BatchHeads:
+        return static_cast<int64_t>(batch) * heads;
+    }
+    return 0;
+}
+
+size_t
+resolveNumel(const Shape &shape, int batch, int time, int heads)
+{
+    size_t numel = 1;
+    for (uint8_t i = 0; i < shape.ndim; ++i) {
+        const int64_t extent = resolveDim(shape.dims[i], batch, time,
+                                          heads);
+        numel *= extent > 0 ? static_cast<size_t>(extent) : 0;
+    }
+    return shape.ndim == 0 ? 0 : numel;
+}
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::TokenEmbed: return "token-embed";
+      case OpKind::PosEmbed: return "pos-embed";
+      case OpKind::Add: return "add";
+      case OpKind::LayerNorm: return "layer-norm";
+      case OpKind::Gemm: return "gemm";
+      case OpKind::SplitHeads: return "split-heads";
+      case OpKind::MergeHeads: return "merge-heads";
+      case OpKind::BmmTransB: return "bmm-trans-b";
+      case OpKind::Bmm: return "bmm";
+      case OpKind::MeanPool: return "mean-pool";
+    }
+    return "?";
+}
+
+const char *
+epilogueName(Epilogue epilogue)
+{
+    switch (epilogue) {
+      case Epilogue::None: return "none";
+      case Epilogue::Bias: return "bias";
+      case Epilogue::BiasGelu: return "bias+gelu";
+      case Epilogue::BiasRelu: return "bias+relu";
+      case Epilogue::ScaleMaskSoftmax: return "scale+mask+softmax";
+    }
+    return "?";
+}
+
+const char *
+weightRoleName(WeightRole role)
+{
+    switch (role) {
+      case WeightRole::Matrix: return "matrix";
+      case WeightRole::Bias: return "bias";
+      case WeightRole::Gamma: return "gamma";
+      case WeightRole::Beta: return "beta";
+      case WeightRole::Table: return "table";
+    }
+    return "?";
+}
+
+const char *
+dimKindName(DimKind kind)
+{
+    switch (kind) {
+      case DimKind::Static: return "static";
+      case DimKind::Batch: return "B";
+      case DimKind::Time: return "T";
+      case DimKind::BatchHeads: return "B*H";
+    }
+    return "?";
+}
+
+std::string
+toString(const Shape &shape)
+{
+    std::string out = "[";
+    for (uint8_t i = 0; i < shape.ndim; ++i) {
+        if (i > 0)
+            out += ", ";
+        const Dim &dim = shape.dims[i];
+        out += dim.kind == DimKind::Static ? std::to_string(dim.value)
+                                           : dimKindName(dim.kind);
+    }
+    return out + "]";
+}
+
+} // namespace sns::plan

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The execution-plan IR for the Circuitformer inference hot path.
+ *
+ * A Plan is the module walk of Circuitformer::forwardBatch traced once
+ * into a flat, topologically ordered op list in SSA form: op i writes
+ * exactly one fresh buffer, names its inputs by buffer id, and names
+ * its parameters by index into the model's canonical parameters()
+ * order. Epilogues (bias add, bias+GELU, bias+ReLU, the attention
+ * scale+mask+softmax tail) are explicit slots on the producing op, so
+ * the static analyzer (src/verify/plan_check.hh) can prove that fusing
+ * them is bitwise-legal — they are per-element / per-row independent —
+ * while every true reduction (LayerNorm, softmax, mean-pool, the GEMM
+ * p loop) keeps the module walk's exact order.
+ *
+ * Shapes are symbolic in the batch (B), padded time (T), and B*heads
+ * extents and static everywhere else, so one plan covers every batch
+ * the runtime admits (B <= config.batch_max, T <= config.max_positions)
+ * and the analyzer can size a worst-case arena offline.
+ *
+ * buildCanonicalPlan() is the single source of truth for the walk: the
+ * tracer emits it, and the determinism pass rejects any deserialized
+ * plan that differs structurally from it (rule P-ORDER). docs/plan.md
+ * documents the IR, the passes, and the .snsp container.
+ */
+
+#ifndef SNS_PLAN_IR_HH
+#define SNS_PLAN_IR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sns::plan {
+
+/** The op vocabulary of the traced walk (execution semantics are the
+ * exact forward loops of tensor/autograd.cc; see docs/plan.md). */
+enum class OpKind : uint8_t
+{
+    TokenEmbed,  ///< token-id embedding lookup -> [B, T, D]
+    PosEmbed,    ///< position embedding lookup -> [B, T, D]
+    Add,         ///< elementwise residual add
+    LayerNorm,   ///< per-row layer normalization (fattr = eps)
+    Gemm,        ///< rows(x) * W against a pre-packed weight panel
+    SplitHeads,  ///< [B, T, D] -> [B*H, T, D/H] (iattr = heads)
+    MergeHeads,  ///< [B*H, T, dh] -> [B, T, dh*H] (iattr = heads)
+    BmmTransB,   ///< batched Q * K^T (attention scores)
+    Bmm,         ///< batched attn * V
+    MeanPool,    ///< masked mean over valid time steps -> [B, D]
+};
+
+/** Fused epilogue slot applied to the producing op's output. */
+enum class Epilogue : uint8_t
+{
+    None,
+    Bias,      ///< += bias row-broadcast
+    BiasGelu,  ///< bias, then tanh-approximation GELU
+    BiasRelu,  ///< bias, then ReLU
+    /** Attention tail on BmmTransB scores: scale by fattr, overwrite
+     * masked key columns with -1e9, then per-row softmax — in that
+     * order, exactly like the module walk. */
+    ScaleMaskSoftmax,
+};
+
+/** What a referenced parameter tensor is used as. */
+enum class WeightRole : uint8_t
+{
+    Matrix,  ///< [rows, cols] GEMM operand, pre-packed at compile time
+    Bias,    ///< [rows] epilogue bias vector
+    Gamma,   ///< [rows] LayerNorm scale
+    Beta,    ///< [rows] LayerNorm shift
+    Table,   ///< [rows, cols] embedding table
+};
+
+/** One symbolic shape extent. */
+enum class DimKind : uint8_t
+{
+    Static,      ///< fixed extent (value)
+    Batch,       ///< the runtime batch size B
+    Time,        ///< the padded sequence length T
+    BatchHeads,  ///< B * config.heads
+};
+
+struct Dim
+{
+    DimKind kind = DimKind::Static;
+    int32_t value = 0;  ///< extent for Static dims; 0 otherwise
+
+    bool operator==(const Dim &) const = default;
+};
+
+/** A 1-, 2-, or 3-dimensional symbolic buffer shape. */
+struct Shape
+{
+    uint8_t ndim = 0;
+    std::array<Dim, 3> dims{};
+
+    bool operator==(const Shape &) const = default;
+};
+
+/** @name Dim/Shape constructors
+ * @{
+ */
+inline Dim staticDim(int32_t value) { return {DimKind::Static, value}; }
+inline Dim batchDim() { return {DimKind::Batch, 0}; }
+inline Dim timeDim() { return {DimKind::Time, 0}; }
+inline Dim batchHeadsDim() { return {DimKind::BatchHeads, 0}; }
+
+Shape makeShape(std::initializer_list<Dim> dims);
+/** @} */
+
+/** Reference to one model parameter in parameters() order. */
+struct WeightRef
+{
+    uint32_t param_index = 0;  ///< index into the canonical flat order
+    WeightRole role = WeightRole::Matrix;
+    int32_t rows = 0;
+    int32_t cols = 0;  ///< 0 for 1-D parameters (Bias/Gamma/Beta)
+
+    bool operator==(const WeightRef &) const = default;
+};
+
+/** One traced op: kind, fused epilogue, operands, and attributes. */
+struct Op
+{
+    OpKind kind = OpKind::Add;
+    Epilogue epilogue = Epilogue::None;
+    std::vector<uint32_t> inputs;   ///< buffer ids read
+    std::vector<uint32_t> weights;  ///< indices into Plan::weights
+    uint32_t out = 0;               ///< buffer id written (SSA: one def)
+    float fattr = 0.0f;  ///< scale (ScaleMaskSoftmax) or eps (LayerNorm)
+    int32_t iattr = 0;   ///< heads for Split/Merge/attention ops
+
+    bool operator==(const Op &) const = default;
+};
+
+/** The architecture a plan was traced from, plus the admission bound
+ * batch_max that sizes the worst-case arena. */
+struct PlanConfig
+{
+    int32_t vocab = 0;
+    int32_t max_positions = 0;
+    int32_t d_model = 0;
+    int32_t heads = 0;
+    int32_t layers = 0;
+    int32_t d_ff = 0;
+    int32_t head_hidden = 0;
+    int32_t batch_max = 0;
+
+    bool operator==(const PlanConfig &) const = default;
+};
+
+/** A complete traced execution plan. */
+struct Plan
+{
+    PlanConfig config;
+    /** Circuitformer::parametersFingerprint() of the traced model; a
+     * plan only binds to a model with a matching fingerprint
+     * (rule P-MODEL). */
+    uint64_t fingerprint = 0;
+    std::vector<Shape> buffers;     ///< shape per buffer id
+    std::vector<WeightRef> weights; ///< parameter reference table
+    std::vector<Op> ops;            ///< topological execution order
+
+    bool operator==(const Plan &) const = default;
+};
+
+/** Ops in a canonical plan: 4 prologue + 16 per layer + 3 tail. */
+inline size_t
+canonicalOpCount(const PlanConfig &config)
+{
+    return 4 + 16 * static_cast<size_t>(config.layers) + 3;
+}
+
+/** Parameter tensors the canonical walk references: 4 embeddings/norm,
+ * 16 per layer, 4 in the regression head. */
+inline size_t
+canonicalParamCount(const PlanConfig &config)
+{
+    return 8 + 16 * static_cast<size_t>(config.layers);
+}
+
+/**
+ * Trace the canonical Circuitformer module walk for one architecture:
+ * token+position embeddings, input LayerNorm, `layers` post-norm
+ * encoder layers (QKV projections, scaled masked softmax attention,
+ * GELU feed-forward, residuals), masked mean pooling, and the two-layer
+ * regression head. This is the single structural source of truth the
+ * determinism pass compares deserialized plans against.
+ */
+Plan buildCanonicalPlan(const PlanConfig &config, uint64_t fingerprint);
+
+/** Concrete extent of one symbolic dim at runtime sizes (batch, time). */
+int64_t resolveDim(const Dim &dim, int batch, int time, int heads);
+
+/** Concrete element count of a shape at runtime sizes. */
+size_t resolveNumel(const Shape &shape, int batch, int time, int heads);
+
+/** @name Printable enum names (diagnostics and docs)
+ * @{
+ */
+const char *opKindName(OpKind kind);
+const char *epilogueName(Epilogue epilogue);
+const char *weightRoleName(WeightRole role);
+const char *dimKindName(DimKind kind);
+std::string toString(const Shape &shape);
+/** @} */
+
+} // namespace sns::plan
+
+#endif // SNS_PLAN_IR_HH

@@ -1,0 +1,402 @@
+#include "plan/runtime.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "perf/arena.hh"
+#include "tensor/gemm.hh"
+#include "util/logging.hh"
+
+namespace sns::plan {
+
+namespace {
+
+std::atomic<bool> &
+planFlag()
+{
+    static std::atomic<bool> flag{[] {
+        const char *env = std::getenv("SNS_PLAN");
+        if (env == nullptr)
+            return true;
+        const std::string value(env);
+        return !(value == "0" || value == "off" || value == "OFF" ||
+                 value == "false" || value == "FALSE");
+    }()};
+    return flag;
+}
+
+/** The exact tanh-approximation GELU from the autograd forward kernel
+ * (duplicated; the bitwise planned-vs-walk tests pin the two). */
+float
+geluForward(float v)
+{
+    const float c = 0.7978845608f; // sqrt(2/pi)
+    const float inner = c * (v + 0.044715f * v * v * v);
+    return 0.5f * v * (1.0f + std::tanh(inner));
+}
+
+} // namespace
+
+bool
+planEnabled()
+{
+    return planFlag().load(std::memory_order_relaxed);
+}
+
+void
+setPlanEnabled(bool enabled)
+{
+    planFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const CompiledPlan>
+compilePlan(const Plan &plan, const std::vector<tensor::Variable> &params)
+{
+    verify::Report report = verify::checkPlan(plan);
+    verify::PlanLayout layout;
+    if (!report.hasErrors())
+        layout = verify::computePlanLayout(plan, report);
+
+    // Bind each WeightRef to the actual parameter tensor and pre-pack
+    // the matrices. A plan traced from a different architecture (or a
+    // stale .snsp) fails here with P-MODEL.
+    std::vector<const float *> weight_data;
+    std::vector<std::vector<float>> packed(plan.weights.size());
+    weight_data.reserve(plan.weights.size());
+    for (size_t i = 0; i < plan.weights.size(); ++i) {
+        const WeightRef &ref = plan.weights[i];
+        const std::string where =
+            "weight ref " + std::to_string(i) + " (parameter " +
+            std::to_string(ref.param_index) + ")";
+        if (ref.param_index >= params.size() ||
+            !params[ref.param_index].defined()) {
+            report.error(verify::rules::kPlanModel, where,
+                         "plan references a parameter the model does "
+                         "not have (model exposes " +
+                             std::to_string(params.size()) + ")",
+                         "re-trace the plan from this model");
+            weight_data.push_back(nullptr);
+            continue;
+        }
+        const tensor::Tensor &value = params[ref.param_index].value();
+        const bool matches =
+            ref.cols > 0 ? value.ndim() == 2 && value.dim(0) == ref.rows &&
+                               value.dim(1) == ref.cols
+                         : value.ndim() == 1 && value.dim(0) == ref.rows;
+        if (!matches) {
+            std::string actual = "[";
+            for (int dim = 0; dim < value.ndim(); ++dim) {
+                if (dim > 0)
+                    actual += ", ";
+                actual += std::to_string(value.dim(dim));
+            }
+            report.error(verify::rules::kPlanModel, where,
+                         "parameter tensor is " + actual +
+                             "], plan expects [" +
+                             std::to_string(ref.rows) +
+                             (ref.cols > 0
+                                  ? ", " + std::to_string(ref.cols) + "]"
+                                  : "]"),
+                         "the plan was traced from a different "
+                         "architecture");
+            weight_data.push_back(nullptr);
+            continue;
+        }
+        weight_data.push_back(value.data());
+        if (ref.role == WeightRole::Matrix) {
+            const size_t floats =
+                tensor::gemmPackedFloats(ref.cols, ref.rows);
+            packed[i].resize(floats);
+            tensor::gemmPackB(value.data(), ref.cols, ref.rows, false,
+                              packed[i].data());
+        }
+    }
+
+    verify::enforce(report, "plan::compilePlan");
+    // In Count/Off enforcement modes execution must still not proceed
+    // through a plan that failed analysis.
+    SNS_ASSERT(!report.hasErrors(),
+               "compilePlan: plan failed static analysis");
+
+    auto compiled = std::make_shared<CompiledPlan>();
+    compiled->plan_ = plan;
+    compiled->layout_ = std::move(layout);
+    compiled->params_ = params;
+    compiled->weight_data_ = std::move(weight_data);
+    compiled->packed_ = std::move(packed);
+    return compiled;
+}
+
+const float *
+CompiledPlan::run(const std::vector<int> &ids,
+                  const std::vector<int> &lengths, int batch,
+                  int time) const
+{
+    const PlanConfig &config = plan_.config;
+    SNS_ASSERT(batch > 0 && batch <= config.batch_max,
+               "plan run: batch out of range: ", batch);
+    SNS_ASSERT(time > 0 && time <= config.max_positions,
+               "plan run: time out of range: ", time);
+    SNS_ASSERT(ids.size() == static_cast<size_t>(batch) * time &&
+                   lengths.size() == static_cast<size_t>(batch),
+               "plan run: ids/lengths size mismatch");
+    const int heads = config.heads;
+
+    thread_local perf::FloatArena arena;
+    float *base = arena.ensure(layout_.total_floats);
+    float *scratch = base + layout_.scratch_offset;
+
+    const auto buffer = [&](uint32_t id) {
+        return base + layout_.offsets[id];
+    };
+    const auto numel = [&](uint32_t id) {
+        return resolveNumel(plan_.buffers[id], batch, time, heads);
+    };
+    // Static last dimension (the shape pass proved it static wherever
+    // the executor relies on it).
+    const auto lastDim = [&](uint32_t id) {
+        const Shape &shape = plan_.buffers[id];
+        return shape.dims[shape.ndim - 1].value;
+    };
+
+    for (const Op &op : plan_.ops) {
+        float *out = buffer(op.out);
+        switch (op.kind) {
+          case OpKind::TokenEmbed:
+          case OpKind::PosEmbed: {
+            const WeightRef &table = plan_.weights[op.weights[0]];
+            const float *w = weight_data_[op.weights[0]];
+            const int d = table.cols;
+            if (op.kind == OpKind::TokenEmbed) {
+                for (size_t i = 0; i < ids.size(); ++i) {
+                    const int id = ids[i];
+                    SNS_ASSERT(id >= 0 && id < table.rows,
+                               "plan run: token id out of range: ", id);
+                    const float *src = w + static_cast<size_t>(id) * d;
+                    std::copy(src, src + d, out + i * d);
+                }
+            } else {
+                for (int bi = 0; bi < batch; ++bi) {
+                    for (int ti = 0; ti < time; ++ti) {
+                        const float *src = w + static_cast<size_t>(ti) * d;
+                        std::copy(src, src + d,
+                                  out + (static_cast<size_t>(bi) * time +
+                                         ti) * d);
+                    }
+                }
+            }
+            break;
+          }
+          case OpKind::Add: {
+            const float *a = buffer(op.inputs[0]);
+            const float *b = buffer(op.inputs[1]);
+            const size_t count = numel(op.out);
+            // add() in the walk is copy + addScaled(alpha = 1).
+            for (size_t i = 0; i < count; ++i)
+                out[i] = a[i] + 1.0f * b[i];
+            break;
+          }
+          case OpKind::LayerNorm: {
+            const float *src_base = buffer(op.inputs[0]);
+            const float *g = weight_data_[op.weights[0]];
+            const float *bb = weight_data_[op.weights[1]];
+            const int d = lastDim(op.out);
+            const size_t rows = numel(op.out) / d;
+            const float eps = op.fattr;
+            for (size_t r = 0; r < rows; ++r) {
+                const float *src = src_base + r * d;
+                float mu = 0.0f;
+                for (int j = 0; j < d; ++j)
+                    mu += src[j];
+                mu /= d;
+                float var = 0.0f;
+                for (int j = 0; j < d; ++j) {
+                    const float delta = src[j] - mu;
+                    var += delta * delta;
+                }
+                var /= d;
+                const float inv = 1.0f / std::sqrt(var + eps);
+                float *dst = out + r * d;
+                for (int j = 0; j < d; ++j)
+                    dst[j] = (src[j] - mu) * inv * g[j] + bb[j];
+            }
+            break;
+          }
+          case OpKind::Gemm: {
+            const uint32_t w = op.weights[0];
+            const WeightRef &matrix = plan_.weights[w];
+            const int k = matrix.rows;
+            const int n = matrix.cols;
+            const float *a = buffer(op.inputs[0]);
+            const size_t m = numel(op.inputs[0]) / static_cast<size_t>(k);
+            std::fill(out, out + m * n, 0.0f);
+            const float *bt =
+                packed_[w].empty() ? nullptr : packed_[w].data();
+            tensor::gemmAccPacked(a, weight_data_[w], bt, out,
+                                  static_cast<int>(m), n, k, false,
+                                  false);
+            if (op.epilogue != Epilogue::None) {
+                const float *bias = weight_data_[op.weights[1]];
+                for (size_t r = 0; r < m; ++r) {
+                    float *dst = out + r * n;
+                    for (int j = 0; j < n; ++j)
+                        dst[j] += bias[j];
+                }
+            }
+            const size_t count = m * static_cast<size_t>(n);
+            if (op.epilogue == Epilogue::BiasGelu) {
+                for (size_t i = 0; i < count; ++i)
+                    out[i] = geluForward(out[i]);
+            } else if (op.epilogue == Epilogue::BiasRelu) {
+                for (size_t i = 0; i < count; ++i)
+                    out[i] = std::max(out[i], 0.0f);
+            }
+            break;
+          }
+          case OpKind::SplitHeads: {
+            const int d = lastDim(op.inputs[0]);
+            const int dh = d / heads;
+            const float *src_base = buffer(op.inputs[0]);
+            for (int bi = 0; bi < batch; ++bi) {
+                for (int ti = 0; ti < time; ++ti) {
+                    const float *src =
+                        src_base +
+                        (static_cast<size_t>(bi) * time + ti) * d;
+                    for (int h = 0; h < heads; ++h) {
+                        float *dst =
+                            out + ((static_cast<size_t>(bi) * heads + h) *
+                                       time + ti) * dh;
+                        std::copy(src + h * dh, src + (h + 1) * dh, dst);
+                    }
+                }
+            }
+            break;
+          }
+          case OpKind::MergeHeads: {
+            const int dh = lastDim(op.inputs[0]);
+            const int d = dh * heads;
+            const float *src_base = buffer(op.inputs[0]);
+            for (int bi = 0; bi < batch; ++bi) {
+                for (int ti = 0; ti < time; ++ti) {
+                    float *dst =
+                        out + (static_cast<size_t>(bi) * time + ti) * d;
+                    for (int h = 0; h < heads; ++h) {
+                        const float *src =
+                            src_base +
+                            ((static_cast<size_t>(bi) * heads + h) *
+                                 time + ti) * dh;
+                        std::copy(src, src + dh, dst + h * dh);
+                    }
+                }
+            }
+            break;
+          }
+          case OpKind::BmmTransB: {
+            // scores[i] = q[i] x k[i]^T per batch-head slice, exactly
+            // like bmmTransB's per-batch gemmAcc loop.
+            const int dh = lastDim(op.inputs[0]);
+            const float *q = buffer(op.inputs[0]);
+            const float *kmat = buffer(op.inputs[1]);
+            const int bh = batch * heads;
+            const size_t in_stride = static_cast<size_t>(time) * dh;
+            const size_t out_stride = static_cast<size_t>(time) * time;
+            const bool simd = tensor::gemmSimdActive();
+            for (int i = 0; i < bh; ++i) {
+                float *c = out + i * out_stride;
+                std::fill(c, c + out_stride, 0.0f);
+                const float *b = kmat + i * in_stride;
+                const float *bt = nullptr;
+                if (simd) {
+                    tensor::gemmPackB(b, time, dh, true, scratch);
+                    bt = scratch;
+                }
+                tensor::gemmAccPacked(q + i * in_stride, b, bt, c, time,
+                                      time, dh, false, true);
+            }
+            if (op.epilogue == Epilogue::ScaleMaskSoftmax) {
+                // The walk's exact pass order: scale the whole tensor,
+                // assign the padding mask, then per-row softmax.
+                const size_t total = static_cast<size_t>(bh) * out_stride;
+                for (size_t i = 0; i < total; ++i)
+                    out[i] *= op.fattr;
+                constexpr float kNegInf = -1e9f;
+                for (int i = 0; i < bh; ++i) {
+                    const int len = lengths[i / heads];
+                    for (int qi = 0; qi < time; ++qi) {
+                        float *row =
+                            out + (static_cast<size_t>(i) * time + qi) *
+                                      time;
+                        for (int j = len; j < time; ++j)
+                            row[j] = kNegInf;
+                    }
+                }
+                const size_t rows = static_cast<size_t>(bh) * time;
+                for (size_t r = 0; r < rows; ++r) {
+                    float *row = out + r * time;
+                    float max_val = row[0];
+                    for (int j = 1; j < time; ++j)
+                        max_val = std::max(max_val, row[j]);
+                    float sum = 0.0f;
+                    for (int j = 0; j < time; ++j) {
+                        row[j] = std::exp(row[j] - max_val);
+                        sum += row[j];
+                    }
+                    const float inv = 1.0f / sum;
+                    for (int j = 0; j < time; ++j)
+                        row[j] *= inv;
+                }
+            }
+            break;
+          }
+          case OpKind::Bmm: {
+            // ctx[i] = attn[i] x v[i] per batch-head slice.
+            const int dh = lastDim(op.inputs[1]);
+            const float *a_base = buffer(op.inputs[0]);
+            const float *b_base = buffer(op.inputs[1]);
+            const int bh = batch * heads;
+            const size_t a_stride = static_cast<size_t>(time) * time;
+            const size_t b_stride = static_cast<size_t>(time) * dh;
+            const bool simd = tensor::gemmSimdActive();
+            for (int i = 0; i < bh; ++i) {
+                float *c = out + i * b_stride;
+                std::fill(c, c + b_stride, 0.0f);
+                const float *b = b_base + i * b_stride;
+                const float *bt = nullptr;
+                if (simd) {
+                    tensor::gemmPackB(b, dh, time, false, scratch);
+                    bt = scratch;
+                }
+                tensor::gemmAccPacked(a_base + i * a_stride, b, bt, c,
+                                      time, dh, time, false, false);
+            }
+            break;
+          }
+          case OpKind::MeanPool: {
+            const int d = lastDim(op.inputs[0]);
+            const float *src_base = buffer(op.inputs[0]);
+            for (int bi = 0; bi < batch; ++bi) {
+                const int len = std::max(1, std::min(lengths[bi], time));
+                float *dst = out + static_cast<size_t>(bi) * d;
+                std::fill(dst, dst + d, 0.0f);
+                for (int ti = 0; ti < len; ++ti) {
+                    const float *src =
+                        src_base +
+                        (static_cast<size_t>(bi) * time + ti) * d;
+                    for (int j = 0; j < d; ++j)
+                        dst[j] += src[j];
+                }
+                const float inv = 1.0f / len;
+                for (int j = 0; j < d; ++j)
+                    dst[j] *= inv;
+            }
+            break;
+          }
+        }
+    }
+    return buffer(plan_.ops.back().out);
+}
+
+} // namespace sns::plan

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Planned execution: compile a verified plan against a model's
+ * parameters and run batches through it with zero per-batch heap
+ * allocations (docs/plan.md).
+ *
+ * compilePlan() runs the full static-analysis pipeline
+ * (verify::checkPlan + computePlanLayout) and enforce()s the result,
+ * validates every WeightRef against the actual parameter tensors
+ * (rule P-MODEL), and pre-packs each weight matrix into the 16-wide
+ * B-panel layout the SIMD gemm consumes — packing happens once at
+ * load, never per batch.
+ *
+ * CompiledPlan::run() then executes the op list over a thread-local
+ * grow-only float arena at the offsets the layout pass proved
+ * non-overlapping. Every op replicates the corresponding module-walk
+ * kernel loop *exactly* (same accumulation order, same float/double
+ * promotions), so planned output is bitwise-identical to the walk —
+ * tests/test_plan.cc and bench/fig07_runtime.cc gate on that.
+ *
+ * A CompiledPlan snapshots nothing: it aliases the parameter tensors
+ * it was compiled against (keeping them alive via Variable handles)
+ * but pre-packed panels are copies frozen at compile time. Training a
+ * model after compiling a plan for it therefore invalidates the plan;
+ * like the path cache, planned execution assumes frozen weights —
+ * re-compile after any parameter update.
+ */
+
+#ifndef SNS_PLAN_RUNTIME_HH
+#define SNS_PLAN_RUNTIME_HH
+
+#include <memory>
+#include <vector>
+
+#include "plan/ir.hh"
+#include "tensor/autograd.hh"
+#include "verify/plan_check.hh"
+
+namespace sns::plan {
+
+/**
+ * Global kill switch for planned execution, also settable via the
+ * SNS_PLAN environment variable ("0"/"off"/"false" disable it).
+ * Defaults to enabled. Bound plans are ignored while disabled — the
+ * module walk runs instead, which is what the bitwise A/B tests and
+ * `tools/run_lint.sh` toggle.
+ */
+bool planEnabled();
+void setPlanEnabled(bool enabled);
+
+/** A verified plan bound to a concrete model's parameters. */
+class CompiledPlan
+{
+  public:
+    /** The verified IR this plan executes. */
+    const Plan &plan() const { return plan_; }
+
+    /** The arena layout proved by the static analyzer. */
+    const verify::PlanLayout &layout() const { return layout_; }
+
+    /** Fingerprint of the model the plan was traced from. */
+    uint64_t fingerprint() const { return plan_.fingerprint; }
+
+    /** Largest batch run() accepts. */
+    int batchMax() const { return plan_.config.batch_max; }
+
+    /**
+     * Execute one padded batch. `ids` is row-major [batch, time],
+     * `lengths` the per-row valid lengths (as produced by the
+     * predictor's pack()). Returns a pointer to the [batch, 3]
+     * output region inside a thread-local arena — valid until the
+     * next run() on the same thread. Requires batch <= batchMax()
+     * and time <= config.max_positions.
+     */
+    const float *run(const std::vector<int> &ids,
+                     const std::vector<int> &lengths, int batch,
+                     int time) const;
+
+  private:
+    friend std::shared_ptr<const CompiledPlan>
+    compilePlan(const Plan &plan,
+                const std::vector<tensor::Variable> &params);
+
+    Plan plan_;
+    verify::PlanLayout layout_;
+    /** Keep-alive handles; weight_data_ aliases these tensors. */
+    std::vector<tensor::Variable> params_;
+    /** Raw value pointer per weight-table entry. */
+    std::vector<const float *> weight_data_;
+    /** Pre-packed B panels per weight-table entry (Matrix role only;
+     * empty vectors otherwise). */
+    std::vector<std::vector<float>> packed_;
+};
+
+/**
+ * Verify `plan` (checkPlan + computePlanLayout, enforce()d under the
+ * ambient SNS_VERIFY mode), validate it against `params` — the
+ * model's parameters() in canonical flat order — and pre-pack the
+ * weight matrices. Throws verify::VerifyError (under the default
+ * Fatal mode) when the plan is malformed or does not match the
+ * parameters.
+ */
+std::shared_ptr<const CompiledPlan>
+compilePlan(const Plan &plan, const std::vector<tensor::Variable> &params);
+
+} // namespace sns::plan
+
+#endif // SNS_PLAN_RUNTIME_HH

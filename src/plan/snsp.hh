@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The .snsp serialized execution-plan container.
+ *
+ * Layout (little-endian, fixed-width fields):
+ *
+ *   header, 24 bytes:
+ *     "SNSP"            4-byte magic
+ *     u32 version       currently 1
+ *     u64 payload_len   bytes following the header
+ *     u64 payload_hash  FNV-1a over the payload bytes
+ *
+ *   payload:
+ *     u64 fingerprint
+ *     i32 x 8           vocab, max_positions, d_model, heads, layers,
+ *                       d_ff, head_hidden, batch_max
+ *     u32 nbuffers      then per buffer: u8 ndim,
+ *                       ndim x { u8 dim_kind, i32 value }
+ *     u32 nweights      then per weight: u32 param_index, u8 role,
+ *                       i32 rows, i32 cols
+ *     u32 nops          then per op: u8 kind, u8 epilogue, u8 n_in,
+ *                       u8 n_w, n_in x u32 inputs, n_w x u32 weights,
+ *                       u32 out, f32 fattr, i32 iattr
+ *
+ * readPlanFile() performs the container checks (rules P-OPEN, P-MAGIC,
+ * P-VERSION, P-TRUNCATED, P-HASH) and an offset-tracked payload parse:
+ * every diagnostic carries the absolute byte offset and the field
+ * being decoded (verify::atByte). It deliberately reports *into* a
+ * Report instead of throwing, so sns_lint can keep going; enforcement
+ * policy stays with the caller (verify::checkPlanFile, model load,
+ * sns-serve RELOAD).
+ */
+
+#ifndef SNS_PLAN_SNSP_HH
+#define SNS_PLAN_SNSP_HH
+
+#include <string>
+#include <vector>
+
+#include "plan/ir.hh"
+#include "verify/diagnostics.hh"
+
+namespace sns::plan {
+
+inline constexpr char kSnspMagic[4] = {'S', 'N', 'S', 'P'};
+inline constexpr uint32_t kSnspVersion = 1;
+inline constexpr size_t kSnspHeaderBytes = 24;
+
+/** FNV-1a over a byte range (the hash in the .snsp header). */
+uint64_t fnv1a(const void *data, size_t bytes);
+
+/** Serialize a plan's payload (everything after the 24-byte header). */
+std::vector<unsigned char> serializePlanPayload(const Plan &plan);
+
+/** Serialize header + payload into one buffer. */
+std::vector<unsigned char> serializePlan(const Plan &plan);
+
+/** Write a plan to disk; throws std::runtime_error on I/O failure. */
+void writePlanFile(const Plan &plan, const std::string &path);
+
+/**
+ * Parse a payload (header already stripped) into `out`. Diagnostics
+ * carry byte offsets relative to the *file* start, i.e. payload
+ * offsets shifted by kSnspHeaderBytes. Returns false — with at least
+ * one error in `report` — when the payload is malformed.
+ */
+bool parsePlanPayload(const unsigned char *data, size_t size, Plan &out,
+                      verify::Report &report, const std::string &where);
+
+/**
+ * Read + container-check + parse one .snsp file. Returns false when
+ * `out` is unusable; `report` holds the P-* findings either way.
+ */
+bool readPlanFile(const std::string &path, Plan &out,
+                  verify::Report &report);
+
+} // namespace sns::plan
+
+#endif // SNS_PLAN_SNSP_HH

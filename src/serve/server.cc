@@ -15,6 +15,7 @@
 #include "netlist/snl_parser.hh"
 #include "netlist/verilog_parser.hh"
 #include "util/logging.hh"
+#include "verify/diagnostics.hh"
 
 namespace sns::serve {
 
@@ -349,6 +350,12 @@ Server::stageReload(const std::string &directory)
             core::SnsPredictor::load(directory));
         std::lock_guard<std::mutex> lock(model_mutex_);
         staged_predictor_ = std::move(loaded);
+    } catch (const verify::VerifyError &e) {
+        // A checkpoint that *parses* but fails static analysis (a
+        // corrupt or mismatched plan.snsp, bad container hash, ...) —
+        // name the analyzer so operators reach for sns_lint, not the
+        // serializer.
+        return std::string("verification failed: ") + e.what();
     } catch (const std::exception &e) {
         return e.what();
     }

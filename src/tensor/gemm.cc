@@ -95,10 +95,11 @@ gemmRowsScalar(const float *a, const float *b, float *c, int m, int n,
 // stride and lets every microkernel iteration issue two aligned-width
 // FMAs per row. Compiled with a target attribute so portable builds
 // (SNS_NATIVE_ARCH=OFF) still carry the kernels; runtime dispatch
-// keeps them off CPUs without AVX2/FMA.
+// keeps them off CPUs without AVX2/FMA. The pack itself is plain C++
+// (no intrinsics) so gemmPackB works in every build — pre-packed
+// weights serialize/compile identically whether or not the microkernels
+// will consume them.
 // ---------------------------------------------------------------------
-
-#if SNS_SIMD_X86
 
 /** Pack op(B) into zero-padded 16-wide panels (k * 16 floats each). */
 void
@@ -137,6 +138,8 @@ packBPanels(const float *b, int n, int k, bool trans_b, float *bt)
         }
     }
 }
+
+#if SNS_SIMD_X86
 
 /**
  * 4 x 16 microkernel: rows [i, i + 4) x panel columns [j0, j0 + w).
@@ -292,42 +295,28 @@ gemmSimdActive()
     return simdFlag().load(std::memory_order_relaxed);
 }
 
+namespace {
+
+/**
+ * The one row-tiled execution path behind gemmAcc and gemmAccPacked:
+ * `bt` (non-null iff the SIMD kernels should run) holds the packed
+ * panels of op(B), `b` the raw operand for the scalar fallback. All
+ * layouts tile over rows of C: each tile runs the full p loop for its
+ * rows, so tiling (and threading over tiles) never changes a single
+ * bit of the result.
+ */
 void
-gemmAcc(const float *a, const float *b, float *c, int m, int n, int k,
-        bool trans_a, bool trans_b)
+gemmDispatch(const float *a, const float *b, const float *bt, float *c,
+             int m, int n, int k, bool trans_a, bool trans_b)
 {
-    if (m <= 0 || n <= 0 || k <= 0)
-        return;
-
-    const bool simd = gemmSimdActive();
-#if SNS_SIMD_X86
-    // Pack op(B) once, on the calling thread, before the parallel
-    // region; row tiles share the read-only panels. The scratch is
-    // thread-local, so GEMMs running inline inside pool workers (the
-    // nested-parallelism case) each pack into their own buffer.
-    const float *bt = nullptr;
-    if (simd) {
-        const size_t panels =
-            (static_cast<size_t>(n) + kPanelWidth - 1) / kPanelWidth;
-        const size_t need = panels * k * kPanelWidth;
-        if (t_pack_buffer.size() < need)
-            t_pack_buffer.resize(need);
-        packBPanels(b, n, k, trans_b, t_pack_buffer.data());
-        bt = t_pack_buffer.data();
-    }
-#else
-    (void)simd;
-#endif
-
-    // All layouts tile over rows of C: each tile runs the full p loop
-    // for its rows, so tiling (and threading over tiles) never changes
-    // a single bit of the result.
     auto rows = [&](int i0, int i1) {
 #if SNS_SIMD_X86
-        if (simd) {
+        if (bt != nullptr) {
             gemmRowsSimd(a, bt, c, m, n, k, trans_a, i0, i1);
             return;
         }
+#else
+        (void)bt;
 #endif
         gemmRowsScalar(a, b, c, m, n, k, trans_a, trans_b, i0, i1);
     };
@@ -347,6 +336,63 @@ gemmAcc(const float *a, const float *b, float *c, int m, int n, int k,
     } else {
         rows(0, m);
     }
+}
+
+} // namespace
+
+void
+gemmAcc(const float *a, const float *b, float *c, int m, int n, int k,
+        bool trans_a, bool trans_b)
+{
+    if (m <= 0 || n <= 0 || k <= 0)
+        return;
+
+    const float *bt = nullptr;
+#if SNS_SIMD_X86
+    // Pack op(B) once, on the calling thread, before the parallel
+    // region; row tiles share the read-only panels. The scratch is
+    // thread-local, so GEMMs running inline inside pool workers (the
+    // nested-parallelism case) each pack into their own buffer.
+    if (gemmSimdActive()) {
+        const size_t need = gemmPackedFloats(n, k);
+        if (t_pack_buffer.size() < need)
+            t_pack_buffer.resize(need);
+        packBPanels(b, n, k, trans_b, t_pack_buffer.data());
+        bt = t_pack_buffer.data();
+    }
+#endif
+    gemmDispatch(a, b, bt, c, m, n, k, trans_a, trans_b);
+}
+
+size_t
+gemmPackedFloats(int n, int k)
+{
+    if (n <= 0 || k <= 0)
+        return 0;
+    const size_t panels =
+        (static_cast<size_t>(n) + kPanelWidth - 1) / kPanelWidth;
+    return panels * static_cast<size_t>(k) * kPanelWidth;
+}
+
+void
+gemmPackB(const float *b, int n, int k, bool trans_b, float *bt)
+{
+    if (n <= 0 || k <= 0)
+        return;
+    packBPanels(b, n, k, trans_b, bt);
+}
+
+void
+gemmAccPacked(const float *a, const float *b, const float *bt, float *c,
+              int m, int n, int k, bool trans_a, bool trans_b)
+{
+    if (m <= 0 || n <= 0 || k <= 0)
+        return;
+    // The panels are only consumed when the microkernels would run;
+    // the scalar path reads the raw operand, exactly like gemmAcc.
+    const bool simd = gemmSimdActive() && bt != nullptr;
+    gemmDispatch(a, b, simd ? bt : nullptr, c, m, n, k, trans_a,
+                 trans_b);
 }
 
 void

@@ -19,6 +19,8 @@
 #ifndef SNS_TENSOR_GEMM_HH
 #define SNS_TENSOR_GEMM_HH
 
+#include <cstddef>
+
 namespace sns::tensor {
 
 /**
@@ -56,6 +58,39 @@ void setGemmSimd(bool enabled);
 
 /** True when gemmAcc currently dispatches to the SIMD microkernels. */
 bool gemmSimdActive();
+
+/** @name Pre-packed operation
+ * gemmAcc packs op(B) into 16-wide column panels on every call. When
+ * the same B is multiplied many times (the execution-plan path packs
+ * each weight matrix once at model-load time), callers can hold the
+ * packed panels themselves and skip the per-call pack:
+ *
+ *     std::vector<float> bt(gemmPackedFloats(n, k));
+ *     gemmPackB(b, n, k, trans_b, bt.data());
+ *     gemmAccPacked(a, b, bt.data(), c, m, n, k, trans_a, trans_b);
+ *
+ * gemmAccPacked follows the exact dispatch, tiling, and accumulation
+ * contract of gemmAcc, so its results are bitwise identical to
+ * gemmAcc's for the same operands. The raw `b` pointer is still
+ * required: the scalar fallback (SIMD compiled out, unsupported CPU,
+ * or SNS_SIMD=0) reads it instead of the panels.
+ * @{
+ */
+
+/** Floats required for the packed panels of an op(B) with n columns
+ * and k rows (zero-padded to a multiple of the 16-wide panel). */
+size_t gemmPackedFloats(int n, int k);
+
+/** Pack op(B) into caller-owned storage of gemmPackedFloats(n, k)
+ * floats. `b` is stored (k x n), or (n x k) when trans_b. */
+void gemmPackB(const float *b, int n, int k, bool trans_b, float *bt);
+
+/** gemmAcc against pre-packed panels `bt` (may be null to force the
+ * scalar path; results do not change, only throughput does). */
+void gemmAccPacked(const float *a, const float *b, const float *bt,
+                   float *c, int m, int n, int k, bool trans_a,
+                   bool trans_b);
+/** @} */
 
 } // namespace sns::tensor
 

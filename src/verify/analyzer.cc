@@ -627,14 +627,14 @@ checkCheckpointFile(const std::string &path)
     char magic[4] = {};
     in.read(magic, sizeof(magic));
     if (!in) {
-        report.error(rules::kCheckpointTruncated, path,
+        report.error(rules::kCheckpointTruncated, atByte(path, 0, "magic"),
                      "file shorter than the 24-byte SNSC header",
                      "the checkpoint write was interrupted before the "
                      "atomic rename; delete the file");
         return report;
     }
     if (!std::equal(magic, magic + 4, kMagic)) {
-        report.error(rules::kCheckpointMagic, path,
+        report.error(rules::kCheckpointMagic, atByte(path, 0, "magic"),
                      "bad container magic (expected \"SNSC\")",
                      "this is not a training checkpoint");
         return report;
@@ -648,14 +648,14 @@ checkCheckpointFile(const std::string &path)
     in.read(reinterpret_cast<char *>(&expected_hash),
             sizeof(expected_hash));
     if (!in) {
-        report.error(rules::kCheckpointTruncated, path,
+        report.error(rules::kCheckpointTruncated, atByte(path, 4, "header"),
                      "file shorter than the 24-byte SNSC header",
                      "the checkpoint write was interrupted before the "
                      "atomic rename; delete the file");
         return report;
     }
     if (version != kVersion) {
-        report.error(rules::kCheckpointVersion, path,
+        report.error(rules::kCheckpointVersion, atByte(path, 4, "version"),
                      "unsupported checkpoint version " +
                          std::to_string(version) + " (expected " +
                          std::to_string(kVersion) + ")");
@@ -667,14 +667,15 @@ checkCheckpointFile(const std::string &path)
         in.read(payload.data(), static_cast<std::streamsize>(length));
     if (!in || static_cast<uint64_t>(in.gcount()) != length) {
         report.error(
-            rules::kCheckpointTruncated, path,
+            rules::kCheckpointTruncated, atByte(path, 8, "payload length"),
             "header declares " + std::to_string(length) +
                 " payload bytes but the file ends early",
             "resume from an older checkpoint in the same directory");
         return report;
     }
     if (in.peek() != std::char_traits<char>::eof()) {
-        report.warning(rules::kCheckpointTruncated, path,
+        report.warning(rules::kCheckpointTruncated,
+                       atByte(path, 24 + length, "payload tail"),
                        "trailing bytes after the declared payload");
     }
 
@@ -684,7 +685,8 @@ checkCheckpointFile(const std::string &path)
         hash *= 0x100000001b3ull;
     }
     if (hash != expected_hash) {
-        report.error(rules::kCheckpointHash, path,
+        report.error(rules::kCheckpointHash,
+                     atByte(path, 16, "payload hash"),
                      "payload hash mismatch (file is corrupt)",
                      "resume from an older checkpoint in the same "
                      "directory");

@@ -26,6 +26,7 @@
 #define SNS_VERIFY_DIAGNOSTICS_HH
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <ostream>
 #include <stdexcept>
@@ -58,9 +59,11 @@ severityName(Severity severity)
 }
 
 /** @name Stable rule identifiers
- * G-* fire on GraphIR circuits, V-* on the vocabulary, P-* on circuit
- * paths, D-* on datasets, S-* on synthesis results, T-* on tensors and
- * training, C-* on training-checkpoint containers. docs/verify.md
+ * G-* fire on GraphIR circuits, V-* on the vocabulary, P-SHORT/P-LONG/
+ * P-OOV/P-ENDPOINT/P-INTERIOR on circuit paths, D-* on datasets, S-*
+ * on synthesis results, T-* on tensors and training, C-* on
+ * training-checkpoint containers, and the remaining P-* ids on
+ * serialized execution plans (.snsp, docs/plan.md). docs/verify.md
  * documents each one.
  * @{
  */
@@ -95,8 +98,33 @@ inline constexpr const char *kCheckpointMagic = "C-MAGIC";
 inline constexpr const char *kCheckpointVersion = "C-VERSION";
 inline constexpr const char *kCheckpointTruncated = "C-TRUNCATED";
 inline constexpr const char *kCheckpointHash = "C-HASH";
+inline constexpr const char *kPlanOpen = "P-OPEN";
+inline constexpr const char *kPlanMagic = "P-MAGIC";
+inline constexpr const char *kPlanVersion = "P-VERSION";
+inline constexpr const char *kPlanTruncated = "P-TRUNCATED";
+inline constexpr const char *kPlanHash = "P-HASH";
+inline constexpr const char *kPlanBuffer = "P-BUFFER";
+inline constexpr const char *kPlanShape = "P-SHAPE";
+inline constexpr const char *kPlanOrder = "P-ORDER";
+inline constexpr const char *kPlanAlloc = "P-ALLOC";
+inline constexpr const char *kPlanModel = "P-MODEL";
 } // namespace rules
 /** @} */
+
+/**
+ * Location string for container/byte-format diagnostics (C-*, P-*):
+ * artifact, absolute byte offset, and the field being decoded, e.g.
+ * "model/plan.snsp @ byte 24 (op table)". Every container checker uses
+ * this so a corrupted-fixture failure points at the corrupt block
+ * instead of just naming the file.
+ */
+inline std::string
+atByte(const std::string &artifact, uint64_t offset,
+       const std::string &field)
+{
+    return artifact + " @ byte " + std::to_string(offset) + " (" + field +
+           ")";
+}
 
 /** One finding: severity, stable rule id, location, message, hint. */
 struct Diagnostic

@@ -1,0 +1,680 @@
+#include "verify/plan_check.hh"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "plan/snsp.hh"
+
+namespace sns::verify {
+
+namespace {
+
+using plan::Dim;
+using plan::DimKind;
+using plan::Epilogue;
+using plan::Op;
+using plan::OpKind;
+using plan::Shape;
+using plan::WeightRef;
+using plan::WeightRole;
+
+/** The gemm panel width, duplicated from tensor/gemm.hh on purpose:
+ * sns_verify stays a leaf library below sns_tensor, and a round-trip
+ * test (test_plan.cc) pins the two constants together against drift. */
+constexpr size_t kPanelWidth = 16;
+
+std::string
+opLocation(size_t index, const Op &op)
+{
+    return "op " + std::to_string(index) + " (" +
+           plan::opKindName(op.kind) + ")";
+}
+
+/** Last dimension when it is static; nullopt otherwise. */
+std::optional<int32_t>
+staticLast(const Shape &shape)
+{
+    if (shape.ndim == 0)
+        return std::nullopt;
+    const Dim &last = shape.dims[shape.ndim - 1];
+    if (last.kind != DimKind::Static)
+        return std::nullopt;
+    return last.value;
+}
+
+/** Pass 1: every buffer id, weight-table index, and parameter index is
+ * in range (P-BUFFER); weight extents are sane (P-SHAPE). */
+void
+checkIndices(const plan::Plan &plan_ir, Report &report)
+{
+    const size_t nbuffers = plan_ir.buffers.size();
+    const size_t nweights = plan_ir.weights.size();
+    const size_t param_limit = plan::canonicalParamCount(plan_ir.config);
+
+    for (size_t i = 0; i < nweights; ++i) {
+        const WeightRef &weight = plan_ir.weights[i];
+        const std::string where = "weight ref " + std::to_string(i) +
+                                  " (" +
+                                  plan::weightRoleName(weight.role) + ")";
+        if (weight.param_index >= param_limit) {
+            report.error(rules::kPlanBuffer, where,
+                         "parameter index " +
+                             std::to_string(weight.param_index) +
+                             " out of range (this architecture has " +
+                             std::to_string(param_limit) +
+                             " parameters)",
+                         "the plan references a parameter the model "
+                         "does not have; re-trace it");
+        }
+        if (weight.rows <= 0 || weight.cols < 0) {
+            report.error(rules::kPlanShape, where,
+                         "non-positive parameter extent (rows=" +
+                             std::to_string(weight.rows) + ", cols=" +
+                             std::to_string(weight.cols) + ")");
+        }
+    }
+
+    for (size_t i = 0; i < plan_ir.ops.size(); ++i) {
+        const Op &op = plan_ir.ops[i];
+        const std::string where = opLocation(i, op);
+        for (uint32_t input : op.inputs) {
+            if (input >= nbuffers) {
+                report.error(rules::kPlanBuffer, where,
+                             "dangling input buffer id " +
+                                 std::to_string(input) +
+                                 " (plan declares " +
+                                 std::to_string(nbuffers) + " buffers)",
+                             "re-trace the plan with `sns-cli plan`");
+            }
+        }
+        if (op.out >= nbuffers) {
+            report.error(rules::kPlanBuffer, where,
+                         "dangling output buffer id " +
+                             std::to_string(op.out) +
+                             " (plan declares " +
+                             std::to_string(nbuffers) + " buffers)");
+        }
+        for (uint32_t weight : op.weights) {
+            if (weight >= nweights) {
+                report.error(rules::kPlanBuffer, where,
+                             "dangling weight-table index " +
+                                 std::to_string(weight) +
+                                 " (plan declares " +
+                                 std::to_string(nweights) +
+                                 " weight refs)");
+            }
+        }
+    }
+}
+
+/** Pass 2: SSA + topological order (P-ORDER); unwritten buffers
+ * (P-BUFFER). */
+void
+checkSsa(const plan::Plan &plan_ir, Report &report)
+{
+    const size_t nbuffers = plan_ir.buffers.size();
+    std::vector<int32_t> writer(nbuffers, -1);
+    for (size_t i = 0; i < plan_ir.ops.size(); ++i) {
+        const Op &op = plan_ir.ops[i];
+        const std::string where = opLocation(i, op);
+        for (uint32_t input : op.inputs) {
+            if (input < nbuffers && writer[input] < 0) {
+                report.error(rules::kPlanOrder, where,
+                             "reads buffer " + std::to_string(input) +
+                                 " before any op writes it",
+                             "the op list is not topologically ordered");
+            }
+        }
+        if (op.out < nbuffers) {
+            if (writer[op.out] >= 0) {
+                report.error(rules::kPlanOrder, where,
+                             "buffer " + std::to_string(op.out) +
+                                 " already written by op " +
+                                 std::to_string(writer[op.out]) +
+                                 " (SSA violation)");
+            }
+            writer[op.out] = static_cast<int32_t>(i);
+        }
+    }
+    for (size_t b = 0; b < nbuffers; ++b) {
+        if (writer[b] < 0) {
+            report.error(rules::kPlanBuffer,
+                         "buffer " + std::to_string(b) + " " +
+                             plan::toString(plan_ir.buffers[b]),
+                         "declared but never written by any op");
+        }
+    }
+}
+
+/** Pass 3: dataflow shape inference (P-SHAPE). */
+void
+checkShapes(const plan::Plan &plan_ir, Report &report)
+{
+    const plan::PlanConfig &config = plan_ir.config;
+    for (size_t i = 0; i < plan_ir.ops.size(); ++i) {
+        const Op &op = plan_ir.ops[i];
+        const std::string where = opLocation(i, op);
+        const auto fail = [&](const std::string &message,
+                              const std::string &hint = "") {
+            report.error(rules::kPlanShape, where, message, hint);
+        };
+        const auto input = [&](size_t j) -> const Shape * {
+            if (j >= op.inputs.size() ||
+                op.inputs[j] >= plan_ir.buffers.size())
+                return nullptr;
+            return &plan_ir.buffers[op.inputs[j]];
+        };
+        const auto weight = [&](size_t j) -> const WeightRef * {
+            if (j >= op.weights.size() ||
+                op.weights[j] >= plan_ir.weights.size())
+                return nullptr;
+            return &plan_ir.weights[op.weights[j]];
+        };
+        const auto arity = [&](size_t n_in, size_t n_w) {
+            if (op.inputs.size() == n_in && op.weights.size() == n_w)
+                return true;
+            fail("expects " + std::to_string(n_in) + " input(s) and " +
+                 std::to_string(n_w) + " weight ref(s), has " +
+                 std::to_string(op.inputs.size()) + " and " +
+                 std::to_string(op.weights.size()));
+            return false;
+        };
+        const auto requireRole = [&](const WeightRef &ref,
+                                     WeightRole role) {
+            if (ref.role == role)
+                return true;
+            fail(std::string("weight ref has role ") +
+                 plan::weightRoleName(ref.role) + ", expected " +
+                 plan::weightRoleName(role));
+            return false;
+        };
+
+        std::optional<Shape> expected;
+        switch (op.kind) {
+          case OpKind::TokenEmbed:
+          case OpKind::PosEmbed: {
+            if (!arity(0, 1))
+                break;
+            const WeightRef *table = weight(0);
+            if (table == nullptr || !requireRole(*table, WeightRole::Table))
+                break;
+            const int32_t want_rows = op.kind == OpKind::TokenEmbed
+                                          ? config.vocab
+                                          : config.max_positions;
+            if (table->rows != want_rows || table->cols != config.d_model) {
+                fail("embedding table is [" +
+                     std::to_string(table->rows) + ", " +
+                     std::to_string(table->cols) +
+                     "], config requires [" + std::to_string(want_rows) +
+                     ", " + std::to_string(config.d_model) + "]");
+                break;
+            }
+            expected = plan::makeShape({plan::batchDim(), plan::timeDim(),
+                                        plan::staticDim(config.d_model)});
+            break;
+          }
+          case OpKind::Add: {
+            if (!arity(2, 0))
+                break;
+            const Shape *a = input(0);
+            const Shape *b = input(1);
+            if (a == nullptr || b == nullptr)
+                break;
+            if (!(*a == *b)) {
+                fail("input shapes " + plan::toString(*a) + " and " +
+                     plan::toString(*b) + " differ");
+                break;
+            }
+            expected = *a;
+            break;
+          }
+          case OpKind::LayerNorm: {
+            if (!arity(1, 2))
+                break;
+            const Shape *x = input(0);
+            const WeightRef *gamma = weight(0);
+            const WeightRef *beta = weight(1);
+            if (x == nullptr || gamma == nullptr || beta == nullptr)
+                break;
+            const auto width = staticLast(*x);
+            if (!width) {
+                fail("input " + plan::toString(*x) +
+                     " must have a static last dimension");
+                break;
+            }
+            if (!requireRole(*gamma, WeightRole::Gamma) ||
+                !requireRole(*beta, WeightRole::Beta))
+                break;
+            if (gamma->rows != *width || beta->rows != *width) {
+                fail("gamma/beta length " +
+                     std::to_string(gamma->rows) + "/" +
+                     std::to_string(beta->rows) +
+                     " does not match normalized width " +
+                     std::to_string(*width));
+                break;
+            }
+            expected = *x;
+            break;
+          }
+          case OpKind::Gemm: {
+            const size_t n_w = op.epilogue == Epilogue::None ? 1 : 2;
+            if (!arity(1, n_w))
+                break;
+            const Shape *x = input(0);
+            const WeightRef *matrix = weight(0);
+            if (x == nullptr || matrix == nullptr ||
+                !requireRole(*matrix, WeightRole::Matrix))
+                break;
+            if (x->ndim < 2) {
+                fail("input " + plan::toString(*x) +
+                     " must be 2-D or 3-D");
+                break;
+            }
+            const auto width = staticLast(*x);
+            if (!width) {
+                fail("input " + plan::toString(*x) +
+                     " must have a static last dimension");
+                break;
+            }
+            if (matrix->rows != *width) {
+                fail("input width " + std::to_string(*width) +
+                     " does not match weight rows " +
+                     std::to_string(matrix->rows));
+                break;
+            }
+            if (n_w == 2) {
+                const WeightRef *bias = weight(1);
+                if (bias == nullptr ||
+                    !requireRole(*bias, WeightRole::Bias))
+                    break;
+                if (bias->rows != matrix->cols) {
+                    fail("bias length " + std::to_string(bias->rows) +
+                         " does not match weight cols " +
+                         std::to_string(matrix->cols));
+                    break;
+                }
+            }
+            Shape out = *x;
+            out.dims[out.ndim - 1] = plan::staticDim(matrix->cols);
+            expected = out;
+            break;
+          }
+          case OpKind::SplitHeads:
+          case OpKind::MergeHeads: {
+            if (!arity(1, 0))
+                break;
+            const Shape *x = input(0);
+            if (x == nullptr)
+                break;
+            const auto width = staticLast(*x);
+            if (x->ndim != 3 || !width) {
+                fail("input " + plan::toString(*x) +
+                     " must be 3-D with a static last dimension");
+                break;
+            }
+            if (op.iattr != config.heads || config.heads <= 0) {
+                fail("head count attribute " +
+                     std::to_string(op.iattr) +
+                     " does not match config.heads " +
+                     std::to_string(config.heads));
+                break;
+            }
+            if (op.kind == OpKind::SplitHeads) {
+                if (x->dims[0].kind != DimKind::Batch ||
+                    *width % config.heads != 0) {
+                    fail("split-heads needs a [B, T, D] input with D "
+                         "divisible by heads, got " +
+                         plan::toString(*x));
+                    break;
+                }
+                expected = plan::makeShape(
+                    {plan::batchHeadsDim(), x->dims[1],
+                     plan::staticDim(*width / config.heads)});
+            } else {
+                if (x->dims[0].kind != DimKind::BatchHeads) {
+                    fail("merge-heads needs a [B*H, T, dh] input, got " +
+                         plan::toString(*x));
+                    break;
+                }
+                expected = plan::makeShape(
+                    {plan::batchDim(), x->dims[1],
+                     plan::staticDim(*width * config.heads)});
+            }
+            break;
+          }
+          case OpKind::BmmTransB:
+          case OpKind::Bmm: {
+            if (!arity(2, 0))
+                break;
+            const Shape *a = input(0);
+            const Shape *b = input(1);
+            if (a == nullptr || b == nullptr)
+                break;
+            if (a->ndim != 3 || b->ndim != 3 ||
+                !(a->dims[0] == b->dims[0])) {
+                fail("batched matmul needs 3-D inputs with equal batch "
+                     "dims, got " + plan::toString(*a) + " x " +
+                     plan::toString(*b));
+                break;
+            }
+            const Dim &a_inner = a->dims[2];
+            const Dim &b_inner = op.kind == OpKind::BmmTransB
+                                     ? b->dims[2]
+                                     : b->dims[1];
+            if (!(a_inner == b_inner)) {
+                fail("inner dimensions do not conform: " +
+                     plan::toString(*a) + " x " + plan::toString(*b));
+                break;
+            }
+            const Dim &out_cols = op.kind == OpKind::BmmTransB
+                                      ? b->dims[1]
+                                      : b->dims[2];
+            expected =
+                plan::makeShape({a->dims[0], a->dims[1], out_cols});
+            break;
+          }
+          case OpKind::MeanPool: {
+            if (!arity(1, 0))
+                break;
+            const Shape *x = input(0);
+            if (x == nullptr)
+                break;
+            if (x->ndim != 3 || x->dims[0].kind != DimKind::Batch) {
+                fail("mean-pool needs a [B, T, D] input, got " +
+                     plan::toString(*x));
+                break;
+            }
+            expected = plan::makeShape({x->dims[0], x->dims[2]});
+            break;
+          }
+        }
+
+        if (expected && op.out < plan_ir.buffers.size()) {
+            const Shape &declared = plan_ir.buffers[op.out];
+            if (!(declared == *expected)) {
+                fail("declared output shape " + plan::toString(declared) +
+                         " does not match inferred shape " +
+                         plan::toString(*expected),
+                     "the buffer table disagrees with dataflow shape "
+                     "inference");
+            }
+        }
+    }
+}
+
+/** Legal fused epilogues per op kind: the elementwise/per-row tails
+ * the bitwise argument in docs/plan.md covers, nothing else. */
+bool
+epilogueLegal(OpKind kind, Epilogue epilogue)
+{
+    switch (kind) {
+      case OpKind::Gemm:
+        return epilogue == Epilogue::None || epilogue == Epilogue::Bias ||
+               epilogue == Epilogue::BiasGelu ||
+               epilogue == Epilogue::BiasRelu;
+      case OpKind::BmmTransB:
+        return epilogue == Epilogue::None ||
+               epilogue == Epilogue::ScaleMaskSoftmax;
+      default:
+        return epilogue == Epilogue::None;
+    }
+}
+
+/** Pass 4: fusion legality + structural equality with the canonical
+ * module walk (P-ORDER); fingerprint presence (P-MODEL). */
+void
+checkDeterminism(const plan::Plan &plan_ir, Report &report)
+{
+    for (size_t i = 0; i < plan_ir.ops.size(); ++i) {
+        const Op &op = plan_ir.ops[i];
+        if (!epilogueLegal(op.kind, op.epilogue)) {
+            report.error(rules::kPlanOrder, opLocation(i, op),
+                         std::string("fused epilogue '") +
+                             plan::epilogueName(op.epilogue) +
+                             "' is not bitwise-legal on this op kind",
+                         "only per-element/per-row tails may fuse; "
+                         "reductions keep the module-walk order");
+        }
+    }
+
+    const plan::PlanConfig &config = plan_ir.config;
+    if (config.vocab <= 0 || config.max_positions <= 0 ||
+        config.d_model <= 0 || config.heads <= 0 || config.layers <= 0 ||
+        config.d_ff <= 0 || config.head_hidden <= 0 ||
+        config.batch_max <= 0 || config.d_model % config.heads != 0) {
+        report.error(rules::kPlanShape, "plan config",
+                     "architecture extents must be positive and d_model "
+                     "must divide into heads");
+        return;  // buildCanonicalPlan would assert on this config
+    }
+    if (plan_ir.fingerprint == 0) {
+        report.error(rules::kPlanModel, "plan header",
+                     "plan carries no model fingerprint",
+                     "a traced plan always records the fingerprint of "
+                     "the model it was traced from");
+    }
+
+    const plan::Plan canonical =
+        plan::buildCanonicalPlan(config, plan_ir.fingerprint);
+    if (plan_ir.ops.size() != canonical.ops.size() ||
+        plan_ir.buffers.size() != canonical.buffers.size() ||
+        plan_ir.weights.size() != canonical.weights.size()) {
+        report.error(
+            rules::kPlanOrder, "plan tables",
+            "plan has " + std::to_string(plan_ir.ops.size()) + " ops / " +
+                std::to_string(plan_ir.buffers.size()) + " buffers / " +
+                std::to_string(plan_ir.weights.size()) +
+                " weight refs; the canonical module walk for this config "
+                "has " + std::to_string(canonical.ops.size()) + " / " +
+                std::to_string(canonical.buffers.size()) + " / " +
+                std::to_string(canonical.weights.size()),
+            "the plan does not trace this architecture's module walk");
+        return;
+    }
+    size_t reported = 0;
+    for (size_t i = 0; i < plan_ir.ops.size() && reported < 8; ++i) {
+        if (plan_ir.ops[i] == canonical.ops[i])
+            continue;
+        ++reported;
+        report.error(rules::kPlanOrder, opLocation(i, plan_ir.ops[i]),
+                     std::string("differs from the canonical module "
+                                 "walk (expected ") +
+                         plan::opKindName(canonical.ops[i].kind) +
+                         " with epilogue '" +
+                         plan::epilogueName(canonical.ops[i].epilogue) +
+                         "')",
+                     "reduction/epilogue order must match the module "
+                     "walk exactly");
+    }
+    for (size_t i = 0; i < plan_ir.weights.size() && reported < 8; ++i) {
+        if (plan_ir.weights[i] == canonical.weights[i])
+            continue;
+        ++reported;
+        report.error(rules::kPlanOrder,
+                     "weight ref " + std::to_string(i),
+                     "differs from the canonical module walk's "
+                     "parameter reference table");
+    }
+}
+
+} // namespace
+
+Report
+checkPlan(const plan::Plan &plan_ir)
+{
+    Report report;
+    checkIndices(plan_ir, report);
+    checkSsa(plan_ir, report);
+    checkShapes(plan_ir, report);
+    checkDeterminism(plan_ir, report);
+    return report;
+}
+
+PlanLayout
+computePlanLayout(const plan::Plan &plan_ir, Report &report)
+{
+    PlanLayout layout;
+    const size_t nbuffers = plan_ir.buffers.size();
+    layout.def_op.assign(nbuffers, -1);
+    layout.last_use.assign(nbuffers, -1);
+    layout.offsets.assign(nbuffers, 0);
+
+    const auto malformed = [&](const std::string &message) {
+        report.error(rules::kPlanAlloc, "plan arena", message,
+                     "run checkPlan() first; the layout pass needs an "
+                     "index/SSA-clean plan");
+        return PlanLayout{};
+    };
+
+    for (size_t i = 0; i < plan_ir.ops.size(); ++i) {
+        const Op &op = plan_ir.ops[i];
+        for (uint32_t input : op.inputs) {
+            if (input >= nbuffers || layout.def_op[input] < 0)
+                return malformed("op " + std::to_string(i) +
+                                 " reads an undefined buffer");
+            layout.last_use[input] = static_cast<int32_t>(i);
+        }
+        if (op.out >= nbuffers || layout.def_op[op.out] >= 0)
+            return malformed("op " + std::to_string(i) +
+                             " violates SSA");
+        layout.def_op[op.out] = static_cast<int32_t>(i);
+        layout.last_use[op.out] = static_cast<int32_t>(i);
+    }
+
+    const plan::PlanConfig &config = plan_ir.config;
+    const int batch = config.batch_max;
+    const int time = config.max_positions;
+
+    // Worst-case slot per buffer, rounded up to the panel width so
+    // every arena slot starts 64-byte aligned.
+    std::vector<size_t> slots(nbuffers, 0);
+    for (size_t b = 0; b < nbuffers; ++b) {
+        if (layout.def_op[b] < 0)
+            return malformed("buffer " + std::to_string(b) +
+                             " is never written");
+        const size_t numel = plan::resolveNumel(plan_ir.buffers[b], batch,
+                                                time, config.heads);
+        if (numel == 0)
+            return malformed("buffer " + std::to_string(b) +
+                             " resolves to zero elements at worst-case "
+                             "extents");
+        slots[b] = (numel + kPanelWidth - 1) / kPanelWidth * kPanelWidth;
+    }
+
+    // First-fit over live ranges, in definition (= op) order. Two
+    // buffers interfere when their [def, last_use] intervals overlap;
+    // an op's inputs are live *through* the op, so an output never
+    // aliases its inputs.
+    struct Placed
+    {
+        size_t begin;
+        size_t end;
+        int32_t def;
+        int32_t last;
+        size_t buffer;
+    };
+    std::vector<Placed> placed;
+    placed.reserve(nbuffers);
+    for (const Op &op : plan_ir.ops) {
+        const size_t b = op.out;
+        const int32_t def = layout.def_op[b];
+        const int32_t last = layout.last_use[b];
+        std::vector<std::pair<size_t, size_t>> busy;
+        for (const Placed &other : placed) {
+            if (other.def <= last && def <= other.last)
+                busy.emplace_back(other.begin, other.end);
+        }
+        std::sort(busy.begin(), busy.end());
+        size_t offset = 0;
+        for (const auto &[begin, end] : busy) {
+            if (offset + slots[b] <= begin)
+                break;
+            offset = std::max(offset, end);
+        }
+        layout.offsets[b] = offset;
+        placed.push_back({offset, offset + slots[b], def, last, b});
+    }
+
+    size_t arena = 0;
+    for (const Placed &entry : placed)
+        arena = std::max(arena, entry.end);
+
+    // Shared pack scratch for the per-batch bmm B operands (the only
+    // panels not packed at load time).
+    size_t scratch = 0;
+    for (const Op &op : plan_ir.ops) {
+        if (op.kind != OpKind::Bmm && op.kind != OpKind::BmmTransB)
+            continue;
+        if (op.inputs.size() != 2 || op.inputs[1] >= nbuffers)
+            continue;
+        const Shape &bv = plan_ir.buffers[op.inputs[1]];
+        if (bv.ndim != 3)
+            continue;
+        const bool trans_b = op.kind == OpKind::BmmTransB;
+        const int64_t n = plan::resolveDim(bv.dims[trans_b ? 1 : 2],
+                                           batch, time, config.heads);
+        const int64_t k = plan::resolveDim(bv.dims[trans_b ? 2 : 1],
+                                           batch, time, config.heads);
+        if (n <= 0 || k <= 0)
+            continue;
+        const size_t panels =
+            (static_cast<size_t>(n) + kPanelWidth - 1) / kPanelWidth;
+        scratch = std::max(scratch,
+                           panels * static_cast<size_t>(k) * kPanelWidth);
+    }
+    layout.scratch_offset = arena;
+    layout.scratch_floats = scratch;
+    layout.total_floats = arena + scratch;
+
+    // Alias self-check: no two time-overlapping buffers may share arena
+    // bytes. First-fit guarantees this; the check is the static proof.
+    for (size_t i = 0; i < placed.size(); ++i) {
+        for (size_t j = i + 1; j < placed.size(); ++j) {
+            const Placed &a = placed[i];
+            const Placed &b = placed[j];
+            const bool live_overlap = a.def <= b.last && b.def <= a.last;
+            const bool range_overlap = a.begin < b.end && b.begin < a.end;
+            if (live_overlap && range_overlap) {
+                report.error(rules::kPlanAlloc, "plan arena",
+                             "buffers " + std::to_string(a.buffer) +
+                                 " and " + std::to_string(b.buffer) +
+                                 " are live simultaneously but share "
+                                 "arena floats [" +
+                                 std::to_string(std::max(a.begin,
+                                                         b.begin)) +
+                                 ", " +
+                                 std::to_string(std::min(a.end, b.end)) +
+                                 ")");
+            }
+        }
+    }
+
+    report.note(
+        rules::kPlanAlloc, "plan arena",
+        std::to_string(nbuffers) + " buffers in " +
+            std::to_string(arena) + " floats + " +
+            std::to_string(scratch) + " pack-scratch floats (" +
+            std::to_string(layout.total_floats * sizeof(float) / 1024) +
+            " KiB) at worst case B=" + std::to_string(batch) +
+            ", T=" + std::to_string(time) +
+            "; planned execution performs zero per-batch heap "
+            "allocations (weights packed at load, grow-only "
+            "thread-local arena)");
+    return layout;
+}
+
+Report
+checkPlanFile(const std::string &path)
+{
+    Report report;
+    plan::Plan parsed;
+    if (!plan::readPlanFile(path, parsed, report))
+        return report;
+    report.merge(checkPlan(parsed));
+    if (!report.hasErrors())
+        computePlanLayout(parsed, report);
+    return report;
+}
+
+} // namespace sns::verify

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Static analysis over the sns::plan execution-plan IR (docs/plan.md).
+ *
+ * checkPlan() runs the pass pipeline every consumer of a plan must
+ * clear before executing it:
+ *
+ *   indices      every op input/output buffer id, weight-table index,
+ *                and parameter index is in range and every buffer is
+ *                written (rule P-BUFFER)
+ *   ssa/topology each buffer has exactly one def, defs precede uses,
+ *                and ops are topologically ordered (P-ORDER)
+ *   shapes       dataflow shape inference: every op's operands conform
+ *                and its declared output shape matches the inferred
+ *                one (P-SHAPE)
+ *   determinism  fused epilogues are bitwise-legal for their op kind
+ *                and the whole plan is structurally identical to the
+ *                canonical module walk for its config — any reduction
+ *                or epilogue reorder is rejected (P-ORDER)
+ *
+ * computePlanLayout() is the buffer liveness + alias analysis: it
+ * resolves every buffer at the worst-case extents (B = batch_max,
+ * T = max_positions), assigns non-overlapping arena offsets by
+ * first-fit over live ranges, sizes the bmm pack scratch, and proves —
+ * statically, with a self-check (P-ALLOC) — that the planned batch
+ * runs with zero per-batch heap allocations and no overlapping live
+ * buffers. The proof is emitted as a Note diagnostic so sns_lint
+ * --notes and `sns-cli plan` can surface it.
+ *
+ * checkPlanFile() is the boundary used at model load, sns-serve
+ * RELOAD, and by `sns_lint plan.snsp`: container checks (P-OPEN,
+ * P-MAGIC, P-VERSION, P-TRUNCATED, P-HASH — every diagnostic carries
+ * a byte offset), then the full pass pipeline on the parsed plan.
+ */
+
+#ifndef SNS_VERIFY_PLAN_CHECK_HH
+#define SNS_VERIFY_PLAN_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "plan/ir.hh"
+#include "verify/diagnostics.hh"
+
+namespace sns::verify {
+
+/** Arena assignment computed by the liveness/alias pass. */
+struct PlanLayout
+{
+    /** Arena offset (in floats) of each buffer at worst-case extents;
+     * concrete runs use a prefix of each slot. */
+    std::vector<size_t> offsets;
+    /** Op index defining / last reading each buffer. */
+    std::vector<int32_t> def_op;
+    std::vector<int32_t> last_use;
+    /** Offset of the shared bmm B-panel pack scratch. */
+    size_t scratch_offset = 0;
+    /** Floats in the scratch region. */
+    size_t scratch_floats = 0;
+    /** Total arena floats (buffers + scratch). */
+    size_t total_floats = 0;
+};
+
+/** Run the index/SSA/shape/determinism pass pipeline over a plan. */
+Report checkPlan(const plan::Plan &plan);
+
+/**
+ * Liveness + alias analysis: compute the worst-case arena layout.
+ * Reports P-ALLOC on structural failure (and as the never-expected
+ * allocator self-check), and a Note carrying the arena size and the
+ * zero-per-batch-heap-allocation statement. The plan must already be
+ * index/SSA-clean (run checkPlan first); a malformed plan yields an
+ * empty layout plus errors.
+ */
+PlanLayout computePlanLayout(const plan::Plan &plan, Report &report);
+
+/** Container checks + parse + full pass pipeline for one .snsp file. */
+Report checkPlanFile(const std::string &path);
+
+} // namespace sns::verify
+
+#endif // SNS_VERIFY_PLAN_CHECK_HH

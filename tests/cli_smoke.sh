@@ -99,6 +99,38 @@ if "$LINT" --werror "$FIXTURES/width_mismatch.snl" > "$WORK/lint.out"; then
 fi
 grep -q "G-WIDTH" "$WORK/lint.out"
 
+# The sns_lint exit-status contract: 1 for rule violations, 2 for
+# usage errors and unreadable inputs, and each dirty file's verdict
+# line ends with its sorted rule-id summary.
+STATUS=0; "$LINT" "$FIXTURES/cycle.snl" > "$WORK/lint.out" || STATUS=$?
+[ "$STATUS" -eq 1 ] || { echo "rule violation must exit 1, got $STATUS" >&2; exit 1; }
+grep -q "\[G-CYCLE\]" "$WORK/lint.out"
+STATUS=0; "$LINT" > /dev/null 2>&1 || STATUS=$?
+[ "$STATUS" -eq 2 ] || { echo "usage error must exit 2, got $STATUS" >&2; exit 1; }
+STATUS=0; "$LINT" "$WORK/no_such_file.snsp" > /dev/null || STATUS=$?
+[ "$STATUS" -eq 2 ] || { echo "missing file must exit 2, got $STATUS" >&2; exit 1; }
+
+# Execution plans: the model directory ships a verified plan.snsp that
+# lints clean, --notes surfaces the arena/zero-allocation proof, and
+# every corrupted fixture is rejected with its P-* rule id.
+"$LINT" "$WORK/model/plan.snsp" | grep -q "clean"
+"$LINT" --notes "$WORK/model/plan.snsp" \
+    | grep -q "zero per-batch heap allocations"
+STATUS=0; "$LINT" "$FIXTURES/plan_bad_magic.snsp" \
+    "$FIXTURES/plan_truncated.snsp" "$FIXTURES/plan_dangling_buffer.snsp" \
+    "$FIXTURES/plan_shape_mismatch.snsp" "$FIXTURES/plan_hash_flip.snsp" \
+    > "$WORK/lint.out" || STATUS=$?
+[ "$STATUS" -eq 1 ] || { echo "corrupt plans must exit 1, got $STATUS" >&2; exit 1; }
+grep -q "\[P-MAGIC\]" "$WORK/lint.out"
+grep -q "\[P-TRUNCATED\]" "$WORK/lint.out"
+grep -q "\[P-BUFFER" "$WORK/lint.out"
+grep -q "\[P-SHAPE\]" "$WORK/lint.out"
+grep -q "\[P-HASH\]" "$WORK/lint.out"
+
+# sns-cli plan: re-trace, analyze, and dump the bound plan.
+"$CLI" plan --model="$WORK/model" | grep -q "^plan: "
+"$CLI" plan --model="$WORK/model" --dump | grep -q "gemm"
+
 # --cache-stats prints the canonical obs rendering (same lines the
 # server's STATS verb emits).
 "$CLI" predict --model="$WORK/model" --cache-stats "$WORK/fir.snl" \

@@ -19,7 +19,9 @@
 #include "graphir/vocabulary.hh"
 #include "netlist/snl_parser.hh"
 #include "nn/serialize.hh"
+#include "plan/ir.hh"
 #include "verify/analyzer.hh"
+#include "verify/plan_check.hh"
 
 namespace sns::verify {
 namespace {
@@ -526,6 +528,144 @@ TEST(CheckpointCheckTest, WriterProducedCheckpointPassesChecker)
     EXPECT_TRUE(
         checkCheckpointFile(path).hasRule(rules::kCheckpointHash));
     std::remove(path.c_str());
+}
+
+// ---- Execution-plan checks (the P-* family; docs/plan.md). ----
+
+TEST(PlanCheckTest, MissingFileIsPOpen)
+{
+    const auto report = checkPlanFile("/nonexistent/x.snsp");
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kPlanOpen));
+}
+
+TEST(PlanCheckTest, CorruptedFixturesCarryTheirRuleIds)
+{
+    const struct
+    {
+        const char *file;
+        const char *rule;
+    } cases[] = {
+        {"plan_bad_magic.snsp", rules::kPlanMagic},
+        {"plan_truncated.snsp", rules::kPlanTruncated},
+        {"plan_dangling_buffer.snsp", rules::kPlanBuffer},
+        {"plan_shape_mismatch.snsp", rules::kPlanShape},
+        {"plan_hash_flip.snsp", rules::kPlanHash},
+    };
+    for (const auto &c : cases) {
+        const auto report = checkPlanFile(fixture(c.file));
+        EXPECT_TRUE(report.hasErrors()) << c.file;
+        EXPECT_TRUE(report.hasRule(c.rule))
+            << c.file << ": " << report.summary();
+    }
+}
+
+TEST(PlanCheckTest, ContainerDiagnosticsCarryByteOffsets)
+{
+    // The C-*/P-* contract: every container-layer finding points at an
+    // absolute byte offset and names the field it was decoding.
+    for (const char *file : {"plan_bad_magic.snsp", "plan_hash_flip.snsp",
+                             "plan_truncated.snsp"}) {
+        const auto report = checkPlanFile(fixture(file));
+        ASSERT_TRUE(report.hasErrors()) << file;
+        bool located = false;
+        for (const auto &d : report.diagnostics()) {
+            if (d.severity == Severity::Error &&
+                d.location.find("@ byte ") != std::string::npos)
+                located = true;
+        }
+        EXPECT_TRUE(located) << file;
+    }
+
+    // The checkpoint container checker follows the same contract.
+    const auto ckpt = checkCheckpointFile(fixture("truncated.ckpt"));
+    ASSERT_TRUE(ckpt.hasErrors());
+    bool located = false;
+    for (const auto &d : ckpt.diagnostics()) {
+        if (d.location.find("@ byte ") != std::string::npos)
+            located = true;
+    }
+    EXPECT_TRUE(located);
+}
+
+/** Deterministic config sampler for the property-style plan tests. */
+plan::PlanConfig
+randomPlanConfig(uint64_t &state)
+{
+    const auto next = [&state](int lo, int hi) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return lo + static_cast<int>((state >> 33) %
+                                     static_cast<uint64_t>(hi - lo + 1));
+    };
+    plan::PlanConfig config;
+    config.heads = next(1, 4);
+    config.d_model = config.heads * next(2, 12);
+    config.vocab = next(8, 96);
+    config.max_positions = next(4, 48);
+    config.layers = next(1, 3);
+    config.d_ff = next(4, 64);
+    config.head_hidden = next(2, 32);
+    config.batch_max = next(1, 16);
+    return config;
+}
+
+TEST(PlanCheckTest, RandomizedCanonicalPlansAlwaysCheckClean)
+{
+    uint64_t state = 0xc0ffee;
+    for (int trial = 0; trial < 24; ++trial) {
+        const plan::PlanConfig config = randomPlanConfig(state);
+        const plan::Plan traced =
+            plan::buildCanonicalPlan(config, 0x1000u + trial);
+        Report report = checkPlan(traced);
+        EXPECT_FALSE(report.hasErrors())
+            << "trial " << trial << ": " << report.summary();
+        const PlanLayout layout = computePlanLayout(traced, report);
+        EXPECT_FALSE(report.hasErrors())
+            << "trial " << trial << ": " << report.summary();
+        EXPECT_EQ(layout.offsets.size(), traced.buffers.size());
+    }
+}
+
+TEST(PlanCheckTest, RandomizedMutationsAreCaughtByTheirPass)
+{
+    uint64_t state = 0xdecade;
+    for (int trial = 0; trial < 24; ++trial) {
+        const plan::PlanConfig config = randomPlanConfig(state);
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const auto pick = (state >> 33) % 3;
+
+        plan::Plan bad = plan::buildCanonicalPlan(config, 0x2000u + trial);
+        const char *expected = nullptr;
+        switch (pick) {
+        case 0: // dangling buffer id -> index pass
+            bad.ops[bad.ops.size() / 2].inputs[0] =
+                static_cast<uint32_t>(bad.buffers.size() + 7);
+            expected = rules::kPlanBuffer;
+            break;
+        case 1: // declared-shape drift -> shape inference
+            bad.buffers[2].dims[2].value += 3;
+            expected = rules::kPlanShape;
+            break;
+        default: // epilogue reorder -> determinism pass
+            bad.ops.back().epilogue = plan::Epilogue::BiasRelu;
+            expected = rules::kPlanOrder;
+            break;
+        }
+        const Report report = checkPlan(bad);
+        EXPECT_TRUE(report.hasErrors()) << "trial " << trial;
+        EXPECT_TRUE(report.hasRule(expected))
+            << "trial " << trial << " mutation " << pick << ": "
+            << report.summary();
+    }
+}
+
+TEST(PlanCheckTest, ZeroFingerprintIsPModel)
+{
+    uint64_t state = 0xface;
+    const plan::Plan traced =
+        plan::buildCanonicalPlan(randomPlanConfig(state), 0);
+    const Report report = checkPlan(traced);
+    EXPECT_TRUE(report.hasRule(rules::kPlanModel));
 }
 
 } // namespace

@@ -34,10 +34,42 @@ echo "== sns_lint: bundled examples must be clean =="
 "$LINT" --self-check "$REPO"/examples/designs/*
 
 echo "== sns_lint: corrupted fixtures must fail =="
-if "$LINT" "$REPO"/tests/fixtures/*; then
+if "$LINT" "$REPO"/tests/fixtures/*.snl "$REPO"/tests/fixtures/*.paths \
+        "$REPO"/tests/fixtures/*.ckpt "$REPO"/tests/fixtures/*.snsp; then
     echo "sns_lint failed to reject the corrupted fixtures" >&2
     exit 1
 fi
+
+echo "== execution plan: trace, lint, planned-vs-walk bitwise =="
+CLI="$BUILD/tools/sns-cli"
+PLAN_WORK="$(mktemp -d)"
+trap 'rm -rf "$PLAN_WORK"' EXIT
+"$CLI" train --out="$PLAN_WORK/model" --dataset=smoke --fast --seed=7
+# A freshly traced + saved plan lints clean and carries the
+# zero-allocation proof note.
+"$LINT" "$PLAN_WORK/model/plan.snsp"
+"$LINT" --notes "$PLAN_WORK/model/plan.snsp" \
+    | grep -q "zero per-batch heap allocations"
+"$CLI" plan --model="$PLAN_WORK/model" > /dev/null
+# The planned hot path and the module walk must agree byte for byte
+# under the sanitizers (the kill switch selects the walk).
+cat > "$PLAN_WORK/fir.snl" <<'EOF'
+design fir2
+input  x 16
+node   p0 mul 32 x c0
+node   p1 mul 32 x c1
+reg    c0 16
+reg    c1 16
+reg    z0 32 p0
+node   s1 add 32 p1 z0
+reg    z1 32 s1
+output y  32 z1
+EOF
+SNS_PLAN=1 "$CLI" predict --model="$PLAN_WORK/model" "$PLAN_WORK/fir.snl" \
+    | grep -v "predicted in" > "$PLAN_WORK/planned.out"
+SNS_PLAN=0 "$CLI" predict --model="$PLAN_WORK/model" "$PLAN_WORK/fir.snl" \
+    | grep -v "predicted in" > "$PLAN_WORK/walk.out"
+diff "$PLAN_WORK/planned.out" "$PLAN_WORK/walk.out"
 
 echo "== documentation drift check =="
 "$REPO/tools/run_docs_check.sh" "$BUILD"

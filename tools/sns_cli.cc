@@ -21,7 +21,9 @@
  * `remote-predict` sends the same designs to a running sns-serve
  * daemon and prints the identical report; `synth` runs the reference
  * synthesizer for comparison; `paths` dumps sampled complete circuit
- * paths; `dot` emits Graphviz.
+ * paths; `dot` emits Graphviz; `plan` prints the static analyzer's view
+ * of a saved model's execution plan (docs/plan.md) and can re-emit the
+ * verified .snsp.
  */
 
 #include <csignal>
@@ -42,9 +44,11 @@
 #include "netlist/verilog_parser.hh"
 #include "par/thread_pool.hh"
 #include "sampler/path_sampler.hh"
+#include "plan/snsp.hh"
 #include "serve/client.hh"
 #include "util/string_utils.hh"
 #include "util/timer.hh"
+#include "verify/plan_check.hh"
 
 namespace {
 
@@ -162,6 +166,7 @@ usage()
            "--port=N) [--deadline-ms=N] [--stats] DESIGN.{snl,v} "
            "[...]\n"
         << "  sns-cli synth   DESIGN.snl [...]\n"
+        << "  sns-cli plan    --model=DIR [--out=FILE.snsp] [--dump]\n"
         << "  sns-cli paths   DESIGN.snl [--k=5] [--limit=20]\n"
         << "  sns-cli dot     DESIGN.snl\n"
         << "--threads=N runs on the sns::par pool (0 = all cores; "
@@ -476,6 +481,58 @@ cmdSynth(const CliArgs &args)
     return 0;
 }
 
+/**
+ * Trace/verify the execution plan of a saved model: print the static
+ * analyzer's findings (including the arena/zero-allocation note) and
+ * optionally re-serialize the verified plan to --out.
+ */
+int
+cmdPlan(const CliArgs &args)
+{
+    if (!args.has("model")) {
+        std::cerr << "plan requires --model=DIR\n";
+        return 1;
+    }
+    // load() verifies plan.snsp when present (or traces in memory) and
+    // binds the compiled plan; surface exactly what got bound.
+    const auto predictor = core::SnsPredictor::load(args.get("model", ""));
+    const auto &compiled = predictor.circuitformer().boundPlan();
+    const plan::Plan &traced = compiled->plan();
+
+    verify::Report report = verify::checkPlan(traced);
+    const verify::PlanLayout layout =
+        verify::computePlanLayout(traced, report);
+    std::cout << "plan: " << traced.ops.size() << " ops, "
+              << traced.buffers.size() << " buffers, "
+              << traced.weights.size() << " weight refs; arena "
+              << layout.total_floats << " floats ("
+              << layout.total_floats * sizeof(float) / 1024
+              << " KiB), batch_max " << traced.config.batch_max << "\n";
+    report.print(std::cout, /*include_notes=*/true);
+
+    if (args.has("dump")) {
+        for (size_t i = 0; i < traced.ops.size(); ++i) {
+            const plan::Op &op = traced.ops[i];
+            std::cout << "  %" << op.out << " = "
+                      << plan::opKindName(op.kind);
+            if (op.epilogue != plan::Epilogue::None)
+                std::cout << "+" << plan::epilogueName(op.epilogue);
+            for (const uint32_t input : op.inputs)
+                std::cout << " %" << input;
+            std::cout << "  " << plan::toString(traced.buffers[op.out])
+                      << "\n";
+        }
+    }
+    if (report.hasErrors())
+        return 1;
+    if (args.has("out")) {
+        const std::string out_path = args.get("out", "");
+        plan::writePlanFile(traced, out_path);
+        std::cout << "wrote " << out_path << "\n";
+    }
+    return 0;
+}
+
 int
 cmdPaths(const CliArgs &args)
 {
@@ -529,6 +586,8 @@ main(int argc, char **argv)
             return cmdRemotePredict(args);
         if (args.command == "synth")
             return cmdSynth(args);
+        if (args.command == "plan")
+            return cmdPlan(args);
         if (args.command == "paths")
             return cmdPaths(args);
         if (args.command == "dot")

@@ -8,27 +8,42 @@
  * and run through the full GraphAnalyzer registry; .paths dataset files
  * (one `tokens ; timing area power` record per line) go through the
  * dataset checkers; .ckpt training checkpoints get the SNSC container
- * check (magic, version, length, payload hash — the C-* rules). A
+ * check (magic, version, length, payload hash — the C-* rules); .snsp
+ * execution plans get the full static-analysis pipeline (container
+ * checks plus shape/liveness/determinism — the plan P-* rules). A
  * CollectGuard gathers every diagnostic so one run reports all
  * findings instead of dying at the first.
  *
- * Exit status: 0 when no file produced an ERROR diagnostic (or, with
- * --werror, a WARNING), 1 otherwise, 2 on usage errors. docs/verify.md
- * lists every rule id that can appear in the output.
+ * Exit status (asserted by tests/cli_smoke.sh):
+ *   0  every file linted clean (with --werror: warning-free too)
+ *   1  at least one rule violation (ERROR, or WARNING under --werror)
+ *   2  usage error, or an I/O failure (unreadable input file)
+ *
+ * Every linted file gets a one-line verdict ending with the sorted
+ * unique rule ids it violated, so CI logs answer "which rule?" without
+ * scrolling the full diagnostics. docs/verify.md lists every rule id
+ * that can appear in the output.
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "netlist/snl_parser.hh"
 #include "netlist/verilog_parser.hh"
 #include "verify/analyzer.hh"
+#include "verify/plan_check.hh"
 
 namespace {
 
 using namespace sns;
+
+constexpr int kExitClean = 0;
+constexpr int kExitViolations = 1;
+constexpr int kExitUsage = 2;
 
 int
 usage()
@@ -36,12 +51,15 @@ usage()
     std::cerr << "usage: sns_lint [--notes] [--werror] [--self-check] "
                  "FILE...\n"
               << "  FILE: design (.snl, .v, .sv), path dataset "
-                 "(.paths), or training checkpoint (.ckpt)\n"
+                 "(.paths), training checkpoint (.ckpt),\n"
+                 "        or execution plan (.snsp)\n"
               << "  --notes       include note-level diagnostics\n"
               << "  --werror      treat warnings as errors\n"
               << "  --self-check  also run the vocabulary round-trip "
-                 "check\n";
-    return 2;
+                 "check\n"
+              << "exit status: 0 clean, 1 rule violations, 2 usage/IO "
+                 "error\n";
+    return kExitUsage;
 }
 
 std::string
@@ -55,23 +73,30 @@ extensionOf(const std::string &path)
  * Lint one file into a report. Front-end syntax errors (SnlError,
  * VerilogError) abort analysis of that file; they are folded into the
  * report as D-SYNTAX so the tool keeps going and the exit code is
- * still driven by the report contents.
+ * still driven by the report contents. An unreadable file sets
+ * `io_error` instead — that is an exit-2 condition, not a rule
+ * violation.
  */
 verify::Report
-lintFile(const std::string &path)
+lintFile(const std::string &path, bool &io_error)
 {
     verify::Report report;
     const std::string ext = extensionOf(path);
+    if (!std::ifstream(path)) {
+        io_error = true;
+        const char *rule = ext == ".ckpt" ? verify::rules::kCheckpointOpen
+                           : ext == ".snsp" ? verify::rules::kPlanOpen
+                                            : verify::rules::kDatasetSyntax;
+        report.error(rule, path, "cannot open file");
+        return report;
+    }
     if (ext == ".paths")
         return verify::lintPathDatasetFile(path);
     if (ext == ".ckpt")
         return verify::checkCheckpointFile(path);
+    if (ext == ".snsp")
+        return verify::checkPlanFile(path);
 
-    if (!std::ifstream(path)) {
-        report.error(verify::rules::kDatasetSyntax, path,
-                     "cannot open file");
-        return report;
-    }
     try {
         verify::CollectGuard guard(report);
         if (ext == ".v" || ext == ".sv")
@@ -82,6 +107,24 @@ lintFile(const std::string &path)
         report.error(verify::rules::kDatasetSyntax, path, e.what());
     }
     return report;
+}
+
+/** Sorted unique rule ids of the report's errors and warnings. */
+std::string
+ruleSummary(const verify::Report &report)
+{
+    std::set<std::string> rules;
+    for (const auto &diagnostic : report.diagnostics()) {
+        if (diagnostic.severity != verify::Severity::Note)
+            rules.insert(diagnostic.rule);
+    }
+    std::string out;
+    for (const auto &rule : rules) {
+        if (!out.empty())
+            out += " ";
+        out += rule;
+    }
+    return out;
 }
 
 } // namespace
@@ -111,24 +154,40 @@ main(int argc, char **argv)
 
     size_t errors = 0;
     size_t warnings = 0;
+    bool io_error = false;
     auto consume = [&](const std::string &what,
                        const verify::Report &report) {
         errors += report.count(verify::Severity::Error);
         warnings += report.count(verify::Severity::Warning);
-        if (report.empty()) {
+        if (report.empty() ||
+            (!include_notes &&
+             report.count(verify::Severity::Error) == 0 &&
+             report.count(verify::Severity::Warning) == 0)) {
             std::cout << what << ": clean\n";
+            if (include_notes)
+                report.print(std::cout, include_notes);
             return;
         }
-        std::cout << what << ": " << report.summary() << "\n";
+        std::cout << what << ": " << report.summary();
+        const std::string rules = ruleSummary(report);
+        if (!rules.empty())
+            std::cout << " [" << rules << "]";
+        std::cout << "\n";
         report.print(std::cout, include_notes);
     };
 
     if (self_check)
         consume("vocabulary", verify::checkVocabularyRoundTrip());
-    for (const auto &file : files)
-        consume(file, lintFile(file));
+    for (const auto &file : files) {
+        bool file_io_error = false;
+        consume(file, lintFile(file, file_io_error));
+        io_error = io_error || file_io_error;
+    }
 
     std::cout << files.size() << " file(s): " << errors << " error(s), "
               << warnings << " warning(s)\n";
-    return errors > 0 || (werror && warnings > 0) ? 1 : 0;
+    if (io_error)
+        return kExitUsage;
+    return errors > 0 || (werror && warnings > 0) ? kExitViolations
+                                                  : kExitClean;
 }
