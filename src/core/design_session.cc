@@ -1,0 +1,180 @@
+#include "core/design_session.hh"
+
+#include "util/logging.hh"
+#include "verify/diagnostics.hh"
+
+namespace sns::core {
+
+namespace {
+
+perf::PathCacheOptions
+pinnedCacheOptions(const SessionOptions &options)
+{
+    perf::PathCacheOptions cache;
+    cache.capacity = 0; // pinned: eviction would turn reuse into recompute
+    cache.shards = options.cache_shards;
+    return cache;
+}
+
+} // namespace
+
+SnsDesignSession::SnsDesignSession(SessionOptions options)
+    : cache_(pinnedCacheOptions(options))
+{
+}
+
+SnsPrediction
+SnsDesignSession::predictPinned(const SnsPredictor &predictor,
+                                const graphir::Graph &graph,
+                                const PredictOptions &options,
+                                DiffStats &diff)
+{
+    // The session always collects the critical path so the pinned
+    // prediction can serve a later no-op update that asks for it; the
+    // caller-facing copy is stripped on return when they opted out.
+    PredictOptions inner;
+    inner.threads = options.threads;
+    inner.batch_size = options.batch_size;
+    inner.collect_critical_path = true;
+    inner.cache = &cache_;
+
+    const auto before = cache_.stats();
+    const graphir::Graph *graphs[1] = {&graph};
+    SnsPrediction prediction =
+        predictor.predictBatch(graphs, inner).front();
+    const auto after = cache_.stats();
+
+    diff.paths_total = prediction.paths_sampled;
+    diff.paths_reused = after.hits - before.hits;
+    diff.paths_recomputed = after.misses - before.misses;
+    return prediction;
+}
+
+void
+SnsDesignSession::snapshot(const graphir::Graph &graph)
+{
+    fingerprint_ = graphir::structuralFingerprint(graph);
+    signatures_ = graphir::moduleSignatures(graph);
+}
+
+SnsPrediction
+SnsDesignSession::open(const SnsPredictor &predictor,
+                       const graphir::Graph &graph,
+                       const PredictOptions &options)
+{
+    if (open_) {
+        verify::Report report;
+        report.error(verify::rules::kSessionState,
+                     "session on '" + graph.name() + "'",
+                     "open() on a session that is already open",
+                     "close() the session first, or call update()");
+        verify::enforce(std::move(report), "SnsDesignSession::open");
+        close(); // Count-mode recovery: start over
+    }
+
+    cache_.clear();
+    SNS_ASSERT(cache_.bindModel(predictor.modelFingerprint()),
+               "fresh session cache failed to bind the model");
+    model_fingerprint_ = predictor.modelFingerprint();
+
+    DiffStats diff;
+    pinned_ = predictPinned(predictor, graph, options, diff);
+    snapshot(graph);
+    diff.modules_total = signatures_.size();
+    last_diff_ = diff;
+    open_ = true;
+
+    SnsPrediction result = pinned_;
+    if (!options.collect_critical_path)
+        result.critical_path.clear();
+    return result;
+}
+
+SnsPrediction
+SnsDesignSession::update(const SnsPredictor &predictor,
+                         const graphir::Graph &graph,
+                         const PredictOptions &options)
+{
+    if (!open_) {
+        verify::Report report;
+        report.error(verify::rules::kSessionState,
+                     "session on '" + graph.name() + "'",
+                     "update() on a session that is not open",
+                     "open() the session first");
+        verify::enforce(std::move(report), "SnsDesignSession::update");
+        return open(predictor, graph, options); // Count-mode recovery
+    }
+    if (predictor.modelFingerprint() != model_fingerprint_) {
+        verify::Report report;
+        report.error(
+            verify::rules::kSessionModel,
+            "session on '" + graph.name() + "'",
+            "predictor weights (fingerprint " +
+                std::to_string(predictor.modelFingerprint()) +
+                ") differ from the model that opened the session (" +
+                std::to_string(model_fingerprint_) + ")",
+            "re-open the session after a model reload — pinned "
+            "predictions are only valid under the opening model");
+        verify::enforce(std::move(report), "SnsDesignSession::update");
+        close(); // Count-mode recovery: re-open under the new model
+        return open(predictor, graph, options);
+    }
+
+    const auto diff_result =
+        graphir::diffAgainst(signatures_, fingerprint_, graph);
+
+    DiffStats diff;
+    diff.modules_changed = diff_result.modules_changed.size();
+    diff.modules_added = diff_result.modules_added.size();
+    diff.modules_removed = diff_result.modules_removed.size();
+    diff.modules_total = diff_result.modules_total;
+    diff.nodes_affected = diff_result.nodes_affected;
+    diff.endpoints_affected = diff_result.endpoints_affected;
+
+    if (diff_result.identical) {
+        // Rename-only edit: the pinned prediction is already the
+        // bitwise answer. Refresh the signature snapshot so the *next*
+        // diff compares against the new labels, and report 100% reuse.
+        snapshot(graph);
+        diff.noop = true;
+        diff.paths_total = pinned_.paths_sampled;
+        diff.paths_reused = pinned_.paths_sampled;
+        last_diff_ = diff;
+    } else {
+        // Real edit: re-sample the whole revision (the sampler's RNG
+        // stream is global, so partial re-sampling would diverge from
+        // a cold run) and predict through the pinned cache — only
+        // paths through the edit cone miss.
+        pinned_ = predictPinned(predictor, graph, options, diff);
+        snapshot(graph);
+        last_diff_ = diff;
+    }
+
+    SnsPrediction result = pinned_;
+    if (!options.collect_critical_path)
+        result.critical_path.clear();
+    return result;
+}
+
+SnsPrediction
+SnsDesignSession::predict(const SnsPredictor &predictor,
+                          const graphir::Graph &graph,
+                          const PredictOptions &options)
+{
+    return open_ ? update(predictor, graph, options)
+                 : open(predictor, graph, options);
+}
+
+void
+SnsDesignSession::close()
+{
+    cache_.clear();
+    open_ = false;
+    model_fingerprint_ = 0;
+    fingerprint_ = 0;
+    signatures_.clear();
+    pinned_ = SnsPrediction();
+    last_diff_ = DiffStats();
+}
+
+} // namespace sns::core

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * SnsDesignSession — incremental prediction for the edit loop
+ * (docs/editloop.md).
+ *
+ * The paper's headline use case (§1) is interactive designer feedback:
+ * tweak one RTL module, re-predict, repeat. A stateless predictBatch
+ * re-extracts and re-scores every path on every edit even when 95% of
+ * the design is untouched. A session exploits the PR3 observation that
+ * a path's prediction is a pure function of its token sequence:
+ *
+ *   open(graph)    full prediction through a private *pinned* cache
+ *                  (unbounded, so no entry is ever evicted mid-session)
+ *                  + a snapshot of per-module content hashes and the
+ *                  design's structural fingerprint;
+ *   update(graph)  structural diff against the snapshot. An identical
+ *                  fingerprint short-circuits to the pinned prediction
+ *                  (module/design renames land here). Otherwise the new
+ *                  revision is re-sampled and predicted through the
+ *                  pinned cache: every path outside the edit's fanin/
+ *                  fanout cone replays its cached bits, only affected
+ *                  paths pay the Circuitformer;
+ *   close()        drop the pinned entries and the snapshot.
+ *
+ * Bitwise contract: update() returns exactly what a cold full
+ * predictBatch of the same revision would — cached replay is
+ * bit-exact, and re-sampling the whole graph keeps the sampler's
+ * single RNG stream identical to the cold run. DiffStats only reports
+ * *how much work* was reused; it never changes the numbers.
+ *
+ * A session is bound to the model that opened it: update() with a
+ * predictor whose weights differ raises V-SESS-MODEL (a hot-reloaded
+ * server must re-open, docs/serving.md). Sessions are externally
+ * synchronized — one session, one caller at a time (sns-serve holds a
+ * per-session mutex).
+ */
+
+#ifndef SNS_CORE_DESIGN_SESSION_HH
+#define SNS_CORE_DESIGN_SESSION_HH
+
+#include <memory>
+
+#include "core/predictor.hh"
+#include "graphir/diff.hh"
+#include "perf/path_cache.hh"
+
+namespace sns::core {
+
+/** How much of an update()'s work was answered from the session. */
+struct DiffStats
+{
+    /** The revision's structural fingerprint matched the snapshot:
+     * nothing was re-sampled or re-predicted (rename-only edits). */
+    bool noop = false;
+
+    size_t modules_changed = 0; ///< same name, new content hash
+    size_t modules_added = 0;
+    size_t modules_removed = 0;
+    size_t modules_total = 0; ///< distinct modules in the revision
+
+    size_t nodes_affected = 0;     ///< vertices in changed/added modules
+    size_t endpoints_affected = 0; ///< endpoints reaching the edit cone
+
+    size_t paths_total = 0;      ///< paths sampled for the revision
+    size_t paths_reused = 0;     ///< answered from the pinned cache
+    size_t paths_recomputed = 0; ///< paid the Circuitformer
+
+    /** paths_reused / paths_total, 0 when no paths. */
+    double
+    reuseRate() const
+    {
+        return paths_total == 0 ? 0.0
+                                : static_cast<double>(paths_reused) /
+                                      static_cast<double>(paths_total);
+    }
+};
+
+/** Construction knobs of a session. */
+struct SessionOptions
+{
+    /** Mutex shards of the pinned cache (its capacity is always
+     * unbounded — eviction mid-session would silently turn reuse into
+     * recompute). */
+    size_t cache_shards = 16;
+};
+
+/** One design's incremental prediction state across an edit loop. */
+class SnsDesignSession
+{
+  public:
+    explicit SnsDesignSession(SessionOptions options = {});
+
+    SnsDesignSession(const SnsDesignSession &) = delete;
+    SnsDesignSession &operator=(const SnsDesignSession &) = delete;
+
+    /**
+     * Open the session on a design revision: full prediction through
+     * the pinned cache plus the diff snapshot. Re-opening an open
+     * session raises V-SESS-STATE (close() first — under Count
+     * enforcement it recovers by closing and opening fresh).
+     */
+    SnsPrediction open(const SnsPredictor &predictor,
+                       const graphir::Graph &graph,
+                       const PredictOptions &options = PredictOptions());
+
+    /**
+     * Predict an edited revision incrementally. The result is bitwise
+     * identical to a cold full predictBatch of the same revision;
+     * lastDiff() reports how much of the work was reused. Raises
+     * V-SESS-STATE when the session is not open and V-SESS-MODEL when
+     * `predictor` runs different weights than the one that opened the
+     * session (under Count enforcement both recover by re-opening).
+     */
+    SnsPrediction update(const SnsPredictor &predictor,
+                         const graphir::Graph &graph,
+                         const PredictOptions &options = PredictOptions());
+
+    /**
+     * open() when closed, update() when open — the entry point
+     * PredictOptions::session routes through.
+     */
+    SnsPrediction predict(const SnsPredictor &predictor,
+                          const graphir::Graph &graph,
+                          const PredictOptions &options = PredictOptions());
+
+    /** Drop the pinned cache, snapshot, and prediction. Idempotent. */
+    void close();
+
+    bool isOpen() const { return open_; }
+
+    /** Diff accounting of the most recent open()/update(). open()
+     * reports zero reuse by construction. */
+    const DiffStats &lastDiff() const { return last_diff_; }
+
+    /** Structural fingerprint of the current snapshot (0 if closed). */
+    uint64_t fingerprint() const { return fingerprint_; }
+
+    /** Weight fingerprint of the model this session is bound to
+     * (0 if closed). */
+    uint64_t boundModel() const { return model_fingerprint_; }
+
+    /** Counters of the pinned cache (hits accumulate across updates). */
+    perf::CacheStats cacheStats() const { return cache_.stats(); }
+
+  private:
+    /** Full prediction of `graph` through the pinned cache, with the
+     * hit/miss delta booked into `diff`. */
+    SnsPrediction predictPinned(const SnsPredictor &predictor,
+                                const graphir::Graph &graph,
+                                const PredictOptions &options,
+                                DiffStats &diff);
+
+    /** Refresh the diff snapshot from a revision. */
+    void snapshot(const graphir::Graph &graph);
+
+    perf::PathPredictionCache cache_;
+    bool open_ = false;
+    uint64_t model_fingerprint_ = 0;
+    uint64_t fingerprint_ = 0;
+    std::vector<graphir::ModuleSignature> signatures_;
+    /** Prediction of the current snapshot, critical path included (the
+     * return path strips it when the caller opted out). */
+    SnsPrediction pinned_;
+    DiffStats last_diff_;
+};
+
+} // namespace sns::core
+
+#endif // SNS_CORE_DESIGN_SESSION_HH

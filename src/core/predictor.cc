@@ -1,5 +1,7 @@
 #include "core/predictor.hh"
 
+#include "core/design_session.hh"
+
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -22,6 +24,41 @@ namespace {
 constexpr int kPlanBatchMax = 64;
 
 } // namespace
+
+verify::Report
+validatePredictOptions(const PredictOptions &options)
+{
+    verify::Report report;
+    if (options.threads < 0) {
+        report.error(verify::rules::kOptionsThreads, "PredictOptions",
+                     "threads is negative (" +
+                         std::to_string(options.threads) + ")",
+                     "0 keeps the process-wide width; > 0 overrides it "
+                     "for this call");
+    }
+    if (options.batch_size <= 0) {
+        report.error(verify::rules::kOptionsBatch, "PredictOptions",
+                     "batch_size must be positive (got " +
+                         std::to_string(options.batch_size) + ")");
+    }
+    if (options.cache_stats && options.cache == nullptr &&
+        options.session == nullptr) {
+        report.error(verify::rules::kOptionsCache, "PredictOptions",
+                     "cache_stats requested without a cache — there "
+                     "would be no counters to report",
+                     "set PredictOptions::cache (or session), or drop "
+                     "cache_stats");
+    }
+    if (options.session != nullptr && options.cache != nullptr) {
+        report.error(verify::rules::kOptionsSession, "PredictOptions",
+                     "session and cache are both set — a session "
+                     "predicts through its own pinned cache, the "
+                     "external one would be silently ignored",
+                     "drop the cache (read session->cacheStats() "
+                     "instead) or drop the session");
+    }
+    return report;
+}
 
 SnsPredictor::SnsPredictor(std::shared_ptr<Circuitformer> circuitformer,
                            AggregationHeads heads,
@@ -176,6 +213,29 @@ std::vector<SnsPrediction>
 SnsPredictor::predictBatch(std::span<const graphir::Graph *const> graphs,
                            const PredictOptions &options) const
 {
+    // Conflicting knob combinations are rejected in one place instead
+    // of silently ignored field by field (V-OPT-*).
+    if (verify::enabled()) {
+        auto report = validatePredictOptions(options);
+        if (options.session != nullptr && graphs.size() != 1) {
+            report.error(verify::rules::kOptionsSession, "PredictOptions",
+                         "session routing needs exactly one graph, got " +
+                             std::to_string(graphs.size()),
+                         "a session tracks one design's edit history");
+        }
+        verify::enforce(std::move(report), "predictBatch options");
+    }
+
+    // Edit-loop routing: the session applies its own scoped-threads
+    // override when it re-enters predictBatch session-less.
+    if (options.session != nullptr && graphs.size() == 1) {
+        SNS_ASSERT(graphs[0] != nullptr, "predictBatch: null graph");
+        PredictOptions inner = options;
+        inner.session = nullptr;
+        inner.cache = nullptr;
+        return {options.session->predict(*this, *graphs[0], inner)};
+    }
+
     // Call-scoped width override; restores the prior process-wide
     // configuration (including "unset") when this call returns.
     par::ScopedThreads scoped_threads(options.threads);
@@ -201,6 +261,14 @@ SnsPredictor::predict(const graphir::Graph &graph) const
 {
     const graphir::Graph *graphs[1] = {&graph};
     return predictBatch(graphs).front();
+}
+
+SnsPrediction
+SnsPredictor::predict(const graphir::Graph &graph,
+                      const PredictOptions &options) const
+{
+    const graphir::Graph *graphs[1] = {&graph};
+    return predictBatch(graphs, options).front();
 }
 
 namespace {

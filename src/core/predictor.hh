@@ -32,6 +32,8 @@
 
 namespace sns::core {
 
+class SnsDesignSession;
+
 /** Design-level prediction plus located critical path. */
 struct SnsPrediction
 {
@@ -85,7 +87,35 @@ struct PredictOptions
      * sharing contract).
      */
     perf::PathPredictionCache *cache = nullptr;
+
+    /** The caller will read `cache`->stats() after the call (e.g.
+     * `sns-cli predict --cache-stats`). Pure intent flag — it changes
+     * no computation, but declaring it lets validatePredictOptions
+     * reject the silently-useless `cache == nullptr` combination
+     * (V-OPT-CACHE) instead of printing nothing. */
+    bool cache_stats = false;
+
+    /**
+     * Optional incremental edit-loop session (not owned; see
+     * design_session.hh). When set, the call must carry exactly one
+     * graph and routes through SnsDesignSession::predict — open() on
+     * first use, update() afterwards — and the session's *pinned*
+     * cache supersedes `cache` (setting both is V-OPT-SESSION).
+     * Results stay bitwise identical to a cold session-less call;
+     * session->lastDiff() reports the reuse.
+     */
+    SnsDesignSession *session = nullptr;
 };
+
+/**
+ * Validate a PredictOptions combination in one place (V-OPT-* rules):
+ * negative thread counts, non-positive batch sizes, `cache_stats`
+ * without a cache, `session` combined with an external cache. Pipeline
+ * boundaries (predictBatch, sns-serve) hand the report to
+ * verify::enforce() — callers probing ahead of time can inspect it
+ * directly.
+ */
+verify::Report validatePredictOptions(const PredictOptions &options);
 
 /** The trained SNS prediction pipeline. */
 class SnsPredictor
@@ -107,9 +137,13 @@ class SnsPredictor
 
     /**
      * Single-design convenience wrapper over predictBatch (kept for
-     * tests and exploratory callers; bulk callers should batch).
+     * tests and exploratory callers; bulk callers should batch). The
+     * options overload is the single-design entry of the edit loop:
+     * with options.session set it opens/updates the session in place.
      */
     SnsPrediction predict(const graphir::Graph &graph) const;
+    SnsPrediction predict(const graphir::Graph &graph,
+                          const PredictOptions &options) const;
 
     /** The path-level model (e.g. for per-path inspection). */
     const Circuitformer &circuitformer() const { return *circuitformer_; }

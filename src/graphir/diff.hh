@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Structural diffing of GraphIR circuits for the edit-loop workload
+ * (docs/editloop.md).
+ *
+ * A designer iterating on one RTL module re-predicts a design that is
+ * 95% unchanged. This header provides the two primitives the
+ * incremental session API (core::SnsDesignSession) builds on:
+ *
+ *   - structuralFingerprint(): a content hash over exactly the facts a
+ *     prediction depends on — node types, vocabulary tokens, activity
+ *     coefficients, and the adjacency lists in stored order (edge
+ *     order matters: the path sampler's DFS follows it). Design names
+ *     and module labels are excluded, so renaming either is provably a
+ *     prediction no-op.
+ *
+ *   - diffGraphs(): a module-granular delta between two revisions of a
+ *     design. Each module's content hash covers its member vertices
+ *     (by within-module ordinal, so re-numbering across modules does
+ *     not alias into a change) and every edge touching the module
+ *     (cross-module wires are part of both endpoints' signatures).
+ *     Changed/added modules mark their member vertices as *affected*;
+ *     fanin/fanout reachability over the combinational subgraph then
+ *     identifies the endpoints that can launch or capture an affected
+ *     complete circuit path.
+ *
+ * A sampled path is stale iff it traverses an affected vertex — a
+ * path's prediction is a pure function of its own token sequence, so
+ * paths entirely outside the affected cone replay from a content-
+ * addressed cache bit for bit (docs/perf.md).
+ */
+
+#ifndef SNS_GRAPHIR_DIFF_HH
+#define SNS_GRAPHIR_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graphir/graph.hh"
+
+namespace sns::graphir {
+
+/**
+ * Content hash of everything a prediction depends on: per-node (type,
+ * token, activity bits) and the out-adjacency in stored order. Equal
+ * fingerprints imply bitwise-identical predictions under a fixed model
+ * and sampler configuration; the design name and module labels do not
+ * participate.
+ */
+uint64_t structuralFingerprint(const Graph &graph);
+
+/** One module's content signature (see moduleSignatures). */
+struct ModuleSignature
+{
+    std::string name;
+    uint64_t hash = 0;
+    size_t nodes = 0;
+};
+
+/**
+ * Per-module content hashes, sorted by module name. A module's hash
+ * covers its member vertices in id order (type, token, activity,
+ * within-module ordinal) and every edge incident to the module, with
+ * cross-module endpoints identified by (module name, ordinal) — so a
+ * change anywhere a wire crosses into a module changes that module's
+ * signature too, never silently.
+ */
+std::vector<ModuleSignature> moduleSignatures(const Graph &graph);
+
+/** The module-granular delta between two revisions of one design. */
+struct GraphDiff
+{
+    /** Structural fingerprints are equal: the edit cannot change any
+     * prediction (rename-only edits land here). When set, every other
+     * field reports zero change. */
+    bool identical = false;
+
+    std::vector<std::string> modules_changed; ///< same name, new content
+    std::vector<std::string> modules_added;
+    std::vector<std::string> modules_removed;
+    size_t modules_total = 0; ///< distinct modules in `after`
+
+    /** Per-node mask over `after`: 1 iff the node belongs to a changed
+     * or added module. A sampled path is stale iff it contains an
+     * affected node. */
+    std::vector<char> node_affected;
+    size_t nodes_affected = 0;
+
+    /** Endpoints (io/dff) of `after` that can launch or capture a path
+     * through an affected node (forward+backward combinational
+     * reachability). */
+    size_t endpoints_affected = 0;
+
+    bool
+    touchesAnything() const
+    {
+        return !identical && nodes_affected > 0;
+    }
+};
+
+/**
+ * Diff two revisions of a design. `before` supplies the baseline
+ * module signatures; masks and counts are computed on `after` (the
+ * revision that will be re-predicted).
+ */
+GraphDiff diffGraphs(const Graph &before, const Graph &after);
+
+/** Diff against a pre-computed baseline (what a session snapshots —
+ * it does not keep the previous Graph alive). */
+GraphDiff diffAgainst(const std::vector<ModuleSignature> &before_sigs,
+                      uint64_t before_fingerprint, const Graph &after);
+
+} // namespace sns::graphir
+
+#endif // SNS_GRAPHIR_DIFF_HH

@@ -53,6 +53,20 @@ Graph::setActivity(NodeId id, double activity)
     nodes_[check(id)].activity = activity;
 }
 
+void
+Graph::setModule(NodeId id, const std::string &module)
+{
+    check(id);
+    for (uint32_t m = 0; m < module_names_.size(); ++m) {
+        if (module_names_[m] == module) {
+            nodes_[id].module = m;
+            return;
+        }
+    }
+    nodes_[id].module = static_cast<uint32_t>(module_names_.size());
+    module_names_.push_back(module);
+}
+
 std::vector<double>
 Graph::tokenCounts() const
 {

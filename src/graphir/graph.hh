@@ -112,6 +112,31 @@ class Graph
     void setActivity(NodeId id, double activity);
 
     /**
+     * Assign a vertex to a named RTL module. Module labels are an
+     * annotation for the edit-loop diff (docs/editloop.md): they group
+     * vertices into the regions a designer edits together, and
+     * graphir::diffGraphs reports change at module granularity. They
+     * never influence a prediction — sampling, tokens, and aggregation
+     * are label-blind, which is why renaming a module is a structural
+     * no-op. Every vertex starts in the unnamed default module "".
+     */
+    void setModule(NodeId id, const std::string &module);
+
+    /** The module label of a vertex ("" = default module). */
+    const std::string &
+    module(NodeId id) const
+    {
+        return module_names_[nodes_[check(id)].module];
+    }
+
+    /** Distinct module labels in first-assignment order (the default
+     * module "" is index 0 and always present). */
+    const std::vector<std::string> &moduleNames() const
+    {
+        return module_names_;
+    }
+
+    /**
      * Graph statistics (Fig. 2c): per-token vertex counts over the
      * circuit vocabulary. Length is Vocabulary::circuitSize().
      */
@@ -160,6 +185,7 @@ class Graph
         int width;
         TokenId token;
         double activity;
+        uint32_t module = 0; ///< index into module_names_
     };
 
     NodeId
@@ -170,6 +196,8 @@ class Graph
     }
 
     std::string name_;
+    /** Interned module labels; index 0 is the default module "". */
+    std::vector<std::string> module_names_{""};
     std::vector<Node> nodes_;
     std::vector<std::vector<NodeId>> out_;
     std::vector<std::vector<NodeId>> in_;

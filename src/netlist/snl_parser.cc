@@ -30,6 +30,7 @@ struct Statement
     NodeType type;
     int width;
     std::vector<std::string> sources;
+    std::string module; // enclosing `module` scope ("" = default)
 };
 
 int
@@ -58,6 +59,7 @@ parseSnl(const std::string &source)
     int line_no = 0;
 
     std::string design_name;
+    std::string module_scope;
     std::vector<Statement> statements;
 
     // Pass 1: parse statements.
@@ -77,10 +79,17 @@ parseSnl(const std::string &source)
             design_name = fields[1];
             continue;
         }
+        if (kind == "module") {
+            if (fields.size() > 2)
+                throw SnlError(line_no, "module takes at most one name");
+            module_scope = fields.size() == 2 ? fields[1] : "";
+            continue;
+        }
 
         Statement stmt;
         stmt.line = line_no;
         stmt.kind = kind;
+        stmt.module = module_scope;
         if (kind == "input") {
             if (fields.size() != 3)
                 throw SnlError(line_no, "input needs <id> <width>");
@@ -127,7 +136,10 @@ parseSnl(const std::string &source)
             throw SnlError(stmt.line,
                            "duplicate identifier '" + stmt.id + "'");
         }
-        symbols[stmt.id] = graph.addNode(stmt.type, stmt.width);
+        const NodeId id = graph.addNode(stmt.type, stmt.width);
+        if (!stmt.module.empty())
+            graph.setModule(id, stmt.module);
+        symbols[stmt.id] = id;
     }
     for (const auto &stmt : statements) {
         const NodeId target = symbols.at(stmt.id);
@@ -176,8 +188,17 @@ writeSnl(const Graph &graph)
     auto sym = [](NodeId id) { return "n" + std::to_string(id); };
 
     // Declarations in id order; wiring lives on the consumer side, so
-    // inputs (no predecessors) need no source list.
+    // inputs (no predecessors) need no source list. Module scopes are
+    // re-opened whenever the label changes between consecutive ids.
+    std::string scope;
     for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        if (graph.module(id) != scope) {
+            scope = graph.module(id);
+            out << "module";
+            if (!scope.empty())
+                out << " " << scope;
+            out << "\n";
+        }
         const NodeType type = graph.type(id);
         const auto &preds = graph.predecessors(id);
         if (type == NodeType::Io && preds.empty()) {

@@ -9,12 +9,19 @@
  * Grammar (one statement per line, '#' starts a comment):
  *
  *     design <name>
+ *     module [<name>]
  *     input  <id> <width>
  *     node   <id> <type> <width> [<src> ...]
  *     reg    <id> <width> [<src> ...]
  *     output <id> <width> [<src> ...]
  *
  * where <type> is a Table-1 mnemonic (add, mul, mux, reduce_xor, ...).
+ * `module <name>` opens a named scope: every following vertex is
+ * labeled with that module until the next module statement (`module`
+ * with no name returns to the unnamed default scope). Module labels
+ * are annotations for the edit-loop diff (docs/editloop.md) — they
+ * never change a prediction, and older SNL files without them parse
+ * exactly as before.
  * Identifiers may be referenced before their defining line (two-pass
  * elaboration), which is how register feedback loops are written:
  *

@@ -1,5 +1,6 @@
 #include "serve/client.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -64,7 +65,7 @@ Client::~Client()
 
 Client::Client(Client &&other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      max_frame_bytes_(other.max_frame_bytes_)
+      max_frame_bytes_(other.max_frame_bytes_), version_(other.version_)
 {
 }
 
@@ -76,6 +77,7 @@ Client::operator=(Client &&other) noexcept
             ::close(fd_);
         fd_ = std::exchange(other.fd_, -1);
         max_frame_bytes_ = other.max_frame_bytes_;
+        version_ = other.version_;
     }
     return *this;
 }
@@ -159,6 +161,126 @@ Client::ping()
     WireReader reader(payload);
     if (static_cast<Status>(reader.u8()) != Status::Ok)
         throw ProtocolError("PING failed");
+}
+
+uint32_t
+Client::hello()
+{
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Hello));
+    writer.u32(kProtocolVersion);
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    const auto status = static_cast<Status>(reader.u8());
+    if (status != Status::Ok) {
+        // A version-1 server does not know HELLO and answers ERROR
+        // "unknown verb" — that *is* the negotiation result: the peer
+        // speaks version 1 and this connection degrades to the
+        // stateless verbs.
+        version_ = 1;
+        return version_;
+    }
+    const uint32_t server_version = reader.u32();
+    reader.expectEnd();
+    version_ = std::min(kProtocolVersion, server_version);
+    return version_;
+}
+
+SessionReply
+Client::readSessionReply(const std::vector<uint8_t> &payload,
+                         bool expect_session_id)
+{
+    WireReader reader(payload);
+    SessionReply reply;
+    reply.status = static_cast<Status>(reader.u8());
+    if (reply.status != Status::Ok) {
+        reply.message = reader.str();
+        reader.expectEnd();
+        return reply;
+    }
+    if (expect_session_id)
+        reply.session_id = reader.u64();
+    reply.prediction.timing_ps = reader.f64();
+    reply.prediction.area_um2 = reader.f64();
+    reply.prediction.power_mw = reader.f64();
+    reply.prediction.paths_sampled = reader.u64();
+    const uint32_t nodes = reader.u32();
+    reply.prediction.critical_path.reserve(nodes);
+    for (uint32_t i = 0; i < nodes; ++i)
+        reply.prediction.critical_path.push_back(reader.u32());
+    reply.diff.noop = reader.u8() != 0;
+    reply.diff.modules_changed = reader.u64();
+    reply.diff.modules_added = reader.u64();
+    reply.diff.modules_removed = reader.u64();
+    reply.diff.modules_total = reader.u64();
+    reply.diff.nodes_affected = reader.u64();
+    reply.diff.endpoints_affected = reader.u64();
+    reply.diff.paths_total = reader.u64();
+    reply.diff.paths_reused = reader.u64();
+    reply.diff.paths_recomputed = reader.u64();
+    reader.expectEnd();
+    return reply;
+}
+
+namespace {
+
+SessionReply
+unsupportedLocally()
+{
+    SessionReply reply;
+    reply.status = Status::Unsupported;
+    reply.message = "peer speaks protocol version 1 (no sessions); "
+                    "call hello() first or use predict()";
+    return reply;
+}
+
+} // namespace
+
+SessionReply
+Client::openSession(const std::string &design_source, DesignFormat format)
+{
+    if (version_ < 2)
+        return unsupportedLocally();
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Open));
+    writer.u8(static_cast<uint8_t>(format));
+    writer.str(design_source);
+    return readSessionReply(roundTrip(writer.bytes()),
+                            /*expect_session_id=*/true);
+}
+
+SessionReply
+Client::updateSession(uint64_t session_id,
+                      const std::string &design_source,
+                      DesignFormat format)
+{
+    if (version_ < 2)
+        return unsupportedLocally();
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Update));
+    writer.u64(session_id);
+    writer.u8(static_cast<uint8_t>(format));
+    writer.str(design_source);
+    SessionReply reply = readSessionReply(roundTrip(writer.bytes()),
+                                          /*expect_session_id=*/false);
+    reply.session_id = session_id;
+    return reply;
+}
+
+std::string
+Client::closeSession(uint64_t session_id)
+{
+    if (version_ < 2)
+        return unsupportedLocally().message;
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Close));
+    writer.u64(session_id);
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    const auto status = static_cast<Status>(reader.u8());
+    const std::string message = reader.str();
+    reader.expectEnd();
+    return status == Status::Ok ? "" : message;
 }
 
 } // namespace sns::serve

@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "core/design_session.hh"
 #include "core/predictor.hh"
 #include "serve/protocol.hh"
 
@@ -31,6 +32,23 @@ struct PredictReply
     /** Valid only when status == Ok; bit-for-bit what a local
      * predictBatch would return for the same design. */
     core::SnsPrediction prediction;
+    /** Non-Ok explanation. */
+    std::string message;
+};
+
+/** One OPEN/UPDATE exchange's result. */
+struct SessionReply
+{
+    Status status = Status::Error;
+    /** Server-side session handle (OPEN fills it; UPDATE echoes the
+     * one the caller passed). */
+    uint64_t session_id = 0;
+    /** Valid only when status == Ok; bit-for-bit what a cold local
+     * predictBatch would return for the same revision. */
+    core::SnsPrediction prediction;
+    /** Reuse accounting of this exchange (how much of the work the
+     * server answered from the session's pinned cache). */
+    core::DiffStats diff;
     /** Non-Ok explanation. */
     std::string message;
 };
@@ -71,14 +89,48 @@ class Client
      * unreachable mid-connection. */
     void ping();
 
+    /**
+     * Negotiate the protocol version for this connection and return
+     * it. A version-1 server answers HELLO with ERROR, which degrades
+     * the connection to version 1 cleanly — the session methods below
+     * then return UNSUPPORTED without touching the wire. Call once
+     * after connecting; the session verbs require it.
+     */
+    uint32_t hello();
+
+    /** Negotiated protocol version (1 until hello() succeeds). */
+    uint32_t negotiatedVersion() const { return version_; }
+
+    /**
+     * Open an edit-loop session on the server (docs/editloop.md):
+     * full prediction now, incremental updates afterwards. Requires a
+     * hello() that negotiated version >= 2.
+     */
+    SessionReply openSession(const std::string &design_source,
+                             DesignFormat format);
+
+    /** Predict an edited revision through an open session. */
+    SessionReply updateSession(uint64_t session_id,
+                               const std::string &design_source,
+                               DesignFormat format);
+
+    /** Close a session and free its server-side pinned cache. Returns
+     * "" on success, else the error message. */
+    std::string closeSession(uint64_t session_id);
+
   private:
     explicit Client(int fd) : fd_(fd) {}
 
     std::vector<uint8_t> roundTrip(const std::vector<uint8_t> &payload);
 
+    /** Decode the shared OK tail of OPEN/UPDATE replies. */
+    SessionReply readSessionReply(const std::vector<uint8_t> &payload,
+                                  bool expect_session_id);
+
     int fd_ = -1;
     /** Replies larger than this are treated as corrupt. */
     size_t max_frame_bytes_ = 64u << 20;
+    uint32_t version_ = 1;
 };
 
 } // namespace sns::serve

@@ -21,6 +21,8 @@ statusName(Status status)
         return "ERROR";
     case Status::Draining:
         return "DRAINING";
+    case Status::Unsupported:
+        return "UNSUPPORTED";
     }
     return "UNKNOWN";
 }

@@ -13,15 +13,39 @@
  *
  *   PREDICT  u32 deadline_ms (0 = none), u8 format (0 snl, 1 verilog),
  *            str design source
- *        ->  OK: f64 timing_ps, f64 area_um2, f64 power_mw,
- *            u64 paths_sampled, u32 n, n×u32 critical-path node ids
+ *        ->  OK: <prediction>
  *   STATS    (empty) -> OK: str metrics text (obs render + cache)
  *   RELOAD   str checkpoint directory -> OK: (empty)
  *   PING     (empty) -> OK: (empty)
+ *   HELLO    u32 client protocol version
+ *        ->  OK: u32 server protocol version (the connection speaks
+ *            min(client, server) from then on)
+ *   OPEN     u8 format, str design source
+ *        ->  OK: u64 session_id, <prediction>, <diff>
+ *   UPDATE   u64 session_id, u8 format, str design source
+ *        ->  OK: <prediction>, <diff>
+ *   CLOSE    u64 session_id -> OK: (empty)
  *
- * where `str` is a u32 byte length + bytes. Any non-OK status carries
- * a str message. Clients may pipeline requests on one connection; the
- * server answers in order.
+ * with the shared blocks
+ *
+ *   <prediction> = f64 timing_ps, f64 area_um2, f64 power_mw,
+ *                  u64 paths_sampled, u32 n, n×u32 critical-path ids
+ *   <diff>       = u8 noop, u64 modules_changed, u64 modules_added,
+ *                  u64 modules_removed, u64 modules_total,
+ *                  u64 nodes_affected, u64 endpoints_affected,
+ *                  u64 paths_total, u64 paths_reused,
+ *                  u64 paths_recomputed
+ *
+ * and `str` a u32 byte length + bytes. Any non-OK status carries a str
+ * message. Clients may pipeline requests on one connection; the server
+ * answers in order.
+ *
+ * Version negotiation: the session verbs (OPEN/UPDATE/CLOSE) are a
+ * version-2 feature and gated behind HELLO — a connection that has not
+ * negotiated version >= 2 gets UNSUPPORTED, never a protocol break. A
+ * version-1 server answers HELLO itself with ERROR "unknown verb",
+ * which a version-2 client treats as "the peer speaks version 1" and
+ * degrades to the stateless verbs (docs/serving.md §Compatibility).
  */
 
 #ifndef SNS_SERVE_PROTOCOL_HH
@@ -35,12 +59,23 @@
 
 namespace sns::serve {
 
+/**
+ * The highest protocol version this build speaks. Version 1 is the
+ * stateless verbs (PREDICT/STATS/RELOAD/PING); version 2 adds HELLO
+ * negotiation and the edit-loop session verbs.
+ */
+inline constexpr uint32_t kProtocolVersion = 2;
+
 /** Request kinds. */
 enum class Verb : uint8_t {
     Predict = 1,
     Stats = 2,
     Reload = 3,
     Ping = 4,
+    Hello = 5,
+    Open = 6,
+    Update = 7,
+    Close = 8,
 };
 
 /** Response status; every non-Ok reply carries a message string. */
@@ -55,6 +90,10 @@ enum class Status : uint8_t {
     Error = 3,
     /** The server is draining (SIGTERM); no new work is admitted. */
     Draining = 4,
+    /** The verb exists in a newer protocol version than this
+     * connection negotiated (or the peer supports). Not an error —
+     * the client should fall back to the stateless verbs. */
+    Unsupported = 5,
 };
 
 /** Human-readable status name ("OK", "OVERLOADED", ...). */

@@ -1,5 +1,6 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -31,6 +32,53 @@ statusReply(Status status, const std::string &message)
     return writer.bytes();
 }
 
+/** The <prediction> reply block (shared by PREDICT and the session
+ * verbs — byte-identical layouts keep the client decoder single). */
+void
+writePrediction(WireWriter &writer, const core::SnsPrediction &prediction)
+{
+    writer.f64(prediction.timing_ps);
+    writer.f64(prediction.area_um2);
+    writer.f64(prediction.power_mw);
+    writer.u64(prediction.paths_sampled);
+    writer.u32(static_cast<uint32_t>(prediction.critical_path.size()));
+    for (const graphir::NodeId node : prediction.critical_path)
+        writer.u32(node);
+}
+
+/** The <diff> reply block. */
+void
+writeDiff(WireWriter &writer, const core::DiffStats &diff)
+{
+    writer.u8(diff.noop ? 1 : 0);
+    writer.u64(diff.modules_changed);
+    writer.u64(diff.modules_added);
+    writer.u64(diff.modules_removed);
+    writer.u64(diff.modules_total);
+    writer.u64(diff.nodes_affected);
+    writer.u64(diff.endpoints_affected);
+    writer.u64(diff.paths_total);
+    writer.u64(diff.paths_reused);
+    writer.u64(diff.paths_recomputed);
+}
+
+/** Parse a session verb's design payload (format byte + source). */
+bool
+parseDesign(WireReader &reader, graphir::Graph &graph, std::string &error)
+{
+    const auto format = static_cast<DesignFormat>(reader.u8());
+    const std::string text = reader.str();
+    reader.expectEnd();
+    try {
+        graph = format == DesignFormat::Verilog ? netlist::parseVerilog(text)
+                                                : netlist::parseSnl(text);
+    } catch (const std::exception &e) {
+        error = std::string("design parse error: ") + e.what();
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 Server::Server(std::shared_ptr<const core::SnsPredictor> predictor,
@@ -41,7 +89,18 @@ Server::Server(std::shared_ptr<const core::SnsPredictor> predictor,
           options_.registry->counter("serve.connections_total")),
       protocol_errors_(
           options_.registry->counter("serve.protocol_errors")),
-      reloads_total_(options_.registry->counter("serve.reloads_total"))
+      reloads_total_(options_.registry->counter("serve.reloads_total")),
+      session_opens_(options_.registry->counter("session.opens_total")),
+      session_updates_(
+          options_.registry->counter("session.updates_total")),
+      session_closes_(
+          options_.registry->counter("session.closes_total")),
+      session_evicted_ttl_(
+          options_.registry->counter("session.evicted_ttl")),
+      session_paths_reused_(
+          options_.registry->counter("session.paths_reused")),
+      session_paths_recomputed_(
+          options_.registry->counter("session.paths_recomputed"))
 {
     SNS_ASSERT(predictor_ != nullptr, "Server needs a predictor");
 }
@@ -120,6 +179,9 @@ Server::start()
     options_.registry->setGauge("serve.queue_depth", [this] {
         return static_cast<double>(batcher_->queueDepth());
     });
+    options_.registry->setGauge("serve.sessions_open", [this] {
+        return static_cast<double>(sessionsOpen());
+    });
 
     stopping_.store(false);
     running_.store(true);
@@ -176,6 +238,11 @@ Server::stop()
     }
 
     options_.registry->removeGauge("serve.queue_depth");
+    options_.registry->removeGauge("serve.sessions_open");
+    {
+        std::lock_guard<std::mutex> lock(session_mutex_);
+        sessions_.clear();
+    }
     log_cv_.notify_all();
     if (logger_.joinable())
         logger_.join();
@@ -192,6 +259,10 @@ Server::listenLoop()
                 continue;
             break;
         }
+        // Piggyback session TTL eviction on the poll cadence: idle
+        // sessions are swept within ~100 ms of their deadline whether
+        // or not traffic arrives.
+        sweepSessions();
         if (ready == 0)
             continue;
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -208,12 +279,13 @@ Server::listenLoop()
 void
 Server::handleConnection(int fd)
 {
+    ConnectionState conn;
     try {
         for (;;) {
             auto request = recvFrame(fd, options_.max_frame_bytes);
             if (!request)
                 break; // clean EOF
-            sendFrame(fd, handleRequest(*request));
+            sendFrame(fd, handleRequest(*request, conn));
         }
     } catch (const ProtocolError &) {
         // Corrupt framing or a vanished peer; drop the connection.
@@ -227,7 +299,8 @@ Server::handleConnection(int fd)
 }
 
 std::vector<uint8_t>
-Server::handleRequest(const std::vector<uint8_t> &request)
+Server::handleRequest(const std::vector<uint8_t> &request,
+                      ConnectionState &conn)
 {
     WireReader reader(request);
     try {
@@ -253,6 +326,34 @@ Server::handleRequest(const std::vector<uint8_t> &request)
         case Verb::Ping:
             reader.expectEnd();
             return statusReply(Status::Ok, "");
+        case Verb::Hello: {
+            const uint32_t client_version = reader.u32();
+            reader.expectEnd();
+            conn.version = std::min(client_version, kProtocolVersion);
+            WireWriter writer;
+            writer.u8(static_cast<uint8_t>(Status::Ok));
+            writer.u32(kProtocolVersion);
+            return writer.bytes();
+        }
+        case Verb::Open:
+        case Verb::Update:
+        case Verb::Close: {
+            // Feature gate: session verbs exist from version 2 on, and
+            // only after the connection negotiated them via HELLO —
+            // un-negotiated peers get a clean UNSUPPORTED, never a
+            // protocol break.
+            if (conn.version < 2) {
+                return statusReply(
+                    Status::Unsupported,
+                    "session verbs need protocol version >= 2 "
+                    "(negotiate with HELLO first)");
+            }
+            if (verb == Verb::Open)
+                return handleOpen(reader);
+            if (verb == Verb::Update)
+                return handleUpdate(reader);
+            return handleClose(reader);
+        }
         }
         return statusReply(Status::Error, "unknown verb");
     } catch (const ProtocolError &e) {
@@ -317,6 +418,174 @@ Server::handlePredict(WireReader &reader)
     for (const graphir::NodeId node : outcome.prediction.critical_path)
         writer.u32(node);
     return writer.bytes();
+}
+
+std::vector<uint8_t>
+Server::runSession(const std::shared_ptr<SessionEntry> &entry,
+                   const graphir::Graph &graph, uint64_t echo_session_id,
+                   bool include_session_id)
+{
+    // Sessions are stateful and per-design: they bypass the batcher
+    // and run here on the handler thread, against the newest loaded
+    // model. A staged reload is *read* here (sessions must not serve a
+    // model the operator already replaced) but the live swap — which
+    // rebinds the shared PREDICT cache — stays the executor's job, so
+    // it can never race an in-flight batch's cache inserts; sessions
+    // only touch their own pinned caches.
+    std::shared_ptr<const core::SnsPredictor> predictor;
+    {
+        std::lock_guard<std::mutex> lock(model_mutex_);
+        predictor = staged_predictor_ ? staged_predictor_ : predictor_;
+    }
+
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->session.isOpen() &&
+        entry->session.boundModel() != predictor->modelFingerprint()) {
+        // The model was hot-reloaded after this session opened; its
+        // pinned predictions belong to the old weights (V-SESS-MODEL).
+        return statusReply(Status::Error,
+                           "session was opened under a different model "
+                           "(the server reloaded); CLOSE and re-OPEN");
+    }
+
+    core::SnsPrediction prediction;
+    try {
+        prediction = entry->session.predict(*predictor, graph);
+    } catch (const std::exception &e) {
+        return statusReply(Status::Error,
+                           std::string("session predict failed: ") +
+                               e.what());
+    }
+    entry->last_used_ns.store(std::chrono::steady_clock::now()
+                                  .time_since_epoch()
+                                  .count(),
+                              std::memory_order_relaxed);
+
+    const core::DiffStats &diff = entry->session.lastDiff();
+    session_paths_reused_.inc(diff.paths_reused);
+    session_paths_recomputed_.inc(diff.paths_recomputed);
+
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Status::Ok));
+    if (include_session_id)
+        writer.u64(echo_session_id);
+    writePrediction(writer, prediction);
+    writeDiff(writer, diff);
+    return writer.bytes();
+}
+
+std::vector<uint8_t>
+Server::handleOpen(WireReader &reader)
+{
+    graphir::Graph graph;
+    std::string error;
+    if (!parseDesign(reader, graph, error))
+        return statusReply(Status::Error, error);
+
+    auto entry = std::make_shared<SessionEntry>();
+    entry->last_used_ns.store(std::chrono::steady_clock::now()
+                                  .time_since_epoch()
+                                  .count(),
+                              std::memory_order_relaxed);
+    const uint64_t id = next_session_id_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(session_mutex_);
+        if (sessions_.size() >= options_.max_sessions) {
+            return statusReply(
+                Status::Overloaded,
+                "session table full (" +
+                    std::to_string(options_.max_sessions) +
+                    " open); CLOSE a session or raise --max-sessions");
+        }
+        sessions_.emplace(id, entry);
+    }
+    session_opens_.inc();
+    return runSession(entry, graph, id, /*include_session_id=*/true);
+}
+
+std::vector<uint8_t>
+Server::handleUpdate(WireReader &reader)
+{
+    const uint64_t id = reader.u64();
+    graphir::Graph graph;
+    std::string error;
+    if (!parseDesign(reader, graph, error))
+        return statusReply(Status::Error, error);
+
+    std::shared_ptr<SessionEntry> entry;
+    {
+        std::lock_guard<std::mutex> lock(session_mutex_);
+        const auto it = sessions_.find(id);
+        if (it != sessions_.end())
+            entry = it->second;
+    }
+    if (!entry) {
+        return statusReply(Status::Error,
+                           "unknown session " + std::to_string(id) +
+                               " (never opened, closed, or TTL-evicted)");
+    }
+    session_updates_.inc();
+    return runSession(entry, graph, id, /*include_session_id=*/false);
+}
+
+std::vector<uint8_t>
+Server::handleClose(WireReader &reader)
+{
+    const uint64_t id = reader.u64();
+    reader.expectEnd();
+    std::shared_ptr<SessionEntry> entry;
+    {
+        std::lock_guard<std::mutex> lock(session_mutex_);
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end())
+            return statusReply(Status::Error,
+                               "unknown session " + std::to_string(id));
+        entry = std::move(it->second);
+        sessions_.erase(it);
+    }
+    // Free the pinned cache under the entry mutex so a racing UPDATE
+    // that already grabbed the shared_ptr finishes first.
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->session.close();
+    session_closes_.inc();
+    return statusReply(Status::Ok, "");
+}
+
+void
+Server::sweepSessions()
+{
+    if (options_.session_ttl_s <= 0)
+        return;
+    const int64_t deadline_ns =
+        (std::chrono::steady_clock::now() -
+         std::chrono::seconds(options_.session_ttl_s))
+            .time_since_epoch()
+            .count();
+    std::vector<std::shared_ptr<SessionEntry>> evicted;
+    {
+        std::lock_guard<std::mutex> lock(session_mutex_);
+        for (auto it = sessions_.begin(); it != sessions_.end();) {
+            if (it->second->last_used_ns.load(
+                    std::memory_order_relaxed) < deadline_ns) {
+                evicted.push_back(std::move(it->second));
+                it = sessions_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const auto &entry : evicted) {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        entry->session.close();
+        session_evicted_ttl_.inc();
+    }
+}
+
+size_t
+Server::sessionsOpen() const
+{
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    return sessions_.size();
 }
 
 std::vector<core::SnsPrediction>
@@ -392,8 +661,8 @@ Server::logLoop()
                " overloaded=", overloaded.value(),
                " p50_us=", static_cast<uint64_t>(snap.p50),
                " p99_us=", static_cast<uint64_t>(snap.p99),
-               " queue=", batcher_->queueDepth(),
-               " cache_hit_rate=", stats.hitRate());
+               " queue=", batcher_->queueDepth(), " cache_hit_rate=",
+               obs::formatValue(stats.hitRate()));
     }
 }
 

@@ -20,6 +20,16 @@
  * this at runtime. A checkpoint that fails to load is an ERROR reply,
  * never a dead daemon.
  *
+ * Edit-loop sessions (protocol v2, docs/editloop.md): OPEN parses a
+ * design and opens a core::SnsDesignSession; UPDATE diffs an edited
+ * revision against it and re-predicts only affected paths. Sessions
+ * are stateful and per-design, so they bypass the MicroBatcher and run
+ * on the handler thread under a per-session mutex, against the current
+ * live predictor. A session opened before a RELOAD is detected by its
+ * model fingerprint and answered with a clean ERROR (re-open), never a
+ * stale prediction. The table is bounded (max_sessions) and idle
+ * sessions are TTL-evicted by the listener's poll loop.
+ *
  * Shutdown: stop() (the SIGTERM path in tools/sns_serve.cc) stops
  * accepting, lets the batcher drain — every admitted request gets a
  * real answer, later submits get DRAINING — then unblocks and joins
@@ -32,12 +42,15 @@
 #define SNS_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/design_session.hh"
 #include "core/predictor.hh"
 #include "obs/metrics.hh"
 #include "perf/path_cache.hh"
@@ -70,6 +83,16 @@ struct ServerOptions
 
     /** Seconds between periodic stats log lines to stderr; 0 = off. */
     int stats_log_period_s = 0;
+
+    /** Idle seconds before an edit-loop session is evicted (its pinned
+     * cache freed); 0 disables TTL eviction. Swept by the listener's
+     * poll loop, so eviction lags the deadline by at most ~100 ms. */
+    int session_ttl_s = 300;
+
+    /** Maximum concurrently open sessions; OPEN beyond this is
+     * answered OVERLOADED (each session pins an unbounded cache, so
+     * the table must be bounded). */
+    size_t max_sessions = 64;
 
     /** Where instruments live; tests may pass a private registry. */
     obs::Registry *registry = &obs::Registry::global();
@@ -120,11 +143,47 @@ class Server
      */
     std::string stageReload(const std::string &directory);
 
+    /** Live edit-loop sessions (the serve.sessions_open gauge). */
+    size_t sessionsOpen() const;
+
   private:
+    /** One edit-loop session and its bookkeeping. Handlers hold the
+     * entry's shared_ptr while operating, so TTL eviction (which only
+     * erases the table slot) can never free a session mid-update. */
+    struct SessionEntry
+    {
+        std::mutex mutex; ///< one caller at a time per session
+        core::SnsDesignSession session;
+        /** steady_clock time_since_epoch ns; atomic because the TTL
+         * sweep reads it under session_mutex_ while handlers write it
+         * under the entry mutex. */
+        std::atomic<int64_t> last_used_ns{0};
+    };
+
+    /** Per-connection protocol state (each handler thread owns its
+     * connection's instance; no locking). */
+    struct ConnectionState
+    {
+        /** Verbs beyond version 1 unlock only after HELLO. */
+        uint32_t version = 1;
+    };
+
     void listenLoop();
     void handleConnection(int fd);
-    std::vector<uint8_t> handleRequest(const std::vector<uint8_t> &req);
+    std::vector<uint8_t> handleRequest(const std::vector<uint8_t> &req,
+                                       ConnectionState &conn);
     std::vector<uint8_t> handlePredict(WireReader &reader);
+    std::vector<uint8_t> handleOpen(WireReader &reader);
+    std::vector<uint8_t> handleUpdate(WireReader &reader);
+    std::vector<uint8_t> handleClose(WireReader &reader);
+    /** The OPEN/UPDATE shared tail: predict `graph` through `entry`'s
+     * session under its mutex and serialize the OK reply (session id
+     * echoed only for OPEN). */
+    std::vector<uint8_t> runSession(const std::shared_ptr<SessionEntry> &entry,
+                                    const graphir::Graph &graph,
+                                    uint64_t echo_session_id,
+                                    bool include_session_id);
+    void sweepSessions();
     std::vector<core::SnsPrediction>
     runBatch(const std::vector<const graphir::Graph *> &graphs);
     void logLoop();
@@ -155,9 +214,19 @@ class Server
     std::unordered_set<int> open_fds_;
     std::vector<std::thread> handlers_;
 
+    mutable std::mutex session_mutex_;
+    std::unordered_map<uint64_t, std::shared_ptr<SessionEntry>> sessions_;
+    std::atomic<uint64_t> next_session_id_{1};
+
     obs::Counter &connections_total_;
     obs::Counter &protocol_errors_;
     obs::Counter &reloads_total_;
+    obs::Counter &session_opens_;
+    obs::Counter &session_updates_;
+    obs::Counter &session_closes_;
+    obs::Counter &session_evicted_ttl_;
+    obs::Counter &session_paths_reused_;
+    obs::Counter &session_paths_recomputed_;
 };
 
 } // namespace sns::serve

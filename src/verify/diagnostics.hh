@@ -59,12 +59,13 @@ severityName(Severity severity)
 }
 
 /** @name Stable rule identifiers
- * G-* fire on GraphIR circuits, V-* on the vocabulary, P-SHORT/P-LONG/
- * P-OOV/P-ENDPOINT/P-INTERIOR on circuit paths, D-* on datasets, S-*
- * on synthesis results, T-* on tensors and training, C-* on
- * training-checkpoint containers, and the remaining P-* ids on
- * serialized execution plans (.snsp, docs/plan.md). docs/verify.md
- * documents each one.
+ * G-* fire on GraphIR circuits, V-VOCAB/V-ROUNDTRIP on the vocabulary,
+ * V-OPT-* on PredictOptions combinations, V-SESS-* on design-session
+ * lifecycle misuse, P-SHORT/P-LONG/P-OOV/P-ENDPOINT/P-INTERIOR on
+ * circuit paths, D-* on datasets, S-* on synthesis results, T-* on
+ * tensors and training, C-* on training-checkpoint containers, and the
+ * remaining P-* ids on serialized execution plans (.snsp,
+ * docs/plan.md). docs/verify.md documents each one.
  * @{
  */
 namespace rules {
@@ -108,6 +109,12 @@ inline constexpr const char *kPlanShape = "P-SHAPE";
 inline constexpr const char *kPlanOrder = "P-ORDER";
 inline constexpr const char *kPlanAlloc = "P-ALLOC";
 inline constexpr const char *kPlanModel = "P-MODEL";
+inline constexpr const char *kOptionsThreads = "V-OPT-THREADS";
+inline constexpr const char *kOptionsBatch = "V-OPT-BATCH";
+inline constexpr const char *kOptionsCache = "V-OPT-CACHE";
+inline constexpr const char *kOptionsSession = "V-OPT-SESSION";
+inline constexpr const char *kSessionState = "V-SESS-STATE";
+inline constexpr const char *kSessionModel = "V-SESS-MODEL";
 } // namespace rules
 /** @} */
 

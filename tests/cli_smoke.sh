@@ -4,8 +4,9 @@
 # dot both an SNL and a Verilog design with it; lint a clean and a
 # broken design and check the exit codes; finally boot an sns-serve
 # daemon on a temp socket and check remote-predict matches the local
-# report, STATS counts the traffic, and SIGTERM drains to exit 0. Any
-# unexpected exit or missing output fails.
+# report, STATS counts the traffic, an OPEN/UPDATE/CLOSE session round
+# trip byte-matches the stateless pass, and SIGTERM drains to exit 0.
+# Any unexpected exit or missing output fails.
 set -e
 
 CLI="$1"
@@ -159,6 +160,36 @@ diff "$WORK/pred_1t.body" "$WORK/pred_remote.body"
 grep -q "^serve.requests_total 2$" "$WORK/serve_stats.err"
 grep -q "^serve.requests_ok 2$" "$WORK/serve_stats.err"
 grep -q "^cache.inserts" "$WORK/serve_stats.err"
+
+# Edit-loop session round trip: the first design OPENs a session, the
+# second is an incremental UPDATE, and the CLOSE happens on exit — the
+# rendered predictions must byte-match the stateless remote pass, and
+# the reuse accounting must land on stderr.
+cat > "$WORK/fir_edit.snl" <<'EOF'
+design fir2
+input  x 16
+node   p0 mul 32 x c0
+node   p1 mul 32 x c1
+reg    c0 16
+reg    c1 16
+reg    z0 32 p0
+node   s1 add 32 p1 z0
+reg    z1 32 s1
+node   s2 add 32 s1 z1
+output y  32 s2
+EOF
+"$CLI" remote-predict --socket="$SOCK" "$WORK/fir.snl" "$WORK/fir_edit.snl" \
+    > "$WORK/pred_stateless.out"
+"$CLI" remote-predict --socket="$SOCK" --session --stats \
+    "$WORK/fir.snl" "$WORK/fir_edit.snl" \
+    2> "$WORK/session.err" > "$WORK/pred_session.out"
+grep -v "predicted in" "$WORK/pred_stateless.out" > "$WORK/pred_stateless.body"
+grep -v "predicted in" "$WORK/pred_session.out" > "$WORK/pred_session.body"
+diff "$WORK/pred_stateless.body" "$WORK/pred_session.body"
+grep -q "paths reused" "$WORK/session.err"
+grep -q "^session.opens_total 1$" "$WORK/session.err"
+grep -q "^session.closes_total 1$" "$WORK/session.err"
+grep -q "^serve.sessions_open 0$" "$WORK/session.err"
 
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || { echo "sns-serve did not drain cleanly" >&2; \

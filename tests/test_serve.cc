@@ -11,14 +11,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "core/trainer.hh"
+#include "obs/metrics.hh"
 #include "designs/designs.hh"
 #include "netlist/snl_parser.hh"
 #include "par/thread_pool.hh"
@@ -617,6 +621,354 @@ TEST(ServerTest, StopIsGracefulAndIdempotent)
     EXPECT_FALSE(server.running());
     // The socket file is gone after shutdown.
     EXPECT_FALSE(std::filesystem::exists(options.unix_path));
+    par::setThreads(1);
+}
+
+// ---------------------------------------------------------------------
+// Protocol v2: HELLO negotiation and the edit-loop session verbs
+
+/** A second checkpoint with different weights (different seed) for the
+ * stale-session-after-reload test. */
+const std::string &
+checkpointDir2()
+{
+    static const std::string dir = [] {
+        synth::SynthesisOptions opts;
+        opts.effort = 0.1;
+        synth::Synthesizer oracle(opts);
+        const auto dataset = core::HardwareDesignDataset::build(
+            designs::DesignLibrary::smokeSet(), oracle);
+        std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+        core::TrainerConfig config = core::TrainerConfig::fast();
+        config.seed += 1;
+        core::SnsTrainer trainer(config);
+        const auto predictor = trainer.train(dataset, train_idx, oracle);
+        const auto path = (std::filesystem::temp_directory_path() /
+                           "sns_serve_test_model2")
+                              .string();
+        predictor.save(path);
+        par::setThreads(1);
+        return path;
+    }();
+    return dir;
+}
+
+/** A two-module SNL design; `width1` parameterizes module "rhs" so an
+ * edit touches exactly one of the two modules. */
+std::string
+duoSnl(int width1)
+{
+    std::ostringstream out;
+    out << "design duo\n";
+    out << "module lhs\n";
+    out << "input  a 8\n";
+    out << "reg    ca 8\n";
+    out << "node   pa mul 16 a ca\n";
+    out << "reg    za 16 pa\n";
+    out << "output qa 16 za\n";
+    out << "module rhs\n";
+    out << "input  b " << width1 << "\n";
+    out << "reg    cb " << width1 << "\n";
+    out << "node   pb mul " << 2 * width1 << " b cb\n";
+    out << "reg    zb " << 2 * width1 << " pb\n";
+    out << "output qb " << 2 * width1 << " zb\n";
+    return out.str();
+}
+
+void
+expectSamePrediction(const core::SnsPrediction &got,
+                     const core::SnsPrediction &want)
+{
+    EXPECT_EQ(got.timing_ps, want.timing_ps);
+    EXPECT_EQ(got.area_um2, want.area_um2);
+    EXPECT_EQ(got.power_mw, want.power_mw);
+    EXPECT_EQ(got.paths_sampled, want.paths_sampled);
+    EXPECT_EQ(got.critical_path, want.critical_path);
+}
+
+TEST(SessionServeTest, HelloNegotiatesVersionTwo)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("hello");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    EXPECT_EQ(client.negotiatedVersion(), 1u);
+    EXPECT_EQ(client.hello(), kProtocolVersion);
+    EXPECT_EQ(client.negotiatedVersion(), kProtocolVersion);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(SessionServeTest, SessionVerbsWithoutHelloAreUnsupported)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("nohello");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    // Client side: a Client that never negotiated refuses locally.
+    auto client = Client::connectUnix(options.unix_path);
+    const auto local = client.openSession(duoSnl(8), DesignFormat::Snl);
+    EXPECT_EQ(local.status, Status::Unsupported);
+    EXPECT_NE(local.message.find("hello"), std::string::npos);
+
+    // Server side: a hand-rolled OPEN frame on a fresh connection
+    // (still version 1) must get a clean UNSUPPORTED reply, and the
+    // connection must survive it.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Open));
+    writer.u8(static_cast<uint8_t>(DesignFormat::Snl));
+    writer.str(duoSnl(8));
+    sendFrame(fd, writer.bytes());
+    const auto raw = recvFrame(fd, 1 << 20);
+    ASSERT_TRUE(raw.has_value());
+    WireReader reader(*raw);
+    EXPECT_EQ(static_cast<Status>(reader.u8()), Status::Unsupported);
+    EXPECT_NE(reader.str().find("HELLO"), std::string::npos);
+
+    WireWriter ping;
+    ping.u8(static_cast<uint8_t>(Verb::Ping));
+    sendFrame(fd, ping.bytes());
+    EXPECT_TRUE(recvFrame(fd, 1 << 20).has_value());
+    ::close(fd);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(SessionServeTest, OpenUpdateCloseRoundTripMatchesLocalBitwise)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("session");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    // Cold local references for both revisions.
+    const auto base = netlist::parseSnl(duoSnl(8));
+    const auto edited = netlist::parseSnl(duoSnl(12));
+    const auto cold_base = predictor->predict(base);
+    const auto cold_edited = predictor->predict(edited);
+
+    auto client = Client::connectUnix(options.unix_path);
+    ASSERT_GE(client.hello(), 2u);
+
+    const auto opened = client.openSession(duoSnl(8), DesignFormat::Snl);
+    ASSERT_EQ(opened.status, Status::Ok) << opened.message;
+    ASSERT_NE(opened.session_id, 0u);
+    expectSamePrediction(opened.prediction, cold_base);
+    EXPECT_EQ(opened.diff.paths_reused, 0u);
+    EXPECT_EQ(opened.diff.modules_total, 2u);
+    EXPECT_EQ(server.sessionsOpen(), 1u);
+
+    // Editing one of the two modules reuses the other's paths.
+    const auto updated = client.updateSession(
+        opened.session_id, duoSnl(12), DesignFormat::Snl);
+    ASSERT_EQ(updated.status, Status::Ok) << updated.message;
+    EXPECT_EQ(updated.session_id, opened.session_id);
+    expectSamePrediction(updated.prediction, cold_edited);
+    EXPECT_FALSE(updated.diff.noop);
+    EXPECT_EQ(updated.diff.modules_changed, 1u);
+    EXPECT_GT(updated.diff.paths_reused, 0u);
+    EXPECT_GT(updated.diff.paths_recomputed, 0u);
+
+    // A no-op revision takes the fingerprint fast path on the server.
+    const auto noop = client.updateSession(
+        opened.session_id, duoSnl(12), DesignFormat::Snl);
+    ASSERT_EQ(noop.status, Status::Ok) << noop.message;
+    EXPECT_TRUE(noop.diff.noop);
+    expectSamePrediction(noop.prediction, cold_edited);
+
+    // Session metrics: gauge + counters in the STATS text.
+    const std::string stats = client.stats();
+    EXPECT_NE(stats.find("serve.sessions_open 1"), std::string::npos);
+    EXPECT_NE(stats.find("session.opens_total 1"), std::string::npos);
+    EXPECT_NE(stats.find("session.updates_total 2"), std::string::npos);
+
+    EXPECT_EQ(client.closeSession(opened.session_id), "");
+    EXPECT_EQ(server.sessionsOpen(), 0u);
+
+    // The id is dead after CLOSE.
+    const auto stale = client.updateSession(
+        opened.session_id, duoSnl(12), DesignFormat::Snl);
+    EXPECT_EQ(stale.status, Status::Error);
+    EXPECT_NE(stale.message.find("unknown session"), std::string::npos);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(SessionServeTest, SessionTableIsBoundedByMaxSessions)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("maxsess");
+    options.registry = &registry;
+    options.max_sessions = 1;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    ASSERT_GE(client.hello(), 2u);
+    const auto first = client.openSession(duoSnl(8), DesignFormat::Snl);
+    ASSERT_EQ(first.status, Status::Ok) << first.message;
+
+    const auto second = client.openSession(duoSnl(10), DesignFormat::Snl);
+    EXPECT_EQ(second.status, Status::Overloaded);
+    EXPECT_NE(second.message.find("session table full"),
+              std::string::npos);
+
+    // CLOSE frees the slot.
+    EXPECT_EQ(client.closeSession(first.session_id), "");
+    EXPECT_EQ(client.openSession(duoSnl(10), DesignFormat::Snl).status,
+              Status::Ok);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(SessionServeTest, IdleSessionsAreEvictedByTtl)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("ttl");
+    options.registry = &registry;
+    options.session_ttl_s = 1;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    ASSERT_GE(client.hello(), 2u);
+    const auto opened = client.openSession(duoSnl(8), DesignFormat::Snl);
+    ASSERT_EQ(opened.status, Status::Ok) << opened.message;
+    EXPECT_EQ(server.sessionsOpen(), 1u);
+
+    // The listen loop sweeps every poll tick; after the TTL the slot
+    // must be gone and the id must answer with a clean error.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (server.sessionsOpen() > 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(50ms);
+    EXPECT_EQ(server.sessionsOpen(), 0u);
+    EXPECT_EQ(registry.counter("session.evicted_ttl").value(), 1u);
+
+    const auto stale = client.updateSession(
+        opened.session_id, duoSnl(8), DesignFormat::Snl);
+    EXPECT_EQ(stale.status, Status::Error);
+    EXPECT_NE(stale.message.find("TTL"), std::string::npos);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(SessionServeTest, UpdateAfterHotReloadGetsCleanStaleError)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("stale");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    ASSERT_GE(client.hello(), 2u);
+    const auto opened = client.openSession(duoSnl(8), DesignFormat::Snl);
+    ASSERT_EQ(opened.status, Status::Ok) << opened.message;
+
+    // Swap to a model with different weights: the session's pinned
+    // predictions are no longer valid, and the server must say so
+    // instead of silently mixing models.
+    ASSERT_EQ(client.reload(checkpointDir2()), "");
+    const auto stale = client.updateSession(
+        opened.session_id, duoSnl(10), DesignFormat::Snl);
+    EXPECT_EQ(stale.status, Status::Error);
+    EXPECT_NE(stale.message.find("re-OPEN"), std::string::npos);
+
+    // Re-opening under the new model works and is bitwise against it.
+    const auto reopened =
+        client.openSession(duoSnl(10), DesignFormat::Snl);
+    ASSERT_EQ(reopened.status, Status::Ok) << reopened.message;
+    const auto fresh = core::SnsPredictor::load(checkpointDir2());
+    expectSamePrediction(reopened.prediction,
+                         fresh.predict(netlist::parseSnl(duoSnl(10))));
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(SessionServeTest, StatsCacheHitRateUsesTheSharedFormatter)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("fmtstats");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    // Repeat one design so the shared cache has hits and misses and
+    // the rate is a non-trivial fraction.
+    ASSERT_EQ(client.predict(kFirSnl, DesignFormat::Snl).status,
+              Status::Ok);
+    ASSERT_EQ(client.predict(kFirSnl, DesignFormat::Snl).status,
+              Status::Ok);
+
+    // STATS renders the cache block through obs::formatCacheStats —
+    // the exact formatter `sns-cli predict --cache-stats` prints with,
+    // so the hit_rate line must equal formatValue(hits / probes).
+    const std::string stats = client.stats();
+    double hits = -1.0;
+    double misses = -1.0;
+    std::string rate_text;
+    std::istringstream lines(stats);
+    std::string name;
+    std::string value;
+    while (lines >> name >> value) {
+        if (name == "cache.hits")
+            hits = std::stod(value);
+        else if (name == "cache.misses")
+            misses = std::stod(value);
+        else if (name == "cache.hit_rate")
+            rate_text = value;
+    }
+    ASSERT_GE(hits, 1.0);
+    ASSERT_GE(misses, 1.0);
+    ASSERT_FALSE(rate_text.empty());
+    EXPECT_EQ(rate_text, obs::formatValue(hits / (hits + misses)));
+
+    server.stop();
     par::setThreads(1);
 }
 

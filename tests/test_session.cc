@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Tests for the edit-loop session API (docs/editloop.md):
+ * PredictOptions validation (V-OPT-*), SnsDesignSession open/update/
+ * close state machine (V-SESS-*), structural-diff edge cases (module
+ * rename vs content change, path-count-changing edits, whole-design
+ * edits, no-op updates), and the bitwise contract — session updates
+ * must match a cold full predictBatch exactly, including under
+ * multi-thread pools and with the plan runtime on or off. Run under
+ * TSan by tools/run_lint.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/design_session.hh"
+#include "core/trainer.hh"
+#include "designs/designs.hh"
+#include "netlist/snl_parser.hh"
+#include "par/thread_pool.hh"
+#include "plan/runtime.hh"
+#include "verify/diagnostics.hh"
+
+namespace sns::core {
+namespace {
+
+/** One tiny trained predictor shared by the session tests. */
+const SnsPredictor &
+predictor()
+{
+    static const SnsPredictor instance = [] {
+        synth::SynthesisOptions opts;
+        opts.effort = 0.1;
+        synth::Synthesizer oracle(opts);
+        const auto dataset = HardwareDesignDataset::build(
+            designs::DesignLibrary::smokeSet(), oracle);
+        std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+        SnsTrainer trainer(TrainerConfig::fast());
+        auto trained = trainer.train(dataset, train_idx, oracle);
+        par::setThreads(1);
+        return trained;
+    }();
+    return instance;
+}
+
+/** A second model with different weights (different seed) for the
+ * V-SESS-MODEL binding tests. */
+const SnsPredictor &
+otherPredictor()
+{
+    static const SnsPredictor instance = [] {
+        synth::SynthesisOptions opts;
+        opts.effort = 0.1;
+        synth::Synthesizer oracle(opts);
+        const auto dataset = HardwareDesignDataset::build(
+            designs::DesignLibrary::smokeSet(), oracle);
+        std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+        TrainerConfig config = TrainerConfig::fast();
+        config.seed += 1;
+        SnsTrainer trainer(config);
+        auto trained = trainer.train(dataset, train_idx, oracle);
+        par::setThreads(1);
+        return trained;
+    }();
+    return instance;
+}
+
+/**
+ * A four-module design (independent FIR blocks). Block 2 is the one
+ * the "designer" edits: `taps2`/`width2` parameterize its content,
+ * `prefix` renames every module label without touching structure.
+ */
+std::string
+quadSource(int taps2 = 3, int width2 = 8, const char *prefix = "blk")
+{
+    std::ostringstream out;
+    out << "design quad\n";
+    for (int m = 0; m < 4; ++m) {
+        const int taps = m == 2 ? taps2 : 3;
+        const int width = m == 2 ? width2 : 8 + 2 * m;
+        const int acc = 2 * width;
+        out << "module " << prefix << m << "\n";
+        out << "input  x" << m << " " << width << "\n";
+        for (int t = 0; t < taps; ++t)
+            out << "reg    c" << m << "_" << t << " " << width << "\n";
+        for (int t = 0; t < taps; ++t)
+            out << "node   p" << m << "_" << t << " mul " << acc << " x"
+                << m << " c" << m << "_" << t << "\n";
+        out << "reg    z" << m << "_0 " << acc << " p" << m << "_0\n";
+        for (int t = 1; t < taps; ++t) {
+            out << "node   s" << m << "_" << t << " add " << acc << " p"
+                << m << "_" << t << " z" << m << "_" << t - 1 << "\n";
+            out << "reg    z" << m << "_" << t << " " << acc << " s"
+                << m << "_" << t << "\n";
+        }
+        out << "output y" << m << " " << acc << " z" << m << "_"
+            << taps - 1 << "\n";
+    }
+    return out.str();
+}
+
+/** A single-module design whose every node width tracks `width` — an
+ * edit to it re-tokenizes every path (the zero-reuse worst case). */
+std::string
+monoSource(int width)
+{
+    std::ostringstream out;
+    out << "design mono\n";
+    out << "module top\n";
+    out << "input  x " << width << "\n";
+    out << "reg    c0 " << width << "\n";
+    out << "reg    c1 " << width << "\n";
+    out << "node   p0 mul " << 2 * width << " x c0\n";
+    out << "node   p1 mul " << 2 * width << " x c1\n";
+    out << "reg    z0 " << 2 * width << " p0\n";
+    out << "node   s1 add " << 2 * width << " p1 z0\n";
+    out << "reg    z1 " << 2 * width << " s1\n";
+    out << "output y " << 2 * width << " z1\n";
+    return out.str();
+}
+
+void
+expectBitwise(const SnsPrediction &got, const SnsPrediction &want)
+{
+    EXPECT_EQ(got.timing_ps, want.timing_ps);
+    EXPECT_EQ(got.area_um2, want.area_um2);
+    EXPECT_EQ(got.power_mw, want.power_mw);
+    EXPECT_EQ(got.paths_sampled, want.paths_sampled);
+    EXPECT_EQ(got.critical_path, want.critical_path);
+}
+
+// ---------------------------------------------------------------------
+// PredictOptions validation (the V-OPT-* rules)
+
+TEST(ValidateOptionsTest, DefaultsAreClean)
+{
+    EXPECT_TRUE(validatePredictOptions(PredictOptions()).empty());
+}
+
+TEST(ValidateOptionsTest, NegativeThreadsFlagsOptionsThreads)
+{
+    PredictOptions options;
+    options.threads = -2;
+    const auto report = validatePredictOptions(options);
+    EXPECT_TRUE(report.hasRule(verify::rules::kOptionsThreads));
+    EXPECT_TRUE(report.hasErrors());
+}
+
+TEST(ValidateOptionsTest, NonPositiveBatchFlagsOptionsBatch)
+{
+    PredictOptions options;
+    options.batch_size = 0;
+    EXPECT_TRUE(validatePredictOptions(options).hasRule(
+        verify::rules::kOptionsBatch));
+}
+
+TEST(ValidateOptionsTest, CacheStatsWithoutCacheFlagsOptionsCache)
+{
+    PredictOptions options;
+    options.cache_stats = true;
+    EXPECT_TRUE(validatePredictOptions(options).hasRule(
+        verify::rules::kOptionsCache));
+
+    // ...but a session satisfies the counter requirement.
+    SnsDesignSession session;
+    options.session = &session;
+    EXPECT_TRUE(validatePredictOptions(options).empty());
+}
+
+TEST(ValidateOptionsTest, SessionPlusCacheFlagsOptionsSession)
+{
+    perf::PathPredictionCache cache(perf::PathCacheOptions{});
+    SnsDesignSession session;
+    PredictOptions options;
+    options.session = &session;
+    options.cache = &cache;
+    EXPECT_TRUE(validatePredictOptions(options).hasRule(
+        verify::rules::kOptionsSession));
+}
+
+TEST(ValidateOptionsTest, OneReportCarriesEveryViolation)
+{
+    PredictOptions options;
+    options.threads = -1;
+    options.batch_size = -4;
+    options.cache_stats = true;
+    const auto report = validatePredictOptions(options);
+    EXPECT_EQ(report.count(verify::Severity::Error), 3u);
+}
+
+TEST(ValidateOptionsTest, PredictBatchRejectsSessionWithManyGraphs)
+{
+    verify::setMode(verify::Mode::Fatal);
+    const auto fir = netlist::parseSnl(quadSource());
+    const auto mac = netlist::parseSnl(monoSource(8));
+    const graphir::Graph *graphs[2] = {&fir, &mac};
+    SnsDesignSession session;
+    PredictOptions options;
+    options.session = &session;
+    EXPECT_THROW((void)predictor().predictBatch(graphs, options),
+                 verify::VerifyError);
+}
+
+// ---------------------------------------------------------------------
+// Session lifecycle and the diff edge cases
+
+TEST(SessionTest, OpenMatchesColdAndReportsZeroReuse)
+{
+    const auto graph = netlist::parseSnl(quadSource());
+    const auto cold = predictor().predict(graph);
+
+    SnsDesignSession session;
+    const auto opened = session.open(predictor(), graph);
+    expectBitwise(opened, cold);
+    EXPECT_TRUE(session.isOpen());
+    EXPECT_EQ(session.boundModel(), predictor().modelFingerprint());
+
+    const auto &diff = session.lastDiff();
+    EXPECT_FALSE(diff.noop);
+    EXPECT_EQ(diff.modules_total, 4u);
+    EXPECT_EQ(diff.paths_total, cold.paths_sampled);
+    EXPECT_EQ(diff.paths_reused, 0u);
+    EXPECT_EQ(diff.paths_recomputed, cold.paths_sampled);
+    session.close();
+    EXPECT_FALSE(session.isOpen());
+}
+
+TEST(SessionTest, NoopUpdateReusesEverything)
+{
+    const auto graph = netlist::parseSnl(quadSource());
+    const auto same = netlist::parseSnl(quadSource());
+    const auto cold = predictor().predict(graph);
+
+    SnsDesignSession session;
+    session.open(predictor(), graph);
+    const auto updated = session.update(predictor(), same);
+    expectBitwise(updated, cold);
+
+    const auto &diff = session.lastDiff();
+    EXPECT_TRUE(diff.noop);
+    EXPECT_EQ(diff.modules_changed, 0u);
+    EXPECT_EQ(diff.paths_reused, diff.paths_total);
+    EXPECT_EQ(diff.paths_recomputed, 0u);
+    EXPECT_DOUBLE_EQ(diff.reuseRate(), 1.0);
+}
+
+TEST(SessionTest, ModuleRenameIsNoopAndRefreshesTheSnapshot)
+{
+    SnsDesignSession session;
+    session.open(predictor(), netlist::parseSnl(quadSource()));
+
+    // Renaming every module label changes no structure: the
+    // fingerprint (which excludes labels) short-circuits.
+    const auto renamed =
+        netlist::parseSnl(quadSource(3, 8, "unit"));
+    session.update(predictor(), renamed);
+    EXPECT_TRUE(session.lastDiff().noop);
+
+    // The snapshot now speaks the new labels: a real edit against them
+    // diffs as exactly one changed module, not four.
+    const auto edited =
+        netlist::parseSnl(quadSource(3, 12, "unit"));
+    const auto cold = predictor().predict(edited);
+    const auto updated = session.update(predictor(), edited);
+    expectBitwise(updated, cold);
+    EXPECT_FALSE(session.lastDiff().noop);
+    EXPECT_EQ(session.lastDiff().modules_changed, 1u);
+    EXPECT_EQ(session.lastDiff().modules_added, 0u);
+    EXPECT_EQ(session.lastDiff().modules_removed, 0u);
+}
+
+TEST(SessionTest, SingleModuleEditReusesTheUntouchedModules)
+{
+    const auto base = netlist::parseSnl(quadSource(3, 8));
+    const auto edited = netlist::parseSnl(quadSource(3, 12));
+    const auto cold = predictor().predict(edited);
+
+    SnsDesignSession session;
+    session.open(predictor(), base);
+    const auto updated = session.update(predictor(), edited);
+    expectBitwise(updated, cold);
+
+    const auto &diff = session.lastDiff();
+    EXPECT_FALSE(diff.noop);
+    EXPECT_EQ(diff.modules_changed, 1u);
+    EXPECT_EQ(diff.modules_total, 4u);
+    EXPECT_GT(diff.paths_reused, 0u) << "untouched blocks must replay";
+    EXPECT_GT(diff.paths_recomputed, 0u) << "the edited block must pay";
+    EXPECT_EQ(diff.paths_reused + diff.paths_recomputed,
+              diff.paths_total);
+}
+
+TEST(SessionTest, PathCountChangingEditStaysBitwise)
+{
+    const auto base = netlist::parseSnl(quadSource(3, 8));
+    // Two extra taps: the revision samples a different path count.
+    const auto wider = netlist::parseSnl(quadSource(5, 8));
+    const auto cold = predictor().predict(wider);
+
+    SnsDesignSession session;
+    session.open(predictor(), base);
+    const auto updated = session.update(predictor(), wider);
+    expectBitwise(updated, cold);
+    EXPECT_EQ(session.lastDiff().paths_total, cold.paths_sampled);
+    EXPECT_FALSE(session.lastDiff().noop);
+}
+
+TEST(SessionTest, WholeDesignEditGetsZeroReuse)
+{
+    // Every node's width moves 8 -> 32: every path re-tokenizes, so
+    // the pinned cache can answer nothing — and the result must still
+    // be bitwise cold.
+    const auto base = netlist::parseSnl(monoSource(8));
+    const auto edited = netlist::parseSnl(monoSource(32));
+    const auto cold = predictor().predict(edited);
+
+    SnsDesignSession session;
+    session.open(predictor(), base);
+    const auto updated = session.update(predictor(), edited);
+    expectBitwise(updated, cold);
+
+    const auto &diff = session.lastDiff();
+    EXPECT_FALSE(diff.noop);
+    EXPECT_EQ(diff.modules_changed, 1u);
+    EXPECT_EQ(diff.paths_reused, 0u);
+    EXPECT_EQ(diff.paths_recomputed, diff.paths_total);
+    EXPECT_DOUBLE_EQ(diff.reuseRate(), 0.0);
+}
+
+TEST(SessionTest, BitwiseUnderThreadsAndPlanToggle)
+{
+    const auto base = netlist::parseSnl(quadSource(3, 8));
+    const auto edit1 = netlist::parseSnl(quadSource(4, 10));
+    const auto edit2 = netlist::parseSnl(quadSource(4, 14));
+
+    const bool plan_before = plan::planEnabled();
+    for (const bool plan_on : {false, true}) {
+        plan::setPlanEnabled(plan_on);
+        par::setThreads(4);
+
+        const auto cold0 = predictor().predict(base);
+        const auto cold1 = predictor().predict(edit1);
+        const auto cold2 = predictor().predict(edit2);
+
+        SnsDesignSession session;
+        expectBitwise(session.open(predictor(), base), cold0);
+        expectBitwise(session.update(predictor(), edit1), cold1);
+        expectBitwise(session.update(predictor(), edit2), cold2);
+    }
+    plan::setPlanEnabled(plan_before);
+    par::setThreads(1);
+}
+
+TEST(SessionTest, PredictOptionsSessionRoutesThroughTheSession)
+{
+    const auto graph = netlist::parseSnl(quadSource());
+    const auto cold = predictor().predict(graph);
+
+    SnsDesignSession session;
+    PredictOptions options;
+    options.session = &session;
+
+    // First call opens, second call is a no-op update — both through
+    // the public predict() entry point the CLI and server use.
+    expectBitwise(predictor().predict(graph, options), cold);
+    EXPECT_TRUE(session.isOpen());
+    expectBitwise(predictor().predict(graph, options), cold);
+    EXPECT_TRUE(session.lastDiff().noop);
+
+    // Counters are readable without an external cache.
+    EXPECT_GT(session.cacheStats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------
+// State-machine enforcement (V-SESS-*)
+
+TEST(SessionTest, UpdateOnClosedSessionThrowsFatalRecoversCount)
+{
+    const auto graph = netlist::parseSnl(quadSource());
+    const auto cold = predictor().predict(graph);
+
+    verify::setMode(verify::Mode::Fatal);
+    SnsDesignSession session;
+    EXPECT_THROW((void)session.update(predictor(), graph),
+                 verify::VerifyError);
+    EXPECT_FALSE(session.isOpen());
+
+    // Count mode logs, tallies, and recovers by opening.
+    verify::setMode(verify::Mode::Count);
+    const auto recovered = session.update(predictor(), graph);
+    expectBitwise(recovered, cold);
+    EXPECT_TRUE(session.isOpen());
+    verify::setMode(verify::Mode::Fatal);
+}
+
+TEST(SessionTest, ReopeningThrowsFatalRecoversCount)
+{
+    const auto graph = netlist::parseSnl(quadSource());
+
+    verify::setMode(verify::Mode::Fatal);
+    SnsDesignSession session;
+    session.open(predictor(), graph);
+    EXPECT_THROW((void)session.open(predictor(), graph),
+                 verify::VerifyError);
+
+    verify::setMode(verify::Mode::Count);
+    const auto reopened = session.open(predictor(), graph);
+    EXPECT_TRUE(session.isOpen());
+    EXPECT_EQ(reopened.paths_sampled,
+              session.lastDiff().paths_total);
+    verify::setMode(verify::Mode::Fatal);
+}
+
+TEST(SessionTest, ModelSwapRaisesSessionModel)
+{
+    const auto graph = netlist::parseSnl(quadSource());
+    ASSERT_NE(predictor().modelFingerprint(),
+              otherPredictor().modelFingerprint())
+        << "fixture models must differ for this test to mean anything";
+
+    verify::setMode(verify::Mode::Fatal);
+    SnsDesignSession session;
+    session.open(predictor(), graph);
+    EXPECT_THROW((void)session.update(otherPredictor(), graph),
+                 verify::VerifyError);
+
+    // Count mode recovers by re-opening under the new model.
+    verify::setMode(verify::Mode::Count);
+    const auto cold = otherPredictor().predict(graph);
+    const auto recovered = session.update(otherPredictor(), graph);
+    expectBitwise(recovered, cold);
+    EXPECT_EQ(session.boundModel(),
+              otherPredictor().modelFingerprint());
+    verify::setMode(verify::Mode::Fatal);
+}
+
+} // namespace
+} // namespace sns::core

@@ -11,23 +11,29 @@
 #   5. run the sns-serve throughput harness (closed-loop clients at
 #      concurrency 1..8, serial vs micro-batched, bitwise-checked
 #      against local predictBatch) and assemble BENCH_pr4.json, gating
-#      on batched-vs-serial-dispatch speedup >= 2x at concurrency 8.
+#      on batched-vs-serial-dispatch speedup >= 2x at concurrency 8;
+#   6. run the edit-loop session harness (one module of a 12-module
+#      design tweaked 100x, SnsDesignSession vs repeated full
+#      predictBatch, bitwise-checked) and assemble BENCH_pr7.json,
+#      gating on session speedup >= 5x.
 #
 # Usage: tools/run_bench.sh [BUILD_DIR] [OUT_JSON]
 #        (defaults: build-bench, BENCH_pr3.json at the repo root;
-#         the serve summary lands next to it as BENCH_pr4.json)
+#         the serve summary lands next to it as BENCH_pr4.json and the
+#         edit-loop summary as BENCH_pr7.json)
 set -e
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO/build-bench}"
 OUT="${2:-$REPO/BENCH_pr3.json}"
 OUT_SERVE="$(dirname "$OUT")/BENCH_pr4.json"
+OUT_EDIT="$(dirname "$OUT")/BENCH_pr7.json"
 
 echo "== release build ($BUILD) =="
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release \
     -DSNS_NATIVE_ARCH=ON
 cmake --build "$BUILD" -j --target microbench_kernels fig07_runtime \
-    serve_throughput
+    serve_throughput edit_loop
 
 echo "== GEMM microkernels: scalar vs SIMD dispatch =="
 GEMM_CSV="$BUILD/gemm_dispatch.csv"
@@ -193,3 +199,68 @@ awk -v serve="$SERVE_OUT" '
     }
 ' /dev/null
 echo "wrote $OUT_SERVE"
+
+echo "== edit loop: SnsDesignSession vs repeated full predictBatch =="
+EDIT_OUT="$BUILD/edit_loop.out"
+# shellcheck disable=SC2086
+"$BUILD/bench/edit_loop" ${SNS_BENCH_FLAGS:-} | tee "$EDIT_OUT"
+
+awk -v editloop="$EDIT_OUT" '
+    BEGIN {
+        while ((getline line <editloop) > 0) {
+            if (split(line, f, " ") == 3 && f[1] == "BENCH")
+                bench[f[2]] = f[3]
+        }
+        close(editloop)
+        printf "{\n"
+        printf "  \"edit_loop\": {\n"
+        printf "    \"cold_s\": %s,\n", bench["edit_loop_cold_s"]
+        printf "    \"session_s\": %s,\n", bench["edit_loop_session_s"]
+        printf "    \"speedup_x\": %s,\n", bench["edit_loop_speedup"]
+        printf "    \"reuse_rate\": %s,\n", \
+               bench["edit_loop_reuse_rate"]
+        printf "    \"noop_fast_path_pass\": %s,\n", \
+               bench["edit_loop_noop_ok"]
+        printf "    \"bitwise_pass\": %s\n", \
+               bench["edit_loop_bitwise"]
+        printf "  }\n"
+        printf "}\n"
+    }
+' /dev/null >"$OUT_EDIT"
+
+cat "$OUT_EDIT"
+
+# Edit-loop gates mirrored from ISSUE.md: the session must finish the
+# 100-edit script >= 5x faster than repeated full predictBatch, every
+# update bitwise identical to its cold twin, and a no-op revision must
+# take the fingerprint fast path.
+awk -v editloop="$EDIT_OUT" '
+    BEGIN {
+        speedup = 0
+        bitwise = 0
+        noop = 0
+        while ((getline line <editloop) > 0) {
+            if (split(line, f, " ") != 3 || f[1] != "BENCH")
+                continue
+            if (f[2] == "edit_loop_speedup") speedup = f[3]
+            if (f[2] == "edit_loop_bitwise") bitwise = f[3]
+            if (f[2] == "edit_loop_noop_ok") noop = f[3]
+        }
+        if (bitwise != 1) {
+            print "FAIL: session updates are not bitwise identical"
+            exit 1
+        }
+        if (noop != 1) {
+            print "FAIL: no-op revision missed the fingerprint fast path"
+            exit 1
+        }
+        if (speedup + 0 < 5.0) {
+            printf "FAIL: edit-loop session speedup %.2fx < 5x\n", \
+                   speedup
+            exit 1
+        }
+        printf "PASS: edit-loop session speedup %.2fx, bitwise\n", \
+               speedup
+    }
+' /dev/null
+echo "wrote $OUT_EDIT"

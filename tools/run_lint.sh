@@ -78,11 +78,12 @@ echo "== ThreadSanitizer build ($TSAN_BUILD) =="
 cmake -B "$TSAN_BUILD" -S "$REPO" -DSNS_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD" -j --target test_par test_perf test_tensor \
-    test_core test_obs test_serve
+    test_core test_obs test_serve test_session
 
 echo "== sns::par + serve suites under TSan (SNS_THREADS=4) =="
 # Multi-threaded pool width so TSan actually sees concurrent regions.
-for t in test_par test_perf test_tensor test_core test_obs test_serve; do
+for t in test_par test_perf test_tensor test_core test_obs test_serve \
+         test_session; do
     SNS_THREADS=4 "$TSAN_BUILD/tests/$t"
 done
 

@@ -163,8 +163,8 @@ usage()
         << "  sns-cli predict --model=DIR [--threads=N] [--json] "
            "[--cache[=CAP]] [--cache-stats] DESIGN.{snl,v} [...]\n"
         << "  sns-cli remote-predict (--socket=PATH | --host=H "
-           "--port=N) [--deadline-ms=N] [--stats] DESIGN.{snl,v} "
-           "[...]\n"
+           "--port=N) [--deadline-ms=N] [--stats] [--session] "
+           "DESIGN.{snl,v} [...]\n"
         << "  sns-cli synth   DESIGN.snl [...]\n"
         << "  sns-cli plan    --model=DIR [--out=FILE.snsp] [--dump]\n"
         << "  sns-cli paths   DESIGN.snl [--k=5] [--limit=20]\n"
@@ -176,6 +176,13 @@ usage()
            "of one predict call (CAP entries, default 1M, 0 = "
            "unbounded); predictions are bitwise identical either way. "
            "--cache-stats prints hit/miss counters to stderr.\n"
+        << "--session drives remote-predict through one server-side "
+           "edit-loop session (docs/editloop.md): the first design "
+           "OPENs it, each later design is an incremental UPDATE "
+           "(only paths touched by the edit are re-predicted), and it "
+           "is CLOSEd at the end; per-design reuse stats go to "
+           "stderr. Results are bitwise identical to stateless "
+           "predictions.\n"
         << "--checkpoint-dir=DIR commits resumable training state "
            "every --checkpoint-every=N epochs (keeping the newest "
            "--checkpoint-keep=N files); SIGINT checkpoints and exits. "
@@ -368,6 +375,10 @@ cmdPredict(const CliArgs &args)
         cache = std::make_unique<perf::PathPredictionCache>(copts);
         options.cache = cache.get();
     }
+    // Declared intent, checked centrally by validatePredictOptions —
+    // API callers who set cache_stats without a cache get V-OPT-CACHE
+    // instead of silence (the CLI always builds the cache above).
+    options.cache_stats = args.has("cache-stats");
     WallTimer timer;
     const auto preds = predictor.predictBatch(graphs, options);
     const double elapsed = timer.seconds();
@@ -434,21 +445,66 @@ cmdRemotePredict(const CliArgs &args)
         static_cast<uint32_t>(std::stoul(args.get("deadline-ms", "0")));
     WallTimer timer;
     size_t predicted = 0;
-    for (const auto &path : args.positional) {
-        const auto reply = client.predict(readWholeFile(path),
-                                          designFormat(path), deadline_ms);
-        if (reply.status != serve::Status::Ok) {
-            std::cerr << path << ": "
-                      << serve::statusName(reply.status)
-                      << (reply.message.empty() ? "" : ": ")
-                      << reply.message << "\n";
+
+    if (args.has("session")) {
+        // Edit-loop mode: one server-side session across all designs —
+        // the first OPENs, later ones are incremental UPDATEs.
+        if (client.hello() < 2) {
+            std::cerr << "remote-predict --session: server speaks "
+                         "protocol version 1 (no sessions); upgrade "
+                         "the server or drop --session\n";
             return 2;
         }
-        // Parse locally only to render token names; the numbers and
-        // node ids come straight off the wire.
-        const auto design = loadDesign(path);
-        printPrediction(design, reply.prediction);
-        ++predicted;
+        uint64_t session_id = 0;
+        for (const auto &path : args.positional) {
+            const auto reply =
+                session_id == 0
+                    ? client.openSession(readWholeFile(path),
+                                         designFormat(path))
+                    : client.updateSession(session_id,
+                                           readWholeFile(path),
+                                           designFormat(path));
+            if (reply.status != serve::Status::Ok) {
+                std::cerr << path << ": "
+                          << serve::statusName(reply.status)
+                          << (reply.message.empty() ? "" : ": ")
+                          << reply.message << "\n";
+                return 2;
+            }
+            session_id = reply.session_id;
+            const auto design = loadDesign(path);
+            printPrediction(design, reply.prediction);
+            std::cerr << "  session: "
+                      << (reply.diff.noop ? "no-op edit, " : "")
+                      << reply.diff.paths_reused << "/"
+                      << reply.diff.paths_total << " paths reused, "
+                      << reply.diff.modules_changed
+                      << " module(s) changed\n";
+            ++predicted;
+        }
+        if (session_id != 0) {
+            const std::string error = client.closeSession(session_id);
+            if (!error.empty())
+                std::cerr << "session close failed: " << error << "\n";
+        }
+    } else {
+        for (const auto &path : args.positional) {
+            const auto reply =
+                client.predict(readWholeFile(path), designFormat(path),
+                               deadline_ms);
+            if (reply.status != serve::Status::Ok) {
+                std::cerr << path << ": "
+                          << serve::statusName(reply.status)
+                          << (reply.message.empty() ? "" : ": ")
+                          << reply.message << "\n";
+                return 2;
+            }
+            // Parse locally only to render token names; the numbers
+            // and node ids come straight off the wire.
+            const auto design = loadDesign(path);
+            printPrediction(design, reply.prediction);
+            ++predicted;
+        }
     }
     if (args.has("stats"))
         std::cerr << client.stats();

@@ -5,10 +5,13 @@
  *   sns-serve --model=DIR (--socket=PATH | --port=N [--host=ADDR])
  *             [--max-batch=16] [--linger-us=1000] [--max-queue=256]
  *             [--cache=CAP] [--threads=N] [--log-period=60]
+ *             [--session-ttl=300] [--max-sessions=64]
  *
  * Loads a checkpoint trained by `sns-cli train`, listens on a
  * Unix-domain socket or TCP, and serves PREDICT / STATS / RELOAD /
- * PING until SIGTERM or SIGINT, which triggers a graceful drain:
+ * PING — plus the protocol-v2 edit-loop session verbs OPEN / UPDATE /
+ * CLOSE (docs/editloop.md) — until SIGTERM or SIGINT, which triggers
+ * a graceful drain:
  * every admitted request is answered, new work is refused with
  * DRAINING, then the process exits 0.
  */
@@ -53,9 +56,12 @@ usage()
            "[--max-queue=256]\n"
            "                 [--cache=CAP] [--threads=N] "
            "[--log-period=60]\n"
-           "Serves PREDICT/STATS/RELOAD/PING over the length-prefixed "
-           "binary protocol\n(docs/serving.md); SIGTERM drains "
-           "gracefully.\n";
+           "                 [--session-ttl=300] [--max-sessions=64]\n"
+           "Serves PREDICT/STATS/RELOAD/PING plus the edit-loop "
+           "session verbs\nOPEN/UPDATE/CLOSE over the length-prefixed "
+           "binary protocol\n(docs/serving.md); --session-ttl evicts "
+           "idle sessions (seconds, 0=never),\n--max-sessions bounds "
+           "the session table; SIGTERM drains gracefully.\n";
     return 1;
 }
 
@@ -96,6 +102,8 @@ main(int argc, char **argv)
     options.batch.max_queue = std::stoull(get("max-queue", "256"));
     options.cache_capacity = std::stoull(get("cache", "1048576"));
     options.stats_log_period_s = std::stoi(get("log-period", "60"));
+    options.session_ttl_s = std::stoi(get("session-ttl", "300"));
+    options.max_sessions = std::stoull(get("max-sessions", "64"));
 
     try {
         const std::string model_dir = get("model", "");
