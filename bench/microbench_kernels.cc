@@ -17,6 +17,7 @@
 #include "sampler/path_sampler.hh"
 #include "synth/synthesizer.hh"
 #include "tensor/gemm.hh"
+#include "tensor/qgemm.hh"
 
 namespace {
 
@@ -102,6 +103,72 @@ BENCHMARK(BM_GemmSimdDispatch)
     ->Args({256, 64, 128, 1, 0, 1})
     ->Args({96, 107, 128, 0, 0, 0}) // ragged tails: partial panels
     ->Args({96, 107, 128, 0, 0, 1});
+
+/**
+ * The quantized-tier GEMM ladder head to head: the same u7 x s8
+ * contraction forced to each SNS_SIMD dispatch level (0 scalar,
+ * 1 AVX2 maddubs, 2 AVX-512 VNNI vpdpbusd). All levels return the
+ * same int32 bits; only throughput differs. items/s is integer
+ * multiply-add op/s (2*m*n*k per iteration) — tools/run_bench.sh
+ * divides by 1e9 for the BENCH_pr8.json GOP/s columns and gates the
+ * int8-vs-fp32 ratio against BM_GemmSimdDispatch on the same shape.
+ */
+void
+BM_QgemmDispatch(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    const int n = static_cast<int>(state.range(1));
+    const int k = static_cast<int>(state.range(2));
+    const int cap = static_cast<int>(state.range(3));
+    par::setThreads(1);
+    tensor::setQgemmLevelCap(cap);
+    if (tensor::qgemmLevel() != cap) {
+        // This CPU cannot run the requested kernel; report it as
+        // skipped rather than silently measuring the fallback.
+        tensor::setQgemmLevelCap(-1);
+        state.SkipWithError("dispatch level unavailable");
+        return;
+    }
+
+    tensor::QuantPanels panels;
+    {
+        Rng rng(1);
+        std::vector<int8_t> b(static_cast<size_t>(k) * n);
+        for (auto &v : b)
+            v = static_cast<int8_t>(
+                static_cast<int>(rng.next() % 255u) - 127); // [-127,127]
+        tensor::qgemmPackB(b.data(), k, n, panels);
+    }
+    Rng rng(2);
+    std::vector<uint8_t> a(static_cast<size_t>(m) * panels.k_padded, 0);
+    for (int i = 0; i < m; ++i)
+        for (int p = 0; p < k; ++p)
+            a[static_cast<size_t>(i) * panels.k_padded + p] =
+                static_cast<uint8_t>(rng.next() % 128u); // u7
+    std::vector<int32_t> c(static_cast<size_t>(m) * n);
+
+    for (auto _ : state) {
+        tensor::qgemmI32(a.data(), panels, c.data(), m);
+        benchmark::DoNotOptimize(c.data());
+    }
+    tensor::setQgemmLevelCap(-1);
+    state.SetItemsProcessed(state.iterations() * 2ll * m * n * k);
+    state.SetLabel("level=" + std::to_string(cap) +
+                   (cap == 0   ? " scalar"
+                    : cap == 1 ? " avx2"
+                               : " vnni"));
+}
+BENCHMARK(BM_QgemmDispatch)
+    // {m, n, k, forced dispatch level}
+    ->Args({256, 256, 256, 0})
+    ->Args({256, 256, 256, 1})
+    ->Args({256, 256, 256, 2})
+    ->Args({128, 256, 64, 0}) // FFN up-projection shape
+    ->Args({128, 256, 64, 1})
+    ->Args({128, 256, 64, 2})
+    ->Args({96, 107, 130, 0}) // ragged tails: partial panels + k pad
+    ->Args({96, 107, 130, 1})
+    ->Args({96, 107, 130, 2});
 
 void
 BM_CircuitformerInference(benchmark::State &state)

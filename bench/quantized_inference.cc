@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Quantized inference tier (docs/quantization.md): accuracy and
+ * latency of the int8 plan against the fp64 tier it was rewritten
+ * from, on the Table-3 evaluation protocol (train on one half of the
+ * dataset split by base family, evaluate on the other).
+ *
+ * Measures and gates, per tools/run_bench.sh (BENCH_pr8.json):
+ *
+ *   - MAEP of both tiers on the held-out designs; the int8 tier must
+ *     stay within an epsilon (percentage points) of fp64 on every
+ *     target — quantization buys speed, not a different model;
+ *   - end-to-end predictBatch latency of both tiers;
+ *   - the fp64 tier before and after quantize() — bitwise identical
+ *     (the rewrite adds a plan, it never perturbs the original);
+ *   - int8 determinism: repeated runs, 1 vs N threads, and the full
+ *     SNS_SIMD dispatch ladder (scalar/AVX2/VNNI) must agree bit for
+ *     bit — integer accumulation is associative, so the quantized
+ *     tier has no accumulation-order caveats at all.
+ *
+ * Lines prefixed `BENCH` are machine-readable for tools/run_bench.sh.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "tensor/qgemm.hh"
+#include "util/stats.hh"
+#include "util/string_utils.hh"
+#include "util/timer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sns;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    const int multi_threads = std::max(1, par::configuredThreads());
+    const auto oracle = bench::benchOracle();
+    const auto dataset = bench::buildBenchDataset(oracle);
+    const auto [train_idx, test_idx] =
+        dataset.splitByBase(0.5, args.seed);
+
+    std::cerr << "[bench] training the predictor..." << std::endl;
+    core::SnsTrainer trainer(bench::benchTrainerConfig(args));
+    auto predictor = trainer.train(dataset, train_idx, oracle);
+
+    std::vector<const graphir::Graph *> test_graphs;
+    test_graphs.reserve(test_idx.size());
+    for (size_t idx : test_idx)
+        test_graphs.push_back(&dataset.records()[idx].graph);
+    std::vector<const graphir::Graph *> calibration_graphs;
+    calibration_graphs.reserve(train_idx.size());
+    for (size_t idx : train_idx)
+        calibration_graphs.push_back(&dataset.records()[idx].graph);
+
+    const int reps = args.full ? 8 : 3;
+    par::setThreads(1);
+
+    core::PredictOptions fp64_opts;
+    fp64_opts.collect_critical_path = false;
+    core::PredictOptions int8_opts = fp64_opts;
+    int8_opts.precision = core::Precision::Int8;
+
+    // Pass A: the fp64 baseline, before any quantization exists.
+    std::vector<core::SnsPrediction> fp64_before;
+    double fp64_s = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        WallTimer timer;
+        fp64_before = predictor.predictBatch(test_graphs, fp64_opts);
+        fp64_s += timer.seconds();
+    }
+    fp64_s /= reps;
+
+    // Calibrate on the *training* designs — the evaluation set stays
+    // held out of the activation shard, like any other fit statistic.
+    std::cerr << "[bench] calibrating the int8 plan on "
+              << calibration_graphs.size() << " designs..." << std::endl;
+    WallTimer quant_timer;
+    predictor.quantize(calibration_graphs);
+    const double quantize_s = quant_timer.seconds();
+
+    // Pass B: fp64 after quantize() — the rewrite must not have
+    // touched the original tier.
+    const auto fp64_after = predictor.predictBatch(test_graphs, fp64_opts);
+
+    // Pass C: the int8 tier, timed, then re-run for determinism.
+    std::vector<core::SnsPrediction> int8_preds;
+    double int8_s = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        WallTimer timer;
+        int8_preds = predictor.predictBatch(test_graphs, int8_opts);
+        int8_s += timer.seconds();
+    }
+    int8_s /= reps;
+    const auto int8_again = predictor.predictBatch(test_graphs, int8_opts);
+
+    // Pass D: int8 across the dispatch ladder and the thread pool —
+    // every configuration must reproduce pass C bit for bit.
+    std::vector<std::vector<core::SnsPrediction>> ladder;
+    for (int cap = 0; cap <= tensor::qgemmMaxLevel(); ++cap) {
+        tensor::setQgemmLevelCap(cap);
+        ladder.push_back(predictor.predictBatch(test_graphs, int8_opts));
+    }
+    tensor::setQgemmLevelCap(-1);
+    par::setThreads(multi_threads);
+    const auto int8_mt = predictor.predictBatch(test_graphs, int8_opts);
+    par::setThreads(1);
+
+    auto same = [](const core::SnsPrediction &a,
+                   const core::SnsPrediction &b) {
+        return a.timing_ps == b.timing_ps && a.area_um2 == b.area_um2 &&
+               a.power_mw == b.power_mw;
+    };
+    auto all_same = [&](const std::vector<core::SnsPrediction> &a,
+                        const std::vector<core::SnsPrediction> &b) {
+        if (a.size() != b.size())
+            return false;
+        for (size_t i = 0; i < a.size(); ++i)
+            if (!same(a[i], b[i]))
+                return false;
+        return true;
+    };
+    const bool fp64_bitwise = all_same(fp64_before, fp64_after);
+    bool int8_deterministic = all_same(int8_preds, int8_again) &&
+                              all_same(int8_preds, int8_mt);
+    for (const auto &level : ladder)
+        int8_deterministic = int8_deterministic &&
+                             all_same(int8_preds, level);
+    if (!fp64_bitwise)
+        std::cerr << "VIOLATION: quantize() perturbed the fp64 tier\n";
+    if (!int8_deterministic)
+        std::cerr << "VIOLATION: int8 predictions differ across runs, "
+                     "threads, or SNS_SIMD levels\n";
+
+    // Accuracy: MAEP of each tier against the synthesis ground truth.
+    auto summarize = [&](const std::vector<core::SnsPrediction> &preds) {
+        std::vector<core::DesignEval> evals;
+        for (size_t i = 0; i < test_idx.size(); ++i) {
+            const auto &record = dataset.records()[test_idx[i]];
+            core::DesignEval eval;
+            eval.name = record.name;
+            eval.true_timing_ps = record.truth.timing_ps;
+            eval.true_area_um2 = record.truth.area_um2;
+            eval.true_power_mw = record.truth.power_mw;
+            eval.pred_timing_ps = preds[i].timing_ps;
+            eval.pred_area_um2 = preds[i].area_um2;
+            eval.pred_power_mw = preds[i].power_mw;
+            evals.push_back(std::move(eval));
+        }
+        return core::summarizeEvals(std::move(evals));
+    };
+    const auto fp64_eval = summarize(fp64_before);
+    const auto int8_eval = summarize(int8_preds);
+    const double delta_pp = std::max(
+        {int8_eval.timing.maep - fp64_eval.timing.maep,
+         int8_eval.area.maep - fp64_eval.area.maep,
+         int8_eval.power.maep - fp64_eval.power.maep});
+
+    Table table("Quantized inference tier: fp64 vs int8 on the "
+                "held-out half (" +
+                std::to_string(test_idx.size()) + " designs)");
+    table.setHeader({"tier", "timing_maep", "area_maep", "power_maep",
+                     "predict_s"});
+    table.addRow({"fp64", formatDouble(fp64_eval.timing.maep, 2) + "%",
+                  formatDouble(fp64_eval.area.maep, 2) + "%",
+                  formatDouble(fp64_eval.power.maep, 2) + "%",
+                  formatDouble(fp64_s, 4)});
+    table.addRow({"int8", formatDouble(int8_eval.timing.maep, 2) + "%",
+                  formatDouble(int8_eval.area.maep, 2) + "%",
+                  formatDouble(int8_eval.power.maep, 2) + "%",
+                  formatDouble(int8_s, 4)});
+    table.print(std::cout);
+    args.maybeCsv(table, "quantized_inference");
+
+    std::cout << "\ncalibration: " << calibration_graphs.size()
+              << " designs in " << formatDouble(quantize_s, 3)
+              << " s; worst MAEP regression "
+              << formatDouble(delta_pp, 3) << " pp; end-to-end speedup "
+              << formatDouble(fp64_s / int8_s, 2) << "x\n";
+    std::cout << "fp64 tier after quantize(): "
+              << (fp64_bitwise ? "bitwise identical" : "PERTURBED")
+              << "\nint8 determinism (reruns, " << multi_threads
+              << " threads, SNS_SIMD 0-" << tensor::qgemmMaxLevel()
+              << "): " << (int8_deterministic ? "PASS" : "FAIL") << "\n";
+
+    std::cout << "BENCH quant_fp64_predict_s " << fp64_s << "\n"
+              << "BENCH quant_int8_predict_s " << int8_s << "\n"
+              << "BENCH quant_e2e_speedup_x " << fp64_s / int8_s << "\n"
+              << "BENCH quant_calibrate_s " << quantize_s << "\n"
+              << "BENCH quant_fp64_timing_maep "
+              << fp64_eval.timing.maep << "\n"
+              << "BENCH quant_fp64_area_maep " << fp64_eval.area.maep
+              << "\n"
+              << "BENCH quant_fp64_power_maep " << fp64_eval.power.maep
+              << "\n"
+              << "BENCH quant_int8_timing_maep "
+              << int8_eval.timing.maep << "\n"
+              << "BENCH quant_int8_area_maep " << int8_eval.area.maep
+              << "\n"
+              << "BENCH quant_int8_power_maep " << int8_eval.power.maep
+              << "\n"
+              << "BENCH quant_maep_delta_pp " << delta_pp << "\n"
+              << "BENCH quant_fp64_bitwise " << (fp64_bitwise ? 1 : 0)
+              << "\n"
+              << "BENCH quant_int8_deterministic "
+              << (int8_deterministic ? 1 : 0) << "\n"
+              << "BENCH quant_simd_max_level " << tensor::qgemmMaxLevel()
+              << "\n";
+    return fp64_bitwise && int8_deterministic ? 0 : 1;
+}

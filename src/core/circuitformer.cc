@@ -26,6 +26,18 @@ safeLog(double value)
 
 } // namespace
 
+const char *
+precisionName(Precision precision)
+{
+    switch (precision) {
+    case Precision::Fp64:
+        return "fp64";
+    case Precision::Int8:
+        return "int8";
+    }
+    return "unknown";
+}
+
 CircuitformerConfig::CircuitformerConfig()
 {
     encoder.vocab_size = Vocabulary::instance().totalSize();
@@ -205,10 +217,25 @@ Circuitformer::evaluateLoss(const std::vector<PathRecord> &records,
 
 std::vector<PathPrediction>
 Circuitformer::predict(const std::vector<std::vector<TokenId>> &paths,
-                       int batch_size) const
+                       int batch_size, Precision precision) const
 {
     SNS_ASSERT(normalized_, "fitNormalization() before predict()");
     SNS_ASSERT(batch_size > 0, "predict() needs batch_size > 0");
+    // Int8 runs exclusively through the quantized plan — there is no
+    // integer module walk to fall back on. predictBatch() turns these
+    // preconditions into V-OPT-PRECISION diagnostics before the call
+    // ever reaches this layer.
+    const plan::CompiledPlan *active = plan_.get();
+    if (precision == Precision::Int8) {
+        SNS_ASSERT(qplan_ != nullptr && plan::planEnabled(),
+                   "predict: precision=int8 needs a bound quantized "
+                   "plan and SNS_PLAN on");
+        SNS_ASSERT(batch_size <= qplan_->batchMax(),
+                   "predict: precision=int8 batch_size ", batch_size,
+                   " exceeds the quantized plan's batch_max ",
+                   qplan_->batchMax());
+        active = qplan_.get();
+    }
     std::vector<PathPrediction> out(paths.size());
     // Batch boundaries depend only on batch_size, never on the thread
     // count, and each forward pass writes a disjoint slice of `out` —
@@ -232,9 +259,9 @@ Circuitformer::predict(const std::vector<std::vector<TokenId>> &paths,
             // batch fits it; bitwise-identical to the module walk
             // (docs/plan.md), so mixing the two paths is sound.
             const float *planned = nullptr;
-            if (plan_ != nullptr && plan::planEnabled() &&
-                rows <= plan_->batchMax())
-                planned = plan_->run(ids, lengths, rows, time);
+            if (active != nullptr && plan::planEnabled() &&
+                rows <= active->batchMax())
+                planned = active->run(ids, lengths, rows, time);
             Variable pred;
             if (planned == nullptr)
                 pred = forwardBatch(ids, rows, time, lengths);
@@ -374,6 +401,21 @@ bool
 Circuitformer::planActive() const
 {
     return plan_ != nullptr && plan::planEnabled();
+}
+
+void
+Circuitformer::bindQuantPlan(
+    std::shared_ptr<const plan::CompiledPlan> compiled)
+{
+    if (compiled) {
+        SNS_ASSERT(compiled->fingerprint() == parametersFingerprint(),
+                   "bindQuantPlan: plan was traced from a different "
+                   "model (fingerprint mismatch)");
+        SNS_ASSERT(compiled->quantized(),
+                   "bindQuantPlan: plan carries no int8 side table — "
+                   "bind it with bindPlan() instead");
+    }
+    qplan_ = std::move(compiled);
 }
 
 void

@@ -25,6 +25,24 @@
 
 namespace sns::core {
 
+/**
+ * Numeric tier a prediction runs at (docs/quantization.md).
+ *
+ * Fp64 is the default double-accumulation pipeline; Int8 routes the
+ * plan's Gemm ops through the u7 x s8 integer kernels using the
+ * per-output-channel scales carried by a quantized plan. The enum is
+ * serialized as one byte in the serve protocol (v3) and in session
+ * records, so the underlying values are part of the wire contract.
+ */
+enum class Precision : uint8_t
+{
+    Fp64 = 0,
+    Int8 = 1,
+};
+
+/** Wire/CLI spelling of a precision tier ("fp64" / "int8"). */
+const char *precisionName(Precision precision);
+
 /** Predicted physical characteristics of one circuit path. */
 struct PathPrediction
 {
@@ -70,10 +88,18 @@ class Circuitformer : public nn::Module
     double evaluateLoss(const std::vector<PathRecord> &records,
                         int batch_size = 64);
 
-    /** Predict a batch of paths (no gradients, de-normalized). */
+    /**
+     * Predict a batch of paths (no gradients, de-normalized).
+     *
+     * Precision::Int8 requires a bound quantized plan (bindQuantPlan)
+     * with batch_max >= batch_size and the SNS_PLAN switch on —
+     * predictBatch() validates all three up front (V-OPT-PRECISION);
+     * this layer asserts them.
+     */
     std::vector<PathPrediction> predict(
         const std::vector<std::vector<graphir::TokenId>> &paths,
-        int batch_size = 64) const;
+        int batch_size = 64,
+        Precision precision = Precision::Fp64) const;
 
     std::vector<tensor::Variable> parameters() const override;
 
@@ -131,6 +157,28 @@ class Circuitformer : public nn::Module
      * is bound and the SNS_PLAN kill switch is not off). */
     bool planActive() const;
 
+    /**
+     * Bind the quantized twin of the fp64 plan: a compiled plan whose
+     * int8 side table is non-empty (plan::quantizePlan output). It
+     * serves predict(..., Precision::Int8) only — the fp64 path is
+     * untouched, which is the "precision=fp64 stays bitwise identical"
+     * kill-switch guarantee. Same fingerprint/frozen-weights contract
+     * as bindPlan(); pass nullptr to unbind.
+     */
+    void
+    bindQuantPlan(std::shared_ptr<const plan::CompiledPlan> compiled);
+
+    /** The bound quantized plan, if any. */
+    const std::shared_ptr<const plan::CompiledPlan> &
+    boundQuantPlan() const
+    {
+        return qplan_;
+    }
+
+    /** True when a quantized plan is bound (int8 inference possible —
+     * modulo the SNS_PLAN switch, which predictBatch checks). */
+    bool hasQuantPlan() const { return qplan_ != nullptr; }
+
     /** Persist weights + normalization to a file. */
     void save(const std::string &path) const;
 
@@ -173,6 +221,7 @@ class Circuitformer : public nn::Module
     std::array<double, 3> target_std_{};
     bool normalized_ = false;
     std::shared_ptr<const plan::CompiledPlan> plan_;
+    std::shared_ptr<const plan::CompiledPlan> qplan_;
 };
 
 } // namespace sns::core

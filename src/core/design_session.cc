@@ -37,6 +37,9 @@ SnsDesignSession::predictPinned(const SnsPredictor &predictor,
     inner.batch_size = options.batch_size;
     inner.collect_critical_path = true;
     inner.cache = &cache_;
+    // The tier was pinned at open(); update() rejects a change before
+    // this runs, so the pinned cache only ever sees one precision.
+    inner.precision = precision_;
 
     const auto before = cache_.stats();
     const graphir::Graph *graphs[1] = {&graph};
@@ -73,7 +76,14 @@ SnsDesignSession::open(const SnsPredictor &predictor,
     }
 
     cache_.clear();
-    SNS_ASSERT(cache_.bindModel(predictor.modelFingerprint()),
+    // Pin the tier the whole session will run at — the fallbacks
+    // (no scales, SNS_PLAN off) applied once, here, so every update
+    // replays cache entries of exactly this precision. The binding
+    // fingerprint is precision-salted (predictionFingerprint), which
+    // keeps an int8 session's pins from ever answering an fp64 call.
+    precision_ = predictor.effectivePrecision(options);
+    SNS_ASSERT(cache_.bindModel(
+                   predictor.predictionFingerprint(precision_)),
                "fresh session cache failed to bind the model");
     model_fingerprint_ = predictor.modelFingerprint();
 
@@ -117,6 +127,21 @@ SnsDesignSession::update(const SnsPredictor &predictor,
             "predictions are only valid under the opening model");
         verify::enforce(std::move(report), "SnsDesignSession::update");
         close(); // Count-mode recovery: re-open under the new model
+        return open(predictor, graph, options);
+    }
+    if (predictor.effectivePrecision(options) != precision_) {
+        verify::Report report;
+        report.error(
+            verify::rules::kSessionModel,
+            "session on '" + graph.name() + "'",
+            std::string("update() runs at precision ") +
+                precisionName(predictor.effectivePrecision(options)) +
+                " but the session opened at " +
+                precisionName(precision_),
+            "the pinned predictions are only valid at the opening "
+            "tier — close() and re-open to switch precision");
+        verify::enforce(std::move(report), "SnsDesignSession::update");
+        close(); // Count-mode recovery: re-open at the new tier
         return open(predictor, graph, options);
     }
 
@@ -171,6 +196,7 @@ SnsDesignSession::close()
     cache_.clear();
     open_ = false;
     model_fingerprint_ = 0;
+    precision_ = Precision::Fp64;
     fingerprint_ = 0;
     signatures_.clear();
     pinned_ = SnsPrediction();

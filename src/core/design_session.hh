@@ -139,6 +139,13 @@ class SnsDesignSession
      * (0 if closed). */
     uint64_t boundModel() const { return model_fingerprint_; }
 
+    /** Numeric tier the session opened at (docs/quantization.md). The
+     * pinned cache holds predictions of exactly this tier, so an
+     * update() requesting a different effective precision raises
+     * V-SESS-MODEL — under Count enforcement it recovers by
+     * re-opening at the new tier. Fp64 when closed. */
+    Precision precision() const { return precision_; }
+
     /** Counters of the pinned cache (hits accumulate across updates). */
     perf::CacheStats cacheStats() const { return cache_.stats(); }
 
@@ -156,6 +163,7 @@ class SnsDesignSession
     perf::PathPredictionCache cache_;
     bool open_ = false;
     uint64_t model_fingerprint_ = 0;
+    Precision precision_ = Precision::Fp64;
     uint64_t fingerprint_ = 0;
     std::vector<graphir::ModuleSignature> signatures_;
     /** Prediction of the current snapshot, critical path included (the

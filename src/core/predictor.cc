@@ -9,6 +9,7 @@
 
 #include "nn/serialize.hh"
 #include "par/thread_pool.hh"
+#include "plan/calibrate.hh"
 #include "plan/snsp.hh"
 #include "tensor/autograd.hh"
 #include "util/logging.hh"
@@ -57,6 +58,16 @@ validatePredictOptions(const PredictOptions &options)
                      "drop the cache (read session->cacheStats() "
                      "instead) or drop the session");
     }
+    if (options.precision != Precision::Fp64 &&
+        options.precision != Precision::Int8) {
+        report.error(
+            verify::rules::kOptionsPrecision, "PredictOptions",
+            "unknown precision value (" +
+                std::to_string(static_cast<int>(options.precision)) +
+                ")",
+            "known tiers: fp64 (0) and int8 (1); under Count "
+            "enforcement the call recovers to fp64");
+    }
     return report;
 }
 
@@ -104,8 +115,9 @@ SnsPredictor::predictOne(const graphir::Graph &graph,
     const auto path_preds =
         options.cache != nullptr
             ? predictPathsCached(token_paths, *options.cache,
-                                 options.batch_size)
-            : circuitformer_->predict(token_paths, options.batch_size);
+                                 options.batch_size, options.precision)
+            : circuitformer_->predict(token_paths, options.batch_size,
+                                      options.precision);
 
     // 3. Reductions. Per-path activity is the mean of the endpoint
     //    registers' activity coefficients (§3.4.4).
@@ -143,18 +155,21 @@ SnsPredictor::predictOne(const graphir::Graph &graph,
 std::vector<PathPrediction>
 SnsPredictor::predictPathsCached(
     const std::vector<std::vector<graphir::TokenId>> &token_paths,
-    perf::PathPredictionCache &cache, int batch_size) const
+    perf::PathPredictionCache &cache, int batch_size,
+    Precision precision) const
 {
     std::vector<PathPrediction> preds(token_paths.size());
 
-    // A shared cache only memoizes soundly under one fixed model;
-    // bind it to this predictor's weights (first binder wins, equal
-    // fingerprints coexist, a conflict is a caller bug).
-    SNS_ASSERT(cache.bindModel(model_fingerprint_),
-               "path cache is bound to a different model "
+    // A shared cache only memoizes soundly under one fixed model *and*
+    // numeric tier — int8 predictions deliberately differ from fp64
+    // ones — so the binding fingerprint is precision-salted
+    // (predictionFingerprint); first binder wins, equal fingerprints
+    // coexist, a conflict is a caller bug.
+    SNS_ASSERT(cache.bindModel(predictionFingerprint(precision)),
+               "path cache is bound to a different model or precision "
                "(fingerprint ", cache.boundModel(),
                ") — a shared cache requires identical Circuitformer "
-               "weights; clear() it before switching models");
+               "weights and numeric tier; clear() it before switching");
 
     // Probe phase: resolve hits immediately; dedup the misses so each
     // unique path is forwarded through the Circuitformer exactly once.
@@ -197,7 +212,8 @@ SnsPredictor::predictPathsCached(
     miss_paths.reserve(unique.size());
     for (const size_t index : unique)
         miss_paths.push_back(token_paths[index]);
-    const auto miss_preds = circuitformer_->predict(miss_paths, batch_size);
+    const auto miss_preds =
+        circuitformer_->predict(miss_paths, batch_size, precision);
 
     // Scatter phase: memoize and fill every miss in original order.
     for (size_t u = 0; u < unique.size(); ++u)
@@ -226,14 +242,20 @@ SnsPredictor::predictBatch(std::span<const graphir::Graph *const> graphs,
         verify::enforce(std::move(report), "predictBatch options");
     }
 
+    // Resolve the numeric tier against this model: int8 without scales
+    // (or with SNS_PLAN off, or an oversized batch) is diagnosed here
+    // — V-OPT-PRECISION — and recovers to fp64 under Count mode.
+    PredictOptions effective = options;
+    effective.precision = resolvePrecision(options);
+
     // Edit-loop routing: the session applies its own scoped-threads
     // override when it re-enters predictBatch session-less.
-    if (options.session != nullptr && graphs.size() == 1) {
+    if (effective.session != nullptr && graphs.size() == 1) {
         SNS_ASSERT(graphs[0] != nullptr, "predictBatch: null graph");
-        PredictOptions inner = options;
+        PredictOptions inner = effective;
         inner.session = nullptr;
         inner.cache = nullptr;
-        return {options.session->predict(*this, *graphs[0], inner)};
+        return {effective.session->predict(*this, *graphs[0], inner)};
     }
 
     // Call-scoped width override; restores the prior process-wide
@@ -250,10 +272,110 @@ SnsPredictor::predictBatch(std::span<const graphir::Graph *const> graphs,
         for (size_t i = begin; i < end; ++i) {
             SNS_ASSERT(graphs[i] != nullptr,
                        "predictBatch: null graph at index ", i);
-            predictions[i] = predictOne(*graphs[i], options);
+            predictions[i] = predictOne(*graphs[i], effective);
         }
     });
     return predictions;
+}
+
+Precision
+SnsPredictor::effectivePrecision(const PredictOptions &options) const
+{
+    if (options.precision != Precision::Int8)
+        return Precision::Fp64;
+    if (!circuitformer_->hasQuantPlan() || !plan::planEnabled() ||
+        options.batch_size >
+            circuitformer_->boundQuantPlan()->batchMax())
+        return Precision::Fp64;
+    return Precision::Int8;
+}
+
+Precision
+SnsPredictor::resolvePrecision(const PredictOptions &options) const
+{
+    // An out-of-enum byte (possible via the serve protocol) was
+    // already diagnosed by validatePredictOptions; recover to fp64.
+    if (options.precision != Precision::Fp64 &&
+        options.precision != Precision::Int8)
+        return Precision::Fp64;
+    if (options.precision == Precision::Fp64)
+        return Precision::Fp64;
+
+    verify::Report report;
+    if (!circuitformer_->hasQuantPlan()) {
+        report.error(verify::rules::kOptionsPrecision, "PredictOptions",
+                     "precision=int8 but this model carries no int8 "
+                     "scales",
+                     "calibrate first: SnsPredictor::quantize() or "
+                     "`sns-cli quantize` (docs/quantization.md)");
+    } else if (!plan::planEnabled()) {
+        report.error(verify::rules::kOptionsPrecision, "PredictOptions",
+                     "precision=int8 needs planned execution, which "
+                     "SNS_PLAN=0 disables",
+                     "unset SNS_PLAN (or set it to 1), or request "
+                     "fp64");
+    } else if (options.batch_size >
+               circuitformer_->boundQuantPlan()->batchMax()) {
+        report.error(
+            verify::rules::kOptionsPrecision, "PredictOptions",
+            "batch_size " + std::to_string(options.batch_size) +
+                " exceeds the quantized plan's batch_max " +
+                std::to_string(
+                    circuitformer_->boundQuantPlan()->batchMax()),
+            "int8 has no module-walk fallback for oversized batches; "
+            "shrink batch_size or request fp64");
+    }
+    if (report.hasErrors()) {
+        verify::enforce(std::move(report), "predictBatch precision");
+        return Precision::Fp64; // Count-mode (and Off-mode) recovery
+    }
+    return Precision::Int8;
+}
+
+uint64_t
+SnsPredictor::predictionFingerprint(Precision precision) const
+{
+    if (precision == Precision::Int8) {
+        SNS_ASSERT(quant_fingerprint_ != 0,
+                   "predictionFingerprint: no quantized plan bound");
+        return quant_fingerprint_;
+    }
+    return model_fingerprint_;
+}
+
+void
+SnsPredictor::quantize(
+    std::span<const graphir::Graph *const> calibration)
+{
+    SNS_ASSERT(!calibration.empty(),
+               "quantize() needs at least one calibration design");
+    SNS_ASSERT(circuitformer_->planActive(),
+               "quantize() calibrates through the fp64 execution plan "
+               "— a plan must be bound and SNS_PLAN on");
+    const auto &fp64_plan = circuitformer_->boundPlan();
+
+    // Calibration pass: run the held-out shard through the exact fp64
+    // pipeline int8 will replace (same sampler, same batching), with a
+    // Calibrator observing every Gemm input's absmax. Observation
+    // changes no computed value.
+    plan::Calibrator calibrator;
+    fp64_plan->setCalibrationObserver(&calibrator);
+    PredictOptions calibration_options;
+    calibration_options.collect_critical_path = false;
+    predictBatch(calibration, calibration_options);
+    fp64_plan->setCalibrationObserver(nullptr);
+
+    // Rewrite -> analyze (P-QUANT-* inside compilePlan) -> bind.
+    const plan::Plan quantized = plan::quantizePlan(
+        fp64_plan->plan(), calibrator, circuitformer_->parameters());
+    circuitformer_->bindQuantPlan(
+        plan::compilePlan(quantized, circuitformer_->parameters()));
+
+    // Int8 cache identity: weights + scales, so caches never mix
+    // tiers or calibrations (see predictionFingerprint()).
+    const auto payload = plan::serializePlanPayload(quantized);
+    const uint64_t hash = plan::fnv1a(payload.data(), payload.size());
+    quant_fingerprint_ = hash == 0 ? 1 : hash;
 }
 
 SnsPrediction
@@ -291,6 +413,17 @@ SnsPredictor::save(const std::string &directory) const
     plan::Plan traced = circuitformer_->tracePlan(kPlanBatchMax);
     traced.fingerprint = circuitformer_->parametersFingerprintSnapped();
     plan::writePlanFile(traced, directory + "/plan.snsp");
+
+    // The int8 tier rides along as a second plan file carrying the
+    // calibrated side table; a load() that finds it re-binds the
+    // quantized plan so `--precision int8` works on the reloaded
+    // pipeline without re-calibrating.
+    if (circuitformer_->hasQuantPlan()) {
+        plan::Plan quantized = circuitformer_->boundQuantPlan()->plan();
+        quantized.fingerprint =
+            circuitformer_->parametersFingerprintSnapped();
+        plan::writePlanFile(quantized, directory + "/plan_int8.snsp");
+    }
 
     std::ofstream meta(directory + "/" + kMetaFile);
     if (!meta)
@@ -414,6 +547,44 @@ SnsPredictor::load(const std::string &directory)
         if (usable) {
             predictor.circuitformer_->bindPlan(plan::compilePlan(
                 file_plan, predictor.circuitformer_->parameters()));
+        }
+    }
+
+    // A saved int8 tier (plan_int8.snsp) goes through the same gate:
+    // container checks, the P-QUANT-* analyzer passes inside
+    // compilePlan, and the model-fingerprint match — then binds for
+    // Precision::Int8 calls.
+    const std::string qplan_path = directory + "/plan_int8.snsp";
+    if (std::filesystem::exists(qplan_path)) {
+        verify::Report report;
+        plan::Plan file_plan;
+        const bool parsed =
+            plan::readPlanFile(qplan_path, file_plan, report);
+        if (parsed) {
+            if (file_plan.fingerprint !=
+                predictor.circuitformer_->parametersFingerprint()) {
+                report.error(verify::rules::kPlanModel, qplan_path,
+                             "quantized plan fingerprint does not "
+                             "match the loaded model's parameters",
+                             "the model files were modified after "
+                             "quantization; re-run quantize");
+            }
+            if (file_plan.quant.empty()) {
+                report.error(verify::rules::kPlanQuantOp, qplan_path,
+                             "plan_int8.snsp carries no int8 side "
+                             "table",
+                             "re-save the predictor after quantize()");
+            }
+        }
+        const bool usable = parsed && !report.hasErrors();
+        verify::enforce(std::move(report), qplan_path);
+        if (usable) {
+            predictor.circuitformer_->bindQuantPlan(plan::compilePlan(
+                file_plan, predictor.circuitformer_->parameters()));
+            const auto payload = plan::serializePlanPayload(file_plan);
+            const uint64_t hash =
+                plan::fnv1a(payload.data(), payload.size());
+            predictor.quant_fingerprint_ = hash == 0 ? 1 : hash;
         }
     }
     return predictor;

@@ -105,15 +105,29 @@ struct PredictOptions
      * session->lastDiff() reports the reuse.
      */
     SnsDesignSession *session = nullptr;
+
+    /**
+     * Numeric tier for this call (docs/quantization.md). Fp64 (the
+     * default) is the existing double pipeline, bitwise-untouched by
+     * quantization. Int8 runs every quantized Gemm through the integer
+     * kernels and needs a model that carries int8 scales
+     * (SnsPredictor::quantize or a saved plan_int8.snsp) plus planned
+     * execution (SNS_PLAN on) — violations are V-OPT-PRECISION, and
+     * Count-mode enforcement recovers by falling back to fp64.
+     */
+    Precision precision = Precision::Fp64;
 };
 
 /**
  * Validate a PredictOptions combination in one place (V-OPT-* rules):
  * negative thread counts, non-positive batch sizes, `cache_stats`
- * without a cache, `session` combined with an external cache. Pipeline
- * boundaries (predictBatch, sns-serve) hand the report to
- * verify::enforce() — callers probing ahead of time can inspect it
- * directly.
+ * without a cache, `session` combined with an external cache, a
+ * precision value outside the known enum (V-OPT-PRECISION — possible
+ * because the serve protocol carries it as a raw byte). Model-aware
+ * precision checks (int8 without scales) live in predictBatch, which
+ * can see the model. Pipeline boundaries (predictBatch, sns-serve)
+ * hand the report to verify::enforce() — callers probing ahead of
+ * time can inspect it directly.
  */
 verify::Report validatePredictOptions(const PredictOptions &options);
 
@@ -163,6 +177,42 @@ class SnsPredictor
      * shared path cache to (computed once at construction). */
     uint64_t modelFingerprint() const { return model_fingerprint_; }
 
+    /**
+     * Calibrate and bind the int8 tier (docs/quantization.md): run the
+     * calibration designs through the fp64 plan with a
+     * plan::Calibrator observing every Gemm input, derive per-tensor
+     * activation scales and per-output-channel weight scales
+     * (plan::quantizePlan), compile the rewritten plan — the analyzer
+     * enforces the P-QUANT-* rules — and bind it for
+     * Precision::Int8 calls. The fp64 path is untouched. Requires
+     * planned execution (SNS_PLAN on) and at least one calibration
+     * design; re-quantizing replaces the previous scales.
+     */
+    void quantize(std::span<const graphir::Graph *const> calibration);
+
+    /** True when an int8 plan is bound (quantize() ran, or load()
+     * found a plan_int8.snsp). */
+    bool quantized() const { return circuitformer_->hasQuantPlan(); }
+
+    /**
+     * The fingerprint predictions at `precision` bind a shared path
+     * cache to. Fp64 is modelFingerprint(); Int8 additionally hashes
+     * the quantized plan (scales included), so caches never mix the
+     * two numeric tiers — int8 predictions are deliberately *not*
+     * bitwise-equal to fp64 ones — and two predictors share int8
+     * entries only when weights *and* calibration match.
+     */
+    uint64_t predictionFingerprint(Precision precision) const;
+
+    /**
+     * The tier a call with `options` will actually run at: the
+     * requested precision with the V-OPT-PRECISION fallbacks applied
+     * (int8 without scales, SNS_PLAN off, or an oversized batch all
+     * resolve to fp64), without emitting diagnostics — predictBatch
+     * reports them. Sessions use this to pin the tier they open at.
+     */
+    Precision effectivePrecision(const PredictOptions &options) const;
+
     /** Sampler configuration in use. */
     const sampler::SamplerOptions &samplerOptions() const
     {
@@ -188,12 +238,20 @@ class SnsPredictor
      * the misses, forward each unique miss once, scatter in order. */
     std::vector<PathPrediction> predictPathsCached(
         const std::vector<std::vector<graphir::TokenId>> &token_paths,
-        perf::PathPredictionCache &cache, int batch_size) const;
+        perf::PathPredictionCache &cache, int batch_size,
+        Precision precision) const;
+
+    /** Resolve the call's numeric tier against this model: emits the
+     * model-aware V-OPT-PRECISION diagnostics and returns the tier to
+     * actually run at (Count-mode recovery falls back to Fp64). */
+    Precision resolvePrecision(const PredictOptions &options) const;
 
     std::shared_ptr<Circuitformer> circuitformer_;
     AggregationHeads heads_;
     sampler::SamplerOptions sampler_options_;
     uint64_t model_fingerprint_ = 0;
+    /** predictionFingerprint(Int8); 0 until a quantized plan binds. */
+    uint64_t quant_fingerprint_ = 0;
 };
 
 } // namespace sns::core

@@ -1,0 +1,94 @@
+#include "plan/calibrate.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sns::plan {
+
+void
+Calibrator::observe(uint32_t op_index, const float *data, size_t count)
+{
+    float local = 0.0f;
+    for (size_t i = 0; i < count; ++i)
+        local = std::max(local, std::fabs(data[i]));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = absmax_.try_emplace(op_index, local);
+    if (!inserted)
+        it->second = std::max(it->second, local);
+}
+
+bool
+Calibrator::has(uint32_t op_index) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return absmax_.count(op_index) != 0;
+}
+
+float
+Calibrator::absmax(uint32_t op_index) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = absmax_.find(op_index);
+    return it == absmax_.end() ? 0.0f : it->second;
+}
+
+size_t
+Calibrator::observed() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return absmax_.size();
+}
+
+Plan
+quantizePlan(const Plan &plan, const Calibrator &cal,
+             const std::vector<tensor::Variable> &params)
+{
+    Plan out = plan;
+    out.quant.clear();
+    if (plan.ops.empty())
+        return out;
+
+    // The terminal op is the 3-output head projection; it stays full
+    // precision so the AggregationHeads boundary sees fp64 inputs
+    // (rule P-QUANT-BOUNDARY).
+    const size_t last = plan.ops.size() - 1;
+    for (size_t i = 0; i < last; ++i) {
+        const Op &op = plan.ops[i];
+        if (op.kind != OpKind::Gemm)
+            continue;
+        SNS_ASSERT(cal.has(static_cast<uint32_t>(i)),
+                   "quantizePlan: Gemm op ", i,
+                   " was never calibrated — run the calibration shard "
+                   "through the fp64 plan first");
+        const WeightRef &ref = plan.weights[op.weights[0]];
+        SNS_ASSERT(ref.param_index < params.size() &&
+                       params[ref.param_index].defined(),
+                   "quantizePlan: plan references parameter ",
+                   ref.param_index, " the model does not have");
+        const float *w = params[ref.param_index].value().data();
+        const int k = ref.rows;
+        const int n = ref.cols;
+
+        QuantizedGemm entry;
+        entry.op_index = static_cast<uint32_t>(i);
+        // An all-zero calibration shard would make the scale zero;
+        // clamp to 1 — every activation then quantizes to the zero
+        // point and the op output is exactly the bias path.
+        const float xmax = cal.absmax(entry.op_index);
+        entry.x_scale = xmax > 0.0f ? xmax / 63.0f : 1.0f;
+        entry.w_scales.resize(static_cast<size_t>(n));
+        for (int j = 0; j < n; ++j) {
+            float wmax = 0.0f;
+            for (int p = 0; p < k; ++p)
+                wmax = std::max(
+                    wmax,
+                    std::fabs(w[static_cast<size_t>(p) * n + j]));
+            entry.w_scales[j] = wmax > 0.0f ? wmax / 127.0f : 1.0f;
+        }
+        out.quant.push_back(std::move(entry));
+    }
+    return out;
+}
+
+} // namespace sns::plan

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Post-training quantization over the execution-plan IR
+ * (docs/quantization.md).
+ *
+ * Calibration is observation, not math: a Calibrator is attached to a
+ * compiled fp64 plan (CompiledPlan::setCalibrationObserver) while a
+ * held-out activation shard runs through it, and records the absolute
+ * maximum every Gemm op's input rows reach. quantizePlan() then
+ * rewrites the traced plan into mixed precision: each eligible Gemm
+ * gains a QuantizedGemm side-table entry with
+ *
+ *   x_scale     = activation absmax / 63   (u7 range around zp 64)
+ *   w_scales[j] = column-j weight absmax / 127  (symmetric s8)
+ *
+ * The op list itself is untouched — a quantized plan is structurally
+ * identical to the canonical plan (P-ORDER still holds) and carries
+ * the same model fingerprint. The terminal head Gemm is never
+ * quantized (rule P-QUANT-BOUNDARY), so the AggregationHeads inputs
+ * and everything after them stay full precision.
+ */
+
+#ifndef SNS_PLAN_CALIBRATE_HH
+#define SNS_PLAN_CALIBRATE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "plan/ir.hh"
+#include "tensor/autograd.hh"
+
+namespace sns::plan {
+
+/**
+ * Absmax observer for Gemm inputs, keyed by op index. Thread-safe:
+ * calibration batches may run inside sns::par regions, so observe()
+ * takes a lock (calibration is offline — throughput is irrelevant).
+ */
+class Calibrator
+{
+  public:
+    /** Fold `count` activation values of op `op_index` into the
+     * running absolute maximum. */
+    void observe(uint32_t op_index, const float *data, size_t count);
+
+    /** True once op `op_index` has been observed at least once. */
+    bool has(uint32_t op_index) const;
+
+    /** The recorded absolute maximum (0 when never observed). */
+    float absmax(uint32_t op_index) const;
+
+    /** Number of distinct ops observed. */
+    size_t observed() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<uint32_t, float> absmax_;
+};
+
+/**
+ * Rewrite a traced fp64 plan into mixed precision: every Gemm except
+ * the terminal head projection gains per-output-channel int8 scales
+ * calibrated from `cal` (which must have observed each of them — run
+ * the calibration shard first) and the weight values in `params`
+ * (the model's parameters() in canonical flat order, as passed to
+ * compilePlan). The returned plan fails verify::checkPlan's P-QUANT
+ * pass if and only if the input plan was already malformed.
+ */
+Plan quantizePlan(const Plan &plan, const Calibrator &cal,
+                  const std::vector<tensor::Variable> &params);
+
+} // namespace sns::plan
+
+#endif // SNS_PLAN_CALIBRATE_HH

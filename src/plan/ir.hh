@@ -151,6 +151,25 @@ struct PlanConfig
     bool operator==(const PlanConfig &) const = default;
 };
 
+/**
+ * Per-op int8 quantization record (docs/quantization.md). The op at
+ * `op_index` must be a Gemm; at runtime its input rows are quantized
+ * to u7 around zero-point 64 with `x_scale`, its weight matrix to
+ * per-output-channel symmetric s8 with `w_scales[j]` (one scale per
+ * output column), and the int32 accumulator is rescaled back to fp32
+ * inside the op's existing Bias/BiasGelu/BiasRelu epilogue. The
+ * P-QUANT-* rule family (verify::checkPlan pass 5) proves the scale
+ * shapes, epilogue legality, and the fp64 AggregationHeads boundary.
+ */
+struct QuantizedGemm
+{
+    uint32_t op_index = 0;        ///< index into Plan::ops
+    float x_scale = 0.0f;         ///< activation scale (absmax / 63)
+    std::vector<float> w_scales;  ///< per-column scales (absmax / 127)
+
+    bool operator==(const QuantizedGemm &) const = default;
+};
+
 /** A complete traced execution plan. */
 struct Plan
 {
@@ -162,6 +181,10 @@ struct Plan
     std::vector<Shape> buffers;     ///< shape per buffer id
     std::vector<WeightRef> weights; ///< parameter reference table
     std::vector<Op> ops;            ///< topological execution order
+    /** Int8 side table, ascending by op_index; empty for a pure fp64
+     * plan. The ops themselves are untouched by quantization, so a
+     * quantized plan still matches the canonical structure (P-ORDER). */
+    std::vector<QuantizedGemm> quant;
 
     bool operator==(const Plan &) const = default;
 };

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "perf/arena.hh"
+#include "plan/calibrate.hh"
 #include "tensor/gemm.hh"
 #include "util/logging.hh"
 
@@ -127,6 +129,40 @@ compilePlan(const Plan &plan, const std::vector<tensor::Variable> &params)
     compiled->params_ = params;
     compiled->weight_data_ = std::move(weight_data);
     compiled->packed_ = std::move(packed);
+
+    // Compile the int8 side table: re-quantize each referenced weight
+    // matrix with its per-column scales and pack it for qgemmI32. The
+    // P-QUANT pass (inside checkPlan above) already proved the table
+    // well-formed, so indexing is safe here.
+    if (!plan.quant.empty()) {
+        compiled->qkernels_.resize(plan.ops.size());
+        for (const QuantizedGemm &entry : plan.quant) {
+            const Op &op = plan.ops[entry.op_index];
+            const uint32_t w = op.weights[0];
+            const WeightRef &ref = plan.weights[w];
+            const float *wdata = compiled->weight_data_[w];
+            const int k = ref.rows;
+            const int n = ref.cols;
+            auto kernel = std::make_unique<CompiledPlan::QuantKernel>();
+            kernel->inv_x_scale = 1.0f / entry.x_scale;
+            kernel->mult.resize(static_cast<size_t>(n));
+            std::vector<int8_t> wq(static_cast<size_t>(k) * n);
+            for (int j = 0; j < n; ++j) {
+                const float inv = 1.0f / entry.w_scales[j];
+                for (int p = 0; p < k; ++p) {
+                    const float v =
+                        wdata[static_cast<size_t>(p) * n + j] * inv;
+                    const int q = std::clamp(
+                        static_cast<int>(std::nearbyintf(v)), -127, 127);
+                    wq[static_cast<size_t>(p) * n + j] =
+                        static_cast<int8_t>(q);
+                }
+                kernel->mult[j] = entry.x_scale * entry.w_scales[j];
+            }
+            tensor::qgemmPackB(wq.data(), k, n, kernel->panels);
+            compiled->qkernels_[entry.op_index] = std::move(kernel);
+        }
+    }
     return compiled;
 }
 
@@ -162,7 +198,8 @@ CompiledPlan::run(const std::vector<int> &ids,
         return shape.dims[shape.ndim - 1].value;
     };
 
-    for (const Op &op : plan_.ops) {
+    for (size_t opi = 0; opi < plan_.ops.size(); ++opi) {
+        const Op &op = plan_.ops[opi];
         float *out = buffer(op.out);
         switch (op.kind) {
           case OpKind::TokenEmbed:
@@ -232,6 +269,66 @@ CompiledPlan::run(const std::vector<int> &ids,
             const int n = matrix.cols;
             const float *a = buffer(op.inputs[0]);
             const size_t m = numel(op.inputs[0]) / static_cast<size_t>(k);
+            if (Calibrator *cal =
+                    calibrator_.load(std::memory_order_acquire)) {
+                cal->observe(static_cast<uint32_t>(opi), a,
+                             m * static_cast<size_t>(k));
+            }
+            if (const QuantKernel *qk = qkernels_.empty()
+                                            ? nullptr
+                                            : qkernels_[opi].get()) {
+                // Int8 path (docs/quantization.md): scalar u7
+                // activation quantize -> exact integer GEMM (the only
+                // SIMD-dispatched stage; identical bits at every
+                // level) -> scalar dequantize with the zero-point
+                // correction and the fused bias/activation epilogue.
+                const int kp = qk->panels.k_padded;
+                thread_local std::vector<uint8_t> qa;
+                thread_local std::vector<int32_t> qc;
+                qa.assign(m * static_cast<size_t>(kp), 0);
+                for (size_t r = 0; r < m; ++r) {
+                    const float *src = a + r * static_cast<size_t>(k);
+                    uint8_t *dst = qa.data() + r * static_cast<size_t>(kp);
+                    for (int p = 0; p < k; ++p) {
+                        const int q =
+                            static_cast<int>(std::nearbyintf(
+                                src[p] * qk->inv_x_scale)) +
+                            64;
+                        dst[p] = static_cast<uint8_t>(
+                            std::clamp(q, 0, 127));
+                    }
+                }
+                if (qc.size() < m * static_cast<size_t>(n))
+                    qc.resize(m * static_cast<size_t>(n));
+                tensor::qgemmI32(qa.data(), qk->panels, qc.data(),
+                                 static_cast<int>(m));
+                const float *bias =
+                    op.epilogue != Epilogue::None
+                        ? weight_data_[op.weights[1]]
+                        : nullptr;
+                for (size_t r = 0; r < m; ++r) {
+                    const int32_t *acc = qc.data() + r * n;
+                    float *dst = out + r * n;
+                    for (int j = 0; j < n; ++j) {
+                        float v = static_cast<float>(
+                                      acc[j] -
+                                      64 * qk->panels.colsum[j]) *
+                                  qk->mult[j];
+                        if (bias != nullptr)
+                            v += bias[j];
+                        dst[j] = v;
+                    }
+                }
+                const size_t count = m * static_cast<size_t>(n);
+                if (op.epilogue == Epilogue::BiasGelu) {
+                    for (size_t i = 0; i < count; ++i)
+                        out[i] = geluForward(out[i]);
+                } else if (op.epilogue == Epilogue::BiasRelu) {
+                    for (size_t i = 0; i < count; ++i)
+                        out[i] = std::max(out[i], 0.0f);
+                }
+                break;
+            }
             std::fill(out, out + m * n, 0.0f);
             const float *bt =
                 packed_[w].empty() ? nullptr : packed_[w].data();

@@ -29,14 +29,18 @@
 #ifndef SNS_PLAN_RUNTIME_HH
 #define SNS_PLAN_RUNTIME_HH
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "plan/ir.hh"
 #include "tensor/autograd.hh"
+#include "tensor/qgemm.hh"
 #include "verify/plan_check.hh"
 
 namespace sns::plan {
+
+class Calibrator;
 
 /**
  * Global kill switch for planned execution, also settable via the
@@ -76,6 +80,23 @@ class CompiledPlan
                      const std::vector<int> &lengths, int batch,
                      int time) const;
 
+    /** True when the plan carries int8 scales and run() executes the
+     * quantized Gemm kernels for the side-table ops. */
+    bool quantized() const { return !plan_.quant.empty(); }
+
+    /**
+     * Attach (or detach, with nullptr) an activation-absmax observer:
+     * while set, every run() feeds each Gemm op's input rows to
+     * calibrator->observe() before multiplying. Observation never
+     * changes the computed values. Logically const — the plan's
+     * semantics are untouched — so a calibration pass can run through
+     * the same shared const handle the predictor executes.
+     */
+    void setCalibrationObserver(Calibrator *calibrator) const
+    {
+        calibrator_.store(calibrator, std::memory_order_release);
+    }
+
   private:
     friend std::shared_ptr<const CompiledPlan>
     compilePlan(const Plan &plan,
@@ -90,6 +111,21 @@ class CompiledPlan
     /** Pre-packed B panels per weight-table entry (Matrix role only;
      * empty vectors otherwise). */
     std::vector<std::vector<float>> packed_;
+
+    /** One compiled int8 kernel per quantized Gemm: the weight matrix
+     * re-quantized and packed for tensor::qgemmI32, plus the fused
+     * dequantization multipliers x_scale * w_scales[j]. */
+    struct QuantKernel
+    {
+        float inv_x_scale = 0.0f;        ///< 1 / x_scale (quantize)
+        tensor::QuantPanels panels;      ///< s8 weights, K4-interleaved
+        std::vector<float> mult;         ///< per-column dequant factor
+    };
+    /** Indexed by op position; null for full-precision ops. */
+    std::vector<std::unique_ptr<QuantKernel>> qkernels_;
+
+    /** Calibration observer (normally null; see the setter). */
+    mutable std::atomic<Calibrator *> calibrator_{nullptr};
 };
 
 /**

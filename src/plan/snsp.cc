@@ -164,6 +164,16 @@ serializePlanPayload(const Plan &plan)
         append(out, op.fattr);
         append(out, op.iattr);
     }
+
+    // Version-2 quant side table; nquant = 0 for pure fp64 plans.
+    append(out, static_cast<uint32_t>(plan.quant.size()));
+    for (const QuantizedGemm &entry : plan.quant) {
+        append(out, entry.op_index);
+        append(out, entry.x_scale);
+        append(out, static_cast<uint32_t>(entry.w_scales.size()));
+        for (float scale : entry.w_scales)
+            append(out, scale);
+    }
     return out;
 }
 
@@ -196,8 +206,9 @@ writePlanFile(const Plan &plan, const std::string &path)
 }
 
 bool
-parsePlanPayload(const unsigned char *data, size_t size, Plan &out,
-                 verify::Report &report, const std::string &where)
+parsePlanPayload(const unsigned char *data, size_t size,
+                 uint32_t version, Plan &out, verify::Report &report,
+                 const std::string &where)
 {
     Cursor cur{data, size, 0, kSnspHeaderBytes, where, report};
 
@@ -269,6 +280,25 @@ parsePlanPayload(const unsigned char *data, size_t size, Plan &out,
             out.ops.push_back(std::move(op));
     }
 
+    // The quant side table exists from container version 2; version-1
+    // files end at the op table and parse with an empty side table.
+    if (version >= 2) {
+        uint32_t nquant = 0;
+        cur.readCount(nquant, "quant table length");
+        for (uint32_t i = 0; !cur.failed && i < nquant; ++i) {
+            QuantizedGemm entry;
+            cur.read(entry.op_index, "quant op index");
+            cur.read(entry.x_scale, "quant activation scale");
+            uint32_t nscales = 0;
+            cur.readCount(nscales, "quant scale count");
+            entry.w_scales.resize(nscales);
+            for (uint32_t j = 0; !cur.failed && j < nscales; ++j)
+                cur.read(entry.w_scales[j], "quant weight scale");
+            if (!cur.failed)
+                out.quant.push_back(std::move(entry));
+        }
+    }
+
     if (!cur.failed && cur.pos != size) {
         report.warning(rules::kPlanTruncated,
                        atByte(where, cur.fileOffset(), "payload tail"),
@@ -309,10 +339,11 @@ readPlanFile(const std::string &path, Plan &out, verify::Report &report)
     std::memcpy(&version, bytes.data() + 4, sizeof(version));
     std::memcpy(&length, bytes.data() + 8, sizeof(length));
     std::memcpy(&expected_hash, bytes.data() + 16, sizeof(expected_hash));
-    if (version != kSnspVersion) {
+    if (version < kSnspMinVersion || version > kSnspVersion) {
         report.error(rules::kPlanVersion, atByte(path, 4, "version"),
                      "unsupported plan version " +
                          std::to_string(version) + " (expected " +
+                         std::to_string(kSnspMinVersion) + ".." +
                          std::to_string(kSnspVersion) + ")",
                      "re-trace the plan with this build's `sns-cli plan`");
         return false;
@@ -343,7 +374,7 @@ readPlanFile(const std::string &path, Plan &out, verify::Report &report)
                      "re-trace the plan with `sns-cli plan`");
         return false;
     }
-    return parsePlanPayload(payload, length, out, report, path);
+    return parsePlanPayload(payload, length, version, out, report, path);
 }
 
 } // namespace sns::plan

@@ -6,7 +6,7 @@
  *
  *   header, 24 bytes:
  *     "SNSP"            4-byte magic
- *     u32 version       currently 1
+ *     u32 version       currently 2 (1 still readable)
  *     u64 payload_len   bytes following the header
  *     u64 payload_hash  FNV-1a over the payload bytes
  *
@@ -21,6 +21,12 @@
  *     u32 nops          then per op: u8 kind, u8 epilogue, u8 n_in,
  *                       u8 n_w, n_in x u32 inputs, n_w x u32 weights,
  *                       u32 out, f32 fattr, i32 iattr
+ *     u32 nquant        (version >= 2) then per entry: u32 op_index,
+ *                       f32 x_scale, u32 nscales, nscales x f32
+ *
+ * Version 1 files (pre-quantization) simply lack the quant section and
+ * parse into a plan with an empty side table; version 2 is always
+ * written, with nquant = 0 for pure fp64 plans.
  *
  * readPlanFile() performs the container checks (rules P-OPEN, P-MAGIC,
  * P-VERSION, P-TRUNCATED, P-HASH) and an offset-tracked payload parse:
@@ -43,7 +49,9 @@
 namespace sns::plan {
 
 inline constexpr char kSnspMagic[4] = {'S', 'N', 'S', 'P'};
-inline constexpr uint32_t kSnspVersion = 1;
+inline constexpr uint32_t kSnspVersion = 2;
+/** Oldest container version readPlanFile still accepts. */
+inline constexpr uint32_t kSnspMinVersion = 1;
 inline constexpr size_t kSnspHeaderBytes = 24;
 
 /** FNV-1a over a byte range (the hash in the .snsp header). */
@@ -59,12 +67,15 @@ std::vector<unsigned char> serializePlan(const Plan &plan);
 void writePlanFile(const Plan &plan, const std::string &path);
 
 /**
- * Parse a payload (header already stripped) into `out`. Diagnostics
+ * Parse a payload (header already stripped) into `out`. `version` is
+ * the container version from the header and selects which sections to
+ * expect (the quant side table exists from version 2). Diagnostics
  * carry byte offsets relative to the *file* start, i.e. payload
  * offsets shifted by kSnspHeaderBytes. Returns false — with at least
  * one error in `report` — when the payload is malformed.
  */
-bool parsePlanPayload(const unsigned char *data, size_t size, Plan &out,
+bool parsePlanPayload(const unsigned char *data, size_t size,
+                      uint32_t version, Plan &out,
                       verify::Report &report, const std::string &where);
 
 /**

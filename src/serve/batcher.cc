@@ -145,28 +145,51 @@ MicroBatcher::executorLoop()
         if (live.empty())
             continue;
 
-        batches_total_.inc();
-        batched_designs_total_.inc(live.size());
-        std::vector<const graphir::Graph *> graphs;
-        graphs.reserve(live.size());
-        for (const auto &ticket : live)
-            graphs.push_back(&ticket->graph);
-        try {
-            auto predictions = fn_(graphs);
-            if (predictions.size() != live.size())
-                throw std::runtime_error(
-                    "batch function returned " +
-                    std::to_string(predictions.size()) +
-                    " predictions for " + std::to_string(live.size()) +
-                    " designs");
-            for (size_t i = 0; i < live.size(); ++i) {
-                finish(std::move(live[i]),
-                       {Status::Ok, std::move(predictions[i]), ""});
-            }
-        } catch (const std::exception &e) {
-            for (auto &ticket : live)
-                finish(std::move(ticket), {Status::Error, {}, e.what()});
+        // A batch runs at exactly one numeric tier (the serving
+        // caches are tier-bound), so mixed-precision pulls split into
+        // one dispatch per tier, arrival order preserved within each.
+        // Single-tier traffic — the common case — still rides as one
+        // batch.
+        const auto dispatch =
+            [this](std::vector<std::unique_ptr<Ticket>> &group,
+                   core::Precision tier) {
+                if (group.empty())
+                    return;
+                batches_total_.inc();
+                batched_designs_total_.inc(group.size());
+                std::vector<const graphir::Graph *> graphs;
+                graphs.reserve(group.size());
+                for (const auto &ticket : group)
+                    graphs.push_back(&ticket->graph);
+                try {
+                    auto predictions = fn_(graphs, tier);
+                    if (predictions.size() != group.size())
+                        throw std::runtime_error(
+                            "batch function returned " +
+                            std::to_string(predictions.size()) +
+                            " predictions for " +
+                            std::to_string(group.size()) + " designs");
+                    for (size_t i = 0; i < group.size(); ++i) {
+                        finish(std::move(group[i]),
+                               {Status::Ok, std::move(predictions[i]),
+                                ""});
+                    }
+                } catch (const std::exception &e) {
+                    for (auto &ticket : group)
+                        finish(std::move(ticket),
+                               {Status::Error, {}, e.what()});
+                }
+            };
+        std::vector<std::unique_ptr<Ticket>> fp64_group;
+        std::vector<std::unique_ptr<Ticket>> int8_group;
+        for (auto &ticket : live) {
+            auto &group = ticket->precision == core::Precision::Int8
+                              ? int8_group
+                              : fp64_group;
+            group.push_back(std::move(ticket));
         }
+        dispatch(fp64_group, core::Precision::Fp64);
+        dispatch(int8_group, core::Precision::Int8);
     }
 }
 

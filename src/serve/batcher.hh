@@ -71,6 +71,10 @@ struct Outcome
 struct Ticket
 {
     graphir::Graph graph;
+    /** Numeric tier this request runs at (protocol v3). The executor
+     * groups same-tier tickets into one predictBatch call — a batch
+     * never mixes precisions, mirroring how it never mixes models. */
+    core::Precision precision = core::Precision::Fp64;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
@@ -81,10 +85,11 @@ struct Ticket
 class MicroBatcher
 {
   public:
-    /** Runs one coalesced batch; result i belongs to input graph i.
-     * Exceptions become an Error outcome for the whole batch. */
+    /** Runs one coalesced batch at one numeric tier; result i belongs
+     * to input graph i. Exceptions become an Error outcome for the
+     * whole batch. */
     using BatchFn = std::function<std::vector<core::SnsPrediction>(
-        const std::vector<const graphir::Graph *> &)>;
+        const std::vector<const graphir::Graph *> &, core::Precision)>;
 
     /** Instruments are created in `registry` (global by default;
      * tests pass their own for exact counts). */

@@ -94,11 +94,25 @@ Client::roundTrip(const std::vector<uint8_t> &payload)
 
 PredictReply
 Client::predict(const std::string &design_source, DesignFormat format,
-                uint32_t deadline_ms)
+                uint32_t deadline_ms, core::Precision precision)
 {
+    // Never degrade a quantized request silently: a peer that cannot
+    // speak the precision byte (protocol < 3) would run fp64 and
+    // return numbers the caller did not ask for.
+    if (precision != core::Precision::Fp64 && version_ < 3) {
+        PredictReply reply;
+        reply.status = Status::Unsupported;
+        reply.message =
+            "peer speaks protocol version " + std::to_string(version_) +
+            " (no precision byte); call hello() against a v3 server "
+            "or request fp64";
+        return reply;
+    }
     WireWriter writer;
     writer.u8(static_cast<uint8_t>(Verb::Predict));
     writer.u32(deadline_ms);
+    if (version_ >= 3)
+        writer.u8(static_cast<uint8_t>(precision));
     writer.u8(static_cast<uint8_t>(format));
     writer.str(design_source);
 
@@ -236,13 +250,34 @@ unsupportedLocally()
 
 } // namespace
 
+namespace {
+
 SessionReply
-Client::openSession(const std::string &design_source, DesignFormat format)
+precisionUnsupportedLocally(uint32_t version)
+{
+    SessionReply reply;
+    reply.status = Status::Unsupported;
+    reply.message =
+        "peer speaks protocol version " + std::to_string(version) +
+        " (no precision byte); call hello() against a v3 server or "
+        "request fp64";
+    return reply;
+}
+
+} // namespace
+
+SessionReply
+Client::openSession(const std::string &design_source,
+                    DesignFormat format, core::Precision precision)
 {
     if (version_ < 2)
         return unsupportedLocally();
+    if (precision != core::Precision::Fp64 && version_ < 3)
+        return precisionUnsupportedLocally(version_);
     WireWriter writer;
     writer.u8(static_cast<uint8_t>(Verb::Open));
+    if (version_ >= 3)
+        writer.u8(static_cast<uint8_t>(precision));
     writer.u8(static_cast<uint8_t>(format));
     writer.str(design_source);
     return readSessionReply(roundTrip(writer.bytes()),
@@ -252,13 +287,17 @@ Client::openSession(const std::string &design_source, DesignFormat format)
 SessionReply
 Client::updateSession(uint64_t session_id,
                       const std::string &design_source,
-                      DesignFormat format)
+                      DesignFormat format, core::Precision precision)
 {
     if (version_ < 2)
         return unsupportedLocally();
+    if (precision != core::Precision::Fp64 && version_ < 3)
+        return precisionUnsupportedLocally(version_);
     WireWriter writer;
     writer.u8(static_cast<uint8_t>(Verb::Update));
     writer.u64(session_id);
+    if (version_ >= 3)
+        writer.u8(static_cast<uint8_t>(precision));
     writer.u8(static_cast<uint8_t>(format));
     writer.str(design_source);
     SessionReply reply = readSessionReply(roundTrip(writer.bytes()),

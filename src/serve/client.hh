@@ -73,10 +73,14 @@ class Client
     /**
      * Predict one design from source text. deadline_ms > 0 asks the
      * server to expire the request if no batch picks it up in time.
+     * A non-fp64 precision needs a hello() that negotiated version
+     * >= 3; against an older peer the call returns Unsupported
+     * locally — it never silently degrades int8 to fp64 numbers.
      */
-    PredictReply predict(const std::string &design_source,
-                         DesignFormat format,
-                         uint32_t deadline_ms = 0);
+    PredictReply
+    predict(const std::string &design_source, DesignFormat format,
+            uint32_t deadline_ms = 0,
+            core::Precision precision = core::Precision::Fp64);
 
     /** The server's metrics rendering (`name value` lines). */
     std::string stats();
@@ -106,13 +110,17 @@ class Client
      * full prediction now, incremental updates afterwards. Requires a
      * hello() that negotiated version >= 2.
      */
-    SessionReply openSession(const std::string &design_source,
-                             DesignFormat format);
+    SessionReply
+    openSession(const std::string &design_source, DesignFormat format,
+                core::Precision precision = core::Precision::Fp64);
 
-    /** Predict an edited revision through an open session. */
-    SessionReply updateSession(uint64_t session_id,
-                               const std::string &design_source,
-                               DesignFormat format);
+    /** Predict an edited revision through an open session. The
+     * precision must match the one the session opened at (the server
+     * rejects a switch; CLOSE and re-OPEN instead). */
+    SessionReply
+    updateSession(uint64_t session_id,
+                  const std::string &design_source, DesignFormat format,
+                  core::Precision precision = core::Precision::Fp64);
 
     /** Close a session and free its server-side pinned cache. Returns
      * "" on success, else the error message. */

@@ -11,8 +11,8 @@
  *
  * Requests open with a verb byte, responses with a status byte:
  *
- *   PREDICT  u32 deadline_ms (0 = none), u8 format (0 snl, 1 verilog),
- *            str design source
+ *   PREDICT  u32 deadline_ms (0 = none), [v3: u8 precision,]
+ *            u8 format (0 snl, 1 verilog), str design source
  *        ->  OK: <prediction>
  *   STATS    (empty) -> OK: str metrics text (obs render + cache)
  *   RELOAD   str checkpoint directory -> OK: (empty)
@@ -20,9 +20,10 @@
  *   HELLO    u32 client protocol version
  *        ->  OK: u32 server protocol version (the connection speaks
  *            min(client, server) from then on)
- *   OPEN     u8 format, str design source
+ *   OPEN     [v3: u8 precision,] u8 format, str design source
  *        ->  OK: u64 session_id, <prediction>, <diff>
- *   UPDATE   u64 session_id, u8 format, str design source
+ *   UPDATE   u64 session_id, [v3: u8 precision,] u8 format,
+ *            str design source
  *        ->  OK: <prediction>, <diff>
  *   CLOSE    u64 session_id -> OK: (empty)
  *
@@ -46,6 +47,14 @@
  * version-1 server answers HELLO itself with ERROR "unknown verb",
  * which a version-2 client treats as "the peer speaks version 1" and
  * degrades to the stateless verbs (docs/serving.md §Compatibility).
+ *
+ * Version 3 threads the numeric tier (docs/quantization.md): PREDICT,
+ * OPEN, and UPDATE gain one precision byte (0 fp64, 1 int8, the
+ * core::Precision values) at the positions marked above — only on
+ * connections that negotiated version >= 3; older payload layouts are
+ * byte-for-byte unchanged. A v3 client asked for int8 against a v2 or
+ * v1 server reports Unsupported locally instead of silently degrading
+ * to fp64 numbers.
  */
 
 #ifndef SNS_SERVE_PROTOCOL_HH
@@ -62,9 +71,10 @@ namespace sns::serve {
 /**
  * The highest protocol version this build speaks. Version 1 is the
  * stateless verbs (PREDICT/STATS/RELOAD/PING); version 2 adds HELLO
- * negotiation and the edit-loop session verbs.
+ * negotiation and the edit-loop session verbs; version 3 adds the
+ * precision byte to PREDICT/OPEN/UPDATE.
  */
-inline constexpr uint32_t kProtocolVersion = 2;
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /** Request kinds. */
 enum class Verb : uint8_t {

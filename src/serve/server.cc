@@ -62,6 +62,14 @@ writeDiff(WireWriter &writer, const core::DiffStats &diff)
     writer.u64(diff.paths_recomputed);
 }
 
+/** Valid wire precision byte? (core::Precision values.) */
+bool
+validPrecisionByte(uint8_t byte)
+{
+    return byte == static_cast<uint8_t>(core::Precision::Fp64) ||
+           byte == static_cast<uint8_t>(core::Precision::Int8);
+}
+
 /** Parse a session verb's design payload (format byte + source). */
 bool
 parseDesign(WireReader &reader, graphir::Graph &graph, std::string &error)
@@ -85,6 +93,7 @@ Server::Server(std::shared_ptr<const core::SnsPredictor> predictor,
                ServerOptions options)
     : options_(std::move(options)), predictor_(std::move(predictor)),
       cache_(perf::PathCacheOptions{options_.cache_capacity, 16}),
+      int8_cache_(perf::PathCacheOptions{options_.cache_capacity, 16}),
       connections_total_(
           options_.registry->counter("serve.connections_total")),
       protocol_errors_(
@@ -172,8 +181,9 @@ Server::start()
 
     batcher_ = std::make_unique<MicroBatcher>(
         options_.batch,
-        [this](const std::vector<const graphir::Graph *> &graphs) {
-            return runBatch(graphs);
+        [this](const std::vector<const graphir::Graph *> &graphs,
+               core::Precision precision) {
+            return runBatch(graphs, precision);
         },
         options_.registry);
     options_.registry->setGauge("serve.queue_depth", [this] {
@@ -307,7 +317,7 @@ Server::handleRequest(const std::vector<uint8_t> &request,
         const auto verb = static_cast<Verb>(reader.u8());
         switch (verb) {
         case Verb::Predict:
-            return handlePredict(reader);
+            return handlePredict(reader, conn);
         case Verb::Stats: {
             reader.expectEnd();
             WireWriter writer;
@@ -349,9 +359,9 @@ Server::handleRequest(const std::vector<uint8_t> &request,
                     "(negotiate with HELLO first)");
             }
             if (verb == Verb::Open)
-                return handleOpen(reader);
+                return handleOpen(reader, conn);
             if (verb == Verb::Update)
-                return handleUpdate(reader);
+                return handleUpdate(reader, conn);
             return handleClose(reader);
         }
         }
@@ -366,14 +376,27 @@ Server::handleRequest(const std::vector<uint8_t> &request,
 }
 
 std::vector<uint8_t>
-Server::handlePredict(WireReader &reader)
+Server::handlePredict(WireReader &reader, const ConnectionState &conn)
 {
     const uint32_t deadline_ms = reader.u32();
+    // The precision byte exists from protocol v3; older connections'
+    // payloads are unchanged and always run fp64.
+    uint8_t precision_byte =
+        static_cast<uint8_t>(core::Precision::Fp64);
+    if (conn.version >= 3)
+        precision_byte = reader.u8();
     const auto format = static_cast<DesignFormat>(reader.u8());
     const std::string text = reader.str();
     reader.expectEnd();
+    if (!validPrecisionByte(precision_byte)) {
+        return statusReply(Status::Error,
+                           "unknown precision byte " +
+                               std::to_string(precision_byte) +
+                               " (0 fp64, 1 int8)");
+    }
 
     auto ticket = std::make_unique<Ticket>();
+    ticket->precision = static_cast<core::Precision>(precision_byte);
     try {
         ticket->graph = format == DesignFormat::Verilog
                             ? netlist::parseVerilog(text)
@@ -422,7 +445,8 @@ Server::handlePredict(WireReader &reader)
 
 std::vector<uint8_t>
 Server::runSession(const std::shared_ptr<SessionEntry> &entry,
-                   const graphir::Graph &graph, uint64_t echo_session_id,
+                   const graphir::Graph &graph,
+                   core::Precision precision, uint64_t echo_session_id,
                    bool include_session_id)
 {
     // Sessions are stateful and per-design: they bypass the batcher
@@ -448,9 +472,34 @@ Server::runSession(const std::shared_ptr<SessionEntry> &entry,
                            "(the server reloaded); CLOSE and re-OPEN");
     }
 
+    // An int8 request against a model with no scales must be a clean
+    // reply, not a fatal V-OPT-PRECISION abort inside predict.
+    if (precision == core::Precision::Int8 && !predictor->quantized()) {
+        return statusReply(Status::Error,
+                           "precision=int8 but the served model "
+                           "carries no int8 scales (quantize the "
+                           "checkpoint and RELOAD)");
+    }
+    // A session is pinned to the tier it opened at; switching
+    // mid-session is a clean error (V-SESS-MODEL), same as a model
+    // swap — the pinned predictions belong to the opening tier.
+    if (entry->session.isOpen() &&
+        entry->session.precision() != precision) {
+        return statusReply(
+            Status::Error,
+            std::string("session opened at precision ") +
+                core::precisionName(entry->session.precision()) +
+                " but this request asks for " +
+                core::precisionName(precision) +
+                "; CLOSE and re-OPEN to switch");
+    }
+
     core::SnsPrediction prediction;
+    core::PredictOptions session_options;
+    session_options.precision = precision;
     try {
-        prediction = entry->session.predict(*predictor, graph);
+        prediction =
+            entry->session.predict(*predictor, graph, session_options);
     } catch (const std::exception &e) {
         return statusReply(Status::Error,
                            std::string("session predict failed: ") +
@@ -475,12 +524,22 @@ Server::runSession(const std::shared_ptr<SessionEntry> &entry,
 }
 
 std::vector<uint8_t>
-Server::handleOpen(WireReader &reader)
+Server::handleOpen(WireReader &reader, const ConnectionState &conn)
 {
+    uint8_t precision_byte =
+        static_cast<uint8_t>(core::Precision::Fp64);
+    if (conn.version >= 3)
+        precision_byte = reader.u8();
     graphir::Graph graph;
     std::string error;
     if (!parseDesign(reader, graph, error))
         return statusReply(Status::Error, error);
+    if (!validPrecisionByte(precision_byte)) {
+        return statusReply(Status::Error,
+                           "unknown precision byte " +
+                               std::to_string(precision_byte) +
+                               " (0 fp64, 1 int8)");
+    }
 
     auto entry = std::make_shared<SessionEntry>();
     entry->last_used_ns.store(std::chrono::steady_clock::now()
@@ -500,17 +559,29 @@ Server::handleOpen(WireReader &reader)
         sessions_.emplace(id, entry);
     }
     session_opens_.inc();
-    return runSession(entry, graph, id, /*include_session_id=*/true);
+    return runSession(entry, graph,
+                      static_cast<core::Precision>(precision_byte), id,
+                      /*include_session_id=*/true);
 }
 
 std::vector<uint8_t>
-Server::handleUpdate(WireReader &reader)
+Server::handleUpdate(WireReader &reader, const ConnectionState &conn)
 {
     const uint64_t id = reader.u64();
+    uint8_t precision_byte =
+        static_cast<uint8_t>(core::Precision::Fp64);
+    if (conn.version >= 3)
+        precision_byte = reader.u8();
     graphir::Graph graph;
     std::string error;
     if (!parseDesign(reader, graph, error))
         return statusReply(Status::Error, error);
+    if (!validPrecisionByte(precision_byte)) {
+        return statusReply(Status::Error,
+                           "unknown precision byte " +
+                               std::to_string(precision_byte) +
+                               " (0 fp64, 1 int8)");
+    }
 
     std::shared_ptr<SessionEntry> entry;
     {
@@ -525,7 +596,9 @@ Server::handleUpdate(WireReader &reader)
                                " (never opened, closed, or TTL-evicted)");
     }
     session_updates_.inc();
-    return runSession(entry, graph, id, /*include_session_id=*/false);
+    return runSession(entry, graph,
+                      static_cast<core::Precision>(precision_byte), id,
+                      /*include_session_id=*/false);
 }
 
 std::vector<uint8_t>
@@ -589,12 +662,13 @@ Server::sessionsOpen() const
 }
 
 std::vector<core::SnsPrediction>
-Server::runBatch(const std::vector<const graphir::Graph *> &graphs)
+Server::runBatch(const std::vector<const graphir::Graph *> &graphs,
+                 core::Precision precision)
 {
     // This runs on the batcher's executor — the only thread that ever
-    // touches the model or inserts into the cache — so swapping the
+    // touches the model or inserts into the caches — so swapping the
     // staged checkpoint here makes hot-reload atomic per batch: no
-    // batch mixes models, and clearing the cache before first use of
+    // batch mixes models, and clearing the caches before first use of
     // the new model can never race an old-model insert.
     std::shared_ptr<const core::SnsPredictor> predictor;
     {
@@ -603,11 +677,24 @@ Server::runBatch(const std::vector<const graphir::Graph *> &graphs)
             predictor_ = std::move(staged_predictor_);
             staged_predictor_ = nullptr;
             cache_.clear(); // unbind; the new model re-binds below
+            int8_cache_.clear();
         }
         predictor = predictor_;
     }
+    // An int8 batch against a model with no scales must become a clean
+    // Error outcome for its tickets, not a fatal V-OPT-PRECISION abort
+    // inside predictBatch (the executor catches exceptions).
+    if (precision == core::Precision::Int8 && !predictor->quantized()) {
+        throw std::runtime_error(
+            "precision=int8 but the served model carries no int8 "
+            "scales (quantize the checkpoint and RELOAD)");
+    }
     core::PredictOptions options;
-    options.cache = &cache_;
+    options.precision = precision;
+    // One cache per tier: the binding fingerprint is precision-salted,
+    // so fp64 and int8 entries must never share a cache.
+    options.cache = precision == core::Precision::Int8 ? &int8_cache_
+                                                       : &cache_;
     return predictor->predictBatch(graphs, options);
 }
 
@@ -635,8 +722,19 @@ Server::stageReload(const std::string &directory)
 std::string
 Server::statsText() const
 {
-    return options_.registry->render() +
-           obs::formatCacheStats(cache_.stats());
+    std::string text = options_.registry->render() +
+                       obs::formatCacheStats(cache_.stats());
+    const auto int8 = int8_cache_.stats();
+    const auto line = [&text](const char *name, double value) {
+        text += name;
+        text += ' ';
+        text += obs::formatValue(value);
+        text += '\n';
+    };
+    line("cache_int8.hits", static_cast<double>(int8.hits));
+    line("cache_int8.misses", static_cast<double>(int8.misses));
+    line("cache_int8.entries", static_cast<double>(int8.entries));
+    return text;
 }
 
 void

@@ -172,20 +172,25 @@ class Server
     void handleConnection(int fd);
     std::vector<uint8_t> handleRequest(const std::vector<uint8_t> &req,
                                        ConnectionState &conn);
-    std::vector<uint8_t> handlePredict(WireReader &reader);
-    std::vector<uint8_t> handleOpen(WireReader &reader);
-    std::vector<uint8_t> handleUpdate(WireReader &reader);
+    std::vector<uint8_t> handlePredict(WireReader &reader,
+                                       const ConnectionState &conn);
+    std::vector<uint8_t> handleOpen(WireReader &reader,
+                                    const ConnectionState &conn);
+    std::vector<uint8_t> handleUpdate(WireReader &reader,
+                                      const ConnectionState &conn);
     std::vector<uint8_t> handleClose(WireReader &reader);
     /** The OPEN/UPDATE shared tail: predict `graph` through `entry`'s
-     * session under its mutex and serialize the OK reply (session id
-     * echoed only for OPEN). */
+     * session under its mutex at the requested tier and serialize the
+     * OK reply (session id echoed only for OPEN). */
     std::vector<uint8_t> runSession(const std::shared_ptr<SessionEntry> &entry,
                                     const graphir::Graph &graph,
+                                    core::Precision precision,
                                     uint64_t echo_session_id,
                                     bool include_session_id);
     void sweepSessions();
     std::vector<core::SnsPrediction>
-    runBatch(const std::vector<const graphir::Graph *> &graphs);
+    runBatch(const std::vector<const graphir::Graph *> &graphs,
+             core::Precision precision);
     void logLoop();
     void closeListener();
 
@@ -198,7 +203,12 @@ class Server
     std::shared_ptr<const core::SnsPredictor> predictor_;
     std::shared_ptr<const core::SnsPredictor> staged_predictor_;
 
+    /** Shared PREDICT caches, one per numeric tier: the binding
+     * fingerprint is precision-salted (predictionFingerprint), so one
+     * cache can never hold both tiers' entries — int8 traffic gets
+     * its own. Both are cleared on a model swap. */
     perf::PathPredictionCache cache_;
+    perf::PathPredictionCache int8_cache_;
     std::unique_ptr<MicroBatcher> batcher_;
 
     int listen_fd_ = -1;

@@ -109,10 +109,15 @@ inline constexpr const char *kPlanShape = "P-SHAPE";
 inline constexpr const char *kPlanOrder = "P-ORDER";
 inline constexpr const char *kPlanAlloc = "P-ALLOC";
 inline constexpr const char *kPlanModel = "P-MODEL";
+inline constexpr const char *kPlanQuantOp = "P-QUANT-OP";
+inline constexpr const char *kPlanQuantScale = "P-QUANT-SCALE";
+inline constexpr const char *kPlanQuantEpilogue = "P-QUANT-EPILOGUE";
+inline constexpr const char *kPlanQuantBoundary = "P-QUANT-BOUNDARY";
 inline constexpr const char *kOptionsThreads = "V-OPT-THREADS";
 inline constexpr const char *kOptionsBatch = "V-OPT-BATCH";
 inline constexpr const char *kOptionsCache = "V-OPT-CACHE";
 inline constexpr const char *kOptionsSession = "V-OPT-SESSION";
+inline constexpr const char *kOptionsPrecision = "V-OPT-PRECISION";
 inline constexpr const char *kSessionState = "V-SESS-STATE";
 inline constexpr const char *kSessionModel = "V-SESS-MODEL";
 } // namespace rules

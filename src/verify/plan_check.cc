@@ -1,6 +1,7 @@
 #include "verify/plan_check.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <utility>
 
@@ -498,6 +499,101 @@ checkDeterminism(const plan::Plan &plan_ir, Report &report)
     }
 }
 
+/**
+ * Pass 5: the int8 side table (P-QUANT-*, docs/quantization.md).
+ * Every entry must target a Gemm op through an ascending, unique
+ * op_index (P-QUANT-OP); carry exactly one finite positive scale per
+ * output column (P-QUANT-SCALE); sit on an epilogue whose fp32
+ * rescale fusion is legal — the Bias family, nothing attention-shaped
+ * (P-QUANT-EPILOGUE); and leave the terminal head projection
+ * unquantized so the AggregationHeads boundary stays full precision
+ * (P-QUANT-BOUNDARY).
+ */
+void
+checkQuant(const plan::Plan &plan_ir, Report &report)
+{
+    int64_t prev_index = -1;
+    for (size_t i = 0; i < plan_ir.quant.size(); ++i) {
+        const plan::QuantizedGemm &entry = plan_ir.quant[i];
+        const std::string where =
+            "quant entry " + std::to_string(i) + " (op " +
+            std::to_string(entry.op_index) + ")";
+        if (entry.op_index >= plan_ir.ops.size()) {
+            report.error(rules::kPlanQuantOp, where,
+                         "op index out of range (plan has " +
+                             std::to_string(plan_ir.ops.size()) +
+                             " ops)",
+                         "re-quantize the plan with `sns-cli quantize`");
+            continue;
+        }
+        if (static_cast<int64_t>(entry.op_index) <= prev_index) {
+            report.error(rules::kPlanQuantOp, where,
+                         "quant table is not strictly ascending by op "
+                         "index (previous entry covers op " +
+                             std::to_string(prev_index) + ")",
+                         "duplicate or unsorted entries would make the "
+                         "kernel binding ambiguous");
+        }
+        prev_index = entry.op_index;
+        const Op &op = plan_ir.ops[entry.op_index];
+        if (op.kind != OpKind::Gemm) {
+            report.error(rules::kPlanQuantOp, where,
+                         std::string("quantization targets a ") +
+                             plan::opKindName(op.kind) +
+                             " op; only Gemm ops carry int8 kernels");
+            continue;
+        }
+        if (!plan_ir.ops.empty() &&
+            entry.op_index == plan_ir.ops.size() - 1) {
+            report.error(rules::kPlanQuantBoundary, where,
+                         "the terminal head projection must stay full "
+                         "precision — its outputs feed the fp64 "
+                         "AggregationHeads boundary",
+                         "quantizePlan never emits this entry; the "
+                         "side table was edited or corrupted");
+        }
+        if (op.epilogue == Epilogue::ScaleMaskSoftmax) {
+            report.error(rules::kPlanQuantEpilogue, where,
+                         "int8 rescale cannot fuse into a "
+                         "ScaleMaskSoftmax epilogue",
+                         "only the None/Bias/BiasGelu/BiasRelu tails "
+                         "admit the fp32 dequantize-rescale");
+        }
+        if (!std::isfinite(entry.x_scale) || entry.x_scale <= 0.0f) {
+            report.error(rules::kPlanQuantScale, where,
+                         "activation scale " +
+                             std::to_string(entry.x_scale) +
+                             " is not finite and positive");
+        }
+        if (op.weights.empty() ||
+            op.weights[0] >= plan_ir.weights.size())
+            continue;  // pass 1 already reported the dangling ref
+        const WeightRef &matrix = plan_ir.weights[op.weights[0]];
+        if (entry.w_scales.size() !=
+            static_cast<size_t>(matrix.cols)) {
+            report.error(rules::kPlanQuantScale, where,
+                         "weight-scale tensor has " +
+                             std::to_string(entry.w_scales.size()) +
+                             " entries, the weight matrix has " +
+                             std::to_string(matrix.cols) +
+                             " output columns",
+                         "per-output-channel quantization needs "
+                         "exactly one scale per column");
+        }
+        for (size_t j = 0; j < entry.w_scales.size(); ++j) {
+            if (!std::isfinite(entry.w_scales[j]) ||
+                entry.w_scales[j] <= 0.0f) {
+                report.error(rules::kPlanQuantScale, where,
+                             "weight scale " + std::to_string(j) +
+                                 " (" +
+                                 std::to_string(entry.w_scales[j]) +
+                                 ") is not finite and positive");
+                break;  // one bad tensor, one diagnostic
+            }
+        }
+    }
+}
+
 } // namespace
 
 Report
@@ -508,6 +604,7 @@ checkPlan(const plan::Plan &plan_ir)
     checkSsa(plan_ir, report);
     checkShapes(plan_ir, report);
     checkDeterminism(plan_ir, report);
+    checkQuant(plan_ir, report);
     return report;
 }
 

@@ -17,6 +17,12 @@
  *                and the whole plan is structurally identical to the
  *                canonical module walk for its config — any reduction
  *                or epilogue reorder is rejected (P-ORDER)
+ *   quant        the int8 side table targets Gemm ops with ascending
+ *                unique indices (P-QUANT-OP), one finite positive
+ *                scale per output column (P-QUANT-SCALE), a rescale-
+ *                fusable epilogue (P-QUANT-EPILOGUE), and leaves the
+ *                terminal head projection full-precision
+ *                (P-QUANT-BOUNDARY) — docs/quantization.md
  *
  * computePlanLayout() is the buffer liveness + alias analysis: it
  * resolves every buffer at the worst-case extents (B = batch_max,

@@ -120,6 +120,7 @@ STATUS=0; "$LINT" "$WORK/no_such_file.snsp" > /dev/null || STATUS=$?
 STATUS=0; "$LINT" "$FIXTURES/plan_bad_magic.snsp" \
     "$FIXTURES/plan_truncated.snsp" "$FIXTURES/plan_dangling_buffer.snsp" \
     "$FIXTURES/plan_shape_mismatch.snsp" "$FIXTURES/plan_hash_flip.snsp" \
+    "$FIXTURES/plan_bad_scales.snsp" \
     > "$WORK/lint.out" || STATUS=$?
 [ "$STATUS" -eq 1 ] || { echo "corrupt plans must exit 1, got $STATUS" >&2; exit 1; }
 grep -q "\[P-MAGIC\]" "$WORK/lint.out"
@@ -127,10 +128,34 @@ grep -q "\[P-TRUNCATED\]" "$WORK/lint.out"
 grep -q "\[P-BUFFER" "$WORK/lint.out"
 grep -q "\[P-SHAPE\]" "$WORK/lint.out"
 grep -q "\[P-HASH\]" "$WORK/lint.out"
+grep -q "\[P-QUANT-SCALE\]" "$WORK/lint.out"
 
 # sns-cli plan: re-trace, analyze, and dump the bound plan.
 "$CLI" plan --model="$WORK/model" | grep -q "^plan: "
 "$CLI" plan --model="$WORK/model" --dump | grep -q "gemm"
+
+# The quantized tier (docs/quantization.md): calibrate the model in
+# place, the saved plan_int8.snsp lints clean, an int8 predict runs
+# and genuinely differs from fp64, and an int8 request against a
+# model with no scales is a clean error.
+"$CLI" quantize --model="$WORK/model" "$WORK/fir.snl" \
+    | grep -q "quantized plan saved"
+"$LINT" "$WORK/model/plan_int8.snsp" | grep -q "clean"
+"$CLI" predict --model="$WORK/model" --precision=int8 "$WORK/fir.snl" \
+    | grep -v "predicted in" > "$WORK/pred_int8.body"
+"$CLI" predict --model="$WORK/model" "$WORK/fir.snl" \
+    | grep -v "predicted in" > "$WORK/pred_fp64.body"
+if diff -q "$WORK/pred_int8.body" "$WORK/pred_fp64.body" > /dev/null; then
+    echo "int8 predictions identical to fp64 — tier not active?" >&2
+    exit 1
+fi
+rm "$WORK/model/plan_int8.snsp"
+if "$CLI" predict --model="$WORK/model" --precision=int8 \
+        "$WORK/fir.snl" > /dev/null 2> "$WORK/int8.err"; then
+    echo "int8 predict without scales must fail" >&2
+    exit 1
+fi
+grep -q "int8" "$WORK/int8.err"
 
 # --cache-stats prints the canonical obs rendering (same lines the
 # server's STATS verb emits).

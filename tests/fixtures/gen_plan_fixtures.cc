@@ -9,6 +9,7 @@
  *   plan_dangling_buffer.snsp  op input names no buffer     P-BUFFER
  *   plan_shape_mismatch.snsp   declared buffer dim off by 1 P-SHAPE
  *   plan_hash_flip.snsp        payload byte flipped         P-HASH
+ *   plan_bad_scales.snsp       zero weight scale            P-QUANT-SCALE
  *
  * The dangling/shape corpus entries are corrupted at the Plan level
  * and re-serialized, so their container hashes are *valid* — they
@@ -129,6 +130,30 @@ main(int argc, char **argv)
         std::vector<unsigned char> bytes = plan::serializePlan(base);
         bytes[plan::kSnspHeaderBytes + 40] ^= 0x10;
         writeBytes(dir + "/plan_hash_flip.snsp", bytes);
+    }
+
+    // P-QUANT-SCALE: intact v2 container, a quantized Gemm whose
+    // weight-scale tensor carries a zero entry — the side table was
+    // "corrupted" after calibration, and only the quant pass sees it.
+    {
+        plan::Plan bad = base;
+        for (size_t i = 0; i + 1 < bad.ops.size(); ++i) {
+            const plan::Op &op = bad.ops[i];
+            if (op.kind != plan::OpKind::Gemm || op.weights.empty())
+                continue;
+            plan::QuantizedGemm entry;
+            entry.op_index = static_cast<uint32_t>(i);
+            entry.x_scale = 0.25f;
+            entry.w_scales.assign(
+                static_cast<size_t>(
+                    bad.weights[op.weights[0]].cols),
+                0.5f);
+            entry.w_scales.back() = 0.0f; // trips P-QUANT-SCALE
+            bad.quant.push_back(entry);
+            break;
+        }
+        writeBytes(dir + "/plan_bad_scales.snsp",
+                   plan::serializePlan(bad));
     }
     return 0;
 }

@@ -22,6 +22,7 @@
 #include "obs/metrics.hh"
 #include "par/thread_pool.hh"
 #include "perf/path_cache.hh"
+#include "plan/runtime.hh"
 #include "util/stats.hh"
 #include "verify/analyzer.hh"
 
@@ -1115,6 +1116,184 @@ TEST(ProgressSinkTest, TeeFansOutAndAnyStopWins)
     tee.onEvent("note");
     EXPECT_EQ(a.events.size(), 1u);
     EXPECT_EQ(b.events.size(), 1u);
+}
+
+// --------------------------------------------------------------------
+// Quantized inference tier (docs/quantization.md)
+
+/** Restore SNS_PLAN and the verify mode however a test exits. */
+struct TierGuards
+{
+    bool plan_saved = plan::planEnabled();
+    verify::Mode mode_saved = verify::mode();
+    ~TierGuards()
+    {
+        plan::setPlanEnabled(plan_saved);
+        verify::setMode(mode_saved);
+    }
+};
+
+bool
+sameBits(const SnsPrediction &a, const SnsPrediction &b)
+{
+    return a.timing_ps == b.timing_ps && a.area_um2 == b.area_um2 &&
+           a.power_mw == b.power_mw;
+}
+
+TEST(PredictOptionsTest, UnknownPrecisionIsVOptPrecision)
+{
+    // The serve protocol carries precision as a raw byte, so the enum
+    // can arrive holding any value; the single validation point must
+    // name V-OPT-PRECISION for out-of-enum values and stay silent for
+    // the two known tiers.
+    PredictOptions options;
+    options.precision = static_cast<Precision>(7);
+    EXPECT_TRUE(validatePredictOptions(options).hasRule(
+        verify::rules::kOptionsPrecision));
+
+    options.precision = Precision::Fp64;
+    EXPECT_FALSE(validatePredictOptions(options).hasErrors());
+    options.precision = Precision::Int8;
+    EXPECT_FALSE(validatePredictOptions(options).hasErrors());
+}
+
+TEST(PredictBatchTest, Int8WithoutScalesRecoversToFp64UnderCount)
+{
+    // A model that never calibrated has no int8 tier. Under Count
+    // enforcement the request is diagnosed (V-OPT-PRECISION) and the
+    // call recovers to fp64 — bitwise the same numbers a plain fp64
+    // call produces. Under Fatal enforcement it aborts the call.
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+    SnsTrainer trainer(TrainerConfig::fast());
+    const auto predictor = trainer.train(dataset, train_idx, oracle());
+    ASSERT_FALSE(predictor.quantized());
+    const auto &graph = dataset.records()[5].graph;
+
+    TierGuards guards;
+    PredictOptions int8;
+    int8.precision = Precision::Int8;
+    EXPECT_EQ(predictor.effectivePrecision(int8), Precision::Fp64);
+
+    verify::setMode(verify::Mode::Count);
+    const auto recovered = predictor.predict(graph, int8);
+    const auto fp64 = predictor.predict(graph);
+    EXPECT_TRUE(sameBits(recovered, fp64));
+
+    // An out-of-enum byte takes the same recovery path.
+    PredictOptions garbage;
+    garbage.precision = static_cast<Precision>(200);
+    EXPECT_TRUE(
+        sameBits(predictor.predict(graph, garbage), fp64));
+
+    verify::setMode(verify::Mode::Fatal);
+    EXPECT_THROW(predictor.predict(graph, int8), verify::VerifyError);
+}
+
+TEST(PredictBatchTest, QuantizeBindsInt8AndLeavesFp64Bitwise)
+{
+    // The tentpole contract in one test: quantize() adds a second
+    // numeric tier without perturbing the first. fp64 predictions are
+    // bitwise identical before and after calibration; int8 runs are
+    // deterministic, genuinely different from fp64, and the SNS_PLAN
+    // kill switch downgrades int8 requests back to the fp64 numbers
+    // under Count enforcement.
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4, 5};
+    SnsTrainer trainer(TrainerConfig::fast());
+    auto predictor = trainer.train(dataset, train_idx, oracle());
+
+    std::vector<const graphir::Graph *> eval;
+    for (size_t idx : {size_t(6), size_t(7), size_t(8)})
+        eval.push_back(&dataset.records()[idx].graph);
+    const auto fp64_before = predictor.predictBatch(eval);
+
+    std::vector<const graphir::Graph *> calibration;
+    for (size_t idx : train_idx)
+        calibration.push_back(&dataset.records()[idx].graph);
+    predictor.quantize(calibration);
+    ASSERT_TRUE(predictor.quantized());
+
+    const auto fp64_after = predictor.predictBatch(eval);
+    ASSERT_EQ(fp64_after.size(), fp64_before.size());
+    for (size_t i = 0; i < eval.size(); ++i)
+        EXPECT_TRUE(sameBits(fp64_after[i], fp64_before[i]))
+            << "design " << i;
+
+    PredictOptions int8;
+    int8.precision = Precision::Int8;
+    ASSERT_EQ(predictor.effectivePrecision(int8), Precision::Int8);
+    const auto quant = predictor.predictBatch(eval, int8);
+    const auto quant_again = predictor.predictBatch(eval, int8);
+    bool differs = false;
+    for (size_t i = 0; i < eval.size(); ++i) {
+        EXPECT_TRUE(sameBits(quant[i], quant_again[i])) << "design " << i;
+        // Same ballpark (the run_bench gate bounds the error formally),
+        // but a distinct tier: int8 is not fp64 relabeled.
+        EXPECT_NEAR(quant[i].timing_ps, fp64_before[i].timing_ps,
+                    0.25 * fp64_before[i].timing_ps + 1.0);
+        differs = differs || !sameBits(quant[i], fp64_before[i]);
+    }
+    EXPECT_TRUE(differs);
+
+    // The two tiers never share a path cache identity.
+    EXPECT_NE(predictor.predictionFingerprint(Precision::Int8),
+              predictor.predictionFingerprint(Precision::Fp64));
+
+    TierGuards guards;
+    verify::setMode(verify::Mode::Count);
+    plan::setPlanEnabled(false);
+    EXPECT_EQ(predictor.effectivePrecision(int8), Precision::Fp64);
+    const auto killed = predictor.predictBatch(eval, int8);
+    for (size_t i = 0; i < eval.size(); ++i)
+        EXPECT_TRUE(sameBits(killed[i], fp64_before[i])) << "design " << i;
+}
+
+TEST(PredictorTest, QuantizedSaveLoadRoundTrip)
+{
+    // save() writes the calibrated side table as plan_int8.snsp and
+    // load() re-binds it: the reloaded pipeline serves int8 without
+    // re-calibrating, and two loads of the same directory agree
+    // bitwise at both tiers.
+    const auto &dataset = smokeDataset();
+    std::vector<size_t> train_idx = {0, 1, 2, 3, 4, 5};
+    SnsTrainer trainer(TrainerConfig::fast());
+    auto predictor = trainer.train(dataset, train_idx, oracle());
+    std::vector<const graphir::Graph *> calibration;
+    for (size_t idx : train_idx)
+        calibration.push_back(&dataset.records()[idx].graph);
+    predictor.quantize(calibration);
+
+    const auto dir =
+        (std::filesystem::temp_directory_path() / "sns_model_q").string();
+    predictor.save(dir);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/plan_int8.snsp"));
+
+    const auto loaded = SnsPredictor::load(dir);
+    ASSERT_TRUE(loaded.quantized());
+    const auto loaded_twin = SnsPredictor::load(dir);
+
+    PredictOptions int8;
+    int8.precision = Precision::Int8;
+    for (size_t idx : {size_t(6), size_t(7)}) {
+        const auto &graph = dataset.records()[idx].graph;
+        const auto original = predictor.predict(graph, int8);
+        const auto restored = loaded.predict(graph, int8);
+        // Save snaps normalization statistics to float32, so reloaded
+        // numbers are near — not bitwise-equal to — the in-memory ones;
+        // two loads of the same bytes must agree exactly.
+        EXPECT_NEAR(restored.timing_ps, original.timing_ps,
+                    1e-3 * original.timing_ps);
+        EXPECT_NEAR(restored.area_um2, original.area_um2,
+                    1e-3 * original.area_um2);
+        EXPECT_NEAR(restored.power_mw, original.power_mw,
+                    1e-3 * original.power_mw);
+        EXPECT_TRUE(
+            sameBits(restored, loaded_twin.predict(graph, int8)));
+    }
+    EXPECT_EQ(loaded.predictionFingerprint(Precision::Int8),
+              loaded_twin.predictionFingerprint(Precision::Int8));
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

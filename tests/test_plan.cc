@@ -18,9 +18,11 @@
 #include "core/trainer.hh"
 #include "par/thread_pool.hh"
 #include "perf/path_cache.hh"
+#include "plan/calibrate.hh"
 #include "plan/runtime.hh"
 #include "plan/snsp.hh"
 #include "tensor/gemm.hh"
+#include "tensor/qgemm.hh"
 #include "verify/plan_check.hh"
 
 namespace sns::core {
@@ -357,6 +359,138 @@ TEST(PlanPredictorTest, EndToEndPlannedServingIsBitwiseAndReloadable)
         EXPECT_TRUE(restored.circuitformer().boundPlan() != nullptr);
     }
     std::filesystem::remove_all(dir);
+}
+
+// ---- Quantization: calibrate -> rewrite -> int8 execution
+// ---- (docs/quantization.md). ----
+
+/** Calibrate a model's compiled fp64 plan on the synthetic paths and
+ * return the rewritten mixed-precision plan. */
+plan::Plan
+calibratedQuantPlan(Circuitformer &model)
+{
+    model.bindPlan(
+        plan::compilePlan(model.tracePlan(8), model.parameters()));
+    plan::Calibrator calibrator;
+    model.boundPlan()->setCalibrationObserver(&calibrator);
+    // batch_size 8 keeps every batch inside the plan's batch_max, so
+    // the whole shard runs through the observed plan.
+    model.predict(testPaths(model.config().encoder.vocab_size), 8);
+    model.boundPlan()->setCalibrationObserver(nullptr);
+    EXPECT_GT(calibrator.observed(), 0u);
+    return plan::quantizePlan(model.boundPlan()->plan(), calibrator,
+                              model.parameters());
+}
+
+TEST(PlanQuantTest, QuantizePlanEmitsACheckedSideTable)
+{
+    Circuitformer model = normalizedModel();
+    const plan::Plan quantized = calibratedQuantPlan(model);
+
+    // Structurally untouched; side table populated, ascending, and
+    // excluding the terminal head projection.
+    EXPECT_EQ(quantized.ops, model.boundPlan()->plan().ops);
+    ASSERT_FALSE(quantized.quant.empty());
+    int64_t prev = -1;
+    for (const auto &entry : quantized.quant) {
+        EXPECT_GT(static_cast<int64_t>(entry.op_index), prev);
+        prev = entry.op_index;
+        EXPECT_LT(entry.op_index, quantized.ops.size() - 1);
+        EXPECT_EQ(quantized.ops[entry.op_index].kind,
+                  plan::OpKind::Gemm);
+        EXPECT_GT(entry.x_scale, 0.0f);
+        for (const float scale : entry.w_scales)
+            EXPECT_GT(scale, 0.0f);
+    }
+    const verify::Report report = verify::checkPlan(quantized);
+    EXPECT_FALSE(report.hasErrors()) << report.summary();
+}
+
+TEST(PlanQuantTest, QuantizedSnspRoundTripAndV1Compat)
+{
+    Circuitformer model = normalizedModel();
+    const plan::Plan quantized = calibratedQuantPlan(model);
+    const auto path =
+        (std::filesystem::temp_directory_path() / "quant_roundtrip.snsp")
+            .string();
+    plan::writePlanFile(quantized, path);
+    plan::Plan restored;
+    verify::Report report;
+    ASSERT_TRUE(plan::readPlanFile(path, restored, report))
+        << report.summary();
+    EXPECT_EQ(quantized, restored);
+    std::remove(path.c_str());
+
+    // A version-1 container is the same payload minus the quant
+    // section; it must still read, into an empty side table.
+    const plan::Plan &fp64_plan = model.boundPlan()->plan();
+    auto payload = plan::serializePlanPayload(fp64_plan);
+    payload.resize(payload.size() - 4); // drop the trailing nquant=0
+    std::vector<unsigned char> bytes;
+    bytes.insert(bytes.end(), {'S', 'N', 'S', 'P'});
+    const uint32_t version = 1;
+    const uint64_t length = payload.size();
+    const uint64_t hash = plan::fnv1a(payload.data(), payload.size());
+    const auto *v = reinterpret_cast<const unsigned char *>(&version);
+    bytes.insert(bytes.end(), v, v + sizeof(version));
+    const auto *l = reinterpret_cast<const unsigned char *>(&length);
+    bytes.insert(bytes.end(), l, l + sizeof(length));
+    const auto *h = reinterpret_cast<const unsigned char *>(&hash);
+    bytes.insert(bytes.end(), h, h + sizeof(hash));
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    plan::Plan v1_restored;
+    verify::Report v1_report;
+    ASSERT_TRUE(plan::readPlanFile(path, v1_restored, v1_report))
+        << v1_report.summary();
+    EXPECT_TRUE(v1_restored.quant.empty());
+    EXPECT_EQ(v1_restored, fp64_plan);
+    std::remove(path.c_str());
+}
+
+TEST(PlanQuantTest, Int8ExecutionIsBitwiseAcrossLevelsAndThreads)
+{
+    PlanToggleGuard guard;
+    Circuitformer model = normalizedModel();
+    const plan::Plan quantized = calibratedQuantPlan(model);
+    model.bindQuantPlan(
+        plan::compilePlan(quantized, model.parameters()));
+    const auto paths = testPaths(model.config().encoder.vocab_size);
+
+    // The fp64 tier is untouched by the quantized binding.
+    const auto fp64 = model.predict(paths, 8);
+
+    tensor::setQgemmLevelCap(0);
+    const auto scalar = model.predict(paths, 8, Precision::Int8);
+    ASSERT_EQ(scalar.size(), paths.size());
+    for (int cap = 1; cap <= tensor::qgemmMaxLevel(); ++cap) {
+        tensor::setQgemmLevelCap(cap);
+        const auto leveled = model.predict(paths, 8, Precision::Int8);
+        EXPECT_TRUE(bitwiseEqual(scalar, leveled)) << "level " << cap;
+    }
+    tensor::setQgemmLevelCap(-1);
+
+    for (const int threads : {2, 4}) {
+        par::setThreads(threads);
+        const auto threaded = model.predict(paths, 8, Precision::Int8);
+        EXPECT_TRUE(bitwiseEqual(scalar, threaded))
+            << threads << " threads";
+    }
+    par::setThreads(1);
+
+    // int8 is a different numeric tier — it must *not* silently equal
+    // fp64 (that would mean the quantized kernels never ran), but it
+    // must stay close.
+    EXPECT_FALSE(bitwiseEqual(scalar, fp64));
+    for (size_t i = 0; i < paths.size(); ++i) {
+        EXPECT_NEAR(scalar[i].timing_ps, fp64[i].timing_ps,
+                    std::abs(fp64[i].timing_ps) * 0.1 + 1.0)
+            << "path " << i;
+    }
 }
 
 } // namespace

@@ -158,7 +158,8 @@ TEST(MicroBatcherTest, CoalescesConcurrentRequestsIntoFewerBatches)
     std::atomic<size_t> batches{0};
     MicroBatcher batcher(
         options,
-        [&batches](const std::vector<const graphir::Graph *> &graphs) {
+        [&batches](const std::vector<const graphir::Graph *> &graphs,
+                   core::Precision) {
             batches.fetch_add(1);
             std::vector<core::SnsPrediction> preds;
             for (size_t i = 0; i < graphs.size(); ++i)
@@ -205,7 +206,8 @@ TEST(MicroBatcherTest, BoundedQueueRejectsOverload)
     std::shared_future<void> released(release.get_future());
     MicroBatcher batcher(
         options,
-        [released](const std::vector<const graphir::Graph *> &graphs) {
+        [released](const std::vector<const graphir::Graph *> &graphs,
+                   core::Precision) {
             released.wait();
             return std::vector<core::SnsPrediction>(graphs.size());
         },
@@ -256,7 +258,8 @@ TEST(MicroBatcherTest, ExpiredDeadlinesAreRejectedAtDispatch)
     MicroBatcher batcher(
         options,
         [released, &entered, &designs_seen, &first_call](
-            const std::vector<const graphir::Graph *> &graphs) {
+            const std::vector<const graphir::Graph *> &graphs,
+            core::Precision) {
             if (first_call.exchange(false))
                 entered.set_value();
             released.wait();
@@ -295,7 +298,8 @@ TEST(MicroBatcherTest, DrainAnswersAdmittedAndRefusesNew)
     options.max_linger_us = 50000;
     MicroBatcher batcher(
         options,
-        [](const std::vector<const graphir::Graph *> &graphs) {
+        [](const std::vector<const graphir::Graph *> &graphs,
+           core::Precision) {
             return std::vector<core::SnsPrediction>(graphs.size());
         },
         &registry);
@@ -322,8 +326,8 @@ TEST(MicroBatcherTest, BatchFnExceptionBecomesErrorOutcome)
     options.max_linger_us = 0;
     MicroBatcher batcher(
         options,
-        [](const std::vector<const graphir::Graph *> &)
-            -> std::vector<core::SnsPrediction> {
+        [](const std::vector<const graphir::Graph *> &,
+           core::Precision) -> std::vector<core::SnsPrediction> {
             throw std::runtime_error("model exploded");
         },
         &registry);
@@ -967,6 +971,157 @@ TEST(SessionServeTest, StatsCacheHitRateUsesTheSharedFormatter)
     ASSERT_GE(misses, 1.0);
     ASSERT_FALSE(rate_text.empty());
     EXPECT_EQ(rate_text, obs::formatValue(hits / (hits + misses)));
+
+    server.stop();
+    par::setThreads(1);
+}
+
+// ---------------------------------------------------------------------
+// Protocol v3: the precision byte (docs/quantization.md)
+
+/** A calibrated variant of the shared checkpoint: same training, then
+ * quantize() before save(), so plan_int8.snsp rides along. */
+const std::string &
+quantizedCheckpointDir()
+{
+    static const std::string dir = [] {
+        synth::SynthesisOptions opts;
+        opts.effort = 0.1;
+        synth::Synthesizer oracle(opts);
+        const auto dataset = core::HardwareDesignDataset::build(
+            designs::DesignLibrary::smokeSet(), oracle);
+        std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+        core::SnsTrainer trainer(core::TrainerConfig::fast());
+        auto predictor = trainer.train(dataset, train_idx, oracle);
+        std::vector<const graphir::Graph *> calibration;
+        for (size_t idx : train_idx)
+            calibration.push_back(&dataset.records()[idx].graph);
+        predictor.quantize(calibration);
+        const auto path = (std::filesystem::temp_directory_path() /
+                           "sns_serve_test_model_int8")
+                              .string();
+        predictor.save(path);
+        par::setThreads(1);
+        return path;
+    }();
+    return dir;
+}
+
+TEST(QuantServeTest, PrecisionByteRoundTripsThroughV3Bitwise)
+{
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(quantizedCheckpointDir()));
+    ASSERT_TRUE(predictor->quantized());
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("qwire");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    // Local references at both tiers through the exact served model.
+    const auto fir = netlist::parseSnl(kFirSnl);
+    const auto local_fp64 = predictor->predict(fir);
+    core::PredictOptions int8;
+    int8.precision = core::Precision::Int8;
+    const auto local_int8 = predictor->predict(fir, int8);
+
+    auto client = Client::connectUnix(options.unix_path);
+    ASSERT_EQ(client.hello(), kProtocolVersion);
+
+    const auto remote_int8 = client.predict(
+        kFirSnl, DesignFormat::Snl, 0, core::Precision::Int8);
+    ASSERT_EQ(remote_int8.status, Status::Ok) << remote_int8.message;
+    EXPECT_EQ(remote_int8.prediction.timing_ps, local_int8.timing_ps);
+    EXPECT_EQ(remote_int8.prediction.area_um2, local_int8.area_um2);
+    EXPECT_EQ(remote_int8.prediction.power_mw, local_int8.power_mw);
+
+    // The same connection serves fp64 untouched — two tiers, two
+    // caches, no crosstalk.
+    const auto remote_fp64 = client.predict(kFirSnl, DesignFormat::Snl);
+    ASSERT_EQ(remote_fp64.status, Status::Ok);
+    EXPECT_EQ(remote_fp64.prediction.timing_ps, local_fp64.timing_ps);
+    EXPECT_NE(remote_int8.prediction.timing_ps,
+              remote_fp64.prediction.timing_ps);
+
+    // Sessions pin the tier they opened at; a mid-session switch is a
+    // clean Error, and the same-tier update still answers bitwise.
+    const auto opened = client.openSession(
+        kFirSnl, DesignFormat::Snl, core::Precision::Int8);
+    ASSERT_EQ(opened.status, Status::Ok) << opened.message;
+    expectSamePrediction(opened.prediction, local_int8);
+    const auto switched = client.updateSession(
+        opened.session_id, kFirSnl, DesignFormat::Snl,
+        core::Precision::Fp64);
+    EXPECT_EQ(switched.status, Status::Error);
+    EXPECT_NE(switched.message.find("re-OPEN"), std::string::npos)
+        << switched.message;
+    const auto same_tier = client.updateSession(
+        opened.session_id, kFirSnl, DesignFormat::Snl,
+        core::Precision::Int8);
+    ASSERT_EQ(same_tier.status, Status::Ok) << same_tier.message;
+    EXPECT_TRUE(same_tier.diff.noop);
+    expectSamePrediction(same_tier.prediction, local_int8);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(QuantServeTest, Int8AgainstUnquantizedModelIsCleanError)
+{
+    // The served checkpoint has no scales: an int8 request must come
+    // back as an application Error naming the fix, and the connection
+    // must keep serving fp64 afterwards.
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(checkpointDir()));
+    ASSERT_FALSE(predictor->quantized());
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("qnoscales");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    ASSERT_EQ(client.hello(), kProtocolVersion);
+    const auto denied = client.predict(
+        kFirSnl, DesignFormat::Snl, 0, core::Precision::Int8);
+    EXPECT_EQ(denied.status, Status::Error);
+    EXPECT_NE(denied.message.find("no int8 scales"), std::string::npos)
+        << denied.message;
+
+    const auto fp64 = client.predict(kFirSnl, DesignFormat::Snl);
+    EXPECT_EQ(fp64.status, Status::Ok);
+
+    server.stop();
+    par::setThreads(1);
+}
+
+TEST(QuantServeTest, Int8BeforeHelloIsLocallyUnsupported)
+{
+    // Pre-v3 peers have no precision slot in the PREDICT frame; the
+    // client must refuse locally instead of sending a frame the server
+    // would misparse.
+    auto predictor = std::make_shared<const core::SnsPredictor>(
+        core::SnsPredictor::load(quantizedCheckpointDir()));
+    obs::Registry registry;
+    ServerOptions options;
+    options.unix_path = tempSocketPath("qnohello");
+    options.registry = &registry;
+    Server server(predictor, options);
+    server.start();
+
+    auto client = Client::connectUnix(options.unix_path);
+    ASSERT_EQ(client.negotiatedVersion(), 1u);
+    const auto local = client.predict(
+        kFirSnl, DesignFormat::Snl, 0, core::Precision::Int8);
+    EXPECT_EQ(local.status, Status::Unsupported);
+    EXPECT_NE(local.message.find("hello"), std::string::npos)
+        << local.message;
+
+    // fp64 needs no negotiation and still flows on this connection.
+    EXPECT_EQ(client.predict(kFirSnl, DesignFormat::Snl).status,
+              Status::Ok);
 
     server.stop();
     par::setThreads(1);

@@ -437,5 +437,93 @@ TEST(SessionTest, ModelSwapRaisesSessionModel)
     verify::setMode(verify::Mode::Fatal);
 }
 
+// ---------------------------------------------------------------------
+// Quantized sessions (docs/quantization.md): a session pins its
+// numeric tier at open() and replays only entries of that tier.
+
+/** A third predictor, calibrated so Precision::Int8 is servable. */
+const SnsPredictor &
+quantPredictor()
+{
+    static const SnsPredictor instance = [] {
+        synth::SynthesisOptions opts;
+        opts.effort = 0.1;
+        synth::Synthesizer oracle(opts);
+        const auto dataset = HardwareDesignDataset::build(
+            designs::DesignLibrary::smokeSet(), oracle);
+        std::vector<size_t> train_idx = {0, 1, 2, 3, 4};
+        SnsTrainer trainer(TrainerConfig::fast());
+        auto trained = trainer.train(dataset, train_idx, oracle);
+        std::vector<const graphir::Graph *> calibration;
+        for (size_t idx : train_idx)
+            calibration.push_back(&dataset.records()[idx].graph);
+        trained.quantize(calibration);
+        par::setThreads(1);
+        return trained;
+    }();
+    return instance;
+}
+
+TEST(SessionTest, QuantizedSessionReplaysInt8Bitwise)
+{
+    // The edit loop's bitwise-reuse contract holds at the int8 tier
+    // exactly as at fp64: an update must return what a cold int8
+    // predict of the revision returns, while the untouched modules
+    // replay from the pinned cache.
+    PredictOptions int8;
+    int8.precision = Precision::Int8;
+    ASSERT_EQ(quantPredictor().effectivePrecision(int8),
+              Precision::Int8);
+
+    const auto base = netlist::parseSnl(quadSource(3, 8));
+    const auto edited = netlist::parseSnl(quadSource(3, 12));
+    const auto cold_base = quantPredictor().predict(base, int8);
+    const auto cold_edit = quantPredictor().predict(edited, int8);
+
+    SnsDesignSession session;
+    expectBitwise(session.open(quantPredictor(), base, int8),
+                  cold_base);
+    EXPECT_EQ(session.precision(), Precision::Int8);
+
+    const auto updated =
+        session.update(quantPredictor(), edited, int8);
+    expectBitwise(updated, cold_edit);
+    const auto &diff = session.lastDiff();
+    EXPECT_EQ(diff.modules_changed, 1u);
+    EXPECT_GT(diff.paths_reused, 0u)
+        << "untouched blocks must replay int8 pins";
+    EXPECT_GT(diff.paths_recomputed, 0u);
+
+    // The int8 session genuinely ran the quantized tier.
+    const auto fp64_edit = quantPredictor().predict(edited);
+    EXPECT_NE(updated.timing_ps, fp64_edit.timing_ps);
+}
+
+TEST(SessionTest, PrecisionSwitchOnUpdateThrowsFatalRecoversCount)
+{
+    // The pinned predictions are valid only at the opening tier; an
+    // update that resolves to a different precision is a session-
+    // contract violation, and Count-mode recovery re-opens cleanly at
+    // the newly requested tier.
+    PredictOptions int8;
+    int8.precision = Precision::Int8;
+    const auto graph = netlist::parseSnl(quadSource());
+
+    verify::setMode(verify::Mode::Fatal);
+    SnsDesignSession session;
+    session.open(quantPredictor(), graph, int8);
+    ASSERT_EQ(session.precision(), Precision::Int8);
+    EXPECT_THROW((void)session.update(quantPredictor(), graph),
+                 verify::VerifyError);
+
+    verify::setMode(verify::Mode::Count);
+    const auto cold_fp64 = quantPredictor().predict(graph);
+    const auto recovered = session.update(quantPredictor(), graph);
+    expectBitwise(recovered, cold_fp64);
+    EXPECT_EQ(session.precision(), Precision::Fp64);
+    EXPECT_TRUE(session.isOpen());
+    verify::setMode(verify::Mode::Fatal);
+}
+
 } // namespace
 } // namespace sns::core

@@ -10,10 +10,12 @@
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <tuple>
 
 #include "par/thread_pool.hh"
 #include "tensor/autograd.hh"
 #include "tensor/gemm.hh"
+#include "tensor/qgemm.hh"
 #include "tensor/tensor.hh"
 
 namespace sns::tensor {
@@ -625,6 +627,197 @@ TEST(Autograd, MeanAllMatchesSumOverN)
     meanAll(x).backward();
     for (size_t i = 0; i < 4; ++i)
         EXPECT_FLOAT_EQ(x.grad()[i], 0.25f);
+}
+
+// ---------------------------------------------------------------------
+// Int8 GEMM microkernels (the quantized inference tier's contraction;
+// docs/quantization.md). The load-bearing contract: every dispatch
+// level — scalar reference, AVX2 maddubs, AVX-512 VNNI — returns the
+// *same int32 bits*, because u7 x s8 pair sums fit int16 and integer
+// addition is associative.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Textbook i32 reference straight off the unpacked operands. */
+std::vector<int32_t>
+naiveQgemm(const std::vector<uint8_t> &a, const std::vector<int8_t> &b,
+           int m, int n, int k, int a_stride)
+{
+    std::vector<int32_t> c(static_cast<size_t>(m) * n, 0);
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j) {
+            int32_t acc = 0;
+            for (int p = 0; p < k; ++p)
+                acc += static_cast<int32_t>(
+                           a[static_cast<size_t>(i) * a_stride + p]) *
+                       static_cast<int32_t>(
+                           b[static_cast<size_t>(p) * n + j]);
+            c[static_cast<size_t>(i) * n + j] = acc;
+        }
+    return c;
+}
+
+/** Random u7 activations / s8 weights for one (m, n, k) problem. */
+struct QgemmProblem
+{
+    int m, n, k;
+    std::vector<int8_t> b;
+    QuantPanels panels;
+    std::vector<uint8_t> a;
+
+    QgemmProblem(int m_, int n_, int k_, uint64_t seed)
+        : m(m_), n(n_), k(k_)
+    {
+        Rng rng(seed);
+        b.resize(static_cast<size_t>(k) * n);
+        for (auto &v : b)
+            v = static_cast<int8_t>(
+                static_cast<int>(rng.next() % 255u) - 127);
+        qgemmPackB(b.data(), k, n, panels);
+        a.assign(static_cast<size_t>(m) * panels.k_padded, 0);
+        for (int i = 0; i < m; ++i)
+            for (int p = 0; p < k; ++p)
+                a[static_cast<size_t>(i) * panels.k_padded + p] =
+                    static_cast<uint8_t>(rng.next() % 128u);
+    }
+};
+
+} // namespace
+
+TEST(Qgemm, PackLayoutAndColsums)
+{
+    // k = 5 pads to 8; n = 3 occupies one 16-wide panel. Block g of
+    // the panel stores op(B)[4g + kk][j] at byte j * 4 + kk.
+    const int k = 5;
+    const int n = 3;
+    std::vector<int8_t> b(static_cast<size_t>(k) * n);
+    for (int p = 0; p < k; ++p)
+        for (int j = 0; j < n; ++j)
+            b[static_cast<size_t>(p) * n + j] =
+                static_cast<int8_t>(10 * p + j - 20);
+    QuantPanels panels;
+    qgemmPackB(b.data(), k, n, panels);
+    EXPECT_EQ(panels.k, k);
+    EXPECT_EQ(panels.n, n);
+    EXPECT_EQ(panels.k_padded, 8);
+    ASSERT_EQ(panels.data.size(), static_cast<size_t>(8) * 16);
+    for (int p = 0; p < 8; ++p)
+        for (int j = 0; j < 16; ++j) {
+            const int8_t expect =
+                (p < k && j < n)
+                    ? b[static_cast<size_t>(p) * n + j]
+                    : 0;
+            const size_t at =
+                static_cast<size_t>(p / 4) * 64 + j * 4 + p % 4;
+            EXPECT_EQ(panels.data[at], expect)
+                << "p=" << p << " j=" << j;
+        }
+    ASSERT_EQ(panels.colsum.size(), static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) {
+        int32_t sum = 0;
+        for (int p = 0; p < k; ++p)
+            sum += b[static_cast<size_t>(p) * n + j];
+        EXPECT_EQ(panels.colsum[j], sum) << "j=" << j;
+    }
+}
+
+TEST(Qgemm, ScalarMatchesNaiveReference)
+{
+    setQgemmLevelCap(0);
+    for (const auto &[m, n, k] : {std::tuple{4, 16, 8},
+                                  std::tuple{7, 23, 9},
+                                  std::tuple{1, 1, 1},
+                                  std::tuple{3, 107, 130}}) {
+        QgemmProblem prob(m, n, k, 11);
+        std::vector<int32_t> c(static_cast<size_t>(m) * n, -1);
+        qgemmI32(prob.a.data(), prob.panels, c.data(), m);
+        EXPECT_EQ(c, naiveQgemm(prob.a, prob.b, m, n, k,
+                                prob.panels.k_padded))
+            << m << "x" << n << "x" << k;
+    }
+    setQgemmLevelCap(-1);
+}
+
+TEST(Qgemm, EveryDispatchLevelIsBitwiseIdentical)
+{
+    // The bit-exactness claim at the heart of the quantized tier:
+    // whatever ladder rung the CPU grants, the integers match the
+    // scalar reference exactly — including forced downlevels (the
+    // AVX2 kernel exercised on a VNNI machine). The ceiling honours a
+    // forced SNS_SIMD so the lint sweep can re-run this at every rung.
+    setQgemmLevelCap(-1);
+    const int ceiling = qgemmLevel();
+    for (const auto &[m, n, k] : {std::tuple{5, 16, 12},
+                                  std::tuple{8, 64, 48},
+                                  std::tuple{2, 31, 130},
+                                  std::tuple{96, 107, 33}}) {
+        QgemmProblem prob(m, n, k, 23);
+        setQgemmLevelCap(0);
+        ASSERT_EQ(qgemmLevel(), 0);
+        std::vector<int32_t> reference(static_cast<size_t>(m) * n, -1);
+        qgemmI32(prob.a.data(), prob.panels, reference.data(), m);
+        for (int cap = 1; cap <= ceiling; ++cap) {
+            setQgemmLevelCap(cap);
+            ASSERT_EQ(qgemmLevel(), cap);
+            std::vector<int32_t> c(static_cast<size_t>(m) * n, -1);
+            qgemmI32(prob.a.data(), prob.panels, c.data(), m);
+            EXPECT_EQ(c, reference)
+                << "level " << cap << " diverges on " << m << "x" << n
+                << "x" << k;
+        }
+        setQgemmLevelCap(-1);
+    }
+}
+
+TEST(Qgemm, SaturationFreeAtTheU7S8Extremes)
+{
+    // All-127 activations against all +/-127 weights drive every
+    // maddubs pair sum to its maximum magnitude 2 * 127 * 127 = 32258
+    // < 32767: the widening path must not saturate at any level.
+    const int m = 2;
+    const int n = 16;
+    const int k = 64;
+    std::vector<int8_t> b(static_cast<size_t>(k) * n);
+    for (int p = 0; p < k; ++p)
+        for (int j = 0; j < n; ++j)
+            b[static_cast<size_t>(p) * n + j] = (j % 2) ? 127 : -127;
+    QuantPanels panels;
+    qgemmPackB(b.data(), k, n, panels);
+    std::vector<uint8_t> a(static_cast<size_t>(m) * panels.k_padded,
+                           0);
+    for (int i = 0; i < m; ++i)
+        for (int p = 0; p < k; ++p)
+            a[static_cast<size_t>(i) * panels.k_padded + p] = 127;
+    for (int cap = 0; cap <= qgemmMaxLevel(); ++cap) {
+        setQgemmLevelCap(cap);
+        std::vector<int32_t> c(static_cast<size_t>(m) * n, 0);
+        qgemmI32(a.data(), panels, c.data(), m);
+        for (int i = 0; i < m; ++i)
+            for (int j = 0; j < n; ++j)
+                EXPECT_EQ(c[static_cast<size_t>(i) * n + j],
+                          (j % 2 ? 1 : -1) * 127 * 127 * k)
+                    << "level " << cap;
+    }
+    setQgemmLevelCap(-1);
+}
+
+TEST(Qgemm, LevelCapClampsAndRestores)
+{
+    const int max_level = qgemmMaxLevel();
+    EXPECT_GE(max_level, 0);
+    EXPECT_LE(max_level, 2);
+    // The uncapped level is the CPU max further clamped by a forced
+    // SNS_SIMD environment (the lint sweep sets it).
+    setQgemmLevelCap(-1);
+    const int ceiling = qgemmLevel();
+    EXPECT_LE(ceiling, max_level);
+    setQgemmLevelCap(0);
+    EXPECT_EQ(qgemmLevel(), 0);
+    setQgemmLevelCap(99); // above the ladder: clamps to the ceiling
+    EXPECT_EQ(qgemmLevel(), ceiling);
+    setQgemmLevelCap(-1); // removes the cap
+    EXPECT_EQ(qgemmLevel(), ceiling);
 }
 
 } // namespace

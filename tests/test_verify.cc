@@ -20,6 +20,7 @@
 #include "netlist/snl_parser.hh"
 #include "nn/serialize.hh"
 #include "plan/ir.hh"
+#include "plan/snsp.hh"
 #include "verify/analyzer.hh"
 #include "verify/plan_check.hh"
 
@@ -551,6 +552,7 @@ TEST(PlanCheckTest, CorruptedFixturesCarryTheirRuleIds)
         {"plan_dangling_buffer.snsp", rules::kPlanBuffer},
         {"plan_shape_mismatch.snsp", rules::kPlanShape},
         {"plan_hash_flip.snsp", rules::kPlanHash},
+        {"plan_bad_scales.snsp", rules::kPlanQuantScale},
     };
     for (const auto &c : cases) {
         const auto report = checkPlanFile(fixture(c.file));
@@ -666,6 +668,171 @@ TEST(PlanCheckTest, ZeroFingerprintIsPModel)
         plan::buildCanonicalPlan(randomPlanConfig(state), 0);
     const Report report = checkPlan(traced);
     EXPECT_TRUE(report.hasRule(rules::kPlanModel));
+}
+
+// ---- Quantization side table (the P-QUANT-* family;
+// ---- docs/quantization.md). ----
+
+/** The fixed small architecture the .snsp fixtures also use. */
+plan::Plan
+smallCanonicalPlan()
+{
+    plan::PlanConfig config;
+    config.vocab = 64;
+    config.max_positions = 32;
+    config.d_model = 16;
+    config.heads = 2;
+    config.layers = 1;
+    config.d_ff = 32;
+    config.head_hidden = 8;
+    config.batch_max = 4;
+    return plan::buildCanonicalPlan(config, 0x515e6edu);
+}
+
+/**
+ * Hand-build the side table quantizePlan would emit: one entry per
+ * non-terminal weighted Gemm, ascending, unit scales. Returns the
+ * entry count so tests can assert the plan actually has targets.
+ */
+size_t
+addValidQuantTable(plan::Plan &p)
+{
+    size_t added = 0;
+    for (size_t i = 0; i + 1 < p.ops.size(); ++i) {
+        const plan::Op &op = p.ops[i];
+        if (op.kind != plan::OpKind::Gemm || op.weights.empty())
+            continue;
+        plan::QuantizedGemm entry;
+        entry.op_index = static_cast<uint32_t>(i);
+        entry.x_scale = 0.5f;
+        entry.w_scales.assign(
+            static_cast<size_t>(p.weights[op.weights[0]].cols), 1.0f);
+        p.quant.push_back(std::move(entry));
+        ++added;
+    }
+    return added;
+}
+
+TEST(PlanCheckTest, ValidQuantTableChecksClean)
+{
+    plan::Plan quantized = smallCanonicalPlan();
+    ASSERT_GT(addValidQuantTable(quantized), 0u);
+    const Report report = checkPlan(quantized);
+    EXPECT_FALSE(report.hasErrors()) << report.summary();
+}
+
+TEST(PlanCheckTest, QuantOpIndexViolationsArePQuantOp)
+{
+    // Out of range.
+    {
+        plan::Plan bad = smallCanonicalPlan();
+        ASSERT_GT(addValidQuantTable(bad), 0u);
+        bad.quant.back().op_index =
+            static_cast<uint32_t>(bad.ops.size() + 5);
+        EXPECT_TRUE(checkPlan(bad).hasRule(rules::kPlanQuantOp));
+    }
+    // Targeting a non-Gemm op.
+    {
+        plan::Plan bad = smallCanonicalPlan();
+        ASSERT_GT(addValidQuantTable(bad), 0u);
+        size_t non_gemm = bad.ops.size();
+        for (size_t i = 0; i < bad.ops.size(); ++i)
+            if (bad.ops[i].kind != plan::OpKind::Gemm) {
+                non_gemm = i;
+                break;
+            }
+        ASSERT_LT(non_gemm, bad.ops.size());
+        bad.quant.front().op_index = static_cast<uint32_t>(non_gemm);
+        EXPECT_TRUE(checkPlan(bad).hasRule(rules::kPlanQuantOp));
+    }
+    // Duplicate entries break the strictly-ascending contract.
+    {
+        plan::Plan bad = smallCanonicalPlan();
+        ASSERT_GT(addValidQuantTable(bad), 1u);
+        bad.quant[1] = bad.quant[0];
+        EXPECT_TRUE(checkPlan(bad).hasRule(rules::kPlanQuantOp));
+    }
+}
+
+TEST(PlanCheckTest, QuantBoundaryKeepsTerminalHeadFullPrecision)
+{
+    plan::Plan bad = smallCanonicalPlan();
+    ASSERT_EQ(bad.ops.back().kind, plan::OpKind::Gemm)
+        << "canonical plans end on the head projection Gemm";
+    plan::QuantizedGemm entry;
+    entry.op_index = static_cast<uint32_t>(bad.ops.size() - 1);
+    entry.x_scale = 0.5f;
+    const plan::Op &last = bad.ops.back();
+    ASSERT_FALSE(last.weights.empty());
+    entry.w_scales.assign(
+        static_cast<size_t>(bad.weights[last.weights[0]].cols), 1.0f);
+    bad.quant.push_back(std::move(entry));
+    const Report report = checkPlan(bad);
+    EXPECT_TRUE(report.hasRule(rules::kPlanQuantBoundary))
+        << report.summary();
+}
+
+TEST(PlanCheckTest, QuantEpilogueRejectsSoftmaxFusion)
+{
+    plan::Plan bad = smallCanonicalPlan();
+    ASSERT_GT(addValidQuantTable(bad), 0u);
+    // Mutate the quantized op's epilogue: the int8 rescale has no
+    // fusion into scale+mask+softmax.
+    bad.ops[bad.quant.front().op_index].epilogue =
+        plan::Epilogue::ScaleMaskSoftmax;
+    const Report report = checkPlan(bad);
+    EXPECT_TRUE(report.hasRule(rules::kPlanQuantEpilogue))
+        << report.summary();
+}
+
+TEST(PlanCheckTest, QuantScaleViolationsArePQuantScale)
+{
+    // Non-positive activation scale.
+    {
+        plan::Plan bad = smallCanonicalPlan();
+        ASSERT_GT(addValidQuantTable(bad), 0u);
+        bad.quant.front().x_scale = 0.0f;
+        EXPECT_TRUE(checkPlan(bad).hasRule(rules::kPlanQuantScale));
+    }
+    // NaN activation scale.
+    {
+        plan::Plan bad = smallCanonicalPlan();
+        ASSERT_GT(addValidQuantTable(bad), 0u);
+        bad.quant.front().x_scale =
+            std::numeric_limits<float>::quiet_NaN();
+        EXPECT_TRUE(checkPlan(bad).hasRule(rules::kPlanQuantScale));
+    }
+    // Weight-scale tensor sized to the wrong column count.
+    {
+        plan::Plan bad = smallCanonicalPlan();
+        ASSERT_GT(addValidQuantTable(bad), 0u);
+        bad.quant.front().w_scales.pop_back();
+        EXPECT_TRUE(checkPlan(bad).hasRule(rules::kPlanQuantScale));
+    }
+    // One zero per-column scale (the committed fixture's corruption).
+    {
+        plan::Plan bad = smallCanonicalPlan();
+        ASSERT_GT(addValidQuantTable(bad), 0u);
+        bad.quant.front().w_scales.back() = 0.0f;
+        EXPECT_TRUE(checkPlan(bad).hasRule(rules::kPlanQuantScale));
+    }
+}
+
+TEST(PlanCheckTest, QuantTableRoundTripsThroughTheContainer)
+{
+    // A v2 container carries the side table bit-exactly; the reread
+    // plan still checks clean.
+    plan::Plan quantized = smallCanonicalPlan();
+    ASSERT_GT(addValidQuantTable(quantized), 0u);
+    const auto payload = plan::serializePlanPayload(quantized);
+    Report report;
+    plan::Plan reread;
+    ASSERT_TRUE(plan::parsePlanPayload(payload.data(), payload.size(),
+                                       plan::kSnspVersion, reread,
+                                       report, "round trip"))
+        << report.summary();
+    EXPECT_EQ(reread.quant, quantized.quant);
+    EXPECT_FALSE(checkPlan(reread).hasErrors());
 }
 
 } // namespace

@@ -15,12 +15,21 @@
 #   6. run the edit-loop session harness (one module of a 12-module
 #      design tweaked 100x, SnsDesignSession vs repeated full
 #      predictBatch, bitwise-checked) and assemble BENCH_pr7.json,
-#      gating on session speedup >= 5x.
+#      gating on session speedup >= 5x;
+#   7. run the quantized-tier benchmarks (int8 GEMM ladder
+#      scalar/AVX2/VNNI, plus the end-to-end fp64-vs-int8 accuracy and
+#      latency harness) and assemble BENCH_pr8.json, gating on int8
+#      GEMM throughput >= 1.5x the fp64-tier SIMD GEMM on the same
+#      shape, int8 MAEP within 2.0 percentage points of fp64 on every
+#      target, the fp64 tier bitwise unchanged by quantize(), and
+#      int8 bitwise identical across runs, threads, and SNS_SIMD
+#      levels (docs/quantization.md).
 #
 # Usage: tools/run_bench.sh [BUILD_DIR] [OUT_JSON]
 #        (defaults: build-bench, BENCH_pr3.json at the repo root;
-#         the serve summary lands next to it as BENCH_pr4.json and the
-#         edit-loop summary as BENCH_pr7.json)
+#         the serve summary lands next to it as BENCH_pr4.json, the
+#         edit-loop summary as BENCH_pr7.json, and the quantized-tier
+#         summary as BENCH_pr8.json)
 set -e
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,12 +37,13 @@ BUILD="${1:-$REPO/build-bench}"
 OUT="${2:-$REPO/BENCH_pr3.json}"
 OUT_SERVE="$(dirname "$OUT")/BENCH_pr4.json"
 OUT_EDIT="$(dirname "$OUT")/BENCH_pr7.json"
+OUT_QUANT="$(dirname "$OUT")/BENCH_pr8.json"
 
 echo "== release build ($BUILD) =="
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release \
     -DSNS_NATIVE_ARCH=ON
 cmake --build "$BUILD" -j --target microbench_kernels fig07_runtime \
-    serve_throughput edit_loop
+    serve_throughput edit_loop quantized_inference
 
 echo "== GEMM microkernels: scalar vs SIMD dispatch =="
 GEMM_CSV="$BUILD/gemm_dispatch.csv"
@@ -264,3 +274,151 @@ awk -v editloop="$EDIT_OUT" '
     }
 ' /dev/null
 echo "wrote $OUT_EDIT"
+
+echo "== quantized tier: int8 GEMM ladder (scalar/AVX2/VNNI) =="
+QGEMM_CSV="$BUILD/qgemm_dispatch.csv"
+"$BUILD/bench/microbench_kernels" \
+    --benchmark_filter='BM_QgemmDispatch' \
+    --benchmark_format=csv >"$QGEMM_CSV"
+awk -F, 'NR > 1 && $1 ~ /^"?BM_/ {
+    gsub(/"/, "", $1); printf "  %-44s %8.2f GOP/s\n", $1, $7 / 1e9
+}' "$QGEMM_CSV"
+
+echo "== quantized tier: fp64 vs int8 accuracy + latency =="
+QUANT_OUT="$BUILD/quantized_inference.out"
+# shellcheck disable=SC2086
+"$BUILD/bench/quantized_inference" ${SNS_BENCH_FLAGS:-} | tee "$QUANT_OUT"
+
+# BENCH_pr8.json: the int8 GEMM ladder (GOP/s per forced SNS_SIMD
+# level) from the benchmark CSV, the fp64-tier SIMD GFLOP/s on the
+# same 256^3 shape from the PR 3 CSV, and the end-to-end harness's
+# BENCH lines.
+awk -F, -v quant="$QUANT_OUT" -v gemm="$GEMM_CSV" '
+    BEGIN {
+        while ((getline line <quant) > 0) {
+            if (split(line, f, " ") == 3 && f[1] == "BENCH")
+                bench[f[2]] = f[3]
+        }
+        close(quant)
+        while ((getline line <gemm) > 0) {
+            nf = split(line, f, ",")
+            if (nf < 7)
+                continue
+            name = f[1]
+            gsub(/"/, "", name)
+            if (name == "BM_GemmSimdDispatch/256/256/256/0/0/1")
+                fp_gflops = f[7] / 1e9
+        }
+        close(gemm)
+    }
+    NR > 1 && $1 ~ /^"?BM_QgemmDispatch/ {
+        name = $1
+        gsub(/"/, "", name)
+        sub(/^BM_QgemmDispatch\//, "", name)
+        gops[name] = $7 / 1e9
+        order[++n] = name
+    }
+    END {
+        printf "{\n"
+        printf "  \"qgemm_gops\": {\n"
+        best = 0
+        for (i = 1; i <= n; ++i) {
+            name = order[i]
+            # Args are slash-separated: m/n/k/level.
+            split(name, a, "/")
+            shape = a[1] "x" a[2] "x" a[3]
+            level = a[4] == 0 ? "scalar" : a[4] == 1 ? "avx2" : "vnni"
+            key = shape "_" level
+            if (shape == "256x256x256" && gops[name] > best)
+                best = gops[name]
+            printf "    \"%s\": %.3f%s\n", key, gops[name], \
+                   i < n ? "," : ""
+        }
+        printf "  },\n"
+        printf "  \"gemm_ratio\": {\n"
+        printf "    \"fp_simd_gflops_256\": %.3f,\n", fp_gflops
+        printf "    \"int8_best_gops_256\": %.3f,\n", best
+        printf "    \"int8_vs_fp_x\": %.3f\n", \
+               (fp_gflops > 0 ? best / fp_gflops : 0)
+        printf "  },\n"
+        printf "  \"predict\": {\n"
+        printf "    \"fp64_s\": %s,\n", bench["quant_fp64_predict_s"]
+        printf "    \"int8_s\": %s,\n", bench["quant_int8_predict_s"]
+        printf "    \"e2e_speedup_x\": %s,\n", \
+               bench["quant_e2e_speedup_x"]
+        printf "    \"calibrate_s\": %s\n", bench["quant_calibrate_s"]
+        printf "  },\n"
+        printf "  \"accuracy\": {\n"
+        printf "    \"fp64_timing_maep\": %s,\n", \
+               bench["quant_fp64_timing_maep"]
+        printf "    \"fp64_area_maep\": %s,\n", \
+               bench["quant_fp64_area_maep"]
+        printf "    \"fp64_power_maep\": %s,\n", \
+               bench["quant_fp64_power_maep"]
+        printf "    \"int8_timing_maep\": %s,\n", \
+               bench["quant_int8_timing_maep"]
+        printf "    \"int8_area_maep\": %s,\n", \
+               bench["quant_int8_area_maep"]
+        printf "    \"int8_power_maep\": %s,\n", \
+               bench["quant_int8_power_maep"]
+        printf "    \"maep_delta_pp\": %s,\n", \
+               bench["quant_maep_delta_pp"]
+        printf "    \"epsilon_pp\": 2.0\n"
+        printf "  },\n"
+        printf "  \"determinism\": {\n"
+        printf "    \"fp64_bitwise_after_quantize\": %s,\n", \
+               bench["quant_fp64_bitwise"]
+        printf "    \"int8_bitwise_all_levels\": %s,\n", \
+               bench["quant_int8_deterministic"]
+        printf "    \"simd_max_level\": %s\n", \
+               bench["quant_simd_max_level"]
+        printf "  }\n"
+        printf "}\n"
+    }
+' "$QGEMM_CSV" >"$OUT_QUANT"
+
+cat "$OUT_QUANT"
+
+# Quantized-tier gates mirrored from ISSUE.md: int8 GEMM >= 1.5x the
+# fp64-tier SIMD GEMM at the best dispatch level, int8 MAEP within
+# 2.0 pp of fp64 on every target, quantize() leaves fp64 bitwise
+# untouched, and int8 is bitwise identical at every SNS_SIMD level.
+awk -v quant="$QUANT_OUT" -v json="$OUT_QUANT" '
+    BEGIN {
+        while ((getline line <quant) > 0) {
+            if (split(line, f, " ") != 3 || f[1] != "BENCH")
+                continue
+            bench[f[2]] = f[3]
+        }
+        close(quant)
+        ratio = 0
+        while ((getline line <json) > 0) {
+            if (split(line, f, " ") >= 2 && \
+                f[1] == "\"int8_vs_fp_x\":")
+                ratio = f[2]
+        }
+        close(json)
+        if (bench["quant_fp64_bitwise"] != 1) {
+            print "FAIL: quantize() perturbed the fp64 tier"
+            exit 1
+        }
+        if (bench["quant_int8_deterministic"] != 1) {
+            print "FAIL: int8 predictions not bitwise across levels"
+            exit 1
+        }
+        if (bench["quant_maep_delta_pp"] + 0 > 2.0) {
+            printf "FAIL: int8 MAEP regression %.3f pp > 2.0 pp\n", \
+                   bench["quant_maep_delta_pp"]
+            exit 1
+        }
+        if (ratio + 0 < 1.5) {
+            printf "FAIL: int8 GEMM only %.2fx the fp64 SIMD GEMM\n", \
+                   ratio
+            exit 1
+        }
+        printf "PASS: int8 GEMM %.2fx fp64 SIMD, MAEP delta %.3f pp, " \
+               "bitwise intact\n", ratio, \
+               bench["quant_maep_delta_pp"]
+    }
+' /dev/null
+echo "wrote $OUT_QUANT"

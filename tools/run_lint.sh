@@ -5,9 +5,14 @@
 #   2. run the full test suite under the sanitizers;
 #   3. run sns_lint over the bundled example designs and datasets
 #      (must be clean) and the corrupted fixtures (must fail);
-#   4. run tools/run_docs_check.sh (dead markdown links, documented
+#   4. quantized tier (docs/quantization.md): re-run the quantized
+#      test suites at every SNS_SIMD rung (0 scalar, 1 AVX2, 2 VNNI)
+#      under the sanitizers, check an int8 CLI predict is bitwise
+#      stable across rungs, lint a freshly calibrated plan_int8.snsp
+#      (must be clean) and the corrupted-scales fixture (must fail);
+#   5. run tools/run_docs_check.sh (dead markdown links, documented
 #      CLI flags missing from --help);
-#   5. build with ThreadSanitizer and run the parallel-runtime-heavy
+#   6. build with ThreadSanitizer and run the parallel-runtime-heavy
 #      suites (test_par, test_perf, test_tensor, test_core, test_obs,
 #      test_serve — the batching queue and the metrics registry are the
 #      most race-prone code in the repo) under TSan.
@@ -71,6 +76,50 @@ SNS_PLAN=0 "$CLI" predict --model="$PLAN_WORK/model" "$PLAN_WORK/fir.snl" \
     | grep -v "predicted in" > "$PLAN_WORK/walk.out"
 diff "$PLAN_WORK/planned.out" "$PLAN_WORK/walk.out"
 
+echo "== quantized tier: SNS_SIMD ladder sweep under ASan+UBSan =="
+# The int8 kernels promise identical bits at every dispatch rung
+# (docs/quantization.md); run the quantized suites at each rung so the
+# promise is sanitizer-checked on the scalar, AVX2, and (when the CPU
+# allows) VNNI paths alike.
+for level in 0 1 2; do
+    echo "-- SNS_SIMD=$level --"
+    SNS_SIMD=$level "$BUILD/tests/test_tensor" \
+        --gtest_filter='Qgemm.*' > /dev/null
+    SNS_SIMD=$level "$BUILD/tests/test_plan" \
+        --gtest_filter='PlanQuantTest.*' > /dev/null
+    SNS_SIMD=$level "$BUILD/tests/test_verify" \
+        --gtest_filter='*Quant*' > /dev/null
+done
+
+echo "== quantized tier: calibrate, lint, cross-rung bitwise =="
+# Calibrate the freshly trained model (writes plan_int8.snsp), which
+# must lint clean like any other shipped plan...
+"$CLI" quantize --model="$PLAN_WORK/model" "$PLAN_WORK/fir.snl"
+"$LINT" "$PLAN_WORK/model/plan_int8.snsp"
+# ...and an int8 CLI predict must be bitwise stable across the ladder.
+for level in 0 1 2; do
+    SNS_SIMD=$level "$CLI" predict --model="$PLAN_WORK/model" \
+        --precision=int8 "$PLAN_WORK/fir.snl" \
+        | grep -v "predicted in" > "$PLAN_WORK/int8_$level.out"
+done
+diff "$PLAN_WORK/int8_0.out" "$PLAN_WORK/int8_1.out"
+diff "$PLAN_WORK/int8_0.out" "$PLAN_WORK/int8_2.out"
+# The int8 tier must genuinely differ from fp64 (it is a second tier,
+# not a relabel)...
+if diff -q "$PLAN_WORK/int8_0.out" "$PLAN_WORK/planned.out" > /dev/null; then
+    echo "int8 predictions are identical to fp64 — tier not active?" >&2
+    exit 1
+fi
+# ...and a corrupted side table must be rejected with exit 1 exactly.
+set +e
+"$LINT" "$REPO/tests/fixtures/plan_bad_scales.snsp"
+BAD_SCALES_EXIT=$?
+set -e
+if [ "$BAD_SCALES_EXIT" -ne 1 ]; then
+    echo "expected exit 1 on plan_bad_scales.snsp, got $BAD_SCALES_EXIT" >&2
+    exit 1
+fi
+
 echo "== documentation drift check =="
 "$REPO/tools/run_docs_check.sh" "$BUILD"
 
@@ -78,12 +127,12 @@ echo "== ThreadSanitizer build ($TSAN_BUILD) =="
 cmake -B "$TSAN_BUILD" -S "$REPO" -DSNS_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD" -j --target test_par test_perf test_tensor \
-    test_core test_obs test_serve test_session
+    test_core test_obs test_serve test_session test_plan
 
 echo "== sns::par + serve suites under TSan (SNS_THREADS=4) =="
 # Multi-threaded pool width so TSan actually sees concurrent regions.
 for t in test_par test_perf test_tensor test_core test_obs test_serve \
-         test_session; do
+         test_session test_plan; do
     SNS_THREADS=4 "$TSAN_BUILD/tests/$t"
 done
 

@@ -6,8 +6,9 @@
  *                   [--checkpoint-dir=DIR] [--checkpoint-every=N]
  *                   [--checkpoint-keep=N] [--resume[=SRC]]
  *                   [--log-jsonl=FILE] [--promote-socket=PATH]
- *   sns-cli predict --model=DIR DESIGN.{snl,v} [...]
+ *   sns-cli predict --model=DIR [--precision=fp64|int8] DESIGN.{snl,v} [...]
  *   sns-cli remote-predict (--socket=PATH | --host=H --port=N) DESIGN [...]
+ *   sns-cli quantize --model=DIR DESIGN.{snl,v} [...]
  *   sns-cli synth   DESIGN.snl [...]
  *   sns-cli paths   DESIGN.snl [--k=5] [--limit=N]
  *   sns-cli dot     DESIGN.snl
@@ -103,6 +104,27 @@ loadDesign(const std::string &path)
     return netlist::loadSnlFile(path);
 }
 
+/**
+ * Parse a --precision flag value; exits with a usage-style message on
+ * anything other than the two spellings validatePredictOptions accepts
+ * (V-OPT-PRECISION is the API-level twin of this check).
+ */
+bool
+parsePrecision(const std::string &text, core::Precision &out)
+{
+    if (text == "fp64") {
+        out = core::Precision::Fp64;
+        return true;
+    }
+    if (text == "int8") {
+        out = core::Precision::Int8;
+        return true;
+    }
+    std::cerr << "--precision must be fp64 or int8 (got \"" << text
+              << "\")\n";
+    return false;
+}
+
 /** Wire format for a design file, mirroring loadDesign's dispatch. */
 serve::DesignFormat
 designFormat(const std::string &path)
@@ -161,10 +183,12 @@ usage()
         << "                  [--promote-socket=PATH | "
            "--promote-host=H --promote-port=N]\n"
         << "  sns-cli predict --model=DIR [--threads=N] [--json] "
-           "[--cache[=CAP]] [--cache-stats] DESIGN.{snl,v} [...]\n"
-        << "  sns-cli remote-predict (--socket=PATH | --host=H "
-           "--port=N) [--deadline-ms=N] [--stats] [--session] "
+           "[--precision=fp64|int8] [--cache[=CAP]] [--cache-stats] "
            "DESIGN.{snl,v} [...]\n"
+        << "  sns-cli remote-predict (--socket=PATH | --host=H "
+           "--port=N) [--deadline-ms=N] [--precision=fp64|int8] "
+           "[--stats] [--session] DESIGN.{snl,v} [...]\n"
+        << "  sns-cli quantize --model=DIR DESIGN.{snl,v} [...]\n"
         << "  sns-cli synth   DESIGN.snl [...]\n"
         << "  sns-cli plan    --model=DIR [--out=FILE.snsp] [--dump]\n"
         << "  sns-cli paths   DESIGN.snl [--k=5] [--limit=20]\n"
@@ -176,6 +200,16 @@ usage()
            "of one predict call (CAP entries, default 1M, 0 = "
            "unbounded); predictions are bitwise identical either way. "
            "--cache-stats prints hit/miss counters to stderr.\n"
+        << "--precision=int8 runs the quantized inference tier "
+           "(docs/quantization.md): the model directory must carry "
+           "plan_int8.snsp (write it with `sns-cli quantize`), and "
+           "remote-predict needs a server speaking protocol version 3 "
+           "— the request fails cleanly rather than silently "
+           "degrading to fp64.\n"
+        << "quantize calibrates the saved model's execution plan on "
+           "the given designs' activations and re-saves the directory "
+           "with the int8 plan alongside the fp64 one (the fp64 path "
+           "stays bitwise identical).\n"
         << "--session drives remote-predict through one server-side "
            "edit-loop session (docs/editloop.md): the first design "
            "OPENs it, each later design is an incremental UPDATE "
@@ -366,6 +400,9 @@ cmdPredict(const CliArgs &args)
     core::PredictOptions options;
     if (args.has("threads"))
         options.threads = std::stoi(args.get("threads", "0"));
+    if (!parsePrecision(args.get("precision", "fp64"),
+                        options.precision))
+        return 1;
     std::unique_ptr<perf::PathPredictionCache> cache;
     if (args.has("cache") || args.has("cache-stats")) {
         perf::PathCacheOptions copts;
@@ -443,6 +480,22 @@ cmdRemotePredict(const CliArgs &args)
 
     const uint32_t deadline_ms =
         static_cast<uint32_t>(std::stoul(args.get("deadline-ms", "0")));
+    core::Precision precision = core::Precision::Fp64;
+    if (!parsePrecision(args.get("precision", "fp64"), precision))
+        return 1;
+    if (precision != core::Precision::Fp64) {
+        // The precision byte exists only in protocol v3; negotiate
+        // before the first request so the client library never has to
+        // silently degrade an int8 ask to fp64 numbers.
+        const uint32_t version = client.hello();
+        if (version < 3) {
+            std::cerr << "remote-predict --precision=int8: server "
+                         "speaks protocol version " << version
+                      << " (no precision byte); upgrade the server or "
+                         "drop --precision\n";
+            return 2;
+        }
+    }
     WallTimer timer;
     size_t predicted = 0;
 
@@ -460,10 +513,11 @@ cmdRemotePredict(const CliArgs &args)
             const auto reply =
                 session_id == 0
                     ? client.openSession(readWholeFile(path),
-                                         designFormat(path))
+                                         designFormat(path), precision)
                     : client.updateSession(session_id,
                                            readWholeFile(path),
-                                           designFormat(path));
+                                           designFormat(path),
+                                           precision);
             if (reply.status != serve::Status::Ok) {
                 std::cerr << path << ": "
                           << serve::statusName(reply.status)
@@ -491,7 +545,7 @@ cmdRemotePredict(const CliArgs &args)
         for (const auto &path : args.positional) {
             const auto reply =
                 client.predict(readWholeFile(path), designFormat(path),
-                               deadline_ms);
+                               deadline_ms, precision);
             if (reply.status != serve::Status::Ok) {
                 std::cerr << path << ": "
                           << serve::statusName(reply.status)
@@ -512,6 +566,41 @@ cmdRemotePredict(const CliArgs &args)
         std::cout << predicted << " designs predicted in "
                   << formatDouble(timer.seconds(), 3)
                   << " s by the remote server\n";
+    return 0;
+}
+
+/**
+ * Calibrate the saved model on the given designs and re-save the
+ * directory with plan_int8.snsp alongside the fp64 artifacts
+ * (docs/quantization.md). The fp64 model files are rewritten
+ * bitwise-identically; only the quantized plan is new.
+ */
+int
+cmdQuantize(const CliArgs &args)
+{
+    if (!args.has("model") || args.positional.empty()) {
+        std::cerr << "quantize requires --model=DIR and at least one "
+                     "calibration design\n";
+        return 1;
+    }
+    auto predictor = core::SnsPredictor::load(args.get("model", ""));
+
+    std::vector<graphir::Graph> designs;
+    designs.reserve(args.positional.size());
+    for (const auto &path : args.positional)
+        designs.push_back(loadDesign(path));
+    std::vector<const graphir::Graph *> graphs;
+    graphs.reserve(designs.size());
+    for (const auto &design : designs)
+        graphs.push_back(&design);
+
+    WallTimer timer;
+    predictor.quantize(graphs);
+    predictor.save(args.get("model", ""));
+    std::cout << "calibrated on " << designs.size() << " design(s) in "
+              << formatDouble(timer.seconds(), 3)
+              << " s; quantized plan saved to " << args.get("model", "")
+              << "/plan_int8.snsp\n";
     return 0;
 }
 
@@ -640,6 +729,8 @@ main(int argc, char **argv)
             return cmdPredict(args);
         if (args.command == "remote-predict")
             return cmdRemotePredict(args);
+        if (args.command == "quantize")
+            return cmdQuantize(args);
         if (args.command == "synth")
             return cmdSynth(args);
         if (args.command == "plan")
