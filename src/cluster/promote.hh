@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Rolling, canary-verified model promotion (docs/cluster.md).
+ *
+ * `sns-cli promote` walks the cluster's workers one at a time:
+ *
+ *   1. The candidate checkpoint is loaded *locally* first and a
+ *      canary design is predicted through it — that local prediction
+ *      is the pre-promote reference. A candidate that fails to load
+ *      (corrupt container, failed plan verification) aborts here,
+ *      before any worker is touched.
+ *   2. Per worker: RELOAD stages the candidate (a failure aborts the
+ *      rollout; the worker keeps serving its old model because the
+ *      stage never went live), then the canary PREDICT is replayed —
+ *      by design the first post-RELOAD batch is the atomic cutover,
+ *      so the canary reply *is* the first answer off the new model.
+ *   3. The canary reply is compared bitwise against the reference
+ *      (the serving contract: server replies are bit-for-bit what a
+ *      local predictBatch returns). Any byte of difference means the
+ *      worker is not serving the candidate we verified — a corrupt
+ *      copy, a wrong directory, lost determinism — and the rollout
+ *      aborts: remaining workers never see a RELOAD and stay on the
+ *      old model.
+ *
+ * The walk is sequential on purpose: at most one worker is ever in
+ * the stage-but-unverified window, so an abort bounds the blast
+ * radius to that worker.
+ */
+
+#ifndef SNS_CLUSTER_PROMOTE_HH
+#define SNS_CLUSTER_PROMOTE_HH
+
+#include <string>
+#include <vector>
+
+#include "cluster/membership.hh"
+#include "core/predictor.hh"
+#include "serve/client.hh"
+
+namespace sns::cluster {
+
+/** One rollout's configuration. */
+struct PromoteOptions
+{
+    /** Candidate checkpoint directory — readable by this process
+     * (for the reference pass) *and* by every worker (RELOAD passes
+     * the path through). */
+    std::string checkpoint_dir;
+
+    /** Workers to walk, in order. */
+    std::vector<WorkerAddress> workers;
+
+    /** Canary design source and format. */
+    std::string canary_source;
+    serve::DesignFormat canary_format = serve::DesignFormat::Snl;
+
+    /** Worker connect policy. */
+    serve::ConnectRetryOptions connect_retry{
+        /*max_attempts=*/5, /*initial_backoff_us=*/10'000,
+        /*multiplier=*/2, /*max_backoff_us=*/500'000};
+};
+
+/** What happened, for operators and tests. */
+struct PromoteReport
+{
+    bool ok = false;
+    /** Workers verified on the candidate when the rollout ended. On
+     * abort, every worker beyond this count still serves the old
+     * model (the failing worker never had its stage verified). */
+    size_t workers_promoted = 0;
+    /** Empty on success. */
+    std::string error;
+    /** One line per step, for the CLI. */
+    std::vector<std::string> log;
+};
+
+/** Bitwise prediction equality (every f64 compared by bits). */
+bool samePredictionBits(const core::SnsPrediction &a,
+                        const core::SnsPrediction &b);
+
+/** Run the rollout described above. Never throws; failures land in
+ * the report. */
+PromoteReport rollingPromote(const PromoteOptions &options);
+
+} // namespace sns::cluster
+
+#endif // SNS_CLUSTER_PROMOTE_HH

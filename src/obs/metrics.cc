@@ -189,6 +189,77 @@ formatValue(double value)
     return out.str();
 }
 
+std::vector<StatsSample>
+parseStats(const std::string &text)
+{
+    std::vector<StatsSample> samples;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t space = line.find(' ');
+        if (space == std::string::npos || space == 0)
+            continue;
+        StatsSample sample;
+        sample.name = line.substr(0, space);
+        try {
+            sample.value = std::stod(line.substr(space + 1));
+        } catch (const std::exception &) {
+            continue;
+        }
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+bool
+nonSummableStat(const std::string &name)
+{
+    for (const char *suffix : {".p50", ".p90", ".p99", ".mean",
+                               ".hit_rate"}) {
+        const size_t len = std::char_traits<char>::length(suffix);
+        if (name.size() >= len &&
+            name.compare(name.size() - len, len, suffix) == 0)
+            return true;
+    }
+    return false;
+}
+
+std::vector<StatsSample>
+mergeStats(const std::vector<std::vector<StatsSample>> &snapshots)
+{
+    std::map<std::string, double> merged;
+    for (const auto &snapshot : snapshots) {
+        for (const auto &sample : snapshot) {
+            if (nonSummableStat(sample.name))
+                continue;
+            merged[sample.name] += sample.value;
+        }
+    }
+    std::vector<StatsSample> out;
+    out.reserve(merged.size());
+    for (const auto &[name, value] : merged)
+        out.push_back({name, value});
+    return out;
+}
+
+std::string
+statsJson(const std::string &text)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &sample : parseStats(text)) {
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        out += sample.name;
+        out += "\": ";
+        out += formatValue(sample.value);
+    }
+    out += "}";
+    return out;
+}
+
 std::string
 formatCacheStats(const perf::CacheStats &stats)
 {

@@ -187,6 +187,42 @@ std::string formatCacheStats(const perf::CacheStats &stats);
  * digits ("12", "0.9375", "1.5e+06"). */
 std::string formatValue(double value);
 
+/** One parsed `name value` line of a STATS rendering. */
+struct StatsSample
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/**
+ * Parse the canonical STATS text (render() / statsText() output) back
+ * into samples. Blank and malformed lines are skipped — the format is
+ * ours end to end, so anything unparseable is noise, not data.
+ */
+std::vector<StatsSample> parseStats(const std::string &text);
+
+/**
+ * Merge N workers' STATS snapshots into one cluster-wide view
+ * (docs/cluster.md): same-named samples are summed across workers —
+ * except distribution lines (`.p50`/`.p90`/`.p99`/`.mean` suffixes and
+ * `.hit_rate`), where a sum is meaningless; those are dropped from the
+ * merged view and survive only in the per-worker breakdown the router
+ * appends. The result is sorted by name.
+ */
+std::vector<StatsSample>
+mergeStats(const std::vector<std::vector<StatsSample>> &snapshots);
+
+/** True for sample names a cross-worker sum would corrupt
+ * (quantiles, means, rates). */
+bool nonSummableStat(const std::string &name);
+
+/**
+ * The STATS text as one flat JSON object, `{"name": value, ...}` in
+ * line order — `sns-cli remote-predict --stats-json` and the cluster
+ * bench harness parse this instead of the text form.
+ */
+std::string statsJson(const std::string &text);
+
 } // namespace sns::obs
 
 #endif // SNS_OBS_METRICS_HH

@@ -13,6 +13,67 @@
 
 namespace sns::serve {
 
+std::vector<int>
+backoffScheduleUs(const ConnectRetryOptions &options)
+{
+    std::vector<int> sleeps;
+    long delay = std::max(options.initial_backoff_us, 0);
+    for (int i = 1; i < options.max_attempts; ++i) {
+        sleeps.push_back(static_cast<int>(
+            std::min<long>(delay, options.max_backoff_us)));
+        delay *= std::max(options.multiplier, 1);
+    }
+    return sleeps;
+}
+
+namespace {
+
+/** Transient connect failure worth retrying? ECONNREFUSED: the peer
+ * is (re)starting and has not listened yet; ENOENT: its unix socket
+ * is not bound yet; EINTR: a signal cut the connect short. */
+bool
+transientConnectErrno(int err)
+{
+    return err == ECONNREFUSED || err == ENOENT || err == EINTR;
+}
+
+/** Run one-shot `attempt` under the retry schedule. */
+template <typename Attempt>
+auto
+withConnectRetry(const ConnectRetryOptions &retry, Attempt attempt)
+    -> decltype(attempt())
+{
+    const std::vector<int> sleeps = backoffScheduleUs(retry);
+    for (size_t i = 0;; ++i) {
+        errno = 0;
+        try {
+            return attempt();
+        } catch (const ProtocolError &) {
+            if (i >= sleeps.size() || !transientConnectErrno(errno))
+                throw;
+        }
+        ::usleep(static_cast<useconds_t>(sleeps[i]));
+    }
+}
+
+} // namespace
+
+Client
+Client::connectUnix(const std::string &path,
+                    const ConnectRetryOptions &retry)
+{
+    return withConnectRetry(retry,
+                            [&path] { return connectUnix(path); });
+}
+
+Client
+Client::connectTcp(const std::string &host, int port,
+                   const ConnectRetryOptions &retry)
+{
+    return withConnectRetry(
+        retry, [&host, port] { return connectTcp(host, port); });
+}
+
 Client
 Client::connectUnix(const std::string &path)
 {
@@ -28,9 +89,14 @@ Client::connectUnix(const std::string &path)
                             std::strerror(errno));
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        const std::string err = std::strerror(errno);
+        // Preserve the connect errno across cleanup so the retry
+        // wrapper can classify the failure as transient.
+        const int saved = errno;
+        const std::string message =
+            "connect(" + path + "): " + std::strerror(saved);
         ::close(fd);
-        throw ProtocolError("connect(" + path + "): " + err);
+        errno = saved;
+        throw ProtocolError(message);
     }
     return Client(fd);
 }
@@ -49,10 +115,13 @@ Client::connectTcp(const std::string &host, int port)
                             std::strerror(errno));
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        const std::string err = std::strerror(errno);
+        const int saved = errno;
+        const std::string message = "connect(" + host + ":" +
+                                    std::to_string(port) +
+                                    "): " + std::strerror(saved);
         ::close(fd);
-        throw ProtocolError("connect(" + host + ":" +
-                            std::to_string(port) + "): " + err);
+        errno = saved;
+        throw ProtocolError(message);
     }
     return Client(fd);
 }
@@ -180,9 +249,15 @@ Client::ping()
 uint32_t
 Client::hello()
 {
+    return hello(kProtocolVersion);
+}
+
+uint32_t
+Client::hello(uint32_t max_version)
+{
     WireWriter writer;
     writer.u8(static_cast<uint8_t>(Verb::Hello));
-    writer.u32(kProtocolVersion);
+    writer.u32(max_version);
     const auto payload = roundTrip(writer.bytes());
     WireReader reader(payload);
     const auto status = static_cast<Status>(reader.u8());
@@ -196,8 +271,95 @@ Client::hello()
     }
     const uint32_t server_version = reader.u32();
     reader.expectEnd();
-    version_ = std::min(kProtocolVersion, server_version);
+    version_ = std::min(max_version, server_version);
     return version_;
+}
+
+namespace {
+
+std::string
+clusterVerbUnsupportedLocally(uint32_t version)
+{
+    return "peer speaks protocol version " + std::to_string(version) +
+           " (no cluster verbs); negotiate version >= 4 with hello()";
+}
+
+} // namespace
+
+std::string
+Client::drain()
+{
+    if (version_ < 4)
+        return clusterVerbUnsupportedLocally(version_);
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Drain));
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    const auto status = static_cast<Status>(reader.u8());
+    const std::string message = reader.str();
+    reader.expectEnd();
+    return status == Status::Ok ? "" : message;
+}
+
+std::string
+Client::resume()
+{
+    if (version_ < 4)
+        return clusterVerbUnsupportedLocally(version_);
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Resume));
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    const auto status = static_cast<Status>(reader.u8());
+    const std::string message = reader.str();
+    reader.expectEnd();
+    return status == Status::Ok ? "" : message;
+}
+
+bool
+Client::health()
+{
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Ping));
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    if (static_cast<Status>(reader.u8()) != Status::Ok)
+        throw ProtocolError("PING failed");
+    reader.str(); // (empty) message
+    if (version_ >= 4 && reader.remaining() > 0)
+        return reader.u8() != 0;
+    return false;
+}
+
+WorkersReply
+Client::workers()
+{
+    WorkersReply reply;
+    if (version_ < 4) {
+        reply.status = Status::Unsupported;
+        reply.message = clusterVerbUnsupportedLocally(version_);
+        return reply;
+    }
+    WireWriter writer;
+    writer.u8(static_cast<uint8_t>(Verb::Workers));
+    const auto payload = roundTrip(writer.bytes());
+    WireReader reader(payload);
+    reply.status = static_cast<Status>(reader.u8());
+    if (reply.status != Status::Ok) {
+        reply.message = reader.str();
+        reader.expectEnd();
+        return reply;
+    }
+    const uint32_t count = reader.u32();
+    reply.workers.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        WorkerEndpoint endpoint;
+        endpoint.address = reader.str();
+        endpoint.state = reader.u8();
+        reply.workers.push_back(std::move(endpoint));
+    }
+    reader.expectEnd();
+    return reply;
 }
 
 SessionReply

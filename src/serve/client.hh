@@ -53,6 +53,46 @@ struct SessionReply
     std::string message;
 };
 
+/**
+ * Bounded connect retry with a deterministic (jitterless) exponential
+ * backoff. Transient connect failures — ECONNREFUSED (peer restarting),
+ * ENOENT (unix socket not bound yet), EINTR — are retried up to
+ * max_attempts with backoffScheduleUs() sleeps between attempts; every
+ * other errno, and exhaustion, throws ProtocolError as before. The
+ * schedule carries no jitter on purpose: reconnect timing stays
+ * reproducible, matching the repo-wide determinism discipline.
+ */
+struct ConnectRetryOptions
+{
+    int max_attempts = 1; ///< 1 = single try, no retry
+    int initial_backoff_us = 10'000;
+    int multiplier = 2;
+    int max_backoff_us = 1'000'000; ///< per-sleep cap
+};
+
+/**
+ * The sleeps (µs) between connect attempts: max_attempts - 1 entries,
+ * entry i = min(initial_backoff_us · multiplier^i, max_backoff_us).
+ */
+std::vector<int> backoffScheduleUs(const ConnectRetryOptions &options);
+
+/** One v4 WORKERS table row (docs/cluster.md). */
+struct WorkerEndpoint
+{
+    /** "unix:<path>" or "tcp:<host>:<port>". */
+    std::string address;
+    /** 0 up, 1 draining, 2 down. */
+    uint8_t state = 0;
+};
+
+/** A WORKERS exchange's result. */
+struct WorkersReply
+{
+    Status status = Status::Error;
+    std::vector<WorkerEndpoint> workers;
+    std::string message;
+};
+
 /** A synchronous connection to an sns-serve daemon. */
 class Client
 {
@@ -62,6 +102,12 @@ class Client
 
     /** Connect over TCP; throws ProtocolError. */
     static Client connectTcp(const std::string &host, int port);
+
+    /** Connect with bounded retry on transient failures. */
+    static Client connectUnix(const std::string &path,
+                              const ConnectRetryOptions &retry);
+    static Client connectTcp(const std::string &host, int port,
+                             const ConnectRetryOptions &retry);
 
     ~Client();
 
@@ -102,8 +148,37 @@ class Client
      */
     uint32_t hello();
 
+    /**
+     * Negotiate with a version ceiling: the connection speaks
+     * min(max_version, server version). The router proxies client
+     * traffic at the *client's* negotiated version, so its worker
+     * connections must be able to mirror a downlevel client exactly.
+     */
+    uint32_t hello(uint32_t max_version);
+
     /** Negotiated protocol version (1 until hello() succeeds). */
     uint32_t negotiatedVersion() const { return version_; }
+
+    /**
+     * Soft-drain the peer (v4): it answers admitted work but refuses
+     * new PREDICT/OPEN with DRAINING until resume(). Returns "" on
+     * success, else the error; needs a hello() that negotiated
+     * version >= 4 (refused locally otherwise).
+     */
+    std::string drain();
+
+    /** Clear a previous drain(). Same contract as drain(). */
+    std::string resume();
+
+    /** v4 liveness probe: PING plus the reply's drain-state byte.
+     * Returns true when the peer is draining; throws ProtocolError
+     * when it is unreachable. On connections below version 4 this is
+     * a plain ping and returns false. */
+    bool health();
+
+    /** The peer's membership table (v4 WORKERS; routers only — a
+     * worker answers Unsupported). */
+    WorkersReply workers();
 
     /**
      * Open an edit-loop session on the server (docs/editloop.md):

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace sns::serve {
@@ -124,7 +125,12 @@ writeAll(int fd, const uint8_t *data, size_t size)
 {
     size_t done = 0;
     while (done < size) {
-        const ssize_t n = ::write(fd, data + done, size - done);
+        // MSG_NOSIGNAL: a peer that vanished mid-frame must surface
+        // as EPIPE -> ProtocolError, not SIGPIPE — the router's
+        // health loop and in-process embedders (tests) have no
+        // signal handler to hide behind.
+        const ssize_t n = ::send(fd, data + done, size - done,
+                                 MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

@@ -55,6 +55,23 @@
  * byte-for-byte unchanged. A v3 client asked for int8 against a v2 or
  * v1 server reports Unsupported locally instead of silently degrading
  * to fp64 numbers.
+ *
+ * Version 4 adds the cluster-control verbs (docs/cluster.md), all
+ * gated behind a negotiated version >= 4:
+ *
+ *   DRAIN    (empty) -> OK: (empty). Soft drain: the worker keeps
+ *            answering admitted and session traffic but refuses new
+ *            PREDICT/OPEN with DRAINING until RESUME.
+ *   RESUME   (empty) -> OK: (empty). Clears a previous DRAIN.
+ *   WORKERS  (empty) -> OK: u32 n, n×(str address, u8 state) — the
+ *            router's membership table; addresses are "unix:<path>"
+ *            or "tcp:<host>:<port>", state is 0 up, 1 draining,
+ *            2 down. Workers themselves answer UNSUPPORTED.
+ *
+ * On a version >= 4 connection the PING reply also carries one u8
+ * drain-state byte (1 when admission is paused) after the status, so
+ * a router's health loop observes drains without extra round trips;
+ * older clients only read the status byte and are unaffected.
  */
 
 #ifndef SNS_SERVE_PROTOCOL_HH
@@ -72,9 +89,10 @@ namespace sns::serve {
  * The highest protocol version this build speaks. Version 1 is the
  * stateless verbs (PREDICT/STATS/RELOAD/PING); version 2 adds HELLO
  * negotiation and the edit-loop session verbs; version 3 adds the
- * precision byte to PREDICT/OPEN/UPDATE.
+ * precision byte to PREDICT/OPEN/UPDATE; version 4 adds the cluster
+ * verbs (DRAIN/RESUME/WORKERS) and the PING drain-state byte.
  */
-inline constexpr uint32_t kProtocolVersion = 3;
+inline constexpr uint32_t kProtocolVersion = 4;
 
 /** Request kinds. */
 enum class Verb : uint8_t {
@@ -86,6 +104,9 @@ enum class Verb : uint8_t {
     Open = 6,
     Update = 7,
     Close = 8,
+    Drain = 9,
+    Resume = 10,
+    Workers = 11,
 };
 
 /** Response status; every non-Ok reply carries a message string. */

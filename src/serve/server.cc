@@ -333,9 +333,18 @@ Server::handleRequest(const std::vector<uint8_t> &request,
                 return statusReply(Status::Error, error);
             return statusReply(Status::Ok, "");
         }
-        case Verb::Ping:
+        case Verb::Ping: {
             reader.expectEnd();
-            return statusReply(Status::Ok, "");
+            WireWriter writer;
+            writer.u8(static_cast<uint8_t>(Status::Ok));
+            writer.str("");
+            // v4 PING carries the drain state, so a router's health
+            // loop sees DRAIN without an extra round trip. Older
+            // clients only read the status byte and ignore the rest.
+            if (conn.version >= 4)
+                writer.u8(admission_paused_.load() ? 1 : 0);
+            return writer.bytes();
+        }
         case Verb::Hello: {
             const uint32_t client_version = reader.u32();
             reader.expectEnd();
@@ -364,6 +373,28 @@ Server::handleRequest(const std::vector<uint8_t> &request,
                 return handleUpdate(reader, conn);
             return handleClose(reader);
         }
+        case Verb::Drain:
+        case Verb::Resume: {
+            // Cluster-control verbs exist from version 4 on; the same
+            // negotiate-first discipline as the session verbs.
+            reader.expectEnd();
+            if (conn.version < 4) {
+                return statusReply(
+                    Status::Unsupported,
+                    "cluster verbs need protocol version >= 4 "
+                    "(negotiate with HELLO first)");
+            }
+            pauseAdmission(verb == Verb::Drain);
+            return statusReply(Status::Ok, "");
+        }
+        case Verb::Workers:
+            // Only the router holds a membership table; a worker
+            // answers UNSUPPORTED so a mis-pointed CLI degrades
+            // cleanly instead of hanging.
+            reader.expectEnd();
+            return statusReply(Status::Unsupported,
+                               "WORKERS is a router verb; this is a "
+                               "single sns-serve worker");
         }
         return statusReply(Status::Error, "unknown verb");
     } catch (const ProtocolError &e) {
@@ -394,6 +425,10 @@ Server::handlePredict(WireReader &reader, const ConnectionState &conn)
                                std::to_string(precision_byte) +
                                " (0 fp64, 1 int8)");
     }
+    // Soft drain (v4 DRAIN): refuse new work before it is admitted —
+    // everything already in the queue still gets its real answer.
+    if (admission_paused_.load())
+        return statusReply(Status::Draining, "worker is draining");
 
     auto ticket = std::make_unique<Ticket>();
     ticket->precision = static_cast<core::Precision>(precision_byte);
@@ -540,6 +575,10 @@ Server::handleOpen(WireReader &reader, const ConnectionState &conn)
                                std::to_string(precision_byte) +
                                " (0 fp64, 1 int8)");
     }
+    // Soft drain: no new sessions; open sessions keep updating so
+    // admitted edit loops finish wherever they started.
+    if (admission_paused_.load())
+        return statusReply(Status::Draining, "worker is draining");
 
     auto entry = std::make_shared<SessionEntry>();
     entry->last_used_ns.store(std::chrono::steady_clock::now()

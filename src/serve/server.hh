@@ -146,6 +146,16 @@ class Server
     /** Live edit-loop sessions (the serve.sessions_open gauge). */
     size_t sessionsOpen() const;
 
+    /**
+     * Soft drain (the v4 DRAIN/RESUME verbs, docs/cluster.md): while
+     * paused, new PREDICT/OPEN requests are refused with DRAINING but
+     * everything already admitted — queued tickets, open sessions,
+     * STATS/PING/RELOAD — keeps being answered. Unlike stop(), this is
+     * reversible; a router re-hashes the worker's slice meanwhile.
+     */
+    void pauseAdmission(bool paused) { admission_paused_.store(paused); }
+    bool admissionPaused() const { return admission_paused_.load(); }
+
   private:
     /** One edit-loop session and its bookkeeping. Handlers hold the
      * entry's shared_ptr while operating, so TTL eviction (which only
@@ -215,6 +225,7 @@ class Server
     int port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> admission_paused_{false};
     std::thread listener_;
     std::thread logger_;
     std::mutex log_mutex_;

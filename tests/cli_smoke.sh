@@ -6,16 +6,24 @@
 # daemon on a temp socket and check remote-predict matches the local
 # report, STATS counts the traffic, an OPEN/UPDATE/CLOSE session round
 # trip byte-matches the stateless pass, and SIGTERM drains to exit 0.
+# Then a 2-worker sns-router cluster: routed predictions byte-match
+# the single-process pass, --stats-json renders the merged cluster
+# report, a rolling promote walks both workers canary-verified, and a
+# deliberately corrupted candidate aborts leaving the old model live.
 # Any unexpected exit or missing output fails.
 set -e
 
 CLI="$1"
 LINT="$2"
 SERVE="$3"
+ROUTER="$4"
 FIXTURES="$(dirname "$0")/fixtures"
 WORK="$(mktemp -d)"
 SERVE_PID=""
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+W0_PID=""
+W1_PID=""
+ROUTER_PID=""
+trap 'kill "$SERVE_PID" "$W0_PID" "$W1_PID" "$ROUTER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 cat > "$WORK/fir.snl" <<'EOF'
 design fir2
@@ -220,5 +228,100 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID" || { echo "sns-serve did not drain cleanly" >&2; \
     cat "$WORK/serve.log" >&2; exit 1; }
 grep -q "drained" "$WORK/serve.log"
+SERVE_PID=""
+
+# ---------------------------------------------------------------------
+# sns-router cluster: 2 workers behind one router (docs/cluster.md).
+W0="$WORK/w0.sock"
+W1="$WORK/w1.sock"
+RSOCK="$WORK/router.sock"
+"$SERVE" --model="$WORK/model" --socket="$W0" --log-period=0 \
+    2> "$WORK/w0.log" &
+W0_PID=$!
+"$SERVE" --model="$WORK/model" --socket="$W1" --log-period=0 \
+    2> "$WORK/w1.log" &
+W1_PID=$!
+for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    [ -S "$W0" ] && [ -S "$W1" ] && break
+    sleep 0.5
+done
+[ -S "$W0" ] || { cat "$WORK/w0.log" >&2; exit 1; }
+[ -S "$W1" ] || { cat "$WORK/w1.log" >&2; exit 1; }
+"$ROUTER" --socket="$RSOCK" --worker="unix:$W0" --worker="unix:$W1" \
+    --health-period-ms=200 2> "$WORK/router.log" &
+ROUTER_PID=$!
+for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    [ -S "$RSOCK" ] && break
+    sleep 0.5
+done
+[ -S "$RSOCK" ] || { cat "$WORK/router.log" >&2; exit 1; }
+
+# Routed predictions byte-match the local single-process report — the
+# cluster is invisible to clients.
+"$CLI" remote-predict --socket="$RSOCK" "$WORK/fir.snl" "$WORK/mac.v" \
+    > "$WORK/pred_routed.out"
+grep -v "predicted in" "$WORK/pred_routed.out" > "$WORK/pred_routed.body"
+diff "$WORK/pred_1t.body" "$WORK/pred_routed.body"
+
+# Sessions flow through the router too, still byte-identical.
+"$CLI" remote-predict --socket="$RSOCK" --session \
+    "$WORK/fir.snl" "$WORK/fir_edit.snl" > "$WORK/pred_rsession.out"
+grep -v "predicted in" "$WORK/pred_rsession.out" \
+    > "$WORK/pred_rsession.body"
+diff "$WORK/pred_stateless.body" "$WORK/pred_rsession.body"
+
+# --stats-json: the merged cluster report as one flat JSON object.
+"$CLI" remote-predict --socket="$RSOCK" --stats-json "$WORK/fir.snl" \
+    > "$WORK/cluster_stats.out"
+grep -q '"cluster.workers": 2' "$WORK/cluster_stats.out"
+grep -q '"cluster.workers_up": 2' "$WORK/cluster_stats.out"
+grep -q '"router.requests_total"' "$WORK/cluster_stats.out"
+grep -q '"worker0.serve.requests_total"' "$WORK/cluster_stats.out"
+
+# Rolling promote: a second model walks both workers, canary-verified
+# bitwise at each step; routed traffic then answers from the new model.
+"$CLI" train --out="$WORK/model2" --dataset=smoke --fast --seed=4
+"$CLI" promote --model="$WORK/model2" --canary="$WORK/fir.snl" \
+    --workers="unix:$W0,unix:$W1" > "$WORK/promote.out"
+grep -q "promoted 2/2 workers" "$WORK/promote.out"
+"$CLI" predict --model="$WORK/model2" "$WORK/fir.snl" "$WORK/mac.v" \
+    | grep -v "predicted in" > "$WORK/pred2_local.body"
+"$CLI" remote-predict --socket="$RSOCK" "$WORK/fir.snl" "$WORK/mac.v" \
+    | grep -v "predicted in" > "$WORK/pred2_routed.body"
+diff "$WORK/pred2_local.body" "$WORK/pred2_routed.body"
+
+# Worker discovery through the router's WORKERS verb instead of an
+# explicit --workers list.
+"$CLI" promote --model="$WORK/model2" --canary="$WORK/fir.snl" \
+    --cluster-socket="$RSOCK" | grep -q "promoted 2/2 workers"
+
+# A corrupted candidate must abort the rollout with exit 2, before
+# any worker reloads — the old model keeps serving.
+cp -r "$WORK/model2" "$WORK/model_bad"
+SIZE=$(wc -c < "$WORK/model_bad/circuitformer.bin")
+head -c $((SIZE / 2)) "$WORK/model_bad/circuitformer.bin" \
+    > "$WORK/model_bad/circuitformer.bin.tmp"
+mv "$WORK/model_bad/circuitformer.bin.tmp" \
+    "$WORK/model_bad/circuitformer.bin"
+STATUS=0
+"$CLI" promote --model="$WORK/model_bad" --canary="$WORK/fir.snl" \
+    --workers="unix:$W0,unix:$W1" > "$WORK/promote_bad.out" \
+    2> "$WORK/promote_bad.err" || STATUS=$?
+[ "$STATUS" -eq 2 ] || { echo "corrupt promote must exit 2, got $STATUS" >&2; exit 1; }
+grep -q "before rollout" "$WORK/promote_bad.out"
+"$CLI" remote-predict --socket="$RSOCK" "$WORK/fir.snl" "$WORK/mac.v" \
+    | grep -v "predicted in" > "$WORK/pred3_routed.body"
+diff "$WORK/pred2_local.body" "$WORK/pred3_routed.body"
+
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" || { echo "sns-router did not stop cleanly" >&2; \
+    cat "$WORK/router.log" >&2; exit 1; }
+grep -q "stopped, bye" "$WORK/router.log"
+ROUTER_PID=""
+kill -TERM "$W0_PID" "$W1_PID"
+wait "$W0_PID" || { cat "$WORK/w0.log" >&2; exit 1; }
+wait "$W1_PID" || { cat "$WORK/w1.log" >&2; exit 1; }
+W0_PID=""
+W1_PID=""
 
 echo "cli smoke test passed"

@@ -23,13 +23,19 @@
 #      shape, int8 MAEP within 2.0 percentage points of fp64 on every
 #      target, the fp64 tier bitwise unchanged by quantize(), and
 #      int8 bitwise identical across runs, threads, and SNS_SIMD
-#      levels (docs/quantization.md).
+#      levels (docs/quantization.md);
+#   8. run the sns-router cluster scaling harness (1/2/4 workers
+#      behind a router, aggregate-cache sizing, every routed reply
+#      bitwise-checked against local predictBatch) and assemble
+#      BENCH_pr9.json, gating on routed QPS with 2 workers >= 1.7x
+#      routed QPS with 1 worker (docs/cluster.md).
 #
 # Usage: tools/run_bench.sh [BUILD_DIR] [OUT_JSON]
 #        (defaults: build-bench, BENCH_pr3.json at the repo root;
 #         the serve summary lands next to it as BENCH_pr4.json, the
-#         edit-loop summary as BENCH_pr7.json, and the quantized-tier
-#         summary as BENCH_pr8.json)
+#         edit-loop summary as BENCH_pr7.json, the quantized-tier
+#         summary as BENCH_pr8.json, and the cluster summary as
+#         BENCH_pr9.json)
 set -e
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -38,12 +44,13 @@ OUT="${2:-$REPO/BENCH_pr3.json}"
 OUT_SERVE="$(dirname "$OUT")/BENCH_pr4.json"
 OUT_EDIT="$(dirname "$OUT")/BENCH_pr7.json"
 OUT_QUANT="$(dirname "$OUT")/BENCH_pr8.json"
+OUT_CLUSTER="$(dirname "$OUT")/BENCH_pr9.json"
 
 echo "== release build ($BUILD) =="
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release \
     -DSNS_NATIVE_ARCH=ON
 cmake --build "$BUILD" -j --target microbench_kernels fig07_runtime \
-    serve_throughput edit_loop quantized_inference
+    serve_throughput edit_loop quantized_inference cluster_throughput
 
 echo "== GEMM microkernels: scalar vs SIMD dispatch =="
 GEMM_CSV="$BUILD/gemm_dispatch.csv"
@@ -422,3 +429,70 @@ awk -v quant="$QUANT_OUT" -v json="$OUT_QUANT" '
     }
 ' /dev/null
 echo "wrote $OUT_QUANT"
+
+echo "== sns-router cluster: 1/2/4-worker scaling =="
+CLUSTER_OUT="$BUILD/cluster_throughput.out"
+# shellcheck disable=SC2086
+"$BUILD/bench/cluster_throughput" ${SNS_BENCH_FLAGS:-} | tee "$CLUSTER_OUT"
+
+awk -v cluster="$CLUSTER_OUT" '
+    BEGIN {
+        while ((getline line <cluster) > 0) {
+            if (split(line, f, " ") == 3 && f[1] == "BENCH")
+                bench[f[2]] = f[3]
+        }
+        close(cluster)
+        printf "{\n"
+        printf "  \"cluster\": {\n"
+        printf "    \"corpus_designs\": %s,\n", \
+               bench["cluster_corpus_designs"]
+        printf "    \"corpus_cache_entries\": %s,\n", \
+               bench["cluster_corpus_cache_entries"]
+        printf "    \"worker_cache_capacity\": %s,\n", \
+               bench["cluster_worker_cache_capacity"]
+        printf "    \"qps_direct\": %s,\n", bench["cluster_qps_direct"]
+        printf "    \"qps_w1\": %s,\n", bench["cluster_qps_w1"]
+        printf "    \"qps_w2\": %s,\n", bench["cluster_qps_w2"]
+        printf "    \"qps_w4\": %s,\n", bench["cluster_qps_w4"]
+        printf "    \"scaling_w2_x\": %s,\n", \
+               bench["cluster_scaling_w2"]
+        printf "    \"scaling_w4_x\": %s,\n", \
+               bench["cluster_scaling_w4"]
+        printf "    \"router_relative_qps\": %s,\n", \
+               bench["cluster_router_relative_qps"]
+        printf "    \"bitwise_pass\": %s\n", bench["cluster_bitwise"]
+        printf "  }\n"
+        printf "}\n"
+    }
+' /dev/null >"$OUT_CLUSTER"
+
+cat "$OUT_CLUSTER"
+
+# Cluster gates mirrored from ISSUE.md: two routed workers must beat
+# one by >= 1.7x on the sweep corpus, and every reply that reaches a
+# client through the router must be bitwise identical to a local
+# predictBatch (the single-server contract, preserved end to end).
+awk -v cluster="$CLUSTER_OUT" '
+    BEGIN {
+        scaling = 0
+        bitwise = 0
+        while ((getline line <cluster) > 0) {
+            if (split(line, f, " ") != 3 || f[1] != "BENCH")
+                continue
+            if (f[2] == "cluster_scaling_w2") scaling = f[3]
+            if (f[2] == "cluster_bitwise") bitwise = f[3]
+        }
+        if (bitwise != 1) {
+            print "FAIL: routed replies are not bitwise identical"
+            exit 1
+        }
+        if (scaling + 0 < 1.7) {
+            printf "FAIL: cluster scaling %.2fx < 1.7x at 2 workers\n", \
+                   scaling
+            exit 1
+        }
+        printf "PASS: cluster scaling %.2fx at 2 workers, bitwise\n", \
+               scaling
+    }
+' /dev/null
+echo "wrote $OUT_CLUSTER"

@@ -46,6 +46,7 @@ helps="$BUILD/help_texts.$$"
     "$BUILD/tools/sns_lint" 2>&1 || true
     "$BUILD/tools/sns-dataset" 2>&1 || true
     "$BUILD/tools/sns-serve" --help 2>&1 || true
+    "$BUILD/tools/sns-router" --help 2>&1 || true
     "$BUILD/bench/fig05_circuitformer_loss" --help 2>&1 || true
 } >"$helps"
 known="$(grep -o '\-\-[a-z][a-z0-9-]*' "$helps" | sort -u)"

@@ -14,8 +14,11 @@
 #      CLI flags missing from --help);
 #   6. build with ThreadSanitizer and run the parallel-runtime-heavy
 #      suites (test_par, test_perf, test_tensor, test_core, test_obs,
-#      test_serve — the batching queue and the metrics registry are the
-#      most race-prone code in the repo) under TSan.
+#      test_serve, test_cluster — the batching queue, the metrics
+#      registry, and the router's concurrent handler/health threads are
+#      the most race-prone code in the repo) under TSan. The cluster
+#      suite includes concurrent routed sessions with a mid-traffic
+#      DRAIN/RESUME cycle, gating that no admitted request is dropped.
 #
 # Usage: tools/run_lint.sh [BUILD_DIR]   (default: build-lint;
 #        the TSan build lands in BUILD_DIR-tsan)
@@ -127,12 +130,12 @@ echo "== ThreadSanitizer build ($TSAN_BUILD) =="
 cmake -B "$TSAN_BUILD" -S "$REPO" -DSNS_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD" -j --target test_par test_perf test_tensor \
-    test_core test_obs test_serve test_session test_plan
+    test_core test_obs test_serve test_session test_plan test_cluster
 
-echo "== sns::par + serve suites under TSan (SNS_THREADS=4) =="
+echo "== sns::par + serve + cluster suites under TSan (SNS_THREADS=4) =="
 # Multi-threaded pool width so TSan actually sees concurrent regions.
 for t in test_par test_perf test_tensor test_core test_obs test_serve \
-         test_session test_plan; do
+         test_session test_plan test_cluster; do
     SNS_THREADS=4 "$TSAN_BUILD/tests/$t"
 done
 

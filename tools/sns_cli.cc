@@ -8,6 +8,9 @@
  *                   [--log-jsonl=FILE] [--promote-socket=PATH]
  *   sns-cli predict --model=DIR [--precision=fp64|int8] DESIGN.{snl,v} [...]
  *   sns-cli remote-predict (--socket=PATH | --host=H --port=N) DESIGN [...]
+ *   sns-cli promote --model=DIR --canary=DESIGN
+ *                   (--workers=SPEC[,SPEC...] | --cluster-socket=PATH
+ *                    | --cluster-host=H --cluster-port=N)
  *   sns-cli quantize --model=DIR DESIGN.{snl,v} [...]
  *   sns-cli synth   DESIGN.snl [...]
  *   sns-cli paths   DESIGN.snl [--k=5] [--limit=N]
@@ -36,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/promote.hh"
 #include "core/evaluation.hh"
 #include "core/trainer.hh"
 #include "designs/designs.hh"
@@ -187,7 +191,12 @@ usage()
            "DESIGN.{snl,v} [...]\n"
         << "  sns-cli remote-predict (--socket=PATH | --host=H "
            "--port=N) [--deadline-ms=N] [--precision=fp64|int8] "
-           "[--stats] [--session] DESIGN.{snl,v} [...]\n"
+           "[--stats] [--stats-json] [--session] DESIGN.{snl,v} "
+           "[...]\n"
+        << "  sns-cli promote --model=DIR --canary=DESIGN.{snl,v} "
+           "(--workers=SPEC[,SPEC...] |\n"
+        << "                  --cluster-socket=PATH | "
+           "--cluster-host=H --cluster-port=N)\n"
         << "  sns-cli quantize --model=DIR DESIGN.{snl,v} [...]\n"
         << "  sns-cli synth   DESIGN.snl [...]\n"
         << "  sns-cli plan    --model=DIR [--out=FILE.snsp] [--dump]\n"
@@ -217,6 +226,19 @@ usage()
            "is CLOSEd at the end; per-design reuse stats go to "
            "stderr. Results are bitwise identical to stateless "
            "predictions.\n"
+        << "--stats-json prints the STATS reply as one flat JSON "
+           "object on stdout (machine-readable twin of --stats; "
+           "against an sns-router it carries the merged cluster "
+           "report plus the per-worker breakdown).\n"
+        << "promote rolls a candidate model across a cluster's "
+           "workers one at a time (docs/cluster.md): the candidate "
+           "is verified locally first, each worker RELOADs and "
+           "answers the --canary design, and the reply must match "
+           "the local reference bitwise or the rollout aborts with "
+           "the remaining workers untouched. Workers come from "
+           "--workers (comma-separated unix:<path>/tcp:<host>:<port> "
+           "specs) or are discovered from a running sns-router via "
+           "--cluster-socket/--cluster-host/--cluster-port.\n"
         << "--checkpoint-dir=DIR commits resumable training state "
            "every --checkpoint-every=N epochs (keeping the newest "
            "--checkpoint-keep=N files); SIGINT checkpoints and exits. "
@@ -465,10 +487,11 @@ cmdRemotePredict(const CliArgs &args)
     const bool have_socket = args.has("socket");
     const bool have_port = args.has("port");
     if ((!have_socket && !have_port) ||
-        (args.positional.empty() && !args.has("stats"))) {
+        (args.positional.empty() && !args.has("stats") &&
+         !args.has("stats-json"))) {
         std::cerr << "remote-predict requires --socket=PATH or "
                      "--host=H --port=N, plus design files (or "
-                     "--stats)\n";
+                     "--stats / --stats-json)\n";
         return 1;
     }
     auto client =
@@ -562,10 +585,110 @@ cmdRemotePredict(const CliArgs &args)
     }
     if (args.has("stats"))
         std::cerr << client.stats();
+    if (args.has("stats-json"))
+        std::cout << obs::statsJson(client.stats()) << "\n";
     if (predicted > 0)
         std::cout << predicted << " designs predicted in "
                   << formatDouble(timer.seconds(), 3)
                   << " s by the remote server\n";
+    return 0;
+}
+
+/**
+ * Roll a candidate model across a cluster's workers with a bitwise
+ * canary gate (docs/cluster.md). The worker list comes from
+ * --workers=SPEC[,SPEC...] or is discovered from a running sns-router
+ * (--cluster-socket / --cluster-host + --cluster-port) via the v4
+ * WORKERS verb. Exit 0 on a full rollout, 2 on an abort (the report
+ * says which worker and why; un-walked workers keep the old model).
+ */
+int
+cmdPromote(const CliArgs &args)
+{
+    if (!args.has("model") || !args.has("canary")) {
+        std::cerr << "promote requires --model=DIR and "
+                     "--canary=DESIGN.{snl,v}\n";
+        return 1;
+    }
+    const bool have_list = args.has("workers");
+    const bool have_router =
+        args.has("cluster-socket") || args.has("cluster-port");
+    if (have_list == have_router) {
+        std::cerr << "promote needs exactly one worker source: "
+                     "--workers=SPEC[,SPEC...] or a router "
+                     "(--cluster-socket=PATH | --cluster-host=H "
+                     "--cluster-port=N)\n";
+        return 1;
+    }
+
+    cluster::PromoteOptions options;
+    options.checkpoint_dir = args.get("model", "");
+    const std::string canary_path = args.get("canary", "");
+    options.canary_source = readWholeFile(canary_path);
+    options.canary_format = designFormat(canary_path);
+
+    if (have_list) {
+        const std::string list = args.get("workers", "");
+        size_t start = 0;
+        while (start <= list.size()) {
+            size_t comma = list.find(',', start);
+            if (comma == std::string::npos)
+                comma = list.size();
+            const std::string spec =
+                list.substr(start, comma - start);
+            if (!spec.empty())
+                options.workers.push_back(
+                    cluster::WorkerAddress::parse(spec));
+            start = comma + 1;
+        }
+    } else {
+        // Ask the router who its workers are.
+        auto router =
+            args.has("cluster-socket")
+                ? serve::Client::connectUnix(
+                      args.get("cluster-socket", ""))
+                : serve::Client::connectTcp(
+                      args.get("cluster-host", "127.0.0.1"),
+                      std::stoi(args.get("cluster-port", "0")));
+        if (router.hello() < 4) {
+            std::cerr << "promote: the cluster endpoint speaks "
+                         "protocol version "
+                      << router.negotiatedVersion()
+                      << " (no WORKERS verb); pass --workers "
+                         "explicitly\n";
+            return 2;
+        }
+        const serve::WorkersReply reply = router.workers();
+        if (reply.status != serve::Status::Ok) {
+            std::cerr << "promote: WORKERS failed: "
+                      << serve::statusName(reply.status)
+                      << (reply.message.empty() ? "" : ": ")
+                      << reply.message << "\n";
+            return 2;
+        }
+        for (const auto &endpoint : reply.workers)
+            options.workers.push_back(
+                cluster::WorkerAddress::parse(endpoint.address));
+    }
+    if (options.workers.empty()) {
+        std::cerr << "promote: no workers to roll\n";
+        return 1;
+    }
+
+    const cluster::PromoteReport report =
+        cluster::rollingPromote(options);
+    for (const auto &line : report.log)
+        std::cout << line << "\n";
+    if (!report.ok) {
+        std::cerr << "promotion aborted after "
+                  << report.workers_promoted << "/"
+                  << options.workers.size()
+                  << " worker(s): " << report.error << "\n";
+        return 2;
+    }
+    std::cout << "promoted " << report.workers_promoted << "/"
+              << options.workers.size()
+              << " workers, canary bitwise-verified on each\n";
     return 0;
 }
 
@@ -729,6 +852,8 @@ main(int argc, char **argv)
             return cmdPredict(args);
         if (args.command == "remote-predict")
             return cmdRemotePredict(args);
+        if (args.command == "promote")
+            return cmdPromote(args);
         if (args.command == "quantize")
             return cmdQuantize(args);
         if (args.command == "synth")
