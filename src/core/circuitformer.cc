@@ -4,6 +4,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "dist/exchange.hh"
 #include "nn/serialize.hh"
 #include "par/thread_pool.hh"
 #include "util/logging.hh"
@@ -177,6 +178,100 @@ Circuitformer::trainEpoch(const std::vector<PathRecord> &records,
         nn::clipGradNorm(parameters(), 5.0);
         optimizer.step();
         total += loss.value()[0];
+        ++batches;
+    }
+    return batches == 0 ? 0.0 : total / batches;
+}
+
+double
+Circuitformer::trainEpochSliced(const std::vector<PathRecord> &records,
+                                nn::Adam &optimizer, Rng &rng,
+                                int batch_size,
+                                dist::GradientExchange &exchange)
+{
+    SNS_ASSERT(normalized_, "fitNormalization() before trainEpochSliced()");
+    const int slices = exchange.gradSlices();
+    const int world = exchange.worldSize();
+    const int rank = exchange.rank();
+    SNS_ASSERT(slices > 0 && world > 0 && slices % world == 0,
+               "grad_slices must be a positive multiple of world_size");
+    const int owned = slices / world;
+
+    std::vector<Variable> params = parameters();
+    const size_t flat_elems = dist::flatSize(params);
+
+    // Identical shuffle on every rank: all ranks hold the same records
+    // and drive the same epoch RNG stream.
+    std::vector<size_t> order(records.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    double total = 0.0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size(); start += batch_size) {
+        const size_t end =
+            std::min(order.size(), start + static_cast<size_t>(batch_size));
+        const size_t b = end - start;
+
+        // This rank's slices: one independent backward pass each,
+        // weighted by sample share, combined along the canonical tree.
+        std::vector<std::optional<std::vector<float>>> grad_slots(owned);
+        std::vector<std::optional<dist::ScalarPartial>> loss_slots(owned);
+        for (int s = 0; s < owned; ++s) {
+            const auto [lo, hi] =
+                dist::sliceRange(b, slices, rank * owned + s);
+            if (lo == hi)
+                continue; // empty slice: identity at every world size
+            std::vector<const std::vector<TokenId> *> batch_paths;
+            Tensor targets({static_cast<int>(hi - lo), 3});
+            for (size_t i = lo; i < hi; ++i) {
+                const auto &record = records[order[start + i]];
+                batch_paths.push_back(&record.tokens);
+                const auto y = normalizedTargets(record);
+                for (int t = 0; t < 3; ++t)
+                    targets.at2(static_cast<int>(i - lo), t) = y[t];
+            }
+            std::vector<int> ids;
+            std::vector<int> lengths;
+            int time = 0;
+            pack(batch_paths, ids, time, lengths);
+
+            optimizer.zeroGrad();
+            Variable loss = mseLoss(
+                forwardBatch(ids, static_cast<int>(batch_paths.size()),
+                             time, lengths),
+                targets);
+            loss.backward();
+            // w·(slice-mean gradient) is the slice's share of the
+            // batch-mean gradient; w depends only on (b, slices).
+            const float w = static_cast<float>(hi - lo) /
+                            static_cast<float>(b);
+            grad_slots[s] = dist::flattenGrads(params, w);
+            dist::ScalarPartial part;
+            part.sum = static_cast<double>(loss.value()[0]) *
+                       static_cast<double>(hi - lo);
+            part.count = hi - lo;
+            loss_slots[s] = part;
+        }
+
+        auto partial = dist::combineTreeGrad(std::move(grad_slots));
+        const bool present = partial.has_value();
+        std::vector<float> flat =
+            present ? std::move(*partial)
+                    : std::vector<float>(flat_elems, 0.0f);
+        exchange.allreduceGrad(flat, present);
+        dist::scatterGrads(params, flat);
+        nn::clipGradNorm(params, 5.0);
+        optimizer.step();
+        exchange.allgatherWeights(params);
+
+        const dist::ScalarPartial batch_loss =
+            exchange.reduceLoss(dist::combineTreeLoss(std::move(loss_slots)));
+        total += batch_loss.count == 0
+                     ? 0.0
+                     : batch_loss.sum /
+                           static_cast<double>(batch_loss.count);
         ++batches;
     }
     return batches == 0 ? 0.0 : total / batches;

@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
+#include "dist/shard.hh"
 #include "nn/serialize.hh"
 #include "obs/metrics.hh"
 #include "par/thread_pool.hh"
@@ -90,6 +92,15 @@ configFingerprint(const TrainerConfig &config)
     h = fnvF64(h, config.mlp.learning_rate);
     h = fnvF64(h, config.mlp.momentum);
     h = fnvU64(h, config.mlp.seed);
+
+    // grad_slices shapes the numerics (the slice-tree reduction order),
+    // so it is part of the trajectory identity. world_size, rank, and
+    // the rendezvous are transport choices and deliberately are NOT:
+    // that is what makes resuming at a different rank count legal.
+    // Hashed only when sliced training is on, so plain-run fingerprints
+    // keep their historical values.
+    if (config.dist.grad_slices > 0)
+        h = fnvU64(h, static_cast<uint64_t>(config.dist.grad_slices));
     return h;
 }
 
@@ -370,39 +381,138 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
     const int total_epochs = config_.circuitformer_epochs;
     TrainProgressSink *sink = config_.progress;
 
+    // --- Distributed setup (docs/distributed.md). ---------------------
+    // Every rank runs the whole flow above identically (same seed, same
+    // dataset, same split); only the epoch loop splits work. The
+    // exchange is the sole cross-rank coupling.
+    const dist::DistConfig &dc = config_.dist;
+    const auto all_params = circuitformer->parameters();
+    std::unique_ptr<dist::GradientExchange> exchange;
+    std::vector<size_t> param_cuts; // tensor-index ZeRO ownership cuts
+    std::optional<obs::ScopedGauge> world_gauge;
+    std::optional<obs::ScopedGauge> rank_gauge;
+    if (dc.active()) {
+        verify::enforce(dist::validateDistConfig(dc, all_params.size()),
+                        "SnsTrainer::train");
+        std::vector<size_t> elems;
+        elems.reserve(all_params.size());
+        for (const auto &param : all_params)
+            elems.push_back(param.value().numel());
+        param_cuts = dist::partitionParams(elems, dc.world_size);
+        optimizer.shardMoments(param_cuts[dc.rank],
+                               param_cuts[dc.rank + 1]);
+        if (dc.world_size > 1) {
+            auto channel = dc.channel
+                               ? dc.channel
+                               : dist::connectRing(dc.rendezvous, dc.rank,
+                                                   dc.world_size);
+            auto ring = std::make_unique<dist::RingExchange>(
+                std::move(channel), dc.world_size, dc.rank,
+                dc.grad_slices, &registry);
+            ring->handshake(config_fp, split_fp,
+                            dist::flatSize(all_params));
+            exchange = std::move(ring);
+        } else {
+            exchange =
+                std::make_unique<dist::LocalExchange>(dc.grad_slices);
+        }
+        std::vector<size_t> prefix(elems.size() + 1, 0);
+        for (size_t i = 0; i < elems.size(); ++i)
+            prefix[i + 1] = prefix[i] + elems[i];
+        std::vector<size_t> elem_cuts(param_cuts.size());
+        for (size_t r = 0; r < param_cuts.size(); ++r)
+            elem_cuts[r] = prefix[param_cuts[r]];
+        exchange->setWeightPartition(std::move(elem_cuts));
+        world_gauge.emplace(registry, "dist.world_size", [this] {
+            return static_cast<double>(config_.dist.world_size);
+        });
+        rank_gauge.emplace(registry, "dist.rank", [this] {
+            return static_cast<double>(config_.dist.rank);
+        });
+    }
+
     /** Serialize full training state after `completed_epoch` and commit
      * it atomically; returns the checkpoint path. */
     const auto writeCheckpoint = [&](int completed_epoch) {
         WallTimer timer;
         std::ostringstream payload;
         nn::CheckpointWriter writer(payload);
-        writer.str(kProducer);
-        writer.u64(config_fp);
-        writer.u64(split_fp);
-        writer.i64(completed_epoch);
-        writer.i64(total_epochs);
-        writeRngState(writer, rng.state());
-        writeRngState(writer, epoch_rng.state());
-        writer.u32(static_cast<uint32_t>(loss_curve_.size()));
-        for (const LossPoint &point : loss_curve_) {
-            writer.i64(point.epoch);
-            writer.f64(point.train_loss);
-            writer.f64(point.validation_loss);
+        std::string file_name;
+        if (dc.active()) {
+            // One shard per rank (docs/distributed.md §Checkpoints):
+            // meta + RNG streams + loss curve (identical everywhere,
+            // cheap), rank 0 additionally the full model, then this
+            // rank's ZeRO-owned Adam moments by global tensor index.
+            dist::ShardMeta meta;
+            meta.world = static_cast<uint32_t>(dc.world_size);
+            meta.rank = static_cast<uint32_t>(dc.rank);
+            meta.grad_slices = static_cast<uint32_t>(dc.grad_slices);
+            meta.param_count =
+                static_cast<uint32_t>(all_params.size());
+            meta.owned_begin =
+                static_cast<uint32_t>(param_cuts[dc.rank]);
+            meta.owned_end =
+                static_cast<uint32_t>(param_cuts[dc.rank + 1]);
+            meta.config_fp = config_fp;
+            meta.split_fp = split_fp;
+            meta.completed_epoch = completed_epoch;
+            meta.total_epochs = total_epochs;
+            dist::writeShardMeta(writer, meta);
+            writeRngState(writer, rng.state());
+            writeRngState(writer, epoch_rng.state());
+            writer.u32(static_cast<uint32_t>(loss_curve_.size()));
+            for (const LossPoint &point : loss_curve_) {
+                writer.i64(point.epoch);
+                writer.f64(point.train_loss);
+                writer.f64(point.validation_loss);
+            }
+            if (dc.rank == 0)
+                circuitformer->saveTo(payload, "checkpoint payload");
+            writer.i64(optimizer.stepCount());
+            writer.u32(meta.owned_end - meta.owned_begin);
+            for (size_t i = param_cuts[dc.rank];
+                 i < param_cuts[dc.rank + 1]; ++i) {
+                writer.u32(static_cast<uint32_t>(i));
+                writer.tensor(optimizer.firstMoment(i));
+                writer.tensor(optimizer.secondMoment(i));
+            }
+            file_name = dist::shardFileName(completed_epoch, dc.rank,
+                                            dc.world_size);
+        } else {
+            writer.str(kProducer);
+            writer.u64(config_fp);
+            writer.u64(split_fp);
+            writer.i64(completed_epoch);
+            writer.i64(total_epochs);
+            writeRngState(writer, rng.state());
+            writeRngState(writer, epoch_rng.state());
+            writer.u32(static_cast<uint32_t>(loss_curve_.size()));
+            for (const LossPoint &point : loss_curve_) {
+                writer.i64(point.epoch);
+                writer.f64(point.train_loss);
+                writer.f64(point.validation_loss);
+            }
+            circuitformer->saveTo(payload, "checkpoint payload");
+            nn::writeOptimizerState(writer, optimizer);
+            file_name = nn::checkpointFileName(completed_epoch);
         }
-        circuitformer->saveTo(payload, "checkpoint payload");
-        nn::writeOptimizerState(writer, optimizer);
 
         std::filesystem::create_directories(config_.checkpoint_dir);
         const std::string path =
-            (std::filesystem::path(config_.checkpoint_dir) /
-             nn::checkpointFileName(completed_epoch))
+            (std::filesystem::path(config_.checkpoint_dir) / file_name)
                 .string();
         nn::commitCheckpoint(path, payload.str());
-        nn::pruneCheckpoints(config_.checkpoint_dir,
-                             config_.checkpoint_keep <= 0
-                                 ? 0
-                                 : static_cast<size_t>(
-                                       config_.checkpoint_keep));
+        // In a distributed run only rank 0 prunes: retention is
+        // epoch-grouped, so it only ever deletes *older* complete
+        // epochs, which no peer is still writing (the allreduce
+        // lockstep bounds rank skew to less than one epoch).
+        if (!dc.active() || dc.rank == 0) {
+            nn::pruneCheckpoints(config_.checkpoint_dir,
+                                 config_.checkpoint_keep <= 0
+                                     ? 0
+                                     : static_cast<size_t>(
+                                           config_.checkpoint_keep));
+        }
         checkpoints_total.inc();
         checkpoint_latency.record(
             static_cast<uint64_t>(timer.seconds() * 1e6));
@@ -410,7 +520,108 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
     };
 
     int start_epoch = 0;
-    if (!config_.resume_from.empty()) {
+    if (!config_.resume_from.empty() && dc.active()) {
+        // Merge a complete shard set. Every rank reads every shard;
+        // each keeps the slice of the merged optimizer state its NEW
+        // ownership cut assigns it — which is how a 4-rank run resumes
+        // at 2 ranks (or 1) bitwise-identically.
+        std::vector<std::string> files;
+        std::string source = config_.resume_from;
+        if (std::filesystem::is_directory(source)) {
+            files = dist::latestCompleteShardSet(source);
+            if (files.empty()) {
+                throw nn::SerializeError(
+                    "no complete ckpt-*-rNNofMM.ckpt shard set in " +
+                    source);
+            }
+        } else {
+            files.push_back(source); // a single world-1 shard
+        }
+        std::vector<std::string> payloads;
+        std::vector<dist::ShardMeta> metas;
+        for (const std::string &file : files) {
+            payloads.push_back(nn::readCheckpointPayload(file));
+            std::istringstream in(payloads.back());
+            nn::CheckpointReader reader(in, file);
+            metas.push_back(dist::readShardMeta(reader, file));
+        }
+        verify::enforce(dist::validateShardSet(metas, source),
+                        "SnsTrainer::train");
+        const dist::ShardMeta &first = metas.front();
+        if (first.config_fp != config_fp) {
+            throw nn::SerializeError(
+                "shard set in " + source +
+                " was written under a different training configuration "
+                "(config fingerprint mismatch); refusing to resume");
+        }
+        if (first.split_fp != split_fp) {
+            throw nn::SerializeError(
+                "shard set in " + source +
+                " was trained on a different dataset split "
+                "(split fingerprint mismatch); refusing to resume");
+        }
+        if (first.param_count != all_params.size()) {
+            throw nn::SerializeError(
+                "shard set in " + source + " covers " +
+                std::to_string(first.param_count) +
+                " parameter tensors, model has " +
+                std::to_string(all_params.size()));
+        }
+        for (size_t i = 0; i < files.size(); ++i) {
+            std::istringstream in(payloads[i]);
+            nn::CheckpointReader reader(in, files[i]);
+            const dist::ShardMeta meta =
+                dist::readShardMeta(reader, files[i]);
+            const Rng::State rng_state = readRngState(reader);
+            const Rng::State epoch_rng_state = readRngState(reader);
+            const uint32_t curve_count = reader.u32();
+            std::vector<LossPoint> curve(curve_count);
+            for (auto &point : curve) {
+                point.epoch = static_cast<int>(reader.i64());
+                point.train_loss = reader.f64();
+                point.validation_loss = reader.f64();
+            }
+            if (meta.rank == 0) {
+                rng.setState(rng_state);
+                epoch_rng.setState(epoch_rng_state);
+                loss_curve_ = std::move(curve);
+                circuitformer->loadFrom(in, files[i]);
+            }
+            optimizer.setStepCount(reader.i64());
+            const uint32_t owned_count = reader.u32();
+            for (uint32_t k = 0; k < owned_count; ++k) {
+                const uint32_t idx = reader.u32();
+                if (idx >= all_params.size()) {
+                    throw nn::SerializeError(
+                        "shard " + files[i] +
+                        " names parameter tensor " +
+                        std::to_string(idx) + " of " +
+                        std::to_string(all_params.size()));
+                }
+                tensor::Tensor m(all_params[idx].value().shape());
+                tensor::Tensor v(all_params[idx].value().shape());
+                reader.tensor(m);
+                reader.tensor(v);
+                if (idx >= param_cuts[dc.rank] &&
+                    idx < param_cuts[dc.rank + 1])
+                    optimizer.setMoments(idx, m, v);
+            }
+        }
+        // Same float-snap refit as the plain resume path below.
+        circuitformer->fitNormalization(train_paths);
+        start_epoch = static_cast<int>(first.completed_epoch) + 1;
+        resumes_total.inc();
+        const std::string note =
+            "resumed rank " + std::to_string(dc.rank) + "/" +
+            std::to_string(dc.world_size) + " from " +
+            std::to_string(files.size()) + "-shard set in " + source +
+            " (saved at world " + std::to_string(first.world) +
+            ") at epoch " + std::to_string(start_epoch + 1) + "/" +
+            std::to_string(total_epochs);
+        inform(note);
+        if (sink != nullptr)
+            sink->onEvent(note);
+    } else if (!config_.resume_from.empty()) {
         std::string source = config_.resume_from;
         if (std::filesystem::is_directory(source)) {
             source = nn::latestCheckpoint(source);
@@ -478,8 +689,14 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
         WallTimer epoch_timer;
         LossPoint point;
         point.epoch = epoch;
-        point.train_loss = circuitformer->trainEpoch(
-            train_paths, optimizer, epoch_rng, config_.circuitformer_batch);
+        point.train_loss =
+            dc.active()
+                ? circuitformer->trainEpochSliced(
+                      train_paths, optimizer, epoch_rng,
+                      config_.circuitformer_batch, *exchange)
+                : circuitformer->trainEpoch(train_paths, optimizer,
+                                            epoch_rng,
+                                            config_.circuitformer_batch);
         point.validation_loss = circuitformer->evaluateLoss(val_paths);
         // A NaN/Inf loss means training has diverged; later epochs
         // cannot recover, so flag it the moment it appears.
@@ -530,7 +747,14 @@ SnsTrainer::train(const HardwareDesignDataset &designs,
         if (due)
             progress.checkpoint_path = writeCheckpoint(epoch);
 
-        const bool keep_going = sink == nullptr || sink->onEpoch(progress);
+        bool keep_going = sink == nullptr || sink->onEpoch(progress);
+        // Coherent interruption: a stop on ANY rank (e.g. SIGINT
+        // delivered to one process) stops every rank after the SAME
+        // epoch, so the per-rank shards of the final checkpoint form
+        // one complete resumable set. The vote runs every epoch — it
+        // is part of the fixed collective sequence.
+        if (dc.active())
+            keep_going = !exchange->anyStop(!keep_going);
         if (!keep_going && !final_epoch) {
             if (checkpointing && progress.checkpoint_path.empty())
                 progress.checkpoint_path = writeCheckpoint(epoch);

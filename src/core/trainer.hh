@@ -31,6 +31,7 @@
 
 #include "core/datasets.hh"
 #include "core/predictor.hh"
+#include "dist/exchange.hh"
 
 namespace sns::obs {
 class Registry;
@@ -201,6 +202,17 @@ struct TrainerConfig
      */
     std::string resume_from;
     /** @} */
+
+    /**
+     * Distributed data-parallel training (docs/distributed.md).
+     * dist.active() (grad_slices > 0) selects the slice-deterministic
+     * training path; world_size > 1 additionally requires a rendezvous
+     * (or an injected ring channel) and produces per-rank shard
+     * checkpoints (ckpt-NNNNNN-rRRofWW.ckpt) that resume at any
+     * admissible rank count. The final model is bitwise-identical at
+     * every power-of-two world size that divides grad_slices.
+     */
+    dist::DistConfig dist;
 
     /** Metrics destination; nullptr publishes to
      * obs::Registry::global(). */

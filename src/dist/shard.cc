@@ -1,0 +1,203 @@
+#include "dist/shard.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "nn/serialize.hh"
+
+namespace sns::dist {
+
+std::string
+shardFileName(int epoch, int rank, int world)
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "ckpt-%06d-r%02dof%02d.ckpt",
+                  epoch, rank, world);
+    return name;
+}
+
+std::optional<ShardName>
+parseShardName(const std::string &file)
+{
+    const std::string name =
+        std::filesystem::path(file).filename().string();
+    ShardName parsed;
+    char tail = '\0';
+    // ckpt-000123-r01of04.ckpt — %c catches trailing garbage.
+    if (std::sscanf(name.c_str(), "ckpt-%6d-r%2dof%2d.ckpt%c",
+                    &parsed.epoch, &parsed.rank, &parsed.world,
+                    &tail) != 3)
+        return std::nullopt;
+    if (parsed.world <= 0 || parsed.rank < 0 ||
+        parsed.rank >= parsed.world)
+        return std::nullopt;
+    return parsed;
+}
+
+void
+writeShardMeta(nn::CheckpointWriter &writer, const ShardMeta &meta)
+{
+    writer.str(kShardProducer);
+    writer.u32(kShardLayoutVersion);
+    writer.u32(meta.world);
+    writer.u32(meta.rank);
+    writer.u32(meta.grad_slices);
+    writer.u32(meta.param_count);
+    writer.u32(meta.owned_begin);
+    writer.u32(meta.owned_end);
+    writer.u64(meta.config_fp);
+    writer.u64(meta.split_fp);
+    writer.i64(meta.completed_epoch);
+    writer.i64(meta.total_epochs);
+}
+
+ShardMeta
+readShardMeta(nn::CheckpointReader &reader, const std::string &where)
+{
+    const std::string producer = reader.str();
+    if (producer != kShardProducer) {
+        throw nn::SerializeError(
+            "checkpoint " + where + " was written by \"" + producer +
+            "\", expected \"" + kShardProducer + "\"");
+    }
+    const uint32_t layout = reader.u32();
+    if (layout != kShardLayoutVersion) {
+        throw nn::SerializeError(
+            "shard checkpoint " + where + " uses layout version " +
+            std::to_string(layout) + ", expected " +
+            std::to_string(kShardLayoutVersion));
+    }
+    ShardMeta meta;
+    meta.world = reader.u32();
+    meta.rank = reader.u32();
+    meta.grad_slices = reader.u32();
+    meta.param_count = reader.u32();
+    meta.owned_begin = reader.u32();
+    meta.owned_end = reader.u32();
+    meta.config_fp = reader.u64();
+    meta.split_fp = reader.u64();
+    meta.completed_epoch = reader.i64();
+    meta.total_epochs = reader.i64();
+    return meta;
+}
+
+verify::Report
+validateShardSet(const std::vector<ShardMeta> &metas,
+                 const std::string &where)
+{
+    verify::Report report;
+    if (metas.empty()) {
+        report.error(verify::rules::kShardSet, where,
+                     "no shard checkpoints to merge");
+        return report;
+    }
+    const ShardMeta &first = metas.front();
+    std::vector<int> seen(first.world, 0);
+    std::vector<int> coverage(first.param_count, 0);
+    for (const ShardMeta &meta : metas) {
+        const std::string shard_where =
+            where + " rank " + std::to_string(meta.rank);
+        if (meta.world != first.world ||
+            meta.grad_slices != first.grad_slices ||
+            meta.param_count != first.param_count ||
+            meta.config_fp != first.config_fp ||
+            meta.split_fp != first.split_fp ||
+            meta.completed_epoch != first.completed_epoch) {
+            report.error(verify::rules::kShardSet, shard_where,
+                         "shard disagrees with rank " +
+                             std::to_string(first.rank) +
+                             " on world/slices/fingerprints/epoch",
+                         "the files mix different runs; resume from an "
+                         "older complete set");
+            continue;
+        }
+        if (meta.rank >= meta.world) {
+            report.error(verify::rules::kShardMeta, shard_where,
+                         "rank " + std::to_string(meta.rank) +
+                             " outside world " +
+                             std::to_string(meta.world));
+            continue;
+        }
+        if (seen[meta.rank]++ > 0) {
+            report.error(verify::rules::kShardSet, shard_where,
+                         "rank appears more than once in the set");
+            continue;
+        }
+        if (meta.owned_begin > meta.owned_end ||
+            meta.owned_end > meta.param_count) {
+            report.error(verify::rules::kShardMeta, shard_where,
+                         "owned range [" +
+                             std::to_string(meta.owned_begin) + ", " +
+                             std::to_string(meta.owned_end) +
+                             ") outside the " +
+                             std::to_string(meta.param_count) +
+                             " parameter tensors");
+            continue;
+        }
+        for (uint32_t i = meta.owned_begin; i < meta.owned_end; ++i)
+            ++coverage[i];
+    }
+    if (report.hasErrors())
+        return report;
+    for (uint32_t r = 0; r < first.world; ++r) {
+        if (!seen[r]) {
+            report.error(verify::rules::kShardSet, where,
+                         "rank " + std::to_string(r) +
+                             " of world " + std::to_string(first.world) +
+                             " is missing from the set");
+        }
+    }
+    for (uint32_t i = 0; i < first.param_count; ++i) {
+        if (coverage[i] != 1) {
+            report.error(
+                verify::rules::kShardSet, where,
+                "parameter tensor " + std::to_string(i) + " is owned " +
+                    std::to_string(coverage[i]) +
+                    " times (the shards must partition the optimizer "
+                    "state exactly)");
+            break;
+        }
+    }
+    return report;
+}
+
+std::vector<std::string>
+latestCompleteShardSet(const std::string &dir, int *epoch_out)
+{
+    // epoch -> rank -> file, remembering the declared world.
+    struct Epoch
+    {
+        int world = 0;
+        std::map<int, std::string> files;
+        bool mixed = false;
+    };
+    std::map<int, Epoch> epochs;
+    for (const std::string &file : nn::listCheckpoints(dir)) {
+        const auto parsed = parseShardName(file);
+        if (!parsed)
+            continue;
+        Epoch &epoch = epochs[parsed->epoch];
+        if (epoch.world == 0)
+            epoch.world = parsed->world;
+        else if (epoch.world != parsed->world)
+            epoch.mixed = true; // two runs collided; not resumable
+        epoch.files[parsed->rank] = file;
+    }
+    for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+        const Epoch &epoch = it->second;
+        if (epoch.mixed ||
+            epoch.files.size() != static_cast<size_t>(epoch.world))
+            continue;
+        std::vector<std::string> files;
+        files.reserve(epoch.files.size());
+        for (const auto &entry : epoch.files)
+            files.push_back(entry.second);
+        if (epoch_out != nullptr)
+            *epoch_out = it->first;
+        return files;
+    }
+    return {};
+}
+
+} // namespace sns::dist

@@ -77,7 +77,8 @@ Adam::Adam(std::vector<Variable> params, double lr, double beta1,
       lr_(lr),
       beta1_(beta1),
       beta2_(beta2),
-      eps_(eps)
+      eps_(eps),
+      owned_end_(params_.size())
 {
     m_.reserve(params_.size());
     v_.reserve(params_.size());
@@ -85,6 +86,49 @@ Adam::Adam(std::vector<Variable> params, double lr, double beta1,
         m_.emplace_back(param.value().shape());
         v_.emplace_back(param.value().shape());
     }
+}
+
+void
+Adam::shardMoments(size_t begin, size_t end)
+{
+    SNS_ASSERT(begin <= end && end <= params_.size(),
+               "Adam shard range outside the parameter list");
+    owned_begin_ = begin;
+    owned_end_ = end;
+    for (size_t i = 0; i < params_.size(); ++i) {
+        if (i >= begin && i < end)
+            continue;
+        m_[i] = Tensor();
+        v_[i] = Tensor();
+    }
+}
+
+const Tensor &
+Adam::firstMoment(size_t i) const
+{
+    SNS_ASSERT(i >= owned_begin_ && i < owned_end_,
+               "first moment of a parameter this shard does not own");
+    return m_[i];
+}
+
+const Tensor &
+Adam::secondMoment(size_t i) const
+{
+    SNS_ASSERT(i >= owned_begin_ && i < owned_end_,
+               "second moment of a parameter this shard does not own");
+    return v_[i];
+}
+
+void
+Adam::setMoments(size_t i, const Tensor &m, const Tensor &v)
+{
+    SNS_ASSERT(i >= owned_begin_ && i < owned_end_,
+               "moments of a parameter this shard does not own");
+    SNS_ASSERT(m.numel() == params_[i].value().numel() &&
+                   v.numel() == params_[i].value().numel(),
+               "restored Adam moments do not match the parameter shape");
+    m_[i] = m;
+    v_[i] = v;
 }
 
 void
@@ -96,7 +140,7 @@ Adam::step()
     const float alpha =
         static_cast<float>(lr_ * std::sqrt(bias2) / bias1);
 
-    for (size_t i = 0; i < params_.size(); ++i) {
+    for (size_t i = owned_begin_; i < owned_end_; ++i) {
         auto &param = params_[i];
         if (!param.hasGrad())
             continue;
@@ -120,11 +164,11 @@ std::vector<const Tensor *>
 Adam::stateTensors() const
 {
     std::vector<const Tensor *> state;
-    state.reserve(m_.size() + v_.size());
-    for (const auto &m : m_)
-        state.push_back(&m);
-    for (const auto &v : v_)
-        state.push_back(&v);
+    state.reserve(2 * (owned_end_ - owned_begin_));
+    for (size_t i = owned_begin_; i < owned_end_; ++i)
+        state.push_back(&m_[i]);
+    for (size_t i = owned_begin_; i < owned_end_; ++i)
+        state.push_back(&v_[i]);
     return state;
 }
 
@@ -132,11 +176,11 @@ std::vector<Tensor *>
 Adam::stateTensorsMutable()
 {
     std::vector<Tensor *> state;
-    state.reserve(m_.size() + v_.size());
-    for (auto &m : m_)
-        state.push_back(&m);
-    for (auto &v : v_)
-        state.push_back(&v);
+    state.reserve(2 * (owned_end_ - owned_begin_));
+    for (size_t i = owned_begin_; i < owned_end_; ++i)
+        state.push_back(&m_[i]);
+    for (size_t i = owned_begin_; i < owned_end_; ++i)
+        state.push_back(&v_[i]);
     return state;
 }
 

@@ -85,11 +85,35 @@ class Adam : public Optimizer
     void setLearningRate(double lr) { lr_ = lr; }
 
     /** State order: all first moments (m), then all second moments
-     * (v); scalars: the bias-correction step counter. */
+     * (v); scalars: the bias-correction step counter. When sharded,
+     * only the owned range is reported (in the same m-then-v order). */
     std::vector<const Tensor *> stateTensors() const override;
     std::vector<Tensor *> stateTensorsMutable() override;
     std::vector<int64_t> stateScalars() const override;
     void setStateScalars(const std::vector<int64_t> &scalars) override;
+
+    /** @name ZeRO moment sharding (docs/distributed.md)
+     * Restrict the Adam moments — and step()'s update — to the
+     * parameter tensors [begin, end). Moments outside the owned range
+     * are released (that is the memory saving: each rank holds 1/N of
+     * the optimizer state). The caller is responsible for applying the
+     * other ranks' updates, e.g. by allgathering weights afterwards.
+     * @{
+     */
+    void shardMoments(size_t begin, size_t end);
+    bool sharded() const { return owned_end_ != params_.size() ||
+                                  owned_begin_ != 0; }
+    size_t ownedBegin() const { return owned_begin_; }
+    size_t ownedEnd() const { return owned_end_; }
+    /** Moments of one owned parameter, by GLOBAL parameter index. */
+    const Tensor &firstMoment(size_t i) const;
+    const Tensor &secondMoment(size_t i) const;
+    /** Restore the moments of one owned parameter (checkpoint merge;
+     * shapes must match the parameter). */
+    void setMoments(size_t i, const Tensor &m, const Tensor &v);
+    long stepCount() const { return step_count_; }
+    void setStepCount(long count) { step_count_ = count; }
+    /** @} */
 
   private:
     double lr_;
@@ -97,6 +121,8 @@ class Adam : public Optimizer
     double beta2_;
     double eps_;
     long step_count_ = 0;
+    size_t owned_begin_ = 0;
+    size_t owned_end_ = 0; ///< set to params_.size() by the ctor
     std::vector<Tensor> m_;
     std::vector<Tensor> v_;
 };

@@ -390,11 +390,29 @@ pruneCheckpoints(const std::string &dir, size_t keep)
     if (keep == 0)
         return;
     const auto found = listCheckpoints(dir);
-    if (found.size() <= keep)
+    // Retention counts EPOCHS, not files: a distributed run commits one
+    // shard per rank per epoch (ckpt-000123-r01of04.ckpt), and deleting
+    // part of a shard set would leave an unresumable remainder. Group
+    // by the shared ckpt-NNNNNN prefix and drop whole groups.
+    std::vector<std::string> groups; // ascending, like `found`
+    const auto groupOf = [](const std::string &file) {
+        return std::filesystem::path(file)
+            .filename()
+            .string()
+            .substr(0, 11); // "ckpt-NNNNNN"
+    };
+    for (const auto &file : found) {
+        if (groups.empty() || groups.back() != groupOf(file))
+            groups.push_back(groupOf(file));
+    }
+    if (groups.size() <= keep)
         return;
-    for (size_t i = 0; i + keep < found.size(); ++i) {
+    const std::string &oldest_kept = groups[groups.size() - keep];
+    for (const auto &file : found) {
+        if (groupOf(file) >= oldest_kept)
+            break; // sorted: everything from here on survives
         std::error_code ec;
-        std::filesystem::remove(found[i], ec); // best-effort cleanup
+        std::filesystem::remove(file, ec); // best-effort cleanup
     }
 }
 

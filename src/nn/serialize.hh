@@ -184,8 +184,10 @@ std::vector<std::string> listCheckpoints(const std::string &dir);
 /** Absolute path of the newest checkpoint in `dir`, or "" if none. */
 std::string latestCheckpoint(const std::string &dir);
 
-/** Delete all but the newest `keep` checkpoints in `dir` (the rolling
- * retention policy; keep == 0 keeps everything). */
+/** Delete all but the newest `keep` checkpoint EPOCHS in `dir` (the
+ * rolling retention policy; keep == 0 keeps everything). Files sharing
+ * one ckpt-NNNNNN prefix — a distributed run's per-rank shard set —
+ * count as a single unit and are kept or dropped together. */
 void pruneCheckpoints(const std::string &dir, size_t keep);
 /** @} */
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -607,6 +610,136 @@ checkSynthesisResult(double timing_ps, double area_um2, double power_mw,
     return report;
 }
 
+namespace {
+
+/** The sns::dist shard producer tag; payloads opening with it carry
+ * the self-describing ShardMeta block linted below. Duplicated from
+ * dist/shard.hh on purpose — sns_verify stays a leaf library; the
+ * test_dist round trip pins the two copies together. */
+constexpr const char *kShardProducerTag = "sns-dist-trainer-v1";
+
+/**
+ * C-SHARD-* lint of a shard checkpoint's payload prefix. Quietly
+ * returns when the payload does not announce the shard producer (plain
+ * trainer checkpoints and other SNSC containers are not shards).
+ */
+void
+checkShardPayload(Report &report, const std::string &payload,
+                  const std::string &path)
+{
+    const size_t tag_len = std::strlen(kShardProducerTag);
+    uint64_t str_len = 0;
+    if (payload.size() < sizeof(str_len))
+        return;
+    std::memcpy(&str_len, payload.data(), sizeof(str_len));
+    if (str_len != tag_len || payload.size() < sizeof(str_len) + tag_len ||
+        std::memcmp(payload.data() + sizeof(str_len), kShardProducerTag,
+                    tag_len) != 0)
+        return; // not a shard payload
+
+    // After the producer string: u32 layout, then 6 x u32, 2 x u64,
+    // 2 x i64 (dist::ShardMeta). 24 header bytes precede the payload
+    // in the file, hence the atByte offsets.
+    size_t pos = sizeof(str_len) + tag_len;
+    constexpr size_t kMetaBytes = 4 + 6 * 4 + 2 * 8 + 2 * 8;
+    if (payload.size() < pos + kMetaBytes) {
+        report.error(
+            rules::kShardTruncated, atByte(path, 24 + pos, "shard meta"),
+            "payload ends inside the shard meta block (" +
+                std::to_string(payload.size() - pos) + " of " +
+                std::to_string(kMetaBytes) + " bytes)",
+            "the shard is unusable; resume from an older complete set");
+        return;
+    }
+    const auto u32at = [&](size_t offset) {
+        uint32_t value = 0;
+        std::memcpy(&value, payload.data() + pos + offset, sizeof(value));
+        return value;
+    };
+    const auto i64at = [&](size_t offset) {
+        int64_t value = 0;
+        std::memcpy(&value, payload.data() + pos + offset, sizeof(value));
+        return value;
+    };
+    const uint32_t layout = u32at(0);
+    const uint32_t world = u32at(4);
+    const uint32_t rank = u32at(8);
+    const uint32_t grad_slices = u32at(12);
+    const uint32_t param_count = u32at(16);
+    const uint32_t owned_begin = u32at(20);
+    const uint32_t owned_end = u32at(24);
+    const int64_t completed_epoch = i64at(44);
+    const int64_t total_epochs = i64at(52);
+
+    if (layout != 1) {
+        report.error(rules::kShardMeta, atByte(path, 24 + pos, "layout"),
+                     "unsupported shard layout version " +
+                         std::to_string(layout) + " (expected 1)");
+        return; // later fields may have moved
+    }
+    const auto powerOfTwo = [](uint32_t v) {
+        return v > 0 && (v & (v - 1)) == 0;
+    };
+    if (!powerOfTwo(world)) {
+        report.error(rules::kShardMeta, atByte(path, 24 + pos + 4, "world"),
+                     "world size " + std::to_string(world) +
+                         " is not a positive power of two");
+    } else if (rank >= world) {
+        report.error(rules::kShardMeta, atByte(path, 24 + pos + 8, "rank"),
+                     "rank " + std::to_string(rank) + " outside world " +
+                         std::to_string(world));
+    }
+    if (!powerOfTwo(grad_slices) ||
+        (powerOfTwo(world) && grad_slices % world != 0)) {
+        report.error(rules::kShardMeta,
+                     atByte(path, 24 + pos + 12, "grad_slices"),
+                     "grad_slices " + std::to_string(grad_slices) +
+                         " is not a power of two divisible by world " +
+                         std::to_string(world));
+    }
+    if (owned_begin > owned_end || owned_end > param_count) {
+        report.error(rules::kShardMeta,
+                     atByte(path, 24 + pos + 20, "owned range"),
+                     "owned range [" + std::to_string(owned_begin) +
+                         ", " + std::to_string(owned_end) +
+                         ") outside the " + std::to_string(param_count) +
+                         " parameter tensors");
+    }
+    if (total_epochs <= 0 || completed_epoch < 0 ||
+        completed_epoch >= total_epochs) {
+        report.error(rules::kShardMeta,
+                     atByte(path, 24 + pos + 44, "epoch counters"),
+                     "completed epoch " + std::to_string(completed_epoch) +
+                         " of " + std::to_string(total_epochs) +
+                         " is out of range");
+    }
+
+    // The file name is the set-discovery key; it must agree with the
+    // payload, or resume would merge the wrong shards.
+    const std::string name = std::filesystem::path(path).filename().string();
+    int f_epoch = 0;
+    int f_rank = 0;
+    int f_world = 0;
+    char tail = '\0';
+    if (std::sscanf(name.c_str(), "ckpt-%6d-r%2dof%2d.ckpt%c", &f_epoch,
+                    &f_rank, &f_world, &tail) == 3) {
+        if (static_cast<uint32_t>(f_rank) != rank ||
+            static_cast<uint32_t>(f_world) != world ||
+            static_cast<int64_t>(f_epoch) != completed_epoch) {
+            report.error(
+                rules::kShardMeta, atByte(path, 24 + pos, "shard meta"),
+                "file name says epoch " + std::to_string(f_epoch) +
+                    " rank " + std::to_string(f_rank) + "/" +
+                    std::to_string(f_world) + " but the meta says epoch " +
+                    std::to_string(completed_epoch) + " rank " +
+                    std::to_string(rank) + "/" + std::to_string(world),
+                "the file was renamed; restore the committed name");
+        }
+    }
+}
+
+} // namespace
+
 Report
 checkCheckpointFile(const std::string &path)
 {
@@ -691,6 +824,8 @@ checkCheckpointFile(const std::string &path)
                      "resume from an older checkpoint in the same "
                      "directory");
     }
+    if (!report.hasErrors())
+        checkShardPayload(report, payload, path);
     return report;
 }
 

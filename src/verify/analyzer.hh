@@ -124,11 +124,14 @@ Report checkSynthesisResult(double timing_ps, double area_um2,
 /**
  * Validate a training-checkpoint container ("SNSC", C-* rules) without
  * parsing the payload: magic, version, declared payload length against
- * the actual file size, and the FNV-1a payload hash. This is the
- * structural check `sns_lint file.ckpt` runs; a checkpoint that passes
- * may still be refused by the trainer (fingerprint mismatch), but one
- * that fails here is unreadable — truncated, corrupt, or not a
- * checkpoint at all.
+ * the actual file size, and the FNV-1a payload hash. When the payload
+ * announces the sns::dist shard producer, the self-describing shard
+ * meta block is linted too (C-SHARD-TRUNCATED / C-SHARD-META: layout,
+ * world/rank/slice admissibility, owned-range bounds, file-name
+ * agreement). This is the structural check `sns_lint file.ckpt` runs;
+ * a checkpoint that passes may still be refused by the trainer
+ * (fingerprint mismatch), but one that fails here is unreadable —
+ * truncated, corrupt, or not a checkpoint at all.
  */
 Report checkCheckpointFile(const std::string &path);
 

@@ -120,6 +120,12 @@ inline constexpr const char *kOptionsSession = "V-OPT-SESSION";
 inline constexpr const char *kOptionsPrecision = "V-OPT-PRECISION";
 inline constexpr const char *kSessionState = "V-SESS-STATE";
 inline constexpr const char *kSessionModel = "V-SESS-MODEL";
+inline constexpr const char *kDistWorld = "V-DIST-WORLD";
+inline constexpr const char *kDistSlices = "V-DIST-SLICES";
+inline constexpr const char *kDistEndpoint = "V-DIST-ENDPOINT";
+inline constexpr const char *kShardTruncated = "C-SHARD-TRUNCATED";
+inline constexpr const char *kShardMeta = "C-SHARD-META";
+inline constexpr const char *kShardSet = "C-SHARD-SET";
 } // namespace rules
 /** @} */
 

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates the committed shard-checkpoint lint fixtures
+ * (tests/fixtures/shard_truncated.ckpt). Build on demand:
+ *
+ *     cmake --build build --target gen_shard_fixtures
+ *     ./build/tests/gen_shard_fixtures tests/fixtures
+ *
+ * The truncated fixture is a VALID SNSC container (magic, version,
+ * length, hash all correct) whose payload announces the sns::dist
+ * shard producer and then stops in the middle of the ShardMeta block —
+ * exactly what the C-SHARD-TRUNCATED rule exists to catch: the
+ * container-level checks pass, yet the shard is unusable.
+ */
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "nn/serialize.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <fixture-dir>\n", argv[0]);
+        return 2;
+    }
+    const std::string dir = argv[1];
+
+    std::ostringstream payload;
+    sns::nn::CheckpointWriter writer(payload);
+    writer.str("sns-dist-trainer-v1");
+    writer.u32(1); // layout version
+    writer.u32(4); // world — then the meta block just stops
+    sns::nn::commitCheckpoint(dir + "/shard_truncated.ckpt",
+                              payload.str());
+    std::fprintf(stderr, "wrote %s/shard_truncated.ckpt\n", dir.c_str());
+    return 0;
+}

@@ -498,6 +498,22 @@ TEST(CheckpointCheckTest, TruncatedFixtureIsRejected)
 }
 
 /**
+ * The committed shard fixture is a VALID container (magic, version,
+ * length, hash all pass) whose payload announces the sns::dist shard
+ * producer and then stops mid-meta — only the C-SHARD-TRUNCATED rule
+ * catches it (tests/fixtures/gen_shard_fixtures.cc regenerates it).
+ */
+TEST(CheckpointCheckTest, TruncatedShardFixtureIsRejected)
+{
+    const auto report =
+        checkCheckpointFile(fixture("shard_truncated.ckpt"));
+    EXPECT_TRUE(report.hasErrors());
+    EXPECT_TRUE(report.hasRule(rules::kShardTruncated));
+    EXPECT_FALSE(report.hasRule(rules::kCheckpointTruncated));
+    EXPECT_FALSE(report.hasRule(rules::kCheckpointHash));
+}
+
+/**
  * Drift pin: the checker duplicates the SNSC magic/version constants
  * so sns::verify stays a leaf library; a checkpoint produced by the
  * real writer must pass it, and the writer's own hash must be the one

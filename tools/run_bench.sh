@@ -28,14 +28,21 @@
 #      behind a router, aggregate-cache sizing, every routed reply
 #      bitwise-checked against local predictBatch) and assemble
 #      BENCH_pr9.json, gating on routed QPS with 2 workers >= 1.7x
-#      routed QPS with 1 worker (docs/cluster.md).
+#      routed QPS with 1 worker (docs/cluster.md);
+#   9. run the distributed-training harness (the same schedule at
+#      world sizes 1/2/4 over an in-process ring, epochs/s, allreduce
+#      overhead, ring traffic) and assemble BENCH_pr10.json, gating on
+#      every world size producing a bitwise-identical model — on a
+#      one-core box the timings are informational, the determinism
+#      contract is the gate (docs/distributed.md).
 #
 # Usage: tools/run_bench.sh [BUILD_DIR] [OUT_JSON]
 #        (defaults: build-bench, BENCH_pr3.json at the repo root;
 #         the serve summary lands next to it as BENCH_pr4.json, the
 #         edit-loop summary as BENCH_pr7.json, the quantized-tier
-#         summary as BENCH_pr8.json, and the cluster summary as
-#         BENCH_pr9.json)
+#         summary as BENCH_pr8.json, the cluster summary as
+#         BENCH_pr9.json, and the distributed-training summary as
+#         BENCH_pr10.json)
 set -e
 
 REPO="$(cd "$(dirname "$0")/.." && pwd)"
@@ -45,12 +52,14 @@ OUT_SERVE="$(dirname "$OUT")/BENCH_pr4.json"
 OUT_EDIT="$(dirname "$OUT")/BENCH_pr7.json"
 OUT_QUANT="$(dirname "$OUT")/BENCH_pr8.json"
 OUT_CLUSTER="$(dirname "$OUT")/BENCH_pr9.json"
+OUT_DIST="$(dirname "$OUT")/BENCH_pr10.json"
 
 echo "== release build ($BUILD) =="
 cmake -B "$BUILD" -S "$REPO" -DCMAKE_BUILD_TYPE=Release \
     -DSNS_NATIVE_ARCH=ON
 cmake --build "$BUILD" -j --target microbench_kernels fig07_runtime \
-    serve_throughput edit_loop quantized_inference cluster_throughput
+    serve_throughput edit_loop quantized_inference cluster_throughput \
+    dist_training
 
 echo "== GEMM microkernels: scalar vs SIMD dispatch =="
 GEMM_CSV="$BUILD/gemm_dispatch.csv"
@@ -496,3 +505,59 @@ awk -v cluster="$CLUSTER_OUT" '
     }
 ' /dev/null
 echo "wrote $OUT_CLUSTER"
+
+echo "== distributed training: world 1/2/4 bitwise + overhead =="
+DIST_OUT="$BUILD/dist_training.out"
+# shellcheck disable=SC2086
+"$BUILD/bench/dist_training" ${SNS_BENCH_FLAGS:-} | tee "$DIST_OUT"
+
+awk -v dist="$DIST_OUT" '
+    BEGIN {
+        while ((getline line <dist) > 0) {
+            if (split(line, f, " ") == 3 && f[1] == "BENCH")
+                bench[f[2]] = f[3]
+        }
+        close(dist)
+        printf "{\n"
+        printf "  \"dist_training\": {\n"
+        printf "    \"epochs\": %s,\n", bench["dist_epochs"]
+        printf "    \"grad_slices\": %s,\n", bench["dist_grad_slices"]
+        printf "    \"epochs_per_s_w1\": %s,\n", \
+               bench["dist_epochs_per_s_w1"]
+        printf "    \"epochs_per_s_w2\": %s,\n", \
+               bench["dist_epochs_per_s_w2"]
+        printf "    \"epochs_per_s_w4\": %s,\n", \
+               bench["dist_epochs_per_s_w4"]
+        printf "    \"allreduce_overhead_pct_w2\": %s,\n", \
+               bench["dist_allreduce_overhead_pct_w2"]
+        printf "    \"allreduce_overhead_pct_w4\": %s,\n", \
+               bench["dist_allreduce_overhead_pct_w4"]
+        printf "    \"bytes_sent_w2\": %s,\n", bench["dist_bytes_sent_w2"]
+        printf "    \"bytes_sent_w4\": %s,\n", bench["dist_bytes_sent_w4"]
+        printf "    \"bitwise_pass\": %s\n", bench["dist_bitwise"]
+        printf "  }\n"
+        printf "}\n"
+    }
+' /dev/null >"$OUT_DIST"
+
+cat "$OUT_DIST"
+
+# The distributed gate mirrored from ISSUE.md: every world size must
+# produce the same bits. Timings on a one-core container are
+# informational only, so nothing else is gated here.
+awk -v dist="$DIST_OUT" '
+    BEGIN {
+        bitwise = 0
+        while ((getline line <dist) > 0) {
+            if (split(line, f, " ") != 3 || f[1] != "BENCH")
+                continue
+            if (f[2] == "dist_bitwise") bitwise = f[3]
+        }
+        if (bitwise != 1) {
+            print "FAIL: world sizes 1/2/4 disagree bitwise"
+            exit 1
+        }
+        print "PASS: worlds 1/2/4 bitwise identical"
+    }
+' /dev/null
+echo "wrote $OUT_DIST"

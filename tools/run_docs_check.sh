@@ -5,7 +5,12 @@
 #      existing file (absolute URLs and #anchors are skipped);
 #   2. every CLI flag a markdown page documents must actually appear in
 #      the help/usage text of one of the built binaries, so the docs
-#      cannot drift ahead of (or behind) the tools.
+#      cannot drift ahead of (or behind) the tools;
+#   3. the distributed-training surface is pinned positively: each of
+#      the --ranks/--world-size/--rank/--rendezvous/--grad-slices flags
+#      must appear BOTH in sns-cli's usage text and in
+#      docs/distributed.md (check 2 only proves documented => real;
+#      this one also proves the page covers the whole surface).
 #
 # Usage: tools/run_docs_check.sh [BUILD_DIR]   (default: build)
 # Exit status: 0 clean, 1 on any dead link or undocumented flag.
@@ -75,6 +80,21 @@ for flag in $documented; do
         # shellcheck disable=SC2086
         grep -ln -- "$flag" $(find $DOCS -name '*.md') \
             | sed 's/^/  mentioned in /' >&2
+        fail=1
+    fi
+done
+
+echo "== docs: distributed-training flags documented and real =="
+doc_flags="$(grep -o '\-\-[a-z][a-z0-9-]*' "$REPO/docs/distributed.md" \
+    | sort -u)"
+for flag in --ranks --world-size --rank --rendezvous --grad-slices; do
+    if ! printf '%s\n' "$known" | grep -qx -- "$flag"; then
+        echo "distributed flag $flag missing from sns-cli usage" >&2
+        fail=1
+    fi
+    if ! printf '%s\n' "$doc_flags" | grep -qx -- "$flag"; then
+        echo "distributed flag $flag not documented" \
+             "in docs/distributed.md" >&2
         fail=1
     fi
 done

@@ -14,11 +14,14 @@
 #      CLI flags missing from --help);
 #   6. build with ThreadSanitizer and run the parallel-runtime-heavy
 #      suites (test_par, test_perf, test_tensor, test_core, test_obs,
-#      test_serve, test_cluster — the batching queue, the metrics
-#      registry, and the router's concurrent handler/health threads are
-#      the most race-prone code in the repo) under TSan. The cluster
-#      suite includes concurrent routed sessions with a mid-traffic
-#      DRAIN/RESUME cycle, gating that no admitted request is dropped.
+#      test_serve, test_cluster, test_dist — the batching queue, the
+#      metrics registry, the router's concurrent handler/health
+#      threads, and the training ring's per-rank threads exchanging
+#      frames over the duplex allreduce path are the most race-prone
+#      code in the repo) under TSan. The cluster suite includes
+#      concurrent routed sessions with a mid-traffic DRAIN/RESUME
+#      cycle, gating that no admitted request is dropped; the dist
+#      suite runs full multi-rank training loops over localRing().
 #
 # Usage: tools/run_lint.sh [BUILD_DIR]   (default: build-lint;
 #        the TSan build lands in BUILD_DIR-tsan)
@@ -130,12 +133,13 @@ echo "== ThreadSanitizer build ($TSAN_BUILD) =="
 cmake -B "$TSAN_BUILD" -S "$REPO" -DSNS_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$TSAN_BUILD" -j --target test_par test_perf test_tensor \
-    test_core test_obs test_serve test_session test_plan test_cluster
+    test_core test_obs test_serve test_session test_plan test_cluster \
+    test_dist
 
 echo "== sns::par + serve + cluster suites under TSan (SNS_THREADS=4) =="
 # Multi-threaded pool width so TSan actually sees concurrent regions.
 for t in test_par test_perf test_tensor test_core test_obs test_serve \
-         test_session test_plan test_cluster; do
+         test_session test_plan test_cluster test_dist; do
     SNS_THREADS=4 "$TSAN_BUILD/tests/$t"
 done
 

@@ -6,6 +6,8 @@
  *                   [--checkpoint-dir=DIR] [--checkpoint-every=N]
  *                   [--checkpoint-keep=N] [--resume[=SRC]]
  *                   [--log-jsonl=FILE] [--promote-socket=PATH]
+ *                   [--ranks=N | --world-size=N --rank=R
+ *                    --rendezvous=SPEC] [--grad-slices=S]
  *   sns-cli predict --model=DIR [--precision=fp64|int8] DESIGN.{snl,v} [...]
  *   sns-cli remote-predict (--socket=PATH | --host=H --port=N) DESIGN [...]
  *   sns-cli promote --model=DIR --canary=DESIGN
@@ -30,7 +32,14 @@
  * verified .snsp.
  */
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <csignal>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -186,6 +195,8 @@ usage()
         << "                  [--resume[=SRC]] [--log-jsonl=FILE]\n"
         << "                  [--promote-socket=PATH | "
            "--promote-host=H --promote-port=N]\n"
+        << "                  [--ranks=N | --world-size=N --rank=R "
+           "--rendezvous=SPEC] [--grad-slices=S]\n"
         << "  sns-cli predict --model=DIR [--threads=N] [--json] "
            "[--precision=fp64|int8] [--cache[=CAP]] [--cache-stats] "
            "DESIGN.{snl,v} [...]\n"
@@ -241,13 +252,28 @@ usage()
            "--cluster-socket/--cluster-host/--cluster-port.\n"
         << "--checkpoint-dir=DIR commits resumable training state "
            "every --checkpoint-every=N epochs (keeping the newest "
-           "--checkpoint-keep=N files); SIGINT checkpoints and exits. "
-           "--resume[=SRC] continues from SRC (a .ckpt file or a "
-           "directory; default: the checkpoint dir) to a bitwise-"
-           "identical final model. --log-jsonl=FILE appends one JSON "
-           "line per epoch. --promote-socket/--promote-host/"
+           "--checkpoint-keep=N checkpoint epochs); SIGINT checkpoints "
+           "and exits. --resume[=SRC] continues from SRC (a .ckpt "
+           "file or a directory; default: the checkpoint dir) to a "
+           "bitwise-identical final model. --log-jsonl=FILE appends "
+           "one JSON line per epoch. --promote-socket/--promote-host/"
            "--promote-port hot-reload the freshly saved model into a "
-           "running sns-serve daemon.\n";
+           "running sns-serve daemon.\n"
+        << "--ranks=N forks N local data-parallel training ranks over "
+           "a deterministic ring allreduce (docs/distributed.md): the "
+           "final model is bitwise-identical to a single-rank run at "
+           "every power-of-two N that divides --grad-slices (default "
+           "8). --world-size=N --rank=R --rendezvous=SPEC join one "
+           "rank of an explicit multi-process ring instead (SPEC: "
+           "unix:<path> or tcp:<host>:<port>); only rank 0 writes the "
+           "model and talks to stdout. Checkpoints become per-rank "
+           "shards (ckpt-NNNNNN-rRRofWW.ckpt) holding the ZeRO-"
+           "partitioned optimizer state; --resume merges the newest "
+           "complete shard set and reshards to the current rank "
+           "count, so a run killed at --ranks=4 can resume at "
+           "--ranks=2 bitwise-exactly. SIGINT triggers a coherent "
+           "stop vote: every rank checkpoints the same epoch before "
+           "exit 3.\n";
     return 1;
 }
 
@@ -271,6 +297,73 @@ struct StopFlagSink : core::TrainProgressSink
     }
 };
 
+int cmdTrain(const CliArgs &args);
+
+/** Child pids of the --ranks launcher, so the SIGINT handler can
+ * forward a targeted kill -INT (a terminal Ctrl-C already reaches the
+ * whole foreground process group). */
+std::vector<pid_t> g_rank_pids;
+
+void
+onLauncherSigint(int sig)
+{
+    for (const pid_t pid : g_rank_pids)
+        kill(pid, sig);
+}
+
+/**
+ * --ranks=N: fork N local training ranks wired into one ring
+ * (docs/distributed.md). Every child runs the full train flow at world
+ * N — only rank 0 talks to stdout, saves the model, and promotes; the
+ * launcher's exit code is the worst child's. On SIGINT the ranks vote
+ * a coherent stop, every rank commits its shard for the same epoch,
+ * and the launcher prints the resume hint.
+ */
+int
+launchTrainRanks(const CliArgs &args, int ranks)
+{
+    std::string rendezvous = args.get("rendezvous", "");
+    if (rendezvous.empty()) {
+        rendezvous = "unix:" +
+                     (std::filesystem::temp_directory_path() /
+                      ("sns-ring-" + std::to_string(getpid())))
+                         .string();
+    }
+    for (int r = 0; r < ranks; ++r) {
+        const pid_t pid = fork();
+        if (pid < 0) {
+            std::cerr << "fork failed for rank " << r << "\n";
+            for (const pid_t child : g_rank_pids)
+                kill(child, SIGTERM);
+            return 1;
+        }
+        if (pid == 0) {
+            CliArgs child = args;
+            child.flags.erase("ranks");
+            child.flags["world-size"] = std::to_string(ranks);
+            child.flags["rank"] = std::to_string(r);
+            child.flags["rendezvous"] = rendezvous;
+            std::exit(cmdTrain(child));
+        }
+        g_rank_pids.push_back(pid);
+    }
+    std::signal(SIGINT, onLauncherSigint);
+    int worst = 0;
+    for (const pid_t pid : g_rank_pids) {
+        int status = 0;
+        while (waitpid(pid, &status, 0) < 0 && errno == EINTR)
+            continue;
+        const int code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+        worst = std::max(worst, code);
+    }
+    if (worst == 3) {
+        std::cerr << "interrupted: every rank committed its checkpoint "
+                     "shard for the same epoch; rerun the same command "
+                     "with --resume to continue bitwise-exactly\n";
+    }
+    return worst;
+}
+
 int
 cmdTrain(const CliArgs &args)
 {
@@ -284,12 +377,30 @@ cmdTrain(const CliArgs &args)
     if (args.has("threads"))
         par::setThreads(std::stoi(args.get("threads", "0")));
 
+    // Distributed data-parallel training (docs/distributed.md):
+    // --ranks forks a local ring; --world-size/--rank/--rendezvous
+    // join one rank of an explicit multi-process ring. Either spelling
+    // (or --grad-slices alone) selects the sliced training path.
+    const int ranks = std::stoi(args.get("ranks", "1"));
+    if (ranks > 1 && !args.has("rank"))
+        return launchTrainRanks(args, ranks);
+    const bool dist_mode = args.has("rank") || args.has("world-size") ||
+                           args.has("grad-slices");
+    const int world_size =
+        dist_mode ? std::stoi(args.get("world-size", "1")) : 1;
+    const int rank = dist_mode ? std::stoi(args.get("rank", "0")) : 0;
+    if (rank < 0 || rank >= world_size) {
+        std::cerr << "--rank must be in [0, --world-size)\n";
+        return 1;
+    }
+
     synth::Synthesizer oracle{synth::SynthesisOptions{}};
     const auto specs = which == "smoke"
                            ? designs::DesignLibrary::smokeSet()
                            : designs::DesignLibrary::paperDataset();
-    std::cerr << "synthesizing the " << specs.size()
-              << "-design dataset...\n";
+    if (rank == 0)
+        std::cerr << "synthesizing the " << specs.size()
+                  << "-design dataset...\n";
     const auto dataset =
         core::HardwareDesignDataset::build(specs, oracle);
     std::vector<size_t> all_indices;
@@ -327,13 +438,28 @@ cmdTrain(const CliArgs &args)
         }
     }
 
+    if (dist_mode) {
+        // 8 slices is the bitwise anchor: worlds 1, 2, 4, and 8 all
+        // reduce to the same gradient bits (docs/distributed.md).
+        config.dist.grad_slices =
+            std::stoi(args.get("grad-slices", "8"));
+        config.dist.world_size = world_size;
+        config.dist.rank = rank;
+        config.dist.rendezvous = args.get("rendezvous", "");
+    }
+
     // Progress sinks: stderr table + SIGINT stop flag, and optionally
-    // a JSONL epoch log.
+    // a JSONL epoch log. Only rank 0 renders the table — every rank
+    // sees identical losses, and the stop flag on each rank feeds the
+    // ring's coherent stop vote.
     core::StderrProgressSink table;
     StopFlagSink stop_flag;
     std::unique_ptr<core::JsonlProgressSink> jsonl;
-    std::vector<core::TrainProgressSink *> sinks = {&table, &stop_flag};
-    if (args.has("log-jsonl")) {
+    std::vector<core::TrainProgressSink *> sinks;
+    if (rank == 0)
+        sinks.push_back(&table);
+    sinks.push_back(&stop_flag);
+    if (args.has("log-jsonl") && rank == 0) {
         jsonl = std::make_unique<core::JsonlProgressSink>(
             args.get("log-jsonl", ""));
         sinks.push_back(jsonl.get());
@@ -342,7 +468,8 @@ cmdTrain(const CliArgs &args)
     config.progress = &sink;
     std::signal(SIGINT, onSigint);
 
-    std::cerr << "training...\n";
+    if (rank == 0)
+        std::cerr << "training...\n";
     WallTimer timer;
     core::SnsTrainer trainer(config);
     std::unique_ptr<core::SnsPredictor> predictor;
@@ -350,15 +477,23 @@ cmdTrain(const CliArgs &args)
         predictor = std::make_unique<core::SnsPredictor>(
             trainer.train(dataset, all_indices, oracle));
     } catch (const core::TrainingInterrupted &interrupted) {
+        if (rank != 0)
+            return 3;
         std::cerr << "interrupted: " << interrupted.what() << "\n";
         if (!interrupted.checkpointPath().empty()) {
             std::cerr << "resume with: sns-cli train --out="
                       << args.get("out", "") << " --checkpoint-dir="
-                      << config.checkpoint_dir << " --resume ...\n";
+                      << config.checkpoint_dir
+                      << (world_size > 1
+                              ? " --ranks=" + std::to_string(world_size)
+                              : "")
+                      << " --resume ...\n";
         }
         return 3;
     }
     const double wall = timer.seconds();
+    if (rank != 0)
+        return 0; // rank 0 owns stdout, the saved model, and promotion
     predictor->save(args.get("out", ""));
     std::cout << "trained on " << dataset.size() << " designs in "
               << formatDouble(wall, 1) << " s; model saved to "
